@@ -1,0 +1,44 @@
+// Shared helpers for the paper-table bench harnesses.
+#ifndef CSPM_BENCH_BENCH_COMMON_H_
+#define CSPM_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "datasets/synthetic.h"
+#include "graph/attributed_graph.h"
+#include "util/check.h"
+
+namespace cspm::bench {
+
+/// One Table II / Table III dataset instance.
+struct NamedDataset {
+  std::string name;
+  graph::AttributedGraph graph;
+};
+
+/// Pokec stand-in size for the runtime benches. CSPM_BENCH_POKEC_VERTICES
+/// overrides it (the real Pokec has 1.6M vertices; see DESIGN.md §3).
+inline uint32_t PokecBenchVertices() {
+  if (const char* env = std::getenv("CSPM_BENCH_POKEC_VERTICES")) {
+    return static_cast<uint32_t>(std::strtoul(env, nullptr, 10));
+  }
+  return 10000;
+}
+
+/// The four Table II datasets, generated deterministically.
+inline std::vector<NamedDataset> MakeTable2Datasets() {
+  std::vector<NamedDataset> sets;
+  sets.push_back({"DBLP", datasets::MakeDblpLike(1).value()});
+  sets.push_back({"DBLP-Trend", datasets::MakeDblpTrendLike(1).value()});
+  sets.push_back({"USFlight", datasets::MakeUsflightLike(1).value()});
+  sets.push_back(
+      {"Pokec(scaled)", datasets::MakePokecLike(1, PokecBenchVertices()).value()});
+  return sets;
+}
+
+}  // namespace cspm::bench
+
+#endif  // CSPM_BENCH_BENCH_COMMON_H_

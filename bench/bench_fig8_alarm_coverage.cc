@@ -1,0 +1,54 @@
+// Reproduces Fig. 8: coverage ratio of ACOR and CSPM for alarm correlation
+// analysis, as a function of top-K.
+//
+// Paper setting: 6M alarms over 5 days, 300 alarm types, 11 AABD rules
+// decomposed into 121 pair rules; CSPM's curve dominates ACOR's and both
+// reach 1.0. Our stand-in simulates a 300-type device network with a
+// planted rule library of the same shape (see DESIGN.md §3).
+#include <cstdio>
+
+#include "alarm/acor.h"
+#include "alarm/simulator.h"
+#include "alarm/window_graph.h"
+#include "cspm/miner.h"
+
+int main() {
+  using namespace cspm;
+  using namespace cspm::alarm;
+
+  Rng rng(2022);
+  RuleLibrary lib = RuleLibrary::Generate(/*num_rules=*/11,
+                                          /*min_derivatives=*/9,
+                                          /*max_derivatives=*/13,
+                                          /*num_types=*/300, &rng);
+  SimulationOptions options;
+  options.num_devices = 250;
+  options.num_alarm_types = 300;
+  options.duration_minutes = 5 * 24 * 60;  // five days
+  options.background_alarms_per_device = 40;
+  options.cause_incidents = 9000;
+  options.seed = 2022;
+  AlarmDataset data = SimulateAlarms(options, lib).value();
+  const auto valid = lib.PairRules();
+  std::printf("=== Fig. 8: coverage ratio vs top-K (%zu events, %zu valid "
+              "pair rules) ===\n", data.events.size(), valid.size());
+
+  auto wg = BuildWindowGraph(data, /*window_minutes=*/5.0).value();
+  core::CspmOptions mopts;
+  mopts.record_iteration_stats = false;
+  auto model = core::CspmMiner(mopts).Mine(wg).value();
+  auto cspm_ranked = SplitAStarsToPairs(model, wg.dict());
+  auto acor_ranked = RunAcor(data, {});
+
+  std::printf("%8s %10s %10s\n", "topK", "CSPM", "ACOR");
+  std::vector<size_t> ks;
+  for (size_t k = 0; k <= 2000; k += 250) ks.push_back(k);
+  auto c_cspm = CoverageAtK(cspm_ranked, valid, ks);
+  auto c_acor = CoverageAtK(acor_ranked, valid, ks);
+  for (size_t i = 0; i < ks.size(); ++i) {
+    std::printf("%8zu %10.3f %10.3f\n", ks[i], c_cspm[i], c_acor[i]);
+  }
+  std::printf("\npaper shape: both curves rise to 1.0 with CSPM above "
+              "ACOR (valid rules ranked higher)\n");
+  return 0;
+}

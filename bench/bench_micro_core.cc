@@ -1,0 +1,104 @@
+// Google-benchmark microbenchmarks for the CSPM core primitives:
+// inverted-database construction, gain computation, merge application,
+// end-to-end mining and the Algorithm 5 scoring path.
+#include <benchmark/benchmark.h>
+
+#include "cspm/gain.h"
+#include "cspm/miner.h"
+#include "cspm/scoring.h"
+#include "graph/generators.h"
+
+namespace {
+
+using namespace cspm;
+
+graph::AttributedGraph MakeBenchGraph(uint32_t n) {
+  Rng rng(7);
+  return graph::ErdosRenyi(n, 8.0 / n, 40, 3, &rng).value();
+}
+
+void BM_InvertedDbBuild(benchmark::State& state) {
+  auto g = MakeBenchGraph(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto idb = core::InvertedDatabase::FromGraph(g).value();
+    benchmark::DoNotOptimize(idb.num_lines());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_InvertedDbBuild)->Arg(500)->Arg(2000)->Arg(8000);
+
+void BM_GainComputation(benchmark::State& state) {
+  auto g = MakeBenchGraph(2000);
+  auto idb = core::InvertedDatabase::FromGraph(g).value();
+  core::CodeModel cm(g, idb);
+  const auto& actives = idb.active_leafsets();
+  size_t i = 0;
+  size_t j = 1;
+  for (auto _ : state) {
+    auto gain = core::ComputeMergeGain(idb, cm, actives[i], actives[j]);
+    benchmark::DoNotOptimize(gain.data_gain_bits);
+    j = (j + 1) % actives.size();
+    if (j == i) j = (j + 1) % actives.size();
+    if (j == 0) i = (i + 1) % (actives.size() - 1);
+  }
+}
+BENCHMARK(BM_GainComputation);
+
+void BM_MergeApply(benchmark::State& state) {
+  auto g = MakeBenchGraph(2000);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto idb = core::InvertedDatabase::FromGraph(g).value();
+    core::CodeModel cm(g, idb);
+    // Find one feasible pair.
+    const auto actives = idb.active_leafsets();
+    core::LeafsetId x = 0;
+    core::LeafsetId y = 0;
+    bool found = false;
+    for (size_t a = 0; a < actives.size() && !found; ++a) {
+      for (size_t b = a + 1; b < actives.size() && !found; ++b) {
+        auto gain = core::ComputeMergeGain(idb, cm, actives[a], actives[b]);
+        if (gain.feasible) {
+          x = actives[a];
+          y = actives[b];
+          found = true;
+        }
+      }
+    }
+    state.ResumeTiming();
+    if (found) {
+      auto outcome = idb.MergeLeafsets(x, y);
+      benchmark::DoNotOptimize(outcome.moved_positions);
+    }
+  }
+}
+BENCHMARK(BM_MergeApply)->Iterations(20);
+
+void BM_MineEndToEnd(benchmark::State& state) {
+  auto g = MakeBenchGraph(static_cast<uint32_t>(state.range(0)));
+  core::CspmOptions options;
+  options.record_iteration_stats = false;
+  for (auto _ : state) {
+    auto model = core::CspmMiner(options).Mine(g).value();
+    benchmark::DoNotOptimize(model.astars.size());
+  }
+}
+BENCHMARK(BM_MineEndToEnd)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_ScoringModule(benchmark::State& state) {
+  auto g = MakeBenchGraph(2000);
+  core::CspmOptions options;
+  options.record_iteration_stats = false;
+  auto model = core::CspmMiner(options).Mine(g).value();
+  graph::VertexId v = 0;
+  for (auto _ : state) {
+    auto scores = core::ScoreAttributes(g, model, v);
+    benchmark::DoNotOptimize(scores.normalized.data());
+    v = (v + 1) % g.num_vertices();
+  }
+}
+BENCHMARK(BM_ScoringModule);
+
+}  // namespace
+
+BENCHMARK_MAIN();

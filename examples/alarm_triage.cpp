@@ -1,0 +1,70 @@
+// Telecom alarm triage (the paper's Section VI-D): simulate an alarm
+// stream with planted causal rules, mine a-stars from the windowed device
+// graph, extract ranked cause->derivative rules, and measure how many of
+// the planted rules surface near the top.
+//
+//   $ ./examples/alarm_triage
+#include <cstdio>
+#include <set>
+
+#include "alarm/acor.h"
+#include "alarm/simulator.h"
+#include "alarm/window_graph.h"
+#include "cspm/miner.h"
+
+int main() {
+  using namespace cspm;
+  using namespace cspm::alarm;
+
+  Rng rng(5);
+  RuleLibrary lib = RuleLibrary::Generate(/*num_rules=*/8,
+                                          /*min_derivatives=*/5,
+                                          /*max_derivatives=*/9,
+                                          /*num_types=*/150, &rng);
+  SimulationOptions options;
+  options.num_devices = 150;
+  options.num_alarm_types = 150;
+  options.duration_minutes = 3 * 24 * 60;
+  options.cause_incidents = 4000;
+  options.seed = 5;
+  auto data_or = SimulateAlarms(options, lib);
+  if (!data_or.ok()) {
+    std::fprintf(stderr, "%s\n", data_or.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("simulated %zu alarms on %u devices (%zu planted pair "
+              "rules)\n",
+              data_or->events.size(), options.num_devices,
+              lib.PairRules().size());
+
+  auto wg_or = BuildWindowGraph(*data_or, /*window_minutes=*/5.0);
+  if (!wg_or.ok()) {
+    std::fprintf(stderr, "%s\n", wg_or.status().ToString().c_str());
+    return 1;
+  }
+  core::CspmOptions mopts;
+  mopts.record_iteration_stats = false;
+  auto model_or = core::CspmMiner(mopts).Mine(*wg_or);
+  if (!model_or.ok()) {
+    std::fprintf(stderr, "%s\n", model_or.status().ToString().c_str());
+    return 1;
+  }
+  auto ranked = SplitAStarsToPairs(*model_or, wg_or->dict());
+
+  std::printf("top extracted alarm rules (T<cause> -> T<derivative>):\n");
+  std::set<std::pair<AlarmType, AlarmType>> valid;
+  for (const auto& r : lib.PairRules()) {
+    valid.insert({r.cause, r.derivative});
+  }
+  for (size_t i = 0; i < std::min<size_t>(ranked.size(), 12); ++i) {
+    const auto& p = ranked[i];
+    std::printf("  %2zu. T%u -> T%u  score=%.3f %s\n", i + 1, p.cause,
+                p.derivative, p.score,
+                valid.count({p.cause, p.derivative}) ? "[planted rule]" : "");
+  }
+  auto coverage = CoverageAtK(ranked, lib.PairRules(),
+                              {lib.PairRules().size() * 2});
+  std::printf("coverage of planted rules at top-%zu: %.1f%%\n",
+              lib.PairRules().size() * 2, 100.0 * coverage[0]);
+  return 0;
+}

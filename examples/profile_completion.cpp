@@ -1,0 +1,56 @@
+// Node attribute completion (the paper's Section VI-C): hide 30% of the
+// user profiles in a homophilous social graph, then compare NeighAggre
+// with and without the CSPM scoring fusion.
+//
+//   $ ./examples/profile_completion
+#include <cstdio>
+
+#include "completion/fusion.h"
+#include "completion/models.h"
+#include "completion/task.h"
+#include "cspm/miner.h"
+#include "datasets/synthetic.h"
+
+int main() {
+  using namespace cspm;
+  using namespace cspm::completion;
+
+  auto graph_or = datasets::MakeCoraLike(/*seed=*/11);
+  if (!graph_or.ok()) {
+    std::fprintf(stderr, "%s\n", graph_or.status().ToString().c_str());
+    return 1;
+  }
+  auto data_or = MakeCompletionTask(*graph_or, /*missing_fraction=*/0.3,
+                                    /*seed=*/17);
+  if (!data_or.ok()) {
+    std::fprintf(stderr, "%s\n", data_or.status().ToString().c_str());
+    return 1;
+  }
+  const CompletionDataset& data = *data_or;
+  std::printf("citation-style graph: %u nodes, %zu test nodes with hidden "
+              "attributes\n",
+              data.masked_graph.num_vertices(), data.test_nodes.size());
+
+  // Mine a-stars on the attribute-missing graph (what a deployment sees).
+  core::CspmOptions mopts;
+  mopts.record_iteration_stats = false;
+  auto cspm_model = core::CspmMiner(mopts).Mine(data.masked_graph);
+  if (!cspm_model.ok()) {
+    std::fprintf(stderr, "%s\n", cspm_model.status().ToString().c_str());
+    return 1;
+  }
+
+  auto model = MakeNeighAggre();
+  nn::Matrix base_scores = model->PredictScores(data);
+  nn::Matrix fused_scores = FuseWithCspm(base_scores, data, *cspm_model);
+
+  const std::vector<size_t> ks = {10, 20, 50};
+  auto base = EvaluateScores(data, base_scores, ks);
+  auto fused = EvaluateScores(data, fused_scores, ks);
+  std::printf("%-18s %8s %8s %8s\n", "method", "Rec@10", "Rec@20", "Rec@50");
+  std::printf("%-18s %8.4f %8.4f %8.4f\n", "NeighAggre", base.recall[0],
+              base.recall[1], base.recall[2]);
+  std::printf("%-18s %8.4f %8.4f %8.4f\n", "CSPM+NeighAggre",
+              fused.recall[0], fused.recall[1], fused.recall[2]);
+  return 0;
+}

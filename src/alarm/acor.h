@@ -1,0 +1,67 @@
+// ACOR-style pairwise alarm correlation baseline (Fournier-Viger et al.
+// 2020) and the rule extraction / coverage evaluation shared with CSPM
+// (Fig. 8). ACOR scores each alarm pair independently from windowed
+// co-occurrence on identical or adjacent devices and infers the cause
+// direction from conditional-probability asymmetry.
+#ifndef CSPM_ALARM_ACOR_H_
+#define CSPM_ALARM_ACOR_H_
+
+#include <vector>
+
+#include "alarm/simulator.h"
+#include "alarm/window_graph.h"
+#include "cspm/model.h"
+#include "graph/attributed_graph.h"
+
+namespace cspm::alarm {
+
+/// A directed, scored alarm rule candidate.
+struct RankedPair {
+  AlarmType cause = 0;
+  AlarmType derivative = 0;
+  double score = 0.0;
+};
+
+struct AcorOptions {
+  double window_minutes = 5.0;
+  /// Pairs with fewer joint windowed co-occurrences are dropped.
+  uint32_t min_co_occurrences = 2;
+  /// Off by default: the published ACOR sees time-flattened window
+  /// snapshots, the same information CSPM's window graph carries. Enabling
+  /// this gives ACOR an event-timestamp oracle (used by an ablation bench).
+  bool use_temporal_precedence = false;
+};
+
+/// Runs the ACOR baseline: returns pairs sorted by descending correlation.
+std::vector<RankedPair> RunAcor(const AlarmDataset& data,
+                                const AcorOptions& options);
+
+struct AStarRuleOptions {
+  /// A-stars with frequency below this are ignored: an interesting a-star
+  /// "is supposed to be frequent to some extent" (Section IV-C) — and a
+  /// frequency-1 line has a degenerate 0-bit conditional code.
+  uint64_t min_frequency = 3;
+  /// When both directions of an unordered pair are derivable from the
+  /// model, emit only the one whose supporting a-star has the shorter
+  /// code. Off by default: the paper splits every a-star into its pairs
+  /// and lets the ranking arbitrate.
+  bool single_direction_per_pair = false;
+};
+
+/// Splits the a-stars of a CSPM model mined on a window graph into directed
+/// pair rules (core value -> leaf value). A pair inherits the best
+/// (shortest) code length among the a-stars producing it; output is sorted
+/// by ascending code length, i.e. descending informativeness. `dict` is the
+/// window graph's attribute dictionary.
+std::vector<RankedPair> SplitAStarsToPairs(
+    const core::CspmModel& model, const graph::AttributeDictionary& dict,
+    const AStarRuleOptions& options = {});
+
+/// coverage@K = |valid ∩ topK(ranked)| / |valid| for each K in `ks`.
+std::vector<double> CoverageAtK(const std::vector<RankedPair>& ranked,
+                                const std::vector<PairRule>& valid,
+                                const std::vector<size_t>& ks);
+
+}  // namespace cspm::alarm
+
+#endif  // CSPM_ALARM_ACOR_H_

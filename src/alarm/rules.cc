@@ -1,0 +1,58 @@
+#include "alarm/rules.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace cspm::alarm {
+
+std::vector<PairRule> RuleLibrary::PairRules() const {
+  std::vector<PairRule> pairs;
+  for (const auto& rule : rules) {
+    for (AlarmType d : rule.derivatives) {
+      pairs.push_back({rule.cause, d});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  return pairs;
+}
+
+RuleLibrary RuleLibrary::Generate(uint32_t num_rules,
+                                  uint32_t min_derivatives,
+                                  uint32_t max_derivatives,
+                                  uint32_t num_types, Rng* rng) {
+  CSPM_CHECK(num_rules <= num_types);
+  CSPM_CHECK(min_derivatives >= 1 && min_derivatives <= max_derivatives);
+  RuleLibrary lib;
+  // Disjoint cause types: the first num_rules type ids, shuffled.
+  std::vector<AlarmType> causes(num_types);
+  for (uint32_t t = 0; t < num_types; ++t) causes[t] = t;
+  rng->Shuffle(&causes);
+  causes.resize(num_rules);
+
+  std::vector<bool> is_cause(num_types, false);
+  for (AlarmType c : causes) is_cause[c] = true;
+  std::vector<AlarmType> non_causes;
+  for (uint32_t t = 0; t < num_types; ++t) {
+    if (!is_cause[t]) non_causes.push_back(t);
+  }
+  CSPM_CHECK(!non_causes.empty());
+
+  for (AlarmType c : causes) {
+    AlarmRule rule;
+    rule.cause = c;
+    const uint32_t k = static_cast<uint32_t>(
+        rng->UniformInt(min_derivatives, max_derivatives));
+    const uint32_t kk =
+        std::min<uint32_t>(k, static_cast<uint32_t>(non_causes.size()));
+    auto picks = rng->SampleWithoutReplacement(
+        static_cast<uint32_t>(non_causes.size()), kk);
+    for (uint32_t idx : picks) rule.derivatives.push_back(non_causes[idx]);
+    std::sort(rule.derivatives.begin(), rule.derivatives.end());
+    lib.rules.push_back(std::move(rule));
+  }
+  return lib;
+}
+
+}  // namespace cspm::alarm

@@ -1,0 +1,53 @@
+// Alarm rule library in the AABD style (Wang et al. 2017): a rule maps a
+// cause alarm type to the derivative alarm types it triggers. Rules are
+// decomposed into directed pair rules for evaluation against ACOR (Fig. 8).
+#ifndef CSPM_ALARM_RULES_H_
+#define CSPM_ALARM_RULES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cspm::alarm {
+
+/// Alarm type id (dense, [0, num_types)).
+using AlarmType = uint32_t;
+
+/// One expert rule: `cause` triggers each of `derivatives`.
+struct AlarmRule {
+  AlarmType cause = 0;
+  std::vector<AlarmType> derivatives;
+};
+
+/// Directed pair rule (cause -> derivative).
+struct PairRule {
+  AlarmType cause = 0;
+  AlarmType derivative = 0;
+  bool operator==(const PairRule& o) const {
+    return cause == o.cause && derivative == o.derivative;
+  }
+  bool operator<(const PairRule& o) const {
+    return cause != o.cause ? cause < o.cause : derivative < o.derivative;
+  }
+};
+
+/// A rule library plus its pairwise decomposition.
+struct RuleLibrary {
+  std::vector<AlarmRule> rules;
+
+  /// The directed pair rules (the paper's 11 rules -> 121 pair rules).
+  std::vector<PairRule> PairRules() const;
+
+  /// Generates `num_rules` rules over disjoint cause types, each with a
+  /// uniform number of derivatives in [min_derivatives, max_derivatives].
+  /// Derivative types are drawn from the non-cause types (may be shared
+  /// between rules).
+  static RuleLibrary Generate(uint32_t num_rules, uint32_t min_derivatives,
+                              uint32_t max_derivatives, uint32_t num_types,
+                              Rng* rng);
+};
+
+}  // namespace cspm::alarm
+
+#endif  // CSPM_ALARM_RULES_H_

@@ -1,0 +1,79 @@
+#include "alarm/simulator.h"
+
+#include <algorithm>
+
+#include "graph/generators.h"
+
+namespace cspm::alarm {
+
+StatusOr<AlarmDataset> SimulateAlarms(const SimulationOptions& options,
+                                      const RuleLibrary& rules) {
+  if (options.num_devices < 2) {
+    return Status::InvalidArgument("need at least 2 devices");
+  }
+  if (options.num_alarm_types == 0) {
+    return Status::InvalidArgument("need at least 1 alarm type");
+  }
+  Rng rng(options.seed);
+  AlarmDataset data;
+  data.num_devices = options.num_devices;
+  data.num_types = options.num_alarm_types;
+  data.rules = rules;
+
+  data.topology_edges = graph::BarabasiAlbertEdges(
+      options.num_devices, options.topology_attachment, &rng);
+  data.adjacency.assign(options.num_devices, {});
+  for (auto [u, v] : data.topology_edges) {
+    data.adjacency[u].push_back(v);
+    data.adjacency[v].push_back(u);
+  }
+
+  // Background noise: Poisson count per device, uniform time and type.
+  for (uint32_t d = 0; d < options.num_devices; ++d) {
+    const uint64_t count = rng.Poisson(options.background_alarms_per_device);
+    for (uint64_t i = 0; i < count; ++i) {
+      AlarmEvent ev;
+      ev.device = d;
+      ev.type = static_cast<AlarmType>(
+          rng.Uniform(options.num_alarm_types));
+      ev.time_minutes = rng.UniformDouble() * options.duration_minutes;
+      data.events.push_back(ev);
+    }
+  }
+
+  // Causal incidents: pick a rule and a device, emit the cause, then each
+  // derivative with some delay on the same or a neighbouring device.
+  if (!rules.rules.empty()) {
+    const uint64_t incidents = rng.Poisson(options.cause_incidents);
+    for (uint64_t i = 0; i < incidents; ++i) {
+      const AlarmRule& rule =
+          rules.rules[rng.Uniform(rules.rules.size())];
+      const uint32_t device = static_cast<uint32_t>(
+          rng.Uniform(options.num_devices));
+      const double t =
+          rng.UniformDouble() * (options.duration_minutes -
+                                 options.max_delay_minutes);
+      data.events.push_back({device, rule.cause, t});
+      for (AlarmType derivative : rule.derivatives) {
+        if (!rng.Bernoulli(options.derivative_probability)) continue;
+        uint32_t target = device;
+        if (!data.adjacency[device].empty() &&
+            rng.Bernoulli(options.neighbour_probability)) {
+          target = data.adjacency[device][rng.Uniform(
+              data.adjacency[device].size())];
+        }
+        const double delay =
+            rng.UniformDouble() * options.max_delay_minutes;
+        data.events.push_back({target, derivative, t + delay});
+      }
+    }
+  }
+
+  std::sort(data.events.begin(), data.events.end(),
+            [](const AlarmEvent& a, const AlarmEvent& b) {
+              return a.time_minutes < b.time_minutes;
+            });
+  return data;
+}
+
+}  // namespace cspm::alarm

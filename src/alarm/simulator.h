@@ -1,0 +1,60 @@
+// Telecom alarm stream simulator: a device topology raises background
+// alarms plus planted causal cascades following a rule library. Substitutes
+// for the paper's proprietary 6M-alarm metropolitan dataset (Section VI-D);
+// see DESIGN.md for the substitution rationale.
+#ifndef CSPM_ALARM_SIMULATOR_H_
+#define CSPM_ALARM_SIMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "alarm/rules.h"
+#include "util/status.h"
+
+namespace cspm::alarm {
+
+/// One triggered alarm.
+struct AlarmEvent {
+  uint32_t device = 0;
+  AlarmType type = 0;
+  double time_minutes = 0.0;
+};
+
+struct SimulationOptions {
+  uint32_t num_devices = 200;
+  /// Barabasi-Albert attachment degree of the device topology.
+  uint32_t topology_attachment = 2;
+  uint32_t num_alarm_types = 300;
+  double duration_minutes = 7200.0;  ///< five days, paper-style
+  /// Expected background (noise) alarms per device over the whole run.
+  double background_alarms_per_device = 20.0;
+  /// Expected number of cause-alarm incidents over the whole run.
+  double cause_incidents = 4000.0;
+  /// Probability that each derivative of a firing rule is emitted.
+  double derivative_probability = 0.85;
+  /// Probability a derivative lands on a neighbouring device (else the
+  /// same device).
+  double neighbour_probability = 0.75;
+  /// Max delay between cause and derivative (uniform).
+  double max_delay_minutes = 4.0;
+  uint64_t seed = 1;
+};
+
+/// The simulated dataset: the event log, the device topology and the
+/// ground-truth rule library.
+struct AlarmDataset {
+  std::vector<AlarmEvent> events;  ///< sorted by time
+  std::vector<std::pair<uint32_t, uint32_t>> topology_edges;
+  std::vector<std::vector<uint32_t>> adjacency;  ///< per device
+  uint32_t num_devices = 0;
+  uint32_t num_types = 0;
+  RuleLibrary rules;
+};
+
+/// Runs the simulation.
+StatusOr<AlarmDataset> SimulateAlarms(const SimulationOptions& options,
+                                      const RuleLibrary& rules);
+
+}  // namespace cspm::alarm
+
+#endif  // CSPM_ALARM_SIMULATOR_H_

@@ -1,0 +1,65 @@
+#include "alarm/window_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/string_util.h"
+
+namespace cspm::alarm {
+
+std::string AlarmAttributeName(AlarmType t) { return StrFormat("T%u", t); }
+
+StatusOr<AlarmType> DecodeAlarmName(const std::string& name) {
+  if (name.size() < 2 || name[0] != 'T') {
+    return Status::InvalidArgument("not an alarm attribute: " + name);
+  }
+  char* end = nullptr;
+  unsigned long v = std::strtoul(name.c_str() + 1, &end, 10);
+  if (*end != '\0') {
+    return Status::InvalidArgument("not an alarm attribute: " + name);
+  }
+  return static_cast<AlarmType>(v);
+}
+
+StatusOr<graph::AttributedGraph> BuildWindowGraph(const AlarmDataset& data,
+                                                  double window_minutes) {
+  if (window_minutes <= 0.0) {
+    return Status::InvalidArgument("window_minutes must be positive");
+  }
+  // Collect alarm types per (window, device).
+  std::map<std::pair<uint32_t, uint32_t>, std::vector<AlarmType>> buckets;
+  for (const AlarmEvent& ev : data.events) {
+    const uint32_t w =
+        static_cast<uint32_t>(ev.time_minutes / window_minutes);
+    buckets[{w, ev.device}].push_back(ev.type);
+  }
+  graph::GraphBuilder builder;
+  // Intern all alarm types up front so attribute ids == alarm type ids.
+  for (AlarmType t = 0; t < data.num_types; ++t) {
+    builder.InternAttribute(AlarmAttributeName(t));
+  }
+  std::map<std::pair<uint32_t, uint32_t>, graph::VertexId> vertex_of;
+  for (auto& [key, types] : buckets) {
+    std::vector<graph::AttrId> attrs;
+    attrs.reserve(types.size());
+    for (AlarmType t : types) attrs.push_back(t);
+    std::sort(attrs.begin(), attrs.end());
+    attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
+    vertex_of[key] = builder.AddVertexWithIds(std::move(attrs));
+  }
+  // Edges: within a window, connect replicas of topologically adjacent
+  // devices (both raising alarms in that window).
+  for (const auto& [key, v] : vertex_of) {
+    const auto [w, device] = key;
+    for (uint32_t nbr : data.adjacency[device]) {
+      auto it = vertex_of.find({w, nbr});
+      if (it != vertex_of.end() && it->second > v) {
+        CSPM_RETURN_IF_ERROR(builder.AddEdge(v, it->second));
+      }
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace cspm::alarm

@@ -1,0 +1,27 @@
+// Converts an alarm event log into an attributed graph: one vertex per
+// (device, time window) that raised at least one alarm, carrying the alarm
+// types of that window as attribute values, with edges between replicas of
+// adjacent (or identical) devices within the same window. This is the
+// dynamic-attributed-graph modelling the ACOR paper applies, flattened so
+// CSPM can mine it.
+#ifndef CSPM_ALARM_WINDOW_GRAPH_H_
+#define CSPM_ALARM_WINDOW_GRAPH_H_
+
+#include "alarm/simulator.h"
+#include "graph/attributed_graph.h"
+#include "util/status.h"
+
+namespace cspm::alarm {
+
+/// Alarm type ids are interned as attribute names "T<k>"; DecodeAlarmName
+/// inverts the naming.
+std::string AlarmAttributeName(AlarmType t);
+StatusOr<AlarmType> DecodeAlarmName(const std::string& name);
+
+/// Builds the windowed attributed graph.
+StatusOr<graph::AttributedGraph> BuildWindowGraph(const AlarmDataset& data,
+                                                  double window_minutes);
+
+}  // namespace cspm::alarm
+
+#endif  // CSPM_ALARM_WINDOW_GRAPH_H_

@@ -1,0 +1,37 @@
+#include "completion/fusion.h"
+
+#include <algorithm>
+
+namespace cspm::completion {
+
+nn::Matrix FuseWithCspm(const nn::Matrix& model_scores,
+                        const CompletionDataset& data,
+                        const core::CspmModel& cspm_model,
+                        const FusionOptions& options) {
+  nn::Matrix fused = model_scores;
+  const size_t num_attrs = data.num_attributes();
+  for (graph::VertexId v : data.test_nodes) {
+    core::AttributeScores cspm_scores = core::ScoreAttributes(
+        data.masked_graph, cspm_model, v, options.scoring);
+
+    // Min-max normalize the model row (per-row, like the paper's "the two
+    // vectors are normalized separately").
+    double lo = model_scores(v, 0);
+    double hi = lo;
+    for (size_t a = 1; a < num_attrs; ++a) {
+      lo = std::min(lo, model_scores(v, a));
+      hi = std::max(hi, model_scores(v, a));
+    }
+    const double span = hi - lo;
+    for (size_t a = 0; a < num_attrs; ++a) {
+      const double model_norm =
+          span > 0 ? (model_scores(v, a) - lo) / span : 1.0;
+      const double multiplier =
+          options.evidence_floor + cspm_scores.normalized[a];
+      fused(v, a) = model_norm * multiplier;
+    }
+  }
+  return fused;
+}
+
+}  // namespace cspm::completion

@@ -1,0 +1,32 @@
+// CSPM score fusion (Fig. 7): the model's probability vector and the CSPM
+// scoring module's vector are normalized separately and multiplied.
+#ifndef CSPM_COMPLETION_FUSION_H_
+#define CSPM_COMPLETION_FUSION_H_
+
+#include "completion/task.h"
+#include "cspm/model.h"
+#include "cspm/scoring.h"
+
+namespace cspm::completion {
+
+struct FusionOptions {
+  /// Floor added to the normalized CSPM multiplier. The paper normalizes
+  /// the two vectors and multiplies but does not specify the no-evidence
+  /// case; with floor 1.0 the multiplier lies in [1, 2], so pattern
+  /// evidence boosts a value and its absence never demotes one.
+  double evidence_floor = 1.0;
+  core::ScoringOptions scoring;
+};
+
+/// Returns a copy of `model_scores` where every test-node row has been
+/// multiplied by (evidence_floor + normalized CSPM score); observed rows
+/// are left untouched. `cspm_model` must have been mined on
+/// `data.masked_graph`.
+nn::Matrix FuseWithCspm(const nn::Matrix& model_scores,
+                        const CompletionDataset& data,
+                        const core::CspmModel& cspm_model,
+                        const FusionOptions& options = {});
+
+}  // namespace cspm::completion
+
+#endif  // CSPM_COMPLETION_FUSION_H_

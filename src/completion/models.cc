@@ -1,0 +1,256 @@
+#include "completion/models.h"
+
+#include <cmath>
+
+#include "nn/adjacency.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+
+namespace cspm::completion {
+namespace {
+
+using nn::AttentionGraph;
+using nn::Matrix;
+using nn::ParamRefs;
+using nn::SparseMatrix;
+
+// ---------------------------------------------------------------------------
+// NeighAggre (Simsek & Jensen 2008): non-parametric neighbour aggregation.
+class NeighAggreModel : public CompletionModel {
+ public:
+  std::string name() const override { return "NeighAggre"; }
+
+  Matrix PredictScores(const CompletionDataset& data) override {
+    const auto& g = data.masked_graph;
+    Matrix scores(data.num_nodes(), data.num_attributes());
+    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      uint32_t observed_neighbours = 0;
+      for (graph::VertexId w : g.Neighbors(v)) {
+        if (!data.observed[w]) continue;
+        ++observed_neighbours;
+        const double* row = data.x.Row(w);
+        double* out = scores.Row(v);
+        for (size_t a = 0; a < data.num_attributes(); ++a) out[a] += row[a];
+      }
+      if (observed_neighbours > 0) {
+        double* out = scores.Row(v);
+        for (size_t a = 0; a < data.num_attributes(); ++a) {
+          out[a] /= observed_neighbours;
+        }
+      }
+    }
+    return scores;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// VAE baseline: train on observed rows, impute test rows by decoding the
+// mean latent of observed neighbours.
+class VaeModel : public CompletionModel {
+ public:
+  explicit VaeModel(const ModelOptions& options) : options_(options) {}
+  std::string name() const override { return "VAE"; }
+
+  Matrix PredictScores(const CompletionDataset& data) override {
+    nn::Vae vae(data.num_attributes(), options_.vae);
+    vae.Train(data.x, data.observed);
+    Matrix mu = vae.EncodeMean(data.x);
+
+    const auto& g = data.masked_graph;
+    Matrix z(data.num_nodes(), mu.cols());
+    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (data.observed[v]) {
+        for (size_t j = 0; j < mu.cols(); ++j) z(v, j) = mu(v, j);
+        continue;
+      }
+      uint32_t count = 0;
+      for (graph::VertexId w : g.Neighbors(v)) {
+        if (!data.observed[w]) continue;
+        ++count;
+        for (size_t j = 0; j < mu.cols(); ++j) z(v, j) += mu(w, j);
+      }
+      if (count > 0) {
+        for (size_t j = 0; j < mu.cols(); ++j) z(v, j) /= count;
+      }
+    }
+    return vae.DecodeProbabilities(z);
+  }
+
+ private:
+  ModelOptions options_;
+};
+
+// ---------------------------------------------------------------------------
+// Two-layer GNN trained with BCE on observed rows; template over the conv
+// layer type.
+template <typename ConvT, typename OperatorT>
+class TwoLayerGnn : public CompletionModel {
+ public:
+  TwoLayerGnn(std::string name, const ModelOptions& options)
+      : name_(std::move(name)), options_(options) {}
+  std::string name() const override { return name_; }
+
+  Matrix PredictScores(const CompletionDataset& data) override {
+    Rng rng(options_.seed);
+    typename OperatorT::Type op = OperatorT::Build(data.masked_graph);
+    ConvT conv1(&op, data.num_attributes(), options_.hidden, &rng);
+    nn::ReluLayer relu;
+    ConvT conv2(&op, options_.hidden, data.num_attributes(), &rng);
+
+    ParamRefs refs;
+    conv1.CollectParams(&refs);
+    conv2.CollectParams(&refs);
+    nn::AdamOptimizer adam(refs, options_.learning_rate);
+
+    Matrix logits;
+    for (uint32_t epoch = 0; epoch < options_.epochs; ++epoch) {
+      logits = conv2.Forward(relu.Forward(conv1.Forward(data.x)));
+      Matrix grad;
+      nn::BceWithLogits(logits, data.truth, data.observed, &grad);
+      conv1.Backward(relu.Backward(conv2.Backward(grad)));
+      adam.Step();
+    }
+    logits = conv2.Forward(relu.Forward(conv1.Forward(data.x)));
+    return nn::Sigmoid(logits);
+  }
+
+ private:
+  std::string name_;
+  ModelOptions options_;
+};
+
+struct GcnOperator {
+  using Type = SparseMatrix;
+  static Type Build(const graph::AttributedGraph& g) {
+    return SparseMatrix::NormalizedAdjacency(g);
+  }
+};
+struct SageOperator {
+  using Type = SparseMatrix;
+  static Type Build(const graph::AttributedGraph& g) {
+    return SparseMatrix::MeanNeighbors(g);
+  }
+};
+struct GatOperator {
+  using Type = AttentionGraph;
+  static Type Build(const graph::AttributedGraph& g) {
+    return AttentionGraph::FromGraph(g);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// SAT-style dual encoder (Chen et al., TPAMI 2020, simplified): an
+// attribute encoder and a structure encoder (on propagated observed
+// attributes) share a decoder; latents are aligned with an MSE term. Test
+// rows are decoded from the structure path.
+class SatModel : public CompletionModel {
+ public:
+  explicit SatModel(const ModelOptions& options) : options_(options) {}
+  std::string name() const override { return "SAT"; }
+
+  Matrix PredictScores(const CompletionDataset& data) override {
+    Rng rng(options_.seed);
+    const size_t in = data.num_attributes();
+    const size_t hidden = options_.hidden;
+
+    SparseMatrix adj = SparseMatrix::NormalizedAdjacency(data.masked_graph);
+    // Structure features: two-hop propagation of observed attributes.
+    Matrix s_features = adj.Multiply(adj.Multiply(data.x));
+
+    nn::DenseLayer enc_a(in, hidden, &rng);
+    nn::DenseLayer enc_s(in, hidden, &rng);
+    nn::ReluLayer relu_a, relu_s, relu_d_a, relu_d_s;
+    nn::DenseLayer dec1(hidden, hidden, &rng);
+    nn::DenseLayer dec2(hidden, in, &rng);
+
+    ParamRefs refs;
+    enc_a.CollectParams(&refs);
+    enc_s.CollectParams(&refs);
+    dec1.CollectParams(&refs);
+    dec2.CollectParams(&refs);
+    nn::AdamOptimizer adam(refs, options_.learning_rate);
+
+    size_t observed_count = 0;
+    for (bool o : data.observed) observed_count += o ? 1 : 0;
+    const double align_scale =
+        options_.align_weight /
+        std::max<double>(1.0, static_cast<double>(observed_count * hidden));
+
+    for (uint32_t epoch = 0; epoch < options_.epochs; ++epoch) {
+      Matrix ha = relu_a.Forward(enc_a.Forward(data.x));
+      Matrix hs = relu_s.Forward(enc_s.Forward(s_features));
+
+      // Attribute path reconstruction.
+      Matrix logits_a = dec2.Forward(relu_d_a.Forward(dec1.Forward(ha)));
+      Matrix grad_a;
+      nn::BceWithLogits(logits_a, data.truth, data.observed, &grad_a);
+      Matrix gha = dec1.Backward(relu_d_a.Backward(dec2.Backward(grad_a)));
+
+      // Structure path reconstruction.
+      Matrix logits_s = dec2.Forward(relu_d_s.Forward(dec1.Forward(hs)));
+      Matrix grad_s;
+      nn::BceWithLogits(logits_s, data.truth, data.observed, &grad_s);
+      Matrix ghs = dec1.Backward(relu_d_s.Backward(dec2.Backward(grad_s)));
+
+      // Latent alignment on observed rows: ||ha - hs||^2.
+      for (size_t i = 0; i < ha.rows(); ++i) {
+        if (!data.observed[i]) continue;
+        for (size_t j = 0; j < hidden; ++j) {
+          const double diff = ha(i, j) - hs(i, j);
+          gha(i, j) += 2.0 * align_scale * diff;
+          ghs(i, j) -= 2.0 * align_scale * diff;
+        }
+      }
+      enc_a.Backward(relu_a.Backward(gha));
+      enc_s.Backward(relu_s.Backward(ghs));
+      adam.Step();
+    }
+
+    // Predict: attribute path for observed rows, structure path for test
+    // rows (their own attributes are empty).
+    Matrix hs = relu_s.Forward(enc_s.Forward(s_features));
+    Matrix probs = nn::Sigmoid(dec2.Forward(relu_d_s.Forward(dec1.Forward(hs))));
+    return probs;
+  }
+
+ private:
+  ModelOptions options_;
+};
+
+}  // namespace
+
+std::unique_ptr<CompletionModel> MakeNeighAggre() {
+  return std::make_unique<NeighAggreModel>();
+}
+std::unique_ptr<CompletionModel> MakeVaeModel(const ModelOptions& options) {
+  return std::make_unique<VaeModel>(options);
+}
+std::unique_ptr<CompletionModel> MakeGcn(const ModelOptions& options) {
+  return std::make_unique<TwoLayerGnn<nn::GcnConvLayer, GcnOperator>>(
+      "GCN", options);
+}
+std::unique_ptr<CompletionModel> MakeGat(const ModelOptions& options) {
+  return std::make_unique<TwoLayerGnn<nn::GatConvLayer, GatOperator>>(
+      "GAT", options);
+}
+std::unique_ptr<CompletionModel> MakeGraphSage(const ModelOptions& options) {
+  return std::make_unique<TwoLayerGnn<nn::SageConvLayer, SageOperator>>(
+      "GraphSage", options);
+}
+std::unique_ptr<CompletionModel> MakeSat(const ModelOptions& options) {
+  return std::make_unique<SatModel>(options);
+}
+
+std::vector<std::unique_ptr<CompletionModel>> MakeAllModels(
+    const ModelOptions& options) {
+  std::vector<std::unique_ptr<CompletionModel>> models;
+  models.push_back(MakeNeighAggre());
+  models.push_back(MakeVaeModel(options));
+  models.push_back(MakeGcn(options));
+  models.push_back(MakeGat(options));
+  models.push_back(MakeGraphSage(options));
+  models.push_back(MakeSat(options));
+  return models;
+}
+
+}  // namespace cspm::completion

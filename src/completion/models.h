@@ -1,0 +1,49 @@
+// The completion baselines of Table IV: NeighAggre, VAE, GCN, GAT,
+// GraphSage and a SAT-style dual-encoder model. Each returns an N x A score
+// matrix (higher = more likely attribute).
+#ifndef CSPM_COMPLETION_MODELS_H_
+#define CSPM_COMPLETION_MODELS_H_
+
+#include <memory>
+#include <string>
+
+#include "completion/task.h"
+#include "nn/vae.h"
+
+namespace cspm::completion {
+
+/// Common hyperparameters for the trained models.
+struct ModelOptions {
+  size_t hidden = 64;
+  uint32_t epochs = 120;
+  double learning_rate = 1e-2;
+  uint64_t seed = 7;
+  /// SAT only: weight of the latent-alignment loss.
+  double align_weight = 0.5;
+  /// VAE options (VAE model only).
+  nn::VaeOptions vae;
+};
+
+/// Interface of a completion model.
+class CompletionModel {
+ public:
+  virtual ~CompletionModel() = default;
+  virtual std::string name() const = 0;
+  /// Trains (if applicable) and predicts scores for every node.
+  virtual nn::Matrix PredictScores(const CompletionDataset& data) = 0;
+};
+
+std::unique_ptr<CompletionModel> MakeNeighAggre();
+std::unique_ptr<CompletionModel> MakeVaeModel(const ModelOptions& options);
+std::unique_ptr<CompletionModel> MakeGcn(const ModelOptions& options);
+std::unique_ptr<CompletionModel> MakeGat(const ModelOptions& options);
+std::unique_ptr<CompletionModel> MakeGraphSage(const ModelOptions& options);
+std::unique_ptr<CompletionModel> MakeSat(const ModelOptions& options);
+
+/// All six baselines in the paper's Table IV order.
+std::vector<std::unique_ptr<CompletionModel>> MakeAllModels(
+    const ModelOptions& options);
+
+}  // namespace cspm::completion
+
+#endif  // CSPM_COMPLETION_MODELS_H_

@@ -1,0 +1,95 @@
+#include "completion/task.h"
+
+#include <algorithm>
+
+#include "nn/metrics.h"
+#include "util/rng.h"
+
+namespace cspm::completion {
+
+StatusOr<CompletionDataset> MakeCompletionTask(
+    const graph::AttributedGraph& g, double missing_fraction, uint64_t seed) {
+  if (missing_fraction <= 0.0 || missing_fraction >= 1.0) {
+    return Status::InvalidArgument(
+        "missing_fraction must be in (0, 1)");
+  }
+  const uint32_t n = g.num_vertices();
+  const uint32_t n_missing = std::max<uint32_t>(
+      1, static_cast<uint32_t>(missing_fraction * static_cast<double>(n)));
+  Rng rng(seed);
+  auto missing = rng.SampleWithoutReplacement(n, n_missing);
+  std::sort(missing.begin(), missing.end());
+
+  CompletionDataset data;
+  data.observed.assign(n, true);
+  for (uint32_t v : missing) data.observed[v] = false;
+  data.test_nodes.assign(missing.begin(), missing.end());
+
+  // Masked graph: same topology and same attribute dictionary; empty
+  // attribute sets on test vertices. We keep the dictionary identical by
+  // re-interning every original name.
+  graph::GraphBuilder builder;
+  for (graph::AttrId a = 0; a < g.num_attribute_values(); ++a) {
+    builder.InternAttribute(g.dict().Name(a));
+  }
+  for (graph::VertexId v = 0; v < n; ++v) {
+    if (data.observed[v]) {
+      auto attrs = g.Attributes(v);
+      builder.AddVertexWithIds({attrs.begin(), attrs.end()});
+    } else {
+      builder.AddVertexWithIds({});
+    }
+  }
+  for (graph::VertexId v = 0; v < n; ++v) {
+    for (graph::VertexId w : g.Neighbors(v)) {
+      if (w > v) CSPM_RETURN_IF_ERROR(builder.AddEdge(v, w));
+    }
+  }
+  CSPM_ASSIGN_OR_RETURN(data.masked_graph, std::move(builder).Build());
+
+  const size_t num_attrs = g.num_attribute_values();
+  data.x = nn::Matrix(n, num_attrs);
+  data.truth = nn::Matrix(n, num_attrs);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    for (graph::AttrId a : g.Attributes(v)) {
+      data.truth(v, a) = 1.0;
+      if (data.observed[v]) data.x(v, a) = 1.0;
+    }
+  }
+  return data;
+}
+
+CompletionMetrics EvaluateScores(const CompletionDataset& data,
+                                 const nn::Matrix& scores,
+                                 const std::vector<size_t>& ks) {
+  CompletionMetrics metrics;
+  metrics.ks = ks;
+  metrics.recall.assign(ks.size(), 0.0);
+  metrics.ndcg.assign(ks.size(), 0.0);
+  size_t counted = 0;
+  std::vector<double> row_scores(data.num_attributes());
+  std::vector<bool> row_truth(data.num_attributes());
+  for (graph::VertexId v : data.test_nodes) {
+    bool any_truth = false;
+    for (size_t a = 0; a < data.num_attributes(); ++a) {
+      row_scores[a] = scores(v, a);
+      row_truth[a] = data.truth(v, a) > 0.5;
+      any_truth = any_truth || row_truth[a];
+    }
+    if (!any_truth) continue;
+    ++counted;
+    for (size_t i = 0; i < ks.size(); ++i) {
+      metrics.recall[i] += nn::RecallAtK(row_scores, row_truth, ks[i]);
+      metrics.ndcg[i] += nn::NdcgAtK(row_scores, row_truth, ks[i]);
+    }
+  }
+  if (counted > 0) {
+    for (size_t i = 0; i < ks.size(); ++i) {
+      metrics.recall[i] /= static_cast<double>(counted);
+      metrics.ndcg[i] /= static_cast<double>(counted);
+    }
+  }
+  return metrics;
+}
+
+}  // namespace cspm::completion

@@ -1,0 +1,54 @@
+// The node-attribute-completion task of Section VI-C: a fraction of
+// vertices have ALL their attribute values hidden; models rank attribute
+// values for those vertices, and are scored with Recall@K / NDCG@K.
+#ifndef CSPM_COMPLETION_TASK_H_
+#define CSPM_COMPLETION_TASK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/attributed_graph.h"
+#include "nn/matrix.h"
+#include "util/status.h"
+
+namespace cspm::completion {
+
+/// A completion instance derived from a fully attributed graph.
+struct CompletionDataset {
+  /// The attribute-missing graph: test vertices have empty attribute sets
+  /// (this is what both CSPM and the neural models see).
+  graph::AttributedGraph masked_graph;
+  /// True for vertices whose attributes are visible.
+  std::vector<bool> observed;
+  /// The hidden vertices, in ascending order.
+  std::vector<graph::VertexId> test_nodes;
+  /// N x A binary input matrix; zero rows for test vertices.
+  nn::Matrix x;
+  /// N x A ground-truth matrix (full attributes).
+  nn::Matrix truth;
+
+  size_t num_nodes() const { return x.rows(); }
+  size_t num_attributes() const { return x.cols(); }
+};
+
+/// Hides `missing_fraction` of the vertices (uniformly at random,
+/// deterministic in `seed`).
+StatusOr<CompletionDataset> MakeCompletionTask(
+    const graph::AttributedGraph& g, double missing_fraction, uint64_t seed);
+
+/// Metric bundle at a set of cutoffs.
+struct CompletionMetrics {
+  std::vector<size_t> ks;
+  std::vector<double> recall;  ///< mean Recall@ks[i] over test nodes
+  std::vector<double> ndcg;    ///< mean NDCG@ks[i] over test nodes
+};
+
+/// Averages Recall@K and NDCG@K over the test vertices with non-empty
+/// ground truth.
+CompletionMetrics EvaluateScores(const CompletionDataset& data,
+                                 const nn::Matrix& scores,
+                                 const std::vector<size_t>& ks);
+
+}  // namespace cspm::completion
+
+#endif  // CSPM_COMPLETION_TASK_H_

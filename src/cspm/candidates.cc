@@ -1,0 +1,101 @@
+#include "cspm/candidates.h"
+
+#include <algorithm>
+
+namespace cspm::core {
+
+void CandidateStore::Set(LeafsetId x, LeafsetId y, double gain) {
+  const uint64_t key = PairKey(x, y);
+  const uint64_t version = next_version_++;
+  live_[key] = {gain, version};
+  heap_.push({gain, key, version});
+}
+
+void CandidateStore::Erase(LeafsetId x, LeafsetId y) {
+  live_.erase(PairKey(x, y));
+}
+
+void CandidateStore::DropStale() {
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.top();
+    auto it = live_.find(top.key);
+    if (it != live_.end() && it->second.version == top.version) return;
+    heap_.pop();
+  }
+}
+
+bool CandidateStore::PopBest(LeafsetId* x, LeafsetId* y, double* gain) {
+  DropStale();
+  if (heap_.empty()) return false;
+  HeapEntry top = heap_.top();
+  heap_.pop();
+  live_.erase(top.key);
+  *x = static_cast<LeafsetId>(top.key >> 32);
+  *y = static_cast<LeafsetId>(top.key);
+  *gain = top.gain;
+  return true;
+}
+
+bool CandidateStore::PeekBest(double* gain) {
+  DropStale();
+  if (heap_.empty()) return false;
+  *gain = heap_.top().gain;
+  return true;
+}
+
+void RelatedDict::Link(LeafsetId x, LeafsetId y) {
+  rdict_[x].insert(y);
+  rdict_[y].insert(x);
+}
+
+void RelatedDict::Unlink(LeafsetId x, LeafsetId y) {
+  auto ix = rdict_.find(x);
+  if (ix != rdict_.end()) {
+    ix->second.erase(y);
+    if (ix->second.empty()) rdict_.erase(ix);
+  }
+  auto iy = rdict_.find(y);
+  if (iy != rdict_.end()) {
+    iy->second.erase(x);
+    if (iy->second.empty()) rdict_.erase(iy);
+  }
+}
+
+void RelatedDict::RemoveLeafset(LeafsetId l, std::vector<LeafsetId>* former) {
+  former->clear();
+  auto it = rdict_.find(l);
+  if (it == rdict_.end()) return;
+  former->assign(it->second.begin(), it->second.end());
+  std::sort(former->begin(), former->end());
+  for (LeafsetId rel : *former) {
+    auto rit = rdict_.find(rel);
+    if (rit != rdict_.end()) {
+      rit->second.erase(l);
+      if (rit->second.empty()) rdict_.erase(rit);
+    }
+  }
+  rdict_.erase(l);
+}
+
+const std::unordered_set<LeafsetId>& RelatedDict::RelatedTo(
+    LeafsetId l) const {
+  static const std::unordered_set<LeafsetId> kEmpty;
+  auto it = rdict_.find(l);
+  return it == rdict_.end() ? kEmpty : it->second;
+}
+
+std::vector<LeafsetId> RelatedDict::Intersection(LeafsetId x,
+                                                 LeafsetId y) const {
+  const auto& rx = RelatedTo(x);
+  const auto& ry = RelatedTo(y);
+  const auto& small = rx.size() <= ry.size() ? rx : ry;
+  const auto& large = rx.size() <= ry.size() ? ry : rx;
+  std::vector<LeafsetId> out;
+  for (LeafsetId l : small) {
+    if (large.count(l)) out.push_back(l);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace cspm::core

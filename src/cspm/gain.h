@@ -1,0 +1,51 @@
+// Gain of merging a pair of leafsets (Section IV-E, Eqs. 9-15).
+#ifndef CSPM_CSPM_GAIN_H_
+#define CSPM_CSPM_GAIN_H_
+
+#include "cspm/code_model.h"
+#include "cspm/inverted_database.h"
+
+namespace cspm::core {
+
+/// Which terms the acceptance test uses.
+enum class GainPolicy {
+  /// Pure data gain ΔL of Eq. 9 (the check used by Algorithm 2).
+  kDataOnly,
+  /// ΔL minus the code-table cost delta of materializing the new leafset
+  /// (the "cost increase of the new pattern's leafset ... obtained through
+  /// ST" the paper discusses); the MDL-faithful default.
+  kDataPlusModel,
+};
+
+/// Decomposition of a candidate merge's effect on the description length.
+struct GainResult {
+  /// ΔL = P1 - P2 of Eq. 9, in bits (positive = data term shrinks).
+  double data_gain_bits = 0.0;
+  /// Net change of the CTL model cost in bits (positive = model grows).
+  double model_delta_bits = 0.0;
+  /// Shared coresets with non-empty position intersection.
+  uint32_t cores_with_overlap = 0;
+  /// Sum of xy_e over those coresets.
+  uint64_t total_overlap = 0;
+  /// True if at least one shared coreset has a non-empty intersection; an
+  /// infeasible pair can never be merged (the paper's "gain is equal to
+  /// zero" case).
+  bool feasible = false;
+
+  /// The gain under a policy.
+  double Total(GainPolicy policy) const {
+    return policy == GainPolicy::kDataOnly
+               ? data_gain_bits
+               : data_gain_bits - model_delta_bits;
+  }
+};
+
+/// Computes the exact gain of merging leafsets x and y against the current
+/// inverted database (no mutation). Handles all three cases of Eqs. 12-15
+/// plus the fold-into-existing-union-line extension.
+GainResult ComputeMergeGain(const InvertedDatabase& idb, const CodeModel& cm,
+                            LeafsetId x, LeafsetId y);
+
+}  // namespace cspm::core
+
+#endif  // CSPM_CSPM_GAIN_H_

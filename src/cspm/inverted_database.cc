@@ -1,0 +1,254 @@
+#include "cspm/inverted_database.h"
+
+#include <algorithm>
+
+#include "mdl/codes.h"
+#include "util/check.h"
+
+namespace cspm::core {
+namespace {
+
+// out = a - b for sorted vectors.
+void DifferenceInto(const PosList& a, const PosList& b, PosList* out) {
+  out->clear();
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(*out));
+}
+
+// out = a ∩ b for sorted vectors.
+void IntersectInto(const PosList& a, const PosList& b, PosList* out) {
+  out->clear();
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(*out));
+}
+
+}  // namespace
+
+const PosList* InvertedDatabase::FindLine(CoreId e, LeafsetId l) const {
+  auto it = lines_.find(Key(e, l));
+  return it == lines_.end() ? nullptr : &it->second;
+}
+
+const std::vector<CoreId>& InvertedDatabase::CoresOf(LeafsetId l) const {
+  static const std::vector<CoreId> kEmpty;
+  if (l >= cores_of_.size()) return kEmpty;
+  return cores_of_[l];
+}
+
+void InvertedDatabase::ForEachLine(
+    const std::function<void(CoreId, LeafsetId, const PosList&)>& fn) const {
+  for (const auto& [key, positions] : lines_) {
+    fn(static_cast<CoreId>(key >> 32), static_cast<LeafsetId>(key),
+       positions);
+  }
+}
+
+void InvertedDatabase::ActivateLeafset(LeafsetId l) {
+  auto it = std::lower_bound(active_leafsets_.begin(), active_leafsets_.end(),
+                             l);
+  if (it == active_leafsets_.end() || *it != l) {
+    active_leafsets_.insert(it, l);
+  }
+}
+
+void InvertedDatabase::InsertCoreOf(LeafsetId l, CoreId e) {
+  if (l >= cores_of_.size()) cores_of_.resize(l + 1);
+  auto& cores = cores_of_[l];
+  auto it = std::lower_bound(cores.begin(), cores.end(), e);
+  if (it == cores.end() || *it != e) cores.insert(it, e);
+}
+
+void InvertedDatabase::EraseCoreOf(LeafsetId l, CoreId e) {
+  auto& cores = cores_of_[l];
+  auto it = std::lower_bound(cores.begin(), cores.end(), e);
+  CSPM_DCHECK(it != cores.end() && *it == e);
+  cores.erase(it);
+  if (cores.empty()) {
+    auto ait = std::lower_bound(active_leafsets_.begin(),
+                                active_leafsets_.end(), l);
+    if (ait != active_leafsets_.end() && *ait == l) {
+      active_leafsets_.erase(ait);
+    }
+  }
+}
+
+void InvertedDatabase::AddInitialLine(CoreId e, LeafsetId l, VertexId v) {
+  PosList& positions = lines_[Key(e, l)];
+  // Vertices are visited in increasing order during construction, so the
+  // list stays sorted; a vertex is added at most once per (e, l).
+  CSPM_DCHECK(positions.empty() || positions.back() < v);
+  positions.push_back(v);
+  ++core_line_total_[e];
+}
+
+void InvertedDatabase::Finalize() {
+  num_lines_ = lines_.size();
+  for (const auto& [key, positions] : lines_) {
+    (void)positions;
+    CoreId e = static_cast<CoreId>(key >> 32);
+    LeafsetId l = static_cast<LeafsetId>(key);
+    InsertCoreOf(l, e);
+    ActivateLeafset(l);
+  }
+}
+
+StatusOr<InvertedDatabase> InvertedDatabase::FromGraph(
+    const graph::AttributedGraph& g) {
+  // Single-core-value mode: coreset ids coincide with attribute ids.
+  std::vector<std::vector<AttrId>> coreset_values(g.num_attribute_values());
+  std::vector<std::vector<CoreId>> vertex_coresets(g.num_vertices());
+  for (AttrId a = 0; a < g.num_attribute_values(); ++a) {
+    coreset_values[a] = {a};
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    auto attrs = g.Attributes(v);
+    vertex_coresets[v].assign(attrs.begin(), attrs.end());
+  }
+  return FromGraphWithCoresets(g, std::move(coreset_values), vertex_coresets);
+}
+
+StatusOr<InvertedDatabase> InvertedDatabase::FromGraphWithCoresets(
+    const graph::AttributedGraph& g,
+    std::vector<std::vector<AttrId>> coreset_values,
+    const std::vector<std::vector<CoreId>>& vertex_coresets) {
+  if (vertex_coresets.size() != g.num_vertices()) {
+    return Status::InvalidArgument(
+        "vertex_coresets must have one entry per vertex");
+  }
+  InvertedDatabase idb;
+  idb.coreset_values_ = std::move(coreset_values);
+  idb.coreset_freq_.assign(idb.coreset_values_.size(), 0);
+  idb.core_line_total_.assign(idb.coreset_values_.size(), 0);
+  idb.vertex_coresets_ = vertex_coresets;
+
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (CoreId c : vertex_coresets[v]) {
+      if (c >= idb.coreset_values_.size()) {
+        return Status::InvalidArgument("vertex coreset id out of range");
+      }
+      ++idb.coreset_freq_[c];
+      ++idb.total_coreset_freq_;
+    }
+  }
+
+  // Pre-intern singleton leafsets so that leafset id == attr id for all
+  // attribute values (convenient and deterministic).
+  for (AttrId a = 0; a < g.num_attribute_values(); ++a) {
+    LeafsetId l = idb.leafsets_.Intern({a});
+    CSPM_CHECK(l == a);
+  }
+
+  // Neighbourhood attribute union, computed per vertex with a stamp array.
+  std::vector<uint32_t> stamp(g.num_attribute_values(), 0);
+  uint32_t current = 0;
+  std::vector<AttrId> neighbourhood;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (vertex_coresets[v].empty()) continue;
+    ++current;
+    neighbourhood.clear();
+    for (VertexId w : g.Neighbors(v)) {
+      for (AttrId a : g.Attributes(w)) {
+        if (stamp[a] != current) {
+          stamp[a] = current;
+          neighbourhood.push_back(a);
+        }
+      }
+    }
+    if (neighbourhood.empty()) continue;
+    std::sort(neighbourhood.begin(), neighbourhood.end());
+    for (CoreId c : vertex_coresets[v]) {
+      for (AttrId y : neighbourhood) {
+        idb.AddInitialLine(c, /*leafset=*/y, v);
+      }
+    }
+  }
+  idb.Finalize();
+  return idb;
+}
+
+MergeOutcome InvertedDatabase::MergeLeafsets(LeafsetId x, LeafsetId y) {
+  CSPM_CHECK(x != y);
+  MergeOutcome outcome;
+  const std::vector<CoreId>& cx = CoresOf(x);
+  const std::vector<CoreId>& cy = CoresOf(y);
+  std::vector<CoreId> shared;
+  std::set_intersection(cx.begin(), cx.end(), cy.begin(), cy.end(),
+                        std::back_inserter(shared));
+  if (shared.empty()) return outcome;
+
+  const LeafsetId u = leafsets_.InternUnion(x, y);
+  outcome.merged_id = u;
+  PosList intersection;
+  PosList remainder;
+  for (CoreId e : shared) {
+    auto itx = lines_.find(Key(e, x));
+    auto ity = lines_.find(Key(e, y));
+    CSPM_DCHECK(itx != lines_.end() && ity != lines_.end());
+    IntersectInto(itx->second, ity->second, &intersection);
+    if (intersection.empty()) continue;
+    outcome.no_op = false;
+    ++outcome.cores_touched;
+    outcome.moved_positions += intersection.size();
+
+    // Shrink the x line.
+    DifferenceInto(itx->second, intersection, &remainder);
+    if (remainder.empty()) {
+      lines_.erase(itx);
+      --num_lines_;
+      EraseCoreOf(x, e);
+    } else {
+      itx->second = remainder;
+    }
+    // Shrink the y line.
+    DifferenceInto(ity->second, intersection, &remainder);
+    if (remainder.empty()) {
+      lines_.erase(ity);
+      --num_lines_;
+      EraseCoreOf(y, e);
+    } else {
+      ity->second = remainder;
+    }
+    // Grow (or create) the union line. Positions are disjoint from any
+    // existing union-line positions by the losslessness invariant.
+    PosList& target = lines_[Key(e, u)];
+    if (target.empty()) {
+      ++num_lines_;
+      InsertCoreOf(u, e);
+      ActivateLeafset(u);
+      target = intersection;
+    } else {
+      PosList merged;
+      merged.reserve(target.size() + intersection.size());
+      std::merge(target.begin(), target.end(), intersection.begin(),
+                 intersection.end(), std::back_inserter(merged));
+      target = std::move(merged);
+    }
+    // Two line-occurrences removed, one added: f_e drops by |I|.
+    CSPM_DCHECK(core_line_total_[e] >= intersection.size());
+    core_line_total_[e] -= intersection.size();
+  }
+  if (outcome.no_op) return outcome;
+
+  for (LeafsetId l : {x, y}) {
+    if (CoresOf(l).empty()) {
+      outcome.totally_merged.push_back(l);
+    } else {
+      outcome.partly_merged.push_back(l);
+    }
+  }
+  return outcome;
+}
+
+double InvertedDatabase::DataCostBits() const {
+  double cost = 0.0;
+  for (uint64_t fe : core_line_total_) {
+    cost += mdl::XLog2X(static_cast<double>(fe));
+  }
+  for (const auto& [key, positions] : lines_) {
+    (void)key;
+    cost -= mdl::XLog2X(static_cast<double>(positions.size()));
+  }
+  return cost;
+}
+
+}  // namespace cspm::core

@@ -1,0 +1,140 @@
+// The inverted database representation of Section IV-B: a table of lines
+// (leafset SL, coreset Sc, positions). Initially every line is a basic
+// a-star with a single leaf value; mining proceeds by merging leafset pairs.
+#ifndef CSPM_CSPM_INVERTED_DATABASE_H_
+#define CSPM_CSPM_INVERTED_DATABASE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "cspm/leafset_registry.h"
+#include "cspm/types.h"
+#include "util/status.h"
+
+namespace cspm::core {
+
+/// Outcome of merging the leafsets of a candidate pair.
+struct MergeOutcome {
+  LeafsetId merged_id = 0;
+  /// Members of the merged pair whose last line vanished (Algorithm 4's
+  /// l_total).
+  std::vector<LeafsetId> totally_merged;
+  /// Members of the merged pair that still have lines (l_part).
+  std::vector<LeafsetId> partly_merged;
+  /// Shared coresets with a non-empty position intersection.
+  uint32_t cores_touched = 0;
+  /// Sum of xy_e over touched coresets.
+  uint64_t moved_positions = 0;
+  /// True if no shared coreset had a non-empty intersection (nothing done).
+  bool no_op = true;
+};
+
+/// The inverted database. Lines are keyed by (coreset, leafset); positions
+/// are sorted vertex lists. Per-coreset dynamic totals f_e (the sum of line
+/// frequencies, which the gain formula P1 consumes) are maintained
+/// incrementally.
+class InvertedDatabase {
+ public:
+  /// Builds the single-core-value inverted database: every attribute value
+  /// is a coreset; line (c, {y}) holds every vertex that carries c and has
+  /// a neighbour carrying y.
+  static StatusOr<InvertedDatabase> FromGraph(const graph::AttributedGraph& g);
+
+  /// Builds the multi-value-coreset inverted database: `vertex_coresets[v]`
+  /// lists the coresets covering vertex v (from a Krimp/SLIM cover of the
+  /// vertex-attribute transactions, Section IV-F Step 1) and
+  /// `coreset_values[c]` the attribute values of coreset c.
+  static StatusOr<InvertedDatabase> FromGraphWithCoresets(
+      const graph::AttributedGraph& g,
+      std::vector<std::vector<AttrId>> coreset_values,
+      const std::vector<std::vector<CoreId>>& vertex_coresets);
+
+  // --- structure access ---------------------------------------------------
+
+  size_t num_coresets() const { return coreset_values_.size(); }
+  size_t num_lines() const { return num_lines_; }
+  /// Number of leafsets that currently have at least one line.
+  size_t num_active_leafsets() const { return active_leafsets_.size(); }
+  /// Sorted ids of leafsets with at least one line.
+  const std::vector<LeafsetId>& active_leafsets() const {
+    return active_leafsets_;
+  }
+
+  const LeafsetRegistry& leafsets() const { return leafsets_; }
+  LeafsetRegistry& mutable_leafsets() { return leafsets_; }
+
+  /// Attribute values of coreset c.
+  const std::vector<AttrId>& CoresetValues(CoreId c) const {
+    return coreset_values_[c];
+  }
+  /// Static mapping-table frequency of coreset c (number of vertices it
+  /// covers), used by ST / Code_c (Eq. 5).
+  uint64_t CoresetFrequency(CoreId c) const { return coreset_freq_[c]; }
+  /// Sum of CoresetFrequency over all coresets.
+  uint64_t total_coreset_frequency() const { return total_coreset_freq_; }
+
+  /// Dynamic total f_e = sum of line frequencies under coreset e (the c_j of
+  /// Eq. 8; decreases by xy_e at each merge).
+  uint64_t CoreLineTotal(CoreId e) const { return core_line_total_[e]; }
+
+  /// Positions of line (e, l), or nullptr if the line does not exist.
+  const PosList* FindLine(CoreId e, LeafsetId l) const;
+
+  /// Sorted coresets that have a line with leafset l (empty vector for
+  /// inactive leafsets).
+  const std::vector<CoreId>& CoresOf(LeafsetId l) const;
+
+  /// Iterates over all lines.
+  void ForEachLine(
+      const std::function<void(CoreId, LeafsetId, const PosList&)>& fn) const;
+
+  /// Coresets assigned to each vertex (identity for single-core mode).
+  const std::vector<std::vector<CoreId>>& vertex_coresets() const {
+    return vertex_coresets_;
+  }
+
+  // --- mutation -----------------------------------------------------------
+
+  /// Merges leafsets x and y (Section IV-E): for every shared coreset e with
+  /// a non-empty position intersection I, moves I into the line
+  /// (e, x ∪ y) and shrinks the x / y lines by I. Updates f_e totals and
+  /// active-leafset bookkeeping.
+  MergeOutcome MergeLeafsets(LeafsetId x, LeafsetId y);
+
+  // --- description length -------------------------------------------------
+
+  /// L(I|M) of Eq. 8: sum_e f_e log2 f_e - sum_lines fL log2 fL.
+  double DataCostBits() const;
+
+ private:
+  InvertedDatabase() = default;
+
+  static uint64_t Key(CoreId e, LeafsetId l) {
+    return (static_cast<uint64_t>(e) << 32) | l;
+  }
+
+  void AddInitialLine(CoreId e, LeafsetId l, VertexId v);
+  void ActivateLeafset(LeafsetId l);
+  void InsertCoreOf(LeafsetId l, CoreId e);
+  void EraseCoreOf(LeafsetId l, CoreId e);
+  void Finalize();
+
+  LeafsetRegistry leafsets_;
+  std::vector<std::vector<AttrId>> coreset_values_;
+  std::vector<uint64_t> coreset_freq_;
+  uint64_t total_coreset_freq_ = 0;
+  std::vector<uint64_t> core_line_total_;
+  std::vector<std::vector<CoreId>> vertex_coresets_;
+
+  std::unordered_map<uint64_t, PosList> lines_;
+  /// Per leafset: sorted coresets having a line with it.
+  std::vector<std::vector<CoreId>> cores_of_;
+  std::vector<LeafsetId> active_leafsets_;  // sorted
+  size_t num_lines_ = 0;
+};
+
+}  // namespace cspm::core
+
+#endif  // CSPM_CSPM_INVERTED_DATABASE_H_

@@ -1,0 +1,42 @@
+// Interning of leafsets (sets of leaf attribute values) to dense ids.
+#ifndef CSPM_CSPM_LEAFSET_REGISTRY_H_
+#define CSPM_CSPM_LEAFSET_REGISTRY_H_
+
+#include <map>
+#include <vector>
+
+#include "cspm/types.h"
+
+namespace cspm::core {
+
+/// Interns sorted attribute-value sets. Ids are stable for the lifetime of
+/// the registry.
+class LeafsetRegistry {
+ public:
+  static constexpr LeafsetId kNotFound = static_cast<LeafsetId>(-1);
+
+  /// Interns `values` (must be sorted and duplicate-free); returns its id.
+  LeafsetId Intern(std::vector<AttrId> values);
+
+  /// Id of an existing leafset, or kNotFound.
+  LeafsetId Find(const std::vector<AttrId>& values) const;
+
+  /// Values of an interned leafset.
+  const std::vector<AttrId>& Values(LeafsetId id) const;
+
+  /// Interns the union of two existing leafsets.
+  LeafsetId InternUnion(LeafsetId a, LeafsetId b);
+
+  /// Union of two existing leafsets without interning.
+  std::vector<AttrId> UnionValues(LeafsetId a, LeafsetId b) const;
+
+  size_t size() const { return sets_.size(); }
+
+ private:
+  std::vector<std::vector<AttrId>> sets_;
+  std::map<std::vector<AttrId>, LeafsetId> index_;
+};
+
+}  // namespace cspm::core
+
+#endif  // CSPM_CSPM_LEAFSET_REGISTRY_H_

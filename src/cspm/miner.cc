@@ -1,0 +1,325 @@
+#include "cspm/miner.h"
+
+#include <algorithm>
+
+#include "cspm/candidates.h"
+#include "itemset/transaction_db.h"
+#include "util/timer.h"
+
+namespace cspm::core {
+namespace {
+
+uint64_t PossiblePairs(uint64_t n) { return n < 2 ? 0 : n * (n - 1) / 2; }
+
+// Step 1 for multi-value coresets: SLIM over the vertex-attribute
+// transactions; the accepted patterns (plus in-use singletons) become the
+// coresets, and each vertex is assigned the coresets used by its cover.
+Status BuildSlimCoresets(const graph::AttributedGraph& g,
+                         const itemset::SlimOptions& slim_options,
+                         std::vector<std::vector<AttrId>>* coreset_values,
+                         std::vector<std::vector<CoreId>>* vertex_coresets) {
+  itemset::TransactionDb db =
+      itemset::TransactionDb::FromVertexAttributes(g);
+  auto slim_or = itemset::RunSlim(db, slim_options);
+  if (!slim_or.ok()) return slim_or.status();
+  const itemset::CodeTable& ct = *slim_or.value().code_table;
+
+  // Map in-use code table entries to dense coreset ids.
+  std::vector<size_t> entry_to_core(ct.num_entries(), SIZE_MAX);
+  coreset_values->clear();
+  for (size_t i = 0; i < ct.num_entries(); ++i) {
+    if (ct.entries()[i].usage == 0) continue;
+    entry_to_core[i] = coreset_values->size();
+    coreset_values->emplace_back(ct.entries()[i].items.begin(),
+                                 ct.entries()[i].items.end());
+  }
+  vertex_coresets->assign(g.num_vertices(), {});
+  std::vector<size_t> used;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    used.clear();
+    const auto& t = db.transaction(v);
+    if (t.empty()) continue;
+    ct.CoverTransaction(t, &used);
+    for (size_t idx : used) {
+      (*vertex_coresets)[v].push_back(
+          static_cast<CoreId>(entry_to_core[idx]));
+    }
+    std::sort((*vertex_coresets)[v].begin(), (*vertex_coresets)[v].end());
+  }
+  return Status::OK();
+}
+
+struct SearchContext {
+  const CspmOptions* options;
+  InvertedDatabase* idb;
+  const CodeModel* cm;
+  MiningStats* stats;
+  const WallTimer* timer;
+
+  bool OutOfBudget() const {
+    if (options->max_seconds <= 0.0) return false;
+    if (timer->ElapsedSeconds() < options->max_seconds) return false;
+    stats->hit_time_budget = true;
+    return true;
+  }
+};
+
+// Computes gains for all active pairs, filling the store and rdict.
+// Returns the number of gain computations performed.
+uint64_t GenerateAllCandidates(const SearchContext& ctx,
+                               CandidateStore* store, RelatedDict* rdict) {
+  const auto actives = ctx.idb->active_leafsets();  // copy: stable snapshot
+  uint64_t computations = 0;
+  for (size_t i = 0; i < actives.size(); ++i) {
+    for (size_t j = i + 1; j < actives.size(); ++j) {
+      GainResult gr =
+          ComputeMergeGain(*ctx.idb, *ctx.cm, actives[i], actives[j]);
+      ++computations;
+      if (!gr.feasible) continue;
+      const double total = gr.Total(ctx.options->gain_policy);
+      if (total > ctx.options->min_gain_bits) {
+        store->Set(actives[i], actives[j], total);
+        if (rdict != nullptr) rdict->Link(actives[i], actives[j]);
+      }
+    }
+  }
+  return computations;
+}
+
+void RecordIteration(const SearchContext& ctx, uint64_t iteration,
+                     uint64_t computations, uint64_t possible,
+                     double accepted_gain) {
+  ctx.stats->total_gain_computations += computations;
+  if (!ctx.options->record_iteration_stats) return;
+  IterationStats is;
+  is.iteration = iteration;
+  is.gain_computations = computations;
+  is.possible_pairs = possible;
+  is.accepted_gain_bits = accepted_gain;
+  is.active_leafsets = ctx.idb->num_active_leafsets();
+  is.num_lines = ctx.idb->num_lines();
+  ctx.stats->per_iteration.push_back(is);
+}
+
+// CSPM-Basic main loop (Algorithm 1): full candidate regeneration.
+void RunBasicSearch(const SearchContext& ctx) {
+  uint64_t iteration = 0;
+  for (;;) {
+    if (ctx.options->max_iterations &&
+        iteration >= ctx.options->max_iterations) {
+      break;
+    }
+    if (ctx.OutOfBudget()) break;
+    const auto actives = ctx.idb->active_leafsets();
+    const uint64_t possible = PossiblePairs(actives.size());
+    uint64_t computations = 0;
+    double best_gain = ctx.options->min_gain_bits;
+    LeafsetId best_x = 0;
+    LeafsetId best_y = 0;
+    bool found = false;
+    for (size_t i = 0; i < actives.size(); ++i) {
+      for (size_t j = i + 1; j < actives.size(); ++j) {
+        GainResult gr =
+            ComputeMergeGain(*ctx.idb, *ctx.cm, actives[i], actives[j]);
+        ++computations;
+        if (!gr.feasible) continue;
+        const double total = gr.Total(ctx.options->gain_policy);
+        if (total > best_gain) {
+          best_gain = total;
+          best_x = actives[i];
+          best_y = actives[j];
+          found = true;
+        }
+      }
+    }
+    if (!found) {
+      ctx.stats->total_gain_computations += computations;
+      break;
+    }
+    MergeOutcome outcome = ctx.idb->MergeLeafsets(best_x, best_y);
+    (void)outcome;
+    ++iteration;
+    RecordIteration(ctx, iteration, computations, possible, best_gain);
+  }
+  ctx.stats->iterations = iteration;
+}
+
+// CSPM-Partial main loop (Algorithms 3-4): incremental candidate updates
+// through the related-leafset dictionary.
+void RunPartialSearch(const SearchContext& ctx) {
+  CandidateStore store;
+  RelatedDict rdict;
+  {
+    const uint64_t possible =
+        PossiblePairs(ctx.idb->num_active_leafsets());
+    const uint64_t computations = GenerateAllCandidates(ctx, &store, &rdict);
+    RecordIteration(ctx, /*iteration=*/0, computations, possible,
+                    /*accepted_gain=*/0.0);
+  }
+
+  uint64_t iteration = 0;
+  std::vector<LeafsetId> scratch;
+  while (!store.empty() && !rdict.empty()) {
+    if (ctx.options->max_iterations &&
+        iteration >= ctx.options->max_iterations) {
+      break;
+    }
+    if (ctx.OutOfBudget()) break;
+    const uint64_t possible =
+        PossiblePairs(ctx.idb->num_active_leafsets());
+    uint64_t computations = 0;
+
+    LeafsetId x = 0;
+    LeafsetId y = 0;
+    double stored_gain = 0.0;
+    if (!store.PopBest(&x, &y, &stored_gain)) break;
+
+    double gain = stored_gain;
+    if (ctx.options->revalidate_on_pop) {
+      GainResult gr = ComputeMergeGain(*ctx.idb, *ctx.cm, x, y);
+      ++computations;
+      gain = gr.Total(ctx.options->gain_policy);
+      if (!gr.feasible || gain <= ctx.options->min_gain_bits) {
+        rdict.Unlink(x, y);
+        ctx.stats->total_gain_computations += computations;
+        continue;  // stale candidate; not an accepted iteration
+      }
+    }
+
+    // Snapshot relations before mutating rdict (Algorithm 4 uses the
+    // pre-merge relation sets).
+    std::vector<LeafsetId> related_both = rdict.Intersection(x, y);
+    std::vector<LeafsetId> rel_x(rdict.RelatedTo(x).begin(),
+                                 rdict.RelatedTo(x).end());
+    std::vector<LeafsetId> rel_y(rdict.RelatedTo(y).begin(),
+                                 rdict.RelatedTo(y).end());
+
+    MergeOutcome outcome = ctx.idb->MergeLeafsets(x, y);
+    if (outcome.no_op) {
+      // Cannot happen when revalidation is on; defensive for the off case.
+      rdict.Unlink(x, y);
+      ctx.stats->total_gain_computations += computations;
+      continue;
+    }
+    ++iteration;
+    rdict.Unlink(x, y);
+
+    // (1) Remove totally merged leafsets everywhere.
+    for (LeafsetId l : outcome.totally_merged) {
+      rdict.RemoveLeafset(l, &scratch);
+      for (LeafsetId rel : scratch) store.Erase(l, rel);
+    }
+
+    // (2) Score the new pattern against leafsets related to both halves.
+    const LeafsetId u = outcome.merged_id;
+    for (LeafsetId rel : related_both) {
+      if (rel == x || rel == y || rel == u) continue;
+      if (ctx.idb->CoresOf(rel).empty()) continue;  // vanished meanwhile
+      GainResult gr = ComputeMergeGain(*ctx.idb, *ctx.cm, rel, u);
+      ++computations;
+      if (gr.feasible) {
+        const double total = gr.Total(ctx.options->gain_policy);
+        if (total > ctx.options->min_gain_bits) {
+          store.Set(rel, u, total);
+          rdict.Link(rel, u);
+        }
+      }
+    }
+
+    // (3) Update pairs influenced through partly merged leafsets.
+    for (LeafsetId l : outcome.partly_merged) {
+      const std::vector<LeafsetId>& snapshot = (l == x) ? rel_x : rel_y;
+      for (LeafsetId rel : snapshot) {
+        if (rel == x || rel == y) continue;
+        if (ctx.idb->CoresOf(rel).empty() || ctx.idb->CoresOf(l).empty()) {
+          continue;
+        }
+        GainResult gr = ComputeMergeGain(*ctx.idb, *ctx.cm, l, rel);
+        ++computations;
+        const double total = gr.Total(ctx.options->gain_policy);
+        if (gr.feasible && total > ctx.options->min_gain_bits) {
+          store.Set(l, rel, total);
+        } else {
+          store.Erase(l, rel);
+          rdict.Unlink(l, rel);
+        }
+      }
+    }
+    RecordIteration(ctx, iteration, computations, possible, gain);
+  }
+  ctx.stats->iterations = iteration;
+}
+
+}  // namespace
+
+StatusOr<CspmModel> CspmMiner::Mine(const graph::AttributedGraph& g) const {
+  CSPM_ASSIGN_OR_RETURN(MineArtifacts artifacts, MineWithArtifacts(g));
+  return std::move(artifacts.model);
+}
+
+StatusOr<CspmMiner::MineArtifacts> CspmMiner::MineWithArtifacts(
+    const graph::AttributedGraph& g) const {
+  WallTimer timer;
+
+  StatusOr<InvertedDatabase> idb_or = [&]() -> StatusOr<InvertedDatabase> {
+    if (!options_.multi_value_coresets) {
+      return InvertedDatabase::FromGraph(g);
+    }
+    std::vector<std::vector<AttrId>> coreset_values;
+    std::vector<std::vector<CoreId>> vertex_coresets;
+    CSPM_RETURN_IF_ERROR(BuildSlimCoresets(g, options_.slim, &coreset_values,
+                                           &vertex_coresets));
+    return InvertedDatabase::FromGraphWithCoresets(
+        g, std::move(coreset_values), vertex_coresets);
+  }();
+  if (!idb_or.ok()) return idb_or.status();
+  InvertedDatabase idb = std::move(idb_or).value();
+  const CodeModel cm(g, idb);
+
+  CspmModel model;
+  model.stats.initial_dl_bits = cm.TotalDescriptionLengthBits(idb);
+  model.stats.initial_leafsets = idb.num_active_leafsets();
+  model.stats.initial_lines = idb.num_lines();
+
+  SearchContext ctx{&options_, &idb, &cm, &model.stats, &timer};
+  if (options_.strategy == SearchStrategy::kBasic) {
+    RunBasicSearch(ctx);
+  } else {
+    RunPartialSearch(ctx);
+  }
+
+  model.stats.final_dl_bits = cm.TotalDescriptionLengthBits(idb);
+  model.stats.final_leafsets = idb.num_active_leafsets();
+  model.stats.final_lines = idb.num_lines();
+
+  // Extract a-stars from the final inverted database.
+  idb.ForEachLine([&](CoreId e, LeafsetId l, const PosList& positions) {
+    AStar s;
+    s.core_values = idb.CoresetValues(e);
+    s.leaf_values = idb.leafsets().Values(l);
+    s.frequency = positions.size();
+    s.core_total = idb.CoreLineTotal(e);
+    s.coreset_frequency = idb.CoresetFrequency(e);
+    s.code_length_bits =
+        cm.CoreCodeLength(e) +
+        CodeModel::LeafCodeLength(s.frequency, s.core_total);
+    if (options_.include_singleton_leafsets || s.leaf_values.size() >= 2) {
+      model.astars.push_back(std::move(s));
+    }
+  });
+  std::sort(model.astars.begin(), model.astars.end(),
+            [](const AStar& a, const AStar& b) {
+              if (a.code_length_bits != b.code_length_bits) {
+                return a.code_length_bits < b.code_length_bits;
+              }
+              if (a.core_values != b.core_values) {
+                return a.core_values < b.core_values;
+              }
+              return a.leaf_values < b.leaf_values;
+            });
+
+  model.stats.runtime_seconds = timer.ElapsedSeconds();
+  return MineArtifacts{std::move(model), std::move(idb)};
+}
+
+}  // namespace cspm::core

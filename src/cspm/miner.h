@@ -1,0 +1,76 @@
+// The CSPM algorithm (Section IV-F): parameter-free mining of compressing
+// a-star patterns. Two search strategies are provided:
+//  - kBasic:   Algorithms 1-2 — regenerate all candidate pair gains after
+//              every merge.
+//  - kPartial: Algorithms 3-4 — maintain candidates incrementally through
+//              the related-leafset dictionary (rdict).
+#ifndef CSPM_CSPM_MINER_H_
+#define CSPM_CSPM_MINER_H_
+
+#include "cspm/gain.h"
+#include "cspm/inverted_database.h"
+#include "cspm/model.h"
+#include "itemset/slim.h"
+#include "util/status.h"
+
+namespace cspm::core {
+
+enum class SearchStrategy { kBasic, kPartial };
+
+struct CspmOptions {
+  SearchStrategy strategy = SearchStrategy::kPartial;
+  GainPolicy gain_policy = GainPolicy::kDataPlusModel;
+
+  /// When true, Step 1 mines multi-value coresets from the vertex-attribute
+  /// transactions with SLIM (Section IV-F); otherwise every attribute value
+  /// is its own coreset.
+  bool multi_value_coresets = false;
+  itemset::SlimOptions slim;
+
+  /// Safety valve; 0 = run to convergence (the parameter-free default).
+  uint64_t max_iterations = 0;
+
+  /// Wall-clock budget in seconds; 0 = unlimited. When exceeded the search
+  /// stops early and MiningStats::hit_time_budget is set (used by the
+  /// runtime benches to bound CSPM-Basic on large inputs).
+  double max_seconds = 0.0;
+
+  /// A merge must improve the DL by strictly more than this (bits).
+  double min_gain_bits = 1e-9;
+
+  /// Record per-iteration stats (Fig. 5 instrumentation).
+  bool record_iteration_stats = true;
+
+  /// Partial only: recompute the popped pair's gain before merging (guards
+  /// against f_e drift making a stored gain stale; see DESIGN.md).
+  bool revalidate_on_pop = true;
+
+  /// Keep single-leaf-value a-stars in the returned model. They are part of
+  /// the code table; disabling returns only merged patterns.
+  bool include_singleton_leafsets = true;
+};
+
+/// Runs CSPM on an attributed graph.
+class CspmMiner {
+ public:
+  explicit CspmMiner(CspmOptions options) : options_(options) {}
+
+  /// Mines a model. The graph must outlive the call (not the result).
+  StatusOr<CspmModel> Mine(const graph::AttributedGraph& g) const;
+
+  /// Mines and also exposes the final inverted database + code model
+  /// (used by tests and the losslessness verifier).
+  struct MineArtifacts {
+    CspmModel model;
+    InvertedDatabase inverted_db;
+  };
+  StatusOr<MineArtifacts> MineWithArtifacts(
+      const graph::AttributedGraph& g) const;
+
+ private:
+  CspmOptions options_;
+};
+
+}  // namespace cspm::core
+
+#endif  // CSPM_CSPM_MINER_H_

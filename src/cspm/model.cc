@@ -1,0 +1,51 @@
+#include "cspm/model.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace cspm::core {
+namespace {
+
+std::string RenderValues(const std::vector<AttrId>& values,
+                         const graph::AttributeDictionary& dict) {
+  std::string out = "{";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i) out += ",";
+    out += dict.Name(values[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string AStar::ToString(const graph::AttributeDictionary& dict) const {
+  return StrFormat(
+      "(%s -> %s) fL=%llu fc=%llu code=%.3f bits",
+      RenderValues(core_values, dict).c_str(),
+      RenderValues(leaf_values, dict).c_str(),
+      static_cast<unsigned long long>(frequency),
+      static_cast<unsigned long long>(core_total), code_length_bits);
+}
+
+std::vector<AStar> CspmModel::PatternsWithMinLeaves(
+    size_t min_leaf_values) const {
+  std::vector<AStar> out;
+  for (const auto& s : astars) {
+    if (s.leaf_values.size() >= min_leaf_values) out.push_back(s);
+  }
+  return out;
+}
+
+std::string CspmModel::Describe(const graph::AttributeDictionary& dict,
+                                size_t top_k) const {
+  std::string out;
+  size_t n = std::min(top_k, astars.size());
+  for (size_t i = 0; i < n; ++i) {
+    out += StrFormat("%3zu. ", i + 1) + astars[i].ToString(dict) + "\n";
+  }
+  return out;
+}
+
+}  // namespace cspm::core

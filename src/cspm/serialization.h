@@ -1,0 +1,37 @@
+// Text serialization of mined CSPM models, so a model can be mined once
+// and reused (e.g. by the completion scoring service) without re-mining.
+//
+// Format ("cspm model v1"):
+//   # comments
+//   stats <initial_dl> <final_dl> <iterations>
+//   astar <code_length> <fL> <f_e> <fc> | <core names...> | <leaf names...>
+#ifndef CSPM_CSPM_SERIALIZATION_H_
+#define CSPM_CSPM_SERIALIZATION_H_
+
+#include <string>
+
+#include "cspm/model.h"
+#include "util/status.h"
+
+namespace cspm::core {
+
+/// Serializes a model; attribute ids are spelled with `dict` names.
+std::string ModelToText(const CspmModel& model,
+                        const graph::AttributeDictionary& dict);
+
+/// Parses a model. Attribute names are resolved against (and must already
+/// exist in) `dict` — use the dictionary of the graph the model was mined
+/// on.
+StatusOr<CspmModel> ModelFromText(const std::string& text,
+                                  const graph::AttributeDictionary& dict);
+
+/// File convenience wrappers.
+Status SaveModelToFile(const CspmModel& model,
+                       const graph::AttributeDictionary& dict,
+                       const std::string& path);
+StatusOr<CspmModel> LoadModelFromFile(const std::string& path,
+                                      const graph::AttributeDictionary& dict);
+
+}  // namespace cspm::core
+
+#endif  // CSPM_CSPM_SERIALIZATION_H_

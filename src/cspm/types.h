@@ -1,0 +1,28 @@
+// Shared id types of the CSPM core.
+#ifndef CSPM_CSPM_TYPES_H_
+#define CSPM_CSPM_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/attribute_dictionary.h"
+#include "graph/attributed_graph.h"
+
+namespace cspm::core {
+
+using graph::AttrId;
+using graph::VertexId;
+
+/// Dense id of an interned leafset (set of leaf attribute values).
+using LeafsetId = uint32_t;
+/// Dense id of a coreset (set of core attribute values; a single value in
+/// the default single-core configuration).
+using CoreId = uint32_t;
+
+/// Sorted list of vertex positions (the third column of the inverted
+/// database).
+using PosList = std::vector<VertexId>;
+
+}  // namespace cspm::core
+
+#endif  // CSPM_CSPM_TYPES_H_

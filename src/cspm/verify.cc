@@ -1,0 +1,64 @@
+#include "cspm/verify.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace cspm::core {
+
+Status VerifyLossless(const graph::AttributedGraph& g,
+                      const InvertedDatabase& idb) {
+  // Count, for every (coreset, vertex, leaf value) triple that should be
+  // represented, how many lines cover it.
+  std::vector<AttrId> neighbourhood;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    neighbourhood.clear();
+    for (VertexId w : g.Neighbors(v)) {
+      auto attrs = g.Attributes(w);
+      neighbourhood.insert(neighbourhood.end(), attrs.begin(), attrs.end());
+    }
+    std::sort(neighbourhood.begin(), neighbourhood.end());
+    neighbourhood.erase(
+        std::unique(neighbourhood.begin(), neighbourhood.end()),
+        neighbourhood.end());
+    if (neighbourhood.empty()) continue;
+
+    for (CoreId c : idb.vertex_coresets()[v]) {
+      // For each leaf value y in the neighbourhood: count lines under c
+      // whose leafset contains y and whose positions contain v.
+      std::vector<uint32_t> cover_count(neighbourhood.size(), 0);
+      // Scan all lines of coreset c that contain v. We iterate active
+      // leafsets having a line with c.
+      for (LeafsetId l = 0;
+           l < static_cast<LeafsetId>(idb.leafsets().size()); ++l) {
+        const PosList* positions = idb.FindLine(c, l);
+        if (positions == nullptr) continue;
+        if (!std::binary_search(positions->begin(), positions->end(), v)) {
+          continue;
+        }
+        for (AttrId y : idb.leafsets().Values(l)) {
+          auto it = std::lower_bound(neighbourhood.begin(),
+                                     neighbourhood.end(), y);
+          if (it == neighbourhood.end() || *it != y) {
+            return Status::Internal(StrFormat(
+                "line (core=%u, leafset=%u) places vertex %u but leaf "
+                "value %u is not in its neighbourhood",
+                c, l, v, y));
+          }
+          ++cover_count[static_cast<size_t>(it - neighbourhood.begin())];
+        }
+      }
+      for (size_t i = 0; i < neighbourhood.size(); ++i) {
+        if (cover_count[i] != 1) {
+          return Status::Internal(StrFormat(
+              "vertex %u, coreset %u, leaf value %u covered %u times "
+              "(expected exactly 1)",
+              v, c, neighbourhood[i], cover_count[i]));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace cspm::core

@@ -1,0 +1,23 @@
+// Losslessness verification of the inverted database (the compression is a
+// means, not the goal — but it must remain lossless at every step, Section
+// IV-A). The invariant: for every vertex v, every coreset c assigned to v,
+// and every attribute value y appearing on a neighbour of v, EXACTLY ONE
+// line (SL ∋ y, c, P ∋ v) exists.
+#ifndef CSPM_CSPM_VERIFY_H_
+#define CSPM_CSPM_VERIFY_H_
+
+#include "cspm/inverted_database.h"
+#include "graph/attributed_graph.h"
+#include "util/status.h"
+
+namespace cspm::core {
+
+/// Returns OK iff the invariant holds for every (vertex, coreset,
+/// leaf-value) triple of the graph; otherwise an Internal error naming the
+/// first violation.
+Status VerifyLossless(const graph::AttributedGraph& g,
+                      const InvertedDatabase& idb);
+
+}  // namespace cspm::core
+
+#endif  // CSPM_CSPM_VERIFY_H_

@@ -1,0 +1,26 @@
+#include "graph/attribute_dictionary.h"
+
+#include "util/check.h"
+
+namespace cspm::graph {
+
+AttrId AttributeDictionary::Intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  AttrId id = static_cast<AttrId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+AttrId AttributeDictionary::Find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? kNotFound : it->second;
+}
+
+const std::string& AttributeDictionary::Name(AttrId id) const {
+  CSPM_CHECK(id < names_.size());
+  return names_[id];
+}
+
+}  // namespace cspm::graph

@@ -1,0 +1,40 @@
+// Bidirectional mapping between human-readable attribute-value names and
+// dense integer ids used everywhere in the library.
+#ifndef CSPM_GRAPH_ATTRIBUTE_DICTIONARY_H_
+#define CSPM_GRAPH_ATTRIBUTE_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace cspm::graph {
+
+/// Dense id of a nominal attribute value (e.g. "ICDM", "rock", "Link_down").
+using AttrId = uint32_t;
+
+/// Interns attribute-value names to dense AttrIds.
+class AttributeDictionary {
+ public:
+  /// Returns the id for `name`, interning it if unseen.
+  AttrId Intern(std::string_view name);
+
+  /// Returns the id for `name`, or kNotFound if never interned.
+  static constexpr AttrId kNotFound = static_cast<AttrId>(-1);
+  AttrId Find(std::string_view name) const;
+
+  /// Name for an interned id. id must be < size().
+  const std::string& Name(AttrId id) const;
+
+  size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, AttrId> index_;
+};
+
+}  // namespace cspm::graph
+
+#endif  // CSPM_GRAPH_ATTRIBUTE_DICTIONARY_H_

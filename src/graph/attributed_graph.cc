@@ -1,0 +1,150 @@
+#include "graph/attributed_graph.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace cspm::graph {
+
+bool AttributedGraph::HasAttribute(VertexId v, AttrId a) const {
+  auto attrs = Attributes(v);
+  return std::binary_search(attrs.begin(), attrs.end(), a);
+}
+
+bool AttributedGraph::HasEdge(VertexId u, VertexId v) const {
+  auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+bool AttributedGraph::IsConnected() const {
+  const VertexId n = num_vertices();
+  if (n == 0) return true;
+  std::vector<bool> seen(n, false);
+  std::queue<VertexId> q;
+  q.push(0);
+  seen[0] = true;
+  VertexId visited = 1;
+  while (!q.empty()) {
+    VertexId v = q.front();
+    q.pop();
+    for (VertexId w : Neighbors(v)) {
+      if (!seen[w]) {
+        seen[w] = true;
+        ++visited;
+        q.push(w);
+      }
+    }
+  }
+  return visited == n;
+}
+
+VertexId GraphBuilder::AddVertex(
+    const std::vector<std::string>& attribute_names) {
+  std::vector<AttrId> ids;
+  ids.reserve(attribute_names.size());
+  for (const auto& name : attribute_names) ids.push_back(dict_.Intern(name));
+  return AddVertexWithIds(std::move(ids));
+}
+
+VertexId GraphBuilder::AddVertexWithIds(std::vector<AttrId> attribute_ids) {
+  std::sort(attribute_ids.begin(), attribute_ids.end());
+  attribute_ids.erase(
+      std::unique(attribute_ids.begin(), attribute_ids.end()),
+      attribute_ids.end());
+  vertex_attrs_.push_back(std::move(attribute_ids));
+  return static_cast<VertexId>(vertex_attrs_.size() - 1);
+}
+
+Status GraphBuilder::AddVertexAttribute(VertexId v,
+                                        std::string_view attribute_name) {
+  if (v >= vertex_attrs_.size()) {
+    return Status::InvalidArgument("AddVertexAttribute: unknown vertex");
+  }
+  AttrId a = dict_.Intern(attribute_name);
+  auto& attrs = vertex_attrs_[v];
+  auto it = std::lower_bound(attrs.begin(), attrs.end(), a);
+  if (it == attrs.end() || *it != a) attrs.insert(it, a);
+  return Status::OK();
+}
+
+Status GraphBuilder::AddEdge(VertexId u, VertexId v) {
+  if (u == v) {
+    return Status::InvalidArgument(
+        StrFormat("self-loop on vertex %u rejected", u));
+  }
+  if (u >= vertex_attrs_.size() || v >= vertex_attrs_.size()) {
+    return Status::InvalidArgument("AddEdge: unknown endpoint");
+  }
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+  return Status::OK();
+}
+
+StatusOr<AttributedGraph> GraphBuilder::Build(bool require_connected) && {
+  const VertexId n = static_cast<VertexId>(vertex_attrs_.size());
+  if (n == 0) return Status::InvalidArgument("graph has no vertices");
+
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  AttributedGraph g;
+  g.dict_ = std::move(dict_);
+
+  // CSR adjacency (each undirected edge stored in both directions).
+  std::vector<uint32_t> degree(n, 0);
+  for (const auto& [u, v] : edges_) {
+    ++degree[u];
+    ++degree[v];
+  }
+  g.adj_offsets_.assign(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    g.adj_offsets_[v + 1] = g.adj_offsets_[v] + degree[v];
+  }
+  g.adjacency_.resize(2 * edges_.size());
+  std::vector<uint64_t> cursor(g.adj_offsets_.begin(),
+                               g.adj_offsets_.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    g.adjacency_[cursor[u]++] = v;
+    g.adjacency_[cursor[v]++] = u;
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    std::sort(g.adjacency_.begin() + static_cast<long>(g.adj_offsets_[v]),
+              g.adjacency_.begin() + static_cast<long>(g.adj_offsets_[v + 1]));
+  }
+
+  // CSR vertex -> attributes (already sorted & deduped per vertex).
+  g.attr_offsets_.assign(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    g.attr_offsets_[v + 1] = g.attr_offsets_[v] + vertex_attrs_[v].size();
+  }
+  g.attrs_.reserve(g.attr_offsets_[n]);
+  for (VertexId v = 0; v < n; ++v) {
+    g.attrs_.insert(g.attrs_.end(), vertex_attrs_[v].begin(),
+                    vertex_attrs_[v].end());
+  }
+
+  // Inverted attribute index.
+  const size_t num_attrs = g.dict_.size();
+  std::vector<uint64_t> attr_counts(num_attrs, 0);
+  for (AttrId a : g.attrs_) ++attr_counts[a];
+  g.attr_index_offsets_.assign(num_attrs + 1, 0);
+  for (size_t a = 0; a < num_attrs; ++a) {
+    g.attr_index_offsets_[a + 1] = g.attr_index_offsets_[a] + attr_counts[a];
+  }
+  g.attr_vertices_.resize(g.attrs_.size());
+  std::vector<uint64_t> acur(g.attr_index_offsets_.begin(),
+                             g.attr_index_offsets_.end() - 1);
+  for (VertexId v = 0; v < n; ++v) {
+    for (AttrId a : g.Attributes(v)) g.attr_vertices_[acur[a]++] = v;
+  }
+  // Vertex ids are appended in increasing order, so each bucket is sorted.
+
+  if (require_connected && !g.IsConnected()) {
+    return Status::FailedPrecondition("graph is not connected");
+  }
+  return g;
+}
+
+}  // namespace cspm::graph

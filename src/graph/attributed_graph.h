@@ -1,0 +1,128 @@
+// Attributed graph G = (A, lambda, V, E): undirected simple graph with a
+// set of nominal attribute values per vertex (Section III of the paper).
+// Immutable CSR representation built through GraphBuilder.
+#ifndef CSPM_GRAPH_ATTRIBUTED_GRAPH_H_
+#define CSPM_GRAPH_ATTRIBUTED_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/attribute_dictionary.h"
+#include "util/status.h"
+
+namespace cspm::graph {
+
+using VertexId = uint32_t;
+
+/// Immutable attributed graph with CSR adjacency and CSR vertex->attribute
+/// table. Neighbour and attribute lists are sorted ascending.
+class AttributedGraph {
+ public:
+  /// Default-constructs an empty graph (0 vertices); useful as a value
+  /// member before assignment. All accessors are safe on it.
+  AttributedGraph()
+      : adj_offsets_{0}, attr_offsets_{0}, attr_index_offsets_{0} {}
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(adj_offsets_.size() - 1);
+  }
+  /// Number of undirected edges.
+  uint64_t num_edges() const { return adjacency_.size() / 2; }
+  /// Number of distinct attribute values in the dictionary.
+  size_t num_attribute_values() const { return dict_.size(); }
+
+  /// Sorted neighbours of v.
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return {adjacency_.data() + adj_offsets_[v],
+            adj_offsets_[v + 1] - adj_offsets_[v]};
+  }
+  uint32_t Degree(VertexId v) const {
+    return static_cast<uint32_t>(adj_offsets_[v + 1] - adj_offsets_[v]);
+  }
+
+  /// Sorted attribute values of v.
+  std::span<const AttrId> Attributes(VertexId v) const {
+    return {attrs_.data() + attr_offsets_[v],
+            attr_offsets_[v + 1] - attr_offsets_[v]};
+  }
+
+  /// True if v carries attribute value a (binary search).
+  bool HasAttribute(VertexId v, AttrId a) const;
+
+  /// True if {u, v} is an edge (binary search).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Sorted vertices carrying attribute value a (inverted attribute index).
+  std::span<const VertexId> VerticesWithAttribute(AttrId a) const {
+    return {attr_vertices_.data() + attr_index_offsets_[a],
+            attr_index_offsets_[a + 1] - attr_index_offsets_[a]};
+  }
+
+  /// Number of (vertex, attribute-value) occurrences, i.e. sum over vertices
+  /// of attribute-set size. This is the total used by the standard code
+  /// table ST.
+  uint64_t total_attribute_occurrences() const { return attrs_.size(); }
+
+  /// Occurrence count of a single attribute value.
+  uint64_t AttributeFrequency(AttrId a) const {
+    return attr_index_offsets_[a + 1] - attr_index_offsets_[a];
+  }
+
+  const AttributeDictionary& dict() const { return dict_; }
+
+  /// True if the graph is connected (BFS from vertex 0); an empty graph is
+  /// connected by convention.
+  bool IsConnected() const;
+
+ private:
+  friend class GraphBuilder;
+
+  AttributeDictionary dict_;
+  std::vector<uint64_t> adj_offsets_;   // size V+1
+  std::vector<VertexId> adjacency_;     // 2|E|
+  std::vector<uint64_t> attr_offsets_;  // size V+1
+  std::vector<AttrId> attrs_;
+  std::vector<uint64_t> attr_index_offsets_;  // size |A|+1
+  std::vector<VertexId> attr_vertices_;
+};
+
+/// Mutable builder for AttributedGraph. Duplicate edges are deduplicated;
+/// self-loops are rejected (the paper's input model forbids them).
+class GraphBuilder {
+ public:
+  /// Adds a vertex with the given attribute-value names; returns its id.
+  VertexId AddVertex(const std::vector<std::string>& attribute_names);
+
+  /// Adds a vertex with pre-interned attribute ids; returns its id.
+  VertexId AddVertexWithIds(std::vector<AttrId> attribute_ids);
+
+  /// Adds an attribute value to an existing vertex.
+  Status AddVertexAttribute(VertexId v, std::string_view attribute_name);
+
+  /// Adds an undirected edge. Fails on self-loops or unknown endpoints.
+  Status AddEdge(VertexId u, VertexId v);
+
+  /// Interns an attribute name without attaching it to a vertex.
+  AttrId InternAttribute(std::string_view name) {
+    return dict_.Intern(name);
+  }
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(vertex_attrs_.size());
+  }
+
+  /// Finalizes into an immutable graph. `require_connected` enforces the
+  /// paper's connectivity assumption.
+  StatusOr<AttributedGraph> Build(bool require_connected = false) &&;
+
+ private:
+  AttributeDictionary dict_;
+  std::vector<std::vector<AttrId>> vertex_attrs_;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+};
+
+}  // namespace cspm::graph
+
+#endif  // CSPM_GRAPH_ATTRIBUTED_GRAPH_H_

@@ -1,0 +1,231 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace cspm::graph {
+namespace {
+
+void AttachZipfAttributes(GraphBuilder* builder, uint32_t n,
+                          uint32_t vocabulary, uint32_t attrs_per_vertex,
+                          Rng* rng) {
+  for (uint32_t v = 0; v < n; ++v) {
+    std::vector<AttrId> ids;
+    ids.reserve(attrs_per_vertex);
+    for (uint32_t k = 0; k < attrs_per_vertex; ++k) {
+      uint64_t a = rng->Zipf(vocabulary, 1.2);
+      ids.push_back(
+          builder->InternAttribute(StrFormat("attr_%u", static_cast<uint32_t>(a))));
+    }
+    builder->AddVertexWithIds(std::move(ids));
+  }
+}
+
+}  // namespace
+
+StatusOr<AttributedGraph> ErdosRenyi(uint32_t n, double p,
+                                     uint32_t vocabulary,
+                                     uint32_t attrs_per_vertex, Rng* rng) {
+  if (n == 0) return Status::InvalidArgument("ErdosRenyi: n must be > 0");
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument("ErdosRenyi: p must be in [0,1]");
+  }
+  GraphBuilder builder;
+  AttachZipfAttributes(&builder, n, vocabulary, attrs_per_vertex, rng);
+  // Geometric skipping for sparse graphs.
+  if (p > 0.0) {
+    uint64_t total_pairs = static_cast<uint64_t>(n) * (n - 1) / 2;
+    auto pair_of = [n](uint64_t idx) {
+      // Row-major enumeration of the strict upper triangle.
+      uint64_t u = 0;
+      uint64_t remaining = idx;
+      uint64_t row_len = n - 1;
+      while (remaining >= row_len) {
+        remaining -= row_len;
+        ++u;
+        --row_len;
+      }
+      return std::make_pair(static_cast<VertexId>(u),
+                            static_cast<VertexId>(u + 1 + remaining));
+    };
+    uint64_t idx = 0;
+    while (idx < total_pairs) {
+      if (p >= 1.0) {
+        auto [u, v] = pair_of(idx);
+        CSPM_RETURN_IF_ERROR(builder.AddEdge(u, v));
+        ++idx;
+        continue;
+      }
+      double u01 = rng->UniformDouble();
+      if (u01 < 1e-300) u01 = 1e-300;
+      uint64_t skip =
+          static_cast<uint64_t>(std::log(u01) / std::log(1.0 - p));
+      idx += skip;
+      if (idx >= total_pairs) break;
+      auto [u, v] = pair_of(idx);
+      CSPM_RETURN_IF_ERROR(builder.AddEdge(u, v));
+      ++idx;
+    }
+  }
+  return std::move(builder).Build();
+}
+
+std::vector<std::pair<VertexId, VertexId>> BarabasiAlbertEdges(uint32_t n,
+                                                               uint32_t m,
+                                                               Rng* rng) {
+  CSPM_CHECK(n >= 2);
+  CSPM_CHECK(m >= 1);
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  // Repeated-endpoint list implements preferential attachment.
+  std::vector<VertexId> targets;
+  targets.reserve(2ull * m * n);
+  // Seed clique on min(m+1, n) vertices.
+  uint32_t seed_size = std::min(m + 1, n);
+  for (uint32_t u = 0; u < seed_size; ++u) {
+    for (uint32_t v = u + 1; v < seed_size; ++v) {
+      edges.emplace_back(u, v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  for (uint32_t v = seed_size; v < n; ++v) {
+    std::vector<VertexId> chosen;
+    chosen.reserve(m);
+    uint32_t attempts = 0;
+    while (chosen.size() < m && attempts < 50 * m) {
+      VertexId t = targets[rng->Uniform(targets.size())];
+      if (std::find(chosen.begin(), chosen.end(), t) == chosen.end()) {
+        chosen.push_back(t);
+      }
+      ++attempts;
+    }
+    for (VertexId t : chosen) {
+      edges.emplace_back(t, v);
+      targets.push_back(t);
+      targets.push_back(v);
+    }
+  }
+  return edges;
+}
+
+StatusOr<AttributedGraph> BarabasiAlbert(uint32_t n, uint32_t m,
+                                         uint32_t vocabulary,
+                                         uint32_t attrs_per_vertex, Rng* rng) {
+  if (n < 2) return Status::InvalidArgument("BarabasiAlbert: n must be >= 2");
+  if (m < 1) return Status::InvalidArgument("BarabasiAlbert: m must be >= 1");
+  GraphBuilder builder;
+  AttachZipfAttributes(&builder, n, vocabulary, attrs_per_vertex, rng);
+  for (auto [u, v] : BarabasiAlbertEdges(n, m, rng)) {
+    CSPM_RETURN_IF_ERROR(builder.AddEdge(u, v));
+  }
+  return std::move(builder).Build();
+}
+
+StatusOr<AttributedGraph> PlantedAStarGraph(
+    const PlantedGraphOptions& options,
+    const std::vector<PlantedAStar>& rules) {
+  if (options.num_vertices < 2) {
+    return Status::InvalidArgument("PlantedAStarGraph: need >= 2 vertices");
+  }
+  Rng rng(options.seed);
+  GraphBuilder builder;
+
+  // Vertices start with noise attributes only.
+  for (uint32_t v = 0; v < options.num_vertices; ++v) {
+    std::vector<AttrId> ids;
+    for (uint32_t k = 0; k < options.noise_attributes_per_vertex; ++k) {
+      uint64_t a = rng.Zipf(std::max(options.noise_vocabulary, 1u), 1.1);
+      ids.push_back(builder.InternAttribute(
+          StrFormat("noise_%u", static_cast<uint32_t>(a))));
+    }
+    builder.AddVertexWithIds(std::move(ids));
+  }
+
+  auto edges = BarabasiAlbertEdges(options.num_vertices,
+                                   options.attachment_degree, &rng);
+  std::vector<std::vector<VertexId>> adjacency(options.num_vertices);
+  for (auto [u, v] : edges) {
+    CSPM_RETURN_IF_ERROR(builder.AddEdge(u, v));
+    adjacency[u].push_back(v);
+    adjacency[v].push_back(u);
+  }
+
+  // Plant each rule on a random subset of core vertices.
+  const uint32_t cores_per_rule = std::max<uint32_t>(
+      1, static_cast<uint32_t>(options.core_fraction *
+                               static_cast<double>(options.num_vertices)));
+  for (const auto& rule : rules) {
+    auto cores =
+        rng.SampleWithoutReplacement(options.num_vertices, cores_per_rule);
+    for (VertexId c : cores) {
+      for (const auto& cv : rule.core_values) {
+        CSPM_RETURN_IF_ERROR(builder.AddVertexAttribute(c, cv));
+      }
+      if (adjacency[c].empty()) continue;
+      // The full leaf set lands on each selected neighbour, so leaf values
+      // genuinely co-occur around the core (that is what an a-star states).
+      bool placed = false;
+      for (VertexId nbr : adjacency[c]) {
+        if (!rng.Bernoulli(rule.leaf_probability)) continue;
+        placed = true;
+        for (const auto& lv : rule.leaf_values) {
+          CSPM_RETURN_IF_ERROR(builder.AddVertexAttribute(nbr, lv));
+        }
+      }
+      if (!placed) {
+        VertexId nbr = adjacency[c][rng.Uniform(adjacency[c].size())];
+        for (const auto& lv : rule.leaf_values) {
+          CSPM_RETURN_IF_ERROR(builder.AddVertexAttribute(nbr, lv));
+        }
+      }
+    }
+  }
+  return std::move(builder).Build();
+}
+
+StatusOr<CommunityGraph> MakeCommunityGraph(
+    const CommunityGraphOptions& options) {
+  if (options.num_vertices == 0 || options.num_communities == 0) {
+    return Status::InvalidArgument("MakeCommunityGraph: empty sizes");
+  }
+  Rng rng(options.seed);
+  GraphBuilder builder;
+  std::vector<uint32_t> community(options.num_vertices);
+  for (uint32_t v = 0; v < options.num_vertices; ++v) {
+    community[v] = static_cast<uint32_t>(rng.Uniform(options.num_communities));
+  }
+  for (uint32_t v = 0; v < options.num_vertices; ++v) {
+    std::vector<AttrId> ids;
+    for (uint32_t k = 0; k < options.attributes_per_vertex; ++k) {
+      if (rng.Bernoulli(options.attribute_affinity)) {
+        uint64_t a = rng.Zipf(std::max(options.community_pool_size, 1u), 1.05);
+        ids.push_back(builder.InternAttribute(StrFormat(
+            "c%u_t%u", community[v], static_cast<uint32_t>(a))));
+      } else {
+        uint64_t a = rng.Zipf(std::max(options.global_pool_size, 1u), 1.05);
+        ids.push_back(builder.InternAttribute(
+            StrFormat("g_t%u", static_cast<uint32_t>(a))));
+      }
+    }
+    builder.AddVertexWithIds(std::move(ids));
+  }
+  // SBM edges; for efficiency sample intra edges per community and inter
+  // edges globally with geometric skipping over vertex pairs.
+  const uint32_t n = options.num_vertices;
+  for (uint32_t u = 0; u < n; ++u) {
+    for (uint32_t v = u + 1; v < n; ++v) {
+      double p = community[u] == community[v] ? options.intra_probability
+                                              : options.inter_probability;
+      if (rng.Bernoulli(p)) {
+        CSPM_RETURN_IF_ERROR(builder.AddEdge(u, v));
+      }
+    }
+  }
+  CSPM_ASSIGN_OR_RETURN(AttributedGraph g, std::move(builder).Build());
+  return CommunityGraph{std::move(g), std::move(community)};
+}
+
+}  // namespace cspm::graph

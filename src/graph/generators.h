@@ -1,0 +1,94 @@
+// Random attributed-graph generators used by tests, examples and the
+// synthetic dataset suite.
+#ifndef CSPM_GRAPH_GENERATORS_H_
+#define CSPM_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/attributed_graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace cspm::graph {
+
+/// A planted a-star rule: when a vertex carries all of `core_values`, each
+/// neighbour independently receives each of `leaf_values` with
+/// `leaf_probability`.
+struct PlantedAStar {
+  std::vector<std::string> core_values;
+  std::vector<std::string> leaf_values;
+  double leaf_probability = 0.8;
+};
+
+/// Options for the planted a-star generator.
+struct PlantedGraphOptions {
+  uint32_t num_vertices = 1000;
+  /// Barabasi-Albert attachment degree of the underlying topology.
+  uint32_t attachment_degree = 3;
+  /// Number of noise attribute values drawn per vertex.
+  uint32_t noise_attributes_per_vertex = 2;
+  /// Size of the noise attribute vocabulary.
+  uint32_t noise_vocabulary = 50;
+  /// Fraction of vertices designated as rule cores (per rule).
+  double core_fraction = 0.10;
+  uint64_t seed = 1;
+};
+
+/// Erdos-Renyi G(n, p) topology; vertices receive `attrs_per_vertex`
+/// attribute values drawn Zipf-distributed from a vocabulary of size
+/// `vocabulary`. Isolated graphs may be disconnected; no connectivity
+/// requirement is enforced.
+StatusOr<AttributedGraph> ErdosRenyi(uint32_t n, double p,
+                                     uint32_t vocabulary,
+                                     uint32_t attrs_per_vertex, Rng* rng);
+
+/// Barabasi-Albert preferential attachment topology (m edges per new
+/// vertex), same attribute assignment scheme as ErdosRenyi.
+StatusOr<AttributedGraph> BarabasiAlbert(uint32_t n, uint32_t m,
+                                         uint32_t vocabulary,
+                                         uint32_t attrs_per_vertex, Rng* rng);
+
+/// Builds only a Barabasi-Albert edge list (utility for simulators that
+/// attach their own attributes).
+std::vector<std::pair<VertexId, VertexId>> BarabasiAlbertEdges(uint32_t n,
+                                                               uint32_t m,
+                                                               Rng* rng);
+
+/// Generates a graph with planted a-star structure plus attribute noise.
+/// The returned graph provably contains the planted correlations (up to the
+/// sampling probabilities), which CSPM should recover.
+StatusOr<AttributedGraph> PlantedAStarGraph(
+    const PlantedGraphOptions& options,
+    const std::vector<PlantedAStar>& rules);
+
+/// Community (stochastic block model) graph with homophilous attributes:
+/// `num_communities` blocks, intra/inter edge probabilities, and each
+/// community drawing its attributes from a community-specific pool with
+/// `attribute_affinity` probability (else from the global pool).
+struct CommunityGraphOptions {
+  uint32_t num_vertices = 1000;
+  uint32_t num_communities = 8;
+  double intra_probability = 0.02;
+  double inter_probability = 0.0005;
+  uint32_t attributes_per_vertex = 4;
+  uint32_t community_pool_size = 8;
+  uint32_t global_pool_size = 64;
+  double attribute_affinity = 0.8;
+  uint64_t seed = 1;
+};
+
+/// Result of the community generator: graph plus ground-truth community of
+/// each vertex (used by completion experiments).
+struct CommunityGraph {
+  AttributedGraph graph;
+  std::vector<uint32_t> community;
+};
+
+StatusOr<CommunityGraph> MakeCommunityGraph(
+    const CommunityGraphOptions& options);
+
+}  // namespace cspm::graph
+
+#endif  // CSPM_GRAPH_GENERATORS_H_

@@ -1,0 +1,87 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace cspm::graph {
+
+std::string ToText(const AttributedGraph& g) {
+  std::string out = "# cspm graph v1\n";
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    out += "v";
+    for (AttrId a : g.Attributes(v)) {
+      out += " ";
+      out += g.dict().Name(a);
+    }
+    out += "\n";
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId w : g.Neighbors(v)) {
+      if (w > v) out += StrFormat("e %u %u\n", v, w);
+    }
+  }
+  return out;
+}
+
+StatusOr<AttributedGraph> FromText(const std::string& text) {
+  GraphBuilder builder;
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    auto tokens = SplitString(stripped, ' ');
+    if (tokens[0] == "v") {
+      std::vector<std::string> attrs(tokens.begin() + 1, tokens.end());
+      builder.AddVertex(attrs);
+    } else if (tokens[0] == "e") {
+      if (tokens.size() != 3) {
+        return Status::IOError(
+            StrFormat("line %zu: edge needs two endpoints", line_no));
+      }
+      char* end = nullptr;
+      unsigned long u = std::strtoul(tokens[1].c_str(), &end, 10);
+      if (*end != '\0') {
+        return Status::IOError(StrFormat("line %zu: bad vertex id", line_no));
+      }
+      unsigned long v = std::strtoul(tokens[2].c_str(), &end, 10);
+      if (*end != '\0') {
+        return Status::IOError(StrFormat("line %zu: bad vertex id", line_no));
+      }
+      Status st = builder.AddEdge(static_cast<VertexId>(u),
+                                  static_cast<VertexId>(v));
+      if (!st.ok()) {
+        return Status::IOError(
+            StrFormat("line %zu: %s", line_no, st.message().c_str()));
+      }
+    } else {
+      return Status::IOError(
+          StrFormat("line %zu: unknown record '%s'", line_no,
+                    tokens[0].c_str()));
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Status SaveToFile(const AttributedGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << ToText(g);
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+StatusOr<AttributedGraph> LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return FromText(buf.str());
+}
+
+}  // namespace cspm::graph

@@ -1,0 +1,31 @@
+// Plain-text serialization of attributed graphs.
+//
+// Format ("cspm graph v1"):
+//   # comment lines anywhere
+//   v <attr> <attr> ...        one line per vertex, id = line order
+//   e <u> <v>                  undirected edge by vertex index
+#ifndef CSPM_GRAPH_IO_H_
+#define CSPM_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/attributed_graph.h"
+#include "util/status.h"
+
+namespace cspm::graph {
+
+/// Serializes to the v1 text format.
+std::string ToText(const AttributedGraph& g);
+
+/// Parses the v1 text format.
+StatusOr<AttributedGraph> FromText(const std::string& text);
+
+/// Writes ToText(g) to a file.
+Status SaveToFile(const AttributedGraph& g, const std::string& path);
+
+/// Reads a graph from a file in the v1 text format.
+StatusOr<AttributedGraph> LoadFromFile(const std::string& path);
+
+}  // namespace cspm::graph
+
+#endif  // CSPM_GRAPH_IO_H_

@@ -1,0 +1,49 @@
+#include "graph/stats.h"
+
+#include "util/string_util.h"
+
+namespace cspm::graph {
+
+GraphStats ComputeStats(const AttributedGraph& g) {
+  GraphStats s;
+  s.num_vertices = g.num_vertices();
+  s.num_edges = g.num_edges();
+  s.num_attribute_values = g.num_attribute_values();
+  uint64_t attr_occurrences = g.total_attribute_occurrences();
+  s.avg_attributes_per_vertex =
+      s.num_vertices ? static_cast<double>(attr_occurrences) /
+                           static_cast<double>(s.num_vertices)
+                     : 0.0;
+  s.avg_degree = s.num_vertices ? 2.0 * static_cast<double>(s.num_edges) /
+                                      static_cast<double>(s.num_vertices)
+                                : 0.0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    s.max_degree = std::max(s.max_degree, g.Degree(v));
+  }
+  // A coreset (single-core mode) exists for an attribute value iff it occurs
+  // on a vertex that has at least one neighbour.
+  uint64_t coresets = 0;
+  for (AttrId a = 0; a < g.num_attribute_values(); ++a) {
+    for (VertexId v : g.VerticesWithAttribute(a)) {
+      if (g.Degree(v) > 0) {
+        ++coresets;
+        break;
+      }
+    }
+  }
+  s.num_coresets = coresets;
+  return s;
+}
+
+std::string StatsToString(const GraphStats& s) {
+  return StrFormat(
+      "|V|=%llu |E|=%llu |A|=%llu |Sc|=%llu avg_attrs=%.2f avg_deg=%.2f "
+      "max_deg=%u",
+      static_cast<unsigned long long>(s.num_vertices),
+      static_cast<unsigned long long>(s.num_edges),
+      static_cast<unsigned long long>(s.num_attribute_values),
+      static_cast<unsigned long long>(s.num_coresets),
+      s.avg_attributes_per_vertex, s.avg_degree, s.max_degree);
+}
+
+}  // namespace cspm::graph

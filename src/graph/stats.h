@@ -1,0 +1,34 @@
+// Dataset statistics in the shape of the paper's Table II.
+#ifndef CSPM_GRAPH_STATS_H_
+#define CSPM_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/attributed_graph.h"
+
+namespace cspm::graph {
+
+/// Summary statistics of an attributed graph.
+struct GraphStats {
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  /// Number of distinct single-value coresets, i.e. distinct attribute
+  /// values that occur on at least one non-isolated vertex (|S^M_c| in
+  /// Table II for the single-core configuration).
+  uint64_t num_coresets = 0;
+  uint64_t num_attribute_values = 0;
+  double avg_attributes_per_vertex = 0.0;
+  double avg_degree = 0.0;
+  uint32_t max_degree = 0;
+};
+
+/// Computes summary statistics.
+GraphStats ComputeStats(const AttributedGraph& g);
+
+/// One-line human readable rendering.
+std::string StatsToString(const GraphStats& s);
+
+}  // namespace cspm::graph
+
+#endif  // CSPM_GRAPH_STATS_H_

@@ -1,0 +1,125 @@
+#include "itemset/code_table.h"
+
+#include <algorithm>
+
+#include "mdl/codes.h"
+#include "util/check.h"
+
+namespace cspm::itemset {
+
+bool CodeTable::CoverOrderLess(const Entry& a, const Entry& b) {
+  if (a.items.size() != b.items.size()) {
+    return a.items.size() > b.items.size();
+  }
+  if (a.support != b.support) return a.support > b.support;
+  return a.items < b.items;
+}
+
+CodeTable::CodeTable(const TransactionDb* db, bool track_usage_tids)
+    : db_(db), track_usage_tids_(track_usage_tids) {
+  for (Item i = 0; i < db_->num_items(); ++i) {
+    Entry e;
+    e.items = {i};
+    e.support = db_->ItemFrequency(i);
+    entries_.push_back(std::move(e));
+  }
+  std::sort(entries_.begin(), entries_.end(), CoverOrderLess);
+}
+
+size_t CodeTable::Find(const Itemset& items) const {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].items == items) return i;
+  }
+  return npos;
+}
+
+size_t CodeTable::Insert(Itemset items, uint64_t support) {
+  CSPM_CHECK(items.size() >= 2);
+  size_t existing = Find(items);
+  if (existing != npos) return existing;
+  Entry e;
+  e.items = std::move(items);
+  e.support = support;
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), e,
+                             CoverOrderLess);
+  it = entries_.insert(it, std::move(e));
+  return static_cast<size_t>(it - entries_.begin());
+}
+
+void CodeTable::Remove(const Itemset& items) {
+  CSPM_CHECK(items.size() >= 2);
+  size_t idx = Find(items);
+  if (idx != npos) entries_.erase(entries_.begin() + static_cast<long>(idx));
+}
+
+void CodeTable::CoverTransaction(const Itemset& t,
+                                 std::vector<size_t>* out) const {
+  // Greedy cover in table order over the remaining (uncovered) items.
+  Itemset remaining = t;
+  for (size_t i = 0; i < entries_.size() && !remaining.empty(); ++i) {
+    const Entry& e = entries_[i];
+    if (e.items.size() > remaining.size()) continue;
+    if (IsSubset(e.items, remaining)) {
+      out->push_back(i);
+      Itemset next;
+      next.reserve(remaining.size() - e.items.size());
+      std::set_difference(remaining.begin(), remaining.end(),
+                          e.items.begin(), e.items.end(),
+                          std::back_inserter(next));
+      remaining = std::move(next);
+    }
+  }
+  CSPM_CHECK_MSG(remaining.empty(), "transaction not fully covered");
+}
+
+void CodeTable::CoverDb() {
+  for (auto& e : entries_) {
+    e.usage = 0;
+    e.usage_tids.clear();
+  }
+  total_usage_ = 0;
+  std::vector<size_t> used;
+  for (uint32_t t = 0; t < db_->size(); ++t) {
+    used.clear();
+    CoverTransaction(db_->transaction(t), &used);
+    for (size_t idx : used) {
+      ++entries_[idx].usage;
+      if (track_usage_tids_) entries_[idx].usage_tids.push_back(t);
+    }
+    total_usage_ += used.size();
+  }
+}
+
+double CodeTable::CodeLength(size_t idx) const {
+  CSPM_DCHECK(idx < entries_.size());
+  return mdl::ShannonCodeLength(entries_[idx].usage, total_usage_);
+}
+
+double CodeTable::EncodedDbLength() const {
+  double bits = 0.0;
+  for (const auto& e : entries_) {
+    if (e.usage == 0) continue;
+    bits += static_cast<double>(e.usage) *
+            mdl::ShannonCodeLength(e.usage, total_usage_);
+  }
+  return bits;
+}
+
+double CodeTable::CodeTableLength() const {
+  // Left column: itemsets spelled in standard (item-frequency) codes;
+  // right column: the pattern's own code. Zero-usage entries are omitted
+  // (Krimp's convention).
+  const uint64_t item_total = db_->total_occurrences();
+  double bits = 0.0;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    if (e.usage == 0) continue;
+    for (Item item : e.items) {
+      bits += mdl::ShannonCodeLength(db_->ItemFrequency(item), item_total);
+    }
+    bits += CodeLength(i);
+  }
+  return bits;
+}
+
+}  // namespace cspm::itemset

@@ -1,0 +1,82 @@
+// Krimp-style code table (Vreeken et al., DMKD 2011): a set of itemsets
+// with usage-based Shannon codes, plus the standard cover algorithm and the
+// two-part MDL total L(CT, D) = L(CT|D) + L(D|CT).
+#ifndef CSPM_ITEMSET_CODE_TABLE_H_
+#define CSPM_ITEMSET_CODE_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "itemset/transaction_db.h"
+
+namespace cspm::itemset {
+
+/// Code table over a fixed transaction database. Singleton entries for every
+/// item are always present (they guarantee every transaction can be
+/// covered); non-singleton patterns are inserted in the Krimp cover order
+/// (cardinality desc, support desc, lexicographic).
+class CodeTable {
+ public:
+  struct Entry {
+    Itemset items;
+    uint64_t support = 0;  ///< support in db (cover-order tiebreak)
+    uint64_t usage = 0;    ///< filled by CoverDb()
+    /// Transactions whose cover used this entry (sorted tids); maintained by
+    /// CoverDb() when track_usage_tids is set.
+    std::vector<uint32_t> usage_tids;
+  };
+
+  /// Builds the standard code table (singletons only) for `db`. The database
+  /// must outlive the code table.
+  explicit CodeTable(const TransactionDb* db, bool track_usage_tids = false);
+
+  /// Inserts a non-singleton pattern at its cover-order position.
+  /// Returns the entry index. Duplicate inserts are ignored (returns the
+  /// existing index).
+  size_t Insert(Itemset items, uint64_t support);
+
+  /// Removes a non-singleton pattern (no-op if absent).
+  void Remove(const Itemset& items);
+
+  /// Recomputes all usages by covering every transaction.
+  void CoverDb();
+
+  /// Covers one transaction; appends indices of used entries to `out`.
+  /// Requires singletons for all items of `t` to exist (true for
+  /// transactions of the underlying db).
+  void CoverTransaction(const Itemset& t, std::vector<size_t>* out) const;
+
+  /// L(D|CT): encoded database length in bits (usages must be current).
+  double EncodedDbLength() const;
+
+  /// L(CT|D): code table length in bits — for every entry in use, its code
+  /// plus its itemset spelled in standard (singleton-frequency) codes.
+  double CodeTableLength() const;
+
+  /// L(CT, D) = L(CT|D) + L(D|CT).
+  double TotalLength() const { return EncodedDbLength() + CodeTableLength(); }
+
+  /// Code length in bits of entry `idx` (usage must be > 0).
+  double CodeLength(size_t idx) const;
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  size_t num_entries() const { return entries_.size(); }
+  uint64_t total_usage() const { return total_usage_; }
+  const TransactionDb& db() const { return *db_; }
+
+  /// Index of the entry with exactly `items`, or npos.
+  static constexpr size_t npos = static_cast<size_t>(-1);
+  size_t Find(const Itemset& items) const;
+
+ private:
+  static bool CoverOrderLess(const Entry& a, const Entry& b);
+
+  const TransactionDb* db_;
+  bool track_usage_tids_;
+  std::vector<Entry> entries_;  // maintained in cover order
+  uint64_t total_usage_ = 0;
+};
+
+}  // namespace cspm::itemset
+
+#endif  // CSPM_ITEMSET_CODE_TABLE_H_

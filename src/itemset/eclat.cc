@@ -1,0 +1,87 @@
+#include "itemset/eclat.h"
+
+#include <algorithm>
+
+namespace cspm::itemset {
+namespace {
+
+using TidList = std::vector<uint32_t>;
+
+void IntersectInto(const TidList& a, const TidList& b, TidList* out) {
+  out->clear();
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(*out));
+}
+
+struct MineState {
+  const EclatOptions* options;
+  std::vector<FrequentItemset>* out;
+  bool truncated = false;
+};
+
+// Depth-first extension of `prefix` with the extensions in `exts`
+// (item, tidlist pairs), all already frequent.
+void Extend(const Itemset& prefix, const TidList& prefix_tids,
+            const std::vector<std::pair<Item, TidList>>& exts,
+            MineState* state) {
+  (void)prefix_tids;
+  for (size_t i = 0; i < exts.size(); ++i) {
+    if (state->options->max_patterns &&
+        state->out->size() >= state->options->max_patterns) {
+      state->truncated = true;
+      return;
+    }
+    Itemset items = prefix;
+    items.push_back(exts[i].first);
+    if (items.size() >= 2) {
+      state->out->push_back({items, exts[i].second.size()});
+    }
+    if (state->options->max_size && items.size() >= state->options->max_size) {
+      continue;
+    }
+    std::vector<std::pair<Item, TidList>> next;
+    TidList scratch;
+    for (size_t j = i + 1; j < exts.size(); ++j) {
+      IntersectInto(exts[i].second, exts[j].second, &scratch);
+      if (scratch.size() >= state->options->min_support) {
+        next.emplace_back(exts[j].first, scratch);
+      }
+    }
+    if (!next.empty()) Extend(items, exts[i].second, next, state);
+  }
+}
+
+}  // namespace
+
+StatusOr<std::vector<FrequentItemset>> MineFrequentItemsets(
+    const TransactionDb& db, const EclatOptions& options) {
+  if (options.min_support == 0) {
+    return Status::InvalidArgument("min_support must be >= 1");
+  }
+  // Build vertical representation.
+  std::vector<TidList> tids(db.num_items());
+  for (uint32_t t = 0; t < db.size(); ++t) {
+    for (Item i : db.transaction(t)) tids[i].push_back(t);
+  }
+  std::vector<std::pair<Item, TidList>> roots;
+  for (Item i = 0; i < db.num_items(); ++i) {
+    if (tids[i].size() >= options.min_support) {
+      roots.emplace_back(i, std::move(tids[i]));
+    }
+  }
+  std::vector<FrequentItemset> out;
+  MineState state{&options, &out, false};
+  Extend({}, {}, roots, &state);
+
+  std::sort(out.begin(), out.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.support != b.support) return a.support > b.support;
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() > b.items.size();
+              }
+              return a.items < b.items;
+            });
+  return out;
+}
+
+}  // namespace cspm::itemset

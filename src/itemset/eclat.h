@@ -1,0 +1,38 @@
+// Eclat frequent-itemset mining over vertical tid-lists. Used to feed
+// Krimp with candidates (Krimp is not parameter-free; this is the paper's
+// point of contrast with CSPM).
+#ifndef CSPM_ITEMSET_ECLAT_H_
+#define CSPM_ITEMSET_ECLAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "itemset/transaction_db.h"
+#include "util/status.h"
+
+namespace cspm::itemset {
+
+/// A frequent itemset with its absolute support.
+struct FrequentItemset {
+  Itemset items;
+  uint64_t support = 0;
+};
+
+struct EclatOptions {
+  /// Absolute minimum support (number of transactions).
+  uint64_t min_support = 2;
+  /// Maximum pattern cardinality (0 = unlimited).
+  uint32_t max_size = 0;
+  /// Hard cap on the number of patterns returned (0 = unlimited).
+  uint64_t max_patterns = 0;
+};
+
+/// Mines all frequent itemsets of size >= 2 satisfying the options.
+/// Results are sorted by the Krimp "standard candidate order":
+/// support desc, then cardinality desc, then lexicographic.
+StatusOr<std::vector<FrequentItemset>> MineFrequentItemsets(
+    const TransactionDb& db, const EclatOptions& options);
+
+}  // namespace cspm::itemset
+
+#endif  // CSPM_ITEMSET_ECLAT_H_

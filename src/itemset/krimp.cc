@@ -1,0 +1,74 @@
+#include "itemset/krimp.h"
+
+#include <algorithm>
+
+namespace cspm::itemset {
+
+StatusOr<CompressionResult> RunKrimp(const TransactionDb& db,
+                                     const KrimpOptions& options) {
+  if (db.empty()) return Status::InvalidArgument("Krimp: empty database");
+
+  EclatOptions eopts;
+  eopts.min_support = options.min_support;
+  eopts.max_size = options.max_size;
+  eopts.max_patterns = options.max_candidates;
+  CSPM_ASSIGN_OR_RETURN(std::vector<FrequentItemset> candidates,
+                        MineFrequentItemsets(db, eopts));
+
+  CompressionResult result;
+  result.code_table = std::make_unique<CodeTable>(&db);
+  CodeTable& ct = *result.code_table;
+  ct.CoverDb();
+  result.standard_length = ct.TotalLength();
+  double best = result.standard_length;
+
+  for (const auto& cand : candidates) {
+    ++result.evaluated_candidates;
+    ct.Insert(cand.items, cand.support);
+    ct.CoverDb();
+    double total = ct.TotalLength();
+    if (total < best) {
+      best = total;
+      ++result.accepted_patterns;
+      if (options.prune) {
+        // Try dropping accepted non-singleton entries whose usage fell to a
+        // low value; keep each removal only if it helps.
+        for (;;) {
+          bool improved = false;
+          // Snapshot candidates for removal (non-singleton, usage small).
+          std::vector<Itemset> removable;
+          for (const auto& e : ct.entries()) {
+            if (e.items.size() >= 2 && e.usage == 0) {
+              removable.push_back(e.items);
+            }
+          }
+          for (const auto& items : removable) {
+            ct.Remove(items);
+            ct.CoverDb();
+            double t2 = ct.TotalLength();
+            if (t2 <= best) {
+              best = t2;
+              improved = true;
+              --result.accepted_patterns;
+            } else {
+              ct.Insert(items, 0);
+              ct.CoverDb();
+            }
+          }
+          if (!improved) break;
+        }
+      }
+    } else {
+      ct.Remove(cand.items);
+    }
+  }
+  // Leave usages consistent with the final table.
+  ct.CoverDb();
+  result.final_length = ct.TotalLength();
+  result.compression_ratio =
+      result.standard_length > 0 ? result.final_length / result.standard_length
+                                 : 1.0;
+  return result;
+}
+
+}  // namespace cspm::itemset

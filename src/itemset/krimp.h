@@ -1,0 +1,53 @@
+// The Krimp algorithm (Vreeken et al., DMKD 2011): select a compressing
+// subset of pre-mined frequent itemsets by greedy MDL filtering.
+#ifndef CSPM_ITEMSET_KRIMP_H_
+#define CSPM_ITEMSET_KRIMP_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "itemset/code_table.h"
+#include "itemset/eclat.h"
+#include "itemset/transaction_db.h"
+#include "util/status.h"
+
+namespace cspm::itemset {
+
+struct KrimpOptions {
+  /// Absolute minimum support for the candidate miner.
+  uint64_t min_support = 2;
+  /// Candidate cap handed to Eclat (0 = unlimited).
+  uint64_t max_candidates = 200000;
+  /// Max candidate cardinality (0 = unlimited).
+  uint32_t max_size = 8;
+  /// Post-acceptance pruning of entries whose usage dropped.
+  bool prune = true;
+};
+
+/// Result of a Krimp (or SLIM) run.
+struct CompressionResult {
+  /// Final code table (owns a copy of nothing; references the input db).
+  std::unique_ptr<CodeTable> code_table;
+  /// Baseline length with the standard code table only.
+  double standard_length = 0.0;
+  /// Final total length L(CT, D).
+  double final_length = 0.0;
+  /// final / standard (lower is better).
+  double compression_ratio = 1.0;
+  /// Number of non-singleton patterns accepted.
+  uint64_t accepted_patterns = 0;
+  /// Number of candidates evaluated.
+  uint64_t evaluated_candidates = 0;
+  /// True if a wall-clock budget stopped the search early (SLIM only).
+  bool hit_time_budget = false;
+};
+
+/// Runs Krimp: mines candidates with Eclat, then greedily keeps those that
+/// shrink the two-part MDL total. `db` must outlive the result.
+StatusOr<CompressionResult> RunKrimp(const TransactionDb& db,
+                                     const KrimpOptions& options);
+
+}  // namespace cspm::itemset
+
+#endif  // CSPM_ITEMSET_KRIMP_H_

@@ -1,0 +1,130 @@
+#include "itemset/slim.h"
+
+#include <algorithm>
+
+#include "mdl/codes.h"
+#include "util/timer.h"
+
+namespace cspm::itemset {
+namespace {
+
+uint64_t IntersectionSize(const std::vector<uint32_t>& a,
+                          const std::vector<uint32_t>& b) {
+  uint64_t n = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++n;
+      ++i;
+      ++j;
+    }
+  }
+  return n;
+}
+
+struct PairCandidate {
+  size_t x;
+  size_t y;
+  uint64_t co_usage;
+  double estimated_gain;
+};
+
+// SLIM's gain estimate for replacing xy uses of X and Y with the union:
+// the dominant data term is xy * (L(X) + L(Y) - L(XY_est)) where code
+// lengths come from current usages; we use the simplified estimate
+// xy * (Lx + Ly) - xy * log2(total/xy) which is exact up to the usage
+// renormalization and the code-table delta.
+double EstimateGain(uint64_t xy, uint64_t ux, uint64_t uy, uint64_t total) {
+  if (xy == 0) return 0.0;
+  const double lx = mdl::ShannonCodeLength(ux, total);
+  const double ly = mdl::ShannonCodeLength(uy, total);
+  const double lxy = mdl::ShannonCodeLength(xy, total);
+  return static_cast<double>(xy) * (lx + ly - lxy);
+}
+
+}  // namespace
+
+StatusOr<CompressionResult> RunSlim(const TransactionDb& db,
+                                    const SlimOptions& options) {
+  if (db.empty()) return Status::InvalidArgument("SLIM: empty database");
+
+  CompressionResult result;
+  result.code_table = std::make_unique<CodeTable>(&db, /*track_usage_tids=*/true);
+  CodeTable& ct = *result.code_table;
+  ct.CoverDb();
+  result.standard_length = ct.TotalLength();
+  double best = result.standard_length;
+
+  WallTimer timer;
+  for (;;) {
+    if (options.max_patterns &&
+        result.accepted_patterns >= options.max_patterns) {
+      break;
+    }
+    if (options.max_seconds > 0.0 &&
+        timer.ElapsedSeconds() >= options.max_seconds) {
+      result.hit_time_budget = true;
+      break;
+    }
+    // Rank all pairs of in-use entries by estimated gain.
+    std::vector<size_t> active;
+    for (size_t i = 0; i < ct.num_entries(); ++i) {
+      if (ct.entries()[i].usage > 0) active.push_back(i);
+    }
+    std::vector<PairCandidate> pairs;
+    for (size_t a = 0; a < active.size(); ++a) {
+      for (size_t b = a + 1; b < active.size(); ++b) {
+        const auto& ex = ct.entries()[active[a]];
+        const auto& ey = ct.entries()[active[b]];
+        uint64_t xy = IntersectionSize(ex.usage_tids, ey.usage_tids);
+        if (xy == 0) continue;
+        double est = EstimateGain(xy, ex.usage, ey.usage, ct.total_usage());
+        if (est > options.min_estimated_gain_bits) {
+          pairs.push_back({active[a], active[b], xy, est});
+        }
+      }
+    }
+    if (pairs.empty()) break;
+    std::sort(pairs.begin(), pairs.end(),
+              [](const PairCandidate& a, const PairCandidate& b) {
+                return a.estimated_gain > b.estimated_gain;
+              });
+
+    bool accepted = false;
+    uint32_t evaluated = 0;
+    for (const auto& cand : pairs) {
+      if (evaluated >= options.max_exact_evaluations_per_iteration) break;
+      ++evaluated;
+      ++result.evaluated_candidates;
+      Itemset merged = UnionOf(ct.entries()[cand.x].items,
+                               ct.entries()[cand.y].items);
+      if (ct.Find(merged) != CodeTable::npos) continue;
+      ct.Insert(merged, cand.co_usage);
+      ct.CoverDb();
+      double total = ct.TotalLength();
+      if (total < best) {
+        best = total;
+        ++result.accepted_patterns;
+        accepted = true;
+        break;
+      }
+      ct.Remove(merged);
+      ct.CoverDb();
+    }
+    if (!accepted) break;
+  }
+
+  ct.CoverDb();
+  result.final_length = ct.TotalLength();
+  result.compression_ratio =
+      result.standard_length > 0 ? result.final_length / result.standard_length
+                                 : 1.0;
+  return result;
+}
+
+}  // namespace cspm::itemset

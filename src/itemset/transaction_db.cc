@@ -1,0 +1,54 @@
+#include "itemset/transaction_db.h"
+
+#include <algorithm>
+
+namespace cspm::itemset {
+
+void TransactionDb::Add(Itemset t) {
+  std::sort(t.begin(), t.end());
+  t.erase(std::unique(t.begin(), t.end()), t.end());
+  for (Item i : t) {
+    if (i >= item_freq_.size()) item_freq_.resize(i + 1, 0);
+    ++item_freq_[i];
+  }
+  total_occurrences_ += t.size();
+  transactions_.push_back(std::move(t));
+}
+
+TransactionDb TransactionDb::FromVertexAttributes(
+    const graph::AttributedGraph& g) {
+  TransactionDb db;
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    auto attrs = g.Attributes(v);
+    db.Add(Itemset(attrs.begin(), attrs.end()));
+  }
+  return db;
+}
+
+TransactionDb TransactionDb::FromStars(const graph::AttributedGraph& g) {
+  TransactionDb db;
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    auto attrs = g.Attributes(v);
+    Itemset t(attrs.begin(), attrs.end());
+    for (graph::VertexId w : g.Neighbors(v)) {
+      auto na = g.Attributes(w);
+      t.insert(t.end(), na.begin(), na.end());
+    }
+    db.Add(std::move(t));
+  }
+  return db;
+}
+
+bool IsSubset(const Itemset& sub, const Itemset& super) {
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+Itemset UnionOf(const Itemset& a, const Itemset& b) {
+  Itemset out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+}  // namespace cspm::itemset

@@ -1,0 +1,64 @@
+// Transaction database: the Krimp/SLIM input format (a set of itemsets).
+#ifndef CSPM_ITEMSET_TRANSACTION_DB_H_
+#define CSPM_ITEMSET_TRANSACTION_DB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/attributed_graph.h"
+
+namespace cspm::itemset {
+
+using Item = uint32_t;
+/// Sorted, duplicate-free item list.
+using Itemset = std::vector<Item>;
+
+/// In-memory transaction database over a dense item universe [0, num_items).
+class TransactionDb {
+ public:
+  TransactionDb() = default;
+
+  /// Adds a transaction (sorted + deduplicated internally).
+  void Add(Itemset t);
+
+  size_t size() const { return transactions_.size(); }
+  bool empty() const { return transactions_.empty(); }
+  const Itemset& transaction(size_t i) const { return transactions_[i]; }
+  const std::vector<Itemset>& transactions() const { return transactions_; }
+
+  /// Item universe size (max item id + 1).
+  size_t num_items() const { return item_freq_.size(); }
+
+  /// Occurrence count of an item across transactions.
+  uint64_t ItemFrequency(Item i) const {
+    return i < item_freq_.size() ? item_freq_[i] : 0;
+  }
+
+  /// Total number of (transaction, item) occurrences.
+  uint64_t total_occurrences() const { return total_occurrences_; }
+
+  /// One transaction per vertex: the vertex's own attribute values
+  /// (the "mapping function" view used for multi-core coreset mining,
+  /// Section IV-F Step 1).
+  static TransactionDb FromVertexAttributes(const graph::AttributedGraph& g);
+
+  /// One transaction per adjacency-list tuple: the attribute values of the
+  /// core vertex plus those of all its neighbours. This is how the paper
+  /// applies SLIM to an attributed graph for the Table III comparison.
+  static TransactionDb FromStars(const graph::AttributedGraph& g);
+
+ private:
+  std::vector<Itemset> transactions_;
+  std::vector<uint64_t> item_freq_;
+  uint64_t total_occurrences_ = 0;
+};
+
+/// True if `sub` (sorted) is a subset of `super` (sorted).
+bool IsSubset(const Itemset& sub, const Itemset& super);
+
+/// Sorted union of two sorted itemsets.
+Itemset UnionOf(const Itemset& a, const Itemset& b);
+
+}  // namespace cspm::itemset
+
+#endif  // CSPM_ITEMSET_TRANSACTION_DB_H_

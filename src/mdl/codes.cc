@@ -1,0 +1,92 @@
+#include "mdl/codes.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace cspm::mdl {
+
+double Log2(double x) {
+  if (x <= 0.0) return 0.0;
+  return std::log2(x);
+}
+
+double XLog2X(double x) {
+  if (x <= 0.0) return 0.0;
+  return x * std::log2(x);
+}
+
+double ShannonCodeLength(uint64_t count, uint64_t total) {
+  CSPM_DCHECK(total > 0);
+  if (count == 0) return std::numeric_limits<double>::infinity();
+  return -std::log2(static_cast<double>(count) / static_cast<double>(total));
+}
+
+double ConditionalCodeLength(uint64_t joint, uint64_t marginal) {
+  CSPM_DCHECK(marginal > 0);
+  CSPM_DCHECK(joint <= marginal);
+  if (joint == 0) return std::numeric_limits<double>::infinity();
+  return -std::log2(static_cast<double>(joint) /
+                    static_cast<double>(marginal));
+}
+
+double UniversalCodeLength(uint64_t n) {
+  CSPM_DCHECK(n >= 1);
+  // log2*(n) = log2(n) + log2 log2(n) + ... over positive terms.
+  double total = std::log2(2.865064);
+  double v = std::log2(static_cast<double>(n));
+  while (v > 0.0) {
+    total += v;
+    v = std::log2(v);
+  }
+  return total;
+}
+
+double EntropyBits(const std::vector<uint64_t>& counts) {
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (uint64_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double ConditionalEntropyBits(
+    const std::vector<std::vector<uint64_t>>& joint) {
+  // H(Y|X) = -sum_j sum_i (l_ij / s) log2(l_ij / c_j), s = sum of all l_ij.
+  double s = 0.0;
+  for (const auto& row : joint) {
+    for (uint64_t l : row) s += static_cast<double>(l);
+  }
+  if (s == 0.0) return 0.0;
+  double h = 0.0;
+  for (const auto& row : joint) {
+    double cj = 0.0;
+    for (uint64_t l : row) cj += static_cast<double>(l);
+    if (cj == 0.0) continue;
+    for (uint64_t l : row) {
+      if (l == 0) continue;
+      const double lij = static_cast<double>(l);
+      h -= (lij / s) * std::log2(lij / cj);
+    }
+  }
+  return h;
+}
+
+double InvertedDbCostBits(const std::vector<std::vector<uint64_t>>& joint) {
+  double cost = 0.0;
+  for (const auto& row : joint) {
+    double cj = 0.0;
+    for (uint64_t l : row) cj += static_cast<double>(l);
+    cost += XLog2X(cj);
+    for (uint64_t l : row) cost -= XLog2X(static_cast<double>(l));
+  }
+  return cost;
+}
+
+}  // namespace cspm::mdl

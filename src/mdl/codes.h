@@ -1,0 +1,44 @@
+// Code-length primitives for MDL computations (Sections III-IV of the
+// paper). All lengths are in bits (log base 2).
+#ifndef CSPM_MDL_CODES_H_
+#define CSPM_MDL_CODES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cspm::mdl {
+
+/// log2(x) for x > 0; returns 0 for x <= 0 (so that callers can use the
+/// x·log2 x convention without special cases).
+double Log2(double x);
+
+/// x * log2(x) with the information-theoretic convention 0·log2 0 = 0.
+double XLog2X(double x);
+
+/// Shannon optimal code length -log2(count / total) in bits.
+/// Returns +inf-like large value if count == 0; asserts total > 0.
+double ShannonCodeLength(uint64_t count, uint64_t total);
+
+/// Conditional code length -log2(joint / marginal) in bits (Eq. 6):
+/// the cost of a leafset given its coreset, with fL = joint, fc = marginal.
+double ConditionalCodeLength(uint64_t joint, uint64_t marginal);
+
+/// Rissanen's universal code length L_N(n) for positive integers:
+/// log2*(n) + log2(c0), c0 = 2.865064. Defined for n >= 1.
+double UniversalCodeLength(uint64_t n);
+
+/// Entropy H(p) in bits of a count vector (ignores zero counts).
+double EntropyBits(const std::vector<uint64_t>& counts);
+
+/// Conditional entropy H(Y|X) in bits from a joint count table, where
+/// joint[j] is the list of per-leafset counts l_ij for coreset j (Eq. 7).
+/// Returns 0 for an empty table.
+double ConditionalEntropyBits(const std::vector<std::vector<uint64_t>>& joint);
+
+/// Total encoding cost of an inverted database per Eq. 8:
+/// sum_j c_j log2 c_j - sum_ij l_ij log2 l_ij, with c_j = sum_i l_ij.
+double InvertedDbCostBits(const std::vector<std::vector<uint64_t>>& joint);
+
+}  // namespace cspm::mdl
+
+#endif  // CSPM_MDL_CODES_H_

@@ -1,0 +1,110 @@
+#include "nn/adjacency.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cspm::nn {
+
+SparseMatrix SparseMatrix::NormalizedAdjacency(
+    const graph::AttributedGraph& g) {
+  const size_t n = g.num_vertices();
+  SparseMatrix m;
+  m.offsets_.assign(n + 1, 0);
+  // Hold degrees with self loop.
+  std::vector<double> inv_sqrt_deg(n);
+  for (size_t v = 0; v < n; ++v) {
+    inv_sqrt_deg[v] = 1.0 / std::sqrt(static_cast<double>(g.Degree(
+                                          static_cast<uint32_t>(v))) +
+                                      1.0);
+  }
+  for (size_t v = 0; v < n; ++v) {
+    m.offsets_[v + 1] = m.offsets_[v] + g.Degree(static_cast<uint32_t>(v)) + 1;
+  }
+  m.cols_.resize(m.offsets_[n]);
+  m.values_.resize(m.offsets_[n]);
+  for (size_t v = 0; v < n; ++v) {
+    uint64_t idx = m.offsets_[v];
+    // Self loop first (cols unsorted is fine for SpMM).
+    m.cols_[idx] = static_cast<uint32_t>(v);
+    m.values_[idx] = inv_sqrt_deg[v] * inv_sqrt_deg[v];
+    ++idx;
+    for (uint32_t w : g.Neighbors(static_cast<uint32_t>(v))) {
+      m.cols_[idx] = w;
+      m.values_[idx] = inv_sqrt_deg[v] * inv_sqrt_deg[w];
+      ++idx;
+    }
+  }
+  return m;
+}
+
+SparseMatrix SparseMatrix::MeanNeighbors(const graph::AttributedGraph& g) {
+  const size_t n = g.num_vertices();
+  SparseMatrix m;
+  m.offsets_.assign(n + 1, 0);
+  for (size_t v = 0; v < n; ++v) {
+    m.offsets_[v + 1] = m.offsets_[v] + g.Degree(static_cast<uint32_t>(v));
+  }
+  m.cols_.resize(m.offsets_[n]);
+  m.values_.resize(m.offsets_[n]);
+  for (size_t v = 0; v < n; ++v) {
+    const uint32_t deg = g.Degree(static_cast<uint32_t>(v));
+    if (deg == 0) continue;
+    uint64_t idx = m.offsets_[v];
+    const double w = 1.0 / static_cast<double>(deg);
+    for (uint32_t nbr : g.Neighbors(static_cast<uint32_t>(v))) {
+      m.cols_[idx] = nbr;
+      m.values_[idx] = w;
+      ++idx;
+    }
+  }
+  return m;
+}
+
+Matrix SparseMatrix::Multiply(const Matrix& x) const {
+  CSPM_CHECK(x.rows() == rows());
+  Matrix y(rows(), x.cols());
+  for (size_t i = 0; i < rows(); ++i) {
+    double* yrow = y.Row(i);
+    for (uint64_t e = offsets_[i]; e < offsets_[i + 1]; ++e) {
+      const double w = values_[e];
+      const double* xrow = x.Row(cols_[e]);
+      for (size_t j = 0; j < x.cols(); ++j) yrow[j] += w * xrow[j];
+    }
+  }
+  return y;
+}
+
+Matrix SparseMatrix::MultiplyTranspose(const Matrix& x) const {
+  CSPM_CHECK(x.rows() == rows());
+  Matrix y(rows(), x.cols());
+  for (size_t i = 0; i < rows(); ++i) {
+    const double* xrow = x.Row(i);
+    for (uint64_t e = offsets_[i]; e < offsets_[i + 1]; ++e) {
+      const double w = values_[e];
+      double* yrow = y.Row(cols_[e]);
+      for (size_t j = 0; j < x.cols(); ++j) yrow[j] += w * xrow[j];
+    }
+  }
+  return y;
+}
+
+AttentionGraph AttentionGraph::FromGraph(const graph::AttributedGraph& g) {
+  const size_t n = g.num_vertices();
+  AttentionGraph ag;
+  ag.offsets.assign(n + 1, 0);
+  for (size_t v = 0; v < n; ++v) {
+    ag.offsets[v + 1] = ag.offsets[v] + g.Degree(static_cast<uint32_t>(v)) + 1;
+  }
+  ag.targets.resize(ag.offsets[n]);
+  for (size_t v = 0; v < n; ++v) {
+    uint64_t idx = ag.offsets[v];
+    ag.targets[idx++] = static_cast<uint32_t>(v);  // self loop
+    for (uint32_t w : g.Neighbors(static_cast<uint32_t>(v))) {
+      ag.targets[idx++] = w;
+    }
+  }
+  return ag;
+}
+
+}  // namespace cspm::nn

@@ -1,0 +1,53 @@
+// Sparse graph operators for the GNN layers: symmetric-normalized
+// adjacency (GCN), neighbour mean aggregation (GraphSAGE) and the edge
+// structure used by attention (GAT).
+#ifndef CSPM_NN_ADJACENCY_H_
+#define CSPM_NN_ADJACENCY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/attributed_graph.h"
+#include "nn/matrix.h"
+
+namespace cspm::nn {
+
+/// CSR sparse matrix with double values; symmetric in all our uses.
+class SparseMatrix {
+ public:
+  /// GCN operator D^{-1/2} (A + I) D^{-1/2}.
+  static SparseMatrix NormalizedAdjacency(const graph::AttributedGraph& g);
+
+  /// Row-stochastic neighbour averaging WITHOUT self loops (GraphSAGE mean
+  /// aggregator). Rows of isolated vertices are empty (zero).
+  static SparseMatrix MeanNeighbors(const graph::AttributedGraph& g);
+
+  size_t rows() const { return offsets_.size() - 1; }
+
+  /// Dense product: this * x.
+  Matrix Multiply(const Matrix& x) const;
+
+  /// Dense product with the transpose: this^T * x.
+  Matrix MultiplyTranspose(const Matrix& x) const;
+
+ private:
+  std::vector<uint64_t> offsets_;
+  std::vector<uint32_t> cols_;
+  std::vector<double> values_;
+};
+
+/// Directed edge list with self loops, grouped by source: the softmax
+/// neighbourhoods of GAT.
+struct AttentionGraph {
+  /// offsets[i]..offsets[i+1] index into `targets` = N(i) ∪ {i}.
+  std::vector<uint64_t> offsets;
+  std::vector<uint32_t> targets;
+
+  static AttentionGraph FromGraph(const graph::AttributedGraph& g);
+  size_t num_nodes() const { return offsets.size() - 1; }
+  size_t num_edges() const { return targets.size(); }
+};
+
+}  // namespace cspm::nn
+
+#endif  // CSPM_NN_ADJACENCY_H_

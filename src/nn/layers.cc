@@ -1,0 +1,282 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cspm::nn {
+
+DenseLayer::DenseLayer(size_t in, size_t out, Rng* rng)
+    : w(Matrix::Glorot(in, out, rng)),
+      b(1, out),
+      dw(in, out),
+      db(1, out) {}
+
+Matrix DenseLayer::Forward(const Matrix& x) {
+  x_cache_ = x;
+  Matrix y = MatMul(x, w);
+  AddRowVector(&y, b);
+  return y;
+}
+
+Matrix DenseLayer::Backward(const Matrix& grad_out) {
+  dw.Add(MatMulTransposeA(x_cache_, grad_out));
+  db.Add(SumRows(grad_out));
+  return MatMulTransposeB(grad_out, w);
+}
+
+void DenseLayer::CollectParams(ParamRefs* refs) {
+  refs->params.push_back(&w);
+  refs->grads.push_back(&dw);
+  refs->params.push_back(&b);
+  refs->grads.push_back(&db);
+}
+
+void DenseLayer::ZeroGrad() {
+  dw.Fill(0.0);
+  db.Fill(0.0);
+}
+
+Matrix ReluLayer::Forward(const Matrix& x) {
+  x_cache_ = x;
+  return Relu(x);
+}
+
+Matrix ReluLayer::Backward(const Matrix& grad_out) {
+  return ReluBackward(grad_out, x_cache_);
+}
+
+GcnConvLayer::GcnConvLayer(const SparseMatrix* adj, size_t in, size_t out,
+                           Rng* rng)
+    : w(Matrix::Glorot(in, out, rng)), dw(in, out), adj_(adj) {}
+
+Matrix GcnConvLayer::Forward(const Matrix& x) {
+  ax_cache_ = adj_->Multiply(x);
+  return MatMul(ax_cache_, w);
+}
+
+Matrix GcnConvLayer::Backward(const Matrix& grad_out) {
+  dw.Add(MatMulTransposeA(ax_cache_, grad_out));
+  // d/dx [ Â x W ] applied to G: Â^T G W^T (Â symmetric, use Multiply).
+  Matrix gw = MatMulTransposeB(grad_out, w);
+  return adj_->Multiply(gw);
+}
+
+void GcnConvLayer::CollectParams(ParamRefs* refs) {
+  refs->params.push_back(&w);
+  refs->grads.push_back(&dw);
+}
+
+void GcnConvLayer::ZeroGrad() { dw.Fill(0.0); }
+
+SageConvLayer::SageConvLayer(const SparseMatrix* mean_adj, size_t in,
+                             size_t out, Rng* rng)
+    : w_self(Matrix::Glorot(in, out, rng)),
+      w_nbr(Matrix::Glorot(in, out, rng)),
+      b(1, out),
+      dw_self(in, out),
+      dw_nbr(in, out),
+      db(1, out),
+      mean_adj_(mean_adj) {}
+
+Matrix SageConvLayer::Forward(const Matrix& x) {
+  x_cache_ = x;
+  mx_cache_ = mean_adj_->Multiply(x);
+  Matrix y = MatMul(x, w_self);
+  y.Add(MatMul(mx_cache_, w_nbr));
+  AddRowVector(&y, b);
+  return y;
+}
+
+Matrix SageConvLayer::Backward(const Matrix& grad_out) {
+  dw_self.Add(MatMulTransposeA(x_cache_, grad_out));
+  dw_nbr.Add(MatMulTransposeA(mx_cache_, grad_out));
+  db.Add(SumRows(grad_out));
+  Matrix gx = MatMulTransposeB(grad_out, w_self);
+  Matrix g_nbr = MatMulTransposeB(grad_out, w_nbr);
+  gx.Add(mean_adj_->MultiplyTranspose(g_nbr));
+  return gx;
+}
+
+void SageConvLayer::CollectParams(ParamRefs* refs) {
+  refs->params.push_back(&w_self);
+  refs->grads.push_back(&dw_self);
+  refs->params.push_back(&w_nbr);
+  refs->grads.push_back(&dw_nbr);
+  refs->params.push_back(&b);
+  refs->grads.push_back(&db);
+}
+
+void SageConvLayer::ZeroGrad() {
+  dw_self.Fill(0.0);
+  dw_nbr.Fill(0.0);
+  db.Fill(0.0);
+}
+
+GatConvLayer::GatConvLayer(const AttentionGraph* graph, size_t in,
+                           size_t out, Rng* rng, double leaky_slope)
+    : w(Matrix::Glorot(in, out, rng)),
+      a_src(1, out),
+      a_dst(1, out),
+      dw(in, out),
+      da_src(1, out),
+      da_dst(1, out),
+      graph_(graph),
+      leaky_slope_(leaky_slope) {
+  // Small random attention vectors (zero init would kill gradients of a).
+  for (size_t j = 0; j < out; ++j) {
+    a_src(0, j) = rng->Gaussian() * 0.1;
+    a_dst(0, j) = rng->Gaussian() * 0.1;
+  }
+}
+
+Matrix GatConvLayer::Forward(const Matrix& x) {
+  const size_t n = graph_->num_nodes();
+  const size_t f = w.cols();
+  CSPM_CHECK(x.rows() == n);
+  x_cache_ = x;
+  p_cache_ = MatMul(x, w);
+
+  // Per-node scores.
+  std::vector<double> s_src(n, 0.0);
+  std::vector<double> s_dst(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* p = p_cache_.Row(i);
+    double ss = 0.0;
+    double sd = 0.0;
+    for (size_t j = 0; j < f; ++j) {
+      ss += p[j] * a_src(0, j);
+      sd += p[j] * a_dst(0, j);
+    }
+    s_src[i] = ss;
+    s_dst[i] = sd;
+  }
+
+  escore_.assign(graph_->num_edges(), 0.0);
+  alpha_.assign(graph_->num_edges(), 0.0);
+  Matrix y(n, f);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t begin = graph_->offsets[i];
+    const uint64_t end = graph_->offsets[i + 1];
+    // LeakyReLU scores, stabilized softmax.
+    double max_e = -1e300;
+    for (uint64_t e = begin; e < end; ++e) {
+      const double z = s_src[i] + s_dst[graph_->targets[e]];
+      escore_[e] = z;
+      const double act = z > 0 ? z : leaky_slope_ * z;
+      alpha_[e] = act;
+      if (act > max_e) max_e = act;
+    }
+    double denom = 0.0;
+    for (uint64_t e = begin; e < end; ++e) {
+      alpha_[e] = std::exp(alpha_[e] - max_e);
+      denom += alpha_[e];
+    }
+    double* yrow = y.Row(i);
+    for (uint64_t e = begin; e < end; ++e) {
+      alpha_[e] /= denom;
+      const double* prow = p_cache_.Row(graph_->targets[e]);
+      for (size_t j = 0; j < f; ++j) yrow[j] += alpha_[e] * prow[j];
+    }
+  }
+  return y;
+}
+
+Matrix GatConvLayer::Backward(const Matrix& grad_out) {
+  const size_t n = graph_->num_nodes();
+  const size_t f = w.cols();
+  Matrix dp(n, f);
+  std::vector<double> ds_src(n, 0.0);
+  std::vector<double> ds_dst(n, 0.0);
+
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t begin = graph_->offsets[i];
+    const uint64_t end = graph_->offsets[i + 1];
+    const double* grow = grad_out.Row(i);
+
+    // dα_ij = G_i · p_j ; softmax backward needs Σ_k α_ik dα_ik.
+    double weighted_sum = 0.0;
+    for (uint64_t e = begin; e < end; ++e) {
+      const double* prow = p_cache_.Row(graph_->targets[e]);
+      double dalpha = 0.0;
+      for (size_t j = 0; j < f; ++j) dalpha += grow[j] * prow[j];
+      // Reuse escore_ slot? Keep separate small buffer via two passes:
+      // store dalpha temporarily in a stack vector.
+      weighted_sum += alpha_[e] * dalpha;
+    }
+    for (uint64_t e = begin; e < end; ++e) {
+      const uint32_t t = graph_->targets[e];
+      const double* prow = p_cache_.Row(t);
+      double dalpha = 0.0;
+      for (size_t j = 0; j < f; ++j) dalpha += grow[j] * prow[j];
+      const double de = alpha_[e] * (dalpha - weighted_sum);
+      const double dz = escore_[e] > 0 ? de : leaky_slope_ * de;
+      ds_src[i] += dz;
+      ds_dst[t] += dz;
+      // Output term: dp_j += α_ij * G_i.
+      double* dprow = dp.Row(t);
+      for (size_t j = 0; j < f; ++j) dprow[j] += alpha_[e] * grow[j];
+    }
+  }
+  // Score terms: dp_i += ds_src_i * a_src + ds_dst_i * a_dst, and attention
+  // vector gradients.
+  for (size_t i = 0; i < n; ++i) {
+    double* dprow = dp.Row(i);
+    const double* prow = p_cache_.Row(i);
+    for (size_t j = 0; j < f; ++j) {
+      dprow[j] += ds_src[i] * a_src(0, j) + ds_dst[i] * a_dst(0, j);
+      da_src(0, j) += ds_src[i] * prow[j];
+      da_dst(0, j) += ds_dst[i] * prow[j];
+    }
+  }
+  dw.Add(MatMulTransposeA(x_cache_, dp));
+  return MatMulTransposeB(dp, w);
+}
+
+void GatConvLayer::CollectParams(ParamRefs* refs) {
+  refs->params.push_back(&w);
+  refs->grads.push_back(&dw);
+  refs->params.push_back(&a_src);
+  refs->grads.push_back(&da_src);
+  refs->params.push_back(&a_dst);
+  refs->grads.push_back(&da_dst);
+}
+
+void GatConvLayer::ZeroGrad() {
+  dw.Fill(0.0);
+  da_src.Fill(0.0);
+  da_dst.Fill(0.0);
+}
+
+double BceWithLogits(const Matrix& logits, const Matrix& targets,
+                     const std::vector<bool>& row_mask, Matrix* grad) {
+  CSPM_CHECK(logits.rows() == targets.rows() &&
+             logits.cols() == targets.cols());
+  CSPM_CHECK(row_mask.size() == logits.rows());
+  *grad = Matrix(logits.rows(), logits.cols());
+  size_t active_rows = 0;
+  for (bool m : row_mask) active_rows += m ? 1 : 0;
+  if (active_rows == 0) return 0.0;
+  const double scale =
+      1.0 / (static_cast<double>(active_rows) *
+             static_cast<double>(logits.cols()));
+  double loss = 0.0;
+  for (size_t i = 0; i < logits.rows(); ++i) {
+    if (!row_mask[i]) continue;
+    const double* z = logits.Row(i);
+    const double* y = targets.Row(i);
+    double* g = grad->Row(i);
+    for (size_t j = 0; j < logits.cols(); ++j) {
+      // Numerically stable: log(1+e^z) = max(z,0) + log(1+e^{-|z|}).
+      const double zij = z[j];
+      const double softplus =
+          std::max(zij, 0.0) + std::log1p(std::exp(-std::fabs(zij)));
+      loss += (softplus - y[j] * zij) * scale;
+      const double s = 1.0 / (1.0 + std::exp(-zij));
+      g[j] = (s - y[j]) * scale;
+    }
+  }
+  return loss;
+}
+
+}  // namespace cspm::nn

@@ -1,0 +1,110 @@
+// Neural layers with explicit manual backprop. Each layer caches what its
+// backward pass needs; Backward() returns the gradient w.r.t. the input and
+// accumulates parameter gradients (zeroed by ZeroGrad()).
+#ifndef CSPM_NN_LAYERS_H_
+#define CSPM_NN_LAYERS_H_
+
+#include <vector>
+
+#include "nn/adjacency.h"
+#include "nn/matrix.h"
+
+namespace cspm::nn {
+
+/// Pointers to a layer's parameters and their gradients, for the optimizer.
+struct ParamRefs {
+  std::vector<Matrix*> params;
+  std::vector<Matrix*> grads;
+};
+
+/// Fully connected layer y = x W + b.
+class DenseLayer {
+ public:
+  DenseLayer(size_t in, size_t out, Rng* rng);
+  Matrix Forward(const Matrix& x);
+  Matrix Backward(const Matrix& grad_out);
+  void CollectParams(ParamRefs* refs);
+  void ZeroGrad();
+
+  Matrix w, b, dw, db;
+
+ private:
+  Matrix x_cache_;
+};
+
+/// ReLU activation.
+class ReluLayer {
+ public:
+  Matrix Forward(const Matrix& x);
+  Matrix Backward(const Matrix& grad_out);
+
+ private:
+  Matrix x_cache_;
+};
+
+/// Graph convolution y = Â (x W) with fixed normalized adjacency Â
+/// (Kipf & Welling).
+class GcnConvLayer {
+ public:
+  GcnConvLayer(const SparseMatrix* adj, size_t in, size_t out, Rng* rng);
+  Matrix Forward(const Matrix& x);
+  Matrix Backward(const Matrix& grad_out);
+  void CollectParams(ParamRefs* refs);
+  void ZeroGrad();
+
+  Matrix w, dw;
+
+ private:
+  const SparseMatrix* adj_;
+  Matrix ax_cache_;  // Â x
+};
+
+/// GraphSAGE mean aggregator: y = x W_self + mean_N(x) W_nbr + b.
+class SageConvLayer {
+ public:
+  SageConvLayer(const SparseMatrix* mean_adj, size_t in, size_t out,
+                Rng* rng);
+  Matrix Forward(const Matrix& x);
+  Matrix Backward(const Matrix& grad_out);
+  void CollectParams(ParamRefs* refs);
+  void ZeroGrad();
+
+  Matrix w_self, w_nbr, b, dw_self, dw_nbr, db;
+
+ private:
+  const SparseMatrix* mean_adj_;
+  Matrix x_cache_;
+  Matrix mx_cache_;  // mean_N(x)
+};
+
+/// Single-head graph attention (Velickovic et al., simplified):
+///   p = x W;  e_ij = LeakyReLU(p_i·a_src + p_j·a_dst) over j in N(i)∪{i};
+///   α = softmax_j(e_ij);  y_i = Σ_j α_ij p_j.
+class GatConvLayer {
+ public:
+  GatConvLayer(const AttentionGraph* graph, size_t in, size_t out, Rng* rng,
+               double leaky_slope = 0.2);
+  Matrix Forward(const Matrix& x);
+  Matrix Backward(const Matrix& grad_out);
+  void CollectParams(ParamRefs* refs);
+  void ZeroGrad();
+
+  Matrix w, a_src, a_dst, dw, da_src, da_dst;
+
+ private:
+  const AttentionGraph* graph_;
+  double leaky_slope_;
+  Matrix x_cache_, p_cache_;
+  std::vector<double> alpha_;   // per edge
+  std::vector<double> escore_;  // pre-activation per edge
+};
+
+/// Multi-label binary cross-entropy with logits, averaged over the rows
+/// selected by `row_mask` (true = contributes). Returns the loss; fills
+/// `grad` with d(loss)/d(logits).
+double BceWithLogits(const Matrix& logits, const Matrix& targets,
+                     const std::vector<bool>& row_mask, Matrix* grad);
+
+}  // namespace cspm::nn
+
+#endif  // CSPM_NN_LAYERS_H_

@@ -1,0 +1,126 @@
+#include "nn/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cspm::nn {
+
+Matrix Matrix::Glorot(size_t rows, size_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  const double scale = std::sqrt(2.0 / static_cast<double>(rows + cols));
+  for (double& v : m.data_) v = rng->Gaussian() * scale;
+  return m;
+}
+
+void Matrix::Add(const Matrix& other) {
+  CSPM_DCHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::Axpy(double alpha, const Matrix& other) {
+  CSPM_DCHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+}
+
+void Matrix::Scale(double alpha) {
+  for (double& v : data_) v *= alpha;
+}
+
+double Matrix::SquaredNorm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return s;
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  CSPM_CHECK(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.Row(i);
+    double* crow = c.Row(i);
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const double aik = arow[k];
+      if (aik == 0.0) continue;
+      const double* brow = b.Row(k);
+      for (size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
+  CSPM_CHECK(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (size_t k = 0; k < a.rows(); ++k) {
+    const double* arow = a.Row(k);
+    const double* brow = b.Row(k);
+    for (size_t i = 0; i < a.cols(); ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* crow = c.Row(i);
+      for (size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
+  CSPM_CHECK(a.cols() == b.cols());
+  Matrix c(a.rows(), b.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.Row(i);
+    double* crow = c.Row(i);
+    for (size_t j = 0; j < b.rows(); ++j) {
+      const double* brow = b.Row(j);
+      double s = 0.0;
+      for (size_t k = 0; k < a.cols(); ++k) s += arow[k] * brow[k];
+      crow[j] = s;
+    }
+  }
+  return c;
+}
+
+Matrix Relu(const Matrix& x) {
+  Matrix y = x;
+  for (double& v : y.data()) v = v > 0.0 ? v : 0.0;
+  return y;
+}
+
+Matrix ReluBackward(const Matrix& grad, const Matrix& x) {
+  CSPM_DCHECK(grad.rows() == x.rows() && grad.cols() == x.cols());
+  Matrix g = grad;
+  for (size_t i = 0; i < g.data().size(); ++i) {
+    if (x.data()[i] <= 0.0) g.data()[i] = 0.0;
+  }
+  return g;
+}
+
+Matrix Sigmoid(const Matrix& x) {
+  Matrix y = x;
+  for (double& v : y.data()) v = 1.0 / (1.0 + std::exp(-v));
+  return y;
+}
+
+void AddRowVector(Matrix* x, const Matrix& bias) {
+  CSPM_DCHECK(bias.rows() == 1 && bias.cols() == x->cols());
+  for (size_t i = 0; i < x->rows(); ++i) {
+    double* row = x->Row(i);
+    const double* b = bias.Row(0);
+    for (size_t j = 0; j < x->cols(); ++j) row[j] += b[j];
+  }
+}
+
+Matrix SumRows(const Matrix& x) {
+  Matrix s(1, x.cols());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const double* row = x.Row(i);
+    for (size_t j = 0; j < x.cols(); ++j) s(0, j) += row[j];
+  }
+  return s;
+}
+
+}  // namespace cspm::nn

@@ -1,0 +1,79 @@
+// Dense row-major matrix with the small set of operations the completion
+// models need. Laptop-scale (thousands of rows); plain loops, no BLAS.
+#ifndef CSPM_NN_MATRIX_H_
+#define CSPM_NN_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cspm::nn {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols) : rows_(rows), cols_(cols),
+                                     data_(rows * cols, 0.0) {}
+
+  static Matrix Zeros(size_t rows, size_t cols) { return Matrix(rows, cols); }
+
+  /// Xavier/Glorot-scaled Gaussian init.
+  static Matrix Glorot(size_t rows, size_t cols, Rng* rng);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  double* Row(size_t r) { return data_.data() + r * cols_; }
+  const double* Row(size_t r) const { return data_.data() + r * cols_; }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  void Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// this += other (same shape).
+  void Add(const Matrix& other);
+  /// this += alpha * other.
+  void Axpy(double alpha, const Matrix& other);
+  /// this *= alpha.
+  void Scale(double alpha);
+
+  /// Frobenius-squared norm.
+  double SquaredNorm() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// C = A * B.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+/// C = A^T * B.
+Matrix MatMulTransposeA(const Matrix& a, const Matrix& b);
+/// C = A * B^T.
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b);
+
+/// Elementwise ReLU (returns mask-applied copy).
+Matrix Relu(const Matrix& x);
+/// Gradient pass-through of ReLU: grad * 1[x > 0].
+Matrix ReluBackward(const Matrix& grad, const Matrix& x);
+
+/// Elementwise logistic sigmoid.
+Matrix Sigmoid(const Matrix& x);
+
+/// Adds a row vector (1 x C bias) to every row.
+void AddRowVector(Matrix* x, const Matrix& bias);
+
+/// Sums rows into a 1 x C matrix (bias gradient).
+Matrix SumRows(const Matrix& x);
+
+}  // namespace cspm::nn
+
+#endif  // CSPM_NN_MATRIX_H_

@@ -1,0 +1,56 @@
+#include "nn/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace cspm::nn {
+
+std::vector<size_t> TopK(const std::vector<double>& scores, size_t k) {
+  std::vector<size_t> idx(scores.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  k = std::min(k, scores.size());
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<long>(k),
+                    idx.end(), [&](size_t a, size_t b) {
+                      if (scores[a] != scores[b]) {
+                        return scores[a] > scores[b];
+                      }
+                      return a < b;
+                    });
+  idx.resize(k);
+  return idx;
+}
+
+double RecallAtK(const std::vector<double>& scores,
+                 const std::vector<bool>& truth, size_t k) {
+  size_t total_true = 0;
+  for (bool t : truth) total_true += t ? 1 : 0;
+  if (total_true == 0) return 0.0;
+  size_t hit = 0;
+  for (size_t i : TopK(scores, k)) {
+    if (i < truth.size() && truth[i]) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(total_true);
+}
+
+double NdcgAtK(const std::vector<double>& scores,
+               const std::vector<bool>& truth, size_t k) {
+  size_t total_true = 0;
+  for (bool t : truth) total_true += t ? 1 : 0;
+  if (total_true == 0) return 0.0;
+  double dcg = 0.0;
+  const auto ranked = TopK(scores, k);
+  for (size_t pos = 0; pos < ranked.size(); ++pos) {
+    if (ranked[pos] < truth.size() && truth[ranked[pos]]) {
+      dcg += 1.0 / std::log2(static_cast<double>(pos) + 2.0);
+    }
+  }
+  double ideal = 0.0;
+  const size_t ideal_hits = std::min(total_true, std::min(k, scores.size()));
+  for (size_t pos = 0; pos < ideal_hits; ++pos) {
+    ideal += 1.0 / std::log2(static_cast<double>(pos) + 2.0);
+  }
+  return ideal > 0.0 ? dcg / ideal : 0.0;
+}
+
+}  // namespace cspm::nn

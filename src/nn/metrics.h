@@ -1,0 +1,25 @@
+// Ranking metrics of the node-attribute-completion evaluation (Table IV):
+// Recall@K and NDCG@K over multi-label ground truth.
+#ifndef CSPM_NN_METRICS_H_
+#define CSPM_NN_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cspm::nn {
+
+/// Indices of the top-k largest scores (ties broken by lower index).
+std::vector<size_t> TopK(const std::vector<double>& scores, size_t k);
+
+/// |top-k(scores) ∩ truth| / |truth|. Returns 0 when truth is empty.
+double RecallAtK(const std::vector<double>& scores,
+                 const std::vector<bool>& truth, size_t k);
+
+/// NDCG@K with binary relevance: DCG = Σ rel_i / log2(i+2) over the ranked
+/// list, normalized by the ideal DCG.
+double NdcgAtK(const std::vector<double>& scores,
+               const std::vector<bool>& truth, size_t k);
+
+}  // namespace cspm::nn
+
+#endif  // CSPM_NN_METRICS_H_

@@ -1,0 +1,53 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cspm::nn {
+
+AdamOptimizer::AdamOptimizer(ParamRefs refs, double lr, double beta1,
+                             double beta2, double eps)
+    : refs_(std::move(refs)), lr_(lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps) {
+  CSPM_CHECK(refs_.params.size() == refs_.grads.size());
+  for (Matrix* p : refs_.params) {
+    m_.emplace_back(p->rows(), p->cols());
+    v_.emplace_back(p->rows(), p->cols());
+  }
+}
+
+void AdamOptimizer::Step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t k = 0; k < refs_.params.size(); ++k) {
+    Matrix& p = *refs_.params[k];
+    Matrix& g = *refs_.grads[k];
+    Matrix& m = m_[k];
+    Matrix& v = v_[k];
+    for (size_t i = 0; i < p.data().size(); ++i) {
+      const double gi = g.data()[i];
+      m.data()[i] = beta1_ * m.data()[i] + (1.0 - beta1_) * gi;
+      v.data()[i] = beta2_ * v.data()[i] + (1.0 - beta2_) * gi * gi;
+      const double mhat = m.data()[i] / bc1;
+      const double vhat = v.data()[i] / bc2;
+      p.data()[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+    g.Fill(0.0);
+  }
+}
+
+SgdOptimizer::SgdOptimizer(ParamRefs refs, double lr)
+    : refs_(std::move(refs)), lr_(lr) {
+  CSPM_CHECK(refs_.params.size() == refs_.grads.size());
+}
+
+void SgdOptimizer::Step() {
+  for (size_t k = 0; k < refs_.params.size(); ++k) {
+    refs_.params[k]->Axpy(-lr_, *refs_.grads[k]);
+    refs_.grads[k]->Fill(0.0);
+  }
+}
+
+}  // namespace cspm::nn

@@ -1,0 +1,45 @@
+// First-order optimizers over ParamRefs.
+#ifndef CSPM_NN_OPTIMIZER_H_
+#define CSPM_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/matrix.h"
+
+namespace cspm::nn {
+
+/// Adam (Kingma & Ba, 2015).
+class AdamOptimizer {
+ public:
+  explicit AdamOptimizer(ParamRefs refs, double lr = 1e-2,
+                         double beta1 = 0.9, double beta2 = 0.999,
+                         double eps = 1e-8);
+
+  /// Applies one update from the current gradients, then zeroes them.
+  void Step();
+
+  double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr) { lr_ = lr; }
+
+ private:
+  ParamRefs refs_;
+  double lr_, beta1_, beta2_, eps_;
+  uint64_t t_ = 0;
+  std::vector<Matrix> m_, v_;
+};
+
+/// Plain SGD (used by gradient-check tests and ablations).
+class SgdOptimizer {
+ public:
+  explicit SgdOptimizer(ParamRefs refs, double lr = 1e-2);
+  void Step();
+
+ private:
+  ParamRefs refs_;
+  double lr_;
+};
+
+}  // namespace cspm::nn
+
+#endif  // CSPM_NN_OPTIMIZER_H_

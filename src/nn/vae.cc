@@ -1,0 +1,108 @@
+#include "nn/vae.h"
+
+#include <cmath>
+
+namespace cspm::nn {
+
+Vae::Vae(size_t input_dim, const VaeOptions& options)
+    : options_(options),
+      rng_(options.seed),
+      enc1_(input_dim, options.hidden, &rng_),
+      enc_mu_(options.hidden, options.latent, &rng_),
+      enc_logvar_(options.hidden, options.latent, &rng_),
+      dec1_(options.latent, options.hidden, &rng_),
+      dec2_(options.hidden, input_dim, &rng_),
+      optimizer_(CollectAll(), options.learning_rate) {}
+
+ParamRefs Vae::CollectAll() {
+  ParamRefs refs;
+  enc1_.CollectParams(&refs);
+  enc_mu_.CollectParams(&refs);
+  enc_logvar_.CollectParams(&refs);
+  dec1_.CollectParams(&refs);
+  dec2_.CollectParams(&refs);
+  return refs;
+}
+
+double Vae::TrainStep(const Matrix& x, const std::vector<bool>& row_mask,
+                      Rng* rng) {
+  const size_t n = x.rows();
+  const size_t latent = options_.latent;
+
+  // Forward.
+  Matrix h = enc_relu_.Forward(enc1_.Forward(x));
+  Matrix mu = enc_mu_.Forward(h);
+  Matrix logvar = enc_logvar_.Forward(h);
+  Matrix eps(n, latent);
+  for (double& v : eps.data()) v = rng->Gaussian();
+  Matrix z = mu;
+  for (size_t i = 0; i < z.data().size(); ++i) {
+    z.data()[i] += std::exp(0.5 * logvar.data()[i]) * eps.data()[i];
+  }
+  Matrix hd = dec_relu_.Forward(dec1_.Forward(z));
+  Matrix logits = dec2_.Forward(hd);
+
+  // Losses.
+  Matrix grad_logits;
+  double loss = BceWithLogits(logits, x, row_mask, &grad_logits);
+
+  size_t active_rows = 0;
+  for (bool m : row_mask) active_rows += m ? 1 : 0;
+  if (active_rows == 0) return 0.0;
+  const double kl_scale =
+      options_.kl_weight / (static_cast<double>(active_rows) *
+                            static_cast<double>(latent));
+  Matrix grad_mu(n, latent);
+  Matrix grad_logvar(n, latent);
+  for (size_t i = 0; i < n; ++i) {
+    if (!row_mask[i]) continue;
+    for (size_t j = 0; j < latent; ++j) {
+      const double m = mu(i, j);
+      const double lv = logvar(i, j);
+      // KL(N(mu, sigma) || N(0,1)) = 0.5 (mu^2 + e^lv - lv - 1).
+      loss += 0.5 * (m * m + std::exp(lv) - lv - 1.0) * kl_scale;
+      grad_mu(i, j) = m * kl_scale;
+      grad_logvar(i, j) = 0.5 * (std::exp(lv) - 1.0) * kl_scale;
+    }
+  }
+
+  // Backward through decoder.
+  Matrix g = dec2_.Backward(grad_logits);
+  g = dec_relu_.Backward(g);
+  Matrix grad_z = dec1_.Backward(g);
+
+  // Reparameterization: dz/dmu = 1; dz/dlogvar = 0.5 e^{lv/2} eps.
+  for (size_t i = 0; i < grad_z.data().size(); ++i) {
+    grad_mu.data()[i] += grad_z.data()[i];
+    grad_logvar.data()[i] += grad_z.data()[i] * 0.5 *
+                             std::exp(0.5 * logvar.data()[i]) *
+                             eps.data()[i];
+  }
+  Matrix gh = enc_mu_.Backward(grad_mu);
+  gh.Add(enc_logvar_.Backward(grad_logvar));
+  gh = enc_relu_.Backward(gh);
+  enc1_.Backward(gh);
+
+  optimizer_.Step();
+  return loss;
+}
+
+double Vae::Train(const Matrix& x, const std::vector<bool>& row_mask) {
+  double loss = 0.0;
+  for (uint32_t e = 0; e < options_.epochs; ++e) {
+    loss = TrainStep(x, row_mask, &rng_);
+  }
+  return loss;
+}
+
+Matrix Vae::EncodeMean(const Matrix& x) {
+  Matrix h = enc_relu_.Forward(enc1_.Forward(x));
+  return enc_mu_.Forward(h);
+}
+
+Matrix Vae::DecodeProbabilities(const Matrix& z) {
+  Matrix hd = dec_relu_.Forward(dec1_.Forward(z));
+  return Sigmoid(dec2_.Forward(hd));
+}
+
+}  // namespace cspm::nn

@@ -1,0 +1,59 @@
+// Variational autoencoder over binary attribute vectors (the Table IV VAE
+// baseline, Kingma & Welling 2014). Trained on observed rows; missing nodes
+// are imputed by decoding the average latent mean of their neighbours.
+#ifndef CSPM_NN_VAE_H_
+#define CSPM_NN_VAE_H_
+
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+
+namespace cspm::nn {
+
+struct VaeOptions {
+  size_t hidden = 64;
+  size_t latent = 32;
+  double kl_weight = 0.05;
+  double learning_rate = 5e-3;
+  uint32_t epochs = 120;
+  uint64_t seed = 1;
+};
+
+/// Dense VAE: x -> h -> (mu, logvar) -> z -> h' -> logits.
+class Vae {
+ public:
+  Vae(size_t input_dim, const VaeOptions& options);
+
+  /// One full-batch training step on the rows selected by `row_mask`.
+  /// Returns the total loss (reconstruction + KL).
+  double TrainStep(const Matrix& x, const std::vector<bool>& row_mask,
+                   Rng* rng);
+
+  /// Trains for options.epochs steps; returns the final loss.
+  double Train(const Matrix& x, const std::vector<bool>& row_mask);
+
+  /// Encodes rows to latent means (no sampling).
+  Matrix EncodeMean(const Matrix& x);
+
+  /// Decodes latent vectors to attribute probabilities.
+  Matrix DecodeProbabilities(const Matrix& z);
+
+ private:
+  VaeOptions options_;
+  Rng rng_;
+  DenseLayer enc1_;
+  ReluLayer enc_relu_;
+  DenseLayer enc_mu_;
+  DenseLayer enc_logvar_;
+  DenseLayer dec1_;
+  ReluLayer dec_relu_;
+  DenseLayer dec2_;
+  AdamOptimizer optimizer_;
+
+  ParamRefs CollectAll();
+};
+
+}  // namespace cspm::nn
+
+#endif  // CSPM_NN_VAE_H_

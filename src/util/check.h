@@ -1,0 +1,36 @@
+// Invariant-check macros. CSPM_CHECK is always on (used for internal
+// invariants whose violation means a library bug); CSPM_DCHECK compiles out
+// in release builds.
+#ifndef CSPM_UTIL_CHECK_H_
+#define CSPM_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define CSPM_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "CSPM_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define CSPM_CHECK_MSG(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "CSPM_CHECK failed at %s:%d: %s (%s)\n",        \
+                   __FILE__, __LINE__, #cond, msg);                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define CSPM_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define CSPM_DCHECK(cond) CSPM_CHECK(cond)
+#endif
+
+#endif  // CSPM_UTIL_CHECK_H_

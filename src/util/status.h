@@ -1,0 +1,152 @@
+// Status / StatusOr error model (RocksDB / Arrow idiom: no exceptions on
+// library paths). A Status is cheap to copy in the OK case.
+#ifndef CSPM_UTIL_STATUS_H_
+#define CSPM_UTIL_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cspm {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kFailedPrecondition = 3,
+  kOutOfRange = 4,
+  kInternal = 5,
+  kIOError = 6,
+};
+
+/// Result of an operation: either OK or an error code plus message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::make_shared<std::string>(std::move(msg))) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+
+  /// Human-readable message ("" for OK).
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return msg_ ? *msg_ : kEmpty;
+  }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + message();
+  }
+
+  static std::string CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kInternal: return "Internal";
+      case StatusCode::kIOError: return "IOError";
+    }
+    return "Unknown";
+  }
+
+ private:
+  StatusCode code_;
+  std::shared_ptr<std::string> msg_;  // null for OK
+};
+
+/// Either a value of type T or an error Status. Access to value() requires
+/// ok(); violated access aborts in debug builds.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value.
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT
+  /// Implicit from error status. Must not be OK.
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(rep_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The error status (OK when holding a value).
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace cspm
+
+/// Propagates a non-OK Status from an expression.
+#define CSPM_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::cspm::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+#define CSPM_INTERNAL_CONCAT2(a, b) a##b
+#define CSPM_INTERNAL_CONCAT(a, b) CSPM_INTERNAL_CONCAT2(a, b)
+
+/// Assigns the value of a StatusOr expression or propagates its error.
+#define CSPM_ASSIGN_OR_RETURN(lhs, expr)                             \
+  CSPM_ASSIGN_OR_RETURN_IMPL(                                        \
+      CSPM_INTERNAL_CONCAT(_status_or_, __LINE__), lhs, expr)
+
+#define CSPM_ASSIGN_OR_RETURN_IMPL(var, lhs, expr) \
+  auto var = (expr);                               \
+  if (!var.ok()) return var.status();              \
+  lhs = std::move(var).value();
+
+#endif  // CSPM_UTIL_STATUS_H_

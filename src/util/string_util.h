@@ -1,0 +1,30 @@
+// Small string helpers used by I/O, logging and table printers.
+#ifndef CSPM_UTIL_STRING_UTIL_H_
+#define CSPM_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cspm {
+
+/// Splits on a delimiter; empty tokens are dropped.
+std::vector<std::string> SplitString(std::string_view s, char delim);
+
+/// Joins tokens with a separator.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Removes leading/trailing whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace cspm
+
+#endif  // CSPM_UTIL_STRING_UTIL_H_

@@ -1,0 +1,32 @@
+// Wall-clock timing for experiment harnesses.
+#ifndef CSPM_UTIL_TIMER_H_
+#define CSPM_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace cspm {
+
+/// Monotonic stopwatch. Starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cspm
+
+#endif  // CSPM_UTIL_TIMER_H_

@@ -1,0 +1,106 @@
+// Direct tests for the code model (ST, CTc, CTL cost terms of Eqs. 1-6)
+// against hand computations on the paper's running example.
+#include "cspm/code_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "testing_util.h"
+
+namespace cspm::core {
+namespace {
+
+class CodeModelPaperExample : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_ = std::make_unique<graph::AttributedGraph>(
+        cspm::testing::PaperExampleGraph());
+    a_ = g_->dict().Find("a");
+    b_ = g_->dict().Find("b");
+    c_ = g_->dict().Find("c");
+    auto idb_or = InvertedDatabase::FromGraph(*g_);
+    ASSERT_TRUE(idb_or.status().ok());
+    idb_ = std::make_unique<InvertedDatabase>(std::move(idb_or).value());
+    cm_ = std::make_unique<CodeModel>(*g_, *idb_);
+  }
+
+  std::unique_ptr<graph::AttributedGraph> g_;
+  std::unique_ptr<InvertedDatabase> idb_;
+  std::unique_ptr<CodeModel> cm_;
+  AttrId a_ = 0, b_ = 0, c_ = 0;
+};
+
+TEST_F(CodeModelPaperExample, StLengthsMatchFrequencies) {
+  // Occurrences: a:3, b:2, c:2 out of 7 (vertex, value) pairs.
+  EXPECT_NEAR(cm_->StCodeLength(a_), -std::log2(3.0 / 7.0), 1e-12);
+  EXPECT_NEAR(cm_->StCodeLength(b_), -std::log2(2.0 / 7.0), 1e-12);
+  EXPECT_NEAR(cm_->StCodeLength(c_), -std::log2(2.0 / 7.0), 1e-12);
+}
+
+TEST_F(CodeModelPaperExample, SingleValueCoreCodesEqualSt) {
+  // "CTc is exactly the standard code table ST if all coresets have one
+  // core value" (Section IV-C).
+  for (AttrId x : {a_, b_, c_}) {
+    EXPECT_NEAR(cm_->CoreCodeLength(x), cm_->StCodeLength(x), 1e-12);
+  }
+}
+
+TEST_F(CodeModelPaperExample, StCostSumsValues) {
+  std::vector<AttrId> bc{b_, c_};
+  std::sort(bc.begin(), bc.end());
+  EXPECT_NEAR(cm_->StCost(bc),
+              cm_->StCodeLength(b_) + cm_->StCodeLength(c_), 1e-12);
+  EXPECT_DOUBLE_EQ(cm_->StCost(std::vector<AttrId>{}), 0.0);
+}
+
+TEST_F(CodeModelPaperExample, LeafCodeLengthIsEq6) {
+  EXPECT_NEAR(CodeModel::LeafCodeLength(2, 6), -std::log2(2.0 / 6.0),
+              1e-12);
+  EXPECT_NEAR(CodeModel::LeafCodeLength(6, 6), 0.0, 1e-12);
+}
+
+TEST_F(CodeModelPaperExample, CoresetTableCostHandComputed) {
+  // Each of the three coresets: ST spelling of its single value plus its
+  // own Code_c (== ST for single values).
+  const double la = -std::log2(3.0 / 7.0);
+  const double lb = -std::log2(2.0 / 7.0);
+  EXPECT_NEAR(cm_->CoresetTableCostBits(*idb_),
+              2 * la + 2 * lb + 2 * lb, 1e-9);
+}
+
+TEST_F(CodeModelPaperExample, LeafsetTableCostCountsEveryLine) {
+  // 8 initial lines; each contributes ST(leafset) + Code_c + Code_L > 0.
+  const double cost = cm_->LeafsetTableCostBits(*idb_);
+  EXPECT_GT(cost, 0.0);
+  // Lower bound: 8 lines x the cheapest possible ST+Code_c (> 2 bits).
+  EXPECT_GT(cost, 8 * 2.0);
+}
+
+TEST_F(CodeModelPaperExample, TotalIsSumOfParts) {
+  EXPECT_NEAR(cm_->TotalDescriptionLengthBits(*idb_),
+              cm_->CoresetTableCostBits(*idb_) +
+                  cm_->LeafsetTableCostBits(*idb_) + idb_->DataCostBits(),
+              1e-9);
+}
+
+TEST_F(CodeModelPaperExample, MergeShrinksTotalWhenGainPositive) {
+  const double before = cm_->TotalDescriptionLengthBits(*idb_);
+  idb_->MergeLeafsets(b_, c_);  // the paper's winning merge
+  const double after = cm_->TotalDescriptionLengthBits(*idb_);
+  EXPECT_LT(after, before);
+}
+
+TEST_F(CodeModelPaperExample, DataCostMatchesEq8OnExample) {
+  // L(I|M) = sum_e f_e log f_e - sum_lines fL log fL:
+  //   core a: 6 log 6 - (2log2 + 2log2 + 2log2)
+  //   core b: 4 log 4 - (0 + 2log2 + 0)
+  //   core c: 3 log 3 - (2log2 + 0)
+  const double expected = (6 * std::log2(6.0) - 3 * 2.0) +
+                          (4 * std::log2(4.0) - 2.0) +
+                          (3 * std::log2(3.0) - 2.0);
+  EXPECT_NEAR(idb_->DataCostBits(), expected, 1e-9);
+}
+
+}  // namespace
+}  // namespace cspm::core

@@ -1,0 +1,161 @@
+// Unit tests for the inverted database against the paper's running example
+// (Figs. 1, 2 and 4) and structural invariants.
+#include "cspm/inverted_database.h"
+
+#include <gtest/gtest.h>
+
+#include "cspm/verify.h"
+#include "graph/generators.h"
+#include "testing_util.h"
+
+namespace cspm::core {
+namespace {
+
+using cspm::testing::PaperExampleGraph;
+
+class InvertedDbPaperExample : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_ = std::make_unique<graph::AttributedGraph>(PaperExampleGraph());
+    a_ = g_->dict().Find("a");
+    b_ = g_->dict().Find("b");
+    c_ = g_->dict().Find("c");
+    ASSERT_NE(a_, graph::AttributeDictionary::kNotFound);
+    auto idb_or = InvertedDatabase::FromGraph(*g_);
+    ASSERT_TRUE(idb_or.status().ok()) << idb_or.status().ToString();
+    idb_ = std::make_unique<InvertedDatabase>(std::move(idb_or).value());
+  }
+
+  std::unique_ptr<graph::AttributedGraph> g_;
+  std::unique_ptr<InvertedDatabase> idb_;
+  AttrId a_ = 0, b_ = 0, c_ = 0;
+};
+
+TEST_F(InvertedDbPaperExample, MappingTableFrequencies) {
+  // Fig. 2(a): a -> {v1,v2,v5}, b -> {v4,v5}, c -> {v2,v3}.
+  EXPECT_EQ(idb_->CoresetFrequency(a_), 3u);
+  EXPECT_EQ(idb_->CoresetFrequency(b_), 2u);
+  EXPECT_EQ(idb_->CoresetFrequency(c_), 2u);
+  EXPECT_EQ(idb_->total_coreset_frequency(), 7u);
+}
+
+TEST_F(InvertedDbPaperExample, InitialLinesMatchPaper) {
+  // The blue record of Fig. 2(b): ({a}, {c}, {v2, v3}).
+  const PosList* line = idb_->FindLine(c_, /*leafset=*/a_);
+  ASSERT_NE(line, nullptr);
+  EXPECT_EQ(*line, (PosList{1, 2}));  // v2=1, v3=2 (zero-based)
+
+  // Core a: leaf a at {v1,v2}; leaf b at {v1,v5}; leaf c at {v1,v5}.
+  ASSERT_NE(idb_->FindLine(a_, a_), nullptr);
+  EXPECT_EQ(*idb_->FindLine(a_, a_), (PosList{0, 1}));
+  ASSERT_NE(idb_->FindLine(a_, b_), nullptr);
+  EXPECT_EQ(*idb_->FindLine(a_, b_), (PosList{0, 4}));
+  ASSERT_NE(idb_->FindLine(a_, c_), nullptr);
+  EXPECT_EQ(*idb_->FindLine(a_, c_), (PosList{0, 4}));
+
+  // Core b: leaf a at {v4}; leaf b at {v4,v5}; leaf c at {v5}.
+  EXPECT_EQ(*idb_->FindLine(b_, a_), (PosList{3}));
+  EXPECT_EQ(*idb_->FindLine(b_, b_), (PosList{3, 4}));
+  EXPECT_EQ(*idb_->FindLine(b_, c_), (PosList{4}));
+
+  // Core c: leaf a at {v2,v3}; leaf b at {v3}; no leaf-c line.
+  EXPECT_EQ(*idb_->FindLine(c_, b_), (PosList{2}));
+  EXPECT_EQ(idb_->FindLine(c_, c_), nullptr);
+
+  EXPECT_EQ(idb_->num_lines(), 8u);
+  EXPECT_EQ(idb_->num_active_leafsets(), 3u);
+}
+
+TEST_F(InvertedDbPaperExample, CoreLineTotals) {
+  // f_a = 2+2+2 = 6, f_b = 1+2+1 = 4, f_c = 2+1 = 3.
+  EXPECT_EQ(idb_->CoreLineTotal(a_), 6u);
+  EXPECT_EQ(idb_->CoreLineTotal(b_), 4u);
+  EXPECT_EQ(idb_->CoreLineTotal(c_), 3u);
+}
+
+TEST_F(InvertedDbPaperExample, InitialStateIsLossless) {
+  EXPECT_TRUE(VerifyLossless(*g_, *idb_).ok());
+}
+
+TEST_F(InvertedDbPaperExample, MergeBCMatchesFig4) {
+  // Merge leafsets {b} and {c} (Section IV-E's worked example).
+  MergeOutcome outcome = idb_->MergeLeafsets(b_, c_);
+  ASSERT_FALSE(outcome.no_op);
+
+  const LeafsetId bc = outcome.merged_id;
+  std::vector<AttrId> expected{b_, c_};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(idb_->leafsets().Values(bc), expected);
+
+  // Under core {a}: total merge — positions {v1, v5}.
+  ASSERT_NE(idb_->FindLine(a_, bc), nullptr);
+  EXPECT_EQ(*idb_->FindLine(a_, bc), (PosList{0, 4}));
+  EXPECT_EQ(idb_->FindLine(a_, b_), nullptr);
+  EXPECT_EQ(idb_->FindLine(a_, c_), nullptr);
+
+  // Under core {b}: leaf {c} totally merged; ({b},{b}) remains at {v4}.
+  ASSERT_NE(idb_->FindLine(b_, bc), nullptr);
+  EXPECT_EQ(*idb_->FindLine(b_, bc), (PosList{4}));
+  ASSERT_NE(idb_->FindLine(b_, b_), nullptr);
+  EXPECT_EQ(*idb_->FindLine(b_, b_), (PosList{3}));
+  EXPECT_EQ(idb_->FindLine(b_, c_), nullptr);
+
+  // Leafset {c} is totally merged (no remaining line anywhere): the
+  // ({c}, core c) lines never contained leaf c. {c} appeared only under
+  // cores a and b.
+  EXPECT_EQ(outcome.totally_merged.size(), 1u);
+  EXPECT_EQ(outcome.totally_merged[0], c_);
+  ASSERT_EQ(outcome.partly_merged.size(), 1u);
+  EXPECT_EQ(outcome.partly_merged[0], b_);
+
+  // f totals shrink by xy_e: f_a 6->4, f_b 4->3.
+  EXPECT_EQ(idb_->CoreLineTotal(a_), 4u);
+  EXPECT_EQ(idb_->CoreLineTotal(b_), 3u);
+  EXPECT_EQ(idb_->CoreLineTotal(c_), 3u);
+
+  EXPECT_TRUE(VerifyLossless(*g_, *idb_).ok());
+}
+
+TEST_F(InvertedDbPaperExample, MergeOfDisjointLeafsetsIsNoOp) {
+  // Fabricate: leafsets that never co-occur under a shared coreset.
+  // {a} and {b} share cores; but merging twice should eventually no-op.
+  MergeOutcome first = idb_->MergeLeafsets(b_, c_);
+  ASSERT_FALSE(first.no_op);
+  // Merging {c} again: {c} has no lines left.
+  MergeOutcome second = idb_->MergeLeafsets(b_, c_);
+  EXPECT_TRUE(second.no_op);
+}
+
+TEST(InvertedDbRandom, LosslessOnRandomGraphs) {
+  for (uint64_t seed : {1ull, 7ull, 42ull}) {
+    Rng rng(seed);
+    auto g_or = graph::ErdosRenyi(80, 0.08, 12, 3, &rng);
+    ASSERT_TRUE(g_or.status().ok());
+    auto idb_or = InvertedDatabase::FromGraph(*g_or);
+    ASSERT_TRUE(idb_or.status().ok());
+    EXPECT_TRUE(VerifyLossless(*g_or, *idb_or).ok()) << "seed " << seed;
+  }
+}
+
+TEST(InvertedDbRandom, LosslessAfterRandomMergeSequence) {
+  Rng rng(99);
+  auto g_or = graph::ErdosRenyi(60, 0.1, 10, 3, &rng);
+  ASSERT_TRUE(g_or.status().ok());
+  auto idb_or = InvertedDatabase::FromGraph(*g_or);
+  ASSERT_TRUE(idb_or.status().ok());
+  InvertedDatabase idb = std::move(idb_or).value();
+  // Apply random merges of active leafsets; losslessness must hold
+  // regardless of gain.
+  for (int step = 0; step < 25; ++step) {
+    const auto& actives = idb.active_leafsets();
+    if (actives.size() < 2) break;
+    LeafsetId x = actives[rng.Uniform(actives.size())];
+    LeafsetId y = actives[rng.Uniform(actives.size())];
+    if (x == y) continue;
+    idb.MergeLeafsets(x, y);
+    ASSERT_TRUE(VerifyLossless(*g_or, idb).ok()) << "step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace cspm::core

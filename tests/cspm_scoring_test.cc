@@ -1,0 +1,111 @@
+// Tests for the Algorithm 5 scoring module.
+#include "cspm/scoring.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cspm/miner.h"
+#include "graph/generators.h"
+#include "testing_util.h"
+
+namespace cspm::core {
+namespace {
+
+// A hand-built model with two a-stars.
+CspmModel HandModel() {
+  CspmModel model;
+  AStar s1;
+  s1.core_values = {0};
+  s1.leaf_values = {1, 2};
+  s1.code_length_bits = 2.0;
+  AStar s2;
+  s2.core_values = {3};
+  s2.leaf_values = {4};
+  s2.code_length_bits = 5.0;
+  model.astars = {s1, s2};
+  return model;
+}
+
+TEST(ScoringTest, FullSimilarityGivesNegCodeLength) {
+  CspmModel model = HandModel();
+  // Neighbourhood contains both leaf values of s1: similarity 1, w = 1,
+  // score = -code_length.
+  auto scores = ScoreAttributesWithNeighbourhood(6, model, {1, 2});
+  EXPECT_NEAR(scores.raw[0], -2.0, 1e-12);
+  EXPECT_TRUE(std::isinf(scores.raw[3]));  // no evidence for s2's core
+}
+
+TEST(ScoringTest, PartialSimilarityPenalized) {
+  CspmModel model = HandModel();
+  // Only one of the two leaf values present: similarity 0.5, w = 2.
+  auto scores = ScoreAttributesWithNeighbourhood(6, model, {1});
+  EXPECT_NEAR(scores.raw[0], -4.0, 1e-12);
+}
+
+TEST(ScoringTest, NoOverlapGivesNoEvidence) {
+  CspmModel model = HandModel();
+  auto scores = ScoreAttributesWithNeighbourhood(6, model, {5});
+  EXPECT_TRUE(std::isinf(scores.raw[0]));
+  EXPECT_TRUE(std::isinf(scores.raw[3]));
+  for (double v : scores.normalized) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(ScoringTest, BestAStarWinsPerCoreValue) {
+  CspmModel model = HandModel();
+  AStar extra;
+  extra.core_values = {0};
+  extra.leaf_values = {1};
+  extra.code_length_bits = 10.0;  // longer code, weaker pattern
+  model.astars.push_back(extra);
+  auto scores = ScoreAttributesWithNeighbourhood(6, model, {1, 2});
+  // max(-2 (from s1), -10 (from extra)) = -2.
+  EXPECT_NEAR(scores.raw[0], -2.0, 1e-12);
+}
+
+TEST(ScoringTest, NormalizedInUnitRange) {
+  CspmModel model = HandModel();
+  auto scores = ScoreAttributesWithNeighbourhood(6, model, {1, 2, 4});
+  for (double v : scores.normalized) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  // Both cores have evidence; the better one normalizes higher.
+  EXPECT_GT(scores.normalized[0], scores.normalized[3]);
+}
+
+TEST(ScoringTest, GraphPathUsesNeighbourAttributes) {
+  auto g = cspm::testing::PaperExampleGraph();
+  auto model = CspmMiner(CspmOptions{}).Mine(g).value();
+  // Score vertex v1 (= id 0): neighbours carry a, b, c.
+  auto scores = ScoreAttributes(g, model, 0);
+  ASSERT_EQ(scores.raw.size(), 3u);
+  int finite = 0;
+  for (double v : scores.raw) finite += std::isfinite(v) ? 1 : 0;
+  EXPECT_GT(finite, 0);
+}
+
+TEST(ScoringTest, PlantedCoreScoredAboveNoise) {
+  graph::PlantedGraphOptions options;
+  options.num_vertices = 300;
+  options.noise_vocabulary = 12;
+  options.seed = 21;
+  std::vector<graph::PlantedAStar> rules = {
+      {{"influencer"}, {"follower", "like"}, 0.95}};
+  auto g = graph::PlantedAStarGraph(options, rules).value();
+  auto model = CspmMiner(CspmOptions{}).Mine(g).value();
+
+  const graph::AttrId influencer = g.dict().Find("influencer");
+  ASSERT_NE(influencer, graph::AttributeDictionary::kNotFound);
+  // For a synthetic neighbourhood that exactly matches the planted leaves,
+  // the planted core should receive a competitive (finite) score.
+  std::vector<graph::AttrId> neighbourhood = {g.dict().Find("follower"),
+                                              g.dict().Find("like")};
+  auto scores = ScoreAttributesWithNeighbourhood(g.num_attribute_values(),
+                                                 model, neighbourhood);
+  EXPECT_TRUE(std::isfinite(scores.raw[influencer]));
+  EXPECT_GT(scores.normalized[influencer], 0.2);
+}
+
+}  // namespace
+}  // namespace cspm::core

@@ -1,0 +1,91 @@
+// Tests that the synthetic dataset generators produce graphs shaped like
+// the paper's Table II.
+#include "datasets/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/stats.h"
+
+namespace cspm::datasets {
+namespace {
+
+using graph::ComputeStats;
+using graph::GraphStats;
+
+TEST(DatasetsTest, DblpLikeShape) {
+  auto g = MakeDblpLike(1).value();
+  GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.num_vertices, 2723u);
+  // Table II: 3,464 edges, |Sc| = 127. Generator targets the same order.
+  EXPECT_GT(s.num_edges, 2000u);
+  EXPECT_LT(s.num_edges, 6000u);
+  EXPECT_GT(s.num_coresets, 80u);
+  EXPECT_LT(s.num_coresets, 200u);
+}
+
+TEST(DatasetsTest, DblpTrendLikeHasLargerVocabulary) {
+  auto g = MakeDblpTrendLike(1).value();
+  auto base = MakeDblpLike(1).value();
+  GraphStats st = ComputeStats(g);
+  GraphStats sb = ComputeStats(base);
+  EXPECT_EQ(st.num_vertices, sb.num_vertices);
+  // Trends roughly triple the coreset count (Table II: 127 -> 271).
+  EXPECT_GT(st.num_coresets, sb.num_coresets);
+  EXPECT_GT(st.num_coresets, 180u);
+  EXPECT_LT(st.num_coresets, 400u);
+}
+
+TEST(DatasetsTest, UsflightLikeShape) {
+  auto g = MakeUsflightLike(1).value();
+  GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.num_vertices, 280u);
+  // Table II: 4,030 edges, |Sc| = 70.
+  EXPECT_GT(s.num_edges, 3000u);
+  EXPECT_LT(s.num_edges, 5000u);
+  EXPECT_GT(s.num_coresets, 40u);
+  EXPECT_LT(s.num_coresets, 90u);
+  // The planted USFlight pattern attributes must exist.
+  EXPECT_NE(g.dict().Find("NbDepart-"),
+            graph::AttributeDictionary::kNotFound);
+  EXPECT_NE(g.dict().Find("NbDepart+"),
+            graph::AttributeDictionary::kNotFound);
+  EXPECT_NE(g.dict().Find("DelayArriv-"),
+            graph::AttributeDictionary::kNotFound);
+}
+
+TEST(DatasetsTest, PokecLikeShape) {
+  auto g = MakePokecLike(1, /*num_vertices=*/5000).value();
+  GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.num_vertices, 5000u);
+  EXPECT_GT(s.avg_degree, 5.0);  // dense friendship network
+  EXPECT_GT(s.num_coresets, 300u);
+  EXPECT_NE(g.dict().Find("rap"), graph::AttributeDictionary::kNotFound);
+  EXPECT_NE(g.dict().Find("disko"), graph::AttributeDictionary::kNotFound);
+}
+
+TEST(DatasetsTest, CoraLikeShape) {
+  auto g = MakeCoraLike(1).value();
+  GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.num_vertices, 2708u);
+  EXPECT_GT(s.num_edges, 2000u);
+  EXPECT_GT(s.avg_attributes_per_vertex, 2.0);
+}
+
+TEST(DatasetsTest, CiteseerLikeShape) {
+  auto g = MakeCiteseerLike(1).value();
+  GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.num_vertices, 3327u);
+  EXPECT_GT(s.num_edges, 1500u);
+}
+
+TEST(DatasetsTest, DeterministicInSeed) {
+  auto g1 = MakeDblpLike(7).value();
+  auto g2 = MakeDblpLike(7).value();
+  EXPECT_EQ(g1.num_edges(), g2.num_edges());
+  EXPECT_EQ(g1.num_attribute_values(), g2.num_attribute_values());
+  auto g3 = MakeDblpLike(8).value();
+  EXPECT_NE(g1.num_edges(), g3.num_edges());
+}
+
+}  // namespace
+}  // namespace cspm::datasets

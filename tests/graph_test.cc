@@ -1,0 +1,273 @@
+// Tests for the attributed-graph substrate: builder validation, CSR
+// accessors, connectivity, I/O round-trips, generators and statistics.
+#include "graph/attributed_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/stats.h"
+#include "testing_util.h"
+
+namespace cspm::graph {
+namespace {
+
+TEST(AttributeDictionaryTest, InternAndFind) {
+  AttributeDictionary dict;
+  AttrId a = dict.Intern("alpha");
+  AttrId b = dict.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.Intern("alpha"), a);  // idempotent
+  EXPECT_EQ(dict.Find("beta"), b);
+  EXPECT_EQ(dict.Find("gamma"), AttributeDictionary::kNotFound);
+  EXPECT_EQ(dict.Name(a), "alpha");
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(GraphBuilderTest, RejectsSelfLoop) {
+  GraphBuilder b;
+  b.AddVertex({"x"});
+  Status st = b.AddEdge(0, 0);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, RejectsUnknownEndpoints) {
+  GraphBuilder b;
+  b.AddVertex({"x"});
+  EXPECT_FALSE(b.AddEdge(0, 5).ok());
+}
+
+TEST(GraphBuilderTest, RejectsEmptyGraph) {
+  GraphBuilder b;
+  EXPECT_FALSE(std::move(b).Build().status().ok());
+}
+
+TEST(GraphBuilderTest, DeduplicatesEdgesAndAttributes) {
+  GraphBuilder b;
+  b.AddVertex({"x", "x", "y"});
+  b.AddVertex({"z"});
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(1, 0).ok());  // same undirected edge
+  auto g = std::move(b).Build().value();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.Attributes(0).size(), 2u);
+}
+
+TEST(GraphBuilderTest, AddVertexAttributeKeepsSorted) {
+  GraphBuilder b;
+  b.AddVertex({"m"});
+  ASSERT_TRUE(b.AddVertexAttribute(0, "a").ok());
+  ASSERT_TRUE(b.AddVertexAttribute(0, "z").ok());
+  ASSERT_TRUE(b.AddVertexAttribute(0, "a").ok());  // duplicate ignored
+  b.AddVertex({});
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  auto g = std::move(b).Build().value();
+  auto attrs = g.Attributes(0);
+  EXPECT_EQ(attrs.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(attrs.begin(), attrs.end()));
+}
+
+TEST(AttributedGraphTest, PaperExampleAccessors) {
+  auto g = cspm::testing::PaperExampleGraph();
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.num_attribute_values(), 3u);
+  EXPECT_EQ(g.total_attribute_occurrences(), 7u);
+
+  AttrId a = g.dict().Find("a");
+  EXPECT_EQ(g.AttributeFrequency(a), 3u);
+  auto with_a = g.VerticesWithAttribute(a);
+  EXPECT_EQ(std::vector<VertexId>(with_a.begin(), with_a.end()),
+            (std::vector<VertexId>{0, 1, 4}));
+
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasAttribute(1, a));
+  EXPECT_FALSE(g.HasAttribute(2, a));
+  EXPECT_EQ(g.Degree(0), 3u);
+}
+
+TEST(AttributedGraphTest, NeighborsSorted) {
+  auto g = cspm::testing::PaperExampleGraph();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    auto nbrs = g.Neighbors(v);
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  }
+}
+
+TEST(AttributedGraphTest, ConnectivityDetection) {
+  auto g = cspm::testing::PaperExampleGraph();
+  EXPECT_TRUE(g.IsConnected());
+
+  GraphBuilder b;
+  b.AddVertex({"x"});
+  b.AddVertex({"y"});
+  b.AddVertex({"z"});
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  auto g2 = std::move(b).Build().value();
+  EXPECT_FALSE(g2.IsConnected());
+}
+
+TEST(AttributedGraphTest, BuildRequireConnectedFails) {
+  GraphBuilder b;
+  b.AddVertex({"x"});
+  b.AddVertex({"y"});
+  auto st = std::move(b).Build(/*require_connected=*/true).status();
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(AttributedGraphTest, DefaultConstructedIsEmpty) {
+  AttributedGraph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(GraphIoTest, RoundTripPreservesEverything) {
+  auto g = cspm::testing::PaperExampleGraph();
+  std::string text = ToText(g);
+  auto g2_or = FromText(text);
+  ASSERT_TRUE(g2_or.status().ok()) << g2_or.status().ToString();
+  const auto& g2 = *g2_or;
+  ASSERT_EQ(g2.num_vertices(), g.num_vertices());
+  ASSERT_EQ(g2.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    auto a1 = g.Attributes(v);
+    auto a2 = g2.Attributes(v);
+    ASSERT_EQ(a1.size(), a2.size());
+    for (size_t i = 0; i < a1.size(); ++i) {
+      EXPECT_EQ(g.dict().Name(a1[i]), g2.dict().Name(a2[i]));
+    }
+    auto n1 = g.Neighbors(v);
+    auto n2 = g2.Neighbors(v);
+    EXPECT_EQ(std::vector<VertexId>(n1.begin(), n1.end()),
+              std::vector<VertexId>(n2.begin(), n2.end()));
+  }
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  auto g = cspm::testing::PaperExampleGraph();
+  const std::string path = ::testing::TempDir() + "/cspm_io_test.graph";
+  ASSERT_TRUE(SaveToFile(g, path).ok());
+  auto g2_or = LoadFromFile(path);
+  ASSERT_TRUE(g2_or.status().ok());
+  EXPECT_EQ(g2_or->num_vertices(), g.num_vertices());
+}
+
+TEST(GraphIoTest, ParseErrors) {
+  EXPECT_FALSE(FromText("v a\nq nonsense\n").status().ok());
+  EXPECT_FALSE(FromText("v a\ne 0\n").status().ok());
+  EXPECT_FALSE(FromText("v a\ne 0 zero\n").status().ok());
+  EXPECT_FALSE(FromText("v a\nv b\ne 0 0\n").status().ok());  // self loop
+}
+
+TEST(GraphIoTest, CommentsAndBlankLinesIgnored) {
+  auto g_or = FromText("# header\n\nv a b\nv c\n# mid\ne 0 1\n");
+  ASSERT_TRUE(g_or.status().ok());
+  EXPECT_EQ(g_or->num_vertices(), 2u);
+  EXPECT_EQ(g_or->num_edges(), 1u);
+}
+
+TEST(GeneratorsTest, ErdosRenyiDeterministic) {
+  Rng rng1(5);
+  Rng rng2(5);
+  auto g1 = ErdosRenyi(50, 0.1, 8, 2, &rng1).value();
+  auto g2 = ErdosRenyi(50, 0.1, 8, 2, &rng2).value();
+  EXPECT_EQ(g1.num_edges(), g2.num_edges());
+  EXPECT_EQ(ToText(g1), ToText(g2));
+}
+
+TEST(GeneratorsTest, ErdosRenyiEdgeCountNearExpectation) {
+  Rng rng(9);
+  const uint32_t n = 200;
+  const double p = 0.05;
+  auto g = ErdosRenyi(n, p, 8, 2, &rng).value();
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected,
+              5.0 * std::sqrt(expected));
+}
+
+TEST(GeneratorsTest, ErdosRenyiValidation) {
+  Rng rng(1);
+  EXPECT_FALSE(ErdosRenyi(0, 0.1, 8, 2, &rng).status().ok());
+  EXPECT_FALSE(ErdosRenyi(10, 1.5, 8, 2, &rng).status().ok());
+}
+
+TEST(GeneratorsTest, BarabasiAlbertShape) {
+  Rng rng(3);
+  auto g = BarabasiAlbert(300, 3, 10, 2, &rng).value();
+  EXPECT_EQ(g.num_vertices(), 300u);
+  // m edges per vertex after the seed clique.
+  EXPECT_GE(g.num_edges(), 3u * (300 - 4));
+  EXPECT_TRUE(g.IsConnected());
+  // Preferential attachment should produce a hub.
+  uint32_t max_deg = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    max_deg = std::max(max_deg, g.Degree(v));
+  }
+  EXPECT_GT(max_deg, 15u);
+}
+
+TEST(GeneratorsTest, PlantedAStarGraphContainsRuleAttributes) {
+  PlantedGraphOptions options;
+  options.num_vertices = 150;
+  options.seed = 8;
+  auto g = PlantedAStarGraph(options, {{{"core_x"}, {"leaf_y"}, 1.0}})
+               .value();
+  AttrId core = g.dict().Find("core_x");
+  AttrId leaf = g.dict().Find("leaf_y");
+  ASSERT_NE(core, AttributeDictionary::kNotFound);
+  ASSERT_NE(leaf, AttributeDictionary::kNotFound);
+  // Every core vertex with a neighbour must see leaf_y next door.
+  for (VertexId v : g.VerticesWithAttribute(core)) {
+    if (g.Degree(v) == 0) continue;
+    bool found = false;
+    for (VertexId w : g.Neighbors(v)) {
+      if (g.HasAttribute(w, leaf)) found = true;
+    }
+    EXPECT_TRUE(found) << "core vertex " << v;
+  }
+}
+
+TEST(GeneratorsTest, CommunityGraphHomophily) {
+  CommunityGraphOptions options;
+  options.num_vertices = 400;
+  options.num_communities = 4;
+  options.seed = 12;
+  auto cg = MakeCommunityGraph(options).value();
+  EXPECT_EQ(cg.community.size(), 400u);
+  // Count intra vs inter edges: homophily demands a majority intra.
+  uint64_t intra = 0;
+  uint64_t inter = 0;
+  for (VertexId v = 0; v < cg.graph.num_vertices(); ++v) {
+    for (VertexId w : cg.graph.Neighbors(v)) {
+      if (w < v) continue;
+      if (cg.community[v] == cg.community[w]) {
+        ++intra;
+      } else {
+        ++inter;
+      }
+    }
+  }
+  EXPECT_GT(intra, inter);
+}
+
+TEST(StatsTest, PaperExampleStats) {
+  auto g = cspm::testing::PaperExampleGraph();
+  GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.num_vertices, 5u);
+  EXPECT_EQ(s.num_edges, 5u);
+  EXPECT_EQ(s.num_attribute_values, 3u);
+  EXPECT_EQ(s.num_coresets, 3u);
+  EXPECT_NEAR(s.avg_attributes_per_vertex, 7.0 / 5.0, 1e-12);
+  EXPECT_NEAR(s.avg_degree, 2.0, 1e-12);
+  EXPECT_EQ(s.max_degree, 3u);
+  EXPECT_FALSE(StatsToString(s).empty());
+}
+
+}  // namespace
+}  // namespace cspm::graph

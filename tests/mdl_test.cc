@@ -1,0 +1,109 @@
+// Tests for the MDL code-length primitives (Eqs. 5-8 building blocks).
+#include "mdl/codes.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cspm::mdl {
+namespace {
+
+TEST(Log2Test, PositiveValues) {
+  EXPECT_DOUBLE_EQ(Log2(8.0), 3.0);
+  EXPECT_DOUBLE_EQ(Log2(1.0), 0.0);
+}
+
+TEST(Log2Test, NonPositiveIsZero) {
+  EXPECT_DOUBLE_EQ(Log2(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Log2(-3.0), 0.0);
+}
+
+TEST(XLog2XTest, Convention) {
+  EXPECT_DOUBLE_EQ(XLog2X(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(XLog2X(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(XLog2X(4.0), 8.0);
+}
+
+TEST(ShannonTest, MatchesDefinition) {
+  EXPECT_NEAR(ShannonCodeLength(1, 2), 1.0, 1e-12);
+  EXPECT_NEAR(ShannonCodeLength(1, 8), 3.0, 1e-12);
+  EXPECT_NEAR(ShannonCodeLength(8, 8), 0.0, 1e-12);
+}
+
+TEST(ShannonTest, ZeroCountIsInfinite) {
+  EXPECT_TRUE(std::isinf(ShannonCodeLength(0, 5)));
+}
+
+TEST(ConditionalCodeLengthTest, Eq6) {
+  // -log2(fL / fc)
+  EXPECT_NEAR(ConditionalCodeLength(2, 8), 2.0, 1e-12);
+  EXPECT_NEAR(ConditionalCodeLength(8, 8), 0.0, 1e-12);
+  EXPECT_TRUE(std::isinf(ConditionalCodeLength(0, 4)));
+}
+
+TEST(UniversalCodeTest, MonotoneAndPositive) {
+  double prev = 0.0;
+  for (uint64_t n : {1ull, 2ull, 3ull, 10ull, 100ull, 1000000ull}) {
+    double len = UniversalCodeLength(n);
+    EXPECT_GT(len, 0.0);
+    EXPECT_GE(len, prev);
+    prev = len;
+  }
+}
+
+TEST(UniversalCodeTest, KnownShape) {
+  // L_N(1) = log2(c0) since log2(1) = 0 terminates immediately.
+  EXPECT_NEAR(UniversalCodeLength(1), std::log2(2.865064), 1e-9);
+}
+
+TEST(EntropyTest, UniformIsLogN) {
+  EXPECT_NEAR(EntropyBits({1, 1, 1, 1}), 2.0, 1e-12);
+  EXPECT_NEAR(EntropyBits({5, 5}), 1.0, 1e-12);
+}
+
+TEST(EntropyTest, DegenerateIsZero) {
+  EXPECT_DOUBLE_EQ(EntropyBits({42}), 0.0);
+  EXPECT_DOUBLE_EQ(EntropyBits({}), 0.0);
+  EXPECT_DOUBLE_EQ(EntropyBits({0, 0, 7}), 0.0);
+}
+
+TEST(EntropyTest, ZerosIgnored) {
+  EXPECT_NEAR(EntropyBits({3, 0, 3}), 1.0, 1e-12);
+}
+
+TEST(ConditionalEntropyTest, IndependentOfXWhenRowsUniform) {
+  // Each coreset has a uniform 2-way split: H(Y|X) = 1 bit.
+  EXPECT_NEAR(ConditionalEntropyBits({{2, 2}, {8, 8}}), 1.0, 1e-12);
+}
+
+TEST(ConditionalEntropyTest, DeterministicIsZero) {
+  EXPECT_NEAR(ConditionalEntropyBits({{4}, {9}}), 0.0, 1e-12);
+}
+
+TEST(ConditionalEntropyTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(ConditionalEntropyBits({}), 0.0);
+  EXPECT_DOUBLE_EQ(ConditionalEntropyBits({{}, {}}), 0.0);
+}
+
+TEST(ConditionalEntropyTest, BoundedByMarginalEntropy) {
+  // H(Y|X) <= H(Y): conditioning never increases entropy.
+  std::vector<std::vector<uint64_t>> joint = {{3, 1, 2}, {1, 4, 1}};
+  std::vector<uint64_t> y_marginal = {4, 5, 3};
+  EXPECT_LE(ConditionalEntropyBits(joint), EntropyBits(y_marginal) + 1e-12);
+}
+
+TEST(InvertedDbCostTest, MatchesEq8Identity) {
+  // Eq. 8: L(I|M) = s * H(Y|X) with s = total count.
+  std::vector<std::vector<uint64_t>> joint = {{2, 2}, {1, 3, 4}};
+  double s = 2 + 2 + 1 + 3 + 4;
+  EXPECT_NEAR(InvertedDbCostBits(joint), s * ConditionalEntropyBits(joint),
+              1e-9);
+}
+
+TEST(InvertedDbCostTest, SingleLinePerCoresetIsFree) {
+  // One deterministic line per coreset encodes in zero bits.
+  EXPECT_NEAR(InvertedDbCostBits({{7}, {3}}), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace cspm::mdl

@@ -1,0 +1,363 @@
+// Tests for the NN substrate: matrix algebra against hand results,
+// numerical gradient checks for every layer, metrics, and VAE training.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/adjacency.h"
+#include "nn/layers.h"
+#include "nn/matrix.h"
+#include "nn/metrics.h"
+#include "nn/optimizer.h"
+#include "nn/vae.h"
+#include "testing_util.h"
+
+namespace cspm::nn {
+namespace {
+
+TEST(MatrixTest, MatMulHandComputed) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  double av[] = {1, 2, 3, 4, 5, 6};
+  double bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(av, av + 6, a.data().begin());
+  std::copy(bv, bv + 6, b.data().begin());
+  Matrix c = MatMul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(MatrixTest, TransposeVariantsAgree) {
+  Rng rng(3);
+  Matrix a = Matrix::Glorot(4, 3, &rng);
+  Matrix b = Matrix::Glorot(4, 5, &rng);
+  // A^T B == MatMulTransposeA(a, b).
+  Matrix at(3, 4);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 3; ++j) at(j, i) = a(i, j);
+  }
+  Matrix expect = MatMul(at, b);
+  Matrix got = MatMulTransposeA(a, b);
+  for (size_t i = 0; i < expect.rows(); ++i) {
+    for (size_t j = 0; j < expect.cols(); ++j) {
+      EXPECT_NEAR(got(i, j), expect(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(MatrixTest, ReluAndBackward) {
+  Matrix x(1, 4);
+  x(0, 0) = -1;
+  x(0, 1) = 0;
+  x(0, 2) = 2;
+  x(0, 3) = -0.5;
+  Matrix y = Relu(x);
+  EXPECT_DOUBLE_EQ(y(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(y(0, 2), 2.0);
+  Matrix g(1, 4);
+  g.Fill(1.0);
+  Matrix gx = ReluBackward(g, x);
+  EXPECT_DOUBLE_EQ(gx(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(gx(0, 2), 1.0);
+}
+
+TEST(MatrixTest, SigmoidRange) {
+  Matrix x(1, 3);
+  x(0, 0) = -100;
+  x(0, 1) = 0;
+  x(0, 2) = 100;
+  Matrix y = Sigmoid(x);
+  EXPECT_NEAR(y(0, 0), 0.0, 1e-12);
+  EXPECT_NEAR(y(0, 1), 0.5, 1e-12);
+  EXPECT_NEAR(y(0, 2), 1.0, 1e-12);
+}
+
+TEST(AdjacencyTest, NormalizedAdjacencyRowsOfRegularGraph) {
+  // Triangle: every vertex has degree 2; Â entries are 1/3 everywhere.
+  graph::GraphBuilder b;
+  b.AddVertex({"x"});
+  b.AddVertex({"x"});
+  b.AddVertex({"x"});
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2).ok());
+  ASSERT_TRUE(b.AddEdge(0, 2).ok());
+  auto g = std::move(b).Build().value();
+  SparseMatrix adj = SparseMatrix::NormalizedAdjacency(g);
+  Matrix ones(3, 1);
+  ones.Fill(1.0);
+  Matrix y = adj.Multiply(ones);
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(y(i, 0), 1.0, 1e-12);
+}
+
+TEST(AdjacencyTest, MeanNeighborsAverages) {
+  auto g = cspm::testing::PaperExampleGraph();
+  SparseMatrix mean = SparseMatrix::MeanNeighbors(g);
+  Matrix x(5, 1);
+  for (size_t i = 0; i < 5; ++i) x(i, 0) = static_cast<double>(i + 1);
+  Matrix y = mean.Multiply(x);
+  // v1 (id 0) has neighbours 1,2,3 -> mean of (2,3,4) = 3.
+  EXPECT_NEAR(y(0, 0), 3.0, 1e-12);
+  // v2 (id 1) has neighbour 0 -> 1.
+  EXPECT_NEAR(y(1, 0), 1.0, 1e-12);
+}
+
+TEST(AdjacencyTest, MultiplyTransposeIsAdjoint) {
+  // <A x, y> == <x, A^T y>.
+  auto g = cspm::testing::PaperExampleGraph();
+  SparseMatrix mean = SparseMatrix::MeanNeighbors(g);
+  Rng rng(5);
+  Matrix x = Matrix::Glorot(5, 2, &rng);
+  Matrix y = Matrix::Glorot(5, 2, &rng);
+  Matrix ax = mean.Multiply(x);
+  Matrix aty = mean.MultiplyTranspose(y);
+  double lhs = 0;
+  double rhs = 0;
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = 0; j < 2; ++j) {
+      lhs += ax(i, j) * y(i, j);
+      rhs += x(i, j) * aty(i, j);
+    }
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-10);
+}
+
+// ---------------------------------------------------------------------------
+// Numerical gradient checking machinery: loss = sum(output ⊙ R) for a fixed
+// random R, so dLoss/dOutput = R.
+double DotAll(const Matrix& a, const Matrix& b) {
+  double s = 0;
+  for (size_t i = 0; i < a.data().size(); ++i) {
+    s += a.data()[i] * b.data()[i];
+  }
+  return s;
+}
+
+// Checks d(sum(layer(x) ⊙ R))/d(param) and /d(x) numerically.
+template <typename LayerT>
+void CheckLayerGradients(LayerT* layer, Matrix* x, double tol = 2e-5) {
+  Rng rng(99);
+  Matrix out = layer->Forward(*x);
+  Matrix r = Matrix::Glorot(out.rows(), out.cols(), &rng);
+  ParamRefs refs;
+  layer->CollectParams(&refs);
+  layer->ZeroGrad();
+  Matrix out2 = layer->Forward(*x);  // refresh caches
+  Matrix gx = layer->Backward(r);
+
+  const double h = 1e-6;
+  // Parameter gradients.
+  for (size_t k = 0; k < refs.params.size(); ++k) {
+    Matrix* p = refs.params[k];
+    Matrix* g = refs.grads[k];
+    for (size_t idx = 0; idx < std::min<size_t>(p->data().size(), 24);
+         ++idx) {
+      const double orig = p->data()[idx];
+      p->data()[idx] = orig + h;
+      const double lp = DotAll(layer->Forward(*x), r);
+      p->data()[idx] = orig - h;
+      const double lm = DotAll(layer->Forward(*x), r);
+      p->data()[idx] = orig;
+      const double numeric = (lp - lm) / (2 * h);
+      EXPECT_NEAR(g->data()[idx], numeric, tol)
+          << "param " << k << " index " << idx;
+    }
+  }
+  // Input gradients.
+  for (size_t idx = 0; idx < std::min<size_t>(x->data().size(), 24); ++idx) {
+    const double orig = x->data()[idx];
+    x->data()[idx] = orig + h;
+    const double lp = DotAll(layer->Forward(*x), r);
+    x->data()[idx] = orig - h;
+    const double lm = DotAll(layer->Forward(*x), r);
+    x->data()[idx] = orig;
+    const double numeric = (lp - lm) / (2 * h);
+    EXPECT_NEAR(gx.data()[idx], numeric, tol) << "input index " << idx;
+  }
+}
+
+TEST(GradCheckTest, DenseLayer) {
+  Rng rng(7);
+  DenseLayer layer(5, 4, &rng);
+  Matrix x = Matrix::Glorot(6, 5, &rng);
+  CheckLayerGradients(&layer, &x);
+}
+
+TEST(GradCheckTest, GcnConvLayer) {
+  Rng rng(11);
+  auto g = cspm::testing::PaperExampleGraph();
+  SparseMatrix adj = SparseMatrix::NormalizedAdjacency(g);
+  GcnConvLayer layer(&adj, 3, 4, &rng);
+  Matrix x = Matrix::Glorot(5, 3, &rng);
+  CheckLayerGradients(&layer, &x);
+}
+
+TEST(GradCheckTest, SageConvLayer) {
+  Rng rng(13);
+  auto g = cspm::testing::PaperExampleGraph();
+  SparseMatrix mean = SparseMatrix::MeanNeighbors(g);
+  SageConvLayer layer(&mean, 3, 4, &rng);
+  Matrix x = Matrix::Glorot(5, 3, &rng);
+  CheckLayerGradients(&layer, &x);
+}
+
+TEST(GradCheckTest, GatConvLayer) {
+  Rng rng(17);
+  auto g = cspm::testing::PaperExampleGraph();
+  AttentionGraph ag = AttentionGraph::FromGraph(g);
+  GatConvLayer layer(&ag, 3, 4, &rng);
+  Matrix x = Matrix::Glorot(5, 3, &rng);
+  CheckLayerGradients(&layer, &x, /*tol=*/5e-5);
+}
+
+TEST(GradCheckTest, BceWithLogits) {
+  Rng rng(19);
+  Matrix logits = Matrix::Glorot(4, 3, &rng);
+  Matrix targets(4, 3);
+  targets(0, 0) = 1;
+  targets(1, 2) = 1;
+  targets(3, 1) = 1;
+  std::vector<bool> mask = {true, true, false, true};
+  Matrix grad;
+  BceWithLogits(logits, targets, mask, &grad);
+  const double h = 1e-6;
+  for (size_t idx = 0; idx < logits.data().size(); ++idx) {
+    const double orig = logits.data()[idx];
+    Matrix tmp;
+    logits.data()[idx] = orig + h;
+    const double lp = BceWithLogits(logits, targets, mask, &tmp);
+    logits.data()[idx] = orig - h;
+    const double lm = BceWithLogits(logits, targets, mask, &tmp);
+    logits.data()[idx] = orig;
+    EXPECT_NEAR(grad.data()[idx], (lp - lm) / (2 * h), 1e-6);
+  }
+}
+
+TEST(OptimizerTest, AdamReducesQuadratic) {
+  // Minimize ||p - t||^2 for a fixed target.
+  Matrix p(1, 4);
+  Matrix g(1, 4);
+  Matrix t(1, 4);
+  t(0, 0) = 1;
+  t(0, 1) = -2;
+  t(0, 2) = 0.5;
+  t(0, 3) = 3;
+  ParamRefs refs;
+  refs.params = {&p};
+  refs.grads = {&g};
+  AdamOptimizer adam(refs, 0.05);
+  for (int step = 0; step < 500; ++step) {
+    for (size_t i = 0; i < 4; ++i) g(0, i) = 2 * (p(0, i) - t(0, i));
+    adam.Step();
+  }
+  for (size_t i = 0; i < 4; ++i) EXPECT_NEAR(p(0, i), t(0, i), 1e-2);
+}
+
+TEST(OptimizerTest, SgdReducesQuadratic) {
+  Matrix p(1, 2);
+  Matrix g(1, 2);
+  ParamRefs refs;
+  refs.params = {&p};
+  refs.grads = {&g};
+  SgdOptimizer sgd(refs, 0.1);
+  p(0, 0) = 5;
+  p(0, 1) = -5;
+  for (int step = 0; step < 200; ++step) {
+    g(0, 0) = 2 * p(0, 0);
+    g(0, 1) = 2 * p(0, 1);
+    sgd.Step();
+  }
+  EXPECT_NEAR(p(0, 0), 0.0, 1e-3);
+  EXPECT_NEAR(p(0, 1), 0.0, 1e-3);
+}
+
+TEST(MetricsTest, TopKOrder) {
+  std::vector<double> scores = {0.1, 0.9, 0.5, 0.9};
+  auto top = TopK(scores, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 1u);  // tie broken by lower index
+  EXPECT_EQ(top[1], 3u);
+}
+
+TEST(MetricsTest, RecallHandComputed) {
+  std::vector<double> scores = {0.9, 0.8, 0.1, 0.7};
+  std::vector<bool> truth = {true, false, true, false};
+  // top2 = {0, 1}: hits 1 of 2 true.
+  EXPECT_NEAR(RecallAtK(scores, truth, 2), 0.5, 1e-12);
+  // top4 catches both.
+  EXPECT_NEAR(RecallAtK(scores, truth, 4), 1.0, 1e-12);
+}
+
+TEST(MetricsTest, RecallEmptyTruthIsZero) {
+  EXPECT_DOUBLE_EQ(RecallAtK({0.5, 0.4}, {false, false}, 2), 0.0);
+}
+
+TEST(MetricsTest, NdcgPerfectRankingIsOne) {
+  std::vector<double> scores = {0.9, 0.8, 0.1, 0.05};
+  std::vector<bool> truth = {true, true, false, false};
+  EXPECT_NEAR(NdcgAtK(scores, truth, 4), 1.0, 1e-12);
+}
+
+TEST(MetricsTest, NdcgHandComputed) {
+  // Truth at positions ranked 1st and 3rd.
+  std::vector<double> scores = {0.9, 0.5, 0.7};
+  std::vector<bool> truth = {true, true, false};
+  // Ranked: 0 (rel), 2 (non), 1 (rel).
+  const double dcg = 1.0 / std::log2(2.0) + 1.0 / std::log2(4.0);
+  const double ideal = 1.0 / std::log2(2.0) + 1.0 / std::log2(3.0);
+  EXPECT_NEAR(NdcgAtK(scores, truth, 3), dcg / ideal, 1e-12);
+}
+
+TEST(MetricsTest, NdcgWorseRankingScoresLower) {
+  std::vector<bool> truth = {true, false, false, false};
+  std::vector<double> good = {0.9, 0.1, 0.1, 0.1};
+  std::vector<double> bad = {0.1, 0.9, 0.8, 0.7};
+  EXPECT_GT(NdcgAtK(good, truth, 4), NdcgAtK(bad, truth, 4));
+}
+
+TEST(VaeTest, TrainingReducesLoss) {
+  Rng rng(23);
+  // Structured binary data: two prototype rows plus noise.
+  Matrix x(40, 12);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const size_t proto = i % 2;
+    for (size_t j = 0; j < 6; ++j) x(i, proto * 6 + j) = 1.0;
+    if (rng.Bernoulli(0.3)) x(i, rng.Uniform(12)) = 1.0;
+  }
+  std::vector<bool> mask(40, true);
+  VaeOptions options;
+  options.epochs = 1;
+  options.seed = 5;
+  Vae vae(12, options);
+  Rng step_rng(31);
+  double first = vae.TrainStep(x, mask, &step_rng);
+  double last = first;
+  for (int e = 0; e < 150; ++e) last = vae.TrainStep(x, mask, &step_rng);
+  EXPECT_LT(last, first * 0.8);
+}
+
+TEST(VaeTest, EncodeDecodeShapes) {
+  VaeOptions options;
+  options.hidden = 8;
+  options.latent = 4;
+  options.epochs = 2;
+  Vae vae(10, options);
+  Matrix x(6, 10);
+  std::vector<bool> mask(6, true);
+  vae.Train(x, mask);
+  Matrix mu = vae.EncodeMean(x);
+  EXPECT_EQ(mu.rows(), 6u);
+  EXPECT_EQ(mu.cols(), 4u);
+  Matrix probs = vae.DecodeProbabilities(mu);
+  EXPECT_EQ(probs.rows(), 6u);
+  EXPECT_EQ(probs.cols(), 10u);
+  for (double v : probs.data()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace cspm::nn

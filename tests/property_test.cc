@@ -1,0 +1,178 @@
+// Parameterized property sweeps over random graphs: the library-wide
+// invariants of DESIGN.md checked across a grid of sizes, densities,
+// vocabularies and seeds.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cspm/miner.h"
+#include "cspm/verify.h"
+#include "graph/generators.h"
+#include "mdl/codes.h"
+
+namespace cspm::core {
+namespace {
+
+// (num_vertices, edge_probability, vocabulary, attrs_per_vertex, seed)
+using GraphParams = std::tuple<uint32_t, double, uint32_t, uint32_t, uint64_t>;
+
+class RandomGraphProperties : public ::testing::TestWithParam<GraphParams> {
+ protected:
+  graph::AttributedGraph MakeGraph() const {
+    auto [n, p, vocab, apv, seed] = GetParam();
+    Rng rng(seed);
+    return graph::ErdosRenyi(n, p, vocab, apv, &rng).value();
+  }
+};
+
+TEST_P(RandomGraphProperties, MiningIsLosslessAndMonotone) {
+  auto g = MakeGraph();
+  CspmOptions options;
+  options.record_iteration_stats = true;
+  auto artifacts = CspmMiner(options).MineWithArtifacts(g).value();
+  // Losslessness of the final inverted database.
+  ASSERT_TRUE(VerifyLossless(g, artifacts.inverted_db).ok());
+  // DL never increases.
+  EXPECT_LE(artifacts.model.stats.final_dl_bits,
+            artifacts.model.stats.initial_dl_bits + 1e-6);
+  // Every accepted merge had positive gain.
+  for (const auto& it : artifacts.model.stats.per_iteration) {
+    if (it.iteration == 0) continue;
+    EXPECT_GT(it.accepted_gain_bits, 0.0);
+  }
+}
+
+TEST_P(RandomGraphProperties, AStarFrequenciesConsistent) {
+  auto g = MakeGraph();
+  auto artifacts =
+      CspmMiner(CspmOptions{}).MineWithArtifacts(g).value();
+  const auto& idb = artifacts.inverted_db;
+  // Per-coreset dynamic totals equal the sum of line frequencies.
+  std::vector<uint64_t> totals(idb.num_coresets(), 0);
+  idb.ForEachLine([&](CoreId e, LeafsetId l, const PosList& positions) {
+    (void)l;
+    totals[e] += positions.size();
+  });
+  for (CoreId e = 0; e < idb.num_coresets(); ++e) {
+    EXPECT_EQ(totals[e], idb.CoreLineTotal(e)) << "coreset " << e;
+  }
+  // Model a-stars mirror the lines: frequency <= core total and positive
+  // code lengths.
+  for (const auto& s : artifacts.model.astars) {
+    EXPECT_GT(s.frequency, 0u);
+    EXPECT_LE(s.frequency, s.core_total);
+    EXPECT_GE(s.code_length_bits, 0.0);
+  }
+}
+
+TEST_P(RandomGraphProperties, DataCostMatchesEq8Identity) {
+  auto g = MakeGraph();
+  auto idb = InvertedDatabase::FromGraph(g).value();
+  // Collect the joint count table and compare Eq. 8 evaluated both ways.
+  std::vector<std::vector<uint64_t>> joint(idb.num_coresets());
+  idb.ForEachLine([&](CoreId e, LeafsetId l, const PosList& positions) {
+    (void)l;
+    joint[e].push_back(positions.size());
+  });
+  EXPECT_NEAR(idb.DataCostBits(), mdl::InvertedDbCostBits(joint), 1e-6);
+}
+
+TEST_P(RandomGraphProperties, BasicPartialAgreement) {
+  auto g = MakeGraph();
+  CspmOptions basic;
+  basic.strategy = SearchStrategy::kBasic;
+  CspmOptions partial;
+  partial.strategy = SearchStrategy::kPartial;
+  auto mb = CspmMiner(basic).Mine(g).value();
+  auto mp = CspmMiner(partial).Mine(g).value();
+  // Both must compress; Partial is an approximation of Basic (the paper's
+  // rdict heuristic can skip merges), so allow a bounded shortfall.
+  EXPECT_LE(mb.stats.final_dl_bits, mb.stats.initial_dl_bits + 1e-6);
+  EXPECT_LE(mp.stats.final_dl_bits, mp.stats.initial_dl_bits + 1e-6);
+  EXPECT_NEAR(mb.stats.final_dl_bits, mp.stats.final_dl_bits,
+              0.16 * mb.stats.initial_dl_bits + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomGraphProperties,
+    ::testing::Values(
+        GraphParams{40, 0.10, 8, 2, 1},
+        GraphParams{40, 0.10, 8, 2, 2},
+        GraphParams{60, 0.06, 12, 3, 3},
+        GraphParams{60, 0.06, 12, 3, 4},
+        GraphParams{80, 0.04, 6, 2, 5},
+        GraphParams{80, 0.12, 20, 4, 6},
+        GraphParams{120, 0.03, 10, 3, 7},
+        GraphParams{120, 0.03, 30, 2, 8},
+        GraphParams{160, 0.02, 16, 3, 9},
+        GraphParams{200, 0.015, 24, 3, 10}));
+
+// Sparse/edge-case shapes.
+class EdgeCaseGraphs : public ::testing::Test {};
+
+TEST_F(EdgeCaseGraphs, SingleVertexNoEdges) {
+  graph::GraphBuilder b;
+  b.AddVertex({"solo"});
+  auto g = std::move(b).Build().value();
+  auto artifacts =
+      CspmMiner(CspmOptions{}).MineWithArtifacts(g).value();
+  EXPECT_EQ(artifacts.model.stats.iterations, 0u);
+  EXPECT_TRUE(VerifyLossless(g, artifacts.inverted_db).ok());
+}
+
+TEST_F(EdgeCaseGraphs, VerticesWithoutAttributes) {
+  graph::GraphBuilder b;
+  b.AddVertex({});
+  b.AddVertex({"x"});
+  b.AddVertex({});
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(1, 2).ok());
+  auto g = std::move(b).Build().value();
+  auto artifacts =
+      CspmMiner(CspmOptions{}).MineWithArtifacts(g).value();
+  EXPECT_TRUE(VerifyLossless(g, artifacts.inverted_db).ok());
+}
+
+TEST_F(EdgeCaseGraphs, CompleteBipartiteWithOppositeAttributes) {
+  // K_{3,3}: left vertices carry L, right carry R. Expect the single
+  // deterministic relationship L <-> R, fully compressible.
+  graph::GraphBuilder b;
+  for (int i = 0; i < 3; ++i) b.AddVertex({"L"});
+  for (int i = 0; i < 3; ++i) b.AddVertex({"R"});
+  for (uint32_t l = 0; l < 3; ++l) {
+    for (uint32_t r = 3; r < 6; ++r) ASSERT_TRUE(b.AddEdge(l, r).ok());
+  }
+  auto g = std::move(b).Build().value();
+  auto artifacts =
+      CspmMiner(CspmOptions{}).MineWithArtifacts(g).value();
+  // Two lines (L->R, R->L); nothing to merge; data cost is zero because
+  // each coreset has exactly one deterministic line.
+  EXPECT_EQ(artifacts.inverted_db.num_lines(), 2u);
+  EXPECT_NEAR(artifacts.inverted_db.DataCostBits(), 0.0, 1e-9);
+}
+
+TEST_F(EdgeCaseGraphs, StarGraphCoreSeesAllLeaves) {
+  // A hub with k leaves, hub has "hub", leaves have "leaf_i": all leaf
+  // lines for core "hub" have frequency 1 and are mergeable pairwise.
+  graph::GraphBuilder b;
+  b.AddVertex({"hub"});
+  const int k = 6;
+  for (int i = 1; i <= k; ++i) {
+    b.AddVertex({"leafA", "leafB"});
+    ASSERT_TRUE(b.AddEdge(0, static_cast<uint32_t>(i)).ok());
+  }
+  auto g = std::move(b).Build().value();
+  auto artifacts =
+      CspmMiner(CspmOptions{}).MineWithArtifacts(g).value();
+  EXPECT_TRUE(VerifyLossless(g, artifacts.inverted_db).ok());
+  // leafA and leafB always co-occur around "hub" and around each other:
+  // expect a merged leafset {leafA, leafB} somewhere.
+  bool merged = false;
+  for (const auto& s : artifacts.model.astars) {
+    if (s.leaf_values.size() == 2) merged = true;
+  }
+  EXPECT_TRUE(merged);
+}
+
+}  // namespace
+}  // namespace cspm::core
