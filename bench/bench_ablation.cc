@@ -9,14 +9,14 @@
 #include "alarm/simulator.h"
 #include "alarm/window_graph.h"
 #include "bench_common.h"
-#include "cspm/miner.h"
+#include "engine/session.h"
 
 namespace {
 
 void RunMinerVariant(const char* label, const cspm::graph::AttributedGraph& g,
-                     cspm::core::CspmOptions options) {
+                     cspm::engine::MiningOptions options) {
   options.record_iteration_stats = false;
-  auto model = cspm::core::CspmMiner(options).Mine(g).value();
+  auto model = cspm::engine::MineModel(g, options).value();
   std::printf("  %-28s DL %.0f -> %.0f (ratio %.4f), %llu merges, "
               "%llu gain calcs, %.3fs\n",
               label, model.stats.initial_dl_bits, model.stats.final_dl_bits,
@@ -36,20 +36,20 @@ int main() {
 
   std::printf("=== Ablation 1: gain policy (DBLP-like) ===\n");
   {
-    core::CspmOptions data_only;
-    data_only.gain_policy = core::GainPolicy::kDataOnly;
+    engine::MiningOptions data_only;
+    data_only.gain_policy = engine::Gain::kDataOnly;
     RunMinerVariant("data-only gain (Alg. 2)", g, data_only);
-    core::CspmOptions with_model;
-    with_model.gain_policy = core::GainPolicy::kDataPlusModel;
+    engine::MiningOptions with_model;
+    with_model.gain_policy = engine::Gain::kDataPlusModel;
     RunMinerVariant("data+model gain (MDL)", g, with_model);
   }
 
   std::printf("=== Ablation 2: revalidate-on-pop in Partial ===\n");
   {
-    core::CspmOptions on;
+    engine::MiningOptions on;
     on.revalidate_on_pop = true;
     RunMinerVariant("revalidate on", g, on);
-    core::CspmOptions off;
+    engine::MiningOptions off;
     off.revalidate_on_pop = false;
     RunMinerVariant("revalidate off", g, off);
   }

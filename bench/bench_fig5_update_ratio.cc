@@ -12,7 +12,7 @@
 #include <cstdlib>
 
 #include "bench_common.h"
-#include "cspm/miner.h"
+#include "engine/session.h"
 
 namespace {
 
@@ -24,7 +24,7 @@ double BudgetSeconds() {
 }
 
 void PrintSeries(const char* label,
-                 const std::vector<cspm::core::IterationStats>& stats) {
+                 const std::vector<cspm::engine::IterationStats>& stats) {
   // Downsample to at most 12 sample points.
   std::printf("  %-12s", label);
   if (stats.empty()) {
@@ -48,21 +48,20 @@ int main() {
               "(sampled; cap %.0fs per run) ===\n", budget);
   for (const auto& item : bench::MakeTable2Datasets()) {
     std::printf("%s:\n", item.name.c_str());
-    for (auto strategy : {core::SearchStrategy::kBasic,
-                          core::SearchStrategy::kPartial}) {
-      if (strategy == core::SearchStrategy::kBasic &&
+    for (auto strategy : {engine::Search::kBasic, engine::Search::kPartial}) {
+      if (strategy == engine::Search::kBasic &&
           item.graph.num_vertices() > 5000) {
         std::printf("  %-12s (skipped: dataset too large for Basic)\n",
                     "CSPM-Basic");
         continue;
       }
-      core::CspmOptions options;
+      engine::MiningOptions options;
       options.strategy = strategy;
       options.record_iteration_stats = true;
       options.max_seconds = budget;
-      auto model = core::CspmMiner(options).Mine(item.graph).value();
-      PrintSeries(strategy == core::SearchStrategy::kBasic ? "CSPM-Basic"
-                                                           : "CSPM-Partial",
+      auto model = engine::MineModel(item.graph, options).value();
+      PrintSeries(strategy == engine::Search::kBasic ? "CSPM-Basic"
+                                                     : "CSPM-Partial",
                   model.stats.per_iteration);
       std::fflush(stdout);
     }

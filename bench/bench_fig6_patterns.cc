@@ -13,16 +13,16 @@
 #include <cstdio>
 
 #include "bench_common.h"
-#include "cspm/miner.h"
+#include "engine/session.h"
 
 int main() {
   using namespace cspm;
   std::printf("=== Fig. 6 / Sec. VI-B: example a-stars "
               "(top merged patterns by code length) ===\n");
   for (const auto& item : bench::MakeTable2Datasets()) {
-    core::CspmOptions options;
+    engine::MiningOptions options;
     options.record_iteration_stats = false;
-    auto model = core::CspmMiner(options).Mine(item.graph).value();
+    auto model = engine::MineModel(item.graph, options).value();
     std::printf("%s (%zu a-stars, DL %.0f -> %.0f bits):\n",
                 item.name.c_str(), model.astars.size(),
                 model.stats.initial_dl_bits, model.stats.final_dl_bits);

@@ -10,7 +10,7 @@
 #include "alarm/acor.h"
 #include "alarm/simulator.h"
 #include "alarm/window_graph.h"
-#include "cspm/miner.h"
+#include "engine/session.h"
 
 int main() {
   using namespace cspm;
@@ -34,9 +34,9 @@ int main() {
               "pair rules) ===\n", data.events.size(), valid.size());
 
   auto wg = BuildWindowGraph(data, /*window_minutes=*/5.0).value();
-  core::CspmOptions mopts;
+  engine::MiningOptions mopts;
   mopts.record_iteration_stats = false;
-  auto model = core::CspmMiner(mopts).Mine(wg).value();
+  auto model = engine::MineModel(wg, mopts).value();
   auto cspm_ranked = SplitAStarsToPairs(model, wg.dict());
   auto acor_ranked = RunAcor(data, {});
 

@@ -1,11 +1,12 @@
 // Google-benchmark microbenchmarks for the CSPM core primitives:
 // inverted-database construction, gain computation, merge application,
-// end-to-end mining and the Algorithm 5 scoring path.
+// end-to-end mining and the Algorithm 5 scoring path. The hot paths run
+// through the engine micro harness so this file compiles against the
+// facade only; the loops themselves execute directly on the core.
 #include <benchmark/benchmark.h>
 
-#include "cspm/gain.h"
-#include "cspm/miner.h"
-#include "cspm/scoring.h"
+#include "engine/micro.h"
+#include "engine/session.h"
 #include "graph/generators.h"
 
 namespace {
@@ -19,9 +20,9 @@ graph::AttributedGraph MakeBenchGraph(uint32_t n) {
 
 void BM_InvertedDbBuild(benchmark::State& state) {
   auto g = MakeBenchGraph(static_cast<uint32_t>(state.range(0)));
+  engine::micro::CoreHarness harness(g);
   for (auto _ : state) {
-    auto idb = core::InvertedDatabase::FromGraph(g).value();
-    benchmark::DoNotOptimize(idb.num_lines());
+    benchmark::DoNotOptimize(harness.RebuildDatabase());
   }
   state.SetItemsProcessed(state.iterations() * g.num_edges());
 }
@@ -29,46 +30,36 @@ BENCHMARK(BM_InvertedDbBuild)->Arg(500)->Arg(2000)->Arg(8000);
 
 void BM_GainComputation(benchmark::State& state) {
   auto g = MakeBenchGraph(2000);
-  auto idb = core::InvertedDatabase::FromGraph(g).value();
-  core::CodeModel cm(g, idb);
-  const auto& actives = idb.active_leafsets();
-  size_t i = 0;
-  size_t j = 1;
+  engine::micro::CoreHarness harness(g);
   for (auto _ : state) {
-    auto gain = core::ComputeMergeGain(idb, cm, actives[i], actives[j]);
-    benchmark::DoNotOptimize(gain.data_gain_bits);
-    j = (j + 1) % actives.size();
-    if (j == i) j = (j + 1) % actives.size();
-    if (j == 0) i = (i + 1) % (actives.size() - 1);
+    benchmark::DoNotOptimize(harness.GainSweep(1));
   }
 }
 BENCHMARK(BM_GainComputation);
 
+void BM_GainAllPairs(benchmark::State& state) {
+  auto g = MakeBenchGraph(2000);
+  engine::micro::CoreHarness harness(g);
+  const auto threads = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(harness.GainSweepAllPairs(threads));
+  }
+  state.SetItemsProcessed(
+      state.iterations() * harness.num_active_leafsets() *
+      (harness.num_active_leafsets() - 1) / 2);
+}
+BENCHMARK(BM_GainAllPairs)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
 void BM_MergeApply(benchmark::State& state) {
   auto g = MakeBenchGraph(2000);
+  engine::micro::CoreHarness harness(g);
   for (auto _ : state) {
     state.PauseTiming();
-    auto idb = core::InvertedDatabase::FromGraph(g).value();
-    core::CodeModel cm(g, idb);
-    // Find one feasible pair.
-    const auto actives = idb.active_leafsets();
-    core::LeafsetId x = 0;
-    core::LeafsetId y = 0;
-    bool found = false;
-    for (size_t a = 0; a < actives.size() && !found; ++a) {
-      for (size_t b = a + 1; b < actives.size() && !found; ++b) {
-        auto gain = core::ComputeMergeGain(idb, cm, actives[a], actives[b]);
-        if (gain.feasible) {
-          x = actives[a];
-          y = actives[b];
-          found = true;
-        }
-      }
-    }
+    harness.RebuildDatabase();
+    const bool found = harness.StageFirstFeasibleMerge();
     state.ResumeTiming();
     if (found) {
-      auto outcome = idb.MergeLeafsets(x, y);
-      benchmark::DoNotOptimize(outcome.moved_positions);
+      benchmark::DoNotOptimize(harness.ApplyStagedMerge());
     }
   }
 }
@@ -76,23 +67,40 @@ BENCHMARK(BM_MergeApply)->Iterations(20);
 
 void BM_MineEndToEnd(benchmark::State& state) {
   auto g = MakeBenchGraph(static_cast<uint32_t>(state.range(0)));
-  core::CspmOptions options;
+  engine::MiningOptions options;
   options.record_iteration_stats = false;
   for (auto _ : state) {
-    auto model = core::CspmMiner(options).Mine(g).value();
+    auto model = engine::MineModel(g, options).value();
     benchmark::DoNotOptimize(model.astars.size());
   }
 }
 BENCHMARK(BM_MineEndToEnd)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
 
+void BM_MineBasicThreads(benchmark::State& state) {
+  auto g = MakeBenchGraph(500);
+  engine::MiningOptions options;
+  options.strategy = engine::Search::kBasic;
+  options.record_iteration_stats = false;
+  options.num_threads = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto model = engine::MineModel(g, options).value();
+    benchmark::DoNotOptimize(model.astars.size());
+  }
+}
+BENCHMARK(BM_MineBasicThreads)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
 void BM_ScoringModule(benchmark::State& state) {
   auto g = MakeBenchGraph(2000);
-  core::CspmOptions options;
+  engine::MiningOptions options;
   options.record_iteration_stats = false;
-  auto model = core::CspmMiner(options).Mine(g).value();
+  auto session = engine::MiningSession::Create(g, options).value();
+  if (!session.Mine().ok()) {
+    state.SkipWithError("mining failed");
+    return;
+  }
   graph::VertexId v = 0;
   for (auto _ : state) {
-    auto scores = core::ScoreAttributes(g, model, v);
+    auto scores = session.Score(v);
     benchmark::DoNotOptimize(scores.normalized.data());
     v = (v + 1) % g.num_vertices();
   }

@@ -16,7 +16,7 @@
 #include <cstdlib>
 
 #include "bench_common.h"
-#include "cspm/miner.h"
+#include "engine/session.h"
 #include "itemset/slim.h"
 #include "itemset/transaction_db.h"
 #include "util/timer.h"
@@ -78,21 +78,21 @@ int main() {
     if (item.graph.num_vertices() > 5000) {
       basic_cell.skipped = true;
     } else {
-      core::CspmOptions options;
-      options.strategy = core::SearchStrategy::kBasic;
+      engine::MiningOptions options;
+      options.strategy = engine::Search::kBasic;
       options.record_iteration_stats = false;
       options.max_seconds = budget;
-      auto model = core::CspmMiner(options).Mine(item.graph).value();
+      auto model = engine::MineModel(item.graph, options).value();
       basic_cell.seconds = model.stats.runtime_seconds;
       basic_cell.capped = model.stats.hit_time_budget;
     }
     // CSPM-Partial (no cap needed; it is the fast one).
     Cell partial_cell;
     {
-      core::CspmOptions options;
-      options.strategy = core::SearchStrategy::kPartial;
+      engine::MiningOptions options;
+      options.strategy = engine::Search::kPartial;
       options.record_iteration_stats = false;
-      auto model = core::CspmMiner(options).Mine(item.graph).value();
+      auto model = engine::MineModel(item.graph, options).value();
       partial_cell.seconds = model.stats.runtime_seconds;
     }
     std::printf("%-14s", item.name.c_str());

@@ -12,8 +12,8 @@
 #include "completion/fusion.h"
 #include "completion/models.h"
 #include "completion/task.h"
-#include "cspm/miner.h"
 #include "datasets/synthetic.h"
+#include "engine/session.h"
 
 namespace {
 
@@ -57,10 +57,10 @@ int main() {
   for (auto& spec : specs) {
     auto data = MakeCompletionTask(spec.graph, /*missing_fraction=*/0.3,
                                    /*seed=*/41).value();
-    core::CspmOptions mopts;
+    engine::MiningOptions mopts;
     mopts.record_iteration_stats = false;
     auto cspm_model =
-        core::CspmMiner(mopts).Mine(data.masked_graph).value();
+        engine::MineModel(data.masked_graph, mopts).value();
 
     std::printf("%s (K = {%zu, %zu, %zu}):\n", spec.name, spec.ks[0],
                 spec.ks[1], spec.ks[2]);

@@ -10,7 +10,7 @@
 #include "alarm/acor.h"
 #include "alarm/simulator.h"
 #include "alarm/window_graph.h"
-#include "cspm/miner.h"
+#include "engine/session.h"
 
 int main() {
   using namespace cspm;
@@ -42,9 +42,9 @@ int main() {
     std::fprintf(stderr, "%s\n", wg_or.status().ToString().c_str());
     return 1;
   }
-  core::CspmOptions mopts;
+  engine::MiningOptions mopts;
   mopts.record_iteration_stats = false;
-  auto model_or = core::CspmMiner(mopts).Mine(*wg_or);
+  auto model_or = engine::MineModel(*wg_or, mopts);
   if (!model_or.ok()) {
     std::fprintf(stderr, "%s\n", model_or.status().ToString().c_str());
     return 1;

@@ -7,8 +7,8 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "cspm/miner.h"
 #include "datasets/synthetic.h"
+#include "engine/session.h"
 #include "graph/io.h"
 #include "graph/stats.h"
 
@@ -38,14 +38,14 @@ int main() {
   std::printf("saved and reloaded %u airports from %s\n",
               reloaded->num_vertices(), path.c_str());
 
-  core::CspmOptions options;
+  engine::MiningOptions options;
   options.record_iteration_stats = false;
-  auto model_or = core::CspmMiner(options).Mine(*reloaded);
+  auto model_or = engine::MineModel(*reloaded, options);
   if (!model_or.ok()) {
     std::fprintf(stderr, "%s\n", model_or.status().ToString().c_str());
     return 1;
   }
-  const core::CspmModel& model = *model_or;
+  const engine::CspmModel& model = *model_or;
 
   const graph::AttrId hub_trend = reloaded->dict().Find("NbDepart-");
   std::printf("patterns rooted at NbDepart- (the paper's USFlight "

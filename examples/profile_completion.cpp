@@ -8,8 +8,8 @@
 #include "completion/fusion.h"
 #include "completion/models.h"
 #include "completion/task.h"
-#include "cspm/miner.h"
 #include "datasets/synthetic.h"
+#include "engine/session.h"
 
 int main() {
   using namespace cspm;
@@ -32,9 +32,9 @@ int main() {
               data.masked_graph.num_vertices(), data.test_nodes.size());
 
   // Mine a-stars on the attribute-missing graph (what a deployment sees).
-  core::CspmOptions mopts;
+  engine::MiningOptions mopts;
   mopts.record_iteration_stats = false;
-  auto cspm_model = core::CspmMiner(mopts).Mine(data.masked_graph);
+  auto cspm_model = engine::MineModel(data.masked_graph, mopts);
   if (!cspm_model.ok()) {
     std::fprintf(stderr, "%s\n", cspm_model.status().ToString().c_str());
     return 1;

@@ -8,7 +8,7 @@
 // example from the paper's introduction.
 #include <cstdio>
 
-#include "cspm/miner.h"
+#include "engine/session.h"
 #include "graph/generators.h"
 #include "graph/stats.h"
 
@@ -34,14 +34,13 @@ int main() {
               graph::StatsToString(graph::ComputeStats(g)).c_str());
 
   // 2. Mine with CSPM (parameter-free; defaults use the Partial search).
-  core::CspmMiner miner(core::CspmOptions{});
-  auto model_or = miner.Mine(g);
+  auto model_or = engine::MineModel(g);
   if (!model_or.ok()) {
     std::fprintf(stderr, "mining failed: %s\n",
                  model_or.status().ToString().c_str());
     return 1;
   }
-  const core::CspmModel& model = *model_or;
+  const engine::CspmModel& model = *model_or;
 
   // 3. Report.
   std::printf("mined %zu a-stars in %.3fs (%llu merges)\n",

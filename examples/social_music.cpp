@@ -5,8 +5,8 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "cspm/miner.h"
 #include "datasets/synthetic.h"
+#include "engine/session.h"
 #include "graph/stats.h"
 
 int main() {
@@ -21,14 +21,14 @@ int main() {
   std::printf("friendship network: %s\n",
               graph::StatsToString(graph::ComputeStats(g)).c_str());
 
-  core::CspmOptions options;
+  engine::MiningOptions options;
   options.record_iteration_stats = false;
-  auto model_or = core::CspmMiner(options).Mine(g);
+  auto model_or = engine::MineModel(g, options);
   if (!model_or.ok()) {
     std::fprintf(stderr, "%s\n", model_or.status().ToString().c_str());
     return 1;
   }
-  const core::CspmModel& model = *model_or;
+  const engine::CspmModel& model = *model_or;
   std::printf("mined %zu a-stars in %.2fs; DL %.0f -> %.0f bits\n",
               model.astars.size(), model.stats.runtime_seconds,
               model.stats.initial_dl_bits, model.stats.final_dl_bits);

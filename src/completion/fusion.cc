@@ -11,7 +11,7 @@ nn::Matrix FuseWithCspm(const nn::Matrix& model_scores,
   nn::Matrix fused = model_scores;
   const size_t num_attrs = data.num_attributes();
   for (graph::VertexId v : data.test_nodes) {
-    core::AttributeScores cspm_scores = core::ScoreAttributes(
+    engine::AttributeScores cspm_scores = engine::ScoreAttributes(
         data.masked_graph, cspm_model, v, options.scoring);
 
     // Min-max normalize the model row (per-row, like the paper's "the two

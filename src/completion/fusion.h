@@ -5,7 +5,7 @@
 
 #include "completion/task.h"
 #include "cspm/model.h"
-#include "cspm/scoring.h"
+#include "engine/scoring.h"
 
 namespace cspm::completion {
 
@@ -15,7 +15,7 @@ struct FusionOptions {
   /// case; with floor 1.0 the multiplier lies in [1, 2], so pattern
   /// evidence boosts a value and its absence never demotes one.
   double evidence_floor = 1.0;
-  core::ScoringOptions scoring;
+  engine::ScoringOptions scoring;
 };
 
 /// Returns a copy of `model_scores` where every test-node row has been

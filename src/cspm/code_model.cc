@@ -41,7 +41,7 @@ double CodeModel::CoresetTableCostBits(const InvertedDatabase& idb) const {
 
 double CodeModel::LeafsetTableCostBits(const InvertedDatabase& idb) const {
   double bits = 0.0;
-  idb.ForEachLine([&](CoreId e, LeafsetId l, const PosList& positions) {
+  idb.ForEachLine([&](CoreId e, LeafsetId l, PosListView positions) {
     bits += StCost(idb.leafsets().Values(l)) + CoreCodeLength(e) +
             LeafCodeLength(positions.size(), idb.CoreLineTotal(e));
   });

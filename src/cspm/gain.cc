@@ -8,7 +8,7 @@
 namespace cspm::core {
 namespace {
 
-uint64_t IntersectionSize(const PosList& a, const PosList& b) {
+uint64_t IntersectionSize(PosListView a, PosListView b) {
   uint64_t n = 0;
   size_t i = 0;
   size_t j = 0;
@@ -32,9 +32,7 @@ GainResult ComputeMergeGain(const InvertedDatabase& idb, const CodeModel& cm,
                             LeafsetId x, LeafsetId y) {
   GainResult result;
   if (x == y) return result;
-  const std::vector<CoreId>& cx = idb.CoresOf(x);
-  const std::vector<CoreId>& cy = idb.CoresOf(y);
-  if (cx.empty() || cy.empty()) return result;
+  if (idb.CoresOf(x).empty() || idb.CoresOf(y).empty()) return result;
 
   const std::vector<AttrId> union_values =
       idb.leafsets().UnionValues(x, y);
@@ -48,32 +46,15 @@ GainResult ComputeMergeGain(const InvertedDatabase& idb, const CodeModel& cm,
   const double x_st_cost = cm.StCost(idb.leafsets().Values(x));
   const double y_st_cost = cm.StCost(idb.leafsets().Values(y));
 
-  auto it_x = cx.begin();
-  auto it_y = cy.begin();
-  while (it_x != cx.end() && it_y != cy.end()) {
-    if (*it_x < *it_y) {
-      ++it_x;
-      continue;
-    }
-    if (*it_y < *it_x) {
-      ++it_y;
-      continue;
-    }
-    const CoreId e = *it_x;
-    ++it_x;
-    ++it_y;
-
-    const PosList* px = idb.FindLine(e, x);
-    const PosList* py = idb.FindLine(e, y);
-    CSPM_DCHECK(px != nullptr && py != nullptr);
-    const uint64_t xye = IntersectionSize(*px, *py);
-    if (xye == 0) continue;  // nothing merges under this coreset
+  idb.ForEachSharedCore(x, y, [&](CoreId e, PosListView px, PosListView py) {
+    const uint64_t xye = IntersectionSize(px, py);
+    if (xye == 0) return;  // nothing merges under this coreset
     result.feasible = true;
     ++result.cores_with_overlap;
     result.total_overlap += xye;
 
-    const uint64_t xe = px->size();
-    const uint64_t ye = py->size();
+    const uint64_t xe = px.size();
+    const uint64_t ye = py.size();
     const uint64_t fe = idb.CoreLineTotal(e);
 
     // P1 (Eq. 10): f_e log f_e - (f_e - xy_e) log(f_e - xy_e).
@@ -85,8 +66,7 @@ GainResult ComputeMergeGain(const InvertedDatabase& idb, const CodeModel& cm,
     // uniformly.
     uint64_t ze = 0;  // existing union line frequency, if any
     if (existing_union != LeafsetRegistry::kNotFound) {
-      const PosList* pu = idb.FindLine(e, existing_union);
-      if (pu != nullptr) ze = pu->size();
+      ze = idb.FindLine(e, existing_union).size();
     }
     const double old_terms = mdl::XLog2X(static_cast<double>(xe)) +
                              mdl::XLog2X(static_cast<double>(ye)) +
@@ -101,7 +81,7 @@ GainResult ComputeMergeGain(const InvertedDatabase& idb, const CodeModel& cm,
     if (ze == 0) result.model_delta_bits += union_st_cost + core_code;
     if (xe == xye) result.model_delta_bits -= x_st_cost + core_code;
     if (ye == xye) result.model_delta_bits -= y_st_cost + core_code;
-  }
+  });
   if (!result.feasible) {
     result.data_gain_bits = 0.0;
     result.model_delta_bits = 0.0;

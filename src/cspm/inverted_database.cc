@@ -8,15 +8,15 @@
 namespace cspm::core {
 namespace {
 
-// out = a - b for sorted vectors.
-void DifferenceInto(const PosList& a, const PosList& b, PosList* out) {
+// out = a - b for sorted ranges.
+void DifferenceInto(PosListView a, PosListView b, PosList* out) {
   out->clear();
   std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
                       std::back_inserter(*out));
 }
 
-// out = a ∩ b for sorted vectors.
-void IntersectInto(const PosList& a, const PosList& b, PosList* out) {
+// out = a ∩ b for sorted ranges.
+void IntersectInto(PosListView a, PosListView b, PosList* out) {
   out->clear();
   std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
                         std::back_inserter(*out));
@@ -24,23 +24,10 @@ void IntersectInto(const PosList& a, const PosList& b, PosList* out) {
 
 }  // namespace
 
-const PosList* InvertedDatabase::FindLine(CoreId e, LeafsetId l) const {
-  auto it = lines_.find(Key(e, l));
-  return it == lines_.end() ? nullptr : &it->second;
-}
-
-const std::vector<CoreId>& InvertedDatabase::CoresOf(LeafsetId l) const {
-  static const std::vector<CoreId> kEmpty;
-  if (l >= cores_of_.size()) return kEmpty;
-  return cores_of_[l];
-}
-
-void InvertedDatabase::ForEachLine(
-    const std::function<void(CoreId, LeafsetId, const PosList&)>& fn) const {
-  for (const auto& [key, positions] : lines_) {
-    fn(static_cast<CoreId>(key >> 32), static_cast<LeafsetId>(key),
-       positions);
-  }
+size_t InvertedDatabase::LowerBoundCore(const LeafsetLines& lines, CoreId e) {
+  return static_cast<size_t>(
+      std::lower_bound(lines.cores.begin(), lines.cores.end(), e) -
+      lines.cores.begin());
 }
 
 void InvertedDatabase::ActivateLeafset(LeafsetId l) {
@@ -51,45 +38,21 @@ void InvertedDatabase::ActivateLeafset(LeafsetId l) {
   }
 }
 
-void InvertedDatabase::InsertCoreOf(LeafsetId l, CoreId e) {
-  if (l >= cores_of_.size()) cores_of_.resize(l + 1);
-  auto& cores = cores_of_[l];
-  auto it = std::lower_bound(cores.begin(), cores.end(), e);
-  if (it == cores.end() || *it != e) cores.insert(it, e);
-}
-
-void InvertedDatabase::EraseCoreOf(LeafsetId l, CoreId e) {
-  auto& cores = cores_of_[l];
-  auto it = std::lower_bound(cores.begin(), cores.end(), e);
-  CSPM_DCHECK(it != cores.end() && *it == e);
-  cores.erase(it);
-  if (cores.empty()) {
-    auto ait = std::lower_bound(active_leafsets_.begin(),
-                                active_leafsets_.end(), l);
-    if (ait != active_leafsets_.end() && *ait == l) {
-      active_leafsets_.erase(ait);
-    }
+void InvertedDatabase::DeactivateLeafset(LeafsetId l) {
+  auto it = std::lower_bound(active_leafsets_.begin(), active_leafsets_.end(),
+                             l);
+  if (it != active_leafsets_.end() && *it == l) {
+    active_leafsets_.erase(it);
   }
 }
 
-void InvertedDatabase::AddInitialLine(CoreId e, LeafsetId l, VertexId v) {
-  PosList& positions = lines_[Key(e, l)];
-  // Vertices are visited in increasing order during construction, so the
-  // list stays sorted; a vertex is added at most once per (e, l).
-  CSPM_DCHECK(positions.empty() || positions.back() < v);
-  positions.push_back(v);
-  ++core_line_total_[e];
-}
-
-void InvertedDatabase::Finalize() {
-  num_lines_ = lines_.size();
-  for (const auto& [key, positions] : lines_) {
-    (void)positions;
-    CoreId e = static_cast<CoreId>(key >> 32);
-    LeafsetId l = static_cast<LeafsetId>(key);
-    InsertCoreOf(l, e);
-    ActivateLeafset(l);
-  }
+void InvertedDatabase::EraseLineAt(LeafsetId l, size_t i) {
+  LeafsetLines& lines = lines_of_[l];
+  pool_.Free(lines.refs[i]);
+  lines.cores.erase(lines.cores.begin() + i);
+  lines.refs.erase(lines.refs.begin() + i);
+  --num_lines_;
+  if (lines.cores.empty()) DeactivateLeafset(l);
 }
 
 StatusOr<InvertedDatabase> InvertedDatabase::FromGraph(
@@ -138,10 +101,17 @@ StatusOr<InvertedDatabase> InvertedDatabase::FromGraphWithCoresets(
     CSPM_CHECK(l == a);
   }
 
-  // Neighbourhood attribute union, computed per vertex with a stamp array.
-  std::vector<uint32_t> stamp(g.num_attribute_values(), 0);
+  // Group the (leaf value, coreset, vertex) occurrences into contiguous
+  // initial lines with two linear counting scatters — no hashing, no
+  // comparison sort. Vertices are visited in ascending order throughout,
+  // so every scatter is stable and position lists come out sorted.
+  const size_t num_attrs = g.num_attribute_values();
+  std::vector<uint32_t> stamp(num_attrs, 0);
   uint32_t current = 0;
   std::vector<AttrId> neighbourhood;
+
+  // Pass 1: per-leaf occurrence counts.
+  std::vector<uint64_t> leaf_offsets(num_attrs + 1, 0);
   for (VertexId v = 0; v < g.num_vertices(); ++v) {
     if (vertex_coresets[v].empty()) continue;
     ++current;
@@ -154,15 +124,92 @@ StatusOr<InvertedDatabase> InvertedDatabase::FromGraphWithCoresets(
         }
       }
     }
-    if (neighbourhood.empty()) continue;
-    std::sort(neighbourhood.begin(), neighbourhood.end());
-    for (CoreId c : vertex_coresets[v]) {
-      for (AttrId y : neighbourhood) {
-        idb.AddInitialLine(c, /*leafset=*/y, v);
+    const uint64_t cores = vertex_coresets[v].size();
+    for (AttrId y : neighbourhood) leaf_offsets[y + 1] += cores;
+  }
+  for (size_t a = 0; a < num_attrs; ++a) leaf_offsets[a + 1] += leaf_offsets[a];
+  const uint64_t total = leaf_offsets[num_attrs];
+
+  // Pass 2: scatter (core, vertex) pairs into per-leaf buckets, in v order.
+  std::vector<CoreId> bucket_core(total);
+  std::vector<VertexId> bucket_vertex(total);
+  std::vector<uint64_t> cursor(leaf_offsets.begin(), leaf_offsets.end() - 1);
+  current = 0;
+  std::fill(stamp.begin(), stamp.end(), 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (vertex_coresets[v].empty()) continue;
+    ++current;
+    neighbourhood.clear();
+    for (VertexId w : g.Neighbors(v)) {
+      for (AttrId a : g.Attributes(w)) {
+        if (stamp[a] != current) {
+          stamp[a] = current;
+          neighbourhood.push_back(a);
+        }
+      }
+    }
+    for (AttrId y : neighbourhood) {
+      uint64_t& at = cursor[y];
+      for (CoreId c : vertex_coresets[v]) {
+        bucket_core[at] = c;
+        bucket_vertex[at] = v;
+        ++at;
       }
     }
   }
-  idb.Finalize();
+
+  // Pass 3: within each leaf bucket, a counting scatter by coreset (the
+  // same stamp trick over core ids) yields the lines, cores ascending.
+  idb.lines_of_.resize(num_attrs);
+  std::vector<uint32_t> core_stamp(idb.coreset_values_.size(), 0);
+  std::vector<uint64_t> core_cursor(idb.coreset_values_.size(), 0);
+  std::vector<CoreId> cores_here;
+  std::vector<VertexId> line_vertices;
+  uint32_t leaf_generation = 0;
+  for (AttrId leaf = 0; leaf < num_attrs; ++leaf) {
+    const uint64_t begin = leaf_offsets[leaf];
+    const uint64_t end = leaf_offsets[leaf + 1];
+    if (begin == end) continue;
+    ++leaf_generation;
+    cores_here.clear();
+    for (uint64_t i = begin; i < end; ++i) {
+      const CoreId c = bucket_core[i];
+      if (core_stamp[c] != leaf_generation) {
+        core_stamp[c] = leaf_generation;
+        core_cursor[c] = 0;
+        cores_here.push_back(c);
+      }
+      ++core_cursor[c];
+    }
+    std::sort(cores_here.begin(), cores_here.end());
+    // Per-core cursors become scatter offsets into the leaf's line block.
+    uint64_t offset = 0;
+    for (CoreId c : cores_here) {
+      const uint64_t count = core_cursor[c];
+      core_cursor[c] = offset;
+      offset += count;
+    }
+    line_vertices.resize(end - begin);
+    for (uint64_t i = begin; i < end; ++i) {
+      line_vertices[core_cursor[bucket_core[i]]++] = bucket_vertex[i];
+    }
+
+    LeafsetLines& lines = idb.lines_of_[leaf];
+    lines.cores.reserve(cores_here.size());
+    lines.refs.reserve(cores_here.size());
+    uint64_t line_begin = 0;
+    for (CoreId c : cores_here) {
+      const uint64_t line_end = core_cursor[c];  // cursor stops past c's run
+      const std::span<const VertexId> positions(
+          line_vertices.data() + line_begin, line_end - line_begin);
+      lines.cores.push_back(c);
+      lines.refs.push_back(idb.pool_.Allocate(positions));
+      idb.core_line_total_[c] += positions.size();
+      ++idb.num_lines_;
+      line_begin = line_end;
+    }
+    idb.active_leafsets_.push_back(leaf);
+  }
   return idb;
 }
 
@@ -178,50 +225,55 @@ MergeOutcome InvertedDatabase::MergeLeafsets(LeafsetId x, LeafsetId y) {
 
   const LeafsetId u = leafsets_.InternUnion(x, y);
   outcome.merged_id = u;
+  if (u >= lines_of_.size()) lines_of_.resize(u + 1);
+
   PosList intersection;
   PosList remainder;
   for (CoreId e : shared) {
-    auto itx = lines_.find(Key(e, x));
-    auto ity = lines_.find(Key(e, y));
-    CSPM_DCHECK(itx != lines_.end() && ity != lines_.end());
-    IntersectInto(itx->second, ity->second, &intersection);
+    // Indices are re-searched per coreset: erasures shift the vectors.
+    LeafsetLines& lx = lines_of_[x];
+    LeafsetLines& ly = lines_of_[y];
+    const size_t ix = LowerBoundCore(lx, e);
+    const size_t iy = LowerBoundCore(ly, e);
+    CSPM_DCHECK(ix < lx.cores.size() && lx.cores[ix] == e);
+    CSPM_DCHECK(iy < ly.cores.size() && ly.cores[iy] == e);
+    IntersectInto(pool_.View(lx.refs[ix]), pool_.View(ly.refs[iy]),
+                  &intersection);
     if (intersection.empty()) continue;
     outcome.no_op = false;
     ++outcome.cores_touched;
     outcome.moved_positions += intersection.size();
 
     // Shrink the x line.
-    DifferenceInto(itx->second, intersection, &remainder);
+    DifferenceInto(pool_.View(lx.refs[ix]), intersection, &remainder);
     if (remainder.empty()) {
-      lines_.erase(itx);
-      --num_lines_;
-      EraseCoreOf(x, e);
+      EraseLineAt(x, ix);
     } else {
-      itx->second = remainder;
+      pool_.Assign(lx.refs[ix], remainder);
     }
     // Shrink the y line.
-    DifferenceInto(ity->second, intersection, &remainder);
+    DifferenceInto(pool_.View(ly.refs[iy]), intersection, &remainder);
     if (remainder.empty()) {
-      lines_.erase(ity);
-      --num_lines_;
-      EraseCoreOf(y, e);
+      EraseLineAt(y, iy);
     } else {
-      ity->second = remainder;
+      pool_.Assign(ly.refs[iy], remainder);
     }
     // Grow (or create) the union line. Positions are disjoint from any
     // existing union-line positions by the losslessness invariant.
-    PosList& target = lines_[Key(e, u)];
-    if (target.empty()) {
+    LeafsetLines& lu = lines_of_[u];
+    const size_t iu = LowerBoundCore(lu, e);
+    if (iu == lu.cores.size() || lu.cores[iu] != e) {
+      if (lu.cores.empty()) ActivateLeafset(u);
+      lu.cores.insert(lu.cores.begin() + iu, e);
+      lu.refs.insert(lu.refs.begin() + iu, pool_.Allocate(intersection));
       ++num_lines_;
-      InsertCoreOf(u, e);
-      ActivateLeafset(u);
-      target = intersection;
     } else {
       PosList merged;
-      merged.reserve(target.size() + intersection.size());
-      std::merge(target.begin(), target.end(), intersection.begin(),
+      PosListView existing = pool_.View(lu.refs[iu]);
+      merged.reserve(existing.size() + intersection.size());
+      std::merge(existing.begin(), existing.end(), intersection.begin(),
                  intersection.end(), std::back_inserter(merged));
-      target = std::move(merged);
+      pool_.Assign(lu.refs[iu], merged);
     }
     // Two line-occurrences removed, one added: f_e drops by |I|.
     CSPM_DCHECK(core_line_total_[e] >= intersection.size());
@@ -244,9 +296,10 @@ double InvertedDatabase::DataCostBits() const {
   for (uint64_t fe : core_line_total_) {
     cost += mdl::XLog2X(static_cast<double>(fe));
   }
-  for (const auto& [key, positions] : lines_) {
-    (void)key;
-    cost -= mdl::XLog2X(static_cast<double>(positions.size()));
+  for (const LeafsetLines& lines : lines_of_) {
+    for (util::PosListPool::Ref ref : lines.refs) {
+      cost -= mdl::XLog2X(static_cast<double>(pool_.Size(ref)));
+    }
   }
   return cost;
 }

@@ -1,16 +1,28 @@
 // The inverted database representation of Section IV-B: a table of lines
 // (leafset SL, coreset Sc, positions). Initially every line is a basic
 // a-star with a single leaf value; mining proceeds by merging leafset pairs.
+//
+// Storage layout (the "storage" layer of the engine): position lists live
+// in a flat PosListPool arena and the lines of a leafset are two parallel
+// sorted vectors (coresets, pool refs). Line lookup is a binary search and
+// the merge/gain hot path is two-pointer scans over contiguous memory — no
+// hashing and no per-line heap vectors.
+//
+// The search layer (miner / candidates / gain) consumes this class only
+// through the narrow interface below: active_leafsets / CoresOf / FindLine
+// / ForEachSharedCore / ForEachLine for iteration, MergeLeafsets for
+// mutation, and the f_e / frequency accessors for the gain formulas. Keep
+// it that way — it is what lets the storage be swapped or sharded without
+// touching the search layer (see DESIGN.md §2).
 #ifndef CSPM_CSPM_INVERTED_DATABASE_H_
 #define CSPM_CSPM_INVERTED_DATABASE_H_
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "cspm/leafset_registry.h"
 #include "cspm/types.h"
+#include "util/pos_list_pool.h"
 #include "util/status.h"
 
 namespace cspm::core {
@@ -32,9 +44,9 @@ struct MergeOutcome {
 };
 
 /// The inverted database. Lines are keyed by (coreset, leafset); positions
-/// are sorted vertex lists. Per-coreset dynamic totals f_e (the sum of line
-/// frequencies, which the gain formula P1 consumes) are maintained
-/// incrementally.
+/// are sorted vertex lists in pooled flat storage. Per-coreset dynamic
+/// totals f_e (the sum of line frequencies, which the gain formula P1
+/// consumes) are maintained incrementally.
 class InvertedDatabase {
  public:
   /// Builds the single-core-value inverted database: every attribute value
@@ -51,6 +63,9 @@ class InvertedDatabase {
       std::vector<std::vector<AttrId>> coreset_values,
       const std::vector<std::vector<CoreId>>& vertex_coresets);
 
+  InvertedDatabase(InvertedDatabase&&) = default;
+  InvertedDatabase& operator=(InvertedDatabase&&) = default;
+
   // --- structure access ---------------------------------------------------
 
   size_t num_coresets() const { return coreset_values_.size(); }
@@ -63,7 +78,6 @@ class InvertedDatabase {
   }
 
   const LeafsetRegistry& leafsets() const { return leafsets_; }
-  LeafsetRegistry& mutable_leafsets() { return leafsets_; }
 
   /// Attribute values of coreset c.
   const std::vector<AttrId>& CoresetValues(CoreId c) const {
@@ -79,21 +93,66 @@ class InvertedDatabase {
   /// Eq. 8; decreases by xy_e at each merge).
   uint64_t CoreLineTotal(CoreId e) const { return core_line_total_[e]; }
 
-  /// Positions of line (e, l), or nullptr if the line does not exist.
-  const PosList* FindLine(CoreId e, LeafsetId l) const;
+  /// Positions of line (e, l); an empty view when the line does not exist
+  /// (lines never have empty position lists).
+  PosListView FindLine(CoreId e, LeafsetId l) const {
+    if (l >= lines_of_.size()) return {};
+    const LeafsetLines& lines = lines_of_[l];
+    const size_t i = LowerBoundCore(lines, e);
+    if (i == lines.cores.size() || lines.cores[i] != e) return {};
+    return pool_.View(lines.refs[i]);
+  }
 
   /// Sorted coresets that have a line with leafset l (empty vector for
   /// inactive leafsets).
-  const std::vector<CoreId>& CoresOf(LeafsetId l) const;
+  const std::vector<CoreId>& CoresOf(LeafsetId l) const {
+    static const std::vector<CoreId> kEmptyCores;
+    if (l >= lines_of_.size()) return kEmptyCores;
+    return lines_of_[l].cores;
+  }
 
-  /// Iterates over all lines.
-  void ForEachLine(
-      const std::function<void(CoreId, LeafsetId, const PosList&)>& fn) const;
+  /// Iterates the shared coresets of leafsets x and y in ascending order,
+  /// handing both position-list views: fn(CoreId, PosListView x_positions,
+  /// PosListView y_positions). This is the gain formula's inner loop.
+  template <typename Fn>
+  void ForEachSharedCore(LeafsetId x, LeafsetId y, Fn&& fn) const {
+    if (x >= lines_of_.size() || y >= lines_of_.size()) return;
+    const LeafsetLines& lx = lines_of_[x];
+    const LeafsetLines& ly = lines_of_[y];
+    size_t i = 0;
+    size_t j = 0;
+    while (i < lx.cores.size() && j < ly.cores.size()) {
+      if (lx.cores[i] < ly.cores[j]) {
+        ++i;
+      } else if (ly.cores[j] < lx.cores[i]) {
+        ++j;
+      } else {
+        fn(lx.cores[i], pool_.View(lx.refs[i]), pool_.View(ly.refs[j]));
+        ++i;
+        ++j;
+      }
+    }
+  }
+
+  /// Iterates over all lines, in ascending (leafset, coreset) order:
+  /// fn(CoreId, LeafsetId, PosListView).
+  template <typename Fn>
+  void ForEachLine(Fn&& fn) const {
+    for (LeafsetId l = 0; l < lines_of_.size(); ++l) {
+      const LeafsetLines& lines = lines_of_[l];
+      for (size_t i = 0; i < lines.cores.size(); ++i) {
+        fn(lines.cores[i], l, pool_.View(lines.refs[i]));
+      }
+    }
+  }
 
   /// Coresets assigned to each vertex (identity for single-core mode).
   const std::vector<std::vector<CoreId>>& vertex_coresets() const {
     return vertex_coresets_;
   }
+
+  /// Values currently reserved by the position-list arena (observability).
+  size_t pool_reserved_values() const { return pool_.reserved_values(); }
 
   // --- mutation -----------------------------------------------------------
 
@@ -109,17 +168,20 @@ class InvertedDatabase {
   double DataCostBits() const;
 
  private:
+  /// All lines of one leafset: parallel vectors sorted by coreset id.
+  struct LeafsetLines {
+    std::vector<CoreId> cores;
+    std::vector<util::PosListPool::Ref> refs;
+  };
+
   InvertedDatabase() = default;
 
-  static uint64_t Key(CoreId e, LeafsetId l) {
-    return (static_cast<uint64_t>(e) << 32) | l;
-  }
+  static size_t LowerBoundCore(const LeafsetLines& lines, CoreId e);
 
-  void AddInitialLine(CoreId e, LeafsetId l, VertexId v);
   void ActivateLeafset(LeafsetId l);
-  void InsertCoreOf(LeafsetId l, CoreId e);
-  void EraseCoreOf(LeafsetId l, CoreId e);
-  void Finalize();
+  void DeactivateLeafset(LeafsetId l);
+  /// Removes the line at index i of leafset l and frees its extent.
+  void EraseLineAt(LeafsetId l, size_t i);
 
   LeafsetRegistry leafsets_;
   std::vector<std::vector<AttrId>> coreset_values_;
@@ -128,9 +190,8 @@ class InvertedDatabase {
   std::vector<uint64_t> core_line_total_;
   std::vector<std::vector<CoreId>> vertex_coresets_;
 
-  std::unordered_map<uint64_t, PosList> lines_;
-  /// Per leafset: sorted coresets having a line with it.
-  std::vector<std::vector<CoreId>> cores_of_;
+  util::PosListPool pool_;
+  std::vector<LeafsetLines> lines_of_;      // indexed by LeafsetId
   std::vector<LeafsetId> active_leafsets_;  // sorted
   size_t num_lines_ = 0;
 };

@@ -1,9 +1,11 @@
 #include "cspm/miner.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "cspm/candidates.h"
 #include "itemset/transaction_db.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace cspm::core {
@@ -55,6 +57,8 @@ struct SearchContext {
   const CodeModel* cm;
   MiningStats* stats;
   const WallTimer* timer;
+  /// Non-null when the gain fan-outs run thread-pooled.
+  util::ThreadPool* pool;
 
   bool OutOfBudget() const {
     if (options->max_seconds <= 0.0) return false;
@@ -64,26 +68,115 @@ struct SearchContext {
   }
 };
 
+/// Best pair of one all-pairs scan. The serial scan keeps the first pair,
+/// in row-major (i, j) order, whose gain strictly exceeds every earlier
+/// one; Offer/Reduce replicate exactly that rule, so the pooled path is
+/// bit-identical as long as rows are reduced in ascending order.
+struct BestPair {
+  double gain = 0.0;
+  LeafsetId x = 0;
+  LeafsetId y = 0;
+  bool found = false;
+
+  void Offer(double g, double threshold, LeafsetId px, LeafsetId py) {
+    if (g > (found ? gain : threshold)) {
+      gain = g;
+      x = px;
+      y = py;
+      found = true;
+    }
+  }
+  void Reduce(const BestPair& o, double threshold) {
+    if (o.found) Offer(o.gain, threshold, o.x, o.y);
+  }
+};
+
+// Scans all pairs of `actives` for the best gain above the threshold.
+// Serial and pooled paths produce identical results (same FP inputs, same
+// reduction order).
+BestPair ScanAllPairs(const SearchContext& ctx,
+                      const std::vector<LeafsetId>& actives,
+                      uint64_t* computations) {
+  const size_t m = actives.size();
+  const double threshold = ctx.options->min_gain_bits;
+  BestPair best;
+  if (ctx.pool == nullptr || m < 3) {
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = i + 1; j < m; ++j) {
+        GainResult gr =
+            ComputeMergeGain(*ctx.idb, *ctx.cm, actives[i], actives[j]);
+        ++*computations;
+        if (!gr.feasible) continue;
+        best.Offer(gr.Total(ctx.options->gain_policy), threshold,
+                   actives[i], actives[j]);
+      }
+    }
+    return best;
+  }
+
+  // One task per row i; each row keeps its local best, then rows reduce in
+  // ascending order.
+  std::vector<BestPair> row_best(m - 1);
+  ctx.pool->ParallelFor(row_best.size(), [&](size_t i) {
+    BestPair& row = row_best[i];
+    for (size_t j = i + 1; j < m; ++j) {
+      GainResult gr =
+          ComputeMergeGain(*ctx.idb, *ctx.cm, actives[i], actives[j]);
+      if (!gr.feasible) continue;
+      row.Offer(gr.Total(ctx.options->gain_policy), threshold,
+                actives[i], actives[j]);
+    }
+  });
+  *computations += PossiblePairs(m);
+  for (const BestPair& row : row_best) best.Reduce(row, threshold);
+  return best;
+}
+
 // Computes gains for all active pairs, filling the store and rdict.
-// Returns the number of gain computations performed.
+// Returns the number of gain computations performed. The pooled path
+// evaluates rows concurrently but applies the results in the serial (i, j)
+// order, so the store's heap state is bit-identical to the serial path's.
 uint64_t GenerateAllCandidates(const SearchContext& ctx,
                                CandidateStore* store, RelatedDict* rdict) {
   const auto actives = ctx.idb->active_leafsets();  // copy: stable snapshot
-  uint64_t computations = 0;
-  for (size_t i = 0; i < actives.size(); ++i) {
-    for (size_t j = i + 1; j < actives.size(); ++j) {
+  const size_t m = actives.size();
+  if (ctx.pool == nullptr || m < 3) {
+    uint64_t computations = 0;
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = i + 1; j < m; ++j) {
+        GainResult gr =
+            ComputeMergeGain(*ctx.idb, *ctx.cm, actives[i], actives[j]);
+        ++computations;
+        if (!gr.feasible) continue;
+        const double total = gr.Total(ctx.options->gain_policy);
+        if (total > ctx.options->min_gain_bits) {
+          store->Set(actives[i], actives[j], total);
+          if (rdict != nullptr) rdict->Link(actives[i], actives[j]);
+        }
+      }
+    }
+    return computations;
+  }
+
+  std::vector<std::vector<std::pair<LeafsetId, double>>> row_hits(m - 1);
+  ctx.pool->ParallelFor(m - 1, [&](size_t i) {
+    for (size_t j = i + 1; j < m; ++j) {
       GainResult gr =
           ComputeMergeGain(*ctx.idb, *ctx.cm, actives[i], actives[j]);
-      ++computations;
       if (!gr.feasible) continue;
       const double total = gr.Total(ctx.options->gain_policy);
       if (total > ctx.options->min_gain_bits) {
-        store->Set(actives[i], actives[j], total);
-        if (rdict != nullptr) rdict->Link(actives[i], actives[j]);
+        row_hits[i].emplace_back(actives[j], total);
       }
     }
+  });
+  for (size_t i = 0; i + 1 < m; ++i) {
+    for (const auto& [other, total] : row_hits[i]) {
+      store->Set(actives[i], other, total);
+      if (rdict != nullptr) rdict->Link(actives[i], other);
+    }
   }
-  return computations;
+  return PossiblePairs(m);
 }
 
 void RecordIteration(const SearchContext& ctx, uint64_t iteration,
@@ -113,33 +206,15 @@ void RunBasicSearch(const SearchContext& ctx) {
     const auto actives = ctx.idb->active_leafsets();
     const uint64_t possible = PossiblePairs(actives.size());
     uint64_t computations = 0;
-    double best_gain = ctx.options->min_gain_bits;
-    LeafsetId best_x = 0;
-    LeafsetId best_y = 0;
-    bool found = false;
-    for (size_t i = 0; i < actives.size(); ++i) {
-      for (size_t j = i + 1; j < actives.size(); ++j) {
-        GainResult gr =
-            ComputeMergeGain(*ctx.idb, *ctx.cm, actives[i], actives[j]);
-        ++computations;
-        if (!gr.feasible) continue;
-        const double total = gr.Total(ctx.options->gain_policy);
-        if (total > best_gain) {
-          best_gain = total;
-          best_x = actives[i];
-          best_y = actives[j];
-          found = true;
-        }
-      }
-    }
-    if (!found) {
+    BestPair best = ScanAllPairs(ctx, actives, &computations);
+    if (!best.found) {
       ctx.stats->total_gain_computations += computations;
       break;
     }
-    MergeOutcome outcome = ctx.idb->MergeLeafsets(best_x, best_y);
+    MergeOutcome outcome = ctx.idb->MergeLeafsets(best.x, best.y);
     (void)outcome;
     ++iteration;
-    RecordIteration(ctx, iteration, computations, possible, best_gain);
+    RecordIteration(ctx, iteration, computations, possible, best.gain);
   }
   ctx.stats->iterations = iteration;
 }
@@ -281,7 +356,14 @@ StatusOr<CspmMiner::MineArtifacts> CspmMiner::MineWithArtifacts(
   model.stats.initial_leafsets = idb.num_active_leafsets();
   model.stats.initial_lines = idb.num_lines();
 
-  SearchContext ctx{&options_, &idb, &cm, &model.stats, &timer};
+  std::unique_ptr<util::ThreadPool> pool;
+  const uint32_t threads = options_.num_threads == 0
+                               ? static_cast<uint32_t>(
+                                     util::ThreadPool::AutoThreads())
+                               : options_.num_threads;
+  if (threads > 1) pool = std::make_unique<util::ThreadPool>(threads);
+
+  SearchContext ctx{&options_, &idb, &cm, &model.stats, &timer, pool.get()};
   if (options_.strategy == SearchStrategy::kBasic) {
     RunBasicSearch(ctx);
   } else {
@@ -293,7 +375,7 @@ StatusOr<CspmMiner::MineArtifacts> CspmMiner::MineWithArtifacts(
   model.stats.final_lines = idb.num_lines();
 
   // Extract a-stars from the final inverted database.
-  idb.ForEachLine([&](CoreId e, LeafsetId l, const PosList& positions) {
+  idb.ForEachLine([&](CoreId e, LeafsetId l, PosListView positions) {
     AStar s;
     s.core_values = idb.CoresetValues(e);
     s.leaf_values = idb.leafsets().Values(l);

@@ -3,6 +3,7 @@
 #define CSPM_CSPM_TYPES_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/attribute_dictionary.h"
@@ -20,8 +21,13 @@ using LeafsetId = uint32_t;
 using CoreId = uint32_t;
 
 /// Sorted list of vertex positions (the third column of the inverted
-/// database).
+/// database), as an owning scratch buffer.
 using PosList = std::vector<VertexId>;
+
+/// Non-owning view of a position list living in the flat storage pool.
+/// Lines never have empty position lists, so an empty view means "no such
+/// line". Views are invalidated by the next mutation of the database.
+using PosListView = std::span<const VertexId>;
 
 }  // namespace cspm::core
 

@@ -31,9 +31,9 @@ Status VerifyLossless(const graph::AttributedGraph& g,
       // leafsets having a line with c.
       for (LeafsetId l = 0;
            l < static_cast<LeafsetId>(idb.leafsets().size()); ++l) {
-        const PosList* positions = idb.FindLine(c, l);
-        if (positions == nullptr) continue;
-        if (!std::binary_search(positions->begin(), positions->end(), v)) {
+        const PosListView positions = idb.FindLine(c, l);
+        if (positions.empty()) continue;
+        if (!std::binary_search(positions.begin(), positions.end(), v)) {
           continue;
         }
         for (AttrId y : idb.leafsets().Values(l)) {

@@ -1,0 +1,141 @@
+#include "engine/micro.h"
+
+#include <utility>
+
+#include "cspm/code_model.h"
+#include "cspm/gain.h"
+#include "cspm/inverted_database.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace cspm::engine::micro {
+
+struct CoreHarness::Impl {
+  const graph::AttributedGraph* graph;
+  core::InvertedDatabase idb;
+  core::CodeModel cm;
+  // Round-robin cursor over active pairs for GainSweep.
+  size_t cursor_i = 0;
+  size_t cursor_j = 1;
+  // Staged merge pair.
+  core::LeafsetId staged_x = 0;
+  core::LeafsetId staged_y = 0;
+  bool staged = false;
+  // Cached across GainSweepAllPairs calls so benchmark loops measure the
+  // sweep, not thread spawn/join.
+  std::unique_ptr<util::ThreadPool> pool;
+
+  Impl(const graph::AttributedGraph& g, core::InvertedDatabase db)
+      : graph(&g), idb(std::move(db)), cm(g, idb) {}
+
+  util::ThreadPool* PoolWith(uint32_t threads) {
+    if (pool == nullptr || pool->num_threads() != threads) {
+      pool = std::make_unique<util::ThreadPool>(threads);
+    }
+    return pool.get();
+  }
+};
+
+CoreHarness::CoreHarness(const graph::AttributedGraph& g) {
+  auto idb_or = core::InvertedDatabase::FromGraph(g);
+  CSPM_CHECK_MSG(idb_or.ok(), "inverted database build failed");
+  impl_ = std::make_unique<Impl>(g, std::move(idb_or).value());
+}
+
+CoreHarness::CoreHarness(CoreHarness&&) noexcept = default;
+CoreHarness& CoreHarness::operator=(CoreHarness&&) noexcept = default;
+CoreHarness::~CoreHarness() = default;
+
+size_t CoreHarness::RebuildDatabase() {
+  auto idb_or = core::InvertedDatabase::FromGraph(*impl_->graph);
+  CSPM_CHECK_MSG(idb_or.ok(), "inverted database build failed");
+  impl_->idb = std::move(idb_or).value();
+  impl_->cursor_i = 0;
+  impl_->cursor_j = 1;
+  impl_->staged = false;
+  return impl_->idb.num_lines();
+}
+
+size_t CoreHarness::num_lines() const { return impl_->idb.num_lines(); }
+
+size_t CoreHarness::num_active_leafsets() const {
+  return impl_->idb.num_active_leafsets();
+}
+
+size_t CoreHarness::GainSweep(size_t count) {
+  Impl& s = *impl_;
+  const auto& actives = s.idb.active_leafsets();
+  if (actives.size() < 2) return 0;
+  size_t feasible = 0;
+  for (size_t n = 0; n < count; ++n) {
+    auto gain = core::ComputeMergeGain(s.idb, s.cm, actives[s.cursor_i],
+                                       actives[s.cursor_j]);
+    if (gain.feasible) ++feasible;
+    s.cursor_j = (s.cursor_j + 1) % actives.size();
+    if (s.cursor_j == s.cursor_i) s.cursor_j = (s.cursor_j + 1) % actives.size();
+    if (s.cursor_j == 0) s.cursor_i = (s.cursor_i + 1) % (actives.size() - 1);
+  }
+  return feasible;
+}
+
+size_t CoreHarness::GainSweepAllPairs(uint32_t num_threads) {
+  Impl& s = *impl_;
+  const auto& actives = s.idb.active_leafsets();
+  const size_t m = actives.size();
+  if (m < 2) return 0;
+  const uint32_t threads =
+      num_threads == 0 ? static_cast<uint32_t>(util::ThreadPool::AutoThreads())
+                       : num_threads;
+  if (threads <= 1) {
+    size_t feasible = 0;
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = i + 1; j < m; ++j) {
+        if (core::ComputeMergeGain(s.idb, s.cm, actives[i], actives[j])
+                .feasible) {
+          ++feasible;
+        }
+      }
+    }
+    return feasible;
+  }
+  util::ThreadPool& pool = *s.PoolWith(threads);
+  std::vector<size_t> row_feasible(m - 1, 0);
+  pool.ParallelFor(m - 1, [&](size_t i) {
+    for (size_t j = i + 1; j < m; ++j) {
+      if (core::ComputeMergeGain(s.idb, s.cm, actives[i], actives[j])
+              .feasible) {
+        ++row_feasible[i];
+      }
+    }
+  });
+  size_t feasible = 0;
+  for (size_t f : row_feasible) feasible += f;
+  return feasible;
+}
+
+bool CoreHarness::StageFirstFeasibleMerge() {
+  Impl& s = *impl_;
+  const auto& actives = s.idb.active_leafsets();
+  for (size_t a = 0; a < actives.size(); ++a) {
+    for (size_t b = a + 1; b < actives.size(); ++b) {
+      auto gain = core::ComputeMergeGain(s.idb, s.cm, actives[a], actives[b]);
+      if (gain.feasible) {
+        s.staged_x = actives[a];
+        s.staged_y = actives[b];
+        s.staged = true;
+        return true;
+      }
+    }
+  }
+  s.staged = false;
+  return false;
+}
+
+uint64_t CoreHarness::ApplyStagedMerge() {
+  Impl& s = *impl_;
+  CSPM_CHECK_MSG(s.staged, "StageFirstFeasibleMerge() first");
+  s.staged = false;
+  return s.idb.MergeLeafsets(s.staged_x, s.staged_y).moved_positions;
+}
+
+}  // namespace cspm::engine::micro

@@ -1,0 +1,56 @@
+// Microbenchmark hooks over the storage/search core. bench_micro_core
+// times the hot paths (database build, gain computation, merge
+// application) through this pimpl harness, so the bench layer compiles
+// against the engine facade only while the loops still run directly on the
+// core primitives.
+#ifndef CSPM_ENGINE_MICRO_H_
+#define CSPM_ENGINE_MICRO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "graph/attributed_graph.h"
+
+namespace cspm::engine::micro {
+
+class CoreHarness {
+ public:
+  /// Builds the initial inverted database + code model for g. The graph
+  /// must outlive the harness.
+  explicit CoreHarness(const graph::AttributedGraph& g);
+  CoreHarness(CoreHarness&&) noexcept;
+  CoreHarness& operator=(CoreHarness&&) noexcept;
+  ~CoreHarness();
+
+  /// Rebuilds the inverted database from scratch; returns its line count.
+  size_t RebuildDatabase();
+
+  size_t num_lines() const;
+  size_t num_active_leafsets() const;
+
+  /// Computes `count` merge gains, advancing an internal round-robin
+  /// cursor over the active-pair space; returns how many were feasible.
+  size_t GainSweep(size_t count);
+
+  /// Computes the gain of every active pair, thread-pooled when
+  /// num_threads > 1 (0 = one per hardware core); returns the feasible
+  /// count. Identical result regardless of thread count.
+  size_t GainSweepAllPairs(uint32_t num_threads);
+
+  /// Finds the first feasible pair in active order and stages it. Returns
+  /// false when no pair is feasible.
+  bool StageFirstFeasibleMerge();
+
+  /// Applies the staged merge to the database; returns moved positions.
+  /// Requires a successful StageFirstFeasibleMerge() since the last merge.
+  uint64_t ApplyStagedMerge();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace cspm::engine::micro
+
+#endif  // CSPM_ENGINE_MICRO_H_

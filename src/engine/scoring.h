@@ -1,0 +1,37 @@
+// Facade re-export of the Algorithm 5 scoring module, for consumers that
+// score against an already-materialized model (e.g. the completion fusion
+// path) without holding a MiningSession.
+#ifndef CSPM_ENGINE_SCORING_H_
+#define CSPM_ENGINE_SCORING_H_
+
+#include <vector>
+
+#include "cspm/scoring.h"
+#include "graph/attributed_graph.h"
+
+namespace cspm::engine {
+
+using core::AttributeScores;
+using core::ScoringOptions;
+
+/// Scores every attribute value for vertex v given the model M (see
+/// cspm/scoring.h for the w / similarity semantics).
+inline AttributeScores ScoreAttributes(const graph::AttributedGraph& g,
+                                       const core::CspmModel& model,
+                                       graph::VertexId v,
+                                       const ScoringOptions& options = {}) {
+  return core::ScoreAttributes(g, model, v, options);
+}
+
+/// Same, against an explicit neighbour-attribute set.
+inline AttributeScores ScoreAttributesWithNeighbourhood(
+    size_t num_attribute_values, const core::CspmModel& model,
+    const std::vector<graph::AttrId>& neighbourhood_attrs,
+    const ScoringOptions& options = {}) {
+  return core::ScoreAttributesWithNeighbourhood(
+      num_attribute_values, model, neighbourhood_attrs, options);
+}
+
+}  // namespace cspm::engine
+
+#endif  // CSPM_ENGINE_SCORING_H_

@@ -1,0 +1,146 @@
+#include "engine/session.h"
+
+#include <optional>
+#include <utility>
+
+#include "cspm/miner.h"
+#include "cspm/serialization.h"
+#include "cspm/verify.h"
+#include "util/check.h"
+
+namespace cspm::engine {
+namespace {
+
+core::CspmOptions ToCoreOptions(const MiningOptions& o) {
+  core::CspmOptions c;
+  c.strategy = o.strategy == Search::kBasic
+                   ? core::SearchStrategy::kBasic
+                   : core::SearchStrategy::kPartial;
+  c.gain_policy = o.gain_policy == Gain::kDataOnly
+                      ? core::GainPolicy::kDataOnly
+                      : core::GainPolicy::kDataPlusModel;
+  c.multi_value_coresets = o.multi_value_coresets;
+  c.slim = o.slim;
+  c.max_iterations = o.max_iterations;
+  c.max_seconds = o.max_seconds;
+  c.min_gain_bits = o.min_gain_bits;
+  c.record_iteration_stats = o.record_iteration_stats;
+  c.revalidate_on_pop = o.revalidate_on_pop;
+  c.include_singleton_leafsets = o.include_singleton_leafsets;
+  c.num_threads = o.num_threads;
+  return c;
+}
+
+}  // namespace
+
+struct MiningSession::Impl {
+  const graph::AttributedGraph* graph = nullptr;
+  MiningOptions options;
+  CspmModel model;
+  bool has_model = false;
+  /// Final inverted database, kept only under options.keep_database.
+  std::optional<core::InvertedDatabase> database;
+};
+
+MiningSession::MiningSession(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+MiningSession::MiningSession(MiningSession&&) noexcept = default;
+MiningSession& MiningSession::operator=(MiningSession&&) noexcept = default;
+MiningSession::~MiningSession() = default;
+
+StatusOr<MiningSession> MiningSession::Create(const graph::AttributedGraph& g,
+                                              MiningOptions options) {
+  auto impl = std::make_unique<Impl>();
+  impl->graph = &g;
+  impl->options = std::move(options);
+  return MiningSession(std::move(impl));
+}
+
+Status MiningSession::Mine() {
+  core::CspmMiner miner(ToCoreOptions(impl_->options));
+  if (impl_->options.keep_database) {
+    auto artifacts_or = miner.MineWithArtifacts(*impl_->graph);
+    if (!artifacts_or.ok()) return artifacts_or.status();
+    impl_->model = std::move(artifacts_or.value().model);
+    impl_->database.emplace(std::move(artifacts_or.value().inverted_db));
+  } else {
+    auto model_or = miner.Mine(*impl_->graph);
+    if (!model_or.ok()) return model_or.status();
+    impl_->model = std::move(model_or).value();
+    impl_->database.reset();
+  }
+  impl_->has_model = true;
+  return Status::OK();
+}
+
+bool MiningSession::has_model() const { return impl_->has_model; }
+
+const CspmModel& MiningSession::model() const {
+  CSPM_CHECK_MSG(impl_->has_model, "Mine() or LoadModel() first");
+  return impl_->model;
+}
+
+const MiningStats& MiningSession::stats() const { return model().stats; }
+
+const graph::AttributedGraph& MiningSession::graph() const {
+  return *impl_->graph;
+}
+
+AttributeScores MiningSession::Score(graph::VertexId v,
+                                     const ScoringOptions& options) const {
+  return core::ScoreAttributes(*impl_->graph, model(), v, options);
+}
+
+AttributeScores MiningSession::ScoreWithNeighbourhood(
+    const std::vector<graph::AttrId>& neighbourhood_attrs,
+    const ScoringOptions& options) const {
+  return core::ScoreAttributesWithNeighbourhood(
+      impl_->graph->num_attribute_values(), model(), neighbourhood_attrs,
+      options);
+}
+
+std::string MiningSession::SerializeModel() const {
+  return core::ModelToText(model(), impl_->graph->dict());
+}
+
+Status MiningSession::DeserializeModel(const std::string& text) {
+  auto model_or = core::ModelFromText(text, impl_->graph->dict());
+  if (!model_or.ok()) return model_or.status();
+  impl_->model = std::move(model_or).value();
+  impl_->has_model = true;
+  impl_->database.reset();
+  return Status::OK();
+}
+
+Status MiningSession::SaveModel(const std::string& path) const {
+  return core::SaveModelToFile(model(), impl_->graph->dict(), path);
+}
+
+Status MiningSession::LoadModel(const std::string& path) {
+  auto model_or = core::LoadModelFromFile(path, impl_->graph->dict());
+  if (!model_or.ok()) return model_or.status();
+  impl_->model = std::move(model_or).value();
+  impl_->has_model = true;
+  impl_->database.reset();
+  return Status::OK();
+}
+
+Status MiningSession::VerifyLossless() const {
+  if (!impl_->has_model) {
+    return Status::FailedPrecondition("no mined model to verify");
+  }
+  if (!impl_->database.has_value()) {
+    return Status::FailedPrecondition(
+        "VerifyLossless requires MiningOptions::keep_database");
+  }
+  return core::VerifyLossless(*impl_->graph, *impl_->database);
+}
+
+StatusOr<CspmModel> MineModel(const graph::AttributedGraph& g,
+                              const MiningOptions& options) {
+  // Runs the miner directly rather than through a session: the model moves
+  // straight out instead of being copied from session state.
+  return core::CspmMiner(ToCoreOptions(options)).Mine(g);
+}
+
+}  // namespace cspm::engine

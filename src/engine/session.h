@@ -1,0 +1,149 @@
+// The engine facade: the single entry point application layers use to run
+// CSPM. Consumers (examples, benches, the completion and alarm apps) build
+// a MiningSession from a graph, mine, score, and serialize through it, and
+// never see the storage (InvertedDatabase / PosListPool) or search
+// (CspmMiner / candidates) layers — so those can be reworked, swapped, or
+// sharded without touching any consumer (see DESIGN.md §2).
+//
+// Result types (CspmModel, AStar, MiningStats, AttributeScores) are the
+// stable model-level vocabulary and are re-exported here.
+#ifndef CSPM_ENGINE_SESSION_H_
+#define CSPM_ENGINE_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cspm/model.h"
+#include "cspm/scoring.h"
+#include "graph/attributed_graph.h"
+#include "itemset/slim.h"
+#include "util/status.h"
+
+namespace cspm::engine {
+
+// Model-level result vocabulary, re-exported for consumers.
+using core::AStar;
+using core::AttributeScores;
+using core::CspmModel;
+using core::IterationStats;
+using core::MiningStats;
+using core::ScoringOptions;
+
+/// Search strategy (mirrors the paper's two algorithms).
+enum class Search {
+  kBasic,    ///< Algorithms 1-2: regenerate all candidate gains per merge.
+  kPartial,  ///< Algorithms 3-4: incremental updates through the rdict.
+};
+
+/// Which terms the merge-acceptance test uses.
+enum class Gain {
+  kDataOnly,       ///< pure data gain ΔL (Algorithm 2's check)
+  kDataPlusModel,  ///< ΔL minus the model-cost delta (MDL-faithful default)
+};
+
+/// Mining knobs. A deliberate copy of the core options rather than an
+/// alias: the facade contract must not move when internals do.
+struct MiningOptions {
+  Search strategy = Search::kPartial;
+  Gain gain_policy = Gain::kDataPlusModel;
+
+  /// When true, Step 1 mines multi-value coresets from the vertex-attribute
+  /// transactions with SLIM (Section IV-F); otherwise every attribute value
+  /// is its own coreset.
+  bool multi_value_coresets = false;
+  itemset::SlimOptions slim;
+
+  /// Safety valve; 0 = run to convergence (the parameter-free default).
+  uint64_t max_iterations = 0;
+
+  /// Wall-clock budget in seconds; 0 = unlimited. When exceeded the search
+  /// stops early and MiningStats::hit_time_budget is set.
+  double max_seconds = 0.0;
+
+  /// A merge must improve the DL by strictly more than this (bits).
+  double min_gain_bits = 1e-9;
+
+  /// Record per-iteration stats (Fig. 5 instrumentation).
+  bool record_iteration_stats = true;
+
+  /// Partial only: recompute the popped pair's gain before merging (guards
+  /// against f_e drift making a stored gain stale; see DESIGN.md §5).
+  bool revalidate_on_pop = true;
+
+  /// Keep single-leaf-value a-stars in the returned model.
+  bool include_singleton_leafsets = true;
+
+  /// Threads for the gain-evaluation fan-outs. 1 = serial (default),
+  /// 0 = one per hardware core. Parallel runs are bit-identical to serial.
+  uint32_t num_threads = 1;
+
+  /// Retain the final inverted database so VerifyLossless() can run. Off by
+  /// default: the database can dwarf the model.
+  bool keep_database = false;
+};
+
+/// One mining run over one graph: build from the graph, mine, then score
+/// vertices and serialize the model. The graph must outlive the session.
+/// Move-only.
+class MiningSession {
+ public:
+  static StatusOr<MiningSession> Create(const graph::AttributedGraph& g,
+                                        MiningOptions options = {});
+
+  MiningSession(MiningSession&&) noexcept;
+  MiningSession& operator=(MiningSession&&) noexcept;
+  ~MiningSession();
+
+  /// Runs CSPM. Replaces any previously mined or loaded model.
+  Status Mine();
+
+  /// True once Mine() succeeded or a model was loaded.
+  bool has_model() const;
+  /// The mined (or loaded) model. Requires has_model().
+  const CspmModel& model() const;
+  /// Statistics of the last Mine() run. Requires has_model().
+  const MiningStats& stats() const;
+
+  const graph::AttributedGraph& graph() const;
+
+  // --- scoring (Algorithm 5) ----------------------------------------------
+
+  /// Per-attribute-value scores for vertex v from its neighbourhood.
+  AttributeScores Score(graph::VertexId v,
+                        const ScoringOptions& options = {}) const;
+
+  /// Same, against an explicit neighbour-attribute set (used when the
+  /// graph's own attributes are partially masked).
+  AttributeScores ScoreWithNeighbourhood(
+      const std::vector<graph::AttrId>& neighbourhood_attrs,
+      const ScoringOptions& options = {}) const;
+
+  // --- model persistence --------------------------------------------------
+
+  std::string SerializeModel() const;
+  Status DeserializeModel(const std::string& text);
+  Status SaveModel(const std::string& path) const;
+  Status LoadModel(const std::string& path);
+
+  // --- verification -------------------------------------------------------
+
+  /// Checks the losslessness invariant of the final database against the
+  /// graph. Requires MiningOptions::keep_database and a mined model.
+  Status VerifyLossless() const;
+
+ private:
+  struct Impl;
+  explicit MiningSession(std::unique_ptr<Impl> impl);
+
+  std::unique_ptr<Impl> impl_;
+};
+
+/// One-shot convenience: Create + Mine, returning the model.
+StatusOr<CspmModel> MineModel(const graph::AttributedGraph& g,
+                              const MiningOptions& options = {});
+
+}  // namespace cspm::engine
+
+#endif  // CSPM_ENGINE_SESSION_H_

@@ -1,0 +1,86 @@
+#include "util/pos_list_pool.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace cspm::util {
+
+uint32_t PosListPool::ClassOf(uint32_t n) {
+  if (n <= 1) return 0;
+  return 32u - static_cast<uint32_t>(std::countl_zero(n - 1));
+}
+
+PosListPool::Value* PosListPool::AllocateExtent(uint32_t cls) {
+  if (cls < free_extents_.size() && !free_extents_[cls].empty()) {
+    Value* extent = free_extents_[cls].back();
+    free_extents_[cls].pop_back();
+    return extent;
+  }
+  const size_t need = size_t{1} << cls;
+  if (slabs_.empty() || slabs_.back().capacity - slabs_.back().used < need) {
+    Slab slab;
+    slab.capacity = std::max(need, kSlabValues);
+    slab.data = std::make_unique<Value[]>(slab.capacity);
+    reserved_values_ += slab.capacity;
+    slabs_.push_back(std::move(slab));
+  }
+  Slab& slab = slabs_.back();
+  Value* extent = slab.data.get() + slab.used;
+  slab.used += need;
+  return extent;
+}
+
+void PosListPool::RecycleExtent(Value* extent, uint32_t capacity) {
+  const uint32_t cls = ClassOf(capacity);
+  if (cls >= free_extents_.size()) free_extents_.resize(cls + 1);
+  free_extents_[cls].push_back(extent);
+}
+
+PosListPool::Ref PosListPool::Allocate(std::span<const Value> values) {
+  const uint32_t cls = ClassOf(static_cast<uint32_t>(values.size()));
+  Slot slot;
+  slot.data = AllocateExtent(cls);
+  slot.size = static_cast<uint32_t>(values.size());
+  slot.capacity = 1u << cls;
+  if (!values.empty()) {
+    std::memcpy(slot.data, values.data(), values.size() * sizeof(Value));
+  }
+  ++num_live_;
+  if (!free_slots_.empty()) {
+    const Ref ref = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[ref] = slot;
+    return ref;
+  }
+  slots_.push_back(slot);
+  return static_cast<Ref>(slots_.size() - 1);
+}
+
+void PosListPool::Assign(Ref ref, std::span<const Value> values) {
+  Slot& slot = slots_[ref];
+  if (values.size() > slot.capacity) {
+    RecycleExtent(slot.data, slot.capacity);
+    const uint32_t cls = ClassOf(static_cast<uint32_t>(values.size()));
+    slot.data = AllocateExtent(cls);
+    slot.capacity = 1u << cls;
+  }
+  CSPM_DCHECK(values.data() == nullptr || values.data() < slot.data ||
+              values.data() >= slot.data + slot.capacity);
+  if (!values.empty()) {
+    std::memcpy(slot.data, values.data(), values.size() * sizeof(Value));
+  }
+  slot.size = static_cast<uint32_t>(values.size());
+}
+
+void PosListPool::Free(Ref ref) {
+  Slot& slot = slots_[ref];
+  CSPM_DCHECK(slot.data != nullptr);
+  RecycleExtent(slot.data, slot.capacity);
+  slot = Slot{};
+  free_slots_.push_back(ref);
+  --num_live_;
+}
+
+}  // namespace cspm::util

@@ -1,0 +1,86 @@
+// Flat pooled storage for sorted position lists. All lists live in a small
+// number of large slabs; a list is addressed by a stable 32-bit Ref whose
+// extent is resized in place (power-of-two capacity classes with free-list
+// recycling). This replaces per-line heap std::vector storage on the CSPM
+// merge path: views are contiguous, allocation is a bump pointer or a
+// free-list pop, and freeing never returns memory to the OS mid-run.
+//
+// Stability contract: Refs stay valid until Free(); the extent behind a Ref
+// moves only on an Assign() that outgrows its capacity. Views obtained
+// before such an Assign (or before Free) dangle — re-fetch after mutation.
+#ifndef CSPM_UTIL_POS_LIST_POOL_H_
+#define CSPM_UTIL_POS_LIST_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace cspm::util {
+
+class PosListPool {
+ public:
+  using Value = uint32_t;
+  using Ref = uint32_t;
+  static constexpr Ref kInvalidRef = static_cast<Ref>(-1);
+
+  PosListPool() = default;
+  PosListPool(PosListPool&&) = default;
+  PosListPool& operator=(PosListPool&&) = default;
+  PosListPool(const PosListPool&) = delete;
+  PosListPool& operator=(const PosListPool&) = delete;
+
+  /// Allocates a list holding a copy of `values`.
+  Ref Allocate(std::span<const Value> values);
+
+  /// Replaces the contents of `ref`; the ref itself stays valid. The extent
+  /// is reused when the new size fits its capacity, reallocated otherwise.
+  void Assign(Ref ref, std::span<const Value> values);
+
+  /// Returns the list's extent to the pool and retires the ref.
+  void Free(Ref ref);
+
+  std::span<const Value> View(Ref ref) const {
+    const Slot& s = slots_[ref];
+    return {s.data, s.size};
+  }
+  uint32_t Size(Ref ref) const { return slots_[ref].size; }
+
+  /// Number of live lists.
+  size_t num_lists() const { return num_live_; }
+  /// Total values currently reserved across all slabs.
+  size_t reserved_values() const { return reserved_values_; }
+
+ private:
+  struct Slot {
+    Value* data = nullptr;
+    uint32_t size = 0;
+    uint32_t capacity = 0;
+  };
+  struct Slab {
+    std::unique_ptr<Value[]> data;
+    size_t used = 0;
+    size_t capacity = 0;
+  };
+
+  /// Values per standard slab; lists larger than this get a dedicated slab.
+  static constexpr size_t kSlabValues = size_t{1} << 16;
+
+  /// Capacity class: smallest k with (1 << k) >= max(n, 1).
+  static uint32_t ClassOf(uint32_t n);
+
+  Value* AllocateExtent(uint32_t cls);
+  void RecycleExtent(Value* extent, uint32_t capacity);
+
+  std::vector<Slot> slots_;
+  std::vector<Ref> free_slots_;
+  /// Per capacity class: extents returned by Free/Assign, ready for reuse.
+  std::vector<std::vector<Value*>> free_extents_;
+  std::vector<Slab> slabs_;
+  size_t num_live_ = 0;
+  size_t reserved_values_ = 0;
+};
+
+}  // namespace cspm::util
+
+#endif  // CSPM_UTIL_POS_LIST_POOL_H_

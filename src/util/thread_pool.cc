@@ -1,0 +1,75 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace cspm::util {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = std::max<size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+size_t ThreadPool::AutoThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->size = n;
+  job_ = job;
+  pending_ = n;
+  ++generation_;
+  work_cv_.notify_all();
+  // pending_ reaches 0 only once every index has been executed and
+  // flushed, and each index is claimed exactly once from this job's own
+  // counter — so returning here is safe even if a worker is still parked
+  // on a (fully drained) snapshot of the job.
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  job_.reset();
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ ||
+               (job_ != nullptr && generation_ != seen_generation);
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    size_t completed = 0;
+    for (;;) {
+      const size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job->size) break;
+      (*job->fn)(i);
+      ++completed;
+    }
+    if (completed > 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_ -= completed;
+      if (pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace cspm::util

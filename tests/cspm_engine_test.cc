@@ -1,0 +1,120 @@
+// Tests for the engine facade: MiningSession build-mine-score-serialize,
+// option translation, and the losslessness verification hook.
+#include "engine/session.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "engine/scoring.h"
+#include "graph/generators.h"
+#include "testing_util.h"
+
+namespace cspm::engine {
+namespace {
+
+using cspm::testing::PaperExampleGraph;
+
+graph::AttributedGraph SmallRandomGraph(uint64_t seed) {
+  Rng rng(seed);
+  return graph::ErdosRenyi(120, 0.06, 12, 3, &rng).value();
+}
+
+TEST(MiningSession, MineProducesModelAndStats) {
+  auto g = PaperExampleGraph();
+  auto session_or = MiningSession::Create(g);
+  ASSERT_TRUE(session_or.ok());
+  MiningSession session = std::move(session_or).value();
+  EXPECT_FALSE(session.has_model());
+
+  ASSERT_TRUE(session.Mine().ok());
+  ASSERT_TRUE(session.has_model());
+  EXPECT_GT(session.model().astars.size(), 0u);
+  EXPECT_GT(session.stats().initial_dl_bits, 0.0);
+  EXPECT_LE(session.stats().final_dl_bits,
+            session.stats().initial_dl_bits + 1e-9);
+}
+
+TEST(MiningSession, MineModelConvenienceMatchesSession) {
+  auto g = SmallRandomGraph(3);
+  auto direct = MineModel(g).value();
+  auto session = std::move(MiningSession::Create(g)).value();
+  ASSERT_TRUE(session.Mine().ok());
+  EXPECT_EQ(direct.astars.size(), session.model().astars.size());
+  EXPECT_EQ(direct.stats.final_dl_bits, session.model().stats.final_dl_bits);
+}
+
+TEST(MiningSession, OptionsReachTheSearch) {
+  auto g = SmallRandomGraph(7);
+  MiningOptions basic;
+  basic.strategy = Search::kBasic;
+  basic.max_iterations = 1;
+  auto model = MineModel(g, basic).value();
+  EXPECT_LE(model.stats.iterations, 1u);
+  // Iteration stats can be disabled.
+  MiningOptions quiet;
+  quiet.record_iteration_stats = false;
+  EXPECT_TRUE(MineModel(g, quiet).value().stats.per_iteration.empty());
+}
+
+TEST(MiningSession, ScoreMatchesScoringFacade) {
+  auto g = SmallRandomGraph(11);
+  auto session = std::move(MiningSession::Create(g)).value();
+  ASSERT_TRUE(session.Mine().ok());
+  for (graph::VertexId v : {0u, 5u, 17u}) {
+    AttributeScores via_session = session.Score(v);
+    AttributeScores via_facade = engine::ScoreAttributes(g, session.model(), v);
+    EXPECT_EQ(via_session.raw, via_facade.raw);
+    EXPECT_EQ(via_session.normalized, via_facade.normalized);
+  }
+}
+
+TEST(MiningSession, SerializeRoundTrips) {
+  auto g = SmallRandomGraph(13);
+  auto session = std::move(MiningSession::Create(g)).value();
+  ASSERT_TRUE(session.Mine().ok());
+  const std::string text = session.SerializeModel();
+  ASSERT_FALSE(text.empty());
+
+  auto other = std::move(MiningSession::Create(g)).value();
+  ASSERT_TRUE(other.DeserializeModel(text).ok());
+  EXPECT_EQ(other.model().astars.size(), session.model().astars.size());
+  // Scoring through the reloaded model agrees (up to the text format's
+  // printed precision).
+  const auto reloaded = other.Score(0).normalized;
+  const auto original = session.Score(0).normalized;
+  ASSERT_EQ(reloaded.size(), original.size());
+  for (size_t i = 0; i < reloaded.size(); ++i) {
+    EXPECT_NEAR(reloaded[i], original[i], 1e-6) << i;
+  }
+}
+
+TEST(MiningSession, SaveAndLoadModelFile) {
+  auto g = PaperExampleGraph();
+  auto session = std::move(MiningSession::Create(g)).value();
+  ASSERT_TRUE(session.Mine().ok());
+  const std::string path = ::testing::TempDir() + "cspm_engine_model.txt";
+  ASSERT_TRUE(session.SaveModel(path).ok());
+
+  auto other = std::move(MiningSession::Create(g)).value();
+  ASSERT_TRUE(other.LoadModel(path).ok());
+  EXPECT_EQ(other.model().astars.size(), session.model().astars.size());
+  std::remove(path.c_str());
+}
+
+TEST(MiningSession, VerifyLosslessRequiresKeptDatabase) {
+  auto g = PaperExampleGraph();
+  auto session = std::move(MiningSession::Create(g)).value();
+  EXPECT_FALSE(session.VerifyLossless().ok());  // nothing mined yet
+  ASSERT_TRUE(session.Mine().ok());
+  EXPECT_FALSE(session.VerifyLossless().ok());  // database not kept
+
+  MiningOptions keep;
+  keep.keep_database = true;
+  auto keeping = std::move(MiningSession::Create(g, keep)).value();
+  ASSERT_TRUE(keeping.Mine().ok());
+  EXPECT_TRUE(keeping.VerifyLossless().ok());
+}
+
+}  // namespace
+}  // namespace cspm::engine

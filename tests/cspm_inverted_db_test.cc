@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <utility>
+
 #include "cspm/verify.h"
 #include "graph/generators.h"
 #include "testing_util.h"
@@ -12,6 +16,9 @@ namespace cspm::core {
 namespace {
 
 using cspm::testing::PaperExampleGraph;
+
+// Materializes a pool-backed view for comparisons; an absent line gives {}.
+PosList ToVec(PosListView view) { return PosList(view.begin(), view.end()); }
 
 class InvertedDbPaperExample : public ::testing::Test {
  protected:
@@ -41,26 +48,22 @@ TEST_F(InvertedDbPaperExample, MappingTableFrequencies) {
 
 TEST_F(InvertedDbPaperExample, InitialLinesMatchPaper) {
   // The blue record of Fig. 2(b): ({a}, {c}, {v2, v3}).
-  const PosList* line = idb_->FindLine(c_, /*leafset=*/a_);
-  ASSERT_NE(line, nullptr);
-  EXPECT_EQ(*line, (PosList{1, 2}));  // v2=1, v3=2 (zero-based)
+  EXPECT_EQ(ToVec(idb_->FindLine(c_, /*leafset=*/a_)),
+            (PosList{1, 2}));  // v2=1, v3=2 (zero-based)
 
   // Core a: leaf a at {v1,v2}; leaf b at {v1,v5}; leaf c at {v1,v5}.
-  ASSERT_NE(idb_->FindLine(a_, a_), nullptr);
-  EXPECT_EQ(*idb_->FindLine(a_, a_), (PosList{0, 1}));
-  ASSERT_NE(idb_->FindLine(a_, b_), nullptr);
-  EXPECT_EQ(*idb_->FindLine(a_, b_), (PosList{0, 4}));
-  ASSERT_NE(idb_->FindLine(a_, c_), nullptr);
-  EXPECT_EQ(*idb_->FindLine(a_, c_), (PosList{0, 4}));
+  EXPECT_EQ(ToVec(idb_->FindLine(a_, a_)), (PosList{0, 1}));
+  EXPECT_EQ(ToVec(idb_->FindLine(a_, b_)), (PosList{0, 4}));
+  EXPECT_EQ(ToVec(idb_->FindLine(a_, c_)), (PosList{0, 4}));
 
   // Core b: leaf a at {v4}; leaf b at {v4,v5}; leaf c at {v5}.
-  EXPECT_EQ(*idb_->FindLine(b_, a_), (PosList{3}));
-  EXPECT_EQ(*idb_->FindLine(b_, b_), (PosList{3, 4}));
-  EXPECT_EQ(*idb_->FindLine(b_, c_), (PosList{4}));
+  EXPECT_EQ(ToVec(idb_->FindLine(b_, a_)), (PosList{3}));
+  EXPECT_EQ(ToVec(idb_->FindLine(b_, b_)), (PosList{3, 4}));
+  EXPECT_EQ(ToVec(idb_->FindLine(b_, c_)), (PosList{4}));
 
   // Core c: leaf a at {v2,v3}; leaf b at {v3}; no leaf-c line.
-  EXPECT_EQ(*idb_->FindLine(c_, b_), (PosList{2}));
-  EXPECT_EQ(idb_->FindLine(c_, c_), nullptr);
+  EXPECT_EQ(ToVec(idb_->FindLine(c_, b_)), (PosList{2}));
+  EXPECT_TRUE(idb_->FindLine(c_, c_).empty());
 
   EXPECT_EQ(idb_->num_lines(), 8u);
   EXPECT_EQ(idb_->num_active_leafsets(), 3u);
@@ -88,17 +91,14 @@ TEST_F(InvertedDbPaperExample, MergeBCMatchesFig4) {
   EXPECT_EQ(idb_->leafsets().Values(bc), expected);
 
   // Under core {a}: total merge — positions {v1, v5}.
-  ASSERT_NE(idb_->FindLine(a_, bc), nullptr);
-  EXPECT_EQ(*idb_->FindLine(a_, bc), (PosList{0, 4}));
-  EXPECT_EQ(idb_->FindLine(a_, b_), nullptr);
-  EXPECT_EQ(idb_->FindLine(a_, c_), nullptr);
+  EXPECT_EQ(ToVec(idb_->FindLine(a_, bc)), (PosList{0, 4}));
+  EXPECT_TRUE(idb_->FindLine(a_, b_).empty());
+  EXPECT_TRUE(idb_->FindLine(a_, c_).empty());
 
   // Under core {b}: leaf {c} totally merged; ({b},{b}) remains at {v4}.
-  ASSERT_NE(idb_->FindLine(b_, bc), nullptr);
-  EXPECT_EQ(*idb_->FindLine(b_, bc), (PosList{4}));
-  ASSERT_NE(idb_->FindLine(b_, b_), nullptr);
-  EXPECT_EQ(*idb_->FindLine(b_, b_), (PosList{3}));
-  EXPECT_EQ(idb_->FindLine(b_, c_), nullptr);
+  EXPECT_EQ(ToVec(idb_->FindLine(b_, bc)), (PosList{4}));
+  EXPECT_EQ(ToVec(idb_->FindLine(b_, b_)), (PosList{3}));
+  EXPECT_TRUE(idb_->FindLine(b_, c_).empty());
 
   // Leafset {c} is totally merged (no remaining line anywhere): the
   // ({c}, core c) lines never contained leaf c. {c} appeared only under
@@ -124,6 +124,179 @@ TEST_F(InvertedDbPaperExample, MergeOfDisjointLeafsetsIsNoOp) {
   // Merging {c} again: {c} has no lines left.
   MergeOutcome second = idb_->MergeLeafsets(b_, c_);
   EXPECT_TRUE(second.no_op);
+}
+
+// Reference implementation of the merge semantics on the seed's storage
+// layout (hash map of per-line vectors). Merge edge cases are asserted
+// identically against this old-path model and the flat-pool database.
+class ReferenceDb {
+ public:
+  explicit ReferenceDb(const InvertedDatabase& idb) {
+    idb.ForEachLine([&](CoreId e, LeafsetId l, PosListView positions) {
+      lines_[{e, l}] = PosList(positions.begin(), positions.end());
+    });
+    for (CoreId e = 0; e < idb.num_coresets(); ++e) {
+      core_line_total_.push_back(idb.CoreLineTotal(e));
+    }
+  }
+
+  struct Outcome {
+    std::vector<LeafsetId> totally_merged;
+    std::vector<LeafsetId> partly_merged;
+    bool no_op = true;
+  };
+
+  Outcome Merge(LeafsetId x, LeafsetId y, LeafsetId u) {
+    Outcome outcome;
+    for (const auto& [key, px] : std::map<std::pair<CoreId, LeafsetId>,
+                                          PosList>(lines_)) {
+      if (key.second != x) continue;
+      const CoreId e = key.first;
+      auto ity = lines_.find({e, y});
+      if (ity == lines_.end()) continue;
+      PosList inter;
+      std::set_intersection(px.begin(), px.end(), ity->second.begin(),
+                            ity->second.end(), std::back_inserter(inter));
+      if (inter.empty()) continue;
+      outcome.no_op = false;
+      for (LeafsetId half : {x, y}) {
+        auto it = lines_.find({e, half});
+        PosList rest;
+        std::set_difference(it->second.begin(), it->second.end(),
+                            inter.begin(), inter.end(),
+                            std::back_inserter(rest));
+        if (rest.empty()) {
+          lines_.erase(it);
+        } else {
+          it->second = rest;
+        }
+      }
+      PosList& target = lines_[{e, u}];
+      PosList merged;
+      std::merge(target.begin(), target.end(), inter.begin(), inter.end(),
+                 std::back_inserter(merged));
+      target = merged;
+      core_line_total_[e] -= inter.size();
+    }
+    if (outcome.no_op) return outcome;
+    for (LeafsetId l : {x, y}) {
+      if (HasLines(l)) {
+        outcome.partly_merged.push_back(l);
+      } else {
+        outcome.totally_merged.push_back(l);
+      }
+    }
+    return outcome;
+  }
+
+  bool HasLines(LeafsetId l) const {
+    for (const auto& [key, positions] : lines_) {
+      (void)positions;
+      if (key.second == l) return true;
+    }
+    return false;
+  }
+
+  size_t num_lines() const { return lines_.size(); }
+  uint64_t CoreLineTotal(CoreId e) const { return core_line_total_[e]; }
+  const PosList* Find(CoreId e, LeafsetId l) const {
+    auto it = lines_.find({e, l});
+    return it == lines_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::map<std::pair<CoreId, LeafsetId>, PosList> lines_;
+  std::vector<uint64_t> core_line_total_;
+};
+
+void ExpectMatchesReference(const InvertedDatabase& idb,
+                            const ReferenceDb& ref) {
+  EXPECT_EQ(idb.num_lines(), ref.num_lines());
+  for (CoreId e = 0; e < idb.num_coresets(); ++e) {
+    EXPECT_EQ(idb.CoreLineTotal(e), ref.CoreLineTotal(e)) << "core " << e;
+  }
+  size_t seen = 0;
+  idb.ForEachLine([&](CoreId e, LeafsetId l, PosListView positions) {
+    ++seen;
+    const PosList* expected = ref.Find(e, l);
+    ASSERT_NE(expected, nullptr) << "line (" << e << ", " << l << ")";
+    EXPECT_EQ(ToVec(positions), *expected) << "line (" << e << ", " << l
+                                           << ")";
+  });
+  EXPECT_EQ(seen, ref.num_lines());
+}
+
+class MergeEdgeCases : public InvertedDbPaperExample {};
+
+TEST_F(MergeEdgeCases, NoSharedCoresetIsNoOpAndMutatesNothing) {
+  ReferenceDb ref(*idb_);
+  const size_t lines_before = idb_->num_lines();
+  const size_t active_before = idb_->num_active_leafsets();
+  MergeOutcome outcome = idb_->MergeLeafsets(b_, c_);
+  ASSERT_FALSE(outcome.no_op);
+  // Re-merging the same pair: {c} lost its last line, nothing shared.
+  MergeOutcome again = idb_->MergeLeafsets(b_, c_);
+  EXPECT_TRUE(again.no_op);
+  EXPECT_EQ(again.cores_touched, 0u);
+  EXPECT_EQ(again.moved_positions, 0u);
+  EXPECT_TRUE(again.totally_merged.empty());
+  EXPECT_TRUE(again.partly_merged.empty());
+  // The failed merge changed nothing relative to the reference replay.
+  ref.Merge(b_, c_, outcome.merged_id);
+  ExpectMatchesReference(*idb_, ref);
+  // 8 lines - (a,b) - (a,c) - (b,c) + (a,{b,c}) + (b,{b,c}) = 7.
+  EXPECT_EQ(idb_->num_lines(), lines_before - 1);
+  EXPECT_EQ(idb_->num_active_leafsets(), active_before);  // {c} out, {b,c} in
+}
+
+TEST_F(MergeEdgeCases, TotallyVersusPartlyMergedClassification) {
+  // Fig. 4's merge: {c} vanishes everywhere (totally merged), {b} keeps a
+  // line under core b (partly merged).
+  ReferenceDb ref(*idb_);
+  MergeOutcome outcome = idb_->MergeLeafsets(b_, c_);
+  ReferenceDb::Outcome ref_outcome = ref.Merge(b_, c_, outcome.merged_id);
+  EXPECT_EQ(outcome.no_op, ref_outcome.no_op);
+  EXPECT_EQ(outcome.totally_merged, ref_outcome.totally_merged);
+  EXPECT_EQ(outcome.partly_merged, ref_outcome.partly_merged);
+  ExpectMatchesReference(*idb_, ref);
+}
+
+TEST_F(MergeEdgeCases, CoreLineTotalInvariantsAfterChainedMerges) {
+  // Chain merges (including no-ops) on a random graph; after every step
+  // the flat-pool state must equal the old-path reference replay, and f_e
+  // must equal the sum of the line frequencies under e.
+  Rng rng(2024);
+  auto g = graph::ErdosRenyi(70, 0.09, 10, 3, &rng).value();
+  InvertedDatabase idb = InvertedDatabase::FromGraph(g).value();
+  ReferenceDb ref(idb);
+  for (int step = 0; step < 40; ++step) {
+    const auto& actives = idb.active_leafsets();
+    if (actives.size() < 2) break;
+    const LeafsetId x = actives[rng.Uniform(actives.size())];
+    const LeafsetId y = actives[rng.Uniform(actives.size())];
+    if (x == y) continue;
+    MergeOutcome outcome = idb.MergeLeafsets(x, y);
+    if (!outcome.no_op) {
+      ReferenceDb::Outcome ref_outcome = ref.Merge(x, y, outcome.merged_id);
+      EXPECT_EQ(outcome.totally_merged, ref_outcome.totally_merged);
+      EXPECT_EQ(outcome.partly_merged, ref_outcome.partly_merged);
+    }
+    ExpectMatchesReference(idb, ref);
+
+    // f_e invariant, directly on the flat storage.
+    std::vector<uint64_t> totals(idb.num_coresets(), 0);
+    uint64_t lines = 0;
+    idb.ForEachLine([&](CoreId e, LeafsetId l, PosListView positions) {
+      (void)l;
+      ASSERT_FALSE(positions.empty());
+      totals[e] += positions.size();
+      ++lines;
+    });
+    EXPECT_EQ(lines, idb.num_lines());
+    for (CoreId e = 0; e < idb.num_coresets(); ++e) {
+      EXPECT_EQ(totals[e], idb.CoreLineTotal(e)) << "step " << step;
+    }
+  }
 }
 
 TEST(InvertedDbRandom, LosslessOnRandomGraphs) {

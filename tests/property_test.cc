@@ -49,7 +49,7 @@ TEST_P(RandomGraphProperties, AStarFrequenciesConsistent) {
   const auto& idb = artifacts.inverted_db;
   // Per-coreset dynamic totals equal the sum of line frequencies.
   std::vector<uint64_t> totals(idb.num_coresets(), 0);
-  idb.ForEachLine([&](CoreId e, LeafsetId l, const PosList& positions) {
+  idb.ForEachLine([&](CoreId e, LeafsetId l, PosListView positions) {
     (void)l;
     totals[e] += positions.size();
   });
@@ -70,7 +70,7 @@ TEST_P(RandomGraphProperties, DataCostMatchesEq8Identity) {
   auto idb = InvertedDatabase::FromGraph(g).value();
   // Collect the joint count table and compare Eq. 8 evaluated both ways.
   std::vector<std::vector<uint64_t>> joint(idb.num_coresets());
-  idb.ForEachLine([&](CoreId e, LeafsetId l, const PosList& positions) {
+  idb.ForEachLine([&](CoreId e, LeafsetId l, PosListView positions) {
     (void)l;
     joint[e].push_back(positions.size());
   });
