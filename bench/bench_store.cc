@@ -1,0 +1,125 @@
+// Store-layer benchmark: binary store save/load/open against the text
+// round trip, on a model mined from the n=8000 synthetic dataset. The
+// headline number backing the store design: ModelStore::Open + Get must
+// beat LoadModelFromFile (text parse + name resolution) by a wide margin,
+// and Open alone is O(1) in the model payload.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "cspm/serialization.h"
+#include "engine/session.h"
+#include "store/model_store.h"
+#include "util/check.h"
+
+namespace cspm::bench {
+namespace {
+
+/// Mined-once fixture shared by all store benches.
+struct StoreFixture {
+  graph::AttributedGraph graph;
+  core::CspmModel model;
+  std::string text;          // text serialization of `model`
+  std::string text_path;     // committed text file
+  std::string store_path;    // committed binary store (model + dict)
+
+  static const StoreFixture& Get() {
+    static StoreFixture* fixture = [] {
+      auto* f = new StoreFixture();
+      f->graph = datasets::MakePokecLike(1, 8000).value();
+      engine::MiningOptions opts;
+      opts.record_iteration_stats = false;
+      f->model = engine::MineModel(f->graph, opts).value();
+      f->text = core::ModelToText(f->model, f->graph.dict());
+      f->text_path = "bench_store_model.txt";
+      CSPM_CHECK(
+          core::SaveModelToFile(f->model, f->graph.dict(), f->text_path).ok());
+      f->store_path = "bench_store_model.cspm";
+      std::remove(f->store_path.c_str());
+      auto store = store::ModelStore::Create(f->store_path).value();
+      store::StoredModel stored;
+      stored.model = f->model;
+      stored.dict = f->graph.dict();
+      CSPM_CHECK(store.Put("default", stored).ok());
+      return f;
+    }();
+    return *fixture;
+  }
+};
+
+void BM_TextSave(benchmark::State& state) {
+  const StoreFixture& f = StoreFixture::Get();
+  const std::string path = "bench_store_save.txt";
+  for (auto _ : state) {
+    CSPM_CHECK(core::SaveModelToFile(f.model, f.graph.dict(), path).ok());
+  }
+  state.counters["bytes"] = static_cast<double>(f.text.size());
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_TextSave)->Unit(benchmark::kMicrosecond);
+
+void BM_TextLoad(benchmark::State& state) {
+  const StoreFixture& f = StoreFixture::Get();
+  for (auto _ : state) {
+    auto model = core::LoadModelFromFile(f.text_path, f.graph.dict());
+    CSPM_CHECK(model.ok());
+    benchmark::DoNotOptimize(model.value().astars.size());
+  }
+}
+BENCHMARK(BM_TextLoad)->Unit(benchmark::kMicrosecond);
+
+void BM_BinarySave(benchmark::State& state) {
+  const StoreFixture& f = StoreFixture::Get();
+  const std::string path = "bench_store_save.cspm";
+  store::StoredModel stored;
+  stored.model = f.model;
+  stored.dict = f.graph.dict();
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::remove(path.c_str());
+    state.ResumeTiming();
+    auto store = store::ModelStore::Create(path).value();
+    CSPM_CHECK(store.Put("default", stored).ok());
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_BinarySave)->Unit(benchmark::kMicrosecond);
+
+void BM_BinaryLoad(benchmark::State& state) {
+  const StoreFixture& f = StoreFixture::Get();
+  for (auto _ : state) {
+    auto store = store::ModelStore::Open(f.store_path).value();
+    auto stored = store.Get("default");
+    CSPM_CHECK(stored.ok());
+    benchmark::DoNotOptimize(stored.value().model.astars.size());
+  }
+}
+BENCHMARK(BM_BinaryLoad)->Unit(benchmark::kMicrosecond);
+
+void BM_BinaryOpen(benchmark::State& state) {
+  const StoreFixture& f = StoreFixture::Get();
+  for (auto _ : state) {
+    auto store = store::ModelStore::Open(f.store_path);
+    CSPM_CHECK(store.ok());
+    benchmark::DoNotOptimize(store.value().size());
+  }
+}
+BENCHMARK(BM_BinaryOpen)->Unit(benchmark::kMicrosecond);
+
+/// Session-level round trip through the auto-detecting facade paths.
+void BM_SessionLoadBinary(benchmark::State& state) {
+  const StoreFixture& f = StoreFixture::Get();
+  auto session = std::move(engine::MiningSession::Create(f.graph)).value();
+  for (auto _ : state) {
+    CSPM_CHECK(session.LoadModel(f.store_path).ok());
+    benchmark::DoNotOptimize(session.model().astars.size());
+  }
+}
+BENCHMARK(BM_SessionLoadBinary)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace cspm::bench
+
+BENCHMARK_MAIN();

@@ -2,18 +2,28 @@
 // user profiles in a homophilous social graph, then compare NeighAggre
 // with and without the CSPM scoring fusion.
 //
-//   $ ./examples/profile_completion
+// Demonstrates mine-once/serve-many through the model store: the first
+// run mines and persists the model to a .cspm store file; later runs load
+// it back in milliseconds instead of re-mining.
+//
+//   $ ./examples/profile_completion [model.cspm]
 #include <cstdio>
+#include <fstream>
+#include <string>
 
 #include "completion/fusion.h"
 #include "completion/models.h"
 #include "completion/task.h"
 #include "datasets/synthetic.h"
 #include "engine/session.h"
+#include "util/timer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cspm;
   using namespace cspm::completion;
+
+  const std::string store_path =
+      argc > 1 ? argv[1] : "profile_completion.cspm";
 
   auto graph_or = datasets::MakeCoraLike(/*seed=*/11);
   if (!graph_or.ok()) {
@@ -31,18 +41,49 @@ int main() {
               "attributes\n",
               data.masked_graph.num_vertices(), data.test_nodes.size());
 
-  // Mine a-stars on the attribute-missing graph (what a deployment sees).
+  // Mine a-stars on the attribute-missing graph (what a deployment sees) —
+  // or, on a warm start, load the persisted model from the store.
   engine::MiningOptions mopts;
   mopts.record_iteration_stats = false;
-  auto cspm_model = engine::MineModel(data.masked_graph, mopts);
-  if (!cspm_model.ok()) {
-    std::fprintf(stderr, "%s\n", cspm_model.status().ToString().c_str());
+  auto session_or = engine::MiningSession::Create(data.masked_graph, mopts);
+  if (!session_or.ok()) {
+    std::fprintf(stderr, "%s\n", session_or.status().ToString().c_str());
     return 1;
+  }
+  engine::MiningSession& session = *session_or;
+  const bool store_exists = std::ifstream(store_path).good();
+  WallTimer timer;
+  bool loaded = false;
+  if (store_exists) {
+    if (Status st = session.LoadModel(store_path); st.ok()) {
+      loaded = true;
+      std::printf("loaded model from %s in %.1fms (mine-once/serve-many)\n",
+                  store_path.c_str(), timer.ElapsedMillis());
+    } else {
+      std::fprintf(stderr, "warning: could not load %s (%s); re-mining\n",
+                   store_path.c_str(), st.ToString().c_str());
+      timer.Reset();
+    }
+  }
+  if (!loaded) {
+    if (Status st = session.Mine(); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("mined model in %.2fs\n", timer.ElapsedSeconds());
+    if (Status st = session.SaveModel(store_path); !st.ok()) {
+      std::fprintf(stderr, "warning: could not persist model: %s\n",
+                   st.ToString().c_str());
+    } else {
+      std::printf("persisted model to %s; the next run loads it instead of "
+                  "mining\n",
+                  store_path.c_str());
+    }
   }
 
   auto model = MakeNeighAggre();
   nn::Matrix base_scores = model->PredictScores(data);
-  nn::Matrix fused_scores = FuseWithCspm(base_scores, data, *cspm_model);
+  nn::Matrix fused_scores = FuseWithCspm(base_scores, data, session.model());
 
   const std::vector<size_t> ks = {10, 20, 50};
   auto base = EvaluateScores(data, base_scores, ks);

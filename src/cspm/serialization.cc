@@ -1,7 +1,9 @@
 #include "cspm/serialization.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -37,12 +39,14 @@ StatusOr<std::vector<AttrId>> ParseNames(
 
 std::string ModelToText(const CspmModel& model,
                         const graph::AttributeDictionary& dict) {
+  // Doubles print with max_digits10 (%.17g) so stats and code lengths
+  // survive a save→load round trip bit-exactly.
   std::string out = "# cspm model v1\n";
-  out += StrFormat("stats %.6f %.6f %llu\n", model.stats.initial_dl_bits,
+  out += StrFormat("stats %.17g %.17g %llu\n", model.stats.initial_dl_bits,
                    model.stats.final_dl_bits,
                    static_cast<unsigned long long>(model.stats.iterations));
   for (const AStar& s : model.astars) {
-    out += StrFormat("astar %.9f %llu %llu %llu | ", s.code_length_bits,
+    out += StrFormat("astar %.17g %llu %llu %llu | ", s.code_length_bits,
                      static_cast<unsigned long long>(s.frequency),
                      static_cast<unsigned long long>(s.core_total),
                      static_cast<unsigned long long>(s.coreset_frequency));
@@ -117,18 +121,37 @@ Status SaveModelToFile(const CspmModel& model,
                        const graph::AttributeDictionary& dict,
                        const std::string& path) {
   std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  if (!out) {
+    return Status::IOError("cannot open " + path + " for writing: " +
+                           std::strerror(errno));
+  }
   out << ModelToText(model, dict);
-  if (!out) return Status::IOError("write failed for " + path);
+  out.flush();
+  if (!out) {
+    return Status::IOError("write failed for " + path + ": " +
+                           std::strerror(errno));
+  }
+  out.close();
+  if (out.fail()) {
+    return Status::IOError("close failed for " + path + ": " +
+                           std::strerror(errno));
+  }
   return Status::OK();
 }
 
 StatusOr<CspmModel> LoadModelFromFile(const std::string& path,
                                       const graph::AttributeDictionary& dict) {
   std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open " + path);
+  if (!in) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
   std::ostringstream buf;
   buf << in.rdbuf();
+  if (in.bad()) {
+    return Status::IOError("read failed for " + path + ": " +
+                           std::strerror(errno));
+  }
   return ModelFromText(buf.str(), dict);
 }
 

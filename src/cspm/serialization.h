@@ -5,6 +5,13 @@
 //   # comments
 //   stats <initial_dl> <final_dl> <iterations>
 //   astar <code_length> <fL> <f_e> <fc> | <core names...> | <leaf names...>
+//
+// Doubles are emitted with max_digits10 precision, so numeric fields
+// round-trip bit-exactly. This format resolves attribute names against an
+// external dictionary; for a fully self-contained file (embedded
+// dictionary, optional graph snapshot, multiple models, CRC-checked
+// pages) use the binary store format in store/model_store.h — loaders
+// tell the two apart by the store's "CSPMSTR1" magic.
 #ifndef CSPM_CSPM_SERIALIZATION_H_
 #define CSPM_CSPM_SERIALIZATION_H_
 

@@ -1,0 +1,100 @@
+#include "engine/model_registry.h"
+
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
+#include "store/model_store.h"
+#include "util/string_util.h"
+
+namespace cspm::engine {
+namespace {
+
+ServableModel FromStored(store::StoredModel stored) {
+  ServableModel m;
+  m.model = std::move(stored.model);
+  m.dict = std::move(stored.dict);
+  m.graph = std::move(stored.graph);
+  return m;
+}
+
+}  // namespace
+
+StatusOr<core::AttributeScores> ServableModel::ScoreVertex(
+    graph::VertexId v, const core::ScoringOptions& options) const {
+  if (!graph.has_value()) {
+    return Status::FailedPrecondition(
+        "model has no graph snapshot; use ScoreWithNeighbourhood");
+  }
+  if (v >= graph->num_vertices()) {
+    return Status::OutOfRange(StrFormat("vertex %u out of range (%u vertices)",
+                                        v, graph->num_vertices()));
+  }
+  return core::ScoreAttributes(*graph, model, v, options);
+}
+
+Status ModelRegistry::LoadStore(const std::string& path) {
+  CSPM_ASSIGN_OR_RETURN(store::ModelStore store, store::ModelStore::Open(path));
+  // Decode every record before touching the map, so a corrupt store never
+  // leaves the registry partially updated.
+  std::vector<std::pair<std::string, Handle>> loaded;
+  for (const store::ModelStore::Info& info : store.List()) {
+    CSPM_ASSIGN_OR_RETURN(store::StoredModel stored, store.Get(info.name));
+    loaded.emplace_back(
+        info.name,
+        std::make_shared<const ServableModel>(FromStored(std::move(stored))));
+  }
+  std::unique_lock lock(mu_);
+  for (auto& [name, handle] : loaded) {
+    models_[name] = std::move(handle);
+  }
+  return Status::OK();
+}
+
+Status ModelRegistry::LoadModel(const std::string& path,
+                                const std::string& name) {
+  CSPM_ASSIGN_OR_RETURN(store::ModelStore store, store::ModelStore::Open(path));
+  CSPM_ASSIGN_OR_RETURN(store::StoredModel stored, store.Get(name));
+  auto handle =
+      std::make_shared<const ServableModel>(FromStored(std::move(stored)));
+  std::unique_lock lock(mu_);
+  models_[name] = std::move(handle);
+  return Status::OK();
+}
+
+ModelRegistry::Handle ModelRegistry::Put(const std::string& name,
+                                         ServableModel model) {
+  auto handle = std::make_shared<const ServableModel>(std::move(model));
+  std::unique_lock lock(mu_);
+  models_[name] = handle;
+  return handle;
+}
+
+ModelRegistry::Handle ModelRegistry::Get(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  auto it = models_.find(name);
+  return it == models_.end() ? nullptr : it->second;
+}
+
+bool ModelRegistry::Remove(const std::string& name) {
+  std::unique_lock lock(mu_);
+  return models_.erase(name) > 0;
+}
+
+std::vector<std::string> ModelRegistry::List() const {
+  std::vector<std::string> names;
+  {
+    std::shared_lock lock(mu_);
+    names.reserve(models_.size());
+    for (const auto& [name, handle] : models_) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+size_t ModelRegistry::size() const {
+  std::shared_lock lock(mu_);
+  return models_.size();
+}
+
+}  // namespace cspm::engine

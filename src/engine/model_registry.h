@@ -1,0 +1,87 @@
+// Concurrent registry of servable models, the in-memory face of the store
+// layer: serving paths (completion, alarm triage, the shell) look models
+// up by name and score against an immutable snapshot while loads/reloads
+// happen behind a shared_mutex.
+//
+// Concurrency contract (see DESIGN.md §6):
+//  - A ServableModel is immutable once registered; Get() hands out a
+//    shared_ptr<const ServableModel> (a copy-on-write handle). Replacing a
+//    name swaps the pointer — readers holding the old handle keep scoring
+//    against a consistent model for as long as they like.
+//  - Lookups take a shared lock; Put/Remove/Load take an exclusive lock
+//    only for the map mutation (record decoding happens outside the lock).
+#ifndef CSPM_ENGINE_MODEL_REGISTRY_H_
+#define CSPM_ENGINE_MODEL_REGISTRY_H_
+
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cspm/model.h"
+#include "cspm/scoring.h"
+#include "graph/attribute_dictionary.h"
+#include "graph/attributed_graph.h"
+#include "util/status.h"
+
+namespace cspm::engine {
+
+/// A self-contained, immutable model ready to serve scoring traffic: the
+/// pattern model, the dictionary its attribute ids refer to, and (when the
+/// store record carried a snapshot) the graph it was mined on.
+struct ServableModel {
+  core::CspmModel model;
+  graph::AttributeDictionary dict;
+  std::optional<graph::AttributedGraph> graph;
+
+  /// Algorithm 5 against an explicit neighbour-attribute set (ids in this
+  /// model's dictionary). Works without a graph snapshot.
+  core::AttributeScores ScoreWithNeighbourhood(
+      const std::vector<graph::AttrId>& neighbourhood_attrs,
+      const core::ScoringOptions& options = {}) const {
+    return core::ScoreAttributesWithNeighbourhood(dict.size(), model,
+                                                  neighbourhood_attrs,
+                                                  options);
+  }
+
+  /// Scores vertex `v` of the embedded graph snapshot.
+  StatusOr<core::AttributeScores> ScoreVertex(
+      graph::VertexId v, const core::ScoringOptions& options = {}) const;
+};
+
+class ModelRegistry {
+ public:
+  using Handle = std::shared_ptr<const ServableModel>;
+
+  /// Loads every model of a store file into the registry (names taken from
+  /// the store catalog; existing entries with the same name are replaced).
+  Status LoadStore(const std::string& path);
+
+  /// Loads one named model from a store file.
+  Status LoadModel(const std::string& path, const std::string& name);
+
+  /// Registers (or replaces) a model under `name`. Handles previously
+  /// returned by Get() are unaffected.
+  Handle Put(const std::string& name, ServableModel model);
+
+  /// The current handle for `name`, or nullptr if absent.
+  Handle Get(const std::string& name) const;
+
+  /// Removes `name`; returns false if it was absent.
+  bool Remove(const std::string& name);
+
+  /// Registered names, sorted.
+  std::vector<std::string> List() const;
+
+  size_t size() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, Handle> models_;
+};
+
+}  // namespace cspm::engine
+
+#endif  // CSPM_ENGINE_MODEL_REGISTRY_H_

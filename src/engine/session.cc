@@ -6,7 +6,10 @@
 #include "cspm/miner.h"
 #include "cspm/serialization.h"
 #include "cspm/verify.h"
+#include "store/codec.h"
+#include "store/model_store.h"
 #include "util/check.h"
+#include "util/string_util.h"
 
 namespace cspm::engine {
 namespace {
@@ -112,12 +115,77 @@ Status MiningSession::DeserializeModel(const std::string& text) {
   return Status::OK();
 }
 
-Status MiningSession::SaveModel(const std::string& path) const {
-  return core::SaveModelToFile(model(), impl_->graph->dict(), path);
+namespace {
+
+bool WantsBinaryStore(const std::string& path, ModelFileFormat format) {
+  if (format == ModelFileFormat::kBinaryStore) return true;
+  if (format == ModelFileFormat::kText) return false;
+  return path.size() >= 5 && path.compare(path.size() - 5, 5, ".cspm") == 0;
 }
 
+}  // namespace
+
+Status MiningSession::SaveModel(const std::string& path,
+                                const SaveModelOptions& options) const {
+  if (!WantsBinaryStore(path, options.format)) {
+    return core::SaveModelToFile(model(), impl_->graph->dict(), path);
+  }
+  auto store_or = store::ModelStore::OpenOrCreate(path);
+  if (!store_or.ok()) return store_or.status();
+  store::StoredModel stored;
+  stored.model = model();
+  stored.dict = impl_->graph->dict();
+  if (options.include_graph) stored.graph = *impl_->graph;
+  return store_or->Put(options.model_name, stored);
+}
+
+namespace {
+
+// A store record carries its own dictionary; rewrite the attribute ids
+// onto the session graph's (exactly what the text loader does by name).
+StatusOr<core::CspmModel> GetRemapped(store::ModelStore& store,
+                                      const std::string& model_name,
+                                      const graph::AttributeDictionary& dict) {
+  CSPM_ASSIGN_OR_RETURN(store::StoredModel stored, store.Get(model_name));
+  return store::RemapModelAttributes(stored.model, stored.dict, dict);
+}
+
+}  // namespace
+
 Status MiningSession::LoadModel(const std::string& path) {
-  auto model_or = core::LoadModelFromFile(path, impl_->graph->dict());
+  if (!store::ModelStore::IsStoreFile(path)) {
+    auto model_or = core::LoadModelFromFile(path, impl_->graph->dict());
+    if (!model_or.ok()) return model_or.status();
+    impl_->model = std::move(model_or).value();
+    impl_->has_model = true;
+    impl_->database.reset();
+    return Status::OK();
+  }
+  auto store_or = store::ModelStore::Open(path);
+  if (!store_or.ok()) return store_or.status();
+  std::string name = "default";
+  if (!store_or->Contains(name)) {
+    if (store_or->size() != 1) {
+      return Status::InvalidArgument(StrFormat(
+          "store %s holds %zu models and none named 'default'; pick one "
+          "with LoadModel(path, model_name)",
+          path.c_str(), store_or->size()));
+    }
+    name = store_or->List().front().name;
+  }
+  auto model_or = GetRemapped(*store_or, name, impl_->graph->dict());
+  if (!model_or.ok()) return model_or.status();
+  impl_->model = std::move(model_or).value();
+  impl_->has_model = true;
+  impl_->database.reset();
+  return Status::OK();
+}
+
+Status MiningSession::LoadModel(const std::string& path,
+                                const std::string& model_name) {
+  auto store_or = store::ModelStore::Open(path);
+  if (!store_or.ok()) return store_or.status();
+  auto model_or = GetRemapped(*store_or, model_name, impl_->graph->dict());
   if (!model_or.ok()) return model_or.status();
   impl_->model = std::move(model_or).value();
   impl_->has_model = true;

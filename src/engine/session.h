@@ -43,6 +43,23 @@ enum class Gain {
   kDataPlusModel,  ///< ΔL minus the model-cost delta (MDL-faithful default)
 };
 
+/// On-disk format for SaveModel. Loading always auto-detects by magic.
+enum class ModelFileFormat {
+  kAuto,         ///< ".cspm" extension → binary store, anything else → text
+  kText,         ///< line-oriented text (cspm/serialization.h)
+  kBinaryStore,  ///< paged binary store (store/model_store.h)
+};
+
+/// Knobs for MiningSession::SaveModel when writing a binary store.
+struct SaveModelOptions {
+  ModelFileFormat format = ModelFileFormat::kAuto;
+  /// Catalog name of the record (stores hold many models per file).
+  std::string model_name = "default";
+  /// Embed a snapshot of the session's graph so the record can serve
+  /// vertex-level scoring with no external data at all.
+  bool include_graph = false;
+};
+
 /// Mining knobs. A deliberate copy of the core options rather than an
 /// alias: the facade contract must not move when internals do.
 struct MiningOptions {
@@ -124,8 +141,21 @@ class MiningSession {
 
   std::string SerializeModel() const;
   Status DeserializeModel(const std::string& text);
-  Status SaveModel(const std::string& path) const;
+
+  /// Saves the model. With the default options, a path ending in ".cspm"
+  /// writes (or updates) a binary store file; anything else writes the v1
+  /// text format.
+  Status SaveModel(const std::string& path,
+                   const SaveModelOptions& options = {}) const;
+
+  /// Loads a model, auto-detecting the format by magic: a binary store is
+  /// read through its embedded dictionary and remapped onto this session's
+  /// graph; anything else is parsed as text. A store file must hold
+  /// exactly one model or one named "default" — use the two-argument
+  /// overload otherwise.
   Status LoadModel(const std::string& path);
+  /// Loads the named record from a binary store file.
+  Status LoadModel(const std::string& path, const std::string& model_name);
 
   // --- verification -------------------------------------------------------
 

@@ -1,0 +1,189 @@
+#include "store/model_store.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "store/codec.h"
+#include "util/string_util.h"
+
+namespace cspm::store {
+namespace {
+
+// Record layout: version byte, flags byte (bit 0: graph snapshot present),
+// then dictionary, model, and optionally the graph.
+constexpr uint8_t kRecordVersion = 1;
+constexpr uint8_t kFlagHasGraph = 0x01;
+
+std::string EncodeRecord(const StoredModel& stored) {
+  Encoder enc;
+  enc.PutU8(kRecordVersion);
+  enc.PutU8(stored.graph.has_value() ? kFlagHasGraph : 0);
+  EncodeDictionary(stored.dict, &enc);
+  EncodeModel(stored.model, &enc);
+  if (stored.graph.has_value()) EncodeGraph(*stored.graph, &enc);
+  return enc.Release();
+}
+
+StatusOr<StoredModel> DecodeRecord(const std::string& bytes) {
+  Decoder dec(bytes);
+  CSPM_ASSIGN_OR_RETURN(uint8_t version, dec.ReadU8());
+  if (version > kRecordVersion) {
+    return Status::IOError(
+        StrFormat("model record version %u from the future (this build "
+                  "reads <= %u)",
+                  version, kRecordVersion));
+  }
+  CSPM_ASSIGN_OR_RETURN(uint8_t flags, dec.ReadU8());
+  StoredModel stored;
+  CSPM_ASSIGN_OR_RETURN(stored.dict, DecodeDictionary(&dec));
+  CSPM_ASSIGN_OR_RETURN(stored.model, DecodeModel(&dec));
+  if ((flags & kFlagHasGraph) != 0) {
+    CSPM_ASSIGN_OR_RETURN(auto graph, DecodeGraph(&dec, stored.dict));
+    stored.graph.emplace(std::move(graph));
+  }
+  if (!dec.AtEnd()) {
+    return Status::IOError("model record has trailing bytes (corrupt store)");
+  }
+  return stored;
+}
+
+}  // namespace
+
+StatusOr<ModelStore> ModelStore::Create(const std::string& path) {
+  CSPM_ASSIGN_OR_RETURN(Pager pager, Pager::Create(path));
+  return ModelStore(std::move(pager));
+}
+
+StatusOr<ModelStore> ModelStore::Open(const std::string& path) {
+  CSPM_ASSIGN_OR_RETURN(Pager pager, Pager::Open(path));
+  ModelStore store(std::move(pager));
+  CSPM_RETURN_IF_ERROR(store.LoadCatalog());
+  return store;
+}
+
+StatusOr<ModelStore> ModelStore::OpenOrCreate(const std::string& path) {
+  // Create only when nothing is at `path`. An existing file that is not a
+  // healthy store (wrong magic, truncated, corrupt) surfaces as Open's
+  // error instead of being silently destroyed.
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return Create(path);
+  return Open(path);
+}
+
+Status ModelStore::LoadCatalog() {
+  catalog_.clear();
+  if (pager_.catalog_head() == Pager::kNoPage) return Status::OK();
+  CSPM_ASSIGN_OR_RETURN(std::string bytes,
+                        pager_.ReadChain(pager_.catalog_head()));
+  Decoder dec(bytes);
+  CSPM_ASSIGN_OR_RETURN(uint64_t count, dec.ReadVarint());
+  for (uint64_t i = 0; i < count; ++i) {
+    CSPM_ASSIGN_OR_RETURN(std::string_view name, dec.ReadString());
+    Entry entry;
+    CSPM_ASSIGN_OR_RETURN(uint64_t head, dec.ReadVarint());
+    if (head == Pager::kNoPage || head >= pager_.num_pages()) {
+      return Status::IOError("catalog entry points outside the store");
+    }
+    entry.head = static_cast<uint32_t>(head);
+    CSPM_ASSIGN_OR_RETURN(entry.bytes, dec.ReadVarint());
+    CSPM_ASSIGN_OR_RETURN(entry.num_astars, dec.ReadVarint());
+    CSPM_ASSIGN_OR_RETURN(uint8_t flags, dec.ReadU8());
+    entry.has_graph = (flags & kFlagHasGraph) != 0;
+    if (!catalog_.emplace(std::string(name), entry).second) {
+      return Status::IOError("duplicate catalog entry: " + std::string(name));
+    }
+  }
+  if (!dec.AtEnd()) {
+    return Status::IOError("catalog has trailing bytes (corrupt store)");
+  }
+  return Status::OK();
+}
+
+Status ModelStore::SaveCatalogAndCommit() {
+  if (pager_.catalog_head() != Pager::kNoPage) {
+    CSPM_RETURN_IF_ERROR(pager_.FreeChain(pager_.catalog_head()));
+    pager_.set_catalog_head(Pager::kNoPage);
+  }
+  Encoder enc;
+  enc.PutVarint(catalog_.size());
+  for (const auto& [name, entry] : catalog_) {
+    enc.PutString(name);
+    enc.PutVarint(entry.head);
+    enc.PutVarint(entry.bytes);
+    enc.PutVarint(entry.num_astars);
+    enc.PutU8(entry.has_graph ? kFlagHasGraph : 0);
+  }
+  CSPM_ASSIGN_OR_RETURN(uint32_t head, pager_.WriteChain(enc.data()));
+  pager_.set_catalog_head(head);
+  return pager_.Commit();
+}
+
+Status ModelStore::Put(const std::string& name, const StoredModel& stored) {
+  if (name.empty()) {
+    return Status::InvalidArgument("model name must not be empty");
+  }
+  const std::string bytes = EncodeRecord(stored);
+  // Write the replacement chain before touching the old record: a failure
+  // anywhere short of Commit leaves the in-memory catalog — and the
+  // durable file — still holding the previous version of `name`.
+  Entry entry;
+  CSPM_ASSIGN_OR_RETURN(entry.head, pager_.WriteChain(bytes));
+  entry.bytes = bytes.size();
+  entry.num_astars = stored.model.astars.size();
+  entry.has_graph = stored.graph.has_value();
+  auto it = catalog_.find(name);
+  if (it != catalog_.end()) {
+    // Best-effort free: if the old chain has a corrupt page the walk stops
+    // and its tail leaks, but the replacement must still go through — a
+    // damaged record would otherwise be impossible to repair with a Put.
+    // The catalog drops the old head either way, so no later allocation
+    // can cross-link into a still-referenced chain.
+    (void)pager_.FreeChain(it->second.head);
+    it->second = entry;
+  } else {
+    catalog_.emplace(name, entry);
+  }
+  return SaveCatalogAndCommit();
+}
+
+StatusOr<StoredModel> ModelStore::Get(const std::string& name) {
+  auto it = catalog_.find(name);
+  if (it == catalog_.end()) {
+    return Status::NotFound("no model named '" + name + "' in " +
+                            pager_.path());
+  }
+  CSPM_ASSIGN_OR_RETURN(std::string bytes, pager_.ReadChain(it->second.head));
+  if (bytes.size() != it->second.bytes) {
+    return Status::IOError(
+        StrFormat("model '%s' record is %zu bytes, catalog expects %llu "
+                  "(corrupt store)",
+                  name.c_str(), bytes.size(),
+                  static_cast<unsigned long long>(it->second.bytes)));
+  }
+  return DecodeRecord(bytes);
+}
+
+Status ModelStore::Delete(const std::string& name) {
+  auto it = catalog_.find(name);
+  if (it == catalog_.end()) {
+    return Status::NotFound("no model named '" + name + "' in " +
+                            pager_.path());
+  }
+  // Best-effort free (see Put): deleting a record whose chain has a
+  // corrupt page must still remove it from the catalog — leaking its
+  // unreachable pages beats a store that can never drop the entry.
+  (void)pager_.FreeChain(it->second.head);
+  catalog_.erase(it);
+  return SaveCatalogAndCommit();
+}
+
+std::vector<ModelStore::Info> ModelStore::List() const {
+  std::vector<Info> out;
+  out.reserve(catalog_.size());
+  for (const auto& [name, entry] : catalog_) {
+    out.push_back({name, entry.bytes, entry.num_astars, entry.has_graph});
+  }
+  return out;
+}
+
+}  // namespace cspm::store

@@ -1,0 +1,101 @@
+// Multi-model store file: a catalog of named model records on top of the
+// Pager. Each record is a self-contained blob (embedded attribute
+// dictionary, model, optional graph snapshot) living in its own page
+// chain; the catalog (name -> chain head) is itself one chain referenced
+// from the header page. Opening a store reads the header and the catalog
+// only — cost independent of how large the model payloads are; record
+// bytes are read (and CRC-checked) on Get.
+//
+// Mutations (Put / Delete) rewrite the catalog chain and commit the pager
+// atomically, so a crash never leaves a half-updated store and concurrent
+// readers of the old file image are unaffected.
+#ifndef CSPM_STORE_MODEL_STORE_H_
+#define CSPM_STORE_MODEL_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cspm/model.h"
+#include "graph/attribute_dictionary.h"
+#include "graph/attributed_graph.h"
+#include "store/pager.h"
+#include "util/status.h"
+
+namespace cspm::store {
+
+/// A model as persisted: the pattern model plus everything needed to use
+/// it without the miner — the dictionary its attribute ids refer to, and
+/// optionally the graph it was mined on (for vertex-level scoring).
+struct StoredModel {
+  core::CspmModel model;
+  graph::AttributeDictionary dict;
+  std::optional<graph::AttributedGraph> graph;
+};
+
+class ModelStore {
+ public:
+  /// Starts an empty store at `path`, replacing any existing file.
+  static StatusOr<ModelStore> Create(const std::string& path);
+  /// Opens an existing store (header + catalog reads only).
+  static StatusOr<ModelStore> Open(const std::string& path);
+  /// Open if anything exists at `path`, Create otherwise. An existing
+  /// file that is not a healthy store fails with Open's error — it is
+  /// never overwritten.
+  static StatusOr<ModelStore> OpenOrCreate(const std::string& path);
+
+  /// True if `path` looks like a store file (magic sniff).
+  static bool IsStoreFile(const std::string& path) {
+    return Pager::FileHasMagic(path);
+  }
+
+  ModelStore(ModelStore&&) noexcept = default;
+  ModelStore& operator=(ModelStore&&) noexcept = default;
+
+  /// Inserts or replaces `name`, committing atomically.
+  Status Put(const std::string& name, const StoredModel& stored);
+
+  /// Decodes the named record.
+  StatusOr<StoredModel> Get(const std::string& name);
+
+  /// Removes `name` and recycles its pages, committing atomically.
+  Status Delete(const std::string& name);
+
+  struct Info {
+    std::string name;
+    uint64_t bytes = 0;      ///< encoded record size
+    uint64_t num_astars = 0;
+    bool has_graph = false;
+  };
+  /// Catalog listing, sorted by name.
+  std::vector<Info> List() const;
+
+  bool Contains(const std::string& name) const {
+    return catalog_.count(name) > 0;
+  }
+  size_t size() const { return catalog_.size(); }
+  const std::string& path() const { return pager_.path(); }
+
+ private:
+  struct Entry {
+    uint32_t head = Pager::kNoPage;
+    uint64_t bytes = 0;
+    uint64_t num_astars = 0;
+    bool has_graph = false;
+  };
+
+  explicit ModelStore(Pager pager) : pager_(std::move(pager)) {}
+
+  Status LoadCatalog();
+  /// Rewrites the catalog chain from `catalog_` and commits the pager.
+  Status SaveCatalogAndCommit();
+
+  Pager pager_;
+  std::map<std::string, Entry> catalog_;
+};
+
+}  // namespace cspm::store
+
+#endif  // CSPM_STORE_MODEL_STORE_H_

@@ -1,0 +1,17 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+// Used by the store pager for per-page and header checksums.
+#ifndef CSPM_UTIL_CRC32_H_
+#define CSPM_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cspm {
+
+/// CRC-32 of `len` bytes. Pass a previous result as `seed` to checksum
+/// data in chunks: Crc32(b, nb, Crc32(a, na)) == Crc32(concat(a, b)).
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace cspm
+
+#endif  // CSPM_UTIL_CRC32_H_

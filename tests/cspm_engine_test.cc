@@ -89,6 +89,46 @@ TEST(MiningSession, SerializeRoundTrips) {
   }
 }
 
+// Regression: doubles are emitted with max_digits10, so a text round trip
+// is bit-exact — stats and code lengths used to drift at the 7th digit.
+TEST(MiningSession, TextRoundTripIsBitExact) {
+  auto g = SmallRandomGraph(17);
+  auto session = std::move(MiningSession::Create(g)).value();
+  ASSERT_TRUE(session.Mine().ok());
+
+  auto reloaded = std::move(MiningSession::Create(g)).value();
+  ASSERT_TRUE(reloaded.DeserializeModel(session.SerializeModel()).ok());
+
+  EXPECT_EQ(reloaded.stats().initial_dl_bits, session.stats().initial_dl_bits);
+  EXPECT_EQ(reloaded.stats().final_dl_bits, session.stats().final_dl_bits);
+  EXPECT_EQ(reloaded.stats().iterations, session.stats().iterations);
+  ASSERT_EQ(reloaded.model().astars.size(), session.model().astars.size());
+  for (size_t i = 0; i < session.model().astars.size(); ++i) {
+    EXPECT_EQ(reloaded.model().astars[i].code_length_bits,
+              session.model().astars[i].code_length_bits)
+        << i;
+  }
+  // Scores computed through the reloaded model are therefore bit-exact too.
+  for (graph::VertexId v : {0u, 3u, 50u}) {
+    EXPECT_EQ(reloaded.Score(v).raw, session.Score(v).raw);
+  }
+}
+
+TEST(MiningSession, SaveModelReportsIOErrors) {
+  auto g = PaperExampleGraph();
+  auto session = std::move(MiningSession::Create(g)).value();
+  ASSERT_TRUE(session.Mine().ok());
+  Status st = session.SaveModel("/nonexistent-dir/model.txt");
+  ASSERT_FALSE(st.ok());
+  // The path and the errno text both appear in the message.
+  EXPECT_NE(st.message().find("/nonexistent-dir/model.txt"),
+            std::string::npos);
+  EXPECT_NE(st.message().find("No such file"), std::string::npos);
+  EXPECT_FALSE(
+      session.SaveModel("/nonexistent-dir/model.cspm").ok());  // binary too
+  EXPECT_FALSE(session.LoadModel("/nonexistent-dir/model.txt").ok());
+}
+
 TEST(MiningSession, SaveAndLoadModelFile) {
   auto g = PaperExampleGraph();
   auto session = std::move(MiningSession::Create(g)).value();

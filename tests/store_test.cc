@@ -1,0 +1,520 @@
+// Tests for the store layer: codec round trips, pager paging/free-list/
+// atomic-commit behaviour, the ModelStore catalog, and — critically —
+// clean Status errors (no crashes) on every corruption mode: truncation,
+// bad magic, flipped bytes (CRC), and versions from the future.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "engine/session.h"
+#include "store/codec.h"
+#include "store/model_store.h"
+#include "store/pager.h"
+#include "testing_util.h"
+
+namespace cspm::store {
+namespace {
+
+using cspm::testing::PaperExampleGraph;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good());
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+/// A mined model on the paper's running example, with its graph.
+struct MinedFixture {
+  graph::AttributedGraph graph;
+  core::CspmModel model;
+};
+
+MinedFixture MineExample() {
+  MinedFixture f;
+  f.graph = PaperExampleGraph();
+  f.model = engine::MineModel(f.graph).value();
+  return f;
+}
+
+// --- codec ----------------------------------------------------------------
+
+TEST(Codec, VarintRoundTripsEdgeValues) {
+  const std::vector<uint64_t> values = {0,    1,        127,        128,
+                                        300,  16383,    16384,      UINT32_MAX,
+                                        1ull << 62, UINT64_MAX};
+  Encoder enc;
+  for (uint64_t v : values) enc.PutVarint(v);
+  Decoder dec(enc.data());
+  for (uint64_t v : values) {
+    auto got = dec.ReadVarint();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST(Codec, DoubleRoundTripsBitExactly) {
+  const std::vector<double> values = {0.0, -0.0, 1.0, -1.5, 3.141592653589793,
+                                      1e-300, 1e300, 123456.789012345678};
+  Encoder enc;
+  for (double v : values) enc.PutDouble(v);
+  Decoder dec(enc.data());
+  for (double v : values) {
+    auto got = dec.ReadDouble();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);  // bit-exact, not NEAR
+  }
+}
+
+TEST(Codec, DeltaIdsRoundTrip) {
+  const std::vector<uint32_t> ids = {0, 1, 5, 6, 1000, 4000000000u};
+  Encoder enc;
+  enc.PutDeltaIds(ids);
+  enc.PutDeltaIds({});
+  Decoder dec(enc.data());
+  std::vector<uint32_t> got;
+  ASSERT_TRUE(dec.ReadDeltaIds(&got).ok());
+  EXPECT_EQ(got, ids);
+  ASSERT_TRUE(dec.ReadDeltaIds(&got).ok());
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(Codec, TruncatedInputFailsCleanly) {
+  Encoder enc;
+  enc.PutVarint(123456789);
+  enc.PutString("hello");
+  enc.PutDouble(2.5);
+  const std::string& bytes = enc.data();
+  // Every prefix either decodes a shorter value or errors — never crashes.
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    Decoder dec(std::string_view(bytes).substr(0, cut));
+    auto v = dec.ReadVarint();
+    if (!v.ok()) continue;
+    auto s = dec.ReadString();
+    if (!s.ok()) continue;
+    auto d = dec.ReadDouble();
+    EXPECT_FALSE(d.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(Codec, DictionaryRoundTrips) {
+  graph::AttributeDictionary dict;
+  dict.Intern("rock");
+  dict.Intern("rap");
+  dict.Intern("sládkovičovo");  // non-ASCII survives (bytes, not glyphs)
+  Encoder enc;
+  EncodeDictionary(dict, &enc);
+  Decoder dec(enc.data());
+  auto decoded = DecodeDictionary(&dec);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), dict.size());
+  for (graph::AttrId id = 0; id < dict.size(); ++id) {
+    EXPECT_EQ(decoded->Name(id), dict.Name(id));
+  }
+}
+
+TEST(Codec, ModelRoundTripsBitExactly) {
+  auto f = MineExample();
+  Encoder enc;
+  EncodeModel(f.model, &enc);
+  Decoder dec(enc.data());
+  auto decoded = DecodeModel(&dec);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->astars.size(), f.model.astars.size());
+  for (size_t i = 0; i < f.model.astars.size(); ++i) {
+    const auto& a = f.model.astars[i];
+    const auto& b = decoded->astars[i];
+    EXPECT_EQ(a.core_values, b.core_values);
+    EXPECT_EQ(a.leaf_values, b.leaf_values);
+    EXPECT_EQ(a.frequency, b.frequency);
+    EXPECT_EQ(a.core_total, b.core_total);
+    EXPECT_EQ(a.coreset_frequency, b.coreset_frequency);
+    EXPECT_EQ(a.code_length_bits, b.code_length_bits);
+  }
+  EXPECT_EQ(decoded->stats.initial_dl_bits, f.model.stats.initial_dl_bits);
+  EXPECT_EQ(decoded->stats.final_dl_bits, f.model.stats.final_dl_bits);
+  EXPECT_EQ(decoded->stats.iterations, f.model.stats.iterations);
+  EXPECT_EQ(decoded->stats.per_iteration.size(),
+            f.model.stats.per_iteration.size());
+}
+
+TEST(Codec, GraphSnapshotRoundTrips) {
+  auto g = PaperExampleGraph();
+  Encoder enc;
+  EncodeGraph(g, &enc);
+  Decoder dec(enc.data());
+  auto decoded = DecodeGraph(&dec, g.dict());
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->num_vertices(), g.num_vertices());
+  EXPECT_EQ(decoded->num_edges(), g.num_edges());
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto attrs_a = g.Attributes(v);
+    const auto attrs_b = decoded->Attributes(v);
+    EXPECT_TRUE(std::equal(attrs_a.begin(), attrs_a.end(), attrs_b.begin(),
+                           attrs_b.end()));
+    const auto nbrs_a = g.Neighbors(v);
+    const auto nbrs_b = decoded->Neighbors(v);
+    EXPECT_TRUE(std::equal(nbrs_a.begin(), nbrs_a.end(), nbrs_b.begin(),
+                           nbrs_b.end()));
+  }
+}
+
+// --- pager ----------------------------------------------------------------
+
+TEST(Pager, CreateOpenRoundTrip) {
+  const std::string path = TempPath("pager_roundtrip.cspm");
+  {
+    auto pager = Pager::Create(path).value();
+    EXPECT_EQ(pager.num_pages(), 1u);
+  }
+  EXPECT_TRUE(Pager::FileHasMagic(path));
+  auto reopened = Pager::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->num_pages(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Pager, ChainSpansPagesAndPersists) {
+  const std::string path = TempPath("pager_chain.cspm");
+  // 3.5 pages of patterned payload.
+  std::string bytes(Pager::kPagePayload * 7 / 2, '\0');
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<char>((i * 131) & 0xFF);
+  }
+  uint32_t head = 0;
+  {
+    auto pager = Pager::Create(path).value();
+    head = pager.WriteChain(bytes).value();
+    ASSERT_TRUE(pager.Commit().ok());
+    EXPECT_EQ(pager.num_pages(), 5u);  // header + 4 chain pages
+  }
+  auto pager = Pager::Open(path).value();
+  auto read = pager.ReadChain(head);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, bytes);
+  std::remove(path.c_str());
+}
+
+TEST(Pager, FreeListRecyclesPages) {
+  const std::string path = TempPath("pager_freelist.cspm");
+  auto pager = Pager::Create(path).value();
+  const std::string a(Pager::kPagePayload * 2, 'a');
+  const uint32_t head_a = pager.WriteChain(a).value();
+  ASSERT_TRUE(pager.Commit().ok());
+  const uint32_t pages_after_a = pager.num_pages();
+
+  ASSERT_TRUE(pager.FreeChain(head_a).ok());
+  const std::string b(Pager::kPagePayload * 2, 'b');
+  const uint32_t head_b = pager.WriteChain(b).value();
+  ASSERT_TRUE(pager.Commit().ok());
+  // The freed pages were reused: the file did not grow.
+  EXPECT_EQ(pager.num_pages(), pages_after_a);
+  EXPECT_EQ(pager.ReadChain(head_b).value(), b);
+  std::remove(path.c_str());
+}
+
+TEST(Pager, CommitIsAtomicViaRename) {
+  const std::string path = TempPath("pager_atomic.cspm");
+  auto pager = Pager::Create(path).value();
+  const uint32_t head = pager.WriteChain("payload one").value();
+  ASSERT_TRUE(pager.Commit().ok());
+
+  // A reader that opened the old image keeps reading it even after the
+  // writer commits a new one: rename swaps the directory entry, not the
+  // inode the reader holds open.
+  auto reader = Pager::Open(path).value();
+  ASSERT_TRUE(pager.FreeChain(head).ok());
+  const uint32_t new_head = pager.WriteChain("payload two, longer").value();
+  ASSERT_TRUE(pager.Commit().ok());
+
+  EXPECT_EQ(reader.ReadChain(head).value(), "payload one");
+  auto fresh = Pager::Open(path).value();
+  EXPECT_EQ(fresh.ReadChain(new_head).value(), "payload two, longer");
+  std::remove(path.c_str());
+}
+
+// --- model store ----------------------------------------------------------
+
+TEST(ModelStore, PutGetListDeleteRoundTrip) {
+  const std::string path = TempPath("store_roundtrip.cspm");
+  std::remove(path.c_str());
+  auto f = MineExample();
+  {
+    auto store = ModelStore::Create(path).value();
+    StoredModel stored;
+    stored.model = f.model;
+    stored.dict = f.graph.dict();
+    stored.graph = f.graph;
+    ASSERT_TRUE(store.Put("example", stored).ok());
+    stored.graph.reset();
+    ASSERT_TRUE(store.Put("no-graph", stored).ok());
+  }
+
+  auto store = ModelStore::Open(path).value();
+  EXPECT_EQ(store.size(), 2u);
+  const auto infos = store.List();
+  ASSERT_EQ(infos.size(), 2u);
+  EXPECT_EQ(infos[0].name, "example");
+  EXPECT_TRUE(infos[0].has_graph);
+  EXPECT_EQ(infos[1].name, "no-graph");
+  EXPECT_FALSE(infos[1].has_graph);
+
+  auto got = store.Get("example");
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->model.astars.size(), f.model.astars.size());
+  for (size_t i = 0; i < f.model.astars.size(); ++i) {
+    EXPECT_EQ(got->model.astars[i].code_length_bits,
+              f.model.astars[i].code_length_bits);
+    EXPECT_EQ(got->model.astars[i].core_values,
+              f.model.astars[i].core_values);
+  }
+  ASSERT_TRUE(got->graph.has_value());
+  EXPECT_EQ(got->graph->num_vertices(), f.graph.num_vertices());
+
+  EXPECT_FALSE(store.Get("missing").ok());
+  ASSERT_TRUE(store.Delete("example").ok());
+  EXPECT_FALSE(store.Contains("example"));
+  EXPECT_FALSE(store.Delete("example").ok());
+
+  auto reopened = ModelStore::Open(path).value();
+  EXPECT_EQ(reopened.size(), 1u);
+  EXPECT_TRUE(reopened.Contains("no-graph"));
+  std::remove(path.c_str());
+}
+
+TEST(ModelStore, PutReplacesAndRecyclesPages) {
+  const std::string path = TempPath("store_replace.cspm");
+  std::remove(path.c_str());
+  auto f = MineExample();
+  auto store = ModelStore::Create(path).value();
+  StoredModel stored;
+  stored.model = f.model;
+  stored.dict = f.graph.dict();
+  ASSERT_TRUE(store.Put("m", stored).ok());
+  // A replace writes the new chain before freeing the old one (so a failed
+  // Put never loses the previous version), which grows the file once by
+  // one record; after that, freed pages recycle and the size is stable.
+  ASSERT_TRUE(store.Put("m", stored).ok());
+  const auto steady_bytes = ReadFileBytes(path).size();
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(store.Put("m", stored).ok());
+  EXPECT_EQ(ReadFileBytes(path).size(), steady_bytes);
+  EXPECT_EQ(store.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ModelStore, OpenOrCreateNeverClobbersExistingFiles) {
+  const std::string path = TempPath("store_openorcreate.cspm");
+  // An existing file that is not a store must be refused, not destroyed.
+  WriteFileBytes(path, "precious user data, not a store\n");
+  auto opened = ModelStore::OpenOrCreate(path);
+  EXPECT_FALSE(opened.ok());
+  EXPECT_EQ(ReadFileBytes(path), "precious user data, not a store\n");
+  // Same for a corrupt (truncated) store.
+  std::remove(path.c_str());
+  {
+    auto store = ModelStore::Create(path).value();
+  }
+  const std::string header = ReadFileBytes(path);
+  WriteFileBytes(path, header.substr(0, 100));
+  EXPECT_FALSE(ModelStore::OpenOrCreate(path).ok());
+  EXPECT_EQ(ReadFileBytes(path).size(), 100u);
+  // Absent file → fresh store; healthy store → opened.
+  std::remove(path.c_str());
+  EXPECT_TRUE(ModelStore::OpenOrCreate(path).ok());
+  EXPECT_TRUE(ModelStore::OpenOrCreate(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ModelStore, SessionSaveLoadBinaryAutoDetects) {
+  const std::string path = TempPath("store_session.cspm");
+  std::remove(path.c_str());
+  auto g = PaperExampleGraph();
+  auto session = std::move(engine::MiningSession::Create(g)).value();
+  ASSERT_TRUE(session.Mine().ok());
+  ASSERT_TRUE(session.SaveModel(path).ok());  // .cspm → binary store
+  EXPECT_TRUE(ModelStore::IsStoreFile(path));
+
+  auto other = std::move(engine::MiningSession::Create(g)).value();
+  ASSERT_TRUE(other.LoadModel(path).ok());  // magic auto-detect
+  ASSERT_EQ(other.model().astars.size(), session.model().astars.size());
+  for (size_t i = 0; i < session.model().astars.size(); ++i) {
+    EXPECT_EQ(other.model().astars[i].code_length_bits,
+              session.model().astars[i].code_length_bits);
+    EXPECT_EQ(other.model().astars[i].leaf_values,
+              session.model().astars[i].leaf_values);
+  }
+  EXPECT_EQ(other.model().stats.final_dl_bits,
+            session.model().stats.final_dl_bits);
+  std::remove(path.c_str());
+}
+
+TEST(ModelStore, SessionSaveTextStaysSupported) {
+  const std::string path = TempPath("store_session_text.model");
+  auto g = PaperExampleGraph();
+  auto session = std::move(engine::MiningSession::Create(g)).value();
+  ASSERT_TRUE(session.Mine().ok());
+  ASSERT_TRUE(session.SaveModel(path).ok());  // no .cspm → text
+  EXPECT_FALSE(ModelStore::IsStoreFile(path));
+  auto other = std::move(engine::MiningSession::Create(g)).value();
+  ASSERT_TRUE(other.LoadModel(path).ok());
+  EXPECT_EQ(other.model().astars.size(), session.model().astars.size());
+  std::remove(path.c_str());
+}
+
+// --- corruption handling --------------------------------------------------
+
+class CorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TempPath("store_corruption.cspm");
+    std::remove(path_.c_str());
+    auto f = MineExample();
+    auto store = ModelStore::Create(path_).value();
+    StoredModel stored;
+    stored.model = f.model;
+    stored.dict = f.graph.dict();
+    stored.graph = f.graph;
+    ASSERT_TRUE(store.Put("m", stored).ok());
+    bytes_ = ReadFileBytes(path_);
+    ASSERT_GE(bytes_.size(), 2 * Pager::kPageSize);
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+  std::string bytes_;
+};
+
+TEST_F(CorruptionTest, TruncatedFileFailsCleanly) {
+  // Shorter than one page.
+  WriteFileBytes(path_, bytes_.substr(0, 100));
+  EXPECT_FALSE(ModelStore::Open(path_).ok());
+  // A whole page missing relative to the header's declared page count.
+  WriteFileBytes(path_, bytes_.substr(0, bytes_.size() - Pager::kPageSize));
+  auto truncated = ModelStore::Open(path_);
+  EXPECT_FALSE(truncated.ok());
+  EXPECT_NE(truncated.status().message().find("truncated"),
+            std::string::npos);
+  // Ragged tail (not a multiple of the page size).
+  WriteFileBytes(path_, bytes_.substr(0, bytes_.size() - 17));
+  EXPECT_FALSE(ModelStore::Open(path_).ok());
+}
+
+TEST_F(CorruptionTest, BadMagicFailsCleanly) {
+  std::string corrupt = bytes_;
+  corrupt[0] = 'X';
+  WriteFileBytes(path_, corrupt);
+  auto opened = ModelStore::Open(path_);
+  EXPECT_FALSE(opened.ok());
+  EXPECT_NE(opened.status().message().find("magic"), std::string::npos);
+  EXPECT_FALSE(ModelStore::IsStoreFile(path_));
+  // The session loader treats a non-magic file as text and reports a parse
+  // error rather than crashing.
+  auto g = PaperExampleGraph();
+  auto session = std::move(engine::MiningSession::Create(g)).value();
+  EXPECT_FALSE(session.LoadModel(path_).ok());
+}
+
+TEST_F(CorruptionTest, FlippedByteFailsChecksum) {
+  // Flip one payload byte in the first data page.
+  std::string corrupt = bytes_;
+  corrupt[Pager::kPageSize + 100] ^= 0x40;
+  WriteFileBytes(path_, corrupt);
+  // Open may succeed (only header + catalog pages are touched) but the
+  // read of a damaged chain must fail with a checksum error somewhere.
+  auto store_or = ModelStore::Open(path_);
+  if (store_or.ok()) {
+    auto got = store_or->Get("m");
+    EXPECT_FALSE(got.ok());
+    EXPECT_NE(got.status().message().find("checksum"), std::string::npos);
+  } else {
+    EXPECT_NE(store_or.status().message().find("checksum"),
+              std::string::npos);
+  }
+}
+
+TEST_F(CorruptionTest, EveryFlippedPageIsDetected) {
+  // Whichever page the flip lands in (catalog or record), the store either
+  // refuses to open or refuses the Get — never returns garbage.
+  for (size_t page = 0; page * Pager::kPageSize < bytes_.size(); ++page) {
+    std::string corrupt = bytes_;
+    corrupt[page * Pager::kPageSize + 200] ^= 0x01;
+    WriteFileBytes(path_, corrupt);
+    auto store_or = ModelStore::Open(path_);
+    if (!store_or.ok()) continue;
+    auto got = store_or->Get("m");
+    EXPECT_FALSE(got.ok()) << "page " << page;
+  }
+}
+
+TEST_F(CorruptionTest, VersionFromTheFutureFailsCleanly) {
+  std::string corrupt = bytes_;
+  corrupt[8] = 99;  // format version field (LE low byte)
+  WriteFileBytes(path_, corrupt);
+  auto opened = ModelStore::Open(path_);
+  EXPECT_FALSE(opened.ok());
+  EXPECT_NE(opened.status().message().find("future"), std::string::npos);
+}
+
+TEST_F(CorruptionTest, LoadIntoRegistryAndSessionFailsCleanly) {
+  std::string corrupt = bytes_;
+  corrupt[bytes_.size() - 1000] ^= 0x10;
+  WriteFileBytes(path_, corrupt);
+  auto g = PaperExampleGraph();
+  auto session = std::move(engine::MiningSession::Create(g)).value();
+  Status st = session.LoadModel(path_);
+  // Either the damaged page is in the record (checksum error) or in the
+  // catalog (open error); both must surface as Status, not crashes.
+  EXPECT_FALSE(st.ok());
+  EXPECT_FALSE(session.has_model());
+}
+
+TEST_F(CorruptionTest, CorruptRecordCanStillBeDeletedOrReplaced) {
+  // Damage a page of the record, then verify the store is repairable: the
+  // catalog entry can be dropped (rm) or overwritten (save) even though
+  // the old chain can no longer be walked.
+  std::string corrupt = bytes_;
+  corrupt[Pager::kPageSize + 100] ^= 0x40;
+  WriteFileBytes(path_, corrupt);
+  auto store_or = ModelStore::Open(path_);
+  if (!store_or.ok()) return;  // flip landed in the catalog; nothing to fix
+  ASSERT_FALSE(store_or->Get("m").ok());
+
+  auto f = MineExample();
+  StoredModel replacement;
+  replacement.model = f.model;
+  replacement.dict = f.graph.dict();
+  ASSERT_TRUE(store_or->Put("m", replacement).ok());
+  EXPECT_TRUE(store_or->Get("m").ok());
+
+  ASSERT_TRUE(store_or->Delete("m").ok());
+  EXPECT_EQ(store_or->size(), 0u);
+  // The repaired store reopens cleanly.
+  auto reopened = ModelStore::Open(path_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened->size(), 0u);
+}
+
+TEST(ModelStoreErrors, MissingFileHasErrnoText) {
+  auto opened = ModelStore::Open(TempPath("does_not_exist.cspm"));
+  ASSERT_FALSE(opened.ok());
+  EXPECT_NE(opened.status().message().find("No such file"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace cspm::store

@@ -1,0 +1,333 @@
+// Interactive serving shell over the model store, in the spirit of the
+// classic database REPLs: mine a model, persist it to a paged store file,
+// reopen it in another process, and serve scores — without ever touching
+// the miner again.
+//
+//   $ cspm_shell [store.cspm]
+//   cspm> mine dblp 500
+//   cspm> save demo
+//   cspm> ls
+//   cspm> load demo
+//   cspm> score 0 5
+//
+// Commands read from stdin line by line, so the shell doubles as a batch
+// driver: `printf 'mine dblp\nsave m\nexit\n' | cspm_shell store.cspm`.
+// When stdin is not a terminal, any failing command exits with status 1
+// (CI smoke tests rely on this).
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "datasets/synthetic.h"
+#include "engine/model_registry.h"
+#include "engine/session.h"
+#include "graph/generators.h"
+#include "store/model_store.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace cspm::shell {
+namespace {
+
+constexpr const char* kHistoryFile = ".cspm_shell_history";
+
+struct Shell {
+  std::optional<store::ModelStore> store;
+  engine::ModelRegistry registry;
+  /// The model commands act on: last mined or last loaded.
+  engine::ModelRegistry::Handle current;
+  std::string current_name;
+  bool interactive = false;
+};
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  open <path>              open or create a store file\n"
+      "  mine <dataset> [n] [seed]  mine a synthetic graph; datasets:\n"
+      "                           dblp dblp-trend usflight pokec cora\n"
+      "                           citeseer er\n"
+      "  save <name>              save the current model (+graph) to the store\n"
+      "  load <name>              load a model from the store and make it current\n"
+      "  ls                       list models in the store\n"
+      "  rm <name>                delete a model from the store\n"
+      "  score <vertex> [k]       top-k attribute scores for a vertex\n"
+      "  stats                    mining statistics of the current model\n"
+      "  help                     this text\n"
+      "  exit | quit | .exit      leave\n");
+}
+
+Status RequireStore(const Shell& sh) {
+  if (!sh.store.has_value()) {
+    return Status::FailedPrecondition("no store open; use: open <path>");
+  }
+  return Status::OK();
+}
+
+Status RequireCurrent(const Shell& sh) {
+  if (sh.current == nullptr) {
+    return Status::FailedPrecondition(
+        "no current model; mine one or load one first");
+  }
+  return Status::OK();
+}
+
+StatusOr<graph::AttributedGraph> MakeDataset(const std::string& name,
+                                             uint32_t n, uint64_t seed) {
+  if (name == "dblp") {
+    return n == 0 ? datasets::MakeDblpLike(seed)
+                  : datasets::MakeDblpLike(seed, n);
+  }
+  if (name == "dblp-trend") {
+    return n == 0 ? datasets::MakeDblpTrendLike(seed)
+                  : datasets::MakeDblpTrendLike(seed, n);
+  }
+  if (name == "usflight") {
+    return n == 0 ? datasets::MakeUsflightLike(seed)
+                  : datasets::MakeUsflightLike(seed, n);
+  }
+  if (name == "pokec") {
+    return n == 0 ? datasets::MakePokecLike(seed)
+                  : datasets::MakePokecLike(seed, n);
+  }
+  if (name == "cora") return datasets::MakeCoraLike(seed);
+  if (name == "citeseer") return datasets::MakeCiteseerLike(seed);
+  if (name == "er") {
+    Rng rng(seed);
+    return graph::ErdosRenyi(n == 0 ? 500 : n, 0.02, 20, 3, &rng);
+  }
+  return Status::InvalidArgument(
+      "unknown dataset '" + name +
+      "' (try: dblp dblp-trend usflight pokec cora citeseer er)");
+}
+
+Status CmdOpen(Shell& sh, const std::vector<std::string>& args) {
+  if (args.size() != 2) return Status::InvalidArgument("usage: open <path>");
+  auto store_or = store::ModelStore::OpenOrCreate(args[1]);
+  if (!store_or.ok()) return store_or.status();
+  sh.store.emplace(std::move(store_or).value());
+  std::printf("store %s: %zu model(s)\n", sh.store->path().c_str(),
+              sh.store->size());
+  return Status::OK();
+}
+
+Status CmdMine(Shell& sh, const std::vector<std::string>& args) {
+  if (args.size() < 2 || args.size() > 4) {
+    return Status::InvalidArgument("usage: mine <dataset> [n] [seed]");
+  }
+  const uint32_t n =
+      args.size() > 2
+          ? static_cast<uint32_t>(std::strtoul(args[2].c_str(), nullptr, 10))
+          : 0;
+  const uint64_t seed =
+      args.size() > 3 ? std::strtoull(args[3].c_str(), nullptr, 10) : 1;
+  auto graph_or = MakeDataset(args[1], n, seed);
+  if (!graph_or.ok()) return graph_or.status();
+
+  engine::MiningOptions opts;
+  opts.record_iteration_stats = false;
+  auto model_or = engine::MineModel(*graph_or, opts);
+  if (!model_or.ok()) return model_or.status();
+
+  engine::ServableModel servable;
+  servable.model = std::move(model_or).value();
+  servable.dict = graph_or->dict();
+  servable.graph = std::move(graph_or).value();
+  sh.current_name = args[1];
+  sh.current = sh.registry.Put(sh.current_name, std::move(servable));
+  const auto& m = sh.current->model;
+  std::printf(
+      "mined %s: %u vertices, %llu edges, %zu a-stars, DL %.1f -> %.1f bits "
+      "(%.3fs)\n",
+      args[1].c_str(), sh.current->graph->num_vertices(),
+      static_cast<unsigned long long>(sh.current->graph->num_edges()),
+      m.astars.size(), m.stats.initial_dl_bits, m.stats.final_dl_bits,
+      m.stats.runtime_seconds);
+  return Status::OK();
+}
+
+Status CmdSave(Shell& sh, const std::vector<std::string>& args) {
+  if (args.size() != 2) return Status::InvalidArgument("usage: save <name>");
+  CSPM_RETURN_IF_ERROR(RequireStore(sh));
+  CSPM_RETURN_IF_ERROR(RequireCurrent(sh));
+  store::StoredModel stored;
+  stored.model = sh.current->model;
+  stored.dict = sh.current->dict;
+  stored.graph = sh.current->graph;
+  CSPM_RETURN_IF_ERROR(sh.store->Put(args[1], stored));
+  std::printf("saved '%s' (%zu a-stars) to %s\n", args[1].c_str(),
+              stored.model.astars.size(), sh.store->path().c_str());
+  return Status::OK();
+}
+
+Status CmdLoad(Shell& sh, const std::vector<std::string>& args) {
+  if (args.size() != 2) return Status::InvalidArgument("usage: load <name>");
+  CSPM_RETURN_IF_ERROR(RequireStore(sh));
+  CSPM_RETURN_IF_ERROR(sh.registry.LoadModel(sh.store->path(), args[1]));
+  sh.current = sh.registry.Get(args[1]);
+  sh.current_name = args[1];
+  std::printf("loaded '%s': %zu a-stars, %zu attribute values%s\n",
+              args[1].c_str(), sh.current->model.astars.size(),
+              sh.current->dict.size(),
+              sh.current->graph.has_value() ? ", graph snapshot" : "");
+  return Status::OK();
+}
+
+Status CmdLs(Shell& sh, const std::vector<std::string>&) {
+  CSPM_RETURN_IF_ERROR(RequireStore(sh));
+  const auto infos = sh.store->List();
+  if (infos.empty()) {
+    std::printf("(store is empty)\n");
+    return Status::OK();
+  }
+  std::printf("%-24s %10s %8s %6s\n", "name", "bytes", "a-stars", "graph");
+  for (const auto& info : infos) {
+    std::printf("%-24s %10llu %8llu %6s\n", info.name.c_str(),
+                static_cast<unsigned long long>(info.bytes),
+                static_cast<unsigned long long>(info.num_astars),
+                info.has_graph ? "yes" : "no");
+  }
+  return Status::OK();
+}
+
+Status CmdRm(Shell& sh, const std::vector<std::string>& args) {
+  if (args.size() != 2) return Status::InvalidArgument("usage: rm <name>");
+  CSPM_RETURN_IF_ERROR(RequireStore(sh));
+  CSPM_RETURN_IF_ERROR(sh.store->Delete(args[1]));
+  sh.registry.Remove(args[1]);
+  std::printf("removed '%s'\n", args[1].c_str());
+  return Status::OK();
+}
+
+Status CmdScore(Shell& sh, const std::vector<std::string>& args) {
+  if (args.size() < 2 || args.size() > 3) {
+    return Status::InvalidArgument("usage: score <vertex> [k]");
+  }
+  CSPM_RETURN_IF_ERROR(RequireCurrent(sh));
+  const auto v =
+      static_cast<graph::VertexId>(std::strtoul(args[1].c_str(), nullptr, 10));
+  const size_t k =
+      args.size() > 2 ? std::strtoul(args[2].c_str(), nullptr, 10) : 5;
+  auto scores_or = sh.current->ScoreVertex(v);
+  if (!scores_or.ok()) return scores_or.status();
+  const auto& normalized = scores_or->normalized;
+  std::vector<size_t> order(normalized.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return normalized[a] != normalized[b] ? normalized[a] > normalized[b]
+                                          : a < b;
+  });
+  std::printf("top-%zu scores for vertex %u of '%s':\n",
+              std::min(k, order.size()), v, sh.current_name.c_str());
+  for (size_t i = 0; i < order.size() && i < k; ++i) {
+    std::printf("  %-20s %.6f\n", sh.current->dict.Name(
+                                      static_cast<graph::AttrId>(order[i]))
+                                      .c_str(),
+                normalized[order[i]]);
+  }
+  return Status::OK();
+}
+
+Status CmdStats(Shell& sh, const std::vector<std::string>&) {
+  CSPM_RETURN_IF_ERROR(RequireCurrent(sh));
+  const core::MiningStats& s = sh.current->model.stats;
+  std::printf("model '%s': %zu a-stars\n", sh.current_name.c_str(),
+              sh.current->model.astars.size());
+  std::printf("  DL          %.2f -> %.2f bits (ratio %.4f)\n",
+              s.initial_dl_bits, s.final_dl_bits, s.CompressionRatio());
+  std::printf("  iterations  %llu (%llu gain computations)\n",
+              static_cast<unsigned long long>(s.iterations),
+              static_cast<unsigned long long>(s.total_gain_computations));
+  std::printf("  leafsets    %llu -> %llu, lines %llu -> %llu\n",
+              static_cast<unsigned long long>(s.initial_leafsets),
+              static_cast<unsigned long long>(s.final_leafsets),
+              static_cast<unsigned long long>(s.initial_lines),
+              static_cast<unsigned long long>(s.final_lines));
+  std::printf("  runtime     %.3fs\n", s.runtime_seconds);
+  return Status::OK();
+}
+
+/// Dispatches one command line; returns false to exit the loop.
+bool Dispatch(Shell& sh, const std::string& line, Status* status) {
+  *status = Status::OK();
+  const auto args = SplitString(StripWhitespace(line), ' ');
+  if (args.empty()) return true;
+  const std::string& cmd = args[0];
+  if (cmd == "exit" || cmd == "quit" || cmd == ".exit") return false;
+  if (cmd == "help") {
+    PrintHelp();
+  } else if (cmd == "open") {
+    *status = CmdOpen(sh, args);
+  } else if (cmd == "mine") {
+    *status = CmdMine(sh, args);
+  } else if (cmd == "save") {
+    *status = CmdSave(sh, args);
+  } else if (cmd == "load") {
+    *status = CmdLoad(sh, args);
+  } else if (cmd == "ls") {
+    *status = CmdLs(sh, args);
+  } else if (cmd == "rm") {
+    *status = CmdRm(sh, args);
+  } else if (cmd == "score") {
+    *status = CmdScore(sh, args);
+  } else if (cmd == "stats") {
+    *status = CmdStats(sh, args);
+  } else {
+    *status =
+        Status::InvalidArgument("unknown command '" + cmd + "' (try: help)");
+  }
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  Shell sh;
+  sh.interactive = ::isatty(::fileno(stdin)) != 0;
+  if (argc > 2) {
+    std::fprintf(stderr, "usage: cspm_shell [store.cspm]\n");
+    return 2;
+  }
+  if (argc == 2) {
+    Status st = CmdOpen(sh, {"open", argv[1]});
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  if (sh.interactive) {
+    std::printf("cspm_shell — 'help' lists commands\n");
+  }
+
+  std::ofstream history(kHistoryFile, std::ios::app);
+  std::string line;
+  while (true) {
+    if (sh.interactive) {
+      std::printf("cspm> ");
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+    if (!StripWhitespace(line).empty() && history) history << line << "\n";
+    Status status;
+    const bool keep_going = Dispatch(sh, line, &status);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      // Batch mode (piped commands) must not plough on after a failure.
+      if (!sh.interactive) return 1;
+    }
+    if (!keep_going) break;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace cspm::shell
+
+int main(int argc, char** argv) { return cspm::shell::Run(argc, argv); }
