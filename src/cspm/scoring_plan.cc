@@ -1,0 +1,173 @@
+#include "cspm/scoring_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cspm::core {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+ScoringPlan ScoringPlan::Compile(const CspmModel& model,
+                                 size_t num_attribute_values) {
+  ScoringPlan plan;
+  plan.num_attrs_ = static_cast<uint32_t>(num_attribute_values);
+
+  // Pass 1: count compiled stars, flat core slots and per-attribute
+  // posting lengths (a counting scatter, the same shape as the inverted
+  // database build).
+  size_t num_stars = 0;
+  size_t num_cores = 0;
+  std::vector<uint32_t> posting_counts(num_attribute_values, 0);
+  for (const AStar& s : model.astars) {
+    if (s.leaf_values.empty()) continue;
+    ++num_stars;
+    for (AttrId cv : s.core_values) {
+      if (cv < num_attribute_values) ++num_cores;
+    }
+    for (AttrId a : s.leaf_values) {
+      if (a < num_attribute_values) ++posting_counts[a];
+    }
+  }
+
+  plan.leaf_size_.reserve(num_stars);
+  plan.code_length_bits_.reserve(num_stars);
+  plan.core_offsets_.reserve(num_stars + 1);
+  plan.cores_.reserve(num_cores);
+  plan.core_offsets_.push_back(0);
+
+  plan.posting_offsets_.assign(num_attribute_values + 1, 0);
+  for (size_t a = 0; a < num_attribute_values; ++a) {
+    plan.posting_offsets_[a + 1] = plan.posting_offsets_[a] + posting_counts[a];
+  }
+  plan.postings_.resize(plan.posting_offsets_.back());
+
+  // Pass 2: scatter. Compiled stars keep model order, so any per-star
+  // iteration downstream matches the legacy scan order.
+  std::vector<uint32_t> cursor(plan.posting_offsets_.begin(),
+                               plan.posting_offsets_.end() - 1);
+  uint32_t star = 0;
+  for (const AStar& s : model.astars) {
+    if (s.leaf_values.empty()) continue;
+    plan.leaf_size_.push_back(static_cast<uint32_t>(s.leaf_values.size()));
+    plan.code_length_bits_.push_back(s.code_length_bits);
+    for (AttrId cv : s.core_values) {
+      if (cv < num_attribute_values) plan.cores_.push_back(cv);
+    }
+    plan.core_offsets_.push_back(static_cast<uint32_t>(plan.cores_.size()));
+    for (AttrId a : s.leaf_values) {
+      if (a < num_attribute_values) plan.postings_[cursor[a]++] = star;
+    }
+    ++star;
+  }
+  return plan;
+}
+
+size_t ScoringPlan::memory_bytes() const {
+  return leaf_size_.capacity() * sizeof(uint32_t) +
+         code_length_bits_.capacity() * sizeof(double) +
+         core_offsets_.capacity() * sizeof(uint32_t) +
+         cores_.capacity() * sizeof(AttrId) +
+         posting_offsets_.capacity() * sizeof(uint32_t) +
+         postings_.capacity() * sizeof(uint32_t);
+}
+
+void ScoringPlan::PrepareScratch(ScoringScratch* scratch) const {
+  scratch->matched.resize(num_stars(), 0);
+  scratch->attr_seen.resize(num_attrs_, 0);
+  scratch->touched_stars.clear();
+  scratch->seen_attrs.clear();
+}
+
+void ScoringPlan::ScoreInto(std::span<const AttrId> neighbourhood_attrs,
+                            const ScoringOptions& options,
+                            ScoringScratch* scratch,
+                            AttributeScores* out) const {
+  out->raw.assign(num_attrs_, kNegInf);
+
+  // Intersection counting: only stars sharing an attribute with the
+  // neighbourhood are touched, instead of scanning every leafset. The
+  // attr_seen flags make the neighbourhood a set, exactly like the
+  // legacy in_neighbourhood bitmap.
+  scratch->touched_stars.clear();
+  scratch->seen_attrs.clear();
+  for (AttrId a : neighbourhood_attrs) {
+    if (a >= num_attrs_ || scratch->attr_seen[a]) continue;
+    scratch->attr_seen[a] = 1;
+    scratch->seen_attrs.push_back(a);
+    const uint32_t begin = posting_offsets_[a];
+    const uint32_t end = posting_offsets_[a + 1];
+    for (uint32_t i = begin; i < end; ++i) {
+      const uint32_t s = postings_[i];
+      if (scratch->matched[s]++ == 0) scratch->touched_stars.push_back(s);
+    }
+  }
+  for (AttrId a : scratch->seen_attrs) scratch->attr_seen[a] = 0;
+
+  // Stars with matched == 0 have similarity 0 and can never move a score
+  // (w diverges; cl is -inf or NaN, neither beats any raw value), so
+  // iterating only touched stars is exact. Each subexpression mirrors the
+  // legacy path so results stay bit-identical.
+  for (const uint32_t s : scratch->touched_stars) {
+    const double similarity = static_cast<double>(scratch->matched[s]) /
+                              static_cast<double>(leaf_size_[s]);
+    scratch->matched[s] = 0;  // restore the zero invariant as we go
+    if (similarity < options.min_similarity) continue;
+    const double w = 1.0 / similarity;
+    const double cl = -w * code_length_bits_[s];
+    const uint32_t core_end = core_offsets_[s + 1];
+    for (uint32_t i = core_offsets_[s]; i < core_end; ++i) {
+      const AttrId cv = cores_[i];
+      if (cl > out->raw[cv]) out->raw[cv] = cl;
+    }
+  }
+
+  // Min-max normalization of finite scores into (0, 1]; -inf -> 0. The
+  // same full-array sweep as the legacy scorer.
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = kNegInf;
+  for (double s : out->raw) {
+    if (std::isfinite(s)) {
+      lo = std::min(lo, s);
+      hi = std::max(hi, s);
+    }
+  }
+  out->normalized.assign(num_attrs_, 0.0);
+  if (hi >= lo && std::isfinite(hi)) {
+    const double span = hi - lo;
+    for (size_t a = 0; a < num_attrs_; ++a) {
+      if (!std::isfinite(out->raw[a])) continue;
+      out->normalized[a] =
+          span > 0 ? 0.05 + 0.95 * (out->raw[a] - lo) / span : 1.0;
+    }
+  }
+}
+
+AttributeScores ScoringPlan::Score(std::span<const AttrId> neighbourhood_attrs,
+                                   const ScoringOptions& options) const {
+  ScoringScratch scratch;
+  PrepareScratch(&scratch);
+  AttributeScores scores;
+  ScoreInto(neighbourhood_attrs, options, &scratch, &scores);
+  return scores;
+}
+
+std::shared_ptr<const ScoringPlan> CompileSharedPlan(
+    const CspmModel& model, size_t num_attribute_values) {
+  return std::make_shared<const ScoringPlan>(
+      ScoringPlan::Compile(model, num_attribute_values));
+}
+
+void GatherNeighbourhoodAttrs(const graph::AttributedGraph& g, VertexId v,
+                              std::vector<AttrId>* out) {
+  out->clear();
+  for (graph::VertexId w : g.Neighbors(v)) {
+    const auto attrs = g.Attributes(w);
+    out->insert(out->end(), attrs.begin(), attrs.end());
+  }
+}
+
+}  // namespace cspm::core

@@ -1,0 +1,111 @@
+// Compiled execution form of Algorithm 5: a CspmModel is compiled once
+// into a ScoringPlan and applied to many vertices (Krimp/SLIM-style "code
+// table compiled once, applied per transaction"). The MDL model itself is
+// untouched — only the execution layout changes:
+//
+//  - leafsets are flattened into one slab of sorted AttrIds (no per-star
+//    heap vectors on the hot path),
+//  - an attribute -> leafset inverted posting list turns the per-leafset
+//    similarity scan into intersection counting: only leafsets that share
+//    at least one attribute with the neighbourhood are ever touched,
+//  - the Scode / |SL| terms of every star are precomputed,
+//  - ScoreInto() writes into caller-provided buffers (AttributeScores is
+//    reused across calls; per-call scratch lives in a ScoringScratch that
+//    each serving thread owns).
+//
+// Contract: for every neighbourhood and every ScoringOptions, ScoreInto
+// produces bit-identical raw and normalized scores to
+// ScoreAttributesWithNeighbourhood (regression-tested per vertex, per
+// value). The plan is immutable after Compile and safe to share across
+// threads; only the scratch is per-thread.
+#ifndef CSPM_CSPM_SCORING_PLAN_H_
+#define CSPM_CSPM_SCORING_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cspm/model.h"
+#include "cspm/scoring.h"
+
+namespace cspm::core {
+
+/// Per-thread mutable state for ScoringPlan::ScoreInto. All arrays are
+/// restored to zero before ScoreInto returns, so one scratch serves any
+/// number of sequential calls without re-clearing.
+struct ScoringScratch {
+  /// Per-star intersection counters (|SL ∩ N_attrs| accumulation).
+  std::vector<uint32_t> matched;
+  /// Stars with matched > 0 in the current call.
+  std::vector<uint32_t> touched_stars;
+  /// Per-attribute dedup flags for the neighbourhood set.
+  std::vector<uint8_t> attr_seen;
+  /// Attrs flagged in the current call.
+  std::vector<AttrId> seen_attrs;
+  /// Neighbour-attribute gather buffer for the vertex-level entry points.
+  std::vector<AttrId> neighbourhood;
+};
+
+class ScoringPlan {
+ public:
+  ScoringPlan() = default;
+
+  /// Compiles the model against a dictionary of `num_attribute_values`
+  /// attribute values. Stars with empty leafsets are dropped (they can
+  /// never contribute evidence); everything else is laid out flat.
+  static ScoringPlan Compile(const CspmModel& model,
+                             size_t num_attribute_values);
+
+  size_t num_attribute_values() const { return num_attrs_; }
+  /// Stars carried by the plan (empty-leafset stars are compiled out).
+  size_t num_stars() const { return leaf_size_.size(); }
+  /// Resident bytes of the compiled layout (slabs + postings + terms).
+  size_t memory_bytes() const;
+
+  /// Sizes `scratch` for this plan (idempotent; cheap when already sized).
+  void PrepareScratch(ScoringScratch* scratch) const;
+
+  /// Scores one neighbourhood-attribute set into `out`, bit-identically to
+  /// ScoreAttributesWithNeighbourhood. `neighbourhood_attrs` need not be
+  /// sorted or deduplicated; ids >= num_attribute_values() are ignored.
+  /// `scratch` must have been sized with PrepareScratch.
+  void ScoreInto(std::span<const AttrId> neighbourhood_attrs,
+                 const ScoringOptions& options, ScoringScratch* scratch,
+                 AttributeScores* out) const;
+
+  /// Convenience allocating wrapper around ScoreInto.
+  AttributeScores Score(std::span<const AttrId> neighbourhood_attrs,
+                        const ScoringOptions& options = {}) const;
+
+ private:
+  uint32_t num_attrs_ = 0;
+
+  // Per compiled star, in model order.
+  std::vector<uint32_t> leaf_size_;       ///< |SL| (incl. out-of-range ids)
+  std::vector<double> code_length_bits_;  ///< L(S_code)
+  std::vector<uint32_t> core_offsets_;    ///< num_stars + 1, into cores_
+  std::vector<AttrId> cores_;             ///< flat in-range core values
+
+  // Inverted postings: attribute id -> compiled-star ids whose leafset
+  // contains it. posting_offsets_ has num_attrs_ + 1 entries.
+  std::vector<uint32_t> posting_offsets_;
+  std::vector<uint32_t> postings_;
+};
+
+/// Compiles a plan ready for sharing across engines, registry handles and
+/// threads (the one way every layer builds plans, so the attribute-space
+/// source cannot drift between call sites).
+std::shared_ptr<const ScoringPlan> CompileSharedPlan(
+    const CspmModel& model, size_t num_attribute_values);
+
+/// Appends the attribute values of every neighbour of `v` to `out`
+/// (cleared first; not sorted, not deduplicated — ScoreInto treats the
+/// list as a set). The single definition of "neighbourhood" used by all
+/// plan-based vertex scoring paths.
+void GatherNeighbourhoodAttrs(const graph::AttributedGraph& g, VertexId v,
+                              std::vector<AttrId>* out);
+
+}  // namespace cspm::core
+
+#endif  // CSPM_CSPM_SCORING_PLAN_H_

@@ -15,10 +15,24 @@ ServableModel FromStored(store::StoredModel stored) {
   m.model = std::move(stored.model);
   m.dict = std::move(stored.dict);
   m.graph = std::move(stored.graph);
+  m.CompilePlan();
   return m;
 }
 
 }  // namespace
+
+void ServableModel::CompilePlan() {
+  if (plan != nullptr) return;
+  plan = core::CompileSharedPlan(model, dict.size());
+}
+
+core::AttributeScores ServableModel::ScoreWithNeighbourhood(
+    const std::vector<graph::AttrId>& neighbourhood_attrs,
+    const core::ScoringOptions& options) const {
+  if (plan != nullptr) return plan->Score(neighbourhood_attrs, options);
+  return core::ScoreAttributesWithNeighbourhood(dict.size(), model,
+                                                neighbourhood_attrs, options);
+}
 
 StatusOr<core::AttributeScores> ServableModel::ScoreVertex(
     graph::VertexId v, const core::ScoringOptions& options) const {
@@ -30,7 +44,31 @@ StatusOr<core::AttributeScores> ServableModel::ScoreVertex(
     return Status::OutOfRange(StrFormat("vertex %u out of range (%u vertices)",
                                         v, graph->num_vertices()));
   }
+  if (graph->num_attribute_values() != dict.size()) {
+    return Status::FailedPrecondition(StrFormat(
+        "model dictionary does not cover the graph snapshot: %zu attribute "
+        "values vs %zu in the graph",
+        dict.size(), graph->num_attribute_values()));
+  }
+  if (plan != nullptr) {
+    std::vector<graph::AttrId> neighbourhood;
+    core::GatherNeighbourhoodAttrs(*graph, v, &neighbourhood);
+    return plan->Score(neighbourhood, options);
+  }
   return core::ScoreAttributes(*graph, model, v, options);
+}
+
+StatusOr<ServingEngine> ServableModel::Serve(ServingOptions options) const {
+  if (!graph.has_value()) {
+    return Status::FailedPrecondition(
+        "model has no graph snapshot; batch serving needs one");
+  }
+  auto p = plan;
+  if (p == nullptr) p = core::CompileSharedPlan(model, dict.size());
+  // Shared-owned instances (registry handles) are retained by the engine;
+  // lock() is null for stack instances, whose caller manages lifetime.
+  return ServingEngine::Create(*graph, std::move(p), options,
+                               weak_from_this().lock());
 }
 
 Status ModelRegistry::LoadStore(const std::string& path) {
@@ -64,6 +102,13 @@ Status ModelRegistry::LoadModel(const std::string& path,
 
 ModelRegistry::Handle ModelRegistry::Put(const std::string& name,
                                          ServableModel model) {
+  // Registration compiles the plan (outside the lock), so every handle
+  // serves batch traffic without a per-request compile and a replacement
+  // swaps plan + model atomically with the pointer. Always recompiled:
+  // the caller may have mutated `model`/`dict` after an earlier compile,
+  // and a stale plan would silently serve the old model's scores.
+  model.plan = nullptr;
+  model.CompilePlan();
   auto handle = std::make_shared<const ServableModel>(std::move(model));
   std::unique_lock lock(mu_);
   models_[name] = handle;

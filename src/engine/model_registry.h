@@ -22,6 +22,8 @@
 
 #include "cspm/model.h"
 #include "cspm/scoring.h"
+#include "cspm/scoring_plan.h"
+#include "engine/serving.h"
 #include "graph/attribute_dictionary.h"
 #include "graph/attributed_graph.h"
 #include "util/status.h"
@@ -29,26 +31,42 @@
 namespace cspm::engine {
 
 /// A self-contained, immutable model ready to serve scoring traffic: the
-/// pattern model, the dictionary its attribute ids refer to, and (when the
-/// store record carried a snapshot) the graph it was mined on.
-struct ServableModel {
+/// pattern model, the dictionary its attribute ids refer to, the scoring
+/// plan compiled from them, and (when the store record carried a
+/// snapshot) the graph it was mined on. Registering a model compiles its
+/// plan, so a hot reload swaps plan + model together: handles always see
+/// a matching pair.
+struct ServableModel : std::enable_shared_from_this<ServableModel> {
   core::CspmModel model;
   graph::AttributeDictionary dict;
   std::optional<graph::AttributedGraph> graph;
+  /// Compiled from `model` against `dict`; built by CompilePlan() (the
+  /// registry calls it on Put/Load). Scoring falls back to the legacy
+  /// per-vertex path when null — results are bit-identical either way.
+  std::shared_ptr<const core::ScoringPlan> plan;
+
+  /// Compiles `plan` from the current model + dict (no-op when already
+  /// compiled).
+  void CompilePlan();
 
   /// Algorithm 5 against an explicit neighbour-attribute set (ids in this
   /// model's dictionary). Works without a graph snapshot.
   core::AttributeScores ScoreWithNeighbourhood(
       const std::vector<graph::AttrId>& neighbourhood_attrs,
-      const core::ScoringOptions& options = {}) const {
-    return core::ScoreAttributesWithNeighbourhood(dict.size(), model,
-                                                  neighbourhood_attrs,
-                                                  options);
-  }
+      const core::ScoringOptions& options = {}) const;
 
-  /// Scores vertex `v` of the embedded graph snapshot.
+  /// Scores vertex `v` of the embedded graph snapshot. Clean Status (not
+  /// a crash) for a missing snapshot, an out-of-range vertex, or a
+  /// dictionary that does not cover the snapshot's attribute space.
   StatusOr<core::AttributeScores> ScoreVertex(
       graph::VertexId v, const core::ScoringOptions& options = {}) const;
+
+  /// A batch engine over the embedded graph snapshot, sharing this
+  /// model's plan. A shared-owned ServableModel (every registry Handle)
+  /// is retained by the engine itself, so the engine stays valid across
+  /// hot reloads and removals even if the Handle is dropped; only a
+  /// stack-allocated ServableModel must outlive its engines.
+  StatusOr<ServingEngine> Serve(ServingOptions options = {}) const;
 };
 
 class ModelRegistry {

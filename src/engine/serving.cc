@@ -1,0 +1,131 @@
+#include "engine/serving.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace cspm::engine {
+namespace {
+
+size_t ResolveThreads(uint32_t requested) {
+  return requested == 0 ? util::ThreadPool::AutoThreads()
+                        : static_cast<size_t>(requested);
+}
+
+}  // namespace
+
+ServingEngine::ServingEngine(const graph::AttributedGraph& graph,
+                             std::shared_ptr<const core::ScoringPlan> plan,
+                             ServingOptions options,
+                             std::shared_ptr<const void> keep_alive)
+    : graph_(&graph),
+      plan_(std::move(plan)),
+      keep_alive_(std::move(keep_alive)),
+      options_(options) {
+  const size_t threads = ResolveThreads(options_.num_threads);
+  if (threads > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(threads);
+    pool_mu_ = std::make_unique<std::mutex>();
+  }
+}
+
+StatusOr<ServingEngine> ServingEngine::Create(
+    const graph::AttributedGraph& graph,
+    std::shared_ptr<const core::ScoringPlan> plan, ServingOptions options,
+    std::shared_ptr<const void> keep_alive) {
+  if (plan == nullptr) {
+    return Status::InvalidArgument("ServingEngine needs a non-null plan");
+  }
+  if (plan->num_attribute_values() != graph.num_attribute_values()) {
+    return Status::FailedPrecondition(StrFormat(
+        "model dictionary does not cover the graph: plan compiled for %zu "
+        "attribute values, graph has %zu",
+        plan->num_attribute_values(), graph.num_attribute_values()));
+  }
+  return ServingEngine(graph, std::move(plan), options,
+                       std::move(keep_alive));
+}
+
+StatusOr<ServingEngine> ServingEngine::Create(
+    const graph::AttributedGraph& graph, const core::CspmModel& model,
+    ServingOptions options) {
+  return Create(graph,
+                core::CompileSharedPlan(model, graph.num_attribute_values()),
+                options);
+}
+
+size_t ServingEngine::num_threads() const {
+  return pool_ == nullptr ? 1 : pool_->num_threads();
+}
+
+void ServingEngine::ScoreRange(std::span<const graph::VertexId> vertices,
+                               size_t begin, size_t end,
+                               core::ScoringScratch* scratch,
+                               std::vector<core::AttributeScores>* results)
+    const {
+  for (size_t i = begin; i < end; ++i) {
+    core::GatherNeighbourhoodAttrs(*graph_, vertices[i],
+                                   &scratch->neighbourhood);
+    plan_->ScoreInto(scratch->neighbourhood, options_.scoring, scratch,
+                     &(*results)[i]);
+  }
+}
+
+std::vector<core::AttributeScores> ServingEngine::ScoreValidated(
+    std::span<const graph::VertexId> vertices) const {
+  std::vector<core::AttributeScores> results(vertices.size());
+  const size_t threads = num_threads();
+  if (pool_ == nullptr || threads <= 1 || vertices.size() <= 1) {
+    core::ScoringScratch scratch;
+    plan_->PrepareScratch(&scratch);
+    ScoreRange(vertices, 0, vertices.size(), &scratch, &results);
+    return results;
+  }
+  // One contiguous shard per worker; output slot i is written only by the
+  // shard owning i, so the result ordering is deterministic regardless of
+  // which worker runs which shard.
+  const size_t num_shards = std::min(threads, vertices.size());
+  std::vector<core::ScoringScratch> scratches(num_shards);
+  for (auto& s : scratches) plan_->PrepareScratch(&s);
+  // One dispatcher at a time: concurrent const callers queue here.
+  std::lock_guard<std::mutex> lock(*pool_mu_);
+  pool_->ParallelFor(num_shards, [&](size_t shard) {
+    const size_t begin = vertices.size() * shard / num_shards;
+    const size_t end = vertices.size() * (shard + 1) / num_shards;
+    ScoreRange(vertices, begin, end, &scratches[shard], &results);
+  });
+  return results;
+}
+
+StatusOr<std::vector<core::AttributeScores>> ServingEngine::ScoreBatch(
+    std::span<const graph::VertexId> vertices) const {
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    if (vertices[i] >= graph_->num_vertices()) {
+      return Status::OutOfRange(
+          StrFormat("batch slot %zu: vertex %u out of range (%u vertices)", i,
+                    vertices[i], graph_->num_vertices()));
+    }
+  }
+  return ScoreValidated(vertices);
+}
+
+std::vector<core::AttributeScores> ServingEngine::ScoreAll() const {
+  std::vector<graph::VertexId> vertices(graph_->num_vertices());
+  std::iota(vertices.begin(), vertices.end(), 0);
+  return ScoreValidated(vertices);
+}
+
+StatusOr<core::AttributeScores> ServingEngine::ScoreVertex(
+    graph::VertexId v) const {
+  if (v >= graph_->num_vertices()) {
+    return Status::OutOfRange(StrFormat("vertex %u out of range (%u vertices)",
+                                        v, graph_->num_vertices()));
+  }
+  // A batch of one: single-element batches take the serial path.
+  std::vector<core::AttributeScores> results = ScoreValidated({&v, 1});
+  return std::move(results.front());
+}
+
+}  // namespace cspm::engine

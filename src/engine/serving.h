@@ -1,0 +1,124 @@
+// Batch-first serving over a compiled ScoringPlan: the execution layer the
+// ROADMAP's serving traffic goes through. A ServingEngine binds one
+// immutable plan to one graph and scores vertex batches, optionally
+// sharded across a util::ThreadPool.
+//
+// Determinism contract: ScoreBatch(vertices)[i] depends only on
+// vertices[i], the plan and the options — never on the shard layout or
+// thread count — so results are bit-identical at 1, 4 and auto threads
+// and identical to the legacy per-vertex ScoreAttributes path (see
+// DESIGN.md §7).
+//
+// Thread safety: the const scoring calls are safe to invoke from
+// multiple caller threads. A serial engine shares nothing between calls;
+// a sharded engine serializes dispatches onto its worker pool (the pool
+// runs one ParallelFor at a time), so concurrent batches queue rather
+// than corrupt each other.
+//
+// Lifetime: the engine holds a reference to the graph and a shared_ptr to
+// the plan. The plan is kept alive by the engine itself, and engines
+// built through ServableModel::Serve also retain the ServableModel that
+// owns the graph snapshot — so registry hot-reloads or removals never
+// invalidate a live engine, even if the caller dropped its Handle. For
+// the raw Create(graph, ...) entry points the graph must outlive the
+// engine (or be passed as `keep_alive`).
+#ifndef CSPM_ENGINE_SERVING_H_
+#define CSPM_ENGINE_SERVING_H_
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "cspm/model.h"
+#include "cspm/scoring.h"
+#include "cspm/scoring_plan.h"
+#include "graph/attributed_graph.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace cspm::engine {
+
+// Result vocabulary, re-exported for consumers that only see the batch
+// facade (mirrors engine/session.h).
+using core::AttributeScores;
+using core::ScoringOptions;
+
+struct ServingOptions {
+  /// Shards for ScoreBatch / ScoreAll: 1 = serial (default), 0 = one per
+  /// hardware core. Results are bit-identical at any thread count.
+  uint32_t num_threads = 1;
+  core::ScoringOptions scoring;
+};
+
+class ServingEngine {
+ public:
+  /// Builds an engine over an already compiled plan (the registry path:
+  /// handles share one immutable plan per registered model). `keep_alive`
+  /// is an optional owner of the graph (e.g. the ServableModel handle the
+  /// plan came from) retained for the engine's lifetime, so callers need
+  /// not hold it themselves.
+  static StatusOr<ServingEngine> Create(
+      const graph::AttributedGraph& graph,
+      std::shared_ptr<const core::ScoringPlan> plan,
+      ServingOptions options = {},
+      std::shared_ptr<const void> keep_alive = nullptr);
+
+  /// Compiles a fresh plan from the model against the graph's dictionary.
+  static StatusOr<ServingEngine> Create(const graph::AttributedGraph& graph,
+                                        const core::CspmModel& model,
+                                        ServingOptions options = {});
+
+  ServingEngine(ServingEngine&&) noexcept = default;
+  ServingEngine& operator=(ServingEngine&&) noexcept = default;
+
+  /// Scores every vertex of `vertices` (duplicates allowed, any order).
+  /// Output slot i holds the scores of vertices[i]. Fails with OutOfRange
+  /// if any id is not a vertex of the graph; on failure nothing is scored.
+  StatusOr<std::vector<core::AttributeScores>> ScoreBatch(
+      std::span<const graph::VertexId> vertices) const;
+
+  /// Scores all vertices of the graph, in vertex-id order.
+  std::vector<core::AttributeScores> ScoreAll() const;
+
+  /// Single-vertex convenience with the same validation as ScoreBatch.
+  StatusOr<core::AttributeScores> ScoreVertex(graph::VertexId v) const;
+
+  const core::ScoringPlan& plan() const { return *plan_; }
+  const std::shared_ptr<const core::ScoringPlan>& shared_plan() const {
+    return plan_;
+  }
+  /// Resolved shard count (auto already expanded).
+  size_t num_threads() const;
+  const ServingOptions& options() const { return options_; }
+
+ private:
+  ServingEngine(const graph::AttributedGraph& graph,
+                std::shared_ptr<const core::ScoringPlan> plan,
+                ServingOptions options,
+                std::shared_ptr<const void> keep_alive);
+
+  /// Scores vertices[begin, end) of `vertices` into results[begin, end).
+  void ScoreRange(std::span<const graph::VertexId> vertices, size_t begin,
+                  size_t end, core::ScoringScratch* scratch,
+                  std::vector<core::AttributeScores>* results) const;
+
+  std::vector<core::AttributeScores> ScoreValidated(
+      std::span<const graph::VertexId> vertices) const;
+
+  const graph::AttributedGraph* graph_;
+  std::shared_ptr<const core::ScoringPlan> plan_;
+  /// Optional owner of `*graph_` (e.g. the ServableModel behind a
+  /// registry handle), held so the graph cannot be freed under the engine.
+  std::shared_ptr<const void> keep_alive_;
+  ServingOptions options_;
+  /// Spawned at Create when num_threads > 1; null for a serial engine.
+  std::unique_ptr<util::ThreadPool> pool_;
+  /// Serializes ParallelFor dispatches from concurrent const callers
+  /// (ThreadPool supports one dispatcher at a time). Null iff pool_ is.
+  mutable std::unique_ptr<std::mutex> pool_mu_;
+};
+
+}  // namespace cspm::engine
+
+#endif  // CSPM_ENGINE_SERVING_H_

@@ -41,8 +41,19 @@ struct MiningSession::Impl {
   MiningOptions options;
   CspmModel model;
   bool has_model = false;
+  /// Compiled scoring plan of `model`; rebuilt whenever the model changes.
+  /// Shared so ServingEngines and registry handles can outlive a re-mine.
+  std::shared_ptr<const core::ScoringPlan> plan;
   /// Final inverted database, kept only under options.keep_database.
   std::optional<core::InvertedDatabase> database;
+
+  /// Installs `m` as the current model and compiles its plan.
+  void SetModel(CspmModel m) {
+    model = std::move(m);
+    plan = core::CompileSharedPlan(model, graph->num_attribute_values());
+    has_model = true;
+    database.reset();
+  }
 };
 
 MiningSession::MiningSession(std::unique_ptr<Impl> impl)
@@ -64,15 +75,13 @@ Status MiningSession::Mine() {
   if (impl_->options.keep_database) {
     auto artifacts_or = miner.MineWithArtifacts(*impl_->graph);
     if (!artifacts_or.ok()) return artifacts_or.status();
-    impl_->model = std::move(artifacts_or.value().model);
+    impl_->SetModel(std::move(artifacts_or.value().model));
     impl_->database.emplace(std::move(artifacts_or.value().inverted_db));
   } else {
     auto model_or = miner.Mine(*impl_->graph);
     if (!model_or.ok()) return model_or.status();
-    impl_->model = std::move(model_or).value();
-    impl_->database.reset();
+    impl_->SetModel(std::move(model_or).value());
   }
-  impl_->has_model = true;
   return Status::OK();
 }
 
@@ -91,15 +100,35 @@ const graph::AttributedGraph& MiningSession::graph() const {
 
 AttributeScores MiningSession::Score(graph::VertexId v,
                                      const ScoringOptions& options) const {
-  return core::ScoreAttributes(*impl_->graph, model(), v, options);
+  CSPM_CHECK_MSG(impl_->has_model, "Mine() or LoadModel() first");
+  std::vector<graph::AttrId> neighbourhood;
+  core::GatherNeighbourhoodAttrs(*impl_->graph, v, &neighbourhood);
+  return impl_->plan->Score(neighbourhood, options);
 }
 
 AttributeScores MiningSession::ScoreWithNeighbourhood(
     const std::vector<graph::AttrId>& neighbourhood_attrs,
     const ScoringOptions& options) const {
-  return core::ScoreAttributesWithNeighbourhood(
-      impl_->graph->num_attribute_values(), model(), neighbourhood_attrs,
-      options);
+  CSPM_CHECK_MSG(impl_->has_model, "Mine() or LoadModel() first");
+  return impl_->plan->Score(neighbourhood_attrs, options);
+}
+
+StatusOr<std::vector<AttributeScores>> MiningSession::ScoreBatch(
+    std::span<const graph::VertexId> vertices,
+    const ServingOptions& options) const {
+  CSPM_ASSIGN_OR_RETURN(ServingEngine engine, Serve(options));
+  return engine.ScoreBatch(vertices);
+}
+
+StatusOr<ServingEngine> MiningSession::Serve(ServingOptions options) const {
+  if (!impl_->has_model) {
+    return Status::FailedPrecondition("no model: Mine() or LoadModel() first");
+  }
+  return ServingEngine::Create(*impl_->graph, impl_->plan, options);
+}
+
+std::shared_ptr<const core::ScoringPlan> MiningSession::plan() const {
+  return impl_->plan;
 }
 
 std::string MiningSession::SerializeModel() const {
@@ -109,9 +138,7 @@ std::string MiningSession::SerializeModel() const {
 Status MiningSession::DeserializeModel(const std::string& text) {
   auto model_or = core::ModelFromText(text, impl_->graph->dict());
   if (!model_or.ok()) return model_or.status();
-  impl_->model = std::move(model_or).value();
-  impl_->has_model = true;
-  impl_->database.reset();
+  impl_->SetModel(std::move(model_or).value());
   return Status::OK();
 }
 
@@ -156,9 +183,7 @@ Status MiningSession::LoadModel(const std::string& path) {
   if (!store::ModelStore::IsStoreFile(path)) {
     auto model_or = core::LoadModelFromFile(path, impl_->graph->dict());
     if (!model_or.ok()) return model_or.status();
-    impl_->model = std::move(model_or).value();
-    impl_->has_model = true;
-    impl_->database.reset();
+    impl_->SetModel(std::move(model_or).value());
     return Status::OK();
   }
   auto store_or = store::ModelStore::Open(path);
@@ -175,9 +200,7 @@ Status MiningSession::LoadModel(const std::string& path) {
   }
   auto model_or = GetRemapped(*store_or, name, impl_->graph->dict());
   if (!model_or.ok()) return model_or.status();
-  impl_->model = std::move(model_or).value();
-  impl_->has_model = true;
-  impl_->database.reset();
+  impl_->SetModel(std::move(model_or).value());
   return Status::OK();
 }
 
@@ -187,9 +210,7 @@ Status MiningSession::LoadModel(const std::string& path,
   if (!store_or.ok()) return store_or.status();
   auto model_or = GetRemapped(*store_or, model_name, impl_->graph->dict());
   if (!model_or.ok()) return model_or.status();
-  impl_->model = std::move(model_or).value();
-  impl_->has_model = true;
-  impl_->database.reset();
+  impl_->SetModel(std::move(model_or).value());
   return Status::OK();
 }
 

@@ -17,6 +17,8 @@
 
 #include "cspm/model.h"
 #include "cspm/scoring.h"
+#include "cspm/scoring_plan.h"
+#include "engine/serving.h"
 #include "graph/attributed_graph.h"
 #include "itemset/slim.h"
 #include "util/status.h"
@@ -126,6 +128,10 @@ class MiningSession {
   const graph::AttributedGraph& graph() const;
 
   // --- scoring (Algorithm 5) ----------------------------------------------
+  //
+  // All scoring goes through a ScoringPlan compiled whenever the model is
+  // mined or loaded, bit-identical to the legacy per-vertex
+  // core::ScoreAttributes path.
 
   /// Per-attribute-value scores for vertex v from its neighbourhood.
   AttributeScores Score(graph::VertexId v,
@@ -136,6 +142,22 @@ class MiningSession {
   AttributeScores ScoreWithNeighbourhood(
       const std::vector<graph::AttrId>& neighbourhood_attrs,
       const ScoringOptions& options = {}) const;
+
+  /// Batch scoring through a one-shot ServingEngine. Output slot i holds
+  /// the scores of vertices[i] at any thread count. Callers scoring many
+  /// batches should hold a Serve() engine instead: this spawns (and
+  /// joins) the shard pool per call.
+  StatusOr<std::vector<AttributeScores>> ScoreBatch(
+      std::span<const graph::VertexId> vertices,
+      const ServingOptions& options = {}) const;
+
+  /// A ServingEngine sharing this session's compiled plan (the session's
+  /// graph and plan must outlive the engine; re-mining compiles a fresh
+  /// plan and does not disturb engines already built).
+  StatusOr<ServingEngine> Serve(ServingOptions options = {}) const;
+
+  /// The compiled plan of the current model (null before Mine/LoadModel).
+  std::shared_ptr<const core::ScoringPlan> plan() const;
 
   // --- model persistence --------------------------------------------------
 

@@ -61,4 +61,32 @@ bool StartsWith(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
 }
 
+int MatchFlagWithValue(int argc, char** argv, int* i,
+                       std::string_view name, std::string* value) {
+  const std::string_view arg = argv[*i];
+  if (arg == name) {
+    if (*i + 1 >= argc) return -1;
+    *value = argv[++*i];
+    return 1;
+  }
+  if (arg.size() > name.size() && StartsWith(arg, name) &&
+      arg[name.size()] == '=') {
+    *value = std::string(arg.substr(name.size() + 1));
+    return 1;
+  }
+  return 0;
+}
+
+bool ParseUint32(std::string_view s, uint32_t* out) {
+  if (s.empty()) return false;
+  uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+    if (value > 0xffffffffull) return false;
+  }
+  *out = static_cast<uint32_t>(value);
+  return true;
+}
+
 }  // namespace cspm

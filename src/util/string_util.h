@@ -2,6 +2,7 @@
 #ifndef CSPM_UTIL_STRING_UTIL_H_
 #define CSPM_UTIL_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -24,6 +25,19 @@ std::string_view StripWhitespace(std::string_view s);
 
 /// True if `s` starts with `prefix`.
 bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Parses a base-10 uint32; the whole string must be digits and in range.
+/// Returns false (leaving *out untouched) otherwise — callers get a real
+/// error instead of strtoul's silent 0 for garbage input.
+bool ParseUint32(std::string_view s, uint32_t* out);
+
+/// Matches a "--name value" / "--name=value" CLI flag at argv[*i].
+/// Returns 0 when argv[*i] is not this flag, 1 when matched with *value
+/// set (*i advanced past a separate value argument), -1 when the flag is
+/// present but its value is missing. Shared by the binaries that take
+/// --threads, so the flag grammar cannot drift between them.
+int MatchFlagWithValue(int argc, char** argv, int* i, std::string_view name,
+                       std::string* value);
 
 }  // namespace cspm
 

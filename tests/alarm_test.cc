@@ -8,6 +8,7 @@
 #include "alarm/acor.h"
 #include "alarm/rules.h"
 #include "alarm/simulator.h"
+#include "alarm/triage.h"
 #include "alarm/window_graph.h"
 #include "cspm/miner.h"
 
@@ -197,6 +198,57 @@ TEST_F(AlarmPipelineTest, CspmBeatsAcorInMidRange) {
   auto full2 = CoverageAtK(acor_ranked, valid, {acor_ranked.size()});
   EXPECT_NEAR(full1[0], 1.0, 1e-9);
   EXPECT_NEAR(full2[0], 1.0, 1e-9);
+}
+
+TEST_F(AlarmPipelineTest, TriageRanksHiddenAlarmsDeterministically) {
+  auto wg = BuildWindowGraph(data_, 5.0).value();
+  auto model = core::CspmMiner(core::CspmOptions{}).Mine(wg).value();
+
+  TriageOptions options;
+  options.top_k = 3;
+  auto serial = TriageWindows(wg, model, options).value();
+  ASSERT_FALSE(serial.empty());
+  for (const auto& wt : serial) {
+    ASSERT_LE(wt.suspected.size(), options.top_k);
+    ASSERT_FALSE(wt.suspected.empty());
+    for (size_t i = 0; i < wt.suspected.size(); ++i) {
+      const auto& s = wt.suspected[i];
+      EXPECT_GT(s.score, 0.0);
+      EXPECT_LE(s.score, 1.0);
+      if (i > 0) {
+        EXPECT_GE(wt.suspected[i - 1].score, s.score);
+      }
+      // A suspect is a hidden alarm: never one already in the window.
+      const graph::AttrId a = wg.dict().Find(AlarmAttributeName(s.type));
+      ASSERT_NE(a, graph::AttributeDictionary::kNotFound);
+      EXPECT_FALSE(wg.HasAttribute(wt.window, a));
+    }
+  }
+
+  // Sharded triage is identical to serial, at 4 and at auto threads.
+  for (const uint32_t threads : {4u, 0u}) {
+    options.num_threads = threads;
+    auto sharded = TriageWindows(wg, model, options).value();
+    ASSERT_EQ(sharded.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(sharded[i].window, serial[i].window);
+      ASSERT_EQ(sharded[i].suspected.size(), serial[i].suspected.size());
+      for (size_t j = 0; j < serial[i].suspected.size(); ++j) {
+        EXPECT_EQ(sharded[i].suspected[j].type, serial[i].suspected[j].type);
+        EXPECT_EQ(sharded[i].suspected[j].score,
+                  serial[i].suspected[j].score);
+      }
+    }
+  }
+
+  // min_score filters: a high bar keeps only high-confidence suspects.
+  options.num_threads = 1;
+  options.min_score = 0.9;
+  auto filtered = TriageWindows(wg, model, options).value();
+  EXPECT_LE(filtered.size(), serial.size());
+  for (const auto& wt : filtered) {
+    for (const auto& s : wt.suspected) EXPECT_GE(s.score, 0.9);
+  }
 }
 
 TEST(CoverageTest, HandComputed) {

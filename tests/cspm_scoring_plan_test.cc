@@ -1,0 +1,149 @@
+// Tests for the compiled ScoringPlan: bit-identical to the legacy
+// Algorithm 5 scorer for every vertex and every value, including the
+// edge cases locked in by cspm_scoring_test.cc.
+#include "cspm/scoring_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "cspm/miner.h"
+#include "cspm/scoring.h"
+#include "graph/generators.h"
+#include "testing_util.h"
+#include "util/rng.h"
+
+namespace cspm::core {
+namespace {
+
+CspmModel HandModel() {
+  CspmModel model;
+  AStar s1;
+  s1.core_values = {0};
+  s1.leaf_values = {1, 2};
+  s1.code_length_bits = 2.0;
+  AStar s2;
+  s2.core_values = {3};
+  s2.leaf_values = {4};
+  s2.code_length_bits = 5.0;
+  AStar empty;  // compiled out: no leafset, never contributes evidence
+  empty.core_values = {5};
+  empty.code_length_bits = 1.0;
+  model.astars = {s1, s2, empty};
+  return model;
+}
+
+/// EXPECT_EQ over both score vectors (bit-identical incl. -inf, never NEAR).
+void ExpectSameScores(const AttributeScores& plan_scores,
+                      const AttributeScores& legacy) {
+  EXPECT_EQ(plan_scores.raw, legacy.raw);
+  EXPECT_EQ(plan_scores.normalized, legacy.normalized);
+}
+
+TEST(ScoringPlanTest, CompilesOutEmptyLeafsets) {
+  ScoringPlan plan = ScoringPlan::Compile(HandModel(), 6);
+  EXPECT_EQ(plan.num_stars(), 2u);
+  EXPECT_EQ(plan.num_attribute_values(), 6u);
+  EXPECT_GT(plan.memory_bytes(), 0u);
+}
+
+TEST(ScoringPlanTest, MatchesLegacyOnHandModelNeighbourhoods) {
+  CspmModel model = HandModel();
+  ScoringPlan plan = ScoringPlan::Compile(model, 6);
+  const std::vector<std::vector<AttrId>> neighbourhoods = {
+      {},                 // empty: no evidence anywhere
+      {1, 2},             // full similarity for s1
+      {1},                // partial similarity
+      {5},                // no overlap
+      {1, 1, 1},          // duplicates count once
+      {1, 2, 6, 1000},    // out-of-range ids ignored
+      {4, 2, 1},          // unsorted
+      {0, 1, 2, 3, 4, 5}  // everything
+  };
+  for (const auto& n : neighbourhoods) {
+    ExpectSameScores(plan.Score(n),
+                     ScoreAttributesWithNeighbourhood(6, model, n));
+  }
+}
+
+TEST(ScoringPlanTest, MatchesLegacyAtExactSimilarityThreshold) {
+  CspmModel model = HandModel();
+  ScoringPlan plan = ScoringPlan::Compile(model, 6);
+  const std::vector<AttrId> neighbourhood = {1};
+  ScoringOptions options;
+  options.min_similarity = 0.5;  // similarity of {1} vs {1,2} is exactly 0.5
+  ExpectSameScores(
+      plan.Score(neighbourhood, options),
+      ScoreAttributesWithNeighbourhood(6, model, neighbourhood, options));
+  options.min_similarity = std::nextafter(0.5, 1.0);
+  ExpectSameScores(
+      plan.Score(neighbourhood, options),
+      ScoreAttributesWithNeighbourhood(6, model, neighbourhood, options));
+}
+
+TEST(ScoringPlanTest, ScratchAndBuffersAreReusableAcrossCalls) {
+  CspmModel model = HandModel();
+  ScoringPlan plan = ScoringPlan::Compile(model, 6);
+  ScoringScratch scratch;
+  plan.PrepareScratch(&scratch);
+  AttributeScores out;
+  // Alternate between evidence-rich and empty neighbourhoods: stale state
+  // from one call must never leak into the next.
+  const std::vector<std::vector<AttrId>> sequence = {
+      {1, 2}, {}, {4}, {1}, {1, 2, 4}, {}};
+  for (const auto& n : sequence) {
+    plan.ScoreInto(n, ScoringOptions{}, &scratch, &out);
+    ExpectSameScores(out, ScoreAttributesWithNeighbourhood(6, model, n));
+  }
+}
+
+// The tentpole regression: on mined models over random graphs, the plan
+// reproduces the legacy per-vertex scorer bit-for-bit on every vertex and
+// every attribute value (neighbourhoods fed raw, not deduplicated).
+TEST(ScoringPlanTest, MinedModelMatchesLegacyOnEveryVertex) {
+  for (const uint64_t seed : {3u, 17u}) {
+    Rng rng(seed);
+    auto g = graph::ErdosRenyi(200, 0.04, 18, 3, &rng).value();
+    auto model = CspmMiner(CspmOptions{}).Mine(g).value();
+    ScoringPlan plan = ScoringPlan::Compile(model, g.num_attribute_values());
+    ScoringScratch scratch;
+    plan.PrepareScratch(&scratch);
+    AttributeScores out;
+    std::vector<AttrId> neighbourhood;
+    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      neighbourhood.clear();
+      for (graph::VertexId w : g.Neighbors(v)) {
+        const auto attrs = g.Attributes(w);
+        neighbourhood.insert(neighbourhood.end(), attrs.begin(), attrs.end());
+      }
+      plan.ScoreInto(neighbourhood, ScoringOptions{}, &scratch, &out);
+      const AttributeScores legacy = ScoreAttributes(g, model, v);
+      ASSERT_EQ(out.raw.size(), legacy.raw.size());
+      for (size_t i = 0; i < legacy.raw.size(); ++i) {
+        ASSERT_EQ(out.raw[i], legacy.raw[i]) << "seed=" << seed << " v=" << v
+                                             << " attr=" << i;
+        ASSERT_EQ(out.normalized[i], legacy.normalized[i])
+            << "seed=" << seed << " v=" << v << " attr=" << i;
+      }
+    }
+  }
+}
+
+TEST(ScoringPlanTest, PaperExampleMatchesLegacy) {
+  auto g = cspm::testing::PaperExampleGraph();
+  auto model = CspmMiner(CspmOptions{}).Mine(g).value();
+  ScoringPlan plan = ScoringPlan::Compile(model, g.num_attribute_values());
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    std::vector<AttrId> neighbourhood;
+    for (graph::VertexId w : g.Neighbors(v)) {
+      const auto attrs = g.Attributes(w);
+      neighbourhood.insert(neighbourhood.end(), attrs.begin(), attrs.end());
+    }
+    ExpectSameScores(plan.Score(neighbourhood), ScoreAttributes(g, model, v));
+  }
+}
+
+}  // namespace
+}  // namespace cspm::core

@@ -74,6 +74,81 @@ TEST(ScoringTest, NormalizedInUnitRange) {
   EXPECT_GT(scores.normalized[0], scores.normalized[3]);
 }
 
+TEST(ScoringTest, EmptyNeighbourhoodGivesNoEvidence) {
+  CspmModel model = HandModel();
+  auto scores = ScoreAttributesWithNeighbourhood(6, model, {});
+  ASSERT_EQ(scores.raw.size(), 6u);
+  for (double v : scores.raw) EXPECT_TRUE(std::isinf(v) && v < 0);
+  for (double v : scores.normalized) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(ScoringTest, OutOfRangeNeighbourhoodAttrsAreIgnored) {
+  CspmModel model = HandModel();
+  // Attr ids beyond the dictionary (masked / foreign ids) carry no
+  // evidence; the result matches the in-range subset exactly.
+  auto with_junk = ScoreAttributesWithNeighbourhood(6, model, {1, 2, 6, 1000});
+  auto clean = ScoreAttributesWithNeighbourhood(6, model, {1, 2});
+  EXPECT_EQ(with_junk.raw, clean.raw);
+  EXPECT_EQ(with_junk.normalized, clean.normalized);
+}
+
+TEST(ScoringTest, AllMaskedNeighboursScoreLikeEmptyNeighbourhood) {
+  // The completion task's masked graph: every neighbour of the probe
+  // vertex has an empty attribute set, so the neighbourhood attribute set
+  // is empty even though the vertex has neighbours.
+  graph::GraphBuilder b;
+  b.AddVertex({"a", "b"});  // v0: carries attrs so the dictionary is real
+  b.AddVertex({});          // v1: masked
+  b.AddVertex({});          // v2: masked
+  CSPM_CHECK(b.AddEdge(0, 1).ok());
+  CSPM_CHECK(b.AddEdge(1, 2).ok());
+  CSPM_CHECK(b.AddEdge(0, 2).ok());
+  auto g = std::move(b).Build().value();
+
+  CspmModel model;
+  AStar s;
+  s.core_values = {0};
+  s.leaf_values = {1};
+  s.code_length_bits = 3.0;
+  model.astars = {s};
+
+  // v1's neighbours are v0 (attrs a,b) and v2 (masked): evidence flows.
+  auto visible = ScoreAttributes(g, model, 1);
+  EXPECT_NEAR(visible.raw[0], -3.0, 1e-12);
+  // Make v0 the probe: its neighbours v1, v2 are both masked — identical
+  // to scoring an explicitly empty neighbourhood.
+  auto masked = ScoreAttributes(g, model, 0);
+  auto empty = ScoreAttributesWithNeighbourhood(g.num_attribute_values(),
+                                                model, {});
+  EXPECT_EQ(masked.raw, empty.raw);
+  EXPECT_EQ(masked.normalized, empty.normalized);
+}
+
+TEST(ScoringTest, SimilarityExactlyAtThresholdIsKept) {
+  CspmModel model = HandModel();
+  // s1 has leaves {1, 2}; neighbourhood {1} gives similarity exactly 0.5.
+  ScoringOptions options;
+  options.min_similarity = 0.5;
+  auto kept = ScoreAttributesWithNeighbourhood(6, model, {1}, options);
+  // Not skipped: the guard is strictly `similarity < min_similarity`.
+  EXPECT_NEAR(kept.raw[0], -4.0, 1e-12);
+
+  // Nudge the threshold above 0.5 and the leafset is skipped.
+  options.min_similarity = std::nextafter(0.5, 1.0);
+  auto skipped = ScoreAttributesWithNeighbourhood(6, model, {1}, options);
+  EXPECT_TRUE(std::isinf(skipped.raw[0]));
+}
+
+TEST(ScoringTest, DuplicateNeighbourhoodAttrsCountOnce) {
+  CspmModel model = HandModel();
+  // The neighbourhood is a set: repeating an attr must not inflate
+  // similarity (callers pass raw concatenations of neighbour attrs).
+  auto repeated = ScoreAttributesWithNeighbourhood(6, model, {1, 1, 1});
+  auto once = ScoreAttributesWithNeighbourhood(6, model, {1});
+  EXPECT_EQ(repeated.raw, once.raw);
+  EXPECT_EQ(repeated.normalized, once.normalized);
+}
+
 TEST(ScoringTest, GraphPathUsesNeighbourAttributes) {
   auto g = cspm::testing::PaperExampleGraph();
   auto model = CspmMiner(CspmOptions{}).Mine(g).value();

@@ -107,7 +107,45 @@ TEST(ModelRegistry, ScoreVertexNeedsGraphSnapshot) {
   m.graph = g;
   auto with_graph = registry.Put("with-graph", std::move(m));
   EXPECT_TRUE(with_graph->ScoreVertex(0).ok());
-  EXPECT_FALSE(with_graph->ScoreVertex(10000).ok());  // out of range
+  auto out_of_range = with_graph->ScoreVertex(10000);
+  ASSERT_FALSE(out_of_range.ok());
+  EXPECT_EQ(out_of_range.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ModelRegistry, PutRecompilesPlanForMutatedModel) {
+  ModelRegistry registry;
+  auto g = PaperExampleGraph();
+  ServableModel m;
+  m.model = MineModel(g).value();
+  m.dict = g.dict();
+  m.graph = g;
+  m.CompilePlan();
+  // Mutate after an explicit compile: registration must recompile, not
+  // serve scores from the stale pre-mutation plan.
+  m.model.astars.clear();
+  auto handle = registry.Put("mutated", std::move(m));
+  const auto scores = handle->ScoreVertex(0).value();
+  for (double s : scores.normalized) EXPECT_EQ(s, 0.0);  // no evidence left
+}
+
+TEST(ModelRegistry, ScoreVertexRejectsDictNotCoveringGraph) {
+  ModelRegistry registry;
+  auto g = PaperExampleGraph();
+  ServableModel m;
+  m.model = MineModel(g).value();
+  // A dictionary narrower than the snapshot's attribute space (a
+  // mismatched store record): clean Status, not garbage scores.
+  m.dict = graph::AttributeDictionary();
+  m.dict.Intern("only-one");
+  m.graph = g;
+  auto handle = registry.Put("mismatched", std::move(m));
+  auto scores = handle->ScoreVertex(0);
+  ASSERT_FALSE(scores.ok());
+  EXPECT_EQ(scores.status().code(), StatusCode::kFailedPrecondition);
+  // The batch path rejects the same pairing at engine construction.
+  auto engine = handle->Serve();
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kFailedPrecondition);
 }
 
 // The PR's acceptance criterion: mine → save → reopen cold → serve via the

@@ -198,6 +198,23 @@ TEST(StringUtilTest, FormatNumbers) {
   EXPECT_EQ(StrFormat("%.2f", 1.239), "1.24");
 }
 
+TEST(StringUtilTest, ParseUint32Strict) {
+  uint32_t v = 123;
+  EXPECT_TRUE(ParseUint32("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(ParseUint32("4294967295", &v));
+  EXPECT_EQ(v, 4294967295u);
+  // Garbage never silently parses (and never touches the output).
+  v = 77;
+  EXPECT_FALSE(ParseUint32("", &v));
+  EXPECT_FALSE(ParseUint32("x", &v));
+  EXPECT_FALSE(ParseUint32("4x", &v));
+  EXPECT_FALSE(ParseUint32(" 4", &v));
+  EXPECT_FALSE(ParseUint32("-1", &v));
+  EXPECT_FALSE(ParseUint32("4294967296", &v));  // one past uint32 max
+  EXPECT_EQ(v, 77u);
+}
+
 TEST(StringUtilTest, StripWhitespace) {
   EXPECT_EQ(StripWhitespace("  hi \t\n"), "hi");
   EXPECT_EQ(StripWhitespace(""), "");

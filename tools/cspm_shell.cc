@@ -3,12 +3,16 @@
 // reopen it in another process, and serve scores — without ever touching
 // the miner again.
 //
-//   $ cspm_shell [store.cspm]
+//   $ cspm_shell [--threads N] [store.cspm]
 //   cspm> mine dblp 500
 //   cspm> save demo
 //   cspm> ls
 //   cspm> load demo
 //   cspm> score 0 5
+//   cspm> score-all 10
+//
+// Scoring goes through the batch serving engine (one compiled plan per
+// model; `--threads N` shards score/score-all batches, 0 = auto).
 //
 // Commands read from stdin line by line, so the shell doubles as a batch
 // driver: `printf 'mine dblp\nsave m\nexit\n' | cspm_shell store.cspm`.
@@ -34,6 +38,7 @@
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace cspm::shell {
 namespace {
@@ -47,6 +52,8 @@ struct Shell {
   engine::ModelRegistry::Handle current;
   std::string current_name;
   bool interactive = false;
+  /// Shards for score / score-all batches (0 = one per hardware core).
+  uint32_t threads = 1;
 };
 
 void PrintHelp() {
@@ -60,10 +67,16 @@ void PrintHelp() {
       "  load <name>              load a model from the store and make it current\n"
       "  ls                       list models in the store\n"
       "  rm <name>                delete a model from the store\n"
-      "  score <vertex> [k]       top-k attribute scores for a vertex\n"
+      "  score <v1> [v2 ...] [k=N]  top-N (default 5) attribute scores per\n"
+      "                           listed vertex, computed as one serving batch\n"
+      "  score-all [k]            batch-score every vertex; print the k best\n"
+      "                           (vertex, attribute) pairs and throughput\n"
       "  stats                    mining statistics of the current model\n"
       "  help                     this text\n"
-      "  exit | quit | .exit      leave\n");
+      "  exit | quit | .exit      leave\n"
+      "\n"
+      "score and score-all shard across --threads N workers (0 = auto;\n"
+      "results are identical at any thread count).\n");
 }
 
 Status RequireStore(const Shell& sh) {
@@ -208,18 +221,10 @@ Status CmdRm(Shell& sh, const std::vector<std::string>& args) {
   return Status::OK();
 }
 
-Status CmdScore(Shell& sh, const std::vector<std::string>& args) {
-  if (args.size() < 2 || args.size() > 3) {
-    return Status::InvalidArgument("usage: score <vertex> [k]");
-  }
-  CSPM_RETURN_IF_ERROR(RequireCurrent(sh));
-  const auto v =
-      static_cast<graph::VertexId>(std::strtoul(args[1].c_str(), nullptr, 10));
-  const size_t k =
-      args.size() > 2 ? std::strtoul(args[2].c_str(), nullptr, 10) : 5;
-  auto scores_or = sh.current->ScoreVertex(v);
-  if (!scores_or.ok()) return scores_or.status();
-  const auto& normalized = scores_or->normalized;
+/// Prints the top-k normalized scores of one vertex.
+void PrintTopScores(const Shell& sh, graph::VertexId v,
+                    const engine::AttributeScores& scores, size_t k) {
+  const auto& normalized = scores.normalized;
   std::vector<size_t> order(normalized.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
@@ -233,6 +238,85 @@ Status CmdScore(Shell& sh, const std::vector<std::string>& args) {
                                       static_cast<graph::AttrId>(order[i]))
                                       .c_str(),
                 normalized[order[i]]);
+  }
+}
+
+StatusOr<engine::ServingEngine> MakeEngine(const Shell& sh) {
+  engine::ServingOptions options;
+  options.num_threads = sh.threads;
+  return sh.current->Serve(options);
+}
+
+Status CmdScore(Shell& sh, const std::vector<std::string>& args) {
+  std::vector<graph::VertexId> vertices;
+  uint32_t k = 5;
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (StartsWith(args[i], "k=")) {
+      if (!ParseUint32(args[i].substr(2), &k)) {
+        return Status::InvalidArgument("bad top-k '" + args[i] + "'");
+      }
+    } else {
+      uint32_t v = 0;
+      if (!ParseUint32(args[i], &v)) {
+        return Status::InvalidArgument("bad vertex id '" + args[i] + "'");
+      }
+      vertices.push_back(v);
+    }
+  }
+  if (vertices.empty() || k == 0) {
+    return Status::InvalidArgument("usage: score <v1> [v2 ...] [k=N]");
+  }
+  CSPM_RETURN_IF_ERROR(RequireCurrent(sh));
+  CSPM_ASSIGN_OR_RETURN(engine::ServingEngine engine, MakeEngine(sh));
+  CSPM_ASSIGN_OR_RETURN(std::vector<engine::AttributeScores> batch,
+                        engine.ScoreBatch(vertices));
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    PrintTopScores(sh, vertices[i], batch[i], k);
+  }
+  return Status::OK();
+}
+
+Status CmdScoreAll(Shell& sh, const std::vector<std::string>& args) {
+  if (args.size() > 2) return Status::InvalidArgument("usage: score-all [k]");
+  CSPM_RETURN_IF_ERROR(RequireCurrent(sh));
+  uint32_t k = 5;
+  if (args.size() > 1 && !ParseUint32(args[1], &k)) {
+    return Status::InvalidArgument("bad top-k '" + args[1] + "'");
+  }
+  CSPM_ASSIGN_OR_RETURN(engine::ServingEngine engine, MakeEngine(sh));
+  WallTimer timer;
+  const std::vector<engine::AttributeScores> batch = engine.ScoreAll();
+  const double seconds = timer.ElapsedSeconds();
+
+  // Global best (vertex, attribute) pairs; ties break on (vertex, attr)
+  // so output is deterministic at any thread count.
+  struct Best {
+    double score;
+    graph::VertexId v;
+    graph::AttrId a;
+  };
+  std::vector<Best> best;
+  for (graph::VertexId v = 0; v < batch.size(); ++v) {
+    const auto& normalized = batch[v].normalized;
+    for (size_t a = 0; a < normalized.size(); ++a) {
+      if (normalized[a] <= 0.0) continue;
+      best.push_back({normalized[a], v, static_cast<graph::AttrId>(a)});
+    }
+  }
+  const size_t keep = std::min<size_t>(k, best.size());
+  std::partial_sort(best.begin(), best.begin() + keep, best.end(),
+                    [](const Best& x, const Best& y) {
+                      if (x.score != y.score) return x.score > y.score;
+                      if (x.v != y.v) return x.v < y.v;
+                      return x.a < y.a;
+                    });
+  std::printf("scored %zu vertices in %.3fs (%.0f vertices/s, %zu threads)\n",
+              batch.size(), seconds,
+              seconds > 0 ? static_cast<double>(batch.size()) / seconds : 0.0,
+              engine.num_threads());
+  for (size_t i = 0; i < keep; ++i) {
+    std::printf("  v%-8u %-20s %.6f\n", best[i].v,
+                sh.current->dict.Name(best[i].a).c_str(), best[i].score);
   }
   return Status::OK();
 }
@@ -279,6 +363,8 @@ bool Dispatch(Shell& sh, const std::string& line, Status* status) {
     *status = CmdRm(sh, args);
   } else if (cmd == "score") {
     *status = CmdScore(sh, args);
+  } else if (cmd == "score-all") {
+    *status = CmdScoreAll(sh, args);
   } else if (cmd == "stats") {
     *status = CmdStats(sh, args);
   } else {
@@ -291,12 +377,31 @@ bool Dispatch(Shell& sh, const std::string& line, Status* status) {
 int Run(int argc, char** argv) {
   Shell sh;
   sh.interactive = ::isatty(::fileno(stdin)) != 0;
-  if (argc > 2) {
-    std::fprintf(stderr, "usage: cspm_shell [store.cspm]\n");
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string threads_value;
+    switch (MatchFlagWithValue(argc, argv, &i, "--threads", &threads_value)) {
+      case 0:
+        positional.push_back(argv[i]);
+        break;
+      case -1:
+        std::fprintf(stderr, "--threads needs a value\n");
+        return 2;
+      default:
+        if (!ParseUint32(threads_value, &sh.threads)) {
+          std::fprintf(stderr,
+                       "--threads needs a non-negative integer, got '%s'\n",
+                       threads_value.c_str());
+          return 2;
+        }
+    }
+  }
+  if (positional.size() > 1) {
+    std::fprintf(stderr, "usage: cspm_shell [--threads N] [store.cspm]\n");
     return 2;
   }
-  if (argc == 2) {
-    Status st = CmdOpen(sh, {"open", argv[1]});
+  if (positional.size() == 1) {
+    Status st = CmdOpen(sh, {"open", positional[0]});
     if (!st.ok()) {
       std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
       return 1;
