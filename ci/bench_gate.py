@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Bench regression gate for CI.
+
+Parses google-benchmark JSON from bench_serving and bench_updates, writes
+the consolidated BENCH_PR.json artifact, and exits non-zero when:
+
+  * serving throughput regressed more than --max-serving-regression
+    (default 20%) against the checked-in BENCH_BASELINE.json. The gated
+    signal is the plan-vs-legacy speedup — both sides measured in the same
+    run on the same machine, so runner-speed differences cancel; the
+    absolute vertices/s are reported alongside for humans.
+
+  * the delta-apply path (transactional graph patch + inverted-database
+    patch) is less than baseline `min_delta_apply_speedup` (5x) faster
+    than a full rebuild at <= 1% dirty vertices.
+
+Test hook: --serving-scale N multiplies the measured serving throughput,
+e.g. --serving-scale 0.7 simulates a 30% serving regression and must trip
+the gate (verified in the repo's CI setup notes).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        out[bench["name"]] = bench
+    return out
+
+
+def require(benches, name):
+    if name not in benches:
+        sys.exit(f"bench_gate: benchmark '{name}' missing from results")
+    return benches[name]
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--serving", required=True,
+                        help="bench_serving JSON output")
+    parser.add_argument("--updates", required=True,
+                        help="bench_updates JSON output")
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in BENCH_BASELINE.json")
+    parser.add_argument("--out", required=True,
+                        help="where to write BENCH_PR.json")
+    parser.add_argument("--max-serving-regression", type=float, default=0.20)
+    parser.add_argument("--serving-scale", type=float, default=1.0,
+                        help="test hook: scale measured serving throughput")
+    args = parser.parse_args()
+
+    serving = load_benchmarks(args.serving)
+    updates = load_benchmarks(args.updates)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    legacy = require(serving, "BM_LegacyPerVertex/real_time")
+    plan = require(serving, "BM_PlanBatchSerial/real_time")
+    plan_per_sec = plan["items_per_second"] * args.serving_scale
+    legacy_per_sec = legacy["items_per_second"]
+    plan_vs_legacy = plan_per_sec / legacy_per_sec
+
+    apply_0p1 = require(updates, "BM_DeltaApply/4/real_time")
+    apply_1 = require(updates, "BM_DeltaApply/40/real_time")
+    rebuild = require(updates, "BM_FullRebuild/real_time")
+    # real_time is in the benchmark's own unit (ms for these benches).
+    delta_apply_speedup = rebuild["real_time"] / apply_1["real_time"]
+
+    report = {
+        "serving_vertices_per_sec": round(plan_per_sec, 1),
+        "legacy_vertices_per_sec": round(legacy_per_sec, 1),
+        "plan_vs_legacy": round(plan_vs_legacy, 3),
+        "delta_apply_ms_0p1pct_dirty": round(apply_0p1["real_time"], 3),
+        "delta_apply_ms_1pct_dirty": round(apply_1["real_time"], 3),
+        "full_rebuild_ms": round(rebuild["real_time"], 3),
+        "delta_apply_speedup_1pct_dirty": round(delta_apply_speedup, 2),
+        "baseline_plan_vs_legacy": baseline["plan_vs_legacy"],
+        "min_delta_apply_speedup": baseline["min_delta_apply_speedup"],
+        "max_serving_regression": args.max_serving_regression,
+    }
+    # End-to-end warm-vs-cold re-mine ratios, reported for transparency
+    # (not gated: see bench_updates.cc and DESIGN.md §9 — bit-identity
+    # bounds the achievable win on co-occurrence-dense graphs).
+    for ops, label in ((4, "0p1pct"), (40, "1pct")):
+        warm = updates.get(f"BM_WarmRemine/{ops}/real_time")
+        cold = updates.get(f"BM_ColdRemine/{ops}/real_time")
+        if warm and cold:
+            report[f"warm_remine_ms_{label}_dirty"] = round(
+                warm["real_time"], 1)
+            report[f"cold_remine_ms_{label}_dirty"] = round(
+                cold["real_time"], 1)
+            report[f"warm_vs_cold_remine_{label}_dirty"] = round(
+                cold["real_time"] / warm["real_time"], 2)
+
+    failures = []
+    floor = baseline["plan_vs_legacy"] * (1.0 - args.max_serving_regression)
+    if plan_vs_legacy < floor:
+        failures.append(
+            f"serving throughput regressed: plan-vs-legacy speedup "
+            f"{plan_vs_legacy:.2f}x is below {floor:.2f}x "
+            f"(baseline {baseline['plan_vs_legacy']:.2f}x minus "
+            f"{args.max_serving_regression:.0%} tolerance)")
+    if delta_apply_speedup < baseline["min_delta_apply_speedup"]:
+        failures.append(
+            f"delta-apply speedup {delta_apply_speedup:.1f}x at 1% dirty "
+            f"vertices is below the required "
+            f"{baseline['min_delta_apply_speedup']:.1f}x")
+    report["failures"] = failures
+    report["gate"] = "fail" if failures else "pass"
+
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if failures:
+        for failure in failures:
+            print(f"bench_gate: FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("bench_gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

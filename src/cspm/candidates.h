@@ -14,6 +14,13 @@
 
 namespace cspm::core {
 
+/// Canonical 64-bit key of an unordered leafset pair — the map key of the
+/// CandidateStore and of the warm-start initial-gain cache.
+inline uint64_t CandidatePairKey(LeafsetId x, LeafsetId y) {
+  if (x > y) std::swap(x, y);
+  return (static_cast<uint64_t>(x) << 32) | y;
+}
+
 /// Max-gain priority store over unordered leafset pairs. Set() overwrites;
 /// stale heap entries are skipped on pop via version counters.
 class CandidateStore {
@@ -47,8 +54,7 @@ class CandidateStore {
   };
 
   static uint64_t PairKey(LeafsetId x, LeafsetId y) {
-    if (x > y) std::swap(x, y);
-    return (static_cast<uint64_t>(x) << 32) | y;
+    return CandidatePairKey(x, y);
   }
   void DropStale();
 

@@ -18,6 +18,7 @@
 #define CSPM_CSPM_INVERTED_DATABASE_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "cspm/leafset_registry.h"
@@ -26,6 +27,23 @@
 #include "util/status.h"
 
 namespace cspm::core {
+
+/// What an ApplyDelta patch touched — the facts the incremental re-seed
+/// consumes (DESIGN.md §9). A core is dirty when any line under it was
+/// created, erased, or resized (its f_e and/or line composition moved);
+/// a leafset is touched when one of its own lines changed.
+struct DeltaPatchStats {
+  std::vector<CoreId> dirty_cores;          ///< sorted, deduplicated
+  std::vector<LeafsetId> touched_leafsets;  ///< sorted, deduplicated
+  uint64_t positions_added = 0;
+  uint64_t positions_removed = 0;
+};
+
+/// Distinct sorted attribute values over the neighbours of v — the leaf
+/// values v contributes lines for. Shared by the delta patch and the
+/// dirty-candidate collection (miner.cc).
+void GatherDistinctNeighbourAttrs(const graph::AttributedGraph& g, VertexId v,
+                                  std::vector<AttrId>* out);
 
 /// Outcome of merging the leafsets of a candidate pair.
 struct MergeOutcome {
@@ -37,6 +55,11 @@ struct MergeOutcome {
   std::vector<LeafsetId> partly_merged;
   /// Shared coresets with a non-empty position intersection.
   uint32_t cores_touched = 0;
+  /// Those coresets, ascending. Everything the merge changed (x / y / u
+  /// lines, f_e totals) lives under them, so a pair whose members have no
+  /// line under any of these keeps a bit-identical gain — the search uses
+  /// this to skip provably unchanged rescores (Algorithm 4 step 3).
+  std::vector<CoreId> touched_cores;
   /// Sum of xy_e over touched coresets.
   uint64_t moved_positions = 0;
   /// True if no shared coreset had a non-empty intersection (nothing done).
@@ -63,8 +86,18 @@ class InvertedDatabase {
       std::vector<std::vector<AttrId>> coreset_values,
       const std::vector<std::vector<CoreId>>& vertex_coresets);
 
+  /// An empty database (no coresets, no lines) — the value-member /
+  /// WarmState default before a FromGraph result or Clone is assigned in.
+  InvertedDatabase() = default;
+
   InvertedDatabase(InvertedDatabase&&) = default;
   InvertedDatabase& operator=(InvertedDatabase&&) = default;
+
+  /// Deep copy (position lists re-pooled; pool refs differ, views are
+  /// equal). The warm-start machinery clones the pre-merge database so
+  /// the search can mutate one copy while the pristine one is kept for
+  /// the next incremental update.
+  InvertedDatabase Clone() const;
 
   // --- structure access ---------------------------------------------------
 
@@ -162,6 +195,21 @@ class InvertedDatabase {
   /// active-leafset bookkeeping.
   MergeOutcome MergeLeafsets(LeafsetId x, LeafsetId y);
 
+  /// Patches this database from `old_graph` to `new_graph`, recomputing
+  /// line membership only for `dirty_vertices` (the set reported by
+  /// graph::ApplyDelta) instead of the 3-pass full rebuild. The result is
+  /// observably identical to FromGraph(new_graph): same lines, positions,
+  /// f_e totals and active leafsets.
+  ///
+  /// Only valid on a single-value-coreset database in its initial
+  /// (pre-merge) state — every leafset a singleton. New attribute values
+  /// of `new_graph` get their singleton coresets and leafsets appended in
+  /// id order, preserving the leafset-id == attr-id correspondence.
+  Status ApplyDelta(const graph::AttributedGraph& old_graph,
+                    const graph::AttributedGraph& new_graph,
+                    std::span<const VertexId> dirty_vertices,
+                    DeltaPatchStats* stats);
+
   // --- description length -------------------------------------------------
 
   /// L(I|M) of Eq. 8: sum_e f_e log2 f_e - sum_lines fL log2 fL.
@@ -173,8 +221,6 @@ class InvertedDatabase {
     std::vector<CoreId> cores;
     std::vector<util::PosListPool::Ref> refs;
   };
-
-  InvertedDatabase() = default;
 
   static size_t LowerBoundCore(const LeafsetLines& lines, CoreId e);
 

@@ -2,12 +2,27 @@
 #ifndef CSPM_CSPM_LEAFSET_REGISTRY_H_
 #define CSPM_CSPM_LEAFSET_REGISTRY_H_
 
-#include <map>
+#include <cstddef>
+#include <unordered_map>
 #include <vector>
 
 #include "cspm/types.h"
 
 namespace cspm::core {
+
+/// FNV-1a over the id bytes. The registry grows to one entry per line
+/// leafset (hundreds of thousands on dense graphs) and Find/InternUnion
+/// sit on the merge-loop hot path, so lookups must not pay an ordered-map
+/// walk with full vector comparisons at every node.
+struct LeafsetHash {
+  size_t operator()(const std::vector<AttrId>& values) const {
+    uint64_t h = 1469598103934665603ull;
+    for (AttrId v : values) {
+      h = (h ^ v) * 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+  }
+};
 
 /// Interns sorted attribute-value sets. Ids are stable for the lifetime of
 /// the registry.
@@ -34,7 +49,7 @@ class LeafsetRegistry {
 
  private:
   std::vector<std::vector<AttrId>> sets_;
-  std::map<std::vector<AttrId>, LeafsetId> index_;
+  std::unordered_map<std::vector<AttrId>, LeafsetId, LeafsetHash> index_;
 };
 
 }  // namespace cspm::core

@@ -1,7 +1,11 @@
 #include "cspm/miner.h"
 
 #include <algorithm>
+#include <bit>
 #include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
 #include "cspm/candidates.h"
 #include "itemset/transaction_db.h"
@@ -12,6 +16,22 @@ namespace cspm::core {
 namespace {
 
 uint64_t PossiblePairs(uint64_t n) { return n < 2 ? 0 : n * (n - 1) / 2; }
+
+/// True if two ascending core-id lists intersect (two-pointer).
+bool SharesAnyCore(const std::vector<CoreId>& a, const std::vector<CoreId>& b) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
 
 // Step 1 for multi-value coresets: SLIM over the vertex-attribute
 // transactions; the accepted patterns (plus in-use singletons) become the
@@ -132,26 +152,56 @@ BestPair ScanAllPairs(const SearchContext& ctx,
   return best;
 }
 
-// Computes gains for all active pairs, filling the store and rdict.
-// Returns the number of gain computations performed. The pooled path
-// evaluates rows concurrently but applies the results in the serial (i, j)
-// order, so the store's heap state is bit-identical to the serial path's.
-uint64_t GenerateAllCandidates(const SearchContext& ctx,
-                               CandidateStore* store, RelatedDict* rdict) {
+// Seeds the candidate store over all active pairs, in (i, j) row-major
+// order on both the serial and pooled paths (rows are applied in order),
+// so the store's heap state never depends on threading. Cold runs (cache
+// == nullptr) compute every gain. Warm runs compute only the pairs in
+// `dirty` (all of them under all_dirty) and replay the cached gain for
+// clean pairs — sound per CollectDirtyCandidatePairs, and bit-identical
+// to a cold regeneration because iteration and insertion order match
+// exactly. `capture` (optional) receives the refreshed gain cache.
+// Returns the number of gains computed.
+uint64_t GenerateCandidates(const SearchContext& ctx,
+                            const std::unordered_map<uint64_t, double>* cache,
+                            const DirtyCandidates* dirty,
+                            CandidateStore* store, RelatedDict* rdict,
+                            std::unordered_map<uint64_t, double>* capture) {
   const auto actives = ctx.idb->active_leafsets();  // copy: stable snapshot
   const size_t m = actives.size();
+  auto pair_is_dirty = [&](LeafsetId x, LeafsetId y) {
+    return dirty == nullptr || dirty->all_dirty ||
+           std::binary_search(dirty->pair_keys.begin(),
+                              dirty->pair_keys.end(), CandidatePairKey(x, y));
+  };
+  auto accept = [&](LeafsetId x, LeafsetId y, double total) {
+    store->Set(x, y, total);
+    rdict->Link(x, y);
+    if (capture != nullptr) capture->emplace(CandidatePairKey(x, y), total);
+  };
+  // One pair's seed gain: freshly computed when dirty (counted), replayed
+  // from the cache when clean. False keeps the pair out of the store.
+  auto evaluate = [&](LeafsetId x, LeafsetId y, uint64_t* computations,
+                      double* total) {
+    if (!pair_is_dirty(x, y)) {
+      auto it = cache->find(CandidatePairKey(x, y));
+      if (it == cache->end()) return false;
+      *total = it->second;
+      return true;
+    }
+    GainResult gr = ComputeMergeGain(*ctx.idb, *ctx.cm, x, y);
+    ++*computations;
+    if (!gr.feasible) return false;
+    *total = gr.Total(ctx.options->gain_policy);
+    return *total > ctx.options->min_gain_bits;
+  };
+
   if (ctx.pool == nullptr || m < 3) {
     uint64_t computations = 0;
     for (size_t i = 0; i < m; ++i) {
       for (size_t j = i + 1; j < m; ++j) {
-        GainResult gr =
-            ComputeMergeGain(*ctx.idb, *ctx.cm, actives[i], actives[j]);
-        ++computations;
-        if (!gr.feasible) continue;
-        const double total = gr.Total(ctx.options->gain_policy);
-        if (total > ctx.options->min_gain_bits) {
-          store->Set(actives[i], actives[j], total);
-          if (rdict != nullptr) rdict->Link(actives[i], actives[j]);
+        double total = 0.0;
+        if (evaluate(actives[i], actives[j], &computations, &total)) {
+          accept(actives[i], actives[j], total);
         }
       }
     }
@@ -159,24 +209,23 @@ uint64_t GenerateAllCandidates(const SearchContext& ctx,
   }
 
   std::vector<std::vector<std::pair<LeafsetId, double>>> row_hits(m - 1);
+  std::vector<uint64_t> row_computations(m - 1, 0);
   ctx.pool->ParallelFor(m - 1, [&](size_t i) {
     for (size_t j = i + 1; j < m; ++j) {
-      GainResult gr =
-          ComputeMergeGain(*ctx.idb, *ctx.cm, actives[i], actives[j]);
-      if (!gr.feasible) continue;
-      const double total = gr.Total(ctx.options->gain_policy);
-      if (total > ctx.options->min_gain_bits) {
+      double total = 0.0;
+      if (evaluate(actives[i], actives[j], &row_computations[i], &total)) {
         row_hits[i].emplace_back(actives[j], total);
       }
     }
   });
+  uint64_t computations = 0;
   for (size_t i = 0; i + 1 < m; ++i) {
+    computations += row_computations[i];
     for (const auto& [other, total] : row_hits[i]) {
-      store->Set(actives[i], other, total);
-      if (rdict != nullptr) rdict->Link(actives[i], other);
+      accept(actives[i], other, total);
     }
   }
-  return PossiblePairs(m);
+  return computations;
 }
 
 void RecordIteration(const SearchContext& ctx, uint64_t iteration,
@@ -220,18 +269,9 @@ void RunBasicSearch(const SearchContext& ctx) {
 }
 
 // CSPM-Partial main loop (Algorithms 3-4): incremental candidate updates
-// through the related-leafset dictionary.
-void RunPartialSearch(const SearchContext& ctx) {
-  CandidateStore store;
-  RelatedDict rdict;
-  {
-    const uint64_t possible =
-        PossiblePairs(ctx.idb->num_active_leafsets());
-    const uint64_t computations = GenerateAllCandidates(ctx, &store, &rdict);
-    RecordIteration(ctx, /*iteration=*/0, computations, possible,
-                    /*accepted_gain=*/0.0);
-  }
-
+// through the related-leafset dictionary, from an already seeded store.
+void RunPartialLoop(const SearchContext& ctx, CandidateStore& store,
+                    RelatedDict& rdict) {
   uint64_t iteration = 0;
   std::vector<LeafsetId> scratch;
   while (!store.empty() && !rdict.empty()) {
@@ -309,6 +349,12 @@ void RunPartialSearch(const SearchContext& ctx) {
         if (ctx.idb->CoresOf(rel).empty() || ctx.idb->CoresOf(l).empty()) {
           continue;
         }
+        // Everything the merge moved (l / u lines, f_e) sits under the
+        // touched cores; with no line there, rel's pair with l kept
+        // bit-identical inputs — the stored gain still stands.
+        if (!SharesAnyCore(ctx.idb->CoresOf(rel), outcome.touched_cores)) {
+          continue;
+        }
         GainResult gr = ComputeMergeGain(*ctx.idb, *ctx.cm, l, rel);
         ++computations;
         const double total = gr.Total(ctx.options->gain_policy);
@@ -327,6 +373,75 @@ void RunPartialSearch(const SearchContext& ctx) {
 
 }  // namespace
 
+std::vector<uint64_t> CollectDirtyCandidatePairs(
+    const graph::AttributedGraph& old_graph,
+    const graph::AttributedGraph& new_graph,
+    std::span<const graph::VertexId> dirty_vertices,
+    std::span<const CoreId> dirty_cores) {
+  const size_t m = new_graph.num_attribute_values();
+  // Pair marks: a dense m^2 bit matrix up to ~8 MB (m <= 8192), a hash
+  // set of pair keys beyond — so the cost stays bounded by the touched
+  // neighbourhoods, not by the attribute vocabulary squared.
+  const bool dense = m <= 8192;
+  std::vector<uint64_t> bits(dense ? (m * m + 63) / 64 : 0, 0);
+  std::unordered_set<uint64_t> sparse;
+  std::vector<char> vertex_done(new_graph.num_vertices(), 0);
+  std::vector<AttrId> attrs;  // distinct neighbour attrs of one vertex
+
+  auto mark_pairs = [&]() {
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      for (size_t j = i + 1; j < attrs.size(); ++j) {
+        if (dense) {
+          const size_t bit = size_t{attrs[i]} * m + attrs[j];
+          bits[bit >> 6] |= uint64_t{1} << (bit & 63);
+        } else {
+          sparse.insert(CandidatePairKey(attrs[i], attrs[j]));
+        }
+      }
+    }
+  };
+
+  // New state: every vertex carrying a dirty core contributes its
+  // neighbourhood co-occurrence pairs (its position sits in the
+  // intersection of both members' lines under that core, so f_e and/or
+  // line changes reach the pair's gain).
+  for (CoreId c : dirty_cores) {
+    for (VertexId v : new_graph.VerticesWithAttribute(c)) {
+      if (vertex_done[v]) continue;
+      vertex_done[v] = 1;
+      GatherDistinctNeighbourAttrs(new_graph, v, &attrs);
+      mark_pairs();
+    }
+  }
+  // Old state: only dirty vertices' contributions differ from the new
+  // state (clean vertices have identical lines), so their pre-delta
+  // neighbourhoods complete the set.
+  const VertexId n_old = old_graph.num_vertices();
+  for (VertexId u : dirty_vertices) {
+    if (u >= n_old) continue;
+    GatherDistinctNeighbourAttrs(old_graph, u, &attrs);
+    mark_pairs();
+  }
+
+  std::vector<uint64_t> keys;
+  if (dense) {
+    // Word-skip scan: cost proportional to marked pairs, not m^2 bits.
+    for (size_t w = 0; w < bits.size(); ++w) {
+      uint64_t word = bits[w];
+      while (word != 0) {
+        const size_t idx = w * 64 + static_cast<size_t>(std::countr_zero(word));
+        word &= word - 1;
+        keys.push_back(CandidatePairKey(static_cast<LeafsetId>(idx / m),
+                                        static_cast<LeafsetId>(idx % m)));
+      }
+    }
+  } else {
+    keys.assign(sparse.begin(), sparse.end());
+    std::sort(keys.begin(), keys.end());
+  }
+  return keys;
+}
+
 StatusOr<CspmModel> CspmMiner::Mine(const graph::AttributedGraph& g) const {
   CSPM_ASSIGN_OR_RETURN(MineArtifacts artifacts, MineWithArtifacts(g));
   return std::move(artifacts.model);
@@ -334,6 +449,36 @@ StatusOr<CspmModel> CspmMiner::Mine(const graph::AttributedGraph& g) const {
 
 StatusOr<CspmMiner::MineArtifacts> CspmMiner::MineWithArtifacts(
     const graph::AttributedGraph& g) const {
+  return MineImpl(g, nullptr);
+}
+
+StatusOr<CspmMiner::MineArtifacts> CspmMiner::MineWithWarmState(
+    const graph::AttributedGraph& g, WarmState* warm) const {
+  if (options_.multi_value_coresets) {
+    return Status::FailedPrecondition(
+        "warm-start state needs single-value coresets (SLIM covers are "
+        "not incrementally maintainable)");
+  }
+  return MineImpl(g, warm);
+}
+
+StatusOr<CspmMiner::MineArtifacts> CspmMiner::ResumeWarm(
+    const graph::AttributedGraph& g, WarmState* warm,
+    const DirtyCandidates& dirty, uint64_t* reseed_computations) const {
+  if (options_.multi_value_coresets) {
+    return Status::FailedPrecondition(
+        "ResumeWarm needs single-value coresets");
+  }
+  WallTimer timer;
+  // The pristine patched database stays in `warm` for the next update;
+  // the search mutates a clone.
+  InvertedDatabase idb = warm->initial_db.Clone();
+  return SearchAndExtract(g, std::move(idb), warm, &dirty,
+                          reseed_computations, timer);
+}
+
+StatusOr<CspmMiner::MineArtifacts> CspmMiner::MineImpl(
+    const graph::AttributedGraph& g, WarmState* warm) const {
   WallTimer timer;
 
   StatusOr<InvertedDatabase> idb_or = [&]() -> StatusOr<InvertedDatabase> {
@@ -349,6 +494,18 @@ StatusOr<CspmMiner::MineArtifacts> CspmMiner::MineWithArtifacts(
   }();
   if (!idb_or.ok()) return idb_or.status();
   InvertedDatabase idb = std::move(idb_or).value();
+  if (warm != nullptr) {
+    warm->initial_db = idb.Clone();
+    warm->initial_gains.clear();
+  }
+  return SearchAndExtract(g, std::move(idb), warm, /*dirty=*/nullptr,
+                          /*reseed_computations=*/nullptr, timer);
+}
+
+StatusOr<CspmMiner::MineArtifacts> CspmMiner::SearchAndExtract(
+    const graph::AttributedGraph& g, InvertedDatabase idb, WarmState* warm,
+    const DirtyCandidates* dirty, uint64_t* reseed_computations,
+    const WallTimer& timer) const {
   const CodeModel cm(g, idb);
 
   CspmModel model;
@@ -367,7 +524,20 @@ StatusOr<CspmMiner::MineArtifacts> CspmMiner::MineWithArtifacts(
   if (options_.strategy == SearchStrategy::kBasic) {
     RunBasicSearch(ctx);
   } else {
-    RunPartialSearch(ctx);
+    CandidateStore store;
+    RelatedDict rdict;
+    const uint64_t possible = PossiblePairs(idb.num_active_leafsets());
+    std::unordered_map<uint64_t, double> next_gains;
+    const uint64_t computations = GenerateCandidates(
+        ctx, dirty != nullptr ? &warm->initial_gains : nullptr, dirty,
+        &store, &rdict, warm != nullptr ? &next_gains : nullptr);
+    if (warm != nullptr) warm->initial_gains = std::move(next_gains);
+    if (dirty != nullptr && reseed_computations != nullptr) {
+      *reseed_computations = computations;
+    }
+    RecordIteration(ctx, /*iteration=*/0, computations, possible,
+                    /*accepted_gain=*/0.0);
+    RunPartialLoop(ctx, store, rdict);
   }
 
   model.stats.final_dl_bits = cm.TotalDescriptionLengthBits(idb);

@@ -7,13 +7,53 @@
 #ifndef CSPM_CSPM_MINER_H_
 #define CSPM_CSPM_MINER_H_
 
+#include <unordered_map>
+
 #include "cspm/gain.h"
 #include "cspm/inverted_database.h"
 #include "cspm/model.h"
 #include "itemset/slim.h"
 #include "util/status.h"
+#include "util/timer.h"
 
 namespace cspm::core {
+
+/// Warm-start state captured by MineWithWarmState and consumed (and
+/// refreshed) by ResumeWarm: the pristine pre-merge inverted database plus
+/// the initial candidate gains of the last run. After a graph delta, patch
+/// `initial_db` with InvertedDatabase::ApplyDelta and hand the state back
+/// to ResumeWarm — only pairs involving dirty leafsets are recomputed.
+struct WarmState {
+  InvertedDatabase initial_db;
+  /// CandidatePairKey(x, y) -> total gain for every feasible
+  /// above-threshold initial pair (exactly the CandidateStore seed).
+  std::unordered_map<uint64_t, double> initial_gains;
+};
+
+/// Which cached initial gains are stale after a delta patch.
+struct DirtyCandidates {
+  /// Sorted CandidatePairKeys of the pairs to recompute; ignored when
+  /// all_dirty (see CollectDirtyCandidatePairs).
+  std::vector<uint64_t> pair_keys;
+  /// Set when the code model moved (any attribute-frequency change):
+  /// every ST / coreset code length shifts, so no cached gain survives
+  /// and the full seed is regenerated (the patched database is still
+  /// reused).
+  bool all_dirty = false;
+};
+
+/// The exact initial-candidate invalidation set of an edge-only delta:
+/// pairs of leaf values co-occurring in the neighbourhood of a vertex that
+/// carries a dirty core — in the new state, or (for dirty vertices, whose
+/// lines moved) the old one. Any other pair keeps identical position
+/// lists and f_e totals under every shared core with overlap, so its seed
+/// gain is bit-identical and the cache can stand. Single-value-coreset
+/// databases only (leafset id == core id == attr id).
+std::vector<uint64_t> CollectDirtyCandidatePairs(
+    const graph::AttributedGraph& old_graph,
+    const graph::AttributedGraph& new_graph,
+    std::span<const graph::VertexId> dirty_vertices,
+    std::span<const CoreId> dirty_cores);
 
 enum class SearchStrategy { kBasic, kPartial };
 
@@ -75,7 +115,36 @@ class CspmMiner {
   StatusOr<MineArtifacts> MineWithArtifacts(
       const graph::AttributedGraph& g) const;
 
+  /// Mines like MineWithArtifacts and additionally captures warm-start
+  /// state for later incremental re-mines. Single-value coresets only
+  /// (SLIM covers are not incrementally maintainable).
+  StatusOr<MineArtifacts> MineWithWarmState(const graph::AttributedGraph& g,
+                                            WarmState* warm) const;
+
+  /// Re-mines after `warm->initial_db` was patched to match `g`: re-seeds
+  /// candidate gains only for pairs involving a dirty leafset (cached
+  /// gains cover clean pairs — sound because a clean pair shares no dirty
+  /// core, so its position lists and f_e totals are unchanged), then runs
+  /// the merge loop from that seed. The model is bit-identical to a cold
+  /// Mine(g): the seeded store matches the cold store entry for entry and
+  /// insertion order is replayed, so even gain ties break the same way.
+  /// `warm` is refreshed for the next update; `reseed_computations` (may
+  /// be null) receives the number of gains recomputed during the seed.
+  StatusOr<MineArtifacts> ResumeWarm(const graph::AttributedGraph& g,
+                                     WarmState* warm,
+                                     const DirtyCandidates& dirty,
+                                     uint64_t* reseed_computations) const;
+
  private:
+  StatusOr<MineArtifacts> MineImpl(const graph::AttributedGraph& g,
+                                   WarmState* warm) const;
+  StatusOr<MineArtifacts> SearchAndExtract(const graph::AttributedGraph& g,
+                                           InvertedDatabase idb,
+                                           WarmState* warm,
+                                           const DirtyCandidates* dirty,
+                                           uint64_t* reseed_computations,
+                                           const WallTimer& timer) const;
+
   CspmOptions options_;
 };
 

@@ -14,7 +14,10 @@ ServableModel FromStored(store::StoredModel stored) {
   ServableModel m;
   m.model = std::move(stored.model);
   m.dict = std::move(stored.dict);
-  m.graph = std::move(stored.graph);
+  if (stored.graph.has_value()) {
+    m.graph = std::make_shared<const graph::AttributedGraph>(
+        std::move(*stored.graph));
+  }
   m.CompilePlan();
   return m;
 }
@@ -36,7 +39,7 @@ core::AttributeScores ServableModel::ScoreWithNeighbourhood(
 
 StatusOr<core::AttributeScores> ServableModel::ScoreVertex(
     graph::VertexId v, const core::ScoringOptions& options) const {
-  if (!graph.has_value()) {
+  if (graph == nullptr) {
     return Status::FailedPrecondition(
         "model has no graph snapshot; use ScoreWithNeighbourhood");
   }
@@ -59,16 +62,19 @@ StatusOr<core::AttributeScores> ServableModel::ScoreVertex(
 }
 
 StatusOr<ServingEngine> ServableModel::Serve(ServingOptions options) const {
-  if (!graph.has_value()) {
+  if (graph == nullptr) {
     return Status::FailedPrecondition(
         "model has no graph snapshot; batch serving needs one");
   }
   auto p = plan;
   if (p == nullptr) p = core::CompileSharedPlan(model, dict.size());
   // Shared-owned instances (registry handles) are retained by the engine;
-  // lock() is null for stack instances, whose caller manages lifetime.
+  // lock() is null for stack instances, whose graph shared_ptr keeps the
+  // snapshot alive on its own.
+  std::shared_ptr<const void> keep_alive = weak_from_this().lock();
+  if (keep_alive == nullptr) keep_alive = graph;
   return ServingEngine::Create(*graph, std::move(p), options,
-                               weak_from_this().lock());
+                               std::move(keep_alive));
 }
 
 Status ModelRegistry::LoadStore(const std::string& path) {
@@ -109,6 +115,15 @@ ModelRegistry::Handle ModelRegistry::Put(const std::string& name,
   // and a stale plan would silently serve the old model's scores.
   model.plan = nullptr;
   model.CompilePlan();
+  auto handle = std::make_shared<const ServableModel>(std::move(model));
+  std::unique_lock lock(mu_);
+  models_[name] = handle;
+  return handle;
+}
+
+ModelRegistry::Handle ModelRegistry::PutPrecompiled(const std::string& name,
+                                                    ServableModel model) {
+  model.CompilePlan();  // no-op when the caller supplied a plan
   auto handle = std::make_shared<const ServableModel>(std::move(model));
   std::unique_lock lock(mu_);
   models_[name] = handle;

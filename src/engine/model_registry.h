@@ -14,7 +14,6 @@
 #define CSPM_ENGINE_MODEL_REGISTRY_H_
 
 #include <memory>
-#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
@@ -39,7 +38,10 @@ namespace cspm::engine {
 struct ServableModel : std::enable_shared_from_this<ServableModel> {
   core::CspmModel model;
   graph::AttributeDictionary dict;
-  std::optional<graph::AttributedGraph> graph;
+  /// Graph snapshot for vertex-level scoring; shared so a hot swap from a
+  /// live session costs no copy and in-flight engines keep the old graph
+  /// alive on their own. Null when the model has no snapshot.
+  std::shared_ptr<const graph::AttributedGraph> graph;
   /// Compiled from `model` against `dict`; built by CompilePlan() (the
   /// registry calls it on Put/Load). Scoring falls back to the legacy
   /// per-vertex path when null — results are bit-identical either way.
@@ -83,6 +85,12 @@ class ModelRegistry {
   /// Registers (or replaces) a model under `name`. Handles previously
   /// returned by Get() are unaffected.
   Handle Put(const std::string& name, ServableModel model);
+
+  /// Put() for the hot-swap path: trusts an already-compiled plan instead
+  /// of recompiling (compiles only when `model.plan` is null). Use only
+  /// when the plan is guaranteed in sync with the model — e.g.
+  /// MiningSession::Publish, whose session compiled both together.
+  Handle PutPrecompiled(const std::string& name, ServableModel model);
 
   /// The current handle for `name`, or nullptr if absent.
   Handle Get(const std::string& name) const;

@@ -1,5 +1,6 @@
 #include "engine/session.h"
 
+#include <algorithm>
 #include <optional>
 #include <utility>
 
@@ -10,6 +11,7 @@
 #include "store/model_store.h"
 #include "util/check.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace cspm::engine {
 namespace {
@@ -37,7 +39,11 @@ core::CspmOptions ToCoreOptions(const MiningOptions& o) {
 }  // namespace
 
 struct MiningSession::Impl {
-  const graph::AttributedGraph* graph = nullptr;
+  /// The session's current graph. Create() aliases the caller's graph
+  /// (non-owning); ApplyUpdates replaces it with an owned mutated graph.
+  /// Shared so serving engines built before an update keep the graph they
+  /// were scoring alive.
+  std::shared_ptr<const graph::AttributedGraph> graph;
   MiningOptions options;
   CspmModel model;
   bool has_model = false;
@@ -46,6 +52,8 @@ struct MiningSession::Impl {
   std::shared_ptr<const core::ScoringPlan> plan;
   /// Final inverted database, kept only under options.keep_database.
   std::optional<core::InvertedDatabase> database;
+  /// Warm-start state for ApplyUpdates, under options.enable_updates.
+  std::unique_ptr<core::WarmState> warm;
 
   /// Installs `m` as the current model and compiles its plan.
   void SetModel(CspmModel m) {
@@ -53,6 +61,18 @@ struct MiningSession::Impl {
     plan = core::CompileSharedPlan(model, graph->num_attribute_values());
     has_model = true;
     database.reset();
+  }
+
+  bool wants_warm_state() const {
+    return options.enable_updates && !options.multi_value_coresets;
+  }
+
+  /// Installs a full mining result (model + optional database artifacts).
+  void SetArtifacts(core::CspmMiner::MineArtifacts artifacts) {
+    SetModel(std::move(artifacts.model));
+    if (options.keep_database) {
+      database.emplace(std::move(artifacts.inverted_db));
+    }
   }
 };
 
@@ -64,24 +84,110 @@ MiningSession::~MiningSession() = default;
 
 StatusOr<MiningSession> MiningSession::Create(const graph::AttributedGraph& g,
                                               MiningOptions options) {
+  // Aliasing handle: the caller owns the graph (and must keep it alive),
+  // exactly as before — shared ownership starts at the first ApplyUpdates.
+  return Create(std::shared_ptr<const graph::AttributedGraph>(
+                    std::shared_ptr<const void>(), &g),
+                std::move(options));
+}
+
+StatusOr<MiningSession> MiningSession::Create(
+    std::shared_ptr<const graph::AttributedGraph> g, MiningOptions options) {
+  if (g == nullptr) {
+    return Status::InvalidArgument("MiningSession needs a non-null graph");
+  }
   auto impl = std::make_unique<Impl>();
-  impl->graph = &g;
+  impl->graph = std::move(g);
   impl->options = std::move(options);
   return MiningSession(std::move(impl));
 }
 
 Status MiningSession::Mine() {
   core::CspmMiner miner(ToCoreOptions(impl_->options));
-  if (impl_->options.keep_database) {
+  if (impl_->wants_warm_state()) {
+    if (impl_->warm == nullptr) {
+      impl_->warm = std::make_unique<core::WarmState>();
+    }
+    auto artifacts_or = miner.MineWithWarmState(*impl_->graph,
+                                                impl_->warm.get());
+    if (!artifacts_or.ok()) return artifacts_or.status();
+    impl_->SetArtifacts(std::move(artifacts_or).value());
+  } else if (impl_->options.keep_database) {
+    impl_->warm.reset();
     auto artifacts_or = miner.MineWithArtifacts(*impl_->graph);
     if (!artifacts_or.ok()) return artifacts_or.status();
-    impl_->SetModel(std::move(artifacts_or.value().model));
-    impl_->database.emplace(std::move(artifacts_or.value().inverted_db));
+    impl_->SetArtifacts(std::move(artifacts_or).value());
   } else {
+    impl_->warm.reset();
     auto model_or = miner.Mine(*impl_->graph);
     if (!model_or.ok()) return model_or.status();
     impl_->SetModel(std::move(model_or).value());
   }
+  return Status::OK();
+}
+
+Status MiningSession::ApplyUpdates(const graph::GraphDelta& delta,
+                                   UpdateStats* stats) {
+  WallTimer timer;
+  UpdateStats local;
+  UpdateStats& out = stats != nullptr ? *stats : local;
+  out = {};
+  if (!impl_->has_model) {
+    return Status::FailedPrecondition(
+        "ApplyUpdates needs a mined model: Mine() first");
+  }
+  CSPM_ASSIGN_OR_RETURN(graph::DeltaApplication applied,
+                        graph::ApplyDelta(*impl_->graph, delta));
+  out.dirty_vertices = applied.dirty_vertices.size();
+  auto new_graph = std::make_shared<const graph::AttributedGraph>(
+      std::move(applied.graph));
+
+  const bool warm = impl_->warm != nullptr && impl_->wants_warm_state();
+  if (!warm) {
+    // Cold fallback: swap the graph and re-mine from scratch. Serving
+    // engines built earlier hold the old shared graph + plan.
+    std::shared_ptr<const graph::AttributedGraph> old_graph = impl_->graph;
+    impl_->graph = std::move(new_graph);
+    Status mined = Mine();
+    if (!mined.ok()) {
+      impl_->graph = std::move(old_graph);
+      return mined;
+    }
+    out.apply_seconds = timer.ElapsedSeconds();
+    return Status::OK();
+  }
+
+  core::DeltaPatchStats patch;
+  CSPM_RETURN_IF_ERROR(impl_->warm->initial_db.ApplyDelta(
+      *impl_->graph, *new_graph, applied.dirty_vertices, &patch));
+
+  core::DirtyCandidates dirty;
+  dirty.all_dirty = applied.attributes_changed;
+  if (!dirty.all_dirty) {
+    dirty.pair_keys = core::CollectDirtyCandidatePairs(
+        *impl_->graph, *new_graph, applied.dirty_vertices,
+        patch.dirty_cores);
+    out.dirty_pairs = dirty.pair_keys.size();
+  }
+
+  core::CspmMiner miner(ToCoreOptions(impl_->options));
+  uint64_t reseeded = 0;
+  auto artifacts_or =
+      miner.ResumeWarm(*new_graph, impl_->warm.get(), dirty, &reseeded);
+  if (!artifacts_or.ok()) {
+    // The warm database was already patched; drop it so a later
+    // ApplyUpdates takes the cold path instead of compounding on a state
+    // that no longer matches the session graph.
+    impl_->warm.reset();
+    return artifacts_or.status();
+  }
+  out.reseeded_pairs = reseeded;
+  out.warm_path = true;
+  // Swap the graph before SetModel: the plan compiles against the new
+  // attribute space.
+  impl_->graph = std::move(new_graph);
+  impl_->SetArtifacts(std::move(artifacts_or).value());
+  out.apply_seconds = timer.ElapsedSeconds();
   return Status::OK();
 }
 
@@ -96,6 +202,11 @@ const MiningStats& MiningSession::stats() const { return model().stats; }
 
 const graph::AttributedGraph& MiningSession::graph() const {
   return *impl_->graph;
+}
+
+std::shared_ptr<const graph::AttributedGraph> MiningSession::shared_graph()
+    const {
+  return impl_->graph;
 }
 
 AttributeScores MiningSession::Score(graph::VertexId v,
@@ -124,11 +235,34 @@ StatusOr<ServingEngine> MiningSession::Serve(ServingOptions options) const {
   if (!impl_->has_model) {
     return Status::FailedPrecondition("no model: Mine() or LoadModel() first");
   }
-  return ServingEngine::Create(*impl_->graph, impl_->plan, options);
+  // The engine retains the session's current graph: after an
+  // ApplyUpdates hot swap it keeps scoring the graph it was built on.
+  return ServingEngine::Create(*impl_->graph, impl_->plan, options,
+                               impl_->graph);
 }
 
 std::shared_ptr<const core::ScoringPlan> MiningSession::plan() const {
   return impl_->plan;
+}
+
+StatusOr<ModelRegistry::Handle> MiningSession::Publish(
+    ModelRegistry& registry, const std::string& name) const {
+  if (!impl_->has_model) {
+    return Status::FailedPrecondition("no model: Mine() or LoadModel() first");
+  }
+  ServableModel servable;
+  servable.model = impl_->model;
+  servable.dict = impl_->graph->dict();
+  servable.graph = impl_->graph;
+  if (servable.graph.use_count() == 0) {
+    // Pre-update sessions alias the caller's graph without owning it; the
+    // registry handle can outlive that scope, so snapshot-copy the graph
+    // rather than handing out a pointer that dangles with the caller.
+    servable.graph =
+        std::make_shared<const graph::AttributedGraph>(*impl_->graph);
+  }
+  servable.plan = impl_->plan;
+  return registry.PutPrecompiled(name, std::move(servable));
 }
 
 std::string MiningSession::SerializeModel() const {

@@ -18,8 +18,10 @@
 #include "cspm/model.h"
 #include "cspm/scoring.h"
 #include "cspm/scoring_plan.h"
+#include "engine/model_registry.h"
 #include "engine/serving.h"
 #include "graph/attributed_graph.h"
+#include "graph/graph_delta.h"
 #include "itemset/slim.h"
 #include "util/status.h"
 
@@ -101,6 +103,30 @@ struct MiningOptions {
   /// Retain the final inverted database so VerifyLossless() can run. Off by
   /// default: the database can dwarf the model.
   bool keep_database = false;
+
+  /// Retain warm-start state (the pre-merge inverted database plus the
+  /// initial candidate gains) so ApplyUpdates can re-mine incrementally
+  /// instead of cold. Costs roughly one extra copy of the initial
+  /// database. Ignored under multi_value_coresets (SLIM covers are not
+  /// incrementally maintainable — updates fall back to a cold re-mine).
+  bool enable_updates = false;
+};
+
+/// What one ApplyUpdates call did (observability for benches / the shell).
+struct UpdateStats {
+  /// Vertices whose inverted-database contribution was recomputed.
+  size_t dirty_vertices = 0;
+  /// Candidate pairs invalidated by the delta (0 when every pair was —
+  /// an attribute delta moves the whole code model).
+  size_t dirty_pairs = 0;
+  /// Gain computations spent on the warm re-seed (vs ~m²/2 cold).
+  uint64_t reseeded_pairs = 0;
+  /// False when the update fell back to a cold re-mine (warm state
+  /// disabled, or multi-value coresets).
+  bool warm_path = false;
+  /// End-to-end wall time of the update: graph patch + database patch +
+  /// re-mine + plan recompile.
+  double apply_seconds = 0.0;
 };
 
 /// One mining run over one graph: build from the graph, mine, then score
@@ -111,12 +137,31 @@ class MiningSession {
   static StatusOr<MiningSession> Create(const graph::AttributedGraph& g,
                                         MiningOptions options = {});
 
+  /// Shared-ownership variant: the session co-owns the graph, so
+  /// Publish() shares it with registry handles instead of snapshotting a
+  /// copy, and the caller's scope no longer bounds the session's.
+  static StatusOr<MiningSession> Create(
+      std::shared_ptr<const graph::AttributedGraph> g,
+      MiningOptions options = {});
+
   MiningSession(MiningSession&&) noexcept;
   MiningSession& operator=(MiningSession&&) noexcept;
   ~MiningSession();
 
   /// Runs CSPM. Replaces any previously mined or loaded model.
   Status Mine();
+
+  /// Applies a graph delta transactionally and re-mines. With
+  /// MiningOptions::enable_updates the re-mine is warm: the pre-merge
+  /// inverted database is patched in place of the 3-pass rebuild and only
+  /// candidate pairs involving dirty leafsets are re-evaluated — the
+  /// resulting model is bit-identical to a cold re-mine of the mutated
+  /// graph. The session then owns the mutated graph; previously built
+  /// ServingEngines keep scoring the old graph+model+plan triple until
+  /// they are dropped, while new Serve()/Score calls see the update
+  /// (hot swap). On error nothing changes.
+  Status ApplyUpdates(const graph::GraphDelta& delta,
+                      UpdateStats* stats = nullptr);
 
   /// True once Mine() succeeded or a model was loaded.
   bool has_model() const;
@@ -126,6 +171,11 @@ class MiningSession {
   const MiningStats& stats() const;
 
   const graph::AttributedGraph& graph() const;
+
+  /// Shared ownership of the session's current graph. After ApplyUpdates
+  /// the session points at the mutated graph; holders of the old pointer
+  /// (e.g. in-flight serving engines) keep the old graph alive.
+  std::shared_ptr<const graph::AttributedGraph> shared_graph() const;
 
   // --- scoring (Algorithm 5) ----------------------------------------------
   //
@@ -158,6 +208,14 @@ class MiningSession {
 
   /// The compiled plan of the current model (null before Mine/LoadModel).
   std::shared_ptr<const core::ScoringPlan> plan() const;
+
+  /// Publishes the current model to a registry under `name` (the serving
+  /// hot-swap path): the handle shares this session's graph and compiled
+  /// plan — no graph copy, no plan recompile. In-flight batches on a
+  /// previously published handle finish against the old triple; new
+  /// Get()s see this one.
+  StatusOr<ModelRegistry::Handle> Publish(ModelRegistry& registry,
+                                          const std::string& name) const;
 
   // --- model persistence --------------------------------------------------
 

@@ -85,6 +85,17 @@ Status GraphBuilder::AddEdge(VertexId u, VertexId v) {
 StatusOr<AttributedGraph> GraphBuilder::Build(bool require_connected) && {
   const VertexId n = static_cast<VertexId>(vertex_attrs_.size());
   if (n == 0) return Status::InvalidArgument("graph has no vertices");
+  // Ids handed to AddVertexWithIds must have been interned: an id outside
+  // the dictionary would corrupt the inverted index below.
+  for (const auto& attrs : vertex_attrs_) {
+    for (AttrId a : attrs) {
+      if (a >= dict_.size()) {
+        return Status::InvalidArgument(StrFormat(
+            "attribute id %u not in the dictionary (%zu names interned)", a,
+            dict_.size()));
+      }
+    }
+  }
 
   std::sort(edges_.begin(), edges_.end());
   edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());

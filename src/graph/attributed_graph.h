@@ -78,6 +78,7 @@ class AttributedGraph {
 
  private:
   friend class GraphBuilder;
+  friend class GraphDeltaApplier;  // graph_delta.cc: transactional patches
 
   AttributeDictionary dict_;
   std::vector<uint64_t> adj_offsets_;   // size V+1

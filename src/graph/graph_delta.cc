@@ -1,0 +1,308 @@
+#include "graph/graph_delta.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace cspm::graph {
+
+/// Befriended by AttributedGraph: assembles the patched CSR arrays
+/// directly, so an edge-only delta costs one pass over the old arrays
+/// instead of a full GraphBuilder re-sort of every edge.
+class GraphDeltaApplier {
+ public:
+  static StatusOr<DeltaApplication> Apply(const AttributedGraph& g,
+                                          const GraphDelta& delta);
+};
+
+namespace {
+
+/// Inserts `value` into a sorted vector; false if already present.
+template <typename T>
+bool SortedInsert(std::vector<T>* vec, T value) {
+  auto it = std::lower_bound(vec->begin(), vec->end(), value);
+  if (it != vec->end() && *it == value) return false;
+  vec->insert(it, value);
+  return true;
+}
+
+/// Removes `value` from a sorted vector; false if absent.
+template <typename T>
+bool SortedErase(std::vector<T>* vec, T value) {
+  auto it = std::lower_bound(vec->begin(), vec->end(), value);
+  if (it == vec->end() || *it != value) return false;
+  vec->erase(it);
+  return true;
+}
+
+}  // namespace
+
+StatusOr<DeltaApplication> GraphDeltaApplier::Apply(const AttributedGraph& g,
+                                                    const GraphDelta& delta) {
+  const VertexId n_old = g.num_vertices();
+  const VertexId n_new =
+      n_old + static_cast<VertexId>(delta.added_vertices.size());
+
+  DeltaApplication out;
+  out.first_new_vertex = n_old;
+
+  // --- validate and stage attribute mutations ----------------------------
+  AttributeDictionary dict = g.dict();
+  // Working attribute sets, only for vertices whose set changes.
+  std::map<VertexId, std::vector<AttrId>> attrs_patch;
+  auto working_attrs = [&](VertexId v) -> std::vector<AttrId>& {
+    auto it = attrs_patch.find(v);
+    if (it == attrs_patch.end()) {
+      std::vector<AttrId> base;
+      if (v < n_old) {
+        auto span = g.Attributes(v);
+        base.assign(span.begin(), span.end());
+      }
+      it = attrs_patch.emplace(v, std::move(base)).first;
+    }
+    return it->second;
+  };
+
+  for (size_t i = 0; i < delta.added_vertices.size(); ++i) {
+    const VertexId v = n_old + static_cast<VertexId>(i);
+    std::vector<AttrId>& attrs = working_attrs(v);
+    for (const std::string& name : delta.added_vertices[i].attributes) {
+      SortedInsert(&attrs, dict.Intern(name));
+    }
+    if (!attrs.empty()) out.attributes_changed = true;
+  }
+  for (const GraphDelta::AttrOp& op : delta.set_attributes) {
+    if (op.vertex >= n_new) {
+      return Status::InvalidArgument(
+          StrFormat("set attribute: unknown vertex %u", op.vertex));
+    }
+    if (!SortedInsert(&working_attrs(op.vertex), dict.Intern(op.attribute))) {
+      return Status::InvalidArgument(
+          StrFormat("set attribute: vertex %u already carries '%s'",
+                    op.vertex, op.attribute.c_str()));
+    }
+    out.attributes_changed = true;
+  }
+  for (const GraphDelta::AttrOp& op : delta.cleared_attributes) {
+    if (op.vertex >= n_new) {
+      return Status::InvalidArgument(
+          StrFormat("clear attribute: unknown vertex %u", op.vertex));
+    }
+    const AttrId a = dict.Find(op.attribute);
+    if (a == AttributeDictionary::kNotFound ||
+        !SortedErase(&working_attrs(op.vertex), a)) {
+      return Status::InvalidArgument(
+          StrFormat("clear attribute: vertex %u does not carry '%s'",
+                    op.vertex, op.attribute.c_str()));
+    }
+    out.attributes_changed = true;
+  }
+
+  // --- validate and stage edge mutations ---------------------------------
+  // Normalized (min, max) pairs staged in delta order; per-vertex sorted
+  // add/remove neighbour lists drive the CSR splice below.
+  std::set<std::pair<VertexId, VertexId>> removed_pairs;
+  std::set<std::pair<VertexId, VertexId>> added_pairs;
+  std::map<VertexId, std::vector<VertexId>> nbr_add;
+  std::map<VertexId, std::vector<VertexId>> nbr_del;
+
+  for (const GraphDelta::EdgeOp& op : delta.removed_edges) {
+    VertexId u = op.u;
+    VertexId v = op.v;
+    if (u > v) std::swap(u, v);
+    if (v >= n_old || u == v) {
+      return Status::InvalidArgument(
+          StrFormat("remove edge {%u, %u}: no such edge", op.u, op.v));
+    }
+    if (!g.HasEdge(u, v) || !removed_pairs.emplace(u, v).second) {
+      return Status::InvalidArgument(
+          StrFormat("remove edge {%u, %u}: no such edge", op.u, op.v));
+    }
+    nbr_del[u].push_back(v);
+    nbr_del[v].push_back(u);
+  }
+  for (const GraphDelta::EdgeOp& op : delta.added_edges) {
+    VertexId u = op.u;
+    VertexId v = op.v;
+    if (u == v) {
+      return Status::InvalidArgument(
+          StrFormat("add edge: self-loop on vertex %u rejected", u));
+    }
+    if (u > v) std::swap(u, v);
+    if (v >= n_new) {
+      return Status::InvalidArgument(
+          StrFormat("add edge {%u, %u}: unknown endpoint", op.u, op.v));
+    }
+    // Re-adding an edge removed by this same delta is a legal rewire.
+    const bool exists_before =
+        v < n_old && g.HasEdge(u, v) && removed_pairs.count({u, v}) == 0;
+    if (exists_before || !added_pairs.emplace(u, v).second) {
+      return Status::InvalidArgument(
+          StrFormat("add edge {%u, %u}: edge already present", op.u, op.v));
+    }
+    nbr_add[u].push_back(v);
+    nbr_add[v].push_back(u);
+  }
+  for (auto& [v, nbrs] : nbr_add) std::sort(nbrs.begin(), nbrs.end());
+  for (auto& [v, nbrs] : nbr_del) std::sort(nbrs.begin(), nbrs.end());
+
+  // --- splice the new CSR graph ------------------------------------------
+  AttributedGraph g2;
+  g2.dict_ = std::move(dict);
+
+  // Vertex -> attributes table.
+  g2.attr_offsets_.assign(n_new + 1, 0);
+  for (VertexId v = 0; v < n_new; ++v) {
+    auto it = attrs_patch.find(v);
+    const size_t count = it != attrs_patch.end() ? it->second.size()
+                                                 : g.Attributes(v).size();
+    g2.attr_offsets_[v + 1] = g2.attr_offsets_[v] + count;
+  }
+  g2.attrs_.reserve(g2.attr_offsets_[n_new]);
+  for (VertexId v = 0; v < n_new; ++v) {
+    auto it = attrs_patch.find(v);
+    if (it != attrs_patch.end()) {
+      g2.attrs_.insert(g2.attrs_.end(), it->second.begin(), it->second.end());
+    } else {
+      auto span = g.Attributes(v);
+      g2.attrs_.insert(g2.attrs_.end(), span.begin(), span.end());
+    }
+  }
+
+  // Adjacency: untouched vertices copy their old run; touched vertices
+  // merge old-minus-removed with the sorted additions.
+  g2.adj_offsets_.assign(n_new + 1, 0);
+  for (VertexId v = 0; v < n_new; ++v) {
+    size_t degree = v < n_old ? g.Degree(v) : 0;
+    auto add_it = nbr_add.find(v);
+    auto del_it = nbr_del.find(v);
+    if (add_it != nbr_add.end()) degree += add_it->second.size();
+    if (del_it != nbr_del.end()) degree -= del_it->second.size();
+    g2.adj_offsets_[v + 1] = g2.adj_offsets_[v] + degree;
+  }
+  g2.adjacency_.resize(g2.adj_offsets_[n_new]);
+  for (VertexId v = 0; v < n_new; ++v) {
+    VertexId* dst = g2.adjacency_.data() + g2.adj_offsets_[v];
+    auto old_nbrs = v < n_old ? g.Neighbors(v) : std::span<const VertexId>{};
+    auto add_it = nbr_add.find(v);
+    auto del_it = nbr_del.find(v);
+    if (add_it == nbr_add.end() && del_it == nbr_del.end()) {
+      std::copy(old_nbrs.begin(), old_nbrs.end(), dst);
+      continue;
+    }
+    static const std::vector<VertexId> kNone;
+    const std::vector<VertexId>& adds =
+        add_it != nbr_add.end() ? add_it->second : kNone;
+    const std::vector<VertexId>& dels =
+        del_it != nbr_del.end() ? del_it->second : kNone;
+    auto ai = adds.begin();
+    auto di = dels.begin();
+    for (VertexId w : old_nbrs) {
+      if (di != dels.end() && *di == w) {
+        ++di;
+        continue;
+      }
+      while (ai != adds.end() && *ai < w) *dst++ = *ai++;
+      *dst++ = w;
+    }
+    while (ai != adds.end()) *dst++ = *ai++;
+  }
+
+  // Inverted attribute index, rebuilt from the new attribute table.
+  const size_t num_attrs = g2.dict_.size();
+  std::vector<uint64_t> attr_counts(num_attrs, 0);
+  for (AttrId a : g2.attrs_) ++attr_counts[a];
+  g2.attr_index_offsets_.assign(num_attrs + 1, 0);
+  for (size_t a = 0; a < num_attrs; ++a) {
+    g2.attr_index_offsets_[a + 1] = g2.attr_index_offsets_[a] + attr_counts[a];
+  }
+  g2.attr_vertices_.resize(g2.attrs_.size());
+  std::vector<uint64_t> cursor(g2.attr_index_offsets_.begin(),
+                               g2.attr_index_offsets_.end() - 1);
+  for (VertexId v = 0; v < n_new; ++v) {
+    for (AttrId a : g2.Attributes(v)) g2.attr_vertices_[cursor[a]++] = v;
+  }
+
+  // --- dirty-vertex propagation ------------------------------------------
+  std::vector<VertexId> dirty;
+  for (const auto& [u, v] : removed_pairs) {
+    dirty.push_back(u);
+    dirty.push_back(v);
+  }
+  for (const auto& [u, v] : added_pairs) {
+    dirty.push_back(u);
+    dirty.push_back(v);
+  }
+  auto mark_attr_dirty = [&](VertexId v) {
+    dirty.push_back(v);
+    // A changed attribute set alters the neighbourhood-attribute multiset
+    // of every neighbour, old and new.
+    if (v < n_old) {
+      auto span = g.Neighbors(v);
+      dirty.insert(dirty.end(), span.begin(), span.end());
+    }
+    auto span = g2.Neighbors(v);
+    dirty.insert(dirty.end(), span.begin(), span.end());
+  };
+  for (const GraphDelta::AttrOp& op : delta.set_attributes) {
+    mark_attr_dirty(op.vertex);
+  }
+  for (const GraphDelta::AttrOp& op : delta.cleared_attributes) {
+    mark_attr_dirty(op.vertex);
+  }
+  for (VertexId v = n_old; v < n_new; ++v) dirty.push_back(v);
+  std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+  out.dirty_vertices = std::move(dirty);
+  out.graph = std::move(g2);
+  return out;
+}
+
+StatusOr<DeltaApplication> ApplyDelta(const AttributedGraph& g,
+                                      const GraphDelta& delta) {
+  return GraphDeltaApplier::Apply(g, delta);
+}
+
+StatusOr<GraphDelta> MakeRandomEdgeRewires(const AttributedGraph& g,
+                                           uint32_t ops, uint64_t seed) {
+  if (g.num_vertices() < 2) {
+    return Status::FailedPrecondition("graph too small to rewire");
+  }
+  GraphDelta delta;
+  Rng rng(seed);
+  std::set<std::pair<VertexId, VertexId>> used;
+  auto norm = [](VertexId u, VertexId v) {
+    return u < v ? std::make_pair(u, v) : std::make_pair(v, u);
+  };
+  for (uint32_t i = 0; i < ops; ++i) {
+    bool placed = false;
+    for (int attempt = 0; attempt < 1000 && !placed; ++attempt) {
+      const auto u = static_cast<VertexId>(rng.Uniform(g.num_vertices()));
+      if (i % 2 == 0) {  // remove an existing edge
+        if (g.Degree(u) == 0) continue;
+        const auto nbrs = g.Neighbors(u);
+        const auto w = nbrs[rng.Uniform(nbrs.size())];
+        if (!used.insert(norm(u, w)).second) continue;
+        delta.RemoveEdge(u, w);
+        placed = true;
+      } else {  // add a fresh edge
+        const auto v = static_cast<VertexId>(rng.Uniform(g.num_vertices()));
+        if (u == v || g.HasEdge(u, v)) continue;
+        if (!used.insert(norm(u, v)).second) continue;
+        delta.AddEdge(u, v);
+        placed = true;
+      }
+    }
+    if (!placed) {
+      return Status::FailedPrecondition(
+          "could not sample enough edge rewires");
+    }
+  }
+  return delta;
+}
+
+}  // namespace cspm::graph

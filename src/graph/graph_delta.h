@@ -1,0 +1,107 @@
+// Live-update layer of the graph: a GraphDelta is a batch of mutations
+// (add vertex, set/clear vertex attribute, add/remove edge) applied
+// transactionally to an immutable AttributedGraph. ApplyDelta validates
+// the whole batch first and then splices a new CSR graph, so a bad op
+// never leaves a half-mutated graph behind; the input graph is untouched.
+//
+// The result also reports the dirty vertex set (vertices whose coreset or
+// neighbourhood-attribute contribution to the inverted database may have
+// changed) — the seed of the incremental re-mine path (DESIGN.md §9).
+#ifndef CSPM_GRAPH_GRAPH_DELTA_H_
+#define CSPM_GRAPH_GRAPH_DELTA_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/attributed_graph.h"
+#include "util/status.h"
+
+namespace cspm::graph {
+
+/// A batch of graph mutations. Ops are applied in a fixed order regardless
+/// of call order: added vertices first, then attribute sets, attribute
+/// clears, edge removals, and edge additions last. The i-th added vertex
+/// gets id `old num_vertices + i`; later ops may reference those ids.
+struct GraphDelta {
+  struct VertexSpec {
+    std::vector<std::string> attributes;
+  };
+  struct AttrOp {
+    VertexId vertex = 0;
+    std::string attribute;
+  };
+  struct EdgeOp {
+    VertexId u = 0;
+    VertexId v = 0;
+  };
+
+  std::vector<VertexSpec> added_vertices;
+  std::vector<AttrOp> set_attributes;
+  std::vector<AttrOp> cleared_attributes;
+  std::vector<EdgeOp> removed_edges;
+  std::vector<EdgeOp> added_edges;
+
+  // --- builder conveniences ----------------------------------------------
+
+  /// Schedules a vertex addition; returns its index among added vertices
+  /// (its final id is `old num_vertices + index`).
+  size_t AddVertex(std::vector<std::string> attributes) {
+    added_vertices.push_back({std::move(attributes)});
+    return added_vertices.size() - 1;
+  }
+  void SetAttribute(VertexId v, std::string attribute) {
+    set_attributes.push_back({v, std::move(attribute)});
+  }
+  void ClearAttribute(VertexId v, std::string attribute) {
+    cleared_attributes.push_back({v, std::move(attribute)});
+  }
+  void AddEdge(VertexId u, VertexId v) { added_edges.push_back({u, v}); }
+  void RemoveEdge(VertexId u, VertexId v) { removed_edges.push_back({u, v}); }
+
+  bool empty() const {
+    return added_vertices.empty() && set_attributes.empty() &&
+           cleared_attributes.empty() && removed_edges.empty() &&
+           added_edges.empty();
+  }
+  size_t num_ops() const {
+    return added_vertices.size() + set_attributes.size() +
+           cleared_attributes.size() + removed_edges.size() +
+           added_edges.size();
+  }
+};
+
+/// The outcome of applying a delta: the new graph plus the propagation
+/// facts the incremental miner consumes.
+struct DeltaApplication {
+  AttributedGraph graph;
+  /// Sorted, deduplicated vertices whose inverted-database contribution
+  /// may have changed: endpoints of edge ops, attribute-op vertices plus
+  /// all their (old and new) neighbours, and every added vertex.
+  std::vector<VertexId> dirty_vertices;
+  /// True if any attribute occurrence count changed (attribute set/clear,
+  /// or an added vertex carrying attributes). When set, every ST /
+  /// coreset code length moves, so no cached candidate gain survives.
+  bool attributes_changed = false;
+  /// Id of the first added vertex (== the input graph's num_vertices).
+  VertexId first_new_vertex = 0;
+};
+
+/// Validates and applies `delta` to `g`, returning the patched graph.
+/// Strict semantics catch update bugs early: removing a missing edge,
+/// adding an existing edge, setting a present attribute, clearing an
+/// absent one, self-loops, and unknown vertices are all
+/// InvalidArgument — and nothing is applied.
+StatusOr<DeltaApplication> ApplyDelta(const AttributedGraph& g,
+                                      const GraphDelta& delta);
+
+/// Deterministic update workload: `ops` random edge rewires (alternating
+/// removals of existing edges and additions of fresh non-edges), seeded.
+/// Used by the shell's `update` command, bench_updates, and the delta
+/// tests — one generator so "k ops" means the same thing everywhere.
+/// Fails when the graph is too small or sampling cannot place every op.
+StatusOr<GraphDelta> MakeRandomEdgeRewires(const AttributedGraph& g,
+                                           uint32_t ops, uint64_t seed);
+
+}  // namespace cspm::graph
+
+#endif  // CSPM_GRAPH_GRAPH_DELTA_H_

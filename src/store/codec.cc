@@ -263,6 +263,96 @@ StatusOr<graph::AttributedGraph> DecodeGraph(
   return std::move(builder).Build(/*require_connected=*/false);
 }
 
+// --- graph delta ----------------------------------------------------------
+
+namespace {
+
+void EncodeAttrOps(const std::vector<graph::GraphDelta::AttrOp>& ops,
+                   Encoder* enc) {
+  enc->PutVarint(ops.size());
+  for (const auto& op : ops) {
+    enc->PutVarint(op.vertex);
+    enc->PutString(op.attribute);
+  }
+}
+
+Status DecodeAttrOps(Decoder* dec,
+                     std::vector<graph::GraphDelta::AttrOp>* ops) {
+  CSPM_ASSIGN_OR_RETURN(uint64_t count, dec->ReadVarint());
+  // Bound by the bytes left so a corrupt count cannot trigger a huge
+  // allocation (each op is at least two bytes).
+  ops->reserve(std::min<uint64_t>(count, dec->remaining() / 2));
+  for (uint64_t i = 0; i < count; ++i) {
+    graph::GraphDelta::AttrOp op;
+    CSPM_ASSIGN_OR_RETURN(uint64_t v, dec->ReadVarint());
+    op.vertex = static_cast<graph::VertexId>(v);
+    CSPM_ASSIGN_OR_RETURN(std::string_view name, dec->ReadString());
+    op.attribute = std::string(name);
+    ops->push_back(std::move(op));
+  }
+  return Status::OK();
+}
+
+void EncodeEdgeOps(const std::vector<graph::GraphDelta::EdgeOp>& ops,
+                   Encoder* enc) {
+  enc->PutVarint(ops.size());
+  for (const auto& op : ops) {
+    enc->PutVarint(op.u);
+    enc->PutVarint(op.v);
+  }
+}
+
+Status DecodeEdgeOps(Decoder* dec,
+                     std::vector<graph::GraphDelta::EdgeOp>* ops) {
+  CSPM_ASSIGN_OR_RETURN(uint64_t count, dec->ReadVarint());
+  ops->reserve(std::min<uint64_t>(count, dec->remaining() / 2));
+  for (uint64_t i = 0; i < count; ++i) {
+    graph::GraphDelta::EdgeOp op;
+    CSPM_ASSIGN_OR_RETURN(uint64_t u, dec->ReadVarint());
+    CSPM_ASSIGN_OR_RETURN(uint64_t v, dec->ReadVarint());
+    op.u = static_cast<graph::VertexId>(u);
+    op.v = static_cast<graph::VertexId>(v);
+    ops->push_back(op);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void EncodeGraphDelta(const graph::GraphDelta& delta, Encoder* enc) {
+  enc->PutVarint(delta.added_vertices.size());
+  for (const auto& spec : delta.added_vertices) {
+    enc->PutVarint(spec.attributes.size());
+    for (const std::string& name : spec.attributes) enc->PutString(name);
+  }
+  EncodeAttrOps(delta.set_attributes, enc);
+  EncodeAttrOps(delta.cleared_attributes, enc);
+  EncodeEdgeOps(delta.removed_edges, enc);
+  EncodeEdgeOps(delta.added_edges, enc);
+}
+
+StatusOr<graph::GraphDelta> DecodeGraphDelta(Decoder* dec) {
+  graph::GraphDelta delta;
+  CSPM_ASSIGN_OR_RETURN(uint64_t vertices, dec->ReadVarint());
+  delta.added_vertices.reserve(
+      std::min<uint64_t>(vertices, dec->remaining()));
+  for (uint64_t i = 0; i < vertices; ++i) {
+    graph::GraphDelta::VertexSpec spec;
+    CSPM_ASSIGN_OR_RETURN(uint64_t attrs, dec->ReadVarint());
+    spec.attributes.reserve(std::min<uint64_t>(attrs, dec->remaining()));
+    for (uint64_t j = 0; j < attrs; ++j) {
+      CSPM_ASSIGN_OR_RETURN(std::string_view name, dec->ReadString());
+      spec.attributes.emplace_back(name);
+    }
+    delta.added_vertices.push_back(std::move(spec));
+  }
+  CSPM_RETURN_IF_ERROR(DecodeAttrOps(dec, &delta.set_attributes));
+  CSPM_RETURN_IF_ERROR(DecodeAttrOps(dec, &delta.cleared_attributes));
+  CSPM_RETURN_IF_ERROR(DecodeEdgeOps(dec, &delta.removed_edges));
+  CSPM_RETURN_IF_ERROR(DecodeEdgeOps(dec, &delta.added_edges));
+  return delta;
+}
+
 // --- remap ----------------------------------------------------------------
 
 namespace {

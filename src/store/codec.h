@@ -14,6 +14,7 @@
 #include "cspm/model.h"
 #include "graph/attribute_dictionary.h"
 #include "graph/attributed_graph.h"
+#include "graph/graph_delta.h"
 #include "util/status.h"
 
 namespace cspm::store {
@@ -72,6 +73,11 @@ void EncodeGraph(const graph::AttributedGraph& g, Encoder* enc);
 /// record (its names are re-interned in id order).
 StatusOr<graph::AttributedGraph> DecodeGraph(
     Decoder* dec, const graph::AttributeDictionary& dict);
+
+/// Graph delta, the WAL record payload: attribute names travel as strings
+/// (a delta may introduce values unknown to the stored dictionary).
+void EncodeGraphDelta(const graph::GraphDelta& delta, Encoder* enc);
+StatusOr<graph::GraphDelta> DecodeGraphDelta(Decoder* dec);
 
 /// Rewrites a model's attribute ids from the dictionary it was stored with
 /// to a target dictionary (by name), e.g. when loading a store record into

@@ -14,6 +14,9 @@ namespace {
 constexpr uint8_t kRecordVersion = 1;
 constexpr uint8_t kFlagHasGraph = 0x01;
 
+// WAL record layout: version byte, then one encoded graph delta.
+constexpr uint8_t kWalRecordVersion = 1;
+
 std::string EncodeRecord(const StoredModel& stored) {
   Encoder enc;
   enc.PutU8(kRecordVersion);
@@ -89,7 +92,21 @@ Status ModelStore::LoadCatalog() {
     CSPM_ASSIGN_OR_RETURN(entry.num_astars, dec.ReadVarint());
     CSPM_ASSIGN_OR_RETURN(uint8_t flags, dec.ReadU8());
     entry.has_graph = (flags & kFlagHasGraph) != 0;
-    if (!catalog_.emplace(std::string(name), entry).second) {
+    CSPM_ASSIGN_OR_RETURN(uint64_t wal_count, dec.ReadVarint());
+    // Bound by the bytes left: a corrupt count must fail on decode, not
+    // abort on allocation.
+    entry.wal.reserve(std::min<uint64_t>(wal_count, dec.remaining() / 2));
+    for (uint64_t w = 0; w < wal_count; ++w) {
+      WalRecord rec;
+      CSPM_ASSIGN_OR_RETURN(uint64_t wal_head, dec.ReadVarint());
+      if (wal_head == Pager::kNoPage || wal_head >= pager_.num_pages()) {
+        return Status::IOError("WAL record points outside the store");
+      }
+      rec.head = static_cast<uint32_t>(wal_head);
+      CSPM_ASSIGN_OR_RETURN(rec.bytes, dec.ReadVarint());
+      entry.wal.push_back(rec);
+    }
+    if (!catalog_.emplace(std::string(name), std::move(entry)).second) {
       return Status::IOError("duplicate catalog entry: " + std::string(name));
     }
   }
@@ -112,6 +129,11 @@ Status ModelStore::SaveCatalogAndCommit() {
     enc.PutVarint(entry.bytes);
     enc.PutVarint(entry.num_astars);
     enc.PutU8(entry.has_graph ? kFlagHasGraph : 0);
+    enc.PutVarint(entry.wal.size());
+    for (const WalRecord& rec : entry.wal) {
+      enc.PutVarint(rec.head);
+      enc.PutVarint(rec.bytes);
+    }
   }
   CSPM_ASSIGN_OR_RETURN(uint32_t head, pager_.WriteChain(enc.data()));
   pager_.set_catalog_head(head);
@@ -139,10 +161,93 @@ Status ModelStore::Put(const std::string& name, const StoredModel& stored) {
     // The catalog drops the old head either way, so no later allocation
     // can cross-link into a still-referenced chain.
     (void)pager_.FreeChain(it->second.head);
+    // Compaction: the fresh record reflects whatever the pending deltas
+    // described, so the WAL restarts empty.
+    DropWalChains(&it->second);
     it->second = entry;
   } else {
     catalog_.emplace(name, entry);
   }
+  return SaveCatalogAndCommit();
+}
+
+void ModelStore::DropWalChains(Entry* entry) {
+  for (const WalRecord& rec : entry->wal) {
+    // Best-effort, like record chains: a damaged WAL chain leaks its tail
+    // but must never block compaction.
+    (void)pager_.FreeChain(rec.head);
+  }
+  entry->wal.clear();
+}
+
+Status ModelStore::AppendDelta(const std::string& name,
+                               const graph::GraphDelta& delta) {
+  auto it = catalog_.find(name);
+  if (it == catalog_.end()) {
+    return Status::NotFound("no model named '" + name + "' in " +
+                            pager_.path());
+  }
+  Encoder enc;
+  enc.PutU8(kWalRecordVersion);
+  EncodeGraphDelta(delta, &enc);
+  WalRecord rec;
+  CSPM_ASSIGN_OR_RETURN(rec.head, pager_.WriteChain(enc.data()));
+  rec.bytes = enc.data().size();
+  it->second.wal.push_back(rec);
+  Status committed = SaveCatalogAndCommit();
+  if (!committed.ok()) {
+    it->second.wal.pop_back();
+    // Roll the orphaned chain back into the free list (best-effort, like
+    // Put): otherwise every failed append permanently bloats the file.
+    (void)pager_.FreeChain(rec.head);
+  }
+  return committed;
+}
+
+StatusOr<ModelStore::WalReplay> ModelStore::ReadWal(const std::string& name) {
+  auto it = catalog_.find(name);
+  if (it == catalog_.end()) {
+    return Status::NotFound("no model named '" + name + "' in " +
+                            pager_.path());
+  }
+  WalReplay replay;
+  const std::vector<WalRecord>& wal = it->second.wal;
+  for (size_t i = 0; i < wal.size(); ++i) {
+    // A record that cannot be read or decoded ends the replay: everything
+    // after it was written later, so the valid prefix is still a
+    // consistent history (the crash-recovery contract).
+    StatusOr<std::string> bytes_or = pager_.ReadChain(wal[i].head);
+    if (!bytes_or.ok() || bytes_or->size() != wal[i].bytes) {
+      replay.truncated = true;
+      replay.dropped = wal.size() - i;
+      break;
+    }
+    Decoder dec(*bytes_or);
+    StatusOr<uint8_t> version_or = dec.ReadU8();
+    if (!version_or.ok() || *version_or > kWalRecordVersion) {
+      replay.truncated = true;
+      replay.dropped = wal.size() - i;
+      break;
+    }
+    StatusOr<graph::GraphDelta> delta_or = DecodeGraphDelta(&dec);
+    if (!delta_or.ok() || !dec.AtEnd()) {
+      replay.truncated = true;
+      replay.dropped = wal.size() - i;
+      break;
+    }
+    replay.deltas.push_back(std::move(delta_or).value());
+  }
+  return replay;
+}
+
+Status ModelStore::ClearWal(const std::string& name) {
+  auto it = catalog_.find(name);
+  if (it == catalog_.end()) {
+    return Status::NotFound("no model named '" + name + "' in " +
+                            pager_.path());
+  }
+  if (it->second.wal.empty()) return Status::OK();
+  DropWalChains(&it->second);
   return SaveCatalogAndCommit();
 }
 
@@ -173,6 +278,7 @@ Status ModelStore::Delete(const std::string& name) {
   // corrupt page must still remove it from the catalog — leaking its
   // unreachable pages beats a store that can never drop the entry.
   (void)pager_.FreeChain(it->second.head);
+  DropWalChains(&it->second);
   catalog_.erase(it);
   return SaveCatalogAndCommit();
 }
@@ -181,7 +287,8 @@ std::vector<ModelStore::Info> ModelStore::List() const {
   std::vector<Info> out;
   out.reserve(catalog_.size());
   for (const auto& [name, entry] : catalog_) {
-    out.push_back({name, entry.bytes, entry.num_astars, entry.has_graph});
+    out.push_back({name, entry.bytes, entry.num_astars, entry.wal.size(),
+                   entry.has_graph});
   }
   return out;
 }

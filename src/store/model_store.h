@@ -6,9 +6,18 @@
 // only — cost independent of how large the model payloads are; record
 // bytes are read (and CRC-checked) on Get.
 //
-// Mutations (Put / Delete) rewrite the catalog chain and commit the pager
-// atomically, so a crash never leaves a half-updated store and concurrent
-// readers of the old file image are unaffected.
+// Each model additionally carries a write-ahead log of graph deltas: the
+// mutations applied since its record was Put. AppendDelta writes one
+// small WAL record chain per delta (the multi-MB model record is not
+// rewritten); ReadWal hands the pending deltas back for replay on open,
+// salvaging the valid prefix when the tail record is corrupt or
+// truncated; Put compacts — the fresh record reflects the deltas, so the
+// log is cleared (see DESIGN.md §9).
+//
+// Mutations (Put / Delete / AppendDelta / ClearWal) rewrite the catalog
+// chain and commit the pager atomically, so a crash never leaves a
+// half-updated store and concurrent readers of the old file image are
+// unaffected.
 #ifndef CSPM_STORE_MODEL_STORE_H_
 #define CSPM_STORE_MODEL_STORE_H_
 
@@ -21,6 +30,7 @@
 #include "cspm/model.h"
 #include "graph/attribute_dictionary.h"
 #include "graph/attributed_graph.h"
+#include "graph/graph_delta.h"
 #include "store/pager.h"
 #include "util/status.h"
 
@@ -60,13 +70,35 @@ class ModelStore {
   /// Decodes the named record.
   StatusOr<StoredModel> Get(const std::string& name);
 
-  /// Removes `name` and recycles its pages, committing atomically.
+  /// Removes `name` (record and WAL) and recycles its pages, committing
+  /// atomically.
   Status Delete(const std::string& name);
+
+  // --- write-ahead log of graph deltas ------------------------------------
+
+  /// Appends one graph delta to the model's WAL, committing atomically.
+  /// Cost is proportional to the delta, not the model record.
+  Status AppendDelta(const std::string& name, const graph::GraphDelta& delta);
+
+  struct WalReplay {
+    std::vector<graph::GraphDelta> deltas;  ///< oldest first
+    /// True when a corrupt or truncated tail record stopped the walk; the
+    /// valid prefix is still returned, `dropped` counts the lost records.
+    bool truncated = false;
+    size_t dropped = 0;
+  };
+  /// Decodes the model's pending deltas (replay-on-open path).
+  StatusOr<WalReplay> ReadWal(const std::string& name);
+
+  /// Drops the model's pending deltas (compaction), committing. Also run
+  /// implicitly by Put: a fresh record already reflects its deltas.
+  Status ClearWal(const std::string& name);
 
   struct Info {
     std::string name;
     uint64_t bytes = 0;      ///< encoded record size
     uint64_t num_astars = 0;
+    uint64_t wal_records = 0;  ///< pending deltas in the WAL
     bool has_graph = false;
   };
   /// Catalog listing, sorted by name.
@@ -79,11 +111,17 @@ class ModelStore {
   const std::string& path() const { return pager_.path(); }
 
  private:
+  /// One pending WAL record: its chain head and encoded size.
+  struct WalRecord {
+    uint32_t head = Pager::kNoPage;
+    uint64_t bytes = 0;
+  };
   struct Entry {
     uint32_t head = Pager::kNoPage;
     uint64_t bytes = 0;
     uint64_t num_astars = 0;
     bool has_graph = false;
+    std::vector<WalRecord> wal;  ///< oldest first
   };
 
   explicit ModelStore(Pager pager) : pager_(std::move(pager)) {}
@@ -91,6 +129,8 @@ class ModelStore {
   Status LoadCatalog();
   /// Rewrites the catalog chain from `catalog_` and commits the pager.
   Status SaveCatalogAndCommit();
+  /// Frees every WAL chain of `entry` (best-effort) and clears the list.
+  void DropWalChains(Entry* entry);
 
   Pager pager_;
   std::map<std::string, Entry> catalog_;

@@ -79,10 +79,12 @@ StatusOr<Pager> Pager::Open(const std::string& path) {
     return Status::IOError("not a cspm store file (bad magic): " + path);
   }
   const uint32_t version = GetU32(header + 8);
-  if (version > kFormatVersion) {
+  if (version != kFormatVersion) {
+    // v2 changed the catalog layout (per-model WAL lists), so older files
+    // are rejected here with a format error rather than misparsed below.
     return Status::IOError(
-        StrFormat("store file %s has format version %u from the future "
-                  "(this build reads <= %u)",
+        StrFormat("store file %s has format version %u, this build reads "
+                  "exactly %u",
                   path.c_str(), version, kFormatVersion));
   }
   const uint32_t page_size = GetU32(header + 12);

@@ -45,7 +45,8 @@ class Pager {
   static constexpr uint32_t kPageHeaderBytes = 12;
   static constexpr uint32_t kPagePayload = kPageSize - kPageHeaderBytes;
   static constexpr uint32_t kNoPage = 0;
-  static constexpr uint32_t kFormatVersion = 1;
+  /// v2: catalog entries carry a per-model WAL record list.
+  static constexpr uint32_t kFormatVersion = 2;
   static constexpr std::string_view kMagic = "CSPMSTR1";  // 8 bytes
 
   /// Starts a fresh store at `path` (header page only) and commits it,

@@ -1,0 +1,539 @@
+// The live-update suite: transactional graph deltas, the incremental
+// inverted-database patch, warm re-mining through MiningSession::
+// ApplyUpdates (always compared bit-for-bit against a cold re-mine of the
+// mutated graph), serving hot-swap, and WAL crash recovery. Runs under
+// the ASan job in CI.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "cspm/inverted_database.h"
+#include "cspm/serialization.h"
+#include "datasets/synthetic.h"
+#include "engine/session.h"
+#include "graph/generators.h"
+#include "graph/graph_delta.h"
+#include "store/model_store.h"
+#include "testing_util.h"
+#include "util/rng.h"
+
+namespace cspm {
+namespace {
+
+using core::InvertedDatabase;
+using graph::AttributedGraph;
+using graph::DeltaApplication;
+using graph::GraphDelta;
+using graph::VertexId;
+using testing::PaperExampleGraph;
+
+// --- helpers --------------------------------------------------------------
+
+/// Structural fingerprint of a graph, for patched-vs-rebuilt comparisons.
+std::string GraphFingerprint(const AttributedGraph& g) {
+  std::string out;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    out += "v" + std::to_string(v) + ":";
+    for (graph::AttrId a : g.Attributes(v)) out += g.dict().Name(a) + ",";
+    out += "|";
+    for (VertexId w : g.Neighbors(v)) out += std::to_string(w) + ",";
+    out += "\n";
+  }
+  for (graph::AttrId a = 0; a < g.num_attribute_values(); ++a) {
+    out += g.dict().Name(a) + ":";
+    for (VertexId v : g.VerticesWithAttribute(a)) out += std::to_string(v) + ",";
+    out += "\n";
+  }
+  return out;
+}
+
+/// Rebuilds a graph from another graph's data through GraphBuilder — the
+/// ground truth the CSR splice must match.
+AttributedGraph RebuildFromScratch(const AttributedGraph& g) {
+  graph::GraphBuilder b;
+  for (graph::AttrId a = 0; a < g.num_attribute_values(); ++a) {
+    b.InternAttribute(g.dict().Name(a));
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    auto attrs = g.Attributes(v);
+    b.AddVertexWithIds({attrs.begin(), attrs.end()});
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId w : g.Neighbors(v)) {
+      if (v < w) {
+        EXPECT_TRUE(b.AddEdge(v, w).ok());
+      }
+    }
+  }
+  return std::move(std::move(b).Build()).value();
+}
+
+/// Full observable state of an inverted database: every line keyed by
+/// (coreset values, leafset values) with its positions, plus the dynamic
+/// totals the gain formulas consume.
+std::string IdbFingerprint(const InvertedDatabase& idb) {
+  std::string out;
+  idb.ForEachLine([&](core::CoreId e, core::LeafsetId l,
+                      core::PosListView positions) {
+    out += "e" + std::to_string(e) + "[";
+    for (graph::AttrId a : idb.CoresetValues(e)) out += std::to_string(a) + ",";
+    out += "]L[";
+    for (graph::AttrId a : idb.leafsets().Values(l)) {
+      out += std::to_string(a) + ",";
+    }
+    out += "]:";
+    for (VertexId v : positions) out += std::to_string(v) + ",";
+    out += " f_e=" + std::to_string(idb.CoreLineTotal(e));
+    out += " freq=" + std::to_string(idb.CoresetFrequency(e));
+    out += "\n";
+  });
+  out += "lines=" + std::to_string(idb.num_lines());
+  out += " active=" + std::to_string(idb.num_active_leafsets());
+  out += " total_freq=" + std::to_string(idb.total_coreset_frequency());
+  out += " data_bits=" + std::to_string(idb.DataCostBits());
+  return out;
+}
+
+/// Asserts that patching the old graph's initial database yields exactly
+/// the database a cold FromGraph build of the new graph produces.
+void ExpectPatchMatchesColdBuild(const AttributedGraph& g,
+                                 const GraphDelta& delta) {
+  auto applied_or = graph::ApplyDelta(g, delta);
+  ASSERT_TRUE(applied_or.ok()) << applied_or.status().ToString();
+  const DeltaApplication& applied = applied_or.value();
+
+  InvertedDatabase patched = std::move(InvertedDatabase::FromGraph(g)).value();
+  core::DeltaPatchStats stats;
+  ASSERT_TRUE(patched
+                  .ApplyDelta(g, applied.graph, applied.dirty_vertices, &stats)
+                  .ok());
+  InvertedDatabase cold =
+      std::move(InvertedDatabase::FromGraph(applied.graph)).value();
+  EXPECT_EQ(IdbFingerprint(patched), IdbFingerprint(cold));
+}
+
+engine::MiningOptions UpdatableOptions() {
+  engine::MiningOptions opts;
+  opts.enable_updates = true;
+  return opts;
+}
+
+/// Mines `g` under `options`, applies `deltas` one by one through
+/// ApplyUpdates, and asserts the resulting model is bit-identical
+/// (serialized text, DL, iteration count) to a cold re-mine of the final
+/// mutated graph.
+void ExpectWarmEqualsColdRemineWith(const AttributedGraph& g,
+                                    const std::vector<GraphDelta>& deltas,
+                                    engine::MiningOptions options,
+                                    bool expect_warm) {
+  auto session_or = engine::MiningSession::Create(g, options);
+  ASSERT_TRUE(session_or.ok());
+  engine::MiningSession session = std::move(session_or).value();
+  ASSERT_TRUE(session.Mine().ok());
+  engine::UpdateStats stats;
+  for (const GraphDelta& delta : deltas) {
+    Status st = session.ApplyUpdates(delta, &stats);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    EXPECT_EQ(stats.warm_path, expect_warm);
+  }
+
+  auto cold_or = engine::MiningSession::Create(session.graph(), options);
+  ASSERT_TRUE(cold_or.ok());
+  engine::MiningSession cold = std::move(cold_or).value();
+  ASSERT_TRUE(cold.Mine().ok());
+
+  EXPECT_EQ(session.SerializeModel(), cold.SerializeModel());
+  EXPECT_EQ(session.stats().final_dl_bits, cold.stats().final_dl_bits);
+  EXPECT_EQ(session.stats().initial_dl_bits, cold.stats().initial_dl_bits);
+  EXPECT_EQ(session.stats().iterations, cold.stats().iterations);
+}
+
+void ExpectWarmEqualsColdRemine(const AttributedGraph& g,
+                                const std::vector<GraphDelta>& deltas) {
+  ExpectWarmEqualsColdRemineWith(g, deltas, UpdatableOptions(),
+                                 /*expect_warm=*/true);
+}
+
+AttributedGraph SmallCommunityGraph(uint64_t seed) {
+  Rng rng(seed);
+  return std::move(graph::ErdosRenyi(160, 0.06, 14, 3, &rng)).value();
+}
+
+GraphDelta RandomEdgeDelta(const AttributedGraph& g, uint32_t ops,
+                           uint64_t seed) {
+  auto delta = graph::MakeRandomEdgeRewires(g, ops, seed);
+  EXPECT_TRUE(delta.ok());
+  return std::move(delta).value();
+}
+
+// --- graph-level delta tests ----------------------------------------------
+
+TEST(GraphDeltaTest, EdgeOpsMatchRebuiltGraph) {
+  AttributedGraph g = SmallCommunityGraph(3);
+  GraphDelta delta = RandomEdgeDelta(g, 12, 99);
+  auto applied = graph::ApplyDelta(g, delta);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_FALSE(applied->attributes_changed);
+  EXPECT_EQ(GraphFingerprint(applied->graph),
+            GraphFingerprint(RebuildFromScratch(applied->graph)));
+  EXPECT_EQ(applied->graph.num_edges(), g.num_edges());  // rewires balance
+}
+
+TEST(GraphDeltaTest, AttributeAndVertexOpsMatchRebuiltGraph) {
+  AttributedGraph g = PaperExampleGraph();
+  GraphDelta delta;
+  delta.SetAttribute(0, "d");            // new attribute value
+  delta.ClearAttribute(1, "c");
+  const size_t idx = delta.AddVertex({"a", "d"});
+  delta.AddEdge(g.num_vertices() + static_cast<VertexId>(idx), 2);
+  delta.RemoveEdge(0, 3);
+  auto applied = graph::ApplyDelta(g, delta);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_TRUE(applied->attributes_changed);
+  EXPECT_EQ(applied->first_new_vertex, g.num_vertices());
+  EXPECT_EQ(applied->graph.num_vertices(), g.num_vertices() + 1);
+  EXPECT_TRUE(applied->graph.HasAttribute(
+      0, applied->graph.dict().Find("d")));
+  EXPECT_EQ(GraphFingerprint(applied->graph),
+            GraphFingerprint(RebuildFromScratch(applied->graph)));
+}
+
+TEST(GraphDeltaTest, RejectsInvalidOpsWithoutApplying) {
+  AttributedGraph g = PaperExampleGraph();
+  {
+    GraphDelta d;
+    d.RemoveEdge(0, 4);  // not an edge
+    EXPECT_FALSE(graph::ApplyDelta(g, d).ok());
+  }
+  {
+    GraphDelta d;
+    d.AddEdge(0, 1);  // already present
+    EXPECT_FALSE(graph::ApplyDelta(g, d).ok());
+  }
+  {
+    GraphDelta d;
+    d.AddEdge(2, 2);  // self-loop
+    EXPECT_FALSE(graph::ApplyDelta(g, d).ok());
+  }
+  {
+    GraphDelta d;
+    d.SetAttribute(1, "a");  // vertex 1 already carries a
+    EXPECT_FALSE(graph::ApplyDelta(g, d).ok());
+  }
+  {
+    GraphDelta d;
+    d.ClearAttribute(0, "b");  // vertex 0 does not carry b
+    EXPECT_FALSE(graph::ApplyDelta(g, d).ok());
+  }
+  {
+    GraphDelta d;
+    d.AddEdge(0, 99);  // unknown vertex
+    EXPECT_FALSE(graph::ApplyDelta(g, d).ok());
+  }
+}
+
+TEST(GraphDeltaTest, AttributeOpMarksNeighboursDirty) {
+  AttributedGraph g = PaperExampleGraph();
+  GraphDelta delta;
+  delta.ClearAttribute(4, "b");  // v5; neighbours v3 (2) and v4 (3)
+  auto applied = graph::ApplyDelta(g, delta);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(applied->dirty_vertices, (std::vector<VertexId>{2, 3, 4}));
+}
+
+// --- inverted-database patch tests ----------------------------------------
+
+TEST(InvertedDeltaTest, PatchMatchesColdBuildAcrossGraphsAndDeltas) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    AttributedGraph g = SmallCommunityGraph(seed);
+    ExpectPatchMatchesColdBuild(g, RandomEdgeDelta(g, 10, seed * 7 + 1));
+  }
+  AttributedGraph dblp = std::move(datasets::MakeDblpLike(1, 250)).value();
+  ExpectPatchMatchesColdBuild(dblp, RandomEdgeDelta(dblp, 8, 5));
+
+  // Attribute + vertex ops on the paper example.
+  AttributedGraph g = PaperExampleGraph();
+  GraphDelta delta;
+  delta.SetAttribute(2, "b");
+  delta.ClearAttribute(1, "a");
+  delta.AddVertex({"c", "d"});
+  delta.AddEdge(5, 0);
+  ExpectPatchMatchesColdBuild(g, delta);
+}
+
+TEST(InvertedDeltaTest, RemoveLastEdgeOfStar) {
+  // v0:{a} - v1:{b} plus a far pair keeping the graph non-trivial. Removing
+  // v0-v1 erases the last line of leafset {b} under core a (and vice
+  // versa); the leafsets must deactivate exactly as in a cold build.
+  graph::GraphBuilder b;
+  b.AddVertex({"a"});
+  b.AddVertex({"b"});
+  b.AddVertex({"c"});
+  b.AddVertex({"c"});
+  EXPECT_TRUE(b.AddEdge(0, 1).ok());
+  EXPECT_TRUE(b.AddEdge(2, 3).ok());
+  AttributedGraph g = std::move(std::move(b).Build()).value();
+  GraphDelta delta;
+  delta.RemoveEdge(0, 1);
+  ExpectPatchMatchesColdBuild(g, delta);
+  ExpectWarmEqualsColdRemine(g, {delta});
+}
+
+TEST(InvertedDeltaTest, DeltaOnVertexAbsentFromEveryLeafset) {
+  // Vertex 2 carries no attributes: it appears in no line's positions
+  // under any coreset and in no leafset. Rewiring it must still patch its
+  // neighbours' lines correctly.
+  graph::GraphBuilder b;
+  b.AddVertex({"a"});
+  b.AddVertex({"b"});
+  b.AddVertexWithIds({});  // attribute-less vertex 2
+  b.AddVertex({"a", "b"});
+  EXPECT_TRUE(b.AddEdge(0, 1).ok());
+  EXPECT_TRUE(b.AddEdge(1, 2).ok());
+  EXPECT_TRUE(b.AddEdge(2, 3).ok());
+  AttributedGraph g = std::move(std::move(b).Build()).value();
+  GraphDelta delta;
+  delta.RemoveEdge(1, 2);
+  delta.AddEdge(0, 2);
+  ExpectPatchMatchesColdBuild(g, delta);
+  ExpectWarmEqualsColdRemine(g, {delta});
+}
+
+// --- end-to-end ApplyUpdates bit-identity ----------------------------------
+
+TEST(ApplyUpdatesTest, EdgeDeltaBitIdenticalToColdRemine) {
+  for (uint64_t seed : {1u, 4u}) {
+    AttributedGraph g = SmallCommunityGraph(seed);
+    ExpectWarmEqualsColdRemine(g, {RandomEdgeDelta(g, 8, seed + 10)});
+  }
+  AttributedGraph dblp = std::move(datasets::MakeDblpLike(2, 300)).value();
+  ExpectWarmEqualsColdRemine(dblp, {RandomEdgeDelta(dblp, 6, 11)});
+}
+
+TEST(ApplyUpdatesTest, AttributeDeltaBitIdenticalToColdRemine) {
+  // Any attribute-frequency change invalidates the whole code model; the
+  // warm path regenerates every candidate but still reuses the patched
+  // database — and must stay bit-identical.
+  AttributedGraph g = SmallCommunityGraph(2);
+  GraphDelta delta;
+  delta.SetAttribute(3, "brand-new-value");
+  delta.ClearAttribute(0, g.dict().Name(g.Attributes(0)[0]));
+  ExpectWarmEqualsColdRemine(g, {delta});
+}
+
+TEST(ApplyUpdatesTest, AddVertexWithEdgesBitIdenticalToColdRemine) {
+  AttributedGraph g = SmallCommunityGraph(5);
+  GraphDelta delta;
+  delta.AddVertex({g.dict().Name(0), g.dict().Name(1)});
+  delta.AddEdge(g.num_vertices(), 0);
+  delta.AddEdge(g.num_vertices(), 17);
+  ExpectWarmEqualsColdRemine(g, {delta});
+}
+
+TEST(ApplyUpdatesTest, SequentialUpdatesStayBitIdentical) {
+  AttributedGraph g = SmallCommunityGraph(6);
+  std::vector<GraphDelta> deltas;
+  // The graph evolves between deltas, so later ops are sampled blind; the
+  // helper applies them in order against the evolving session.
+  deltas.push_back(RandomEdgeDelta(g, 4, 21));
+  {
+    GraphDelta d2;
+    d2.SetAttribute(7, "late-value");
+    deltas.push_back(d2);
+  }
+  {
+    GraphDelta d3;
+    d3.ClearAttribute(7, "late-value");
+    deltas.push_back(d3);
+  }
+  ExpectWarmEqualsColdRemine(g, deltas);
+}
+
+TEST(ApplyUpdatesTest, AttributeClearedThenReAddedRestoresModel) {
+  AttributedGraph g = SmallCommunityGraph(8);
+  auto session = std::move(engine::MiningSession::Create(g, UpdatableOptions()))
+                     .value();
+  ASSERT_TRUE(session.Mine().ok());
+  const std::string original = session.SerializeModel();
+  const std::string name = g.dict().Name(g.Attributes(12)[0]);
+  GraphDelta clear;
+  clear.ClearAttribute(12, name);
+  ASSERT_TRUE(session.ApplyUpdates(clear, nullptr).ok());
+  GraphDelta re_add;
+  re_add.SetAttribute(12, name);
+  ASSERT_TRUE(session.ApplyUpdates(re_add, nullptr).ok());
+  EXPECT_EQ(session.SerializeModel(), original);
+}
+
+TEST(ApplyUpdatesTest, ColdFallbackWithoutWarmState) {
+  AttributedGraph g = SmallCommunityGraph(9);
+  ExpectWarmEqualsColdRemineWith(g, {RandomEdgeDelta(g, 4, 33)},
+                                 engine::MiningOptions{},
+                                 /*expect_warm=*/false);
+}
+
+TEST(ApplyUpdatesTest, RequiresAMinedModel) {
+  AttributedGraph g = PaperExampleGraph();
+  auto session = std::move(engine::MiningSession::Create(g, UpdatableOptions()))
+                     .value();
+  GraphDelta delta;
+  delta.RemoveEdge(0, 1);
+  EXPECT_FALSE(session.ApplyUpdates(delta, nullptr).ok());
+}
+
+TEST(ApplyUpdatesTest, InvalidDeltaLeavesSessionUntouched) {
+  AttributedGraph g = SmallCommunityGraph(10);
+  auto session = std::move(engine::MiningSession::Create(g, UpdatableOptions()))
+                     .value();
+  ASSERT_TRUE(session.Mine().ok());
+  const std::string before = session.SerializeModel();
+  GraphDelta bad;
+  bad.AddEdge(0, 0);  // self-loop
+  EXPECT_FALSE(session.ApplyUpdates(bad, nullptr).ok());
+  EXPECT_EQ(session.SerializeModel(), before);
+  EXPECT_EQ(&session.graph(), &g);  // graph not swapped
+  // The session still updates fine afterwards.
+  engine::UpdateStats stats;
+  ASSERT_TRUE(session.ApplyUpdates(RandomEdgeDelta(g, 2, 51), &stats).ok());
+  EXPECT_TRUE(stats.warm_path);
+}
+
+// --- serving hot-swap -------------------------------------------------------
+
+TEST(HotSwapTest, InFlightEngineKeepsOldTripleNewServeSeesUpdate) {
+  AttributedGraph g = SmallCommunityGraph(11);
+  auto session = std::move(engine::MiningSession::Create(g, UpdatableOptions()))
+                     .value();
+  ASSERT_TRUE(session.Mine().ok());
+  auto old_engine = std::move(session.Serve()).value();
+  const auto old_scores = old_engine.ScoreAll();
+
+  engine::ModelRegistry registry;
+  ASSERT_TRUE(session.Publish(registry, "live").ok());
+  auto old_handle = registry.Get("live");
+
+  GraphDelta delta = RandomEdgeDelta(g, 6, 77);
+  ASSERT_TRUE(session.ApplyUpdates(delta, nullptr).ok());
+  ASSERT_TRUE(session.Publish(registry, "live").ok());
+
+  // The pre-update engine still scores the old graph+model+plan triple,
+  // bit-identically, even though the session moved on.
+  const auto replay = old_engine.ScoreAll();
+  ASSERT_EQ(replay.size(), old_scores.size());
+  for (size_t v = 0; v < replay.size(); ++v) {
+    EXPECT_EQ(replay[v].raw, old_scores[v].raw) << "vertex " << v;
+  }
+  // The pre-update registry handle still holds the old triple; the swap
+  // installed a distinct handle for new lookups.
+  EXPECT_NE(old_handle, registry.Get("live"));
+
+  // A fresh engine sees the updated model; it matches a cold session over
+  // the mutated graph.
+  auto new_engine = std::move(session.Serve()).value();
+  auto cold = std::move(engine::MiningSession::Create(session.graph(),
+                                                      UpdatableOptions()))
+                  .value();
+  ASSERT_TRUE(cold.Mine().ok());
+  auto cold_engine = std::move(cold.Serve()).value();
+  const auto new_scores = new_engine.ScoreAll();
+  const auto cold_scores = cold_engine.ScoreAll();
+  ASSERT_EQ(new_scores.size(), cold_scores.size());
+  for (size_t v = 0; v < new_scores.size(); ++v) {
+    EXPECT_EQ(new_scores[v].raw, cold_scores[v].raw) << "vertex " << v;
+  }
+}
+
+TEST(HotSwapTest, PublishedHandleOutlivesCallerGraph) {
+  // Pre-update sessions alias the caller's graph; Publish must snapshot
+  // it so registry handles never dangle with the caller's scope (caught
+  // under ASan).
+  engine::ModelRegistry registry;
+  {
+    AttributedGraph g = SmallCommunityGraph(13);
+    auto session =
+        std::move(engine::MiningSession::Create(g, UpdatableOptions()))
+            .value();
+    ASSERT_TRUE(session.Mine().ok());
+    ASSERT_TRUE(session.Publish(registry, "ephemeral").ok());
+  }  // caller's graph destroyed here
+  auto handle = registry.Get("ephemeral");
+  ASSERT_NE(handle, nullptr);
+  EXPECT_TRUE(handle->ScoreVertex(0).ok());
+}
+
+// --- WAL crash recovery -----------------------------------------------------
+
+TEST(WalReplayTest, CrashTruncatedTailRecoversPrefixBitIdentical) {
+  const std::string path = ::testing::TempDir() + "/cspm_wal_crash.cspm";
+  std::remove(path.c_str());
+  AttributedGraph g = SmallCommunityGraph(12);
+  GraphDelta d1 = RandomEdgeDelta(g, 4, 41);
+  // d2 carries a long marker attribute name so the test can locate its WAL
+  // record's bytes in the file and corrupt them (the simulated torn tail).
+  const std::string marker = "CANARY_ATTRIBUTE_VALUE_FOR_TAIL_RECORD";
+  GraphDelta d2;
+  d2.SetAttribute(0, marker);
+
+  {
+    auto session =
+        std::move(engine::MiningSession::Create(g, UpdatableOptions()))
+            .value();
+    ASSERT_TRUE(session.Mine().ok());
+    engine::SaveModelOptions save;
+    save.include_graph = true;
+    ASSERT_TRUE(session.SaveModel(path, save).ok());
+    auto store = std::move(store::ModelStore::Open(path)).value();
+    ASSERT_TRUE(store.AppendDelta("default", d1).ok());
+    ASSERT_TRUE(store.AppendDelta("default", d2).ok());
+  }
+
+  // Crash simulation: flip a byte inside the tail WAL record's page.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  const size_t at = bytes.find(marker);
+  ASSERT_NE(at, std::string::npos);
+  bytes[at] ^= 0x5a;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  // Reopen: the valid prefix (d1) replays; the torn tail is dropped.
+  auto store = std::move(store::ModelStore::Open(path)).value();
+  auto replay = store.ReadWal("default");
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->truncated);
+  EXPECT_EQ(replay->dropped, 1u);
+  ASSERT_EQ(replay->deltas.size(), 1u);
+
+  auto stored = std::move(store.Get("default")).value();
+  ASSERT_TRUE(stored.graph.has_value());
+  AttributedGraph snapshot = std::move(*stored.graph);
+  auto session =
+      std::move(engine::MiningSession::Create(snapshot, UpdatableOptions()))
+          .value();
+  ASSERT_TRUE(session.Mine().ok());
+  for (const GraphDelta& delta : replay->deltas) {
+    ASSERT_TRUE(session.ApplyUpdates(delta, nullptr).ok());
+  }
+
+  // Bit-identical to a cold re-mine of the mutated graph.
+  auto cold_app = std::move(graph::ApplyDelta(g, d1)).value();
+  auto cold = std::move(engine::MiningSession::Create(cold_app.graph,
+                                                      UpdatableOptions()))
+                  .value();
+  ASSERT_TRUE(cold.Mine().ok());
+  EXPECT_EQ(session.SerializeModel(), cold.SerializeModel());
+  EXPECT_EQ(session.stats().final_dl_bits, cold.stats().final_dl_bits);
+}
+
+}  // namespace
+}  // namespace cspm

@@ -8,6 +8,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -58,7 +59,7 @@ TEST(ModelRegistry, HandlesAreCopyOnWrite) {
   ServableModel m;
   m.model = MineModel(g).value();
   m.dict = g.dict();
-  m.graph = g;
+  m.graph = std::make_shared<const graph::AttributedGraph>(g);
   auto old_handle = registry.Put("m", m);
   const size_t old_astars = old_handle->model.astars.size();
 
@@ -104,7 +105,7 @@ TEST(ModelRegistry, ScoreVertexNeedsGraphSnapshot) {
   auto no_graph = registry.Put("no-graph", m);
   EXPECT_FALSE(no_graph->ScoreVertex(0).ok());
 
-  m.graph = g;
+  m.graph = std::make_shared<const graph::AttributedGraph>(g);
   auto with_graph = registry.Put("with-graph", std::move(m));
   EXPECT_TRUE(with_graph->ScoreVertex(0).ok());
   auto out_of_range = with_graph->ScoreVertex(10000);
@@ -118,7 +119,7 @@ TEST(ModelRegistry, PutRecompilesPlanForMutatedModel) {
   ServableModel m;
   m.model = MineModel(g).value();
   m.dict = g.dict();
-  m.graph = g;
+  m.graph = std::make_shared<const graph::AttributedGraph>(g);
   m.CompilePlan();
   // Mutate after an explicit compile: registration must recompile, not
   // serve scores from the stale pre-mutation plan.
@@ -137,7 +138,7 @@ TEST(ModelRegistry, ScoreVertexRejectsDictNotCoveringGraph) {
   // mismatched store record): clean Status, not garbage scores.
   m.dict = graph::AttributeDictionary();
   m.dict.Intern("only-one");
-  m.graph = g;
+  m.graph = std::make_shared<const graph::AttributedGraph>(g);
   auto handle = registry.Put("mismatched", std::move(m));
   auto scores = handle->ScoreVertex(0);
   ASSERT_FALSE(scores.ok());
@@ -167,7 +168,7 @@ TEST(ModelRegistry, ReloadedModelScoresBitIdentically) {
   ASSERT_TRUE(registry.LoadModel(path, "acceptance").ok());
   auto handle = registry.Get("acceptance");
   ASSERT_NE(handle, nullptr);
-  ASSERT_TRUE(handle->graph.has_value());
+  ASSERT_TRUE(handle->graph != nullptr);
 
   for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
     const AttributeScores expected = session.Score(v);
@@ -214,7 +215,7 @@ TEST(ModelRegistry, ConcurrentGetAndReplace) {
   ServableModel m;
   m.model = MineModel(g).value();
   m.dict = g.dict();
-  m.graph = g;
+  m.graph = std::make_shared<const graph::AttributedGraph>(g);
   registry.Put("hot", m);
 
   std::vector<std::thread> readers;

@@ -184,7 +184,7 @@ TEST(RegistryServing, HandlesServeBatchesAndSurvivePlanSwap) {
   ServableModel m;
   m.model = MineModel(g).value();
   m.dict = g.dict();
-  m.graph = g;
+  m.graph = std::make_shared<const graph::AttributedGraph>(g);
   auto handle = registry.Put("hot", m);
   ASSERT_NE(handle->plan, nullptr);
 
@@ -198,7 +198,7 @@ TEST(RegistryServing, HandlesServeBatchesAndSurvivePlanSwap) {
   // built from the old handle — plan and model swap together.
   ServableModel replacement;
   replacement.dict = g.dict();
-  replacement.graph = g;
+  replacement.graph = std::make_shared<const graph::AttributedGraph>(g);
   registry.Put("hot", std::move(replacement));
   EXPECT_EQ(registry.Get("hot")->model.astars.size(), 0u);
   auto after_swap = engine.ScoreAll();
@@ -216,7 +216,7 @@ TEST(RegistryServing, EngineOutlivesHandleAndRegistryEntry) {
   ServableModel m;
   m.model = MineModel(g).value();
   m.dict = g.dict();
-  m.graph = g;
+  m.graph = std::make_shared<const graph::AttributedGraph>(g);
   registry.Put("ephemeral", std::move(m));
 
   // Temporary handle: dies at the end of the full expression.

@@ -28,12 +28,14 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "datasets/synthetic.h"
 #include "engine/model_registry.h"
 #include "engine/session.h"
 #include "graph/generators.h"
+#include "graph/graph_delta.h"
 #include "store/model_store.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -51,6 +53,15 @@ struct Shell {
   /// The model commands act on: last mined or last loaded.
   engine::ModelRegistry::Handle current;
   std::string current_name;
+  /// The live mining session behind `update` / `replay`: co-owns the
+  /// mined graph and warm-start state. Scoring still goes through the
+  /// registry handle, which hot-swaps on every update.
+  std::optional<engine::MiningSession> session;
+  /// Registry name the live session publishes under.
+  std::string session_name;
+  /// The session's latest published handle — identifies whether `current`
+  /// is the live session's model (vs a loaded snapshot).
+  engine::ModelRegistry::Handle session_handle;
   bool interactive = false;
   /// Shards for score / score-all batches (0 = one per hardware core).
   uint32_t threads = 1;
@@ -71,6 +82,12 @@ void PrintHelp() {
       "                           listed vertex, computed as one serving batch\n"
       "  score-all [k]            batch-score every vertex; print the k best\n"
       "                           (vertex, attribute) pairs and throughput\n"
+      "  update <edge-ops> [seed]  apply that many random edge rewires to the\n"
+      "                           live graph, warm re-mine incrementally,\n"
+      "                           hot-swap the served model, and append the\n"
+      "                           delta to the store's WAL (when saved)\n"
+      "  replay <name>            rebuild <name> from its store snapshot and\n"
+      "                           re-apply its pending WAL deltas\n"
       "  stats                    mining statistics of the current model\n"
       "  help                     this text\n"
       "  exit | quit | .exit      leave\n"
@@ -133,6 +150,28 @@ Status CmdOpen(Shell& sh, const std::vector<std::string>& args) {
   return Status::OK();
 }
 
+/// (Re)creates the live session over `graph`, mines, and publishes the
+/// result to the registry under `name` (hot-swapping any previous handle).
+Status MineAndPublish(Shell& sh, graph::AttributedGraph graph,
+                      const std::string& name) {
+  sh.session.reset();
+  engine::MiningOptions opts;
+  opts.record_iteration_stats = false;
+  opts.enable_updates = true;
+  auto session_or = engine::MiningSession::Create(
+      std::make_shared<const graph::AttributedGraph>(std::move(graph)), opts);
+  if (!session_or.ok()) return session_or.status();
+  sh.session.emplace(std::move(session_or).value());
+  CSPM_RETURN_IF_ERROR(sh.session->Mine());
+  auto handle_or = sh.session->Publish(sh.registry, name);
+  if (!handle_or.ok()) return handle_or.status();
+  sh.current = std::move(handle_or).value();
+  sh.session_handle = sh.current;
+  sh.current_name = name;
+  sh.session_name = name;
+  return Status::OK();
+}
+
 Status CmdMine(Shell& sh, const std::vector<std::string>& args) {
   if (args.size() < 2 || args.size() > 4) {
     return Status::InvalidArgument("usage: mine <dataset> [n] [seed]");
@@ -145,18 +184,8 @@ Status CmdMine(Shell& sh, const std::vector<std::string>& args) {
       args.size() > 3 ? std::strtoull(args[3].c_str(), nullptr, 10) : 1;
   auto graph_or = MakeDataset(args[1], n, seed);
   if (!graph_or.ok()) return graph_or.status();
-
-  engine::MiningOptions opts;
-  opts.record_iteration_stats = false;
-  auto model_or = engine::MineModel(*graph_or, opts);
-  if (!model_or.ok()) return model_or.status();
-
-  engine::ServableModel servable;
-  servable.model = std::move(model_or).value();
-  servable.dict = graph_or->dict();
-  servable.graph = std::move(graph_or).value();
-  sh.current_name = args[1];
-  sh.current = sh.registry.Put(sh.current_name, std::move(servable));
+  CSPM_RETURN_IF_ERROR(
+      MineAndPublish(sh, std::move(graph_or).value(), args[1]));
   const auto& m = sh.current->model;
   std::printf(
       "mined %s: %u vertices, %llu edges, %zu a-stars, DL %.1f -> %.1f bits "
@@ -168,6 +197,109 @@ Status CmdMine(Shell& sh, const std::vector<std::string>& args) {
   return Status::OK();
 }
 
+Status CmdUpdate(Shell& sh, const std::vector<std::string>& args) {
+  if (args.size() < 2 || args.size() > 3) {
+    return Status::InvalidArgument("usage: update <edge-ops> [seed]");
+  }
+  uint32_t ops = 0;
+  if (!ParseUint32(args[1], &ops) || ops == 0) {
+    return Status::InvalidArgument("bad edge-op count '" + args[1] + "'");
+  }
+  const uint64_t seed =
+      args.size() > 2 ? std::strtoull(args[2].c_str(), nullptr, 10) : 1;
+  if (!sh.session.has_value()) {
+    return Status::FailedPrecondition(
+        "no live session; mine (or replay) first — loaded models have no "
+        "update state");
+  }
+  CSPM_ASSIGN_OR_RETURN(
+      graph::GraphDelta delta,
+      graph::MakeRandomEdgeRewires(sh.session->graph(), ops, seed));
+  engine::UpdateStats stats;
+  CSPM_RETURN_IF_ERROR(sh.session->ApplyUpdates(delta, &stats));
+  // Persist the delta before the serving swap: if the WAL append fails,
+  // the registry keeps serving the model the store can still reproduce.
+  bool logged = false;
+  if (sh.store.has_value() && sh.store->Contains(sh.session_name)) {
+    Status appended = sh.store->AppendDelta(sh.session_name, delta);
+    if (!appended.ok()) {
+      return Status::IOError(
+          "update applied to the live session but its delta could not be "
+          "logged (" +
+          appended.ToString() +
+          "); still serving the previous model — run `save " +
+          sh.session_name + "` to resync the store, then retry");
+    }
+    logged = true;
+  }
+  // Hot swap: in-flight batches finish on the old handle's triple; the
+  // next score command sees the updated model.
+  auto handle_or = sh.session->Publish(sh.registry, sh.session_name);
+  if (!handle_or.ok()) return handle_or.status();
+  sh.current = std::move(handle_or).value();
+  sh.session_handle = sh.current;
+  sh.current_name = sh.session_name;
+  const auto& m = sh.current->model;
+  std::printf(
+      "updated '%s' with %zu edge op(s): %zu dirty vertices, %zu dirty "
+      "pairs, %llu reseeded, %s re-mine in %.3fs%s\n",
+      sh.session_name.c_str(), delta.num_ops(), stats.dirty_vertices,
+      stats.dirty_pairs,
+      static_cast<unsigned long long>(stats.reseeded_pairs),
+      stats.warm_path ? "warm" : "cold", stats.apply_seconds,
+      logged ? "; delta appended to WAL" : "");
+  std::printf("  now %zu a-stars, DL %.1f bits\n", m.astars.size(),
+              m.stats.final_dl_bits);
+  return Status::OK();
+}
+
+Status CmdReplay(Shell& sh, const std::vector<std::string>& args) {
+  if (args.size() != 2) return Status::InvalidArgument("usage: replay <name>");
+  CSPM_RETURN_IF_ERROR(RequireStore(sh));
+  CSPM_ASSIGN_OR_RETURN(store::StoredModel stored,
+                        sh.store->Get(args[1]));
+  if (!stored.graph.has_value()) {
+    return Status::FailedPrecondition(
+        "record '" + args[1] +
+        "' has no graph snapshot; save one to enable replay");
+  }
+  CSPM_ASSIGN_OR_RETURN(store::ModelStore::WalReplay wal,
+                        sh.store->ReadWal(args[1]));
+  // Rebuild the snapshot model (deterministic), then roll the WAL forward.
+  CSPM_RETURN_IF_ERROR(
+      MineAndPublish(sh, std::move(*stored.graph), args[1]));
+  for (const graph::GraphDelta& delta : wal.deltas) {
+    CSPM_RETURN_IF_ERROR(sh.session->ApplyUpdates(delta, nullptr));
+  }
+  auto handle_or = sh.session->Publish(sh.registry, args[1]);
+  if (!handle_or.ok()) return handle_or.status();
+  sh.current = std::move(handle_or).value();
+  sh.session_handle = sh.current;
+  if (wal.truncated) {
+    // Checkpoint the salvaged state: re-Put the record (which compacts
+    // the WAL) so the unreadable tail records are dropped for good —
+    // otherwise later updates would append after them and be silently
+    // lost at the next replay.
+    store::StoredModel checkpoint;
+    checkpoint.model = sh.current->model;
+    checkpoint.dict = sh.current->dict;
+    checkpoint.graph = *sh.current->graph;
+    CSPM_RETURN_IF_ERROR(sh.store->Put(args[1], checkpoint));
+    std::printf(
+        "warning: WAL tail unreadable, %zu record(s) dropped — replayed "
+        "the valid prefix and checkpointed it as the new snapshot\n",
+        wal.dropped);
+  }
+  const auto& m = sh.current->model;
+  std::printf(
+      "replayed '%s': snapshot + %zu delta(s) -> %u vertices, %zu a-stars, "
+      "DL %.1f bits\n",
+      args[1].c_str(), wal.deltas.size(),
+      sh.current->graph->num_vertices(), m.astars.size(),
+      m.stats.final_dl_bits);
+  return Status::OK();
+}
+
 Status CmdSave(Shell& sh, const std::vector<std::string>& args) {
   if (args.size() != 2) return Status::InvalidArgument("usage: save <name>");
   CSPM_RETURN_IF_ERROR(RequireStore(sh));
@@ -175,8 +307,15 @@ Status CmdSave(Shell& sh, const std::vector<std::string>& args) {
   store::StoredModel stored;
   stored.model = sh.current->model;
   stored.dict = sh.current->dict;
-  stored.graph = sh.current->graph;
+  if (sh.current->graph != nullptr) stored.graph = *sh.current->graph;
   CSPM_RETURN_IF_ERROR(sh.store->Put(args[1], stored));
+  if (sh.session.has_value() && sh.current == sh.session_handle) {
+    // The live session's own model is now persisted under this name:
+    // later updates append their deltas to its WAL. (Handle identity, not
+    // name equality — saving a loaded snapshot must not re-bind the WAL.)
+    sh.session_name = args[1];
+    sh.current_name = args[1];
+  }
   std::printf("saved '%s' (%zu a-stars) to %s\n", args[1].c_str(),
               stored.model.astars.size(), sh.store->path().c_str());
   return Status::OK();
@@ -191,7 +330,7 @@ Status CmdLoad(Shell& sh, const std::vector<std::string>& args) {
   std::printf("loaded '%s': %zu a-stars, %zu attribute values%s\n",
               args[1].c_str(), sh.current->model.astars.size(),
               sh.current->dict.size(),
-              sh.current->graph.has_value() ? ", graph snapshot" : "");
+              sh.current->graph != nullptr ? ", graph snapshot" : "");
   return Status::OK();
 }
 
@@ -202,12 +341,14 @@ Status CmdLs(Shell& sh, const std::vector<std::string>&) {
     std::printf("(store is empty)\n");
     return Status::OK();
   }
-  std::printf("%-24s %10s %8s %6s\n", "name", "bytes", "a-stars", "graph");
+  std::printf("%-24s %10s %8s %6s %4s\n", "name", "bytes", "a-stars", "graph",
+              "wal");
   for (const auto& info : infos) {
-    std::printf("%-24s %10llu %8llu %6s\n", info.name.c_str(),
+    std::printf("%-24s %10llu %8llu %6s %4llu\n", info.name.c_str(),
                 static_cast<unsigned long long>(info.bytes),
                 static_cast<unsigned long long>(info.num_astars),
-                info.has_graph ? "yes" : "no");
+                info.has_graph ? "yes" : "no",
+                static_cast<unsigned long long>(info.wal_records));
   }
   return Status::OK();
 }
@@ -365,6 +506,10 @@ bool Dispatch(Shell& sh, const std::string& line, Status* status) {
     *status = CmdScore(sh, args);
   } else if (cmd == "score-all") {
     *status = CmdScoreAll(sh, args);
+  } else if (cmd == "update") {
+    *status = CmdUpdate(sh, args);
+  } else if (cmd == "replay") {
+    *status = CmdReplay(sh, args);
   } else if (cmd == "stats") {
     *status = CmdStats(sh, args);
   } else {
