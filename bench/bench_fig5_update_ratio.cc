@@ -50,7 +50,7 @@ int main() {
     std::printf("%s:\n", item.name.c_str());
     for (auto strategy : {engine::Search::kBasic, engine::Search::kPartial}) {
       if (strategy == engine::Search::kBasic &&
-          item.graph.num_vertices() > 5000) {
+          item.graph.num_vertices().value() > 5000) {
         std::printf("  %-12s (skipped: dataset too large for Basic)\n",
                     "CSPM-Basic");
         continue;

@@ -98,11 +98,11 @@ void BM_ScoringModule(benchmark::State& state) {
     state.SkipWithError("mining failed");
     return;
   }
-  graph::VertexId v = 0;
+  graph::VertexId v(0);
   for (auto _ : state) {
     auto scores = session.Score(v);
     benchmark::DoNotOptimize(scores.normalized.data());
-    v = (v + 1) % g.num_vertices();
+    v = graph::VertexId((v.value() + 1) % g.num_vertices().value());
   }
 }
 BENCHMARK(BM_ScoringModule);

@@ -38,13 +38,16 @@ struct ServingFixture {
 
   static const ServingFixture& Get() {
     static ServingFixture* fixture = [] {
-      auto* f = new ServingFixture();
+      // Leaky singleton: benches share one mined fixture and never
+      // destroy it (destruction order vs static bench registration).
+      auto* f = new ServingFixture();  // lint:allow naked-new
       f->graph = datasets::MakePokecLike(1, ServingBenchVertices()).value();
       engine::MiningOptions opts;
       opts.record_iteration_stats = false;
       f->model = engine::MineModel(f->graph, opts).value();
-      f->all_vertices.resize(f->graph.num_vertices());
-      std::iota(f->all_vertices.begin(), f->all_vertices.end(), 0);
+      for (graph::VertexId v(0); v < f->graph.num_vertices(); ++v) {
+        f->all_vertices.push_back(v);
+      }
       return f;
     }();
     return *fixture;

@@ -27,7 +27,9 @@ struct StoreFixture {
 
   static const StoreFixture& Get() {
     static StoreFixture* fixture = [] {
-      auto* f = new StoreFixture();
+      // Leaky singleton: benches share one mined fixture and never
+      // destroy it (destruction order vs static bench registration).
+      auto* f = new StoreFixture();  // lint:allow naked-new
       f->graph = datasets::MakePokecLike(1, 8000).value();
       engine::MiningOptions opts;
       opts.record_iteration_stats = false;

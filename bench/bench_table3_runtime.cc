@@ -75,7 +75,7 @@ int main() {
     // CSPM-Basic; skipped for the scaled Pokec (the paper reports "--"
     // after 48 hours).
     Cell basic_cell;
-    if (item.graph.num_vertices() > 5000) {
+    if (item.graph.num_vertices().value() > 5000) {
       basic_cell.skipped = true;
     } else {
       engine::MiningOptions options;

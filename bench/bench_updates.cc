@@ -59,7 +59,9 @@ struct UpdateFixture {
 
   static const UpdateFixture& Get() {
     static UpdateFixture* fixture = [] {
-      auto* f = new UpdateFixture();
+      // Leaky singleton: benches share one mined fixture and never
+      // destroy it (destruction order vs static bench registration).
+      auto* f = new UpdateFixture();  // lint:allow naked-new
       f->base = datasets::MakePokecLike(1, UpdateBenchVertices()).value();
       f->initial_db = core::InvertedDatabase::FromGraph(f->base).value();
       return f;
@@ -103,14 +105,14 @@ void BM_FullRebuild(benchmark::State& state) {
       std::move(graph::ApplyDelta(f.base, delta).value().graph);
   for (auto _ : state) {
     graph::GraphBuilder builder;
-    for (graph::AttrId a = 0; a < mutated.num_attribute_values(); ++a) {
+    for (graph::AttrId a(0); a.index() < mutated.num_attribute_values(); ++a) {
       builder.InternAttribute(mutated.dict().Name(a));
     }
-    for (graph::VertexId v = 0; v < mutated.num_vertices(); ++v) {
+    for (graph::VertexId v(0); v < mutated.num_vertices(); ++v) {
       auto attrs = mutated.Attributes(v);
       builder.AddVertexWithIds({attrs.begin(), attrs.end()});
     }
-    for (graph::VertexId v = 0; v < mutated.num_vertices(); ++v) {
+    for (graph::VertexId v(0); v < mutated.num_vertices(); ++v) {
       for (graph::VertexId w : mutated.Neighbors(v)) {
         if (v < w) CSPM_CHECK(builder.AddEdge(v, w).ok());
       }

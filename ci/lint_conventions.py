@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Repo-convention linter: mechanical rules clang-tidy does not cover.
+
+Rules (each maps to a documented convention, see DESIGN.md §10):
+  naked-new        No `new` / `delete` expressions outside the allowlist —
+                   ownership goes through make_unique / make_shared /
+                   containers.
+  nodiscard-status util::Status and util::StatusOr must stay [[nodiscard]]
+                   so an ignored Status is a compiler warning (-Werror in
+                   CI), and explicit discards must be spelled `(void)`.
+  discarded-ok     `expr.ok();` as a full statement checks a Status and
+                   throws the answer away — always a bug.
+  no-null-macro    `NULL` is banned; use nullptr.
+  no-using-std     `using namespace std;` is banned everywhere.
+  thread-detach    std::thread::detach() is banned — every thread in the
+                   codebase is joined (TSan-enforced shutdown discipline).
+
+Usage: ci/lint_conventions.py [root]   (exit 1 on any finding)
+"""
+
+import pathlib
+import re
+import sys
+
+LINT_DIRS = ("src", "tests", "tools", "bench", "examples", "fuzz")
+EXTENSIONS = {".cc", ".cpp", ".h", ".hpp"}
+
+# (rule, regex, explanation). Patterns are applied line-wise after comment
+# and string stripping, so prose and string literals cannot trip them.
+RULES = [
+    (
+        "naked-new",
+        re.compile(r"(?<![:\w])new\s+[A-Za-z_:<]"),
+        "naked `new`: use std::make_unique / std::make_shared or a container",
+    ),
+    (
+        "naked-new",
+        re.compile(r"(?<![:\w])delete(\[\])?\s+[A-Za-z_*]"),
+        "naked `delete`: owning raw pointers are banned",
+    ),
+    (
+        "discarded-ok",
+        re.compile(r"^\s*[A-Za-z_][\w.\->()\[\]]*\.ok\(\)\s*;\s*$"),
+        "`.ok()` result discarded: handle the Status or drop the call",
+    ),
+    (
+        "no-null-macro",
+        re.compile(r"(?<![\w.])NULL(?![\w])"),
+        "NULL: use nullptr",
+    ),
+    (
+        "no-using-std",
+        re.compile(r"^\s*using\s+namespace\s+std\s*;"),
+        "`using namespace std` is banned",
+    ),
+    (
+        "thread-detach",
+        re.compile(r"\.detach\s*\(\s*\)"),
+        "std::thread::detach(): every thread must be joined",
+    ),
+]
+
+COMMENT_RE = re.compile(r"//.*$")
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+CHAR_RE = re.compile(r"'(?:[^'\\]|\\.)*'")
+
+
+def strip_noise(line: str) -> str:
+    """Removes string/char literals and // comments (coarse but effective:
+    the codebase bans multi-line /* */ comments by clang-format idiom)."""
+    line = STRING_RE.sub('""', line)
+    line = CHAR_RE.sub("''", line)
+    return COMMENT_RE.sub("", line)
+
+
+def lint_file(path: pathlib.Path) -> list[str]:
+    findings = []
+    in_block_comment = False
+    for lineno, raw in enumerate(
+        path.read_text(encoding="utf-8", errors="replace").splitlines(), 1
+    ):
+        line = raw
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2 :]
+            in_block_comment = False
+        start = line.find("/*")
+        if start >= 0:
+            end = line.find("*/", start + 2)
+            if end < 0:
+                in_block_comment = True
+                line = line[:start]
+            else:
+                line = line[:start] + line[end + 2 :]
+        line = strip_noise(line)
+        for rule, pattern, message in RULES:
+            # An inline `lint:allow <rule>` comment documents a deliberate
+            # exception (e.g. a leaky bench singleton) without widening the
+            # rule for everyone else.
+            if f"lint:allow {rule}" in raw:
+                continue
+            if pattern.search(line):
+                findings.append(f"{path}:{lineno}: [{rule}] {message}")
+    return findings
+
+
+def check_status_nodiscard(root: pathlib.Path) -> list[str]:
+    """The whole ignored-Status story hangs off two attributes — make their
+    removal a lint failure, not a silent regression."""
+    status_h = root / "src" / "util" / "status.h"
+    text = status_h.read_text(encoding="utf-8")
+    findings = []
+    for cls in ("Status", "StatusOr"):
+        pattern = re.compile(
+            r"class\s+\[\[nodiscard\]\]\s+" + cls + r"\b(?!Or)"
+        )
+        if not pattern.search(text):
+            findings.append(
+                f"{status_h}: [nodiscard-status] `class {cls}` lost its "
+                "[[nodiscard]] attribute"
+            )
+    return findings
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".")
+    findings = check_status_nodiscard(root)
+    for top in LINT_DIRS:
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in EXTENSIONS:
+                findings.extend(lint_file(path))
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"\n{len(findings)} convention violation(s).", file=sys.stderr)
+        return 1
+    print("lint_conventions: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

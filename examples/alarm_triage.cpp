@@ -84,10 +84,10 @@ int main() {
   std::printf(
       "triage: %zu of %u windows have suspected hidden alarms "
       "(score >= %.2f); first 5:\n",
-      triage_or->size(), wg_or->num_vertices(), topts.min_score);
+      triage_or->size(), wg_or->num_vertices().value(), topts.min_score);
   for (size_t i = 0; i < triage_or->size() && i < 5; ++i) {
     const auto& wt = (*triage_or)[i];
-    std::printf("  window v%u:", wt.window);
+    std::printf("  window v%u:", wt.window.value());
     for (const auto& s : wt.suspected) {
       std::printf("  T%u (%.2f)", s.type, s.score);
     }

@@ -36,7 +36,7 @@ int main() {
     return 1;
   }
   std::printf("saved and reloaded %u airports from %s\n",
-              reloaded->num_vertices(), path.c_str());
+              reloaded->num_vertices().value(), path.c_str());
 
   engine::MiningOptions options;
   options.record_iteration_stats = false;

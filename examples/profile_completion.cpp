@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
   const CompletionDataset& data = *data_or;
   std::printf("citation-style graph: %u nodes, %zu test nodes with hidden "
               "attributes\n",
-              data.masked_graph.num_vertices(), data.test_nodes.size());
+              data.masked_graph.num_vertices().value(), data.test_nodes.size());
 
   // Mine a-stars on the attribute-missing graph (what a deployment sees) —
   // or, on a warm start, load the persisted model from the store.

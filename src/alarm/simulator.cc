@@ -20,8 +20,11 @@ StatusOr<AlarmDataset> SimulateAlarms(const SimulationOptions& options,
   data.num_types = options.num_alarm_types;
   data.rules = rules;
 
-  data.topology_edges = graph::BarabasiAlbertEdges(
-      options.num_devices, options.topology_attachment, &rng);
+  // Devices are plain indices here; unwrap the generator's vertex ids.
+  for (auto [u, v] : graph::BarabasiAlbertEdges(
+           options.num_devices, options.topology_attachment, &rng)) {
+    data.topology_edges.emplace_back(u.value(), v.value());
+  }
   data.adjacency.assign(options.num_devices, {});
   for (auto [u, v] : data.topology_edges) {
     data.adjacency[u].push_back(v);

@@ -20,33 +20,36 @@ StatusOr<std::vector<WindowTriage>> TriageWindows(
   // Attribute names of the window graph are "T<k>"; decode once.
   std::vector<AlarmType> attr_to_type(window_graph.num_attribute_values(), 0);
   std::vector<bool> decodes(window_graph.num_attribute_values(), false);
-  for (graph::AttrId a = 0; a < window_graph.num_attribute_values(); ++a) {
+  for (graph::AttrId a(0); a.index() < window_graph.num_attribute_values();
+       ++a) {
     auto type_or = DecodeAlarmName(window_graph.dict().Name(a));
     if (type_or.ok()) {
-      attr_to_type[a] = type_or.value();
-      decodes[a] = true;
+      attr_to_type[a.index()] = type_or.value();
+      decodes[a.index()] = true;
     }
   }
 
   std::vector<WindowTriage> result;
   std::vector<graph::AttrId> candidates;
-  for (graph::VertexId v = 0; v < window_graph.num_vertices(); ++v) {
-    const core::AttributeScores& scores = batch[v];
+  for (graph::VertexId v(0); v < window_graph.num_vertices(); ++v) {
+    const core::AttributeScores& scores = batch[v.index()];
     candidates.clear();
-    for (graph::AttrId a = 0;
-         a < static_cast<graph::AttrId>(scores.normalized.size()); ++a) {
-      if (!decodes[a]) continue;
-      if (scores.normalized[a] <= 0.0) continue;  // no pattern evidence
-      if (scores.normalized[a] < options.min_score) continue;
+    for (graph::AttrId a(0); a.index() < scores.normalized.size(); ++a) {
+      if (!decodes[a.index()]) continue;
+      // No pattern evidence, or below the triage threshold.
+      if (scores.normalized[a.index()] <= 0.0) continue;
+      if (scores.normalized[a.index()] < options.min_score) continue;
       // Alarms already observed in the window are not "hidden causes".
       if (window_graph.HasAttribute(v, a)) continue;
       candidates.push_back(a);
     }
     std::sort(candidates.begin(), candidates.end(),
               [&](graph::AttrId x, graph::AttrId y) {
-                return scores.normalized[x] != scores.normalized[y]
-                           ? scores.normalized[x] > scores.normalized[y]
-                           : attr_to_type[x] < attr_to_type[y];
+                return scores.normalized[x.index()] !=
+                               scores.normalized[y.index()]
+                           ? scores.normalized[x.index()] >
+                                 scores.normalized[y.index()]
+                           : attr_to_type[x.index()] < attr_to_type[y.index()];
               });
     if (candidates.size() > options.top_k) candidates.resize(options.top_k);
     // After truncation, so top_k=0 cannot emit suspect-less windows.
@@ -56,7 +59,8 @@ StatusOr<std::vector<WindowTriage>> TriageWindows(
     wt.window = v;
     wt.suspected.reserve(candidates.size());
     for (graph::AttrId a : candidates) {
-      wt.suspected.push_back({attr_to_type[a], scores.normalized[a]});
+      wt.suspected.push_back(
+          {attr_to_type[a.index()], scores.normalized[a.index()]});
     }
     result.push_back(std::move(wt));
   }

@@ -39,7 +39,7 @@ struct SuspectedAlarm {
 
 /// Triage result for one window-graph vertex.
 struct WindowTriage {
-  graph::VertexId window = 0;
+  graph::VertexId window{};
   /// Ranked by descending score, ties by ascending alarm type.
   std::vector<SuspectedAlarm> suspected;
 };

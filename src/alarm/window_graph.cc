@@ -43,7 +43,7 @@ StatusOr<graph::AttributedGraph> BuildWindowGraph(const AlarmDataset& data,
   for (auto& [key, types] : buckets) {
     std::vector<graph::AttrId> attrs;
     attrs.reserve(types.size());
-    for (AlarmType t : types) attrs.push_back(t);
+    for (AlarmType t : types) attrs.push_back(graph::AttrId(t));
     std::sort(attrs.begin(), attrs.end());
     attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
     vertex_of[key] = builder.AddVertexWithIds(std::move(attrs));

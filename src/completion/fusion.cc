@@ -31,19 +31,19 @@ nn::Matrix FuseWithCspm(const nn::Matrix& model_scores,
 
     // Min-max normalize the model row (per-row, like the paper's "the two
     // vectors are normalized separately").
-    double lo = model_scores(v, 0);
+    double lo = model_scores(v.index(), 0);
     double hi = lo;
     for (size_t a = 1; a < num_attrs; ++a) {
-      lo = std::min(lo, model_scores(v, a));
-      hi = std::max(hi, model_scores(v, a));
+      lo = std::min(lo, model_scores(v.index(), a));
+      hi = std::max(hi, model_scores(v.index(), a));
     }
     const double span = hi - lo;
     for (size_t a = 0; a < num_attrs; ++a) {
       const double model_norm =
-          span > 0 ? (model_scores(v, a) - lo) / span : 1.0;
+          span > 0 ? (model_scores(v.index(), a) - lo) / span : 1.0;
       const double multiplier =
           options.evidence_floor + cspm_scores.normalized[a];
-      fused(v, a) = model_norm * multiplier;
+      fused(v.index(), a) = model_norm * multiplier;
     }
   }
   return fused;

@@ -23,17 +23,17 @@ class NeighAggreModel : public CompletionModel {
   Matrix PredictScores(const CompletionDataset& data) override {
     const auto& g = data.masked_graph;
     Matrix scores(data.num_nodes(), data.num_attributes());
-    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (graph::VertexId v(0); v < g.num_vertices(); ++v) {
       uint32_t observed_neighbours = 0;
       for (graph::VertexId w : g.Neighbors(v)) {
-        if (!data.observed[w]) continue;
+        if (!data.observed[w.index()]) continue;
         ++observed_neighbours;
-        const double* row = data.x.Row(w);
-        double* out = scores.Row(v);
+        const double* row = data.x.Row(w.index());
+        double* out = scores.Row(v.index());
         for (size_t a = 0; a < data.num_attributes(); ++a) out[a] += row[a];
       }
       if (observed_neighbours > 0) {
-        double* out = scores.Row(v);
+        double* out = scores.Row(v.index());
         for (size_t a = 0; a < data.num_attributes(); ++a) {
           out[a] /= observed_neighbours;
         }
@@ -58,19 +58,19 @@ class VaeModel : public CompletionModel {
 
     const auto& g = data.masked_graph;
     Matrix z(data.num_nodes(), mu.cols());
-    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
-      if (data.observed[v]) {
-        for (size_t j = 0; j < mu.cols(); ++j) z(v, j) = mu(v, j);
+    for (graph::VertexId v(0); v < g.num_vertices(); ++v) {
+      if (data.observed[v.index()]) {
+        for (size_t j = 0; j < mu.cols(); ++j) z(v.index(), j) = mu(v.index(), j);
         continue;
       }
       uint32_t count = 0;
       for (graph::VertexId w : g.Neighbors(v)) {
-        if (!data.observed[w]) continue;
+        if (!data.observed[w.index()]) continue;
         ++count;
-        for (size_t j = 0; j < mu.cols(); ++j) z(v, j) += mu(w, j);
+        for (size_t j = 0; j < mu.cols(); ++j) z(v.index(), j) += mu(w.index(), j);
       }
       if (count > 0) {
-        for (size_t j = 0; j < mu.cols(); ++j) z(v, j) /= count;
+        for (size_t j = 0; j < mu.cols(); ++j) z(v.index(), j) /= count;
       }
     }
     return vae.DecodeProbabilities(z);

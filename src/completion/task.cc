@@ -13,7 +13,7 @@ StatusOr<CompletionDataset> MakeCompletionTask(
     return Status::InvalidArgument(
         "missing_fraction must be in (0, 1)");
   }
-  const uint32_t n = g.num_vertices();
+  const uint32_t n = g.num_vertices().value();
   const uint32_t n_missing = std::max<uint32_t>(
       1, static_cast<uint32_t>(missing_fraction * static_cast<double>(n)));
   Rng rng(seed);
@@ -23,24 +23,26 @@ StatusOr<CompletionDataset> MakeCompletionTask(
   CompletionDataset data;
   data.observed.assign(n, true);
   for (uint32_t v : missing) data.observed[v] = false;
-  data.test_nodes.assign(missing.begin(), missing.end());
+  data.test_nodes.clear();
+  data.test_nodes.reserve(missing.size());
+  for (uint32_t v : missing) data.test_nodes.push_back(graph::VertexId(v));
 
   // Masked graph: same topology and same attribute dictionary; empty
   // attribute sets on test vertices. We keep the dictionary identical by
   // re-interning every original name.
   graph::GraphBuilder builder;
-  for (graph::AttrId a = 0; a < g.num_attribute_values(); ++a) {
+  for (graph::AttrId a(0); a.index() < g.num_attribute_values(); ++a) {
     builder.InternAttribute(g.dict().Name(a));
   }
-  for (graph::VertexId v = 0; v < n; ++v) {
-    if (data.observed[v]) {
+  for (graph::VertexId v(0); v.value() < n; ++v) {
+    if (data.observed[v.index()]) {
       auto attrs = g.Attributes(v);
       builder.AddVertexWithIds({attrs.begin(), attrs.end()});
     } else {
       builder.AddVertexWithIds({});
     }
   }
-  for (graph::VertexId v = 0; v < n; ++v) {
+  for (graph::VertexId v(0); v.value() < n; ++v) {
     for (graph::VertexId w : g.Neighbors(v)) {
       if (w > v) CSPM_RETURN_IF_ERROR(builder.AddEdge(v, w));
     }
@@ -50,10 +52,10 @@ StatusOr<CompletionDataset> MakeCompletionTask(
   const size_t num_attrs = g.num_attribute_values();
   data.x = nn::Matrix(n, num_attrs);
   data.truth = nn::Matrix(n, num_attrs);
-  for (graph::VertexId v = 0; v < n; ++v) {
+  for (graph::VertexId v(0); v.value() < n; ++v) {
     for (graph::AttrId a : g.Attributes(v)) {
-      data.truth(v, a) = 1.0;
-      if (data.observed[v]) data.x(v, a) = 1.0;
+      data.truth(v.index(), a.index()) = 1.0;
+      if (data.observed[v.index()]) data.x(v.index(), a.index()) = 1.0;
     }
   }
   return data;
@@ -72,8 +74,8 @@ CompletionMetrics EvaluateScores(const CompletionDataset& data,
   for (graph::VertexId v : data.test_nodes) {
     bool any_truth = false;
     for (size_t a = 0; a < data.num_attributes(); ++a) {
-      row_scores[a] = scores(v, a);
-      row_truth[a] = data.truth(v, a) > 0.5;
+      row_scores[a] = scores(v.index(), a);
+      row_truth[a] = data.truth(v.index(), a) > 0.5;
       any_truth = any_truth || row_truth[a];
     }
     if (!any_truth) continue;

@@ -18,7 +18,7 @@ namespace cspm::core {
 /// CandidateStore and of the warm-start initial-gain cache.
 inline uint64_t CandidatePairKey(LeafsetId x, LeafsetId y) {
   if (x > y) std::swap(x, y);
-  return (static_cast<uint64_t>(x) << 32) | y;
+  return (static_cast<uint64_t>(x.value()) << 32) | y.value();
 }
 
 /// Max-gain priority store over unordered leafset pairs. Set() overwrites;

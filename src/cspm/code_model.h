@@ -21,13 +21,13 @@ class CodeModel {
   CodeModel(const graph::AttributedGraph& g, const InvertedDatabase& idb);
 
   /// ST code length of one attribute value: -log2(freq / total occurrences).
-  double StCodeLength(AttrId a) const { return st_len_[a]; }
+  double StCodeLength(AttrId a) const { return st_len_[a.index()]; }
 
   /// Cost of spelling a value set in ST codes (left column of CTL / CTc).
   double StCost(std::span<const AttrId> values) const;
 
   /// Code_c of Eq. 5 for a coreset.
-  double CoreCodeLength(CoreId c) const { return core_len_[c]; }
+  double CoreCodeLength(CoreId c) const { return core_len_[c.index()]; }
 
   /// Code_L of Eq. 6 for a line with frequency fl under a coreset whose
   /// dynamic total is fe.

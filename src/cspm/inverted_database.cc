@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cspm/scoring_plan.h"
+#include "cspm/verify.h"
 #include "mdl/codes.h"
 #include "util/check.h"
 
@@ -48,7 +49,7 @@ void InvertedDatabase::DeactivateLeafset(LeafsetId l) {
 }
 
 void InvertedDatabase::EraseLineAt(LeafsetId l, size_t i) {
-  LeafsetLines& lines = lines_of_[l];
+  LeafsetLines& lines = lines_of_[l.index()];
   pool_.Free(lines.refs[i]);
   lines.cores.erase(lines.cores.begin() + i);
   lines.refs.erase(lines.refs.begin() + i);
@@ -60,13 +61,15 @@ StatusOr<InvertedDatabase> InvertedDatabase::FromGraph(
     const graph::AttributedGraph& g) {
   // Single-core-value mode: coreset ids coincide with attribute ids.
   std::vector<std::vector<AttrId>> coreset_values(g.num_attribute_values());
-  std::vector<std::vector<CoreId>> vertex_coresets(g.num_vertices());
-  for (AttrId a = 0; a < g.num_attribute_values(); ++a) {
-    coreset_values[a] = {a};
+  std::vector<std::vector<CoreId>> vertex_coresets(g.num_vertices().index());
+  for (AttrId a(0); a.index() < g.num_attribute_values(); ++a) {
+    coreset_values[a.index()] = {a};
   }
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    auto attrs = g.Attributes(v);
-    vertex_coresets[v].assign(attrs.begin(), attrs.end());
+  for (VertexId v(0); v < g.num_vertices(); ++v) {
+    vertex_coresets[v.index()].clear();
+    for (AttrId a : g.Attributes(v)) {
+      vertex_coresets[v.index()].push_back(CoreId(a.value()));
+    }
   }
   return FromGraphWithCoresets(g, std::move(coreset_values), vertex_coresets);
 }
@@ -75,7 +78,7 @@ StatusOr<InvertedDatabase> InvertedDatabase::FromGraphWithCoresets(
     const graph::AttributedGraph& g,
     std::vector<std::vector<AttrId>> coreset_values,
     const std::vector<std::vector<CoreId>>& vertex_coresets) {
-  if (vertex_coresets.size() != g.num_vertices()) {
+  if (vertex_coresets.size() != g.num_vertices().index()) {
     return Status::InvalidArgument(
         "vertex_coresets must have one entry per vertex");
   }
@@ -85,21 +88,21 @@ StatusOr<InvertedDatabase> InvertedDatabase::FromGraphWithCoresets(
   idb.core_line_total_.assign(idb.coreset_values_.size(), 0);
   idb.vertex_coresets_ = vertex_coresets;
 
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    for (CoreId c : vertex_coresets[v]) {
-      if (c >= idb.coreset_values_.size()) {
+  for (VertexId v(0); v < g.num_vertices(); ++v) {
+    for (CoreId c : vertex_coresets[v.index()]) {
+      if (c.index() >= idb.coreset_values_.size()) {
         return Status::InvalidArgument("vertex coreset id out of range");
       }
-      ++idb.coreset_freq_[c];
+      ++idb.coreset_freq_[c.index()];
       ++idb.total_coreset_freq_;
     }
   }
 
   // Pre-intern singleton leafsets so that leafset id == attr id for all
   // attribute values (convenient and deterministic).
-  for (AttrId a = 0; a < g.num_attribute_values(); ++a) {
+  for (AttrId a(0); a.index() < g.num_attribute_values(); ++a) {
     LeafsetId l = idb.leafsets_.Intern({a});
-    CSPM_CHECK(l == a);
+    CSPM_CHECK(l.value() == a.value());
   }
 
   // Group the (leaf value, coreset, vertex) occurrences into contiguous
@@ -113,20 +116,20 @@ StatusOr<InvertedDatabase> InvertedDatabase::FromGraphWithCoresets(
 
   // Pass 1: per-leaf occurrence counts.
   std::vector<uint64_t> leaf_offsets(num_attrs + 1, 0);
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    if (vertex_coresets[v].empty()) continue;
+  for (VertexId v(0); v < g.num_vertices(); ++v) {
+    if (vertex_coresets[v.index()].empty()) continue;
     ++current;
     neighbourhood.clear();
     for (VertexId w : g.Neighbors(v)) {
       for (AttrId a : g.Attributes(w)) {
-        if (stamp[a] != current) {
-          stamp[a] = current;
+        if (stamp[a.index()] != current) {
+          stamp[a.index()] = current;
           neighbourhood.push_back(a);
         }
       }
     }
-    const uint64_t cores = vertex_coresets[v].size();
-    for (AttrId y : neighbourhood) leaf_offsets[y + 1] += cores;
+    const uint64_t cores = vertex_coresets[v.index()].size();
+    for (AttrId y : neighbourhood) leaf_offsets[y.index() + 1] += cores;
   }
   for (size_t a = 0; a < num_attrs; ++a) leaf_offsets[a + 1] += leaf_offsets[a];
   const uint64_t total = leaf_offsets[num_attrs];
@@ -137,21 +140,21 @@ StatusOr<InvertedDatabase> InvertedDatabase::FromGraphWithCoresets(
   std::vector<uint64_t> cursor(leaf_offsets.begin(), leaf_offsets.end() - 1);
   current = 0;
   std::fill(stamp.begin(), stamp.end(), 0);
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    if (vertex_coresets[v].empty()) continue;
+  for (VertexId v(0); v < g.num_vertices(); ++v) {
+    if (vertex_coresets[v.index()].empty()) continue;
     ++current;
     neighbourhood.clear();
     for (VertexId w : g.Neighbors(v)) {
       for (AttrId a : g.Attributes(w)) {
-        if (stamp[a] != current) {
-          stamp[a] = current;
+        if (stamp[a.index()] != current) {
+          stamp[a.index()] = current;
           neighbourhood.push_back(a);
         }
       }
     }
     for (AttrId y : neighbourhood) {
-      uint64_t& at = cursor[y];
-      for (CoreId c : vertex_coresets[v]) {
+      uint64_t& at = cursor[y.index()];
+      for (CoreId c : vertex_coresets[v.index()]) {
         bucket_core[at] = c;
         bucket_vertex[at] = v;
         ++at;
@@ -167,7 +170,7 @@ StatusOr<InvertedDatabase> InvertedDatabase::FromGraphWithCoresets(
   std::vector<CoreId> cores_here;
   std::vector<VertexId> line_vertices;
   uint32_t leaf_generation = 0;
-  for (AttrId leaf = 0; leaf < num_attrs; ++leaf) {
+  for (size_t leaf = 0; leaf < num_attrs; ++leaf) {
     const uint64_t begin = leaf_offsets[leaf];
     const uint64_t end = leaf_offsets[leaf + 1];
     if (begin == end) continue;
@@ -175,24 +178,24 @@ StatusOr<InvertedDatabase> InvertedDatabase::FromGraphWithCoresets(
     cores_here.clear();
     for (uint64_t i = begin; i < end; ++i) {
       const CoreId c = bucket_core[i];
-      if (core_stamp[c] != leaf_generation) {
-        core_stamp[c] = leaf_generation;
-        core_cursor[c] = 0;
+      if (core_stamp[c.index()] != leaf_generation) {
+        core_stamp[c.index()] = leaf_generation;
+        core_cursor[c.index()] = 0;
         cores_here.push_back(c);
       }
-      ++core_cursor[c];
+      ++core_cursor[c.index()];
     }
     std::sort(cores_here.begin(), cores_here.end());
     // Per-core cursors become scatter offsets into the leaf's line block.
     uint64_t offset = 0;
     for (CoreId c : cores_here) {
-      const uint64_t count = core_cursor[c];
-      core_cursor[c] = offset;
+      const uint64_t count = core_cursor[c.index()];
+      core_cursor[c.index()] = offset;
       offset += count;
     }
     line_vertices.resize(end - begin);
     for (uint64_t i = begin; i < end; ++i) {
-      line_vertices[core_cursor[bucket_core[i]]++] = bucket_vertex[i];
+      line_vertices[core_cursor[bucket_core[i].index()]++] = bucket_vertex[i];
     }
 
     LeafsetLines& lines = idb.lines_of_[leaf];
@@ -200,17 +203,18 @@ StatusOr<InvertedDatabase> InvertedDatabase::FromGraphWithCoresets(
     lines.refs.reserve(cores_here.size());
     uint64_t line_begin = 0;
     for (CoreId c : cores_here) {
-      const uint64_t line_end = core_cursor[c];  // cursor stops past c's run
+      const uint64_t line_end = core_cursor[c.index()];  // stops past c's run
       const std::span<const VertexId> positions(
           line_vertices.data() + line_begin, line_end - line_begin);
       lines.cores.push_back(c);
       lines.refs.push_back(idb.pool_.Allocate(positions));
-      idb.core_line_total_[c] += positions.size();
+      idb.core_line_total_[c.index()] += positions.size();
       ++idb.num_lines_;
       line_begin = line_end;
     }
-    idb.active_leafsets_.push_back(leaf);
+    idb.active_leafsets_.push_back(LeafsetId(static_cast<uint32_t>(leaf)));
   }
+  CSPM_DCHECK_OK(CheckInvariants(idb));
   return idb;
 }
 
@@ -256,15 +260,16 @@ Status InvertedDatabase::ApplyDelta(const graph::AttributedGraph& old_graph,
     return Status::FailedPrecondition(
         "ApplyDelta needs the pre-merge database (leafsets were merged)");
   }
-  for (CoreId c = 0; c < coreset_values_.size(); ++c) {
-    if (coreset_values_[c].size() != 1 || coreset_values_[c][0] != c) {
+  for (CoreId c(0); c.index() < coreset_values_.size(); ++c) {
+    if (coreset_values_[c.index()].size() != 1 ||
+        coreset_values_[c.index()][0].value() != c.value()) {
       return Status::FailedPrecondition(
           "ApplyDelta needs a single-value-coreset database");
     }
   }
   const VertexId n_old = old_graph.num_vertices();
   const VertexId n_new = new_graph.num_vertices();
-  if (n_new < n_old || vertex_coresets_.size() != n_old) {
+  if (n_new < n_old || vertex_coresets_.size() != n_old.index()) {
     return Status::InvalidArgument(
         "ApplyDelta: graphs do not bracket this database");
   }
@@ -272,16 +277,16 @@ Status InvertedDatabase::ApplyDelta(const graph::AttributedGraph& old_graph,
   // Append singleton coresets + leafsets for attribute values new to the
   // patched graph, in id order (keeps leafset id == attr id).
   const size_t num_attrs_new = new_graph.num_attribute_values();
-  for (AttrId a = static_cast<AttrId>(coreset_values_.size());
-       a < num_attrs_new; ++a) {
+  for (AttrId a(static_cast<uint32_t>(coreset_values_.size()));
+       a.index() < num_attrs_new; ++a) {
     coreset_values_.push_back({a});
     coreset_freq_.push_back(0);
     core_line_total_.push_back(0);
     const LeafsetId l = leafsets_.Intern({a});
-    CSPM_CHECK(l == a);
+    CSPM_CHECK(l.value() == a.value());
   }
   lines_of_.resize(num_attrs_new);
-  vertex_coresets_.resize(n_new);
+  vertex_coresets_.resize(n_new.index());
 
   std::vector<char> core_dirty(num_attrs_new, 0);
   std::vector<char> leafset_touched(num_attrs_new, 0);
@@ -289,7 +294,7 @@ Status InvertedDatabase::ApplyDelta(const graph::AttributedGraph& old_graph,
 
   // Removes u from line (c, y); the line must hold it.
   auto remove_position = [&](CoreId c, LeafsetId y, VertexId u) {
-    LeafsetLines& lines = lines_of_[y];
+    LeafsetLines& lines = lines_of_[y.index()];
     const size_t i = LowerBoundCore(lines, c);
     CSPM_CHECK(i < lines.cores.size() && lines.cores[i] == c);
     PosListView view = pool_.View(lines.refs[i]);
@@ -304,14 +309,14 @@ Status InvertedDatabase::ApplyDelta(const graph::AttributedGraph& old_graph,
       scratch.insert(scratch.end(), it + 1, view.end());
       pool_.Assign(lines.refs[i], scratch);
     }
-    --core_line_total_[c];
-    core_dirty[c] = 1;
-    leafset_touched[y] = 1;
+    --core_line_total_[c.index()];
+    core_dirty[c.index()] = 1;
+    leafset_touched[y.index()] = 1;
     ++stats->positions_removed;
   };
   // Adds u to line (c, y), creating the line if needed.
   auto insert_position = [&](CoreId c, LeafsetId y, VertexId u) {
-    LeafsetLines& lines = lines_of_[y];
+    LeafsetLines& lines = lines_of_[y.index()];
     const size_t i = LowerBoundCore(lines, c);
     if (i == lines.cores.size() || lines.cores[i] != c) {
       if (lines.cores.empty()) ActivateLeafset(y);
@@ -329,9 +334,9 @@ Status InvertedDatabase::ApplyDelta(const graph::AttributedGraph& old_graph,
       scratch.insert(scratch.end(), it, view.end());
       pool_.Assign(lines.refs[i], scratch);
     }
-    ++core_line_total_[c];
-    core_dirty[c] = 1;
-    leafset_touched[y] = 1;
+    ++core_line_total_[c.index()];
+    core_dirty[c.index()] = 1;
+    leafset_touched[y.index()] = 1;
     ++stats->positions_added;
   };
 
@@ -345,20 +350,23 @@ Status InvertedDatabase::ApplyDelta(const graph::AttributedGraph& old_graph,
     // Old contribution comes from this database's own coreset assignment
     // and the old graph; the new one from the patched graph (single-core
     // mode: coresets == own attributes).
-    const std::vector<CoreId>& cores_old = vertex_coresets_[u];
+    const std::vector<CoreId>& cores_old = vertex_coresets_[u.index()];
     if (u < n_old) {
       GatherDistinctNeighbourAttrs(old_graph, u, &nbr_old);
     } else {
       nbr_old.clear();
     }
     GatherDistinctNeighbourAttrs(new_graph, u, &nbr_new);
-    auto new_attrs = new_graph.Attributes(u);
-    cores_new.assign(new_attrs.begin(), new_attrs.end());
+    cores_new.clear();
+    for (AttrId a : new_graph.Attributes(u)) {
+      cores_new.push_back(CoreId(a.value()));
+    }
 
     // Per leaf value y, diff the contributing core sets.
     size_t oi = 0;
     size_t ni = 0;
-    auto patch_leaf = [&](AttrId y, bool in_old, bool in_new) {
+    auto patch_leaf = [&](AttrId y_attr, bool in_old, bool in_new) {
+      const LeafsetId y(y_attr.value());
       size_t a = 0;
       size_t b = 0;
       const size_t na = in_old ? cores_old.size() : 0;
@@ -397,11 +405,11 @@ Status InvertedDatabase::ApplyDelta(const graph::AttributedGraph& old_graph,
     while (a < cores_old.size() || b < cores_new.size()) {
       if (b >= cores_new.size() ||
           (a < cores_old.size() && cores_old[a] < cores_new[b])) {
-        --coreset_freq_[cores_old[a]];
+        --coreset_freq_[cores_old[a].index()];
         --total_coreset_freq_;
         ++a;
       } else if (a >= cores_old.size() || cores_new[b] < cores_old[a]) {
-        ++coreset_freq_[cores_new[b]];
+        ++coreset_freq_[cores_new[b].index()];
         ++total_coreset_freq_;
         ++b;
       } else {
@@ -409,15 +417,16 @@ Status InvertedDatabase::ApplyDelta(const graph::AttributedGraph& old_graph,
         ++b;
       }
     }
-    vertex_coresets_[u] = cores_new;
+    vertex_coresets_[u.index()] = cores_new;
   }
 
-  for (CoreId c = 0; c < num_attrs_new; ++c) {
-    if (core_dirty[c]) stats->dirty_cores.push_back(c);
+  for (CoreId c(0); c.index() < num_attrs_new; ++c) {
+    if (core_dirty[c.index()]) stats->dirty_cores.push_back(c);
   }
-  for (LeafsetId l = 0; l < num_attrs_new; ++l) {
-    if (leafset_touched[l]) stats->touched_leafsets.push_back(l);
+  for (LeafsetId l(0); l.index() < num_attrs_new; ++l) {
+    if (leafset_touched[l.index()]) stats->touched_leafsets.push_back(l);
   }
+  CSPM_DCHECK_OK(CheckInvariants(*this));
   return Status::OK();
 }
 
@@ -433,14 +442,14 @@ MergeOutcome InvertedDatabase::MergeLeafsets(LeafsetId x, LeafsetId y) {
 
   const LeafsetId u = leafsets_.InternUnion(x, y);
   outcome.merged_id = u;
-  if (u >= lines_of_.size()) lines_of_.resize(u + 1);
+  if (u.index() >= lines_of_.size()) lines_of_.resize(u.index() + 1);
 
   PosList intersection;
   PosList remainder;
   for (CoreId e : shared) {
     // Indices are re-searched per coreset: erasures shift the vectors.
-    LeafsetLines& lx = lines_of_[x];
-    LeafsetLines& ly = lines_of_[y];
+    LeafsetLines& lx = lines_of_[x.index()];
+    LeafsetLines& ly = lines_of_[y.index()];
     const size_t ix = LowerBoundCore(lx, e);
     const size_t iy = LowerBoundCore(ly, e);
     CSPM_DCHECK(ix < lx.cores.size() && lx.cores[ix] == e);
@@ -469,7 +478,7 @@ MergeOutcome InvertedDatabase::MergeLeafsets(LeafsetId x, LeafsetId y) {
     }
     // Grow (or create) the union line. Positions are disjoint from any
     // existing union-line positions by the losslessness invariant.
-    LeafsetLines& lu = lines_of_[u];
+    LeafsetLines& lu = lines_of_[u.index()];
     const size_t iu = LowerBoundCore(lu, e);
     if (iu == lu.cores.size() || lu.cores[iu] != e) {
       if (lu.cores.empty()) ActivateLeafset(u);
@@ -485,8 +494,8 @@ MergeOutcome InvertedDatabase::MergeLeafsets(LeafsetId x, LeafsetId y) {
       pool_.Assign(lu.refs[iu], merged);
     }
     // Two line-occurrences removed, one added: f_e drops by |I|.
-    CSPM_DCHECK(core_line_total_[e] >= intersection.size());
-    core_line_total_[e] -= intersection.size();
+    CSPM_DCHECK(core_line_total_[e.index()] >= intersection.size());
+    core_line_total_[e.index()] -= intersection.size();
   }
   if (outcome.no_op) return outcome;
 

@@ -47,7 +47,7 @@ void GatherDistinctNeighbourAttrs(const graph::AttributedGraph& g, VertexId v,
 
 /// Outcome of merging the leafsets of a candidate pair.
 struct MergeOutcome {
-  LeafsetId merged_id = 0;
+  LeafsetId merged_id{};
   /// Members of the merged pair whose last line vanished (Algorithm 4's
   /// l_total).
   std::vector<LeafsetId> totally_merged;
@@ -114,23 +114,23 @@ class InvertedDatabase {
 
   /// Attribute values of coreset c.
   const std::vector<AttrId>& CoresetValues(CoreId c) const {
-    return coreset_values_[c];
+    return coreset_values_[c.index()];
   }
   /// Static mapping-table frequency of coreset c (number of vertices it
   /// covers), used by ST / Code_c (Eq. 5).
-  uint64_t CoresetFrequency(CoreId c) const { return coreset_freq_[c]; }
+  uint64_t CoresetFrequency(CoreId c) const { return coreset_freq_[c.index()]; }
   /// Sum of CoresetFrequency over all coresets.
   uint64_t total_coreset_frequency() const { return total_coreset_freq_; }
 
   /// Dynamic total f_e = sum of line frequencies under coreset e (the c_j of
   /// Eq. 8; decreases by xy_e at each merge).
-  uint64_t CoreLineTotal(CoreId e) const { return core_line_total_[e]; }
+  uint64_t CoreLineTotal(CoreId e) const { return core_line_total_[e.index()]; }
 
   /// Positions of line (e, l); an empty view when the line does not exist
   /// (lines never have empty position lists).
   PosListView FindLine(CoreId e, LeafsetId l) const {
-    if (l >= lines_of_.size()) return {};
-    const LeafsetLines& lines = lines_of_[l];
+    if (l.index() >= lines_of_.size()) return {};
+    const LeafsetLines& lines = lines_of_[l.index()];
     const size_t i = LowerBoundCore(lines, e);
     if (i == lines.cores.size() || lines.cores[i] != e) return {};
     return pool_.View(lines.refs[i]);
@@ -140,8 +140,8 @@ class InvertedDatabase {
   /// inactive leafsets).
   const std::vector<CoreId>& CoresOf(LeafsetId l) const {
     static const std::vector<CoreId> kEmptyCores;
-    if (l >= lines_of_.size()) return kEmptyCores;
-    return lines_of_[l].cores;
+    if (l.index() >= lines_of_.size()) return kEmptyCores;
+    return lines_of_[l.index()].cores;
   }
 
   /// Iterates the shared coresets of leafsets x and y in ascending order,
@@ -149,9 +149,11 @@ class InvertedDatabase {
   /// PosListView y_positions). This is the gain formula's inner loop.
   template <typename Fn>
   void ForEachSharedCore(LeafsetId x, LeafsetId y, Fn&& fn) const {
-    if (x >= lines_of_.size() || y >= lines_of_.size()) return;
-    const LeafsetLines& lx = lines_of_[x];
-    const LeafsetLines& ly = lines_of_[y];
+    if (x.index() >= lines_of_.size() || y.index() >= lines_of_.size()) {
+      return;
+    }
+    const LeafsetLines& lx = lines_of_[x.index()];
+    const LeafsetLines& ly = lines_of_[y.index()];
     size_t i = 0;
     size_t j = 0;
     while (i < lx.cores.size() && j < ly.cores.size()) {
@@ -171,8 +173,8 @@ class InvertedDatabase {
   /// fn(CoreId, LeafsetId, PosListView).
   template <typename Fn>
   void ForEachLine(Fn&& fn) const {
-    for (LeafsetId l = 0; l < lines_of_.size(); ++l) {
-      const LeafsetLines& lines = lines_of_[l];
+    for (LeafsetId l(0); l.index() < lines_of_.size(); ++l) {
+      const LeafsetLines& lines = lines_of_[l.index()];
       for (size_t i = 0; i < lines.cores.size(); ++i) {
         fn(lines.cores[i], l, pool_.View(lines.refs[i]));
       }

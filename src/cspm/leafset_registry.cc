@@ -10,7 +10,7 @@ LeafsetId LeafsetRegistry::Intern(std::vector<AttrId> values) {
   CSPM_DCHECK(std::is_sorted(values.begin(), values.end()));
   auto it = index_.find(values);
   if (it != index_.end()) return it->second;
-  LeafsetId id = static_cast<LeafsetId>(sets_.size());
+  LeafsetId id(static_cast<uint32_t>(sets_.size()));
   index_.emplace(values, id);
   sets_.push_back(std::move(values));
   return id;
@@ -22,8 +22,8 @@ LeafsetId LeafsetRegistry::Find(const std::vector<AttrId>& values) const {
 }
 
 const std::vector<AttrId>& LeafsetRegistry::Values(LeafsetId id) const {
-  CSPM_CHECK(id < sets_.size());
-  return sets_[id];
+  CSPM_CHECK(id.index() < sets_.size());
+  return sets_[id.index()];
 }
 
 std::vector<AttrId> LeafsetRegistry::UnionValues(LeafsetId a,

@@ -18,7 +18,7 @@ struct LeafsetHash {
   size_t operator()(const std::vector<AttrId>& values) const {
     uint64_t h = 1469598103934665603ull;
     for (AttrId v : values) {
-      h = (h ^ v) * 1099511628211ull;
+      h = (h ^ v.value()) * 1099511628211ull;
     }
     return static_cast<size_t>(h);
   }

@@ -55,18 +55,19 @@ Status BuildSlimCoresets(const graph::AttributedGraph& g,
     coreset_values->emplace_back(ct.entries()[i].items.begin(),
                                  ct.entries()[i].items.end());
   }
-  vertex_coresets->assign(g.num_vertices(), {});
+  vertex_coresets->assign(g.num_vertices().index(), {});
   std::vector<size_t> used;
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+  for (VertexId v(0); v < g.num_vertices(); ++v) {
     used.clear();
-    const auto& t = db.transaction(v);
+    const auto& t = db.transaction(v.index());
     if (t.empty()) continue;
     ct.CoverTransaction(t, &used);
     for (size_t idx : used) {
-      (*vertex_coresets)[v].push_back(
-          static_cast<CoreId>(entry_to_core[idx]));
+      (*vertex_coresets)[v.index()].push_back(
+          CoreId(static_cast<uint32_t>(entry_to_core[idx])));
     }
-    std::sort((*vertex_coresets)[v].begin(), (*vertex_coresets)[v].end());
+    std::sort((*vertex_coresets)[v.index()].begin(),
+              (*vertex_coresets)[v.index()].end());
   }
   return Status::OK();
 }
@@ -94,8 +95,8 @@ struct SearchContext {
 /// bit-identical as long as rows are reduced in ascending order.
 struct BestPair {
   double gain = 0.0;
-  LeafsetId x = 0;
-  LeafsetId y = 0;
+  LeafsetId x{};
+  LeafsetId y{};
   bool found = false;
 
   void Offer(double g, double threshold, LeafsetId px, LeafsetId py) {
@@ -284,8 +285,8 @@ void RunPartialLoop(const SearchContext& ctx, CandidateStore& store,
         PossiblePairs(ctx.idb->num_active_leafsets());
     uint64_t computations = 0;
 
-    LeafsetId x = 0;
-    LeafsetId y = 0;
+    LeafsetId x{};
+    LeafsetId y{};
     double stored_gain = 0.0;
     if (!store.PopBest(&x, &y, &stored_gain)) break;
 
@@ -385,17 +386,18 @@ std::vector<uint64_t> CollectDirtyCandidatePairs(
   const bool dense = m <= 8192;
   std::vector<uint64_t> bits(dense ? (m * m + 63) / 64 : 0, 0);
   std::unordered_set<uint64_t> sparse;
-  std::vector<char> vertex_done(new_graph.num_vertices(), 0);
+  std::vector<char> vertex_done(new_graph.num_vertices().index(), 0);
   std::vector<AttrId> attrs;  // distinct neighbour attrs of one vertex
 
   auto mark_pairs = [&]() {
     for (size_t i = 0; i < attrs.size(); ++i) {
       for (size_t j = i + 1; j < attrs.size(); ++j) {
         if (dense) {
-          const size_t bit = size_t{attrs[i]} * m + attrs[j];
+          const size_t bit = attrs[i].index() * m + attrs[j].index();
           bits[bit >> 6] |= uint64_t{1} << (bit & 63);
         } else {
-          sparse.insert(CandidatePairKey(attrs[i], attrs[j]));
+          sparse.insert(CandidatePairKey(LeafsetId(attrs[i].value()),
+                                         LeafsetId(attrs[j].value())));
         }
       }
     }
@@ -406,9 +408,10 @@ std::vector<uint64_t> CollectDirtyCandidatePairs(
   // intersection of both members' lines under that core, so f_e and/or
   // line changes reach the pair's gain).
   for (CoreId c : dirty_cores) {
-    for (VertexId v : new_graph.VerticesWithAttribute(c)) {
-      if (vertex_done[v]) continue;
-      vertex_done[v] = 1;
+    // Single-value-coreset mode: core id c is attribute value c.
+    for (VertexId v : new_graph.VerticesWithAttribute(AttrId(c.value()))) {
+      if (vertex_done[v.index()]) continue;
+      vertex_done[v.index()] = 1;
       GatherDistinctNeighbourAttrs(new_graph, v, &attrs);
       mark_pairs();
     }
@@ -431,8 +434,9 @@ std::vector<uint64_t> CollectDirtyCandidatePairs(
       while (word != 0) {
         const size_t idx = w * 64 + static_cast<size_t>(std::countr_zero(word));
         word &= word - 1;
-        keys.push_back(CandidatePairKey(static_cast<LeafsetId>(idx / m),
-                                        static_cast<LeafsetId>(idx % m)));
+        keys.push_back(
+            CandidatePairKey(LeafsetId(static_cast<uint32_t>(idx / m)),
+                             LeafsetId(static_cast<uint32_t>(idx % m))));
       }
     }
   } else {

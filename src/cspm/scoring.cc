@@ -20,14 +20,16 @@ AttributeScores ScoreAttributesWithNeighbourhood(
 
   std::vector<bool> in_neighbourhood(num_attribute_values, false);
   for (AttrId a : neighbourhood_attrs) {
-    if (a < num_attribute_values) in_neighbourhood[a] = true;
+    if (a.index() < num_attribute_values) in_neighbourhood[a.index()] = true;
   }
 
   for (const AStar& s : model.astars) {
     if (s.leaf_values.empty()) continue;
     size_t matched = 0;
     for (AttrId a : s.leaf_values) {
-      if (a < num_attribute_values && in_neighbourhood[a]) ++matched;
+      if (a.index() < num_attribute_values && in_neighbourhood[a.index()]) {
+        ++matched;
+      }
     }
     const double similarity = static_cast<double>(matched) /
                               static_cast<double>(s.leaf_values.size());
@@ -35,8 +37,8 @@ AttributeScores ScoreAttributesWithNeighbourhood(
     const double w = 1.0 / similarity;
     const double cl = -w * s.code_length_bits;
     for (AttrId cv : s.core_values) {
-      if (cv < num_attribute_values && cl > scores.raw[cv]) {
-        scores.raw[cv] = cl;
+      if (cv.index() < num_attribute_values && cl > scores.raw[cv.index()]) {
+        scores.raw[cv.index()] = cl;
       }
     }
   }

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <limits>
 
+#include "util/check.h"
+#include "util/string_util.h"
+
 namespace cspm::core {
 namespace {
 
@@ -26,10 +29,10 @@ ScoringPlan ScoringPlan::Compile(const CspmModel& model,
     if (s.leaf_values.empty()) continue;
     ++num_stars;
     for (AttrId cv : s.core_values) {
-      if (cv < num_attribute_values) ++num_cores;
+      if (cv.index() < num_attribute_values) ++num_cores;
     }
     for (AttrId a : s.leaf_values) {
-      if (a < num_attribute_values) ++posting_counts[a];
+      if (a.index() < num_attribute_values) ++posting_counts[a.index()];
     }
   }
 
@@ -55,15 +58,93 @@ ScoringPlan ScoringPlan::Compile(const CspmModel& model,
     plan.leaf_size_.push_back(static_cast<uint32_t>(s.leaf_values.size()));
     plan.code_length_bits_.push_back(s.code_length_bits);
     for (AttrId cv : s.core_values) {
-      if (cv < num_attribute_values) plan.cores_.push_back(cv);
+      if (cv.index() < num_attribute_values) plan.cores_.push_back(cv);
     }
     plan.core_offsets_.push_back(static_cast<uint32_t>(plan.cores_.size()));
     for (AttrId a : s.leaf_values) {
-      if (a < num_attribute_values) plan.postings_[cursor[a]++] = star;
+      if (a.index() < num_attribute_values) {
+        plan.postings_[cursor[a.index()]++] = star;
+      }
     }
     ++star;
   }
+  CSPM_DCHECK_OK(plan.CheckInvariants());
   return plan;
+}
+
+Status ScoringPlan::CheckInvariants() const {
+  const size_t stars = leaf_size_.size();
+  if (code_length_bits_.size() != stars) {
+    return Status::Internal("code-length table size != star count");
+  }
+  if (core_offsets_.size() != stars + 1 || core_offsets_.front() != 0) {
+    return Status::Internal("core offset table malformed");
+  }
+  for (size_t s = 0; s < stars; ++s) {
+    if (leaf_size_[s] == 0) {
+      return Status::Internal(StrFormat(
+          "compiled star %zu has an empty leafset — Compile must drop it",
+          s));
+    }
+    if (!std::isfinite(code_length_bits_[s]) || code_length_bits_[s] < 0.0) {
+      return Status::Internal(
+          StrFormat("compiled star %zu has invalid code length", s));
+    }
+    if (core_offsets_[s] > core_offsets_[s + 1]) {
+      return Status::Internal(
+          StrFormat("core offsets decrease at star %zu", s));
+    }
+  }
+  if (core_offsets_.back() != cores_.size()) {
+    return Status::Internal("core offsets do not cover the core slab");
+  }
+  for (AttrId cv : cores_) {
+    if (cv.index() >= num_attrs_) {
+      return Status::Internal(StrFormat(
+          "core value %u outside the attribute space (%u)", cv.value(),
+          num_attrs_));
+    }
+  }
+
+  if (posting_offsets_.size() != static_cast<size_t>(num_attrs_) + 1 ||
+      posting_offsets_.front() != 0) {
+    return Status::Internal("posting offset table malformed");
+  }
+  std::vector<uint32_t> per_star_postings(stars, 0);
+  for (size_t a = 0; a < num_attrs_; ++a) {
+    if (posting_offsets_[a] > posting_offsets_[a + 1]) {
+      return Status::Internal(
+          StrFormat("posting offsets decrease at attribute %zu", a));
+    }
+    for (uint32_t i = posting_offsets_[a]; i < posting_offsets_[a + 1]; ++i) {
+      const uint32_t s = postings_[i];
+      if (s >= stars) {
+        return Status::Internal(StrFormat(
+            "posting of attribute %zu names unknown star %u", a, s));
+      }
+      // A star may appear at most once per attribute (leafsets are sets);
+      // postings within one attribute are ascending by construction.
+      if (i > posting_offsets_[a] && postings_[i - 1] >= s) {
+        return Status::Internal(StrFormat(
+            "postings of attribute %zu not strictly ascending", a));
+      }
+      ++per_star_postings[s];
+    }
+  }
+  if (posting_offsets_.back() != postings_.size()) {
+    return Status::Internal("posting offsets do not cover the posting slab");
+  }
+  // Every posting entry is one in-range leaf value of the star, so a star
+  // can never be referenced more often than its leafset size (out-of-range
+  // leaf values count toward leaf_size_ but get no posting).
+  for (size_t s = 0; s < stars; ++s) {
+    if (per_star_postings[s] > leaf_size_[s]) {
+      return Status::Internal(StrFormat(
+          "star %zu referenced by %u postings but its leafset holds %u",
+          s, per_star_postings[s], leaf_size_[s]));
+    }
+  }
+  return Status::OK();
 }
 
 size_t ScoringPlan::memory_bytes() const {
@@ -95,17 +176,17 @@ void ScoringPlan::ScoreInto(std::span<const AttrId> neighbourhood_attrs,
   scratch->touched_stars.clear();
   scratch->seen_attrs.clear();
   for (AttrId a : neighbourhood_attrs) {
-    if (a >= num_attrs_ || scratch->attr_seen[a]) continue;
-    scratch->attr_seen[a] = 1;
+    if (a.index() >= num_attrs_ || scratch->attr_seen[a.index()]) continue;
+    scratch->attr_seen[a.index()] = 1;
     scratch->seen_attrs.push_back(a);
-    const uint32_t begin = posting_offsets_[a];
-    const uint32_t end = posting_offsets_[a + 1];
+    const uint32_t begin = posting_offsets_[a.index()];
+    const uint32_t end = posting_offsets_[a.index() + 1];
     for (uint32_t i = begin; i < end; ++i) {
       const uint32_t s = postings_[i];
       if (scratch->matched[s]++ == 0) scratch->touched_stars.push_back(s);
     }
   }
-  for (AttrId a : scratch->seen_attrs) scratch->attr_seen[a] = 0;
+  for (AttrId a : scratch->seen_attrs) scratch->attr_seen[a.index()] = 0;
 
   // Stars with matched == 0 have similarity 0 and can never move a score
   // (w diverges; cl is -inf or NaN, neither beats any raw value), so
@@ -121,7 +202,7 @@ void ScoringPlan::ScoreInto(std::span<const AttrId> neighbourhood_attrs,
     const uint32_t core_end = core_offsets_[s + 1];
     for (uint32_t i = core_offsets_[s]; i < core_end; ++i) {
       const AttrId cv = cores_[i];
-      if (cl > out->raw[cv]) out->raw[cv] = cl;
+      if (cl > out->raw[cv.index()]) out->raw[cv.index()] = cl;
     }
   }
 

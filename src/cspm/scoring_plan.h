@@ -78,6 +78,12 @@ class ScoringPlan {
   AttributeScores Score(std::span<const AttrId> neighbourhood_attrs,
                         const ScoringOptions& options = {}) const;
 
+  /// Deep structural validation of the compiled layout: monotone offset
+  /// tables, in-range star/core/posting ids, finite non-negative code
+  /// lengths, and posting lists consistent with the per-star leaf sizes.
+  /// Run under CSPM_DCHECK after Compile and by `cspm_shell fsck`.
+  Status CheckInvariants() const;
+
  private:
   uint32_t num_attrs_ = 0;
 

@@ -8,17 +8,22 @@
 
 #include "graph/attribute_dictionary.h"
 #include "graph/attributed_graph.h"
+#include "util/ids.h"
 
 namespace cspm::core {
 
 using graph::AttrId;
+using graph::AttrValueId;
 using graph::VertexId;
 
-/// Dense id of an interned leafset (set of leaf attribute values).
-using LeafsetId = uint32_t;
+/// Dense id of an interned leafset (set of leaf attribute values). Strong
+/// type: numerically a leafset id often equals the AttrValueId of its single
+/// member in the pre-merge database, but the axes are distinct and the
+/// conversion is spelled out where it is intentional.
+using LeafsetId = ::cspm::LeafsetId;
 /// Dense id of a coreset (set of core attribute values; a single value in
-/// the default single-core configuration).
-using CoreId = uint32_t;
+/// the default single-core configuration). Strong type, same rationale.
+using CoreId = ::cspm::CoreId;
 
 /// Sorted list of vertex positions (the third column of the inverted
 /// database), as an owning scratch buffer.

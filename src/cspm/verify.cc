@@ -11,7 +11,7 @@ Status VerifyLossless(const graph::AttributedGraph& g,
   // Count, for every (coreset, vertex, leaf value) triple that should be
   // represented, how many lines cover it.
   std::vector<AttrId> neighbourhood;
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+  for (VertexId v(0); v < g.num_vertices(); ++v) {
     neighbourhood.clear();
     for (VertexId w : g.Neighbors(v)) {
       auto attrs = g.Attributes(w);
@@ -23,14 +23,13 @@ Status VerifyLossless(const graph::AttributedGraph& g,
         neighbourhood.end());
     if (neighbourhood.empty()) continue;
 
-    for (CoreId c : idb.vertex_coresets()[v]) {
+    for (CoreId c : idb.vertex_coresets()[v.index()]) {
       // For each leaf value y in the neighbourhood: count lines under c
       // whose leafset contains y and whose positions contain v.
       std::vector<uint32_t> cover_count(neighbourhood.size(), 0);
       // Scan all lines of coreset c that contain v. We iterate active
       // leafsets having a line with c.
-      for (LeafsetId l = 0;
-           l < static_cast<LeafsetId>(idb.leafsets().size()); ++l) {
+      for (LeafsetId l(0); l.index() < idb.leafsets().size(); ++l) {
         const PosListView positions = idb.FindLine(c, l);
         if (positions.empty()) continue;
         if (!std::binary_search(positions.begin(), positions.end(), v)) {
@@ -43,7 +42,7 @@ Status VerifyLossless(const graph::AttributedGraph& g,
             return Status::Internal(StrFormat(
                 "line (core=%u, leafset=%u) places vertex %u but leaf "
                 "value %u is not in its neighbourhood",
-                c, l, v, y));
+                c.value(), l.value(), v.value(), y.value()));
           }
           ++cover_count[static_cast<size_t>(it - neighbourhood.begin())];
         }
@@ -53,8 +52,137 @@ Status VerifyLossless(const graph::AttributedGraph& g,
           return Status::Internal(StrFormat(
               "vertex %u, coreset %u, leaf value %u covered %u times "
               "(expected exactly 1)",
-              v, c, neighbourhood[i], cover_count[i]));
+              v.value(), c.value(), neighbourhood[i].value(),
+              cover_count[i]));
         }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckInvariants(const InvertedDatabase& idb) {
+  // Coreset tables: values sorted/unique, static frequencies summing to
+  // the reported total.
+  uint64_t freq_sum = 0;
+  for (CoreId c(0); c.index() < idb.num_coresets(); ++c) {
+    const auto& values = idb.CoresetValues(c);
+    for (size_t i = 1; i < values.size(); ++i) {
+      if (!(values[i - 1] < values[i])) {
+        return Status::Internal(StrFormat(
+            "coreset %u values not strictly ascending at slot %zu",
+            c.value(), i));
+      }
+    }
+    freq_sum += idb.CoresetFrequency(c);
+  }
+  if (freq_sum != idb.total_coreset_frequency()) {
+    return Status::Internal(StrFormat(
+        "coreset frequency sum %llu != reported total %llu",
+        static_cast<unsigned long long>(freq_sum),
+        static_cast<unsigned long long>(idb.total_coreset_frequency())));
+  }
+
+  // Leafset registry: every interned set sorted and duplicate-free.
+  for (LeafsetId l(0); l.index() < idb.leafsets().size(); ++l) {
+    const auto& values = idb.leafsets().Values(l);
+    for (size_t i = 1; i < values.size(); ++i) {
+      if (!(values[i - 1] < values[i])) {
+        return Status::Internal(StrFormat(
+            "leafset %u values not strictly ascending at slot %zu",
+            l.value(), i));
+      }
+    }
+  }
+
+  // Lines: recompute every dynamic total from scratch and compare.
+  std::vector<uint64_t> core_totals(idb.num_coresets(), 0);
+  std::vector<uint8_t> leafset_has_line(idb.leafsets().size(), 0);
+  size_t line_count = 0;
+  Status line_status = Status::OK();
+  idb.ForEachLine([&](CoreId e, LeafsetId l, PosListView positions) {
+    if (!line_status.ok()) return;
+    ++line_count;
+    if (e.index() >= idb.num_coresets()) {
+      line_status = Status::Internal(StrFormat(
+          "line under unknown coreset %u (have %zu)", e.value(),
+          idb.num_coresets()));
+      return;
+    }
+    if (l.index() >= idb.leafsets().size()) {
+      line_status = Status::Internal(StrFormat(
+          "line under unknown leafset %u (have %zu)", l.value(),
+          idb.leafsets().size()));
+      return;
+    }
+    if (positions.empty()) {
+      line_status = Status::Internal(StrFormat(
+          "line (core=%u, leafset=%u) has an empty position list — empty "
+          "lines must be erased",
+          e.value(), l.value()));
+      return;
+    }
+    for (size_t i = 1; i < positions.size(); ++i) {
+      if (!(positions[i - 1] < positions[i])) {
+        line_status = Status::Internal(StrFormat(
+            "line (core=%u, leafset=%u) positions not strictly ascending "
+            "at slot %zu",
+            e.value(), l.value(), i));
+        return;
+      }
+    }
+    core_totals[e.index()] += positions.size();
+    leafset_has_line[l.index()] = 1;
+  });
+  CSPM_RETURN_IF_ERROR(line_status);
+
+  if (line_count != idb.num_lines()) {
+    return Status::Internal(StrFormat(
+        "counted %zu lines but num_lines() reports %zu", line_count,
+        idb.num_lines()));
+  }
+  for (CoreId e(0); e.index() < idb.num_coresets(); ++e) {
+    if (core_totals[e.index()] != idb.CoreLineTotal(e)) {
+      return Status::Internal(StrFormat(
+          "coreset %u: recomputed f_e %llu != maintained %llu", e.value(),
+          static_cast<unsigned long long>(core_totals[e.index()]),
+          static_cast<unsigned long long>(idb.CoreLineTotal(e))));
+    }
+  }
+
+  // Per-leafset line tables sorted by core, and the active list exactly
+  // the leafsets that own at least one line.
+  const auto& actives = idb.active_leafsets();
+  for (size_t i = 1; i < actives.size(); ++i) {
+    if (!(actives[i - 1] < actives[i])) {
+      return Status::Internal(StrFormat(
+          "active leafset list not strictly ascending at slot %zu", i));
+    }
+  }
+  if (actives.size() != idb.num_active_leafsets()) {
+    return Status::Internal("active leafset count disagrees with the list");
+  }
+  std::vector<uint8_t> is_active(idb.leafsets().size(), 0);
+  for (LeafsetId l : actives) {
+    if (l.index() >= idb.leafsets().size()) {
+      return Status::Internal(
+          StrFormat("active leafset %u is not interned", l.value()));
+    }
+    is_active[l.index()] = 1;
+  }
+  for (LeafsetId l(0); l.index() < idb.leafsets().size(); ++l) {
+    if (leafset_has_line[l.index()] != is_active[l.index()]) {
+      return Status::Internal(StrFormat(
+          "leafset %u: has-line=%u but active=%u — activation bookkeeping "
+          "out of sync",
+          l.value(), leafset_has_line[l.index()], is_active[l.index()]));
+    }
+    const auto& cores = idb.CoresOf(l);
+    for (size_t i = 1; i < cores.size(); ++i) {
+      if (!(cores[i - 1] < cores[i])) {
+        return Status::Internal(StrFormat(
+            "leafset %u line table not strictly ascending at slot %zu",
+            l.value(), i));
       }
     }
   }

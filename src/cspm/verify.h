@@ -18,6 +18,13 @@ namespace cspm::core {
 Status VerifyLossless(const graph::AttributedGraph& g,
                       const InvertedDatabase& idb);
 
+/// Deep structural validation of the pooled inverted database, independent
+/// of any graph: sorted/unique coreset values and leafset values, sorted
+/// non-empty position lists, per-core f_e totals that match the lines,
+/// active-leafset bookkeeping that matches line existence, and consistent
+/// global counters. Run under CSPM_DCHECK after builds and delta patches.
+Status CheckInvariants(const InvertedDatabase& idb);
+
 }  // namespace cspm::core
 
 #endif  // CSPM_CSPM_VERIFY_H_

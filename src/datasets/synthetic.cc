@@ -46,8 +46,8 @@ Status AddCommunityEdges(GraphBuilder* builder,
   const uint32_t n = static_cast<uint32_t>(community.size());
   std::vector<std::vector<VertexId>> members_so_far(
       1 + *std::max_element(community.begin(), community.end()));
-  for (VertexId v = 0; v < n; ++v) {
-    auto& own = members_so_far[community[v]];
+  for (VertexId v(0); v.value() < n; ++v) {
+    auto& own = members_so_far[community[v.index()]];
     const uint32_t k = rng->Bernoulli(edges_per_vertex -
                                       std::floor(edges_per_vertex))
                            ? static_cast<uint32_t>(edges_per_vertex) + 1
@@ -56,8 +56,8 @@ Status AddCommunityEdges(GraphBuilder* builder,
       VertexId target;
       if (!own.empty() && !rng->Bernoulli(cross_probability)) {
         target = own[rng->Uniform(own.size())];
-      } else if (v > 0) {
-        target = static_cast<VertexId>(rng->Uniform(v));
+      } else if (v.value() > 0) {
+        target = VertexId(static_cast<uint32_t>(rng->Uniform(v.value())));
       } else {
         continue;
       }
@@ -81,11 +81,11 @@ StatusOr<graph::AttributedGraph> MakeDblpVariant(uint64_t seed,
 
   GraphBuilder builder;
   std::vector<uint32_t> community(num_vertices);
-  for (VertexId v = 0; v < num_vertices; ++v) {
-    community[v] = static_cast<uint32_t>(rng.Zipf(kAreas, 1.1));
+  for (VertexId v(0); v.value() < num_vertices; ++v) {
+    community[v.index()] = static_cast<uint32_t>(rng.Zipf(kAreas, 1.1));
   }
-  for (VertexId v = 0; v < num_vertices; ++v) {
-    const auto& pool = pools[community[v]];
+  for (VertexId v(0); v.value() < num_vertices; ++v) {
+    const auto& pool = pools[community[v.index()]];
     const uint32_t num_venues =
         static_cast<uint32_t>(rng.UniformInt(2, 4));
     std::vector<AttrId> attrs;
@@ -101,7 +101,7 @@ StatusOr<graph::AttributedGraph> MakeDblpVariant(uint64_t seed,
         // Trends correlate within a community: each community has a
         // dominant trend per venue index.
         const uint32_t dominant =
-            (community[v] + i) % 3;
+            (community[v.index()] + i) % 3;
         const uint32_t trend =
             rng.Bernoulli(0.75) ? dominant
                                 : static_cast<uint32_t>(rng.Uniform(3));
@@ -142,8 +142,8 @@ StatusOr<graph::AttributedGraph> MakeUsflightLike(uint64_t seed,
   auto edges = graph::BarabasiAlbertEdges(num_airports, /*m=*/15, &rng);
   std::vector<uint32_t> degree(num_airports, 0);
   for (auto [u, v] : edges) {
-    ++degree[u];
-    ++degree[v];
+    ++degree[u.index()];
+    ++degree[v.index()];
   }
   uint32_t degree_threshold = 0;
   {
@@ -152,9 +152,9 @@ StatusOr<graph::AttributedGraph> MakeUsflightLike(uint64_t seed,
     degree_threshold = sorted[num_airports * 85 / 100];  // top 15% = hubs
   }
 
-  for (VertexId v = 0; v < num_airports; ++v) {
+  for (VertexId v(0); v.value() < num_airports; ++v) {
     std::vector<AttrId> attrs;
-    const bool hub = degree[v] >= degree_threshold;
+    const bool hub = degree[v.index()] >= degree_threshold;
     // Planted pattern: hubs lose departures; spokes gain them and see
     // fewer arrival delays (the paper's USFlight example).
     if (hub && rng.Bernoulli(0.8)) {
@@ -195,12 +195,12 @@ StatusOr<graph::AttributedGraph> MakePokecLike(uint64_t seed,
   const uint32_t kCommunities = 40;
 
   std::vector<uint32_t> community(num_vertices);
-  for (VertexId v = 0; v < num_vertices; ++v) {
-    community[v] = static_cast<uint32_t>(rng.Uniform(kCommunities));
+  for (VertexId v(0); v.value() < num_vertices; ++v) {
+    community[v.index()] = static_cast<uint32_t>(rng.Uniform(kCommunities));
   }
-  for (VertexId v = 0; v < num_vertices; ++v) {
+  for (VertexId v(0); v.value() < num_vertices; ++v) {
     std::vector<AttrId> attrs;
-    const uint32_t kind = community[v] % 4;  // 0: young, 1: old, 2-3: mixed
+    const uint32_t kind = community[v.index()] % 4;  // 0: young, 1: old, 2-3: mixed
     if (kind == 0) {
       attrs.push_back(builder.InternAttribute(kYoung[rng.Uniform(5)]));
       if (rng.Bernoulli(0.7)) {

@@ -18,8 +18,8 @@ struct CoreHarness::Impl {
   size_t cursor_i = 0;
   size_t cursor_j = 1;
   // Staged merge pair.
-  core::LeafsetId staged_x = 0;
-  core::LeafsetId staged_y = 0;
+  core::LeafsetId staged_x{};
+  core::LeafsetId staged_y{};
   bool staged = false;
   // Cached across GainSweepAllPairs calls so benchmark loops measure the
   // sweep, not thread spawn/join.

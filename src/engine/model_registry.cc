@@ -44,8 +44,9 @@ StatusOr<core::AttributeScores> ServableModel::ScoreVertex(
         "model has no graph snapshot; use ScoreWithNeighbourhood");
   }
   if (v >= graph->num_vertices()) {
-    return Status::OutOfRange(StrFormat("vertex %u out of range (%u vertices)",
-                                        v, graph->num_vertices()));
+    return Status::OutOfRange(
+        StrFormat("vertex %u out of range (%u vertices)", v.value(),
+                  graph->num_vertices().value()));
   }
   if (graph->num_attribute_values() != dict.size()) {
     return Status::FailedPrecondition(StrFormat(

@@ -105,15 +105,18 @@ StatusOr<std::vector<core::AttributeScores>> ServingEngine::ScoreBatch(
     if (vertices[i] >= graph_->num_vertices()) {
       return Status::OutOfRange(
           StrFormat("batch slot %zu: vertex %u out of range (%u vertices)", i,
-                    vertices[i], graph_->num_vertices()));
+                    vertices[i].value(), graph_->num_vertices().value()));
     }
   }
   return ScoreValidated(vertices);
 }
 
 std::vector<core::AttributeScores> ServingEngine::ScoreAll() const {
-  std::vector<graph::VertexId> vertices(graph_->num_vertices());
-  std::iota(vertices.begin(), vertices.end(), 0);
+  std::vector<graph::VertexId> vertices;
+  vertices.reserve(graph_->num_vertices().index());
+  for (graph::VertexId v(0); v < graph_->num_vertices(); ++v) {
+    vertices.push_back(v);
+  }
   return ScoreValidated(vertices);
 }
 
@@ -121,7 +124,8 @@ StatusOr<core::AttributeScores> ServingEngine::ScoreVertex(
     graph::VertexId v) const {
   if (v >= graph_->num_vertices()) {
     return Status::OutOfRange(StrFormat("vertex %u out of range (%u vertices)",
-                                        v, graph_->num_vertices()));
+                                        v.value(),
+                                        graph_->num_vertices().value()));
   }
   // A batch of one: single-element batches take the serial path.
   std::vector<core::AttributeScores> results = ScoreValidated({&v, 1});

@@ -7,7 +7,7 @@ namespace cspm::graph {
 AttrId AttributeDictionary::Intern(std::string_view name) {
   auto it = index_.find(std::string(name));
   if (it != index_.end()) return it->second;
-  AttrId id = static_cast<AttrId>(names_.size());
+  AttrId id(static_cast<uint32_t>(names_.size()));
   names_.emplace_back(name);
   index_.emplace(names_.back(), id);
   return id;
@@ -19,8 +19,8 @@ AttrId AttributeDictionary::Find(std::string_view name) const {
 }
 
 const std::string& AttributeDictionary::Name(AttrId id) const {
-  CSPM_CHECK(id < names_.size());
-  return names_[id];
+  CSPM_CHECK(id.index() < names_.size());
+  return names_[id.index()];
 }
 
 }  // namespace cspm::graph

@@ -9,10 +9,16 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/ids.h"
+
 namespace cspm::graph {
 
 /// Dense id of a nominal attribute value (e.g. "ICDM", "rock", "Link_down").
-using AttrId = uint32_t;
+/// A strong type: constructing one from a raw integer is explicit, and it
+/// cannot be confused with a VertexId / LeafsetId / CoreId (util/ids.h).
+using AttrValueId = ::cspm::AttrValueId;
+/// Historical shorthand, same strong type.
+using AttrId = AttrValueId;
 
 /// Interns attribute-value names to dense AttrIds.
 class AttributeDictionary {

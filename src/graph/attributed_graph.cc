@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "graph/validate.h"
 #include "util/check.h"
 #include "util/string_util.h"
 
@@ -19,19 +20,19 @@ bool AttributedGraph::HasEdge(VertexId u, VertexId v) const {
 }
 
 bool AttributedGraph::IsConnected() const {
-  const VertexId n = num_vertices();
+  const size_t n = num_vertices().index();
   if (n == 0) return true;
   std::vector<bool> seen(n, false);
   std::queue<VertexId> q;
-  q.push(0);
+  q.push(VertexId(0));
   seen[0] = true;
-  VertexId visited = 1;
+  size_t visited = 1;
   while (!q.empty()) {
     VertexId v = q.front();
     q.pop();
     for (VertexId w : Neighbors(v)) {
-      if (!seen[w]) {
-        seen[w] = true;
+      if (!seen[w.index()]) {
+        seen[w.index()] = true;
         ++visited;
         q.push(w);
       }
@@ -54,16 +55,16 @@ VertexId GraphBuilder::AddVertexWithIds(std::vector<AttrId> attribute_ids) {
       std::unique(attribute_ids.begin(), attribute_ids.end()),
       attribute_ids.end());
   vertex_attrs_.push_back(std::move(attribute_ids));
-  return static_cast<VertexId>(vertex_attrs_.size() - 1);
+  return VertexId(static_cast<uint32_t>(vertex_attrs_.size() - 1));
 }
 
 Status GraphBuilder::AddVertexAttribute(VertexId v,
                                         std::string_view attribute_name) {
-  if (v >= vertex_attrs_.size()) {
+  if (v.index() >= vertex_attrs_.size()) {
     return Status::InvalidArgument("AddVertexAttribute: unknown vertex");
   }
   AttrId a = dict_.Intern(attribute_name);
-  auto& attrs = vertex_attrs_[v];
+  auto& attrs = vertex_attrs_[v.index()];
   auto it = std::lower_bound(attrs.begin(), attrs.end(), a);
   if (it == attrs.end() || *it != a) attrs.insert(it, a);
   return Status::OK();
@@ -72,9 +73,9 @@ Status GraphBuilder::AddVertexAttribute(VertexId v,
 Status GraphBuilder::AddEdge(VertexId u, VertexId v) {
   if (u == v) {
     return Status::InvalidArgument(
-        StrFormat("self-loop on vertex %u rejected", u));
+        StrFormat("self-loop on vertex %u rejected", u.value()));
   }
-  if (u >= vertex_attrs_.size() || v >= vertex_attrs_.size()) {
+  if (u.index() >= vertex_attrs_.size() || v.index() >= vertex_attrs_.size()) {
     return Status::InvalidArgument("AddEdge: unknown endpoint");
   }
   if (u > v) std::swap(u, v);
@@ -83,16 +84,16 @@ Status GraphBuilder::AddEdge(VertexId u, VertexId v) {
 }
 
 StatusOr<AttributedGraph> GraphBuilder::Build(bool require_connected) && {
-  const VertexId n = static_cast<VertexId>(vertex_attrs_.size());
+  const size_t n = vertex_attrs_.size();
   if (n == 0) return Status::InvalidArgument("graph has no vertices");
   // Ids handed to AddVertexWithIds must have been interned: an id outside
   // the dictionary would corrupt the inverted index below.
   for (const auto& attrs : vertex_attrs_) {
     for (AttrId a : attrs) {
-      if (a >= dict_.size()) {
+      if (a.index() >= dict_.size()) {
         return Status::InvalidArgument(StrFormat(
-            "attribute id %u not in the dictionary (%zu names interned)", a,
-            dict_.size()));
+            "attribute id %u not in the dictionary (%zu names interned)",
+            a.value(), dict_.size()));
       }
     }
   }
@@ -106,32 +107,32 @@ StatusOr<AttributedGraph> GraphBuilder::Build(bool require_connected) && {
   // CSR adjacency (each undirected edge stored in both directions).
   std::vector<uint32_t> degree(n, 0);
   for (const auto& [u, v] : edges_) {
-    ++degree[u];
-    ++degree[v];
+    ++degree[u.index()];
+    ++degree[v.index()];
   }
   g.adj_offsets_.assign(n + 1, 0);
-  for (VertexId v = 0; v < n; ++v) {
+  for (size_t v = 0; v < n; ++v) {
     g.adj_offsets_[v + 1] = g.adj_offsets_[v] + degree[v];
   }
   g.adjacency_.resize(2 * edges_.size());
   std::vector<uint64_t> cursor(g.adj_offsets_.begin(),
                                g.adj_offsets_.end() - 1);
   for (const auto& [u, v] : edges_) {
-    g.adjacency_[cursor[u]++] = v;
-    g.adjacency_[cursor[v]++] = u;
+    g.adjacency_[cursor[u.index()]++] = v;
+    g.adjacency_[cursor[v.index()]++] = u;
   }
-  for (VertexId v = 0; v < n; ++v) {
+  for (size_t v = 0; v < n; ++v) {
     std::sort(g.adjacency_.begin() + static_cast<long>(g.adj_offsets_[v]),
               g.adjacency_.begin() + static_cast<long>(g.adj_offsets_[v + 1]));
   }
 
   // CSR vertex -> attributes (already sorted & deduped per vertex).
   g.attr_offsets_.assign(n + 1, 0);
-  for (VertexId v = 0; v < n; ++v) {
+  for (size_t v = 0; v < n; ++v) {
     g.attr_offsets_[v + 1] = g.attr_offsets_[v] + vertex_attrs_[v].size();
   }
   g.attrs_.reserve(g.attr_offsets_[n]);
-  for (VertexId v = 0; v < n; ++v) {
+  for (size_t v = 0; v < n; ++v) {
     g.attrs_.insert(g.attrs_.end(), vertex_attrs_[v].begin(),
                     vertex_attrs_[v].end());
   }
@@ -139,7 +140,7 @@ StatusOr<AttributedGraph> GraphBuilder::Build(bool require_connected) && {
   // Inverted attribute index.
   const size_t num_attrs = g.dict_.size();
   std::vector<uint64_t> attr_counts(num_attrs, 0);
-  for (AttrId a : g.attrs_) ++attr_counts[a];
+  for (AttrId a : g.attrs_) ++attr_counts[a.index()];
   g.attr_index_offsets_.assign(num_attrs + 1, 0);
   for (size_t a = 0; a < num_attrs; ++a) {
     g.attr_index_offsets_[a + 1] = g.attr_index_offsets_[a] + attr_counts[a];
@@ -147,14 +148,15 @@ StatusOr<AttributedGraph> GraphBuilder::Build(bool require_connected) && {
   g.attr_vertices_.resize(g.attrs_.size());
   std::vector<uint64_t> acur(g.attr_index_offsets_.begin(),
                              g.attr_index_offsets_.end() - 1);
-  for (VertexId v = 0; v < n; ++v) {
-    for (AttrId a : g.Attributes(v)) g.attr_vertices_[acur[a]++] = v;
+  for (VertexId v(0); v < g.num_vertices(); ++v) {
+    for (AttrId a : g.Attributes(v)) g.attr_vertices_[acur[a.index()]++] = v;
   }
   // Vertex ids are appended in increasing order, so each bucket is sorted.
 
   if (require_connected && !g.IsConnected()) {
     return Status::FailedPrecondition("graph is not connected");
   }
+  CSPM_DCHECK_OK(CheckInvariants(g));
   return g;
 }
 

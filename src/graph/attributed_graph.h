@@ -14,7 +14,8 @@
 
 namespace cspm::graph {
 
-using VertexId = uint32_t;
+/// A vertex of the attributed graph (strong type, see util/ids.h).
+using VertexId = ::cspm::VertexId;
 
 /// Immutable attributed graph with CSR adjacency and CSR vertex->attribute
 /// table. Neighbour and attribute lists are sorted ascending.
@@ -26,7 +27,7 @@ class AttributedGraph {
       : adj_offsets_{0}, attr_offsets_{0}, attr_index_offsets_{0} {}
 
   VertexId num_vertices() const {
-    return static_cast<VertexId>(adj_offsets_.size() - 1);
+    return VertexId(static_cast<uint32_t>(adj_offsets_.size() - 1));
   }
   /// Number of undirected edges.
   uint64_t num_edges() const { return adjacency_.size() / 2; }
@@ -35,17 +36,18 @@ class AttributedGraph {
 
   /// Sorted neighbours of v.
   std::span<const VertexId> Neighbors(VertexId v) const {
-    return {adjacency_.data() + adj_offsets_[v],
-            adj_offsets_[v + 1] - adj_offsets_[v]};
+    return {adjacency_.data() + adj_offsets_[v.index()],
+            adj_offsets_[v.index() + 1] - adj_offsets_[v.index()]};
   }
   uint32_t Degree(VertexId v) const {
-    return static_cast<uint32_t>(adj_offsets_[v + 1] - adj_offsets_[v]);
+    return static_cast<uint32_t>(adj_offsets_[v.index() + 1] -
+                                 adj_offsets_[v.index()]);
   }
 
   /// Sorted attribute values of v.
   std::span<const AttrId> Attributes(VertexId v) const {
-    return {attrs_.data() + attr_offsets_[v],
-            attr_offsets_[v + 1] - attr_offsets_[v]};
+    return {attrs_.data() + attr_offsets_[v.index()],
+            attr_offsets_[v.index() + 1] - attr_offsets_[v.index()]};
   }
 
   /// True if v carries attribute value a (binary search).
@@ -56,8 +58,8 @@ class AttributedGraph {
 
   /// Sorted vertices carrying attribute value a (inverted attribute index).
   std::span<const VertexId> VerticesWithAttribute(AttrId a) const {
-    return {attr_vertices_.data() + attr_index_offsets_[a],
-            attr_index_offsets_[a + 1] - attr_index_offsets_[a]};
+    return {attr_vertices_.data() + attr_index_offsets_[a.index()],
+            attr_index_offsets_[a.index() + 1] - attr_index_offsets_[a.index()]};
   }
 
   /// Number of (vertex, attribute-value) occurrences, i.e. sum over vertices
@@ -67,7 +69,7 @@ class AttributedGraph {
 
   /// Occurrence count of a single attribute value.
   uint64_t AttributeFrequency(AttrId a) const {
-    return attr_index_offsets_[a + 1] - attr_index_offsets_[a];
+    return attr_index_offsets_[a.index() + 1] - attr_index_offsets_[a.index()];
   }
 
   const AttributeDictionary& dict() const { return dict_; }
@@ -111,7 +113,7 @@ class GraphBuilder {
   }
 
   VertexId num_vertices() const {
-    return static_cast<VertexId>(vertex_attrs_.size());
+    return VertexId(static_cast<uint32_t>(vertex_attrs_.size()));
   }
 
   /// Finalizes into an immutable graph. `require_connected` enforces the

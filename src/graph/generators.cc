@@ -48,8 +48,8 @@ StatusOr<AttributedGraph> ErdosRenyi(uint32_t n, double p,
         ++u;
         --row_len;
       }
-      return std::make_pair(static_cast<VertexId>(u),
-                            static_cast<VertexId>(u + 1 + remaining));
+      return std::make_pair(VertexId(static_cast<uint32_t>(u)),
+                            VertexId(static_cast<uint32_t>(u + 1 + remaining)));
     };
     uint64_t idx = 0;
     while (idx < total_pairs) {
@@ -86,12 +86,13 @@ std::vector<std::pair<VertexId, VertexId>> BarabasiAlbertEdges(uint32_t n,
   uint32_t seed_size = std::min(m + 1, n);
   for (uint32_t u = 0; u < seed_size; ++u) {
     for (uint32_t v = u + 1; v < seed_size; ++v) {
-      edges.emplace_back(u, v);
-      targets.push_back(u);
-      targets.push_back(v);
+      edges.emplace_back(VertexId(u), VertexId(v));
+      targets.push_back(VertexId(u));
+      targets.push_back(VertexId(v));
     }
   }
-  for (uint32_t v = seed_size; v < n; ++v) {
+  for (uint32_t v_raw = seed_size; v_raw < n; ++v_raw) {
+    const VertexId v(v_raw);
     std::vector<VertexId> chosen;
     chosen.reserve(m);
     uint32_t attempts = 0;
@@ -149,8 +150,8 @@ StatusOr<AttributedGraph> PlantedAStarGraph(
   std::vector<std::vector<VertexId>> adjacency(options.num_vertices);
   for (auto [u, v] : edges) {
     CSPM_RETURN_IF_ERROR(builder.AddEdge(u, v));
-    adjacency[u].push_back(v);
-    adjacency[v].push_back(u);
+    adjacency[u.index()].push_back(v);
+    adjacency[v.index()].push_back(u);
   }
 
   // Plant each rule on a random subset of core vertices.
@@ -160,15 +161,16 @@ StatusOr<AttributedGraph> PlantedAStarGraph(
   for (const auto& rule : rules) {
     auto cores =
         rng.SampleWithoutReplacement(options.num_vertices, cores_per_rule);
-    for (VertexId c : cores) {
+    for (uint32_t core_raw : cores) {
+      const VertexId c(core_raw);
       for (const auto& cv : rule.core_values) {
         CSPM_RETURN_IF_ERROR(builder.AddVertexAttribute(c, cv));
       }
-      if (adjacency[c].empty()) continue;
+      if (adjacency[c.index()].empty()) continue;
       // The full leaf set lands on each selected neighbour, so leaf values
       // genuinely co-occur around the core (that is what an a-star states).
       bool placed = false;
-      for (VertexId nbr : adjacency[c]) {
+      for (VertexId nbr : adjacency[c.index()]) {
         if (!rng.Bernoulli(rule.leaf_probability)) continue;
         placed = true;
         for (const auto& lv : rule.leaf_values) {
@@ -176,7 +178,8 @@ StatusOr<AttributedGraph> PlantedAStarGraph(
         }
       }
       if (!placed) {
-        VertexId nbr = adjacency[c][rng.Uniform(adjacency[c].size())];
+        VertexId nbr =
+            adjacency[c.index()][rng.Uniform(adjacency[c.index()].size())];
         for (const auto& lv : rule.leaf_values) {
           CSPM_RETURN_IF_ERROR(builder.AddVertexAttribute(nbr, lv));
         }
@@ -220,7 +223,7 @@ StatusOr<CommunityGraph> MakeCommunityGraph(
       double p = community[u] == community[v] ? options.intra_probability
                                               : options.inter_probability;
       if (rng.Bernoulli(p)) {
-        CSPM_RETURN_IF_ERROR(builder.AddEdge(u, v));
+        CSPM_RETURN_IF_ERROR(builder.AddEdge(VertexId(u), VertexId(v)));
       }
     }
   }

@@ -5,6 +5,8 @@
 #include <set>
 #include <utility>
 
+#include "graph/validate.h"
+#include "util/check.h"
 #include "util/rng.h"
 #include "util/string_util.h"
 
@@ -44,8 +46,8 @@ bool SortedErase(std::vector<T>* vec, T value) {
 StatusOr<DeltaApplication> GraphDeltaApplier::Apply(const AttributedGraph& g,
                                                     const GraphDelta& delta) {
   const VertexId n_old = g.num_vertices();
-  const VertexId n_new =
-      n_old + static_cast<VertexId>(delta.added_vertices.size());
+  const VertexId n_new(
+      n_old.value() + static_cast<uint32_t>(delta.added_vertices.size()));
 
   DeltaApplication out;
   out.first_new_vertex = n_old;
@@ -68,7 +70,7 @@ StatusOr<DeltaApplication> GraphDeltaApplier::Apply(const AttributedGraph& g,
   };
 
   for (size_t i = 0; i < delta.added_vertices.size(); ++i) {
-    const VertexId v = n_old + static_cast<VertexId>(i);
+    const VertexId v(n_old.value() + static_cast<uint32_t>(i));
     std::vector<AttrId>& attrs = working_attrs(v);
     for (const std::string& name : delta.added_vertices[i].attributes) {
       SortedInsert(&attrs, dict.Intern(name));
@@ -78,26 +80,26 @@ StatusOr<DeltaApplication> GraphDeltaApplier::Apply(const AttributedGraph& g,
   for (const GraphDelta::AttrOp& op : delta.set_attributes) {
     if (op.vertex >= n_new) {
       return Status::InvalidArgument(
-          StrFormat("set attribute: unknown vertex %u", op.vertex));
+          StrFormat("set attribute: unknown vertex %u", op.vertex.value()));
     }
     if (!SortedInsert(&working_attrs(op.vertex), dict.Intern(op.attribute))) {
       return Status::InvalidArgument(
           StrFormat("set attribute: vertex %u already carries '%s'",
-                    op.vertex, op.attribute.c_str()));
+                    op.vertex.value(), op.attribute.c_str()));
     }
     out.attributes_changed = true;
   }
   for (const GraphDelta::AttrOp& op : delta.cleared_attributes) {
     if (op.vertex >= n_new) {
       return Status::InvalidArgument(
-          StrFormat("clear attribute: unknown vertex %u", op.vertex));
+          StrFormat("clear attribute: unknown vertex %u", op.vertex.value()));
     }
     const AttrId a = dict.Find(op.attribute);
     if (a == AttributeDictionary::kNotFound ||
         !SortedErase(&working_attrs(op.vertex), a)) {
       return Status::InvalidArgument(
           StrFormat("clear attribute: vertex %u does not carry '%s'",
-                    op.vertex, op.attribute.c_str()));
+                    op.vertex.value(), op.attribute.c_str()));
     }
     out.attributes_changed = true;
   }
@@ -116,11 +118,11 @@ StatusOr<DeltaApplication> GraphDeltaApplier::Apply(const AttributedGraph& g,
     if (u > v) std::swap(u, v);
     if (v >= n_old || u == v) {
       return Status::InvalidArgument(
-          StrFormat("remove edge {%u, %u}: no such edge", op.u, op.v));
+          StrFormat("remove edge {%u, %u}: no such edge", op.u.value(), op.v.value()));
     }
     if (!g.HasEdge(u, v) || !removed_pairs.emplace(u, v).second) {
       return Status::InvalidArgument(
-          StrFormat("remove edge {%u, %u}: no such edge", op.u, op.v));
+          StrFormat("remove edge {%u, %u}: no such edge", op.u.value(), op.v.value()));
     }
     nbr_del[u].push_back(v);
     nbr_del[v].push_back(u);
@@ -130,19 +132,19 @@ StatusOr<DeltaApplication> GraphDeltaApplier::Apply(const AttributedGraph& g,
     VertexId v = op.v;
     if (u == v) {
       return Status::InvalidArgument(
-          StrFormat("add edge: self-loop on vertex %u rejected", u));
+          StrFormat("add edge: self-loop on vertex %u rejected", u.value()));
     }
     if (u > v) std::swap(u, v);
     if (v >= n_new) {
       return Status::InvalidArgument(
-          StrFormat("add edge {%u, %u}: unknown endpoint", op.u, op.v));
+          StrFormat("add edge {%u, %u}: unknown endpoint", op.u.value(), op.v.value()));
     }
     // Re-adding an edge removed by this same delta is a legal rewire.
     const bool exists_before =
         v < n_old && g.HasEdge(u, v) && removed_pairs.count({u, v}) == 0;
     if (exists_before || !added_pairs.emplace(u, v).second) {
       return Status::InvalidArgument(
-          StrFormat("add edge {%u, %u}: edge already present", op.u, op.v));
+          StrFormat("add edge {%u, %u}: edge already present", op.u.value(), op.v.value()));
     }
     nbr_add[u].push_back(v);
     nbr_add[v].push_back(u);
@@ -155,15 +157,15 @@ StatusOr<DeltaApplication> GraphDeltaApplier::Apply(const AttributedGraph& g,
   g2.dict_ = std::move(dict);
 
   // Vertex -> attributes table.
-  g2.attr_offsets_.assign(n_new + 1, 0);
-  for (VertexId v = 0; v < n_new; ++v) {
+  g2.attr_offsets_.assign(n_new.index() + 1, 0);
+  for (VertexId v(0); v < n_new; ++v) {
     auto it = attrs_patch.find(v);
     const size_t count = it != attrs_patch.end() ? it->second.size()
                                                  : g.Attributes(v).size();
-    g2.attr_offsets_[v + 1] = g2.attr_offsets_[v] + count;
+    g2.attr_offsets_[v.index() + 1] = g2.attr_offsets_[v.index()] + count;
   }
-  g2.attrs_.reserve(g2.attr_offsets_[n_new]);
-  for (VertexId v = 0; v < n_new; ++v) {
+  g2.attrs_.reserve(g2.attr_offsets_[n_new.index()]);
+  for (VertexId v(0); v < n_new; ++v) {
     auto it = attrs_patch.find(v);
     if (it != attrs_patch.end()) {
       g2.attrs_.insert(g2.attrs_.end(), it->second.begin(), it->second.end());
@@ -175,18 +177,18 @@ StatusOr<DeltaApplication> GraphDeltaApplier::Apply(const AttributedGraph& g,
 
   // Adjacency: untouched vertices copy their old run; touched vertices
   // merge old-minus-removed with the sorted additions.
-  g2.adj_offsets_.assign(n_new + 1, 0);
-  for (VertexId v = 0; v < n_new; ++v) {
+  g2.adj_offsets_.assign(n_new.index() + 1, 0);
+  for (VertexId v(0); v < n_new; ++v) {
     size_t degree = v < n_old ? g.Degree(v) : 0;
     auto add_it = nbr_add.find(v);
     auto del_it = nbr_del.find(v);
     if (add_it != nbr_add.end()) degree += add_it->second.size();
     if (del_it != nbr_del.end()) degree -= del_it->second.size();
-    g2.adj_offsets_[v + 1] = g2.adj_offsets_[v] + degree;
+    g2.adj_offsets_[v.index() + 1] = g2.adj_offsets_[v.index()] + degree;
   }
-  g2.adjacency_.resize(g2.adj_offsets_[n_new]);
-  for (VertexId v = 0; v < n_new; ++v) {
-    VertexId* dst = g2.adjacency_.data() + g2.adj_offsets_[v];
+  g2.adjacency_.resize(g2.adj_offsets_[n_new.index()]);
+  for (VertexId v(0); v < n_new; ++v) {
+    VertexId* dst = g2.adjacency_.data() + g2.adj_offsets_[v.index()];
     auto old_nbrs = v < n_old ? g.Neighbors(v) : std::span<const VertexId>{};
     auto add_it = nbr_add.find(v);
     auto del_it = nbr_del.find(v);
@@ -215,7 +217,7 @@ StatusOr<DeltaApplication> GraphDeltaApplier::Apply(const AttributedGraph& g,
   // Inverted attribute index, rebuilt from the new attribute table.
   const size_t num_attrs = g2.dict_.size();
   std::vector<uint64_t> attr_counts(num_attrs, 0);
-  for (AttrId a : g2.attrs_) ++attr_counts[a];
+  for (AttrId a : g2.attrs_) ++attr_counts[a.index()];
   g2.attr_index_offsets_.assign(num_attrs + 1, 0);
   for (size_t a = 0; a < num_attrs; ++a) {
     g2.attr_index_offsets_[a + 1] = g2.attr_index_offsets_[a] + attr_counts[a];
@@ -223,8 +225,8 @@ StatusOr<DeltaApplication> GraphDeltaApplier::Apply(const AttributedGraph& g,
   g2.attr_vertices_.resize(g2.attrs_.size());
   std::vector<uint64_t> cursor(g2.attr_index_offsets_.begin(),
                                g2.attr_index_offsets_.end() - 1);
-  for (VertexId v = 0; v < n_new; ++v) {
-    for (AttrId a : g2.Attributes(v)) g2.attr_vertices_[cursor[a]++] = v;
+  for (VertexId v(0); v < n_new; ++v) {
+    for (AttrId a : g2.Attributes(v)) g2.attr_vertices_[cursor[a.index()]++] = v;
   }
 
   // --- dirty-vertex propagation ------------------------------------------
@@ -259,6 +261,7 @@ StatusOr<DeltaApplication> GraphDeltaApplier::Apply(const AttributedGraph& g,
   dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
   out.dirty_vertices = std::move(dirty);
   out.graph = std::move(g2);
+  CSPM_DCHECK_OK(CheckInvariants(out.graph));
   return out;
 }
 
@@ -269,7 +272,7 @@ StatusOr<DeltaApplication> ApplyDelta(const AttributedGraph& g,
 
 StatusOr<GraphDelta> MakeRandomEdgeRewires(const AttributedGraph& g,
                                            uint32_t ops, uint64_t seed) {
-  if (g.num_vertices() < 2) {
+  if (g.num_vertices().value() < 2) {
     return Status::FailedPrecondition("graph too small to rewire");
   }
   GraphDelta delta;
@@ -281,7 +284,8 @@ StatusOr<GraphDelta> MakeRandomEdgeRewires(const AttributedGraph& g,
   for (uint32_t i = 0; i < ops; ++i) {
     bool placed = false;
     for (int attempt = 0; attempt < 1000 && !placed; ++attempt) {
-      const auto u = static_cast<VertexId>(rng.Uniform(g.num_vertices()));
+      const VertexId u(
+          static_cast<uint32_t>(rng.Uniform(g.num_vertices().value())));
       if (i % 2 == 0) {  // remove an existing edge
         if (g.Degree(u) == 0) continue;
         const auto nbrs = g.Neighbors(u);
@@ -290,7 +294,8 @@ StatusOr<GraphDelta> MakeRandomEdgeRewires(const AttributedGraph& g,
         delta.RemoveEdge(u, w);
         placed = true;
       } else {  // add a fresh edge
-        const auto v = static_cast<VertexId>(rng.Uniform(g.num_vertices()));
+        const VertexId v(
+            static_cast<uint32_t>(rng.Uniform(g.num_vertices().value())));
         if (u == v || g.HasEdge(u, v)) continue;
         if (!used.insert(norm(u, v)).second) continue;
         delta.AddEdge(u, v);

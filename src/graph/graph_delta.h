@@ -27,12 +27,12 @@ struct GraphDelta {
     std::vector<std::string> attributes;
   };
   struct AttrOp {
-    VertexId vertex = 0;
+    VertexId vertex{};
     std::string attribute;
   };
   struct EdgeOp {
-    VertexId u = 0;
-    VertexId v = 0;
+    VertexId u{};
+    VertexId v{};
   };
 
   std::vector<VertexSpec> added_vertices;
@@ -83,7 +83,7 @@ struct DeltaApplication {
   /// coreset code length moves, so no cached candidate gain survives.
   bool attributes_changed = false;
   /// Id of the first added vertex (== the input graph's num_vertices).
-  VertexId first_new_vertex = 0;
+  VertexId first_new_vertex{};
 };
 
 /// Validates and applies `delta` to `g`, returning the patched graph.

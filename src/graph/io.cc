@@ -10,7 +10,7 @@ namespace cspm::graph {
 
 std::string ToText(const AttributedGraph& g) {
   std::string out = "# cspm graph v1\n";
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+  for (VertexId v(0); v < g.num_vertices(); ++v) {
     out += "v";
     for (AttrId a : g.Attributes(v)) {
       out += " ";
@@ -18,9 +18,9 @@ std::string ToText(const AttributedGraph& g) {
     }
     out += "\n";
   }
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+  for (VertexId v(0); v < g.num_vertices(); ++v) {
     for (VertexId w : g.Neighbors(v)) {
-      if (w > v) out += StrFormat("e %u %u\n", v, w);
+      if (w > v) out += StrFormat("e %u %u\n", v.value(), w.value());
     }
   }
   return out;
@@ -53,8 +53,8 @@ StatusOr<AttributedGraph> FromText(const std::string& text) {
       if (*end != '\0') {
         return Status::IOError(StrFormat("line %zu: bad vertex id", line_no));
       }
-      Status st = builder.AddEdge(static_cast<VertexId>(u),
-                                  static_cast<VertexId>(v));
+      Status st = builder.AddEdge(VertexId(static_cast<uint32_t>(u)),
+                                  VertexId(static_cast<uint32_t>(v)));
       if (!st.ok()) {
         return Status::IOError(
             StrFormat("line %zu: %s", line_no, st.message().c_str()));

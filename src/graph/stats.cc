@@ -6,7 +6,7 @@ namespace cspm::graph {
 
 GraphStats ComputeStats(const AttributedGraph& g) {
   GraphStats s;
-  s.num_vertices = g.num_vertices();
+  s.num_vertices = g.num_vertices().value();
   s.num_edges = g.num_edges();
   s.num_attribute_values = g.num_attribute_values();
   uint64_t attr_occurrences = g.total_attribute_occurrences();
@@ -17,13 +17,13 @@ GraphStats ComputeStats(const AttributedGraph& g) {
   s.avg_degree = s.num_vertices ? 2.0 * static_cast<double>(s.num_edges) /
                                       static_cast<double>(s.num_vertices)
                                 : 0.0;
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+  for (VertexId v(0); v < g.num_vertices(); ++v) {
     s.max_degree = std::max(s.max_degree, g.Degree(v));
   }
   // A coreset (single-core mode) exists for an attribute value iff it occurs
   // on a vertex that has at least one neighbour.
   uint64_t coresets = 0;
-  for (AttrId a = 0; a < g.num_attribute_values(); ++a) {
+  for (AttrId a(0); a.index() < g.num_attribute_values(); ++a) {
     for (VertexId v : g.VerticesWithAttribute(a)) {
       if (g.Degree(v) > 0) {
         ++coresets;

@@ -1,0 +1,112 @@
+#include "graph/validate.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace cspm::graph {
+
+Status CheckInvariants(const AttributedGraph& g) {
+  const VertexId n = g.num_vertices();
+  const size_t num_attrs = g.num_attribute_values();
+
+  uint64_t directed_edges = 0;
+  uint64_t forward_occurrences = 0;
+  for (VertexId v(0); v < n; ++v) {
+    const auto nbrs = g.Neighbors(v);
+    directed_edges += nbrs.size();
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId w = nbrs[i];
+      if (w == v) {
+        return Status::Internal(
+            StrFormat("vertex %u has a self-loop", v.value()));
+      }
+      if (w >= n) {
+        return Status::Internal(StrFormat(
+            "vertex %u lists neighbour %u out of range (V=%u)", v.value(),
+            w.value(), n.value()));
+      }
+      if (i > 0 && !(nbrs[i - 1] < w)) {
+        return Status::Internal(StrFormat(
+            "adjacency of vertex %u not strictly ascending at slot %zu",
+            v.value(), i));
+      }
+      // Symmetry: the reverse edge must exist.
+      const auto back = g.Neighbors(w);
+      if (!std::binary_search(back.begin(), back.end(), v)) {
+        return Status::Internal(
+            StrFormat("edge %u->%u has no reverse entry", v.value(),
+                      w.value()));
+      }
+    }
+
+    const auto attrs = g.Attributes(v);
+    forward_occurrences += attrs.size();
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      const AttrId a = attrs[i];
+      if (a.index() >= num_attrs) {
+        return Status::Internal(StrFormat(
+            "vertex %u carries attribute id %u outside the dictionary (%zu)",
+            v.value(), a.value(), num_attrs));
+      }
+      if (i > 0 && !(attrs[i - 1] < a)) {
+        return Status::Internal(StrFormat(
+            "attributes of vertex %u not strictly ascending at slot %zu",
+            v.value(), i));
+      }
+      // The inverted index must contain this (vertex, value) occurrence.
+      const auto bucket = g.VerticesWithAttribute(a);
+      if (!std::binary_search(bucket.begin(), bucket.end(), v)) {
+        return Status::Internal(StrFormat(
+            "occurrence (v=%u, a=%u) missing from the inverted index",
+            v.value(), a.value()));
+      }
+    }
+  }
+
+  if (directed_edges != 2 * g.num_edges()) {
+    return Status::Internal(
+        StrFormat("degree sum %llu != 2 * num_edges %llu",
+                  static_cast<unsigned long long>(directed_edges),
+                  static_cast<unsigned long long>(2 * g.num_edges())));
+  }
+
+  // Inverted index buckets: sorted, in range, and counting exactly the
+  // forward occurrences (with membership checked above, equal totals make
+  // forward and inverted tables true transposes).
+  uint64_t inverted_occurrences = 0;
+  for (AttrId a(0); a.index() < num_attrs; ++a) {
+    const auto bucket = g.VerticesWithAttribute(a);
+    if (bucket.size() != g.AttributeFrequency(a)) {
+      return Status::Internal(StrFormat(
+          "attribute %u: bucket size %zu != frequency %llu", a.value(),
+          bucket.size(),
+          static_cast<unsigned long long>(g.AttributeFrequency(a))));
+    }
+    inverted_occurrences += bucket.size();
+    for (size_t i = 0; i < bucket.size(); ++i) {
+      if (bucket[i] >= n) {
+        return Status::Internal(StrFormat(
+            "attribute %u: bucket vertex %u out of range", a.value(),
+            bucket[i].value()));
+      }
+      if (i > 0 && !(bucket[i - 1] < bucket[i])) {
+        return Status::Internal(StrFormat(
+            "attribute %u: bucket not strictly ascending at slot %zu",
+            a.value(), i));
+      }
+    }
+  }
+  if (forward_occurrences != inverted_occurrences ||
+      forward_occurrences != g.total_attribute_occurrences()) {
+    return Status::Internal(StrFormat(
+        "occurrence totals disagree: forward %llu, inverted %llu, "
+        "reported %llu",
+        static_cast<unsigned long long>(forward_occurrences),
+        static_cast<unsigned long long>(inverted_occurrences),
+        static_cast<unsigned long long>(g.total_attribute_occurrences())));
+  }
+  return Status::OK();
+}
+
+}  // namespace cspm::graph

@@ -1,0 +1,22 @@
+// Deep structural validation of the CSR graph — the invariants the rest of
+// the engine assumes but CRCs and spot checks cannot see: sorted adjacency,
+// edge symmetry, no self-loops, sorted per-vertex attribute sets, and an
+// inverted attribute index that is exactly the transpose of the forward
+// table. Run under CSPM_DCHECK after every build/splice and by
+// `cspm_shell fsck` on stored graph snapshots.
+#ifndef CSPM_GRAPH_VALIDATE_H_
+#define CSPM_GRAPH_VALIDATE_H_
+
+#include "graph/attributed_graph.h"
+#include "util/status.h"
+
+namespace cspm::graph {
+
+/// Returns OK iff every CSR invariant holds; otherwise an Internal error
+/// naming the first violation. Cost is O(V + E log d + A log f) — meant
+/// for debug builds, tests, and fsck, not the serving hot path.
+Status CheckInvariants(const AttributedGraph& g);
+
+}  // namespace cspm::graph
+
+#endif  // CSPM_GRAPH_VALIDATE_H_

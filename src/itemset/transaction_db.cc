@@ -18,21 +18,23 @@ void TransactionDb::Add(Itemset t) {
 TransactionDb TransactionDb::FromVertexAttributes(
     const graph::AttributedGraph& g) {
   TransactionDb db;
-  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+  for (graph::VertexId v(0); v < g.num_vertices(); ++v) {
+    Itemset t;
     auto attrs = g.Attributes(v);
-    db.Add(Itemset(attrs.begin(), attrs.end()));
+    t.reserve(attrs.size());
+    for (graph::AttrId a : attrs) t.push_back(a.value());
+    db.Add(std::move(t));
   }
   return db;
 }
 
 TransactionDb TransactionDb::FromStars(const graph::AttributedGraph& g) {
   TransactionDb db;
-  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
-    auto attrs = g.Attributes(v);
-    Itemset t(attrs.begin(), attrs.end());
+  for (graph::VertexId v(0); v < g.num_vertices(); ++v) {
+    Itemset t;
+    for (graph::AttrId a : g.Attributes(v)) t.push_back(a.value());
     for (graph::VertexId w : g.Neighbors(v)) {
-      auto na = g.Attributes(w);
-      t.insert(t.end(), na.begin(), na.end());
+      for (graph::AttrId a : g.Attributes(w)) t.push_back(a.value());
     }
     db.Add(std::move(t));
   }

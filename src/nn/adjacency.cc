@@ -8,18 +8,18 @@ namespace cspm::nn {
 
 SparseMatrix SparseMatrix::NormalizedAdjacency(
     const graph::AttributedGraph& g) {
-  const size_t n = g.num_vertices();
+  const size_t n = g.num_vertices().index();
   SparseMatrix m;
   m.offsets_.assign(n + 1, 0);
   // Hold degrees with self loop.
   std::vector<double> inv_sqrt_deg(n);
   for (size_t v = 0; v < n; ++v) {
     inv_sqrt_deg[v] = 1.0 / std::sqrt(static_cast<double>(g.Degree(
-                                          static_cast<uint32_t>(v))) +
+                                          graph::VertexId(static_cast<uint32_t>(v)))) +
                                       1.0);
   }
   for (size_t v = 0; v < n; ++v) {
-    m.offsets_[v + 1] = m.offsets_[v] + g.Degree(static_cast<uint32_t>(v)) + 1;
+    m.offsets_[v + 1] = m.offsets_[v] + g.Degree(graph::VertexId(static_cast<uint32_t>(v))) + 1;
   }
   m.cols_.resize(m.offsets_[n]);
   m.values_.resize(m.offsets_[n]);
@@ -29,9 +29,10 @@ SparseMatrix SparseMatrix::NormalizedAdjacency(
     m.cols_[idx] = static_cast<uint32_t>(v);
     m.values_[idx] = inv_sqrt_deg[v] * inv_sqrt_deg[v];
     ++idx;
-    for (uint32_t w : g.Neighbors(static_cast<uint32_t>(v))) {
-      m.cols_[idx] = w;
-      m.values_[idx] = inv_sqrt_deg[v] * inv_sqrt_deg[w];
+    for (graph::VertexId w :
+         g.Neighbors(graph::VertexId(static_cast<uint32_t>(v)))) {
+      m.cols_[idx] = w.value();
+      m.values_[idx] = inv_sqrt_deg[v] * inv_sqrt_deg[w.index()];
       ++idx;
     }
   }
@@ -39,21 +40,22 @@ SparseMatrix SparseMatrix::NormalizedAdjacency(
 }
 
 SparseMatrix SparseMatrix::MeanNeighbors(const graph::AttributedGraph& g) {
-  const size_t n = g.num_vertices();
+  const size_t n = g.num_vertices().index();
   SparseMatrix m;
   m.offsets_.assign(n + 1, 0);
   for (size_t v = 0; v < n; ++v) {
-    m.offsets_[v + 1] = m.offsets_[v] + g.Degree(static_cast<uint32_t>(v));
+    m.offsets_[v + 1] = m.offsets_[v] + g.Degree(graph::VertexId(static_cast<uint32_t>(v)));
   }
   m.cols_.resize(m.offsets_[n]);
   m.values_.resize(m.offsets_[n]);
   for (size_t v = 0; v < n; ++v) {
-    const uint32_t deg = g.Degree(static_cast<uint32_t>(v));
+    const uint32_t deg = g.Degree(graph::VertexId(static_cast<uint32_t>(v)));
     if (deg == 0) continue;
     uint64_t idx = m.offsets_[v];
     const double w = 1.0 / static_cast<double>(deg);
-    for (uint32_t nbr : g.Neighbors(static_cast<uint32_t>(v))) {
-      m.cols_[idx] = nbr;
+    for (graph::VertexId nbr :
+         g.Neighbors(graph::VertexId(static_cast<uint32_t>(v)))) {
+      m.cols_[idx] = nbr.value();
       m.values_[idx] = w;
       ++idx;
     }
@@ -90,18 +92,19 @@ Matrix SparseMatrix::MultiplyTranspose(const Matrix& x) const {
 }
 
 AttentionGraph AttentionGraph::FromGraph(const graph::AttributedGraph& g) {
-  const size_t n = g.num_vertices();
+  const size_t n = g.num_vertices().index();
   AttentionGraph ag;
   ag.offsets.assign(n + 1, 0);
   for (size_t v = 0; v < n; ++v) {
-    ag.offsets[v + 1] = ag.offsets[v] + g.Degree(static_cast<uint32_t>(v)) + 1;
+    ag.offsets[v + 1] = ag.offsets[v] + g.Degree(graph::VertexId(static_cast<uint32_t>(v))) + 1;
   }
   ag.targets.resize(ag.offsets[n]);
   for (size_t v = 0; v < n; ++v) {
     uint64_t idx = ag.offsets[v];
     ag.targets[idx++] = static_cast<uint32_t>(v);  // self loop
-    for (uint32_t w : g.Neighbors(static_cast<uint32_t>(v))) {
-      ag.targets[idx++] = w;
+    for (graph::VertexId w :
+         g.Neighbors(graph::VertexId(static_cast<uint32_t>(v)))) {
+      ag.targets[idx++] = w.value();
     }
   }
   return ag;

@@ -44,6 +44,16 @@ void Encoder::PutDeltaIds(const std::vector<uint32_t>& sorted_ids) {
   }
 }
 
+void Encoder::PutDeltaIds(const std::vector<graph::AttrId>& sorted_ids) {
+  PutVarint(sorted_ids.size());
+  uint32_t prev = 0;
+  for (size_t i = 0; i < sorted_ids.size(); ++i) {
+    const uint32_t v = sorted_ids[i].value();
+    PutVarint(i == 0 ? v : v - prev);
+    prev = v;
+  }
+}
+
 StatusOr<uint8_t> Decoder::ReadU8() {
   if (pos_ >= data_.size()) return Corrupt("truncated (u8)");
   return static_cast<uint8_t>(data_[pos_++]);
@@ -79,6 +89,15 @@ StatusOr<std::string_view> Decoder::ReadString() {
   return s;
 }
 
+Status Decoder::ReadDeltaIds(std::vector<graph::AttrId>* out) {
+  std::vector<uint32_t> raw;
+  CSPM_RETURN_IF_ERROR(ReadDeltaIds(&raw));
+  out->clear();
+  out->reserve(raw.size());
+  for (uint32_t v : raw) out->push_back(graph::AttrId(v));
+  return Status::OK();
+}
+
 Status Decoder::ReadDeltaIds(std::vector<uint32_t>* out) {
   CSPM_ASSIGN_OR_RETURN(uint64_t count, ReadVarint());
   // A delta id costs at least one byte; bound count by the bytes left so a
@@ -101,7 +120,7 @@ Status Decoder::ReadDeltaIds(std::vector<uint32_t>* out) {
 
 void EncodeDictionary(const graph::AttributeDictionary& dict, Encoder* enc) {
   enc->PutVarint(dict.size());
-  for (graph::AttrId id = 0; id < dict.size(); ++id) {
+  for (graph::AttrId id(0); id.index() < dict.size(); ++id) {
     enc->PutString(dict.Name(id));
   }
 }
@@ -112,7 +131,7 @@ StatusOr<graph::AttributeDictionary> DecodeDictionary(Decoder* dec) {
   graph::AttributeDictionary dict;
   for (uint64_t i = 0; i < count; ++i) {
     CSPM_ASSIGN_OR_RETURN(std::string_view name, dec->ReadString());
-    if (dict.Intern(name) != i) {
+    if (dict.Intern(name).value() != i) {
       return Corrupt("duplicate name in stored dictionary");
     }
   }
@@ -217,19 +236,19 @@ StatusOr<core::CspmModel> DecodeModel(Decoder* dec) {
 
 void EncodeGraph(const graph::AttributedGraph& g, Encoder* enc) {
   const graph::VertexId n = g.num_vertices();
-  enc->PutVarint(n);
+  enc->PutVarint(n.value());
   std::vector<uint32_t> scratch;
-  for (graph::VertexId v = 0; v < n; ++v) {
-    auto attrs = g.Attributes(v);
-    scratch.assign(attrs.begin(), attrs.end());
+  for (graph::VertexId v(0); v < n; ++v) {
+    scratch.clear();
+    for (graph::AttrId a : g.Attributes(v)) scratch.push_back(a.value());
     enc->PutDeltaIds(scratch);
   }
   // Adjacency as per-vertex forward-neighbour lists (u > v), so each
   // undirected edge is encoded once, delta-compressed within its list.
-  for (graph::VertexId v = 0; v < n; ++v) {
+  for (graph::VertexId v(0); v < n; ++v) {
     scratch.clear();
     for (graph::VertexId u : g.Neighbors(v)) {
-      if (u > v) scratch.push_back(u);
+      if (u > v) scratch.push_back(u.value());
     }
     enc->PutDeltaIds(scratch);
   }
@@ -241,7 +260,7 @@ StatusOr<graph::AttributedGraph> DecodeGraph(
   if (n > dec->remaining()) return Corrupt("graph larger than record");
   graph::GraphBuilder builder;
   // Re-intern the record's dictionary so attribute ids line up.
-  for (graph::AttrId id = 0; id < dict.size(); ++id) {
+  for (graph::AttrId id(0); id.index() < dict.size(); ++id) {
     builder.InternAttribute(dict.Name(id));
   }
   std::vector<uint32_t> ids;
@@ -250,14 +269,18 @@ StatusOr<graph::AttributedGraph> DecodeGraph(
     for (uint32_t a : ids) {
       if (a >= dict.size()) return Corrupt("vertex attribute id out of range");
     }
-    builder.AddVertexWithIds(std::vector<graph::AttrId>(ids.begin(), ids.end()));
+    std::vector<graph::AttrId> attr_ids;
+    attr_ids.reserve(ids.size());
+    for (uint32_t a : ids) attr_ids.push_back(graph::AttrId(a));
+    builder.AddVertexWithIds(std::move(attr_ids));
   }
   for (uint64_t v = 0; v < n; ++v) {
     CSPM_RETURN_IF_ERROR(dec->ReadDeltaIds(&ids));
     for (uint32_t u : ids) {
       if (u >= n) return Corrupt("edge endpoint out of range");
       CSPM_RETURN_IF_ERROR(
-          builder.AddEdge(static_cast<graph::VertexId>(v), u));
+          builder.AddEdge(graph::VertexId(static_cast<uint32_t>(v)),
+                          graph::VertexId(u)));
     }
   }
   return std::move(builder).Build(/*require_connected=*/false);
@@ -271,7 +294,7 @@ void EncodeAttrOps(const std::vector<graph::GraphDelta::AttrOp>& ops,
                    Encoder* enc) {
   enc->PutVarint(ops.size());
   for (const auto& op : ops) {
-    enc->PutVarint(op.vertex);
+    enc->PutVarint(op.vertex.value());
     enc->PutString(op.attribute);
   }
 }
@@ -285,7 +308,7 @@ Status DecodeAttrOps(Decoder* dec,
   for (uint64_t i = 0; i < count; ++i) {
     graph::GraphDelta::AttrOp op;
     CSPM_ASSIGN_OR_RETURN(uint64_t v, dec->ReadVarint());
-    op.vertex = static_cast<graph::VertexId>(v);
+    op.vertex = graph::VertexId(static_cast<uint32_t>(v));
     CSPM_ASSIGN_OR_RETURN(std::string_view name, dec->ReadString());
     op.attribute = std::string(name);
     ops->push_back(std::move(op));
@@ -297,8 +320,8 @@ void EncodeEdgeOps(const std::vector<graph::GraphDelta::EdgeOp>& ops,
                    Encoder* enc) {
   enc->PutVarint(ops.size());
   for (const auto& op : ops) {
-    enc->PutVarint(op.u);
-    enc->PutVarint(op.v);
+    enc->PutVarint(op.u.value());
+    enc->PutVarint(op.v.value());
   }
 }
 
@@ -310,8 +333,8 @@ Status DecodeEdgeOps(Decoder* dec,
     graph::GraphDelta::EdgeOp op;
     CSPM_ASSIGN_OR_RETURN(uint64_t u, dec->ReadVarint());
     CSPM_ASSIGN_OR_RETURN(uint64_t v, dec->ReadVarint());
-    op.u = static_cast<graph::VertexId>(u);
-    op.v = static_cast<graph::VertexId>(v);
+    op.u = graph::VertexId(static_cast<uint32_t>(u));
+    op.v = graph::VertexId(static_cast<uint32_t>(v));
     ops->push_back(op);
   }
   return Status::OK();
@@ -361,7 +384,7 @@ Status RemapIds(std::vector<graph::AttrId>* ids,
                 const graph::AttributeDictionary& from,
                 const graph::AttributeDictionary& to) {
   for (graph::AttrId& id : *ids) {
-    if (id >= from.size()) {
+    if (id.index() >= from.size()) {
       return Corrupt("stored attribute id outside stored dictionary");
     }
     const std::string& name = from.Name(id);

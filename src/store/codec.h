@@ -30,6 +30,8 @@ class Encoder {
   void PutString(std::string_view s);
   /// Sorted id list: count, first value, then deltas (all varints).
   void PutDeltaIds(const std::vector<uint32_t>& sorted_ids);
+  /// Strong-id overload; encodes the underlying values.
+  void PutDeltaIds(const std::vector<graph::AttrId>& sorted_ids);
 
   const std::string& data() const { return out_; }
   std::string Release() { return std::move(out_); }
@@ -49,6 +51,8 @@ class Decoder {
   StatusOr<double> ReadDouble();
   StatusOr<std::string_view> ReadString();
   Status ReadDeltaIds(std::vector<uint32_t>* out);
+  /// Strong-id overload; decodes into explicitly constructed ids.
+  Status ReadDeltaIds(std::vector<graph::AttrId>* out);
 
   bool AtEnd() const { return pos_ == data_.size(); }
   size_t remaining() const { return data_.size() - pos_; }

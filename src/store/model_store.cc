@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "graph/validate.h"
 #include "store/codec.h"
 #include "util/string_util.h"
 
@@ -281,6 +282,136 @@ Status ModelStore::Delete(const std::string& name) {
   DropWalChains(&it->second);
   catalog_.erase(it);
   return SaveCatalogAndCommit();
+}
+
+Status ModelStore::CheckInvariants() {
+  const uint32_t num_pages = pager_.num_pages();
+  // Owner label per page; empty = unclaimed so far. Every data page of a
+  // healthy store is claimed by exactly one chain.
+  std::vector<std::string> owner(num_pages);
+  auto claim_chain = [&](uint32_t head, const std::string& label,
+                         uint64_t* payload_sum) -> Status {
+    uint32_t id = head;
+    while (id != Pager::kNoPage) {
+      if (id >= num_pages) {
+        return Status::Internal(
+            StrFormat("%s references page %u outside the store (%u pages)",
+                      label.c_str(), id, num_pages));
+      }
+      if (!owner[id].empty()) {
+        if (owner[id] == label) {
+          return Status::Internal(
+              StrFormat("%s cycles back to page %u", label.c_str(), id));
+        }
+        return Status::Internal(
+            StrFormat("page %u is claimed by both %s and %s", id,
+                      owner[id].c_str(), label.c_str()));
+      }
+      owner[id] = label;
+      CSPM_ASSIGN_OR_RETURN(Pager::PageHeader header,
+                            pager_.ReadPageHeader(id));
+      if (payload_sum != nullptr) *payload_sum += header.payload_len;
+      id = header.next;
+    }
+    return Status::OK();
+  };
+
+  if (pager_.catalog_head() != Pager::kNoPage) {
+    CSPM_RETURN_IF_ERROR(
+        claim_chain(pager_.catalog_head(), "the catalog chain", nullptr));
+  }
+  CSPM_RETURN_IF_ERROR(
+      claim_chain(pager_.free_head(), "the free list", nullptr));
+  for (const auto& [name, entry] : catalog_) {
+    uint64_t record_bytes = 0;
+    CSPM_RETURN_IF_ERROR(claim_chain(
+        entry.head, "the record chain of '" + name + "'", &record_bytes));
+    if (record_bytes != entry.bytes) {
+      return Status::Internal(StrFormat(
+          "record chain of '%s' holds %llu payload bytes, catalog promises "
+          "%llu (chain truncated or spliced)",
+          name.c_str(), static_cast<unsigned long long>(record_bytes),
+          static_cast<unsigned long long>(entry.bytes)));
+    }
+    for (size_t w = 0; w < entry.wal.size(); ++w) {
+      uint64_t wal_bytes = 0;
+      CSPM_RETURN_IF_ERROR(claim_chain(
+          entry.wal[w].head,
+          StrFormat("WAL record %zu of '%s'", w, name.c_str()), &wal_bytes));
+      if (wal_bytes != entry.wal[w].bytes) {
+        return Status::Internal(StrFormat(
+            "WAL record %zu of '%s' holds %llu payload bytes, catalog "
+            "promises %llu",
+            w, name.c_str(), static_cast<unsigned long long>(wal_bytes),
+            static_cast<unsigned long long>(entry.wal[w].bytes)));
+      }
+    }
+  }
+
+  // Page 0 is the header; every other page must belong to some chain.
+  // (Best-effort frees of damaged chains can legitimately leak pages, but
+  // such a store is exactly what this audit exists to flag.)
+  for (uint32_t id = 1; id < num_pages; ++id) {
+    if (owner[id].empty()) {
+      return Status::Internal(StrFormat(
+          "page %u is unreachable from every chain (leaked or orphaned)",
+          id));
+    }
+  }
+  return Status::OK();
+}
+
+Status ModelStore::Fsck() {
+  CSPM_RETURN_IF_ERROR(CheckInvariants());
+  for (const auto& [name, entry] : catalog_) {
+    CSPM_ASSIGN_OR_RETURN(StoredModel stored, Get(name));
+    if (stored.model.astars.size() != entry.num_astars) {
+      return Status::Internal(StrFormat(
+          "model '%s' decodes to %zu a-stars, catalog promises %llu",
+          name.c_str(), stored.model.astars.size(),
+          static_cast<unsigned long long>(entry.num_astars)));
+    }
+    if (stored.graph.has_value() != entry.has_graph) {
+      return Status::Internal(StrFormat(
+          "model '%s' graph-snapshot flag disagrees with its catalog entry",
+          name.c_str()));
+    }
+    const size_t num_attrs = stored.dict.size();
+    for (size_t s = 0; s < stored.model.astars.size(); ++s) {
+      const core::AStar& star = stored.model.astars[s];
+      for (core::AttrId a : star.core_values) {
+        if (a.index() >= num_attrs) {
+          return Status::Internal(StrFormat(
+              "model '%s' a-star %zu core value %u outside its dictionary "
+              "(%zu names)",
+              name.c_str(), s, a.value(), num_attrs));
+        }
+      }
+      for (core::AttrId a : star.leaf_values) {
+        if (a.index() >= num_attrs) {
+          return Status::Internal(StrFormat(
+              "model '%s' a-star %zu leaf value %u outside its dictionary "
+              "(%zu names)",
+              name.c_str(), s, a.value(), num_attrs));
+        }
+      }
+    }
+    if (stored.graph.has_value()) {
+      Status graph_ok = graph::CheckInvariants(*stored.graph);
+      if (!graph_ok.ok()) {
+        return Status::Internal(StrFormat(
+            "graph snapshot of '%s' fails validation: %s", name.c_str(),
+            graph_ok.message().c_str()));
+      }
+    }
+    CSPM_ASSIGN_OR_RETURN(WalReplay replay, ReadWal(name));
+    if (replay.truncated) {
+      return Status::Internal(StrFormat(
+          "WAL of '%s' has %zu undecodable trailing record(s)", name.c_str(),
+          replay.dropped));
+    }
+  }
+  return Status::OK();
 }
 
 std::vector<ModelStore::Info> ModelStore::List() const {

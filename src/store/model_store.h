@@ -104,6 +104,22 @@ class ModelStore {
   /// Catalog listing, sorted by name.
   std::vector<Info> List() const;
 
+  /// Deep structural audit of the page graph: walks the catalog chain,
+  /// every record and WAL chain and the free list, checking that each
+  /// page of the file is claimed by exactly one owner, that no chain
+  /// cycles or escapes the file, and that every chain's payload size
+  /// matches what the catalog promises. Catches pointer-level corruption
+  /// that the per-page CRCs cannot see — a well-formed page spliced into
+  /// the wrong chain, a truncated chain, a leaked or doubly-linked page.
+  Status CheckInvariants();
+
+  /// Everything CheckInvariants does, plus a decode pass: every record is
+  /// decoded, cross-checked against its catalog entry, its model values
+  /// bounds-checked against its dictionary, its graph snapshot run
+  /// through the deep graph validator, and its WAL fully replayable.
+  /// Backs `cspm_shell fsck <file>`.
+  Status Fsck();
+
   bool Contains(const std::string& name) const {
     return catalog_.count(name) > 0;
   }

@@ -154,6 +154,23 @@ Status Pager::ValidateRawPage(uint32_t page_id, const char* raw,
   return Status::OK();
 }
 
+StatusOr<Pager::PageHeader> Pager::ReadPageHeader(uint32_t page_id) {
+  if (page_id == kNoPage || page_id >= num_pages_) {
+    return Status::IOError(StrFormat("page %u out of range in %s (%u pages)",
+                                     page_id, path_.c_str(), num_pages_));
+  }
+  auto it = cache_.find(page_id);
+  if (it != cache_.end()) {
+    return PageHeader{it->second.next, it->second.payload_len};
+  }
+  char raw[kPageSize];
+  CSPM_RETURN_IF_ERROR(ReadRawPage(page_id, raw));
+  PageHeader header;
+  CSPM_RETURN_IF_ERROR(
+      ValidateRawPage(page_id, raw, &header.next, &header.payload_len));
+  return header;
+}
+
 StatusOr<Pager::Page*> Pager::FetchPage(uint32_t page_id) {
   if (page_id == kNoPage || page_id >= num_pages_) {
     return Status::IOError(StrFormat("page %u out of range in %s (%u pages)",

@@ -71,6 +71,19 @@ class Pager {
   uint32_t catalog_head() const { return catalog_head_; }
   void set_catalog_head(uint32_t page_id) { catalog_head_ = page_id; }
 
+  uint32_t free_head() const { return free_head_; }
+
+  /// Validated header fields of one data page.
+  struct PageHeader {
+    uint32_t next = kNoPage;
+    uint32_t payload_len = 0;
+  };
+  /// Reads and CRC-validates one page, returning only its header fields
+  /// without caching the payload. The audit surface used by
+  /// ModelStore::CheckInvariants to walk every chain of the file without
+  /// decoding (or retaining) any record bytes.
+  StatusOr<PageHeader> ReadPageHeader(uint32_t page_id);
+
   // --- chain API (what ModelStore uses) ----------------------------------
 
   /// Writes `bytes` into a freshly allocated page chain; returns its head.

@@ -29,8 +29,24 @@
 #define CSPM_DCHECK(cond) \
   do {                    \
   } while (0)
+#define CSPM_DCHECK_OK(expr) \
+  do {                       \
+  } while (0)
 #else
 #define CSPM_DCHECK(cond) CSPM_CHECK(cond)
+// Debug-only validation of a Status-returning expression (typically a deep
+// CheckInvariants call); prints the violation before aborting. The
+// expression is not evaluated at all in release builds.
+#define CSPM_DCHECK_OK(expr)                                               \
+  do {                                                                     \
+    const auto cspm_dcheck_status = (expr);                                \
+    if (!cspm_dcheck_status.ok()) {                                        \
+      std::fprintf(stderr, "CSPM_DCHECK_OK failed at %s:%d: %s\n",         \
+                   __FILE__, __LINE__,                                     \
+                   cspm_dcheck_status.ToString().c_str());                 \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
 #endif
 
 #endif  // CSPM_UTIL_CHECK_H_

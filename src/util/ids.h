@@ -1,0 +1,31 @@
+// The four id spaces of the engine, as distinct strong types. Defined here
+// (below the graph/cspm layers) so low-level utilities like PosListPool can
+// store typed position lists without a layering inversion; graph/ and
+// cspm/ re-export these under their historical names.
+//
+//  - VertexId:    a vertex of the attributed graph (CSR row).
+//  - AttrValueId: an interned nominal attribute value ("rock", "ICDM").
+//  - LeafsetId:   an interned leafset (set of leaf attribute values).
+//  - CoreId:      a coreset (a single core value in single-core mode —
+//                 numerically equal to its AttrValueId, but a different
+//                 axis of the inverted database; conversions are explicit).
+#ifndef CSPM_UTIL_IDS_H_
+#define CSPM_UTIL_IDS_H_
+
+#include "util/strong_id.h"
+
+namespace cspm {
+
+struct VertexIdTag {};
+struct AttrValueIdTag {};
+struct LeafsetIdTag {};
+struct CoreIdTag {};
+
+using VertexId = util::StrongId<VertexIdTag>;
+using AttrValueId = util::StrongId<AttrValueIdTag>;
+using LeafsetId = util::StrongId<LeafsetIdTag>;
+using CoreId = util::StrongId<CoreIdTag>;
+
+}  // namespace cspm
+
+#endif  // CSPM_UTIL_IDS_H_

@@ -16,11 +16,15 @@
 #include <span>
 #include <vector>
 
+#include "util/ids.h"
+
 namespace cspm::util {
 
 class PosListPool {
  public:
-  using Value = uint32_t;
+  /// Position lists hold vertices — typed so a view can never be indexed
+  /// with (or confused for) an attribute/leafset id.
+  using Value = ::cspm::VertexId;
   using Ref = uint32_t;
   static constexpr Ref kInvalidRef = static_cast<Ref>(-1);
 

@@ -23,7 +23,10 @@ enum class StatusCode {
 };
 
 /// Result of an operation: either OK or an error code plus message.
-class Status {
+/// [[nodiscard]]: silently dropping a Status hides failures, so an unused
+/// return is a compiler warning (-Werror in CI); discard explicitly with
+/// `(void)` where best-effort semantics are intended.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -88,7 +91,7 @@ class Status {
 /// Either a value of type T or an error Status. Access to value() requires
 /// ok(); violated access aborts in debug builds.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit from value.
   StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT

@@ -1,0 +1,75 @@
+// Strong ID wrapper: a distinct type per id space so that a LeafsetId can
+// never be passed where a CoreId (or a vertex, or an attribute value) is
+// expected — index mixups become compile errors instead of silent index
+// corruption. The wrapper is a single 32-bit value with zero runtime cost:
+// trivially copyable, standard layout, fully constexpr.
+//
+// Conventions (see DESIGN.md §10):
+//  - construction from a raw integer is explicit: `VertexId(7)`, never `7`;
+//  - `value()` returns the raw representation (for serialization and
+//    arithmetic that genuinely lives in integer space);
+//  - `index()` returns it widened to size_t for container subscripts;
+//  - ids order and hash like their representation, so sorted id vectors,
+//    binary search and unordered_map keys work unchanged.
+#ifndef CSPM_UTIL_STRONG_ID_H_
+#define CSPM_UTIL_STRONG_ID_H_
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <type_traits>
+
+namespace cspm::util {
+
+template <typename Tag, typename RepT = uint32_t>
+class StrongId {
+ public:
+  using Rep = RepT;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  /// Raw representation (serialization, integer arithmetic).
+  constexpr Rep value() const { return value_; }
+  /// Raw representation widened for container subscripts.
+  constexpr size_t index() const { return static_cast<size_t>(value_); }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  /// Dense ids iterate: `for (VertexId v(0); v < n; ++v)`.
+  constexpr StrongId& operator++() {
+    ++value_;
+    return *this;
+  }
+  constexpr StrongId operator++(int) {
+    StrongId old = *this;
+    ++value_;
+    return old;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << id.value_;
+  }
+
+ private:
+  Rep value_ = Rep{};
+};
+
+template <typename Tag, typename Rep>
+std::string ToString(StrongId<Tag, Rep> id) {
+  return std::to_string(id.value());
+}
+
+}  // namespace cspm::util
+
+template <typename Tag, typename Rep>
+struct std::hash<cspm::util::StrongId<Tag, Rep>> {
+  size_t operator()(cspm::util::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+
+#endif  // CSPM_UTIL_STRONG_ID_H_

@@ -112,7 +112,7 @@ TEST(WindowGraphTest, StructureMatchesBuckets) {
   // Window 0: devices 0 and 1 alarm; window 1: device 2 alarms alone.
   data.events = {{0, 1, 1.0}, {1, 2, 2.0}, {0, 3, 3.0}, {2, 4, 12.0}};
   auto g = BuildWindowGraph(data, /*window_minutes=*/10.0).value();
-  EXPECT_EQ(g.num_vertices(), 3u);  // (w0,d0), (w0,d1), (w1,d2)
+  EXPECT_EQ(g.num_vertices().value(), 3u);  // (w0,d0), (w0,d1), (w1,d2)
   EXPECT_EQ(g.num_edges(), 1u);     // d0-d1 within window 0
   // Vertices carry the right attribute names.
   EXPECT_NE(g.dict().Find("T1"), graph::AttributeDictionary::kNotFound);

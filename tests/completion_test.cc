@@ -32,21 +32,21 @@ graph::AttributedGraph HomophilyGraph(uint64_t seed,
 TEST(CompletionTaskTest, MaskingConsistency) {
   auto g = HomophilyGraph(1);
   auto data = MakeCompletionTask(g, 0.3, 7).value();
-  EXPECT_EQ(data.num_nodes(), g.num_vertices());
+  EXPECT_EQ(data.num_nodes(), g.num_vertices().index());
   EXPECT_EQ(data.num_attributes(), g.num_attribute_values());
   EXPECT_NEAR(static_cast<double>(data.test_nodes.size()),
-              0.3 * g.num_vertices(), 1.0);
+              0.3 * g.num_vertices().value(), 1.0);
   // Test rows of x are zero, observed rows match truth; masked graph has
   // no attributes on test vertices.
-  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+  for (graph::VertexId v(0); v < g.num_vertices(); ++v) {
     for (size_t a = 0; a < data.num_attributes(); ++a) {
-      if (data.observed[v]) {
-        EXPECT_EQ(data.x(v, a), data.truth(v, a));
+      if (data.observed[v.index()]) {
+        EXPECT_EQ(data.x(v.index(), a), data.truth(v.index(), a));
       } else {
-        EXPECT_EQ(data.x(v, a), 0.0);
+        EXPECT_EQ(data.x(v.index(), a), 0.0);
       }
     }
-    if (!data.observed[v]) {
+    if (!data.observed[v.index()]) {
       EXPECT_TRUE(data.masked_graph.Attributes(v).empty());
     }
   }
@@ -59,7 +59,7 @@ TEST(CompletionTaskTest, DictionaryPreserved) {
   auto data = MakeCompletionTask(g, 0.2, 9).value();
   ASSERT_EQ(data.masked_graph.num_attribute_values(),
             g.num_attribute_values());
-  for (graph::AttrId a = 0; a < g.num_attribute_values(); ++a) {
+  for (graph::AttrId a(0); a.index() < g.num_attribute_values(); ++a) {
     EXPECT_EQ(data.masked_graph.dict().Name(a), g.dict().Name(a));
   }
 }
@@ -169,10 +169,10 @@ TEST(FusionTest, ObservedRowsUntouched) {
   auto model = MakeNeighAggre();
   nn::Matrix base_scores = model->PredictScores(data);
   nn::Matrix fused_scores = FuseWithCspm(base_scores, data, cspm_model);
-  for (graph::VertexId v = 0; v < data.num_nodes(); ++v) {
-    if (!data.observed[v]) continue;
+  for (graph::VertexId v(0); v.index() < data.num_nodes(); ++v) {
+    if (!data.observed[v.index()]) continue;
     for (size_t a = 0; a < data.num_attributes(); ++a) {
-      EXPECT_EQ(fused_scores(v, a), base_scores(v, a));
+      EXPECT_EQ(fused_scores(v.index(), a), base_scores(v.index(), a));
     }
   }
 }

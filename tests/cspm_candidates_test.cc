@@ -15,15 +15,15 @@ namespace {
 
 TEST(CandidateStoreTest, PopsInGainOrder) {
   CandidateStore store;
-  store.Set(1, 2, 5.0);
-  store.Set(3, 4, 9.0);
-  store.Set(5, 6, 1.0);
-  LeafsetId x = 0;
-  LeafsetId y = 0;
+  store.Set(LeafsetId(1), LeafsetId(2), 5.0);
+  store.Set(LeafsetId(3), LeafsetId(4), 9.0);
+  store.Set(LeafsetId(5), LeafsetId(6), 1.0);
+  LeafsetId x{};
+  LeafsetId y{};
   double gain = 0;
   ASSERT_TRUE(store.PopBest(&x, &y, &gain));
-  EXPECT_EQ(std::min(x, y), 3u);
-  EXPECT_EQ(std::max(x, y), 4u);
+  EXPECT_EQ(std::min(x, y), LeafsetId(3));
+  EXPECT_EQ(std::max(x, y), LeafsetId(4));
   EXPECT_DOUBLE_EQ(gain, 9.0);
   ASSERT_TRUE(store.PopBest(&x, &y, &gain));
   EXPECT_DOUBLE_EQ(gain, 5.0);
@@ -34,8 +34,8 @@ TEST(CandidateStoreTest, PopsInGainOrder) {
 
 TEST(CandidateStoreTest, PairKeyIsUnordered) {
   CandidateStore store;
-  store.Set(7, 3, 2.0);
-  store.Set(3, 7, 4.0);  // overwrites the same pair
+  store.Set(LeafsetId(7), LeafsetId(3), 2.0);
+  store.Set(LeafsetId(3), LeafsetId(7), 4.0);  // overwrites the same pair
   EXPECT_EQ(store.size(), 1u);
   double gain = 0;
   ASSERT_TRUE(store.PeekBest(&gain));
@@ -44,11 +44,11 @@ TEST(CandidateStoreTest, PairKeyIsUnordered) {
 
 TEST(CandidateStoreTest, UpdateInvalidatesStaleHeapEntries) {
   CandidateStore store;
-  store.Set(1, 2, 10.0);
-  store.Set(1, 2, 3.0);  // downgrade
-  store.Set(4, 5, 6.0);
-  LeafsetId x = 0;
-  LeafsetId y = 0;
+  store.Set(LeafsetId(1), LeafsetId(2), 10.0);
+  store.Set(LeafsetId(1), LeafsetId(2), 3.0);  // downgrade
+  store.Set(LeafsetId(4), LeafsetId(5), 6.0);
+  LeafsetId x{};
+  LeafsetId y{};
   double gain = 0;
   ASSERT_TRUE(store.PopBest(&x, &y, &gain));
   EXPECT_DOUBLE_EQ(gain, 6.0);  // 10.0 entry is stale, skipped
@@ -59,8 +59,8 @@ TEST(CandidateStoreTest, UpdateInvalidatesStaleHeapEntries) {
 
 TEST(CandidateStoreTest, EraseRemovesPair) {
   CandidateStore store;
-  store.Set(1, 2, 10.0);
-  store.Erase(2, 1);  // reversed order still matches
+  store.Set(LeafsetId(1), LeafsetId(2), 10.0);
+  store.Erase(LeafsetId(2), LeafsetId(1));  // reversed order still matches
   EXPECT_TRUE(store.empty());
   double gain = 0;
   EXPECT_FALSE(store.PeekBest(&gain));
@@ -68,7 +68,7 @@ TEST(CandidateStoreTest, EraseRemovesPair) {
 
 TEST(CandidateStoreTest, PeekDoesNotConsume) {
   CandidateStore store;
-  store.Set(1, 2, 10.0);
+  store.Set(LeafsetId(1), LeafsetId(2), 10.0);
   double gain = 0;
   ASSERT_TRUE(store.PeekBest(&gain));
   EXPECT_DOUBLE_EQ(gain, 10.0);
@@ -77,42 +77,42 @@ TEST(CandidateStoreTest, PeekDoesNotConsume) {
 
 TEST(RelatedDictTest, LinkAndIntersect) {
   RelatedDict rdict;
-  rdict.Link(1, 2);
-  rdict.Link(1, 3);
-  rdict.Link(2, 3);
-  rdict.Link(2, 4);
+  rdict.Link(LeafsetId(1), LeafsetId(2));
+  rdict.Link(LeafsetId(1), LeafsetId(3));
+  rdict.Link(LeafsetId(2), LeafsetId(3));
+  rdict.Link(LeafsetId(2), LeafsetId(4));
   // related(1) = {2,3}; related(2) = {1,3,4}; intersection = {3}.
-  auto inter = rdict.Intersection(1, 2);
+  auto inter = rdict.Intersection(LeafsetId(1), LeafsetId(2));
   ASSERT_EQ(inter.size(), 1u);
-  EXPECT_EQ(inter[0], 3u);
+  EXPECT_EQ(inter[0], LeafsetId(3));
 }
 
 TEST(RelatedDictTest, UnlinkIsSymmetric) {
   RelatedDict rdict;
-  rdict.Link(1, 2);
-  rdict.Unlink(2, 1);
-  EXPECT_TRUE(rdict.RelatedTo(1).empty());
-  EXPECT_TRUE(rdict.RelatedTo(2).empty());
+  rdict.Link(LeafsetId(1), LeafsetId(2));
+  rdict.Unlink(LeafsetId(2), LeafsetId(1));
+  EXPECT_TRUE(rdict.RelatedTo(LeafsetId(1)).empty());
+  EXPECT_TRUE(rdict.RelatedTo(LeafsetId(2)).empty());
   EXPECT_TRUE(rdict.empty());
 }
 
 TEST(RelatedDictTest, RemoveLeafsetReportsFormerRelations) {
   RelatedDict rdict;
-  rdict.Link(1, 2);
-  rdict.Link(1, 3);
-  rdict.Link(2, 3);
+  rdict.Link(LeafsetId(1), LeafsetId(2));
+  rdict.Link(LeafsetId(1), LeafsetId(3));
+  rdict.Link(LeafsetId(2), LeafsetId(3));
   std::vector<LeafsetId> former;
-  rdict.RemoveLeafset(1, &former);
-  EXPECT_EQ(former, (std::vector<LeafsetId>{2, 3}));
-  EXPECT_FALSE(rdict.Contains(1));
-  EXPECT_EQ(rdict.RelatedTo(2).count(1), 0u);
-  EXPECT_EQ(rdict.RelatedTo(2).count(3), 1u);
+  rdict.RemoveLeafset(LeafsetId(1), &former);
+  EXPECT_EQ(former, (std::vector<LeafsetId>{LeafsetId(2), LeafsetId(3)}));
+  EXPECT_FALSE(rdict.Contains(LeafsetId(1)));
+  EXPECT_EQ(rdict.RelatedTo(LeafsetId(2)).count(LeafsetId(1)), 0u);
+  EXPECT_EQ(rdict.RelatedTo(LeafsetId(2)).count(LeafsetId(3)), 1u);
 }
 
 TEST(RelatedDictTest, RemoveUnknownIsNoOp) {
   RelatedDict rdict;
-  std::vector<LeafsetId> former = {99};
-  rdict.RemoveLeafset(42, &former);
+  std::vector<LeafsetId> former = {LeafsetId(99)};
+  rdict.RemoveLeafset(LeafsetId(42), &former);
   EXPECT_TRUE(former.empty());
 }
 
@@ -166,8 +166,8 @@ TEST(SerializationTest, LoadedModelDrivesScoring) {
   auto g = cspm::testing::PaperExampleGraph();
   auto model = CspmMiner(CspmOptions{}).Mine(g).value();
   auto loaded = ModelFromText(ModelToText(model, g.dict()), g.dict()).value();
-  auto s1 = ScoreAttributes(g, model, 0);
-  auto s2 = ScoreAttributes(g, loaded, 0);
+  auto s1 = ScoreAttributes(g, model, VertexId(0));
+  auto s2 = ScoreAttributes(g, loaded, VertexId(0));
   ASSERT_EQ(s1.normalized.size(), s2.normalized.size());
   for (size_t a = 0; a < s1.normalized.size(); ++a) {
     EXPECT_NEAR(s1.normalized[a], s2.normalized[a], 1e-9);

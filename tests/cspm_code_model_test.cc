@@ -11,6 +11,10 @@
 namespace cspm::core {
 namespace {
 
+// Single-value-coreset mode: core ids start out coinciding with
+// attribute-value ids; spell the correspondence out.
+CoreId C(AttrId a) { return CoreId(a.value()); }
+
 class CodeModelPaperExample : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -28,7 +32,7 @@ class CodeModelPaperExample : public ::testing::Test {
   std::unique_ptr<graph::AttributedGraph> g_;
   std::unique_ptr<InvertedDatabase> idb_;
   std::unique_ptr<CodeModel> cm_;
-  AttrId a_ = 0, b_ = 0, c_ = 0;
+  AttrId a_{}, b_{}, c_{};
 };
 
 TEST_F(CodeModelPaperExample, StLengthsMatchFrequencies) {
@@ -42,7 +46,7 @@ TEST_F(CodeModelPaperExample, SingleValueCoreCodesEqualSt) {
   // "CTc is exactly the standard code table ST if all coresets have one
   // core value" (Section IV-C).
   for (AttrId x : {a_, b_, c_}) {
-    EXPECT_NEAR(cm_->CoreCodeLength(x), cm_->StCodeLength(x), 1e-12);
+    EXPECT_NEAR(cm_->CoreCodeLength(C(x)), cm_->StCodeLength(x), 1e-12);
   }
 }
 
@@ -86,7 +90,7 @@ TEST_F(CodeModelPaperExample, TotalIsSumOfParts) {
 
 TEST_F(CodeModelPaperExample, MergeShrinksTotalWhenGainPositive) {
   const double before = cm_->TotalDescriptionLengthBits(*idb_);
-  idb_->MergeLeafsets(b_, c_);  // the paper's winning merge
+  idb_->MergeLeafsets(LeafsetId(b_.value()), LeafsetId(c_.value()));  // the paper's winning merge
   const double after = cm_->TotalDescriptionLengthBits(*idb_);
   EXPECT_LT(after, before);
 }

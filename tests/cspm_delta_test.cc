@@ -36,16 +36,18 @@ using testing::PaperExampleGraph;
 /// Structural fingerprint of a graph, for patched-vs-rebuilt comparisons.
 std::string GraphFingerprint(const AttributedGraph& g) {
   std::string out;
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    out += "v" + std::to_string(v) + ":";
+  for (VertexId v(0); v < g.num_vertices(); ++v) {
+    out += "v" + std::to_string(v.value()) + ":";
     for (graph::AttrId a : g.Attributes(v)) out += g.dict().Name(a) + ",";
     out += "|";
-    for (VertexId w : g.Neighbors(v)) out += std::to_string(w) + ",";
+    for (VertexId w : g.Neighbors(v)) out += std::to_string(w.value()) + ",";
     out += "\n";
   }
-  for (graph::AttrId a = 0; a < g.num_attribute_values(); ++a) {
+  for (graph::AttrId a(0); a.index() < g.num_attribute_values(); ++a) {
     out += g.dict().Name(a) + ":";
-    for (VertexId v : g.VerticesWithAttribute(a)) out += std::to_string(v) + ",";
+    for (VertexId v : g.VerticesWithAttribute(a)) {
+      out += std::to_string(v.value()) + ",";
+    }
     out += "\n";
   }
   return out;
@@ -55,14 +57,14 @@ std::string GraphFingerprint(const AttributedGraph& g) {
 /// ground truth the CSR splice must match.
 AttributedGraph RebuildFromScratch(const AttributedGraph& g) {
   graph::GraphBuilder b;
-  for (graph::AttrId a = 0; a < g.num_attribute_values(); ++a) {
+  for (graph::AttrId a(0); a.index() < g.num_attribute_values(); ++a) {
     b.InternAttribute(g.dict().Name(a));
   }
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+  for (VertexId v(0); v < g.num_vertices(); ++v) {
     auto attrs = g.Attributes(v);
     b.AddVertexWithIds({attrs.begin(), attrs.end()});
   }
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+  for (VertexId v(0); v < g.num_vertices(); ++v) {
     for (VertexId w : g.Neighbors(v)) {
       if (v < w) {
         EXPECT_TRUE(b.AddEdge(v, w).ok());
@@ -79,14 +81,16 @@ std::string IdbFingerprint(const InvertedDatabase& idb) {
   std::string out;
   idb.ForEachLine([&](core::CoreId e, core::LeafsetId l,
                       core::PosListView positions) {
-    out += "e" + std::to_string(e) + "[";
-    for (graph::AttrId a : idb.CoresetValues(e)) out += std::to_string(a) + ",";
+    out += "e" + std::to_string(e.value()) + "[";
+    for (graph::AttrId a : idb.CoresetValues(e)) {
+      out += std::to_string(a.value()) + ",";
+    }
     out += "]L[";
     for (graph::AttrId a : idb.leafsets().Values(l)) {
-      out += std::to_string(a) + ",";
+      out += std::to_string(a.value()) + ",";
     }
     out += "]:";
-    for (VertexId v : positions) out += std::to_string(v) + ",";
+    for (VertexId v : positions) out += std::to_string(v.value()) + ",";
     out += " f_e=" + std::to_string(idb.CoreLineTotal(e));
     out += " freq=" + std::to_string(idb.CoresetFrequency(e));
     out += "\n";
@@ -186,18 +190,19 @@ TEST(GraphDeltaTest, EdgeOpsMatchRebuiltGraph) {
 TEST(GraphDeltaTest, AttributeAndVertexOpsMatchRebuiltGraph) {
   AttributedGraph g = PaperExampleGraph();
   GraphDelta delta;
-  delta.SetAttribute(0, "d");            // new attribute value
-  delta.ClearAttribute(1, "c");
+  delta.SetAttribute(VertexId(0), "d");            // new attribute value
+  delta.ClearAttribute(VertexId(1), "c");
   const size_t idx = delta.AddVertex({"a", "d"});
-  delta.AddEdge(g.num_vertices() + static_cast<VertexId>(idx), 2);
-  delta.RemoveEdge(0, 3);
+  delta.AddEdge(VertexId(g.num_vertices().value() + static_cast<uint32_t>(idx)),
+                VertexId(2));
+  delta.RemoveEdge(VertexId(0), VertexId(3));
   auto applied = graph::ApplyDelta(g, delta);
   ASSERT_TRUE(applied.ok()) << applied.status().ToString();
   EXPECT_TRUE(applied->attributes_changed);
   EXPECT_EQ(applied->first_new_vertex, g.num_vertices());
-  EXPECT_EQ(applied->graph.num_vertices(), g.num_vertices() + 1);
+  EXPECT_EQ(applied->graph.num_vertices().value(), g.num_vertices().value() + 1);
   EXPECT_TRUE(applied->graph.HasAttribute(
-      0, applied->graph.dict().Find("d")));
+      VertexId(0), applied->graph.dict().Find("d")));
   EXPECT_EQ(GraphFingerprint(applied->graph),
             GraphFingerprint(RebuildFromScratch(applied->graph)));
 }
@@ -206,32 +211,32 @@ TEST(GraphDeltaTest, RejectsInvalidOpsWithoutApplying) {
   AttributedGraph g = PaperExampleGraph();
   {
     GraphDelta d;
-    d.RemoveEdge(0, 4);  // not an edge
+    d.RemoveEdge(VertexId(0), VertexId(4));  // not an edge
     EXPECT_FALSE(graph::ApplyDelta(g, d).ok());
   }
   {
     GraphDelta d;
-    d.AddEdge(0, 1);  // already present
+    d.AddEdge(VertexId(0), VertexId(1));  // already present
     EXPECT_FALSE(graph::ApplyDelta(g, d).ok());
   }
   {
     GraphDelta d;
-    d.AddEdge(2, 2);  // self-loop
+    d.AddEdge(VertexId(2), VertexId(2));  // self-loop
     EXPECT_FALSE(graph::ApplyDelta(g, d).ok());
   }
   {
     GraphDelta d;
-    d.SetAttribute(1, "a");  // vertex 1 already carries a
+    d.SetAttribute(VertexId(1), "a");  // vertex 1 already carries a
     EXPECT_FALSE(graph::ApplyDelta(g, d).ok());
   }
   {
     GraphDelta d;
-    d.ClearAttribute(0, "b");  // vertex 0 does not carry b
+    d.ClearAttribute(VertexId(0), "b");  // vertex 0 does not carry b
     EXPECT_FALSE(graph::ApplyDelta(g, d).ok());
   }
   {
     GraphDelta d;
-    d.AddEdge(0, 99);  // unknown vertex
+    d.AddEdge(VertexId(0), VertexId(99));  // unknown vertex
     EXPECT_FALSE(graph::ApplyDelta(g, d).ok());
   }
 }
@@ -239,10 +244,10 @@ TEST(GraphDeltaTest, RejectsInvalidOpsWithoutApplying) {
 TEST(GraphDeltaTest, AttributeOpMarksNeighboursDirty) {
   AttributedGraph g = PaperExampleGraph();
   GraphDelta delta;
-  delta.ClearAttribute(4, "b");  // v5; neighbours v3 (2) and v4 (3)
+  delta.ClearAttribute(VertexId(4), "b");  // v5; neighbours v3 (2) and v4 (3)
   auto applied = graph::ApplyDelta(g, delta);
   ASSERT_TRUE(applied.ok());
-  EXPECT_EQ(applied->dirty_vertices, (std::vector<VertexId>{2, 3, 4}));
+  EXPECT_EQ(applied->dirty_vertices, (std::vector<VertexId>{VertexId(2), VertexId(3), VertexId(4)}));
 }
 
 // --- inverted-database patch tests ----------------------------------------
@@ -258,10 +263,10 @@ TEST(InvertedDeltaTest, PatchMatchesColdBuildAcrossGraphsAndDeltas) {
   // Attribute + vertex ops on the paper example.
   AttributedGraph g = PaperExampleGraph();
   GraphDelta delta;
-  delta.SetAttribute(2, "b");
-  delta.ClearAttribute(1, "a");
+  delta.SetAttribute(VertexId(2), "b");
+  delta.ClearAttribute(VertexId(1), "a");
   delta.AddVertex({"c", "d"});
-  delta.AddEdge(5, 0);
+  delta.AddEdge(VertexId(5), VertexId(0));
   ExpectPatchMatchesColdBuild(g, delta);
 }
 
@@ -274,11 +279,11 @@ TEST(InvertedDeltaTest, RemoveLastEdgeOfStar) {
   b.AddVertex({"b"});
   b.AddVertex({"c"});
   b.AddVertex({"c"});
-  EXPECT_TRUE(b.AddEdge(0, 1).ok());
-  EXPECT_TRUE(b.AddEdge(2, 3).ok());
+  EXPECT_TRUE(b.AddEdge(VertexId(0), VertexId(1)).ok());
+  EXPECT_TRUE(b.AddEdge(VertexId(2), VertexId(3)).ok());
   AttributedGraph g = std::move(std::move(b).Build()).value();
   GraphDelta delta;
-  delta.RemoveEdge(0, 1);
+  delta.RemoveEdge(VertexId(0), VertexId(1));
   ExpectPatchMatchesColdBuild(g, delta);
   ExpectWarmEqualsColdRemine(g, {delta});
 }
@@ -292,13 +297,13 @@ TEST(InvertedDeltaTest, DeltaOnVertexAbsentFromEveryLeafset) {
   b.AddVertex({"b"});
   b.AddVertexWithIds({});  // attribute-less vertex 2
   b.AddVertex({"a", "b"});
-  EXPECT_TRUE(b.AddEdge(0, 1).ok());
-  EXPECT_TRUE(b.AddEdge(1, 2).ok());
-  EXPECT_TRUE(b.AddEdge(2, 3).ok());
+  EXPECT_TRUE(b.AddEdge(VertexId(0), VertexId(1)).ok());
+  EXPECT_TRUE(b.AddEdge(VertexId(1), VertexId(2)).ok());
+  EXPECT_TRUE(b.AddEdge(VertexId(2), VertexId(3)).ok());
   AttributedGraph g = std::move(std::move(b).Build()).value();
   GraphDelta delta;
-  delta.RemoveEdge(1, 2);
-  delta.AddEdge(0, 2);
+  delta.RemoveEdge(VertexId(1), VertexId(2));
+  delta.AddEdge(VertexId(0), VertexId(2));
   ExpectPatchMatchesColdBuild(g, delta);
   ExpectWarmEqualsColdRemine(g, {delta});
 }
@@ -320,17 +325,19 @@ TEST(ApplyUpdatesTest, AttributeDeltaBitIdenticalToColdRemine) {
   // database — and must stay bit-identical.
   AttributedGraph g = SmallCommunityGraph(2);
   GraphDelta delta;
-  delta.SetAttribute(3, "brand-new-value");
-  delta.ClearAttribute(0, g.dict().Name(g.Attributes(0)[0]));
+  delta.SetAttribute(VertexId(3), "brand-new-value");
+  delta.ClearAttribute(VertexId(0),
+                       g.dict().Name(g.Attributes(VertexId(0))[0]));
   ExpectWarmEqualsColdRemine(g, {delta});
 }
 
 TEST(ApplyUpdatesTest, AddVertexWithEdgesBitIdenticalToColdRemine) {
   AttributedGraph g = SmallCommunityGraph(5);
   GraphDelta delta;
-  delta.AddVertex({g.dict().Name(0), g.dict().Name(1)});
-  delta.AddEdge(g.num_vertices(), 0);
-  delta.AddEdge(g.num_vertices(), 17);
+  delta.AddVertex(
+      {g.dict().Name(graph::AttrId(0)), g.dict().Name(graph::AttrId(1))});
+  delta.AddEdge(g.num_vertices(), VertexId(0));
+  delta.AddEdge(g.num_vertices(), VertexId(17));
   ExpectWarmEqualsColdRemine(g, {delta});
 }
 
@@ -342,12 +349,12 @@ TEST(ApplyUpdatesTest, SequentialUpdatesStayBitIdentical) {
   deltas.push_back(RandomEdgeDelta(g, 4, 21));
   {
     GraphDelta d2;
-    d2.SetAttribute(7, "late-value");
+    d2.SetAttribute(VertexId(7), "late-value");
     deltas.push_back(d2);
   }
   {
     GraphDelta d3;
-    d3.ClearAttribute(7, "late-value");
+    d3.ClearAttribute(VertexId(7), "late-value");
     deltas.push_back(d3);
   }
   ExpectWarmEqualsColdRemine(g, deltas);
@@ -359,12 +366,12 @@ TEST(ApplyUpdatesTest, AttributeClearedThenReAddedRestoresModel) {
                      .value();
   ASSERT_TRUE(session.Mine().ok());
   const std::string original = session.SerializeModel();
-  const std::string name = g.dict().Name(g.Attributes(12)[0]);
+  const std::string name = g.dict().Name(g.Attributes(VertexId(12))[0]);
   GraphDelta clear;
-  clear.ClearAttribute(12, name);
+  clear.ClearAttribute(VertexId(12), name);
   ASSERT_TRUE(session.ApplyUpdates(clear, nullptr).ok());
   GraphDelta re_add;
-  re_add.SetAttribute(12, name);
+  re_add.SetAttribute(VertexId(12), name);
   ASSERT_TRUE(session.ApplyUpdates(re_add, nullptr).ok());
   EXPECT_EQ(session.SerializeModel(), original);
 }
@@ -381,7 +388,7 @@ TEST(ApplyUpdatesTest, RequiresAMinedModel) {
   auto session = std::move(engine::MiningSession::Create(g, UpdatableOptions()))
                      .value();
   GraphDelta delta;
-  delta.RemoveEdge(0, 1);
+  delta.RemoveEdge(VertexId(0), VertexId(1));
   EXPECT_FALSE(session.ApplyUpdates(delta, nullptr).ok());
 }
 
@@ -392,7 +399,7 @@ TEST(ApplyUpdatesTest, InvalidDeltaLeavesSessionUntouched) {
   ASSERT_TRUE(session.Mine().ok());
   const std::string before = session.SerializeModel();
   GraphDelta bad;
-  bad.AddEdge(0, 0);  // self-loop
+  bad.AddEdge(VertexId(0), VertexId(0));  // self-loop
   EXPECT_FALSE(session.ApplyUpdates(bad, nullptr).ok());
   EXPECT_EQ(session.SerializeModel(), before);
   EXPECT_EQ(&session.graph(), &g);  // graph not swapped
@@ -462,7 +469,7 @@ TEST(HotSwapTest, PublishedHandleOutlivesCallerGraph) {
   }  // caller's graph destroyed here
   auto handle = registry.Get("ephemeral");
   ASSERT_NE(handle, nullptr);
-  EXPECT_TRUE(handle->ScoreVertex(0).ok());
+  EXPECT_TRUE(handle->ScoreVertex(VertexId(0)).ok());
 }
 
 // --- WAL crash recovery -----------------------------------------------------
@@ -476,7 +483,7 @@ TEST(WalReplayTest, CrashTruncatedTailRecoversPrefixBitIdentical) {
   // record's bytes in the file and corrupt them (the simulated torn tail).
   const std::string marker = "CANARY_ATTRIBUTE_VALUE_FOR_TAIL_RECORD";
   GraphDelta d2;
-  d2.SetAttribute(0, marker);
+  d2.SetAttribute(VertexId(0), marker);
 
   {
     auto session =

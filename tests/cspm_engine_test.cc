@@ -61,7 +61,8 @@ TEST(MiningSession, ScoreMatchesScoringFacade) {
   auto g = SmallRandomGraph(11);
   auto session = std::move(MiningSession::Create(g)).value();
   ASSERT_TRUE(session.Mine().ok());
-  for (graph::VertexId v : {0u, 5u, 17u}) {
+  for (uint32_t raw : {0u, 5u, 17u}) {
+    const graph::VertexId v(raw);
     AttributeScores via_session = session.Score(v);
     AttributeScores via_facade = engine::ScoreAttributes(g, session.model(), v);
     EXPECT_EQ(via_session.raw, via_facade.raw);
@@ -81,8 +82,8 @@ TEST(MiningSession, SerializeRoundTrips) {
   EXPECT_EQ(other.model().astars.size(), session.model().astars.size());
   // Scoring through the reloaded model agrees (up to the text format's
   // printed precision).
-  const auto reloaded = other.Score(0).normalized;
-  const auto original = session.Score(0).normalized;
+  const auto reloaded = other.Score(graph::VertexId(0)).normalized;
+  const auto original = session.Score(graph::VertexId(0)).normalized;
   ASSERT_EQ(reloaded.size(), original.size());
   for (size_t i = 0; i < reloaded.size(); ++i) {
     EXPECT_NEAR(reloaded[i], original[i], 1e-6) << i;
@@ -109,7 +110,8 @@ TEST(MiningSession, TextRoundTripIsBitExact) {
         << i;
   }
   // Scores computed through the reloaded model are therefore bit-exact too.
-  for (graph::VertexId v : {0u, 3u, 50u}) {
+  for (uint32_t raw : {0u, 3u, 50u}) {
+    const graph::VertexId v(raw);
     EXPECT_EQ(reloaded.Score(v).raw, session.Score(v).raw);
   }
 }

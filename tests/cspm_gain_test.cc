@@ -16,6 +16,10 @@ namespace {
 
 using cspm::testing::PaperExampleGraph;
 
+// Single-value-coreset mode: leafset ids start out coinciding with
+// attribute-value ids; spell the correspondence out.
+LeafsetId L(AttrId a) { return LeafsetId(a.value()); }
+
 class GainPaperExample : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -32,7 +36,7 @@ class GainPaperExample : public ::testing::Test {
   std::unique_ptr<graph::AttributedGraph> g_;
   std::unique_ptr<InvertedDatabase> idb_;
   std::unique_ptr<CodeModel> cm_;
-  AttrId a_ = 0, b_ = 0, c_ = 0;
+  AttrId a_{}, b_{}, c_{};
 };
 
 TEST_F(GainPaperExample, MergeBCDataGainMatchesHandComputation) {
@@ -41,7 +45,7 @@ TEST_F(GainPaperExample, MergeBCDataGainMatchesHandComputation) {
   //     P1_a = 6 log 6 - 4 log 4; P2_a = xy log xy = 2.
   //   Core b: f=4, x_e=2 (leaf {b}), y_e=1 (leaf {c}), xy=1 (Case 3):
   //     P1_b = 4 log 4 - 3 log 3; P2_b = 2 log 2 - (1 log 1 + 1 log 1) = 2.
-  GainResult gr = ComputeMergeGain(*idb_, *cm_, b_, c_);
+  GainResult gr = ComputeMergeGain(*idb_, *cm_, L(b_), L(c_));
   ASSERT_TRUE(gr.feasible);
   const double p1 = (6 * std::log2(6.0) - 4 * std::log2(4.0)) +
                     (4 * std::log2(4.0) - 3 * std::log2(3.0));
@@ -59,7 +63,7 @@ TEST_F(GainPaperExample, ModelDeltaMatchesHandComputation) {
   // removed: ({b} under a), ({c} under a), ({c} under b).
   const double added = (2 * lb + la) + (2 * lb + lb);
   const double removed = (lb + la) + (lb + la) + (lb + lb);
-  GainResult gr = ComputeMergeGain(*idb_, *cm_, b_, c_);
+  GainResult gr = ComputeMergeGain(*idb_, *cm_, L(b_), L(c_));
   EXPECT_NEAR(gr.model_delta_bits, added - removed, 1e-9);
 }
 
@@ -68,8 +72,8 @@ TEST_F(GainPaperExample, GainPredictsActualDlChange) {
   // data+model gain the change of the CTL-inclusive DL.
   const double data_before = idb_->DataCostBits();
   const double full_before = cm_->TotalDescriptionLengthBits(*idb_);
-  GainResult gr = ComputeMergeGain(*idb_, *cm_, b_, c_);
-  idb_->MergeLeafsets(b_, c_);
+  GainResult gr = ComputeMergeGain(*idb_, *cm_, L(b_), L(c_));
+  idb_->MergeLeafsets(L(b_), L(c_));
   const double data_after = idb_->DataCostBits();
   const double full_after = cm_->TotalDescriptionLengthBits(*idb_);
   EXPECT_NEAR(data_before - data_after, gr.data_gain_bits, 1e-9);
@@ -83,22 +87,22 @@ TEST_F(GainPaperExample, GainPredictsActualDlChange) {
 TEST_F(GainPaperExample, InfeasiblePairHasZeroGain) {
   // After merging {b},{c}, leafset {c} has no lines; any pair with it is
   // infeasible.
-  idb_->MergeLeafsets(b_, c_);
-  GainResult gr = ComputeMergeGain(*idb_, *cm_, a_, c_);
+  idb_->MergeLeafsets(L(b_), L(c_));
+  GainResult gr = ComputeMergeGain(*idb_, *cm_, L(a_), L(c_));
   EXPECT_FALSE(gr.feasible);
   EXPECT_EQ(gr.data_gain_bits, 0.0);
 }
 
 TEST_F(GainPaperExample, SelfPairInfeasible) {
-  GainResult gr = ComputeMergeGain(*idb_, *cm_, a_, a_);
+  GainResult gr = ComputeMergeGain(*idb_, *cm_, L(a_), L(a_));
   EXPECT_FALSE(gr.feasible);
 }
 
 TEST_F(GainPaperExample, SubsetPairInfeasible) {
   // Merge {b},{c} -> {b,c}; pairing {b,c} with {b} has union == {b,c},
   // which by the losslessness invariant can never overlap.
-  MergeOutcome outcome = idb_->MergeLeafsets(b_, c_);
-  GainResult gr = ComputeMergeGain(*idb_, *cm_, outcome.merged_id, b_);
+  MergeOutcome outcome = idb_->MergeLeafsets(L(b_), L(c_));
+  GainResult gr = ComputeMergeGain(*idb_, *cm_, outcome.merged_id, L(b_));
   EXPECT_FALSE(gr.feasible);
 }
 

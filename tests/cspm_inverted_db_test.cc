@@ -20,6 +20,16 @@ using cspm::testing::PaperExampleGraph;
 // Materializes a pool-backed view for comparisons; an absent line gives {}.
 PosList ToVec(PosListView view) { return PosList(view.begin(), view.end()); }
 
+// The paper's single-value-coreset mode: coreset ids and leafset ids start
+// out coinciding with attribute-value ids. These spell that out.
+CoreId C(AttrId a) { return CoreId(a.value()); }
+LeafsetId L(AttrId a) { return LeafsetId(a.value()); }
+PosList V(std::initializer_list<uint32_t> raw) {
+  PosList out;
+  for (uint32_t v : raw) out.push_back(VertexId(v));
+  return out;
+}
+
 class InvertedDbPaperExample : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -35,35 +45,35 @@ class InvertedDbPaperExample : public ::testing::Test {
 
   std::unique_ptr<graph::AttributedGraph> g_;
   std::unique_ptr<InvertedDatabase> idb_;
-  AttrId a_ = 0, b_ = 0, c_ = 0;
+  AttrId a_{}, b_{}, c_{};
 };
 
 TEST_F(InvertedDbPaperExample, MappingTableFrequencies) {
   // Fig. 2(a): a -> {v1,v2,v5}, b -> {v4,v5}, c -> {v2,v3}.
-  EXPECT_EQ(idb_->CoresetFrequency(a_), 3u);
-  EXPECT_EQ(idb_->CoresetFrequency(b_), 2u);
-  EXPECT_EQ(idb_->CoresetFrequency(c_), 2u);
+  EXPECT_EQ(idb_->CoresetFrequency(C(a_)), 3u);
+  EXPECT_EQ(idb_->CoresetFrequency(C(b_)), 2u);
+  EXPECT_EQ(idb_->CoresetFrequency(C(c_)), 2u);
   EXPECT_EQ(idb_->total_coreset_frequency(), 7u);
 }
 
 TEST_F(InvertedDbPaperExample, InitialLinesMatchPaper) {
   // The blue record of Fig. 2(b): ({a}, {c}, {v2, v3}).
-  EXPECT_EQ(ToVec(idb_->FindLine(c_, /*leafset=*/a_)),
-            (PosList{1, 2}));  // v2=1, v3=2 (zero-based)
+  EXPECT_EQ(ToVec(idb_->FindLine(C(c_), L(a_))),
+            V({1, 2}));  // v2=1, v3=2 (zero-based)
 
   // Core a: leaf a at {v1,v2}; leaf b at {v1,v5}; leaf c at {v1,v5}.
-  EXPECT_EQ(ToVec(idb_->FindLine(a_, a_)), (PosList{0, 1}));
-  EXPECT_EQ(ToVec(idb_->FindLine(a_, b_)), (PosList{0, 4}));
-  EXPECT_EQ(ToVec(idb_->FindLine(a_, c_)), (PosList{0, 4}));
+  EXPECT_EQ(ToVec(idb_->FindLine(C(a_), L(a_))), V({0, 1}));
+  EXPECT_EQ(ToVec(idb_->FindLine(C(a_), L(b_))), V({0, 4}));
+  EXPECT_EQ(ToVec(idb_->FindLine(C(a_), L(c_))), V({0, 4}));
 
   // Core b: leaf a at {v4}; leaf b at {v4,v5}; leaf c at {v5}.
-  EXPECT_EQ(ToVec(idb_->FindLine(b_, a_)), (PosList{3}));
-  EXPECT_EQ(ToVec(idb_->FindLine(b_, b_)), (PosList{3, 4}));
-  EXPECT_EQ(ToVec(idb_->FindLine(b_, c_)), (PosList{4}));
+  EXPECT_EQ(ToVec(idb_->FindLine(C(b_), L(a_))), V({3}));
+  EXPECT_EQ(ToVec(idb_->FindLine(C(b_), L(b_))), V({3, 4}));
+  EXPECT_EQ(ToVec(idb_->FindLine(C(b_), L(c_))), V({4}));
 
   // Core c: leaf a at {v2,v3}; leaf b at {v3}; no leaf-c line.
-  EXPECT_EQ(ToVec(idb_->FindLine(c_, b_)), (PosList{2}));
-  EXPECT_TRUE(idb_->FindLine(c_, c_).empty());
+  EXPECT_EQ(ToVec(idb_->FindLine(C(c_), L(b_))), V({2}));
+  EXPECT_TRUE(idb_->FindLine(C(c_), L(c_)).empty());
 
   EXPECT_EQ(idb_->num_lines(), 8u);
   EXPECT_EQ(idb_->num_active_leafsets(), 3u);
@@ -71,9 +81,9 @@ TEST_F(InvertedDbPaperExample, InitialLinesMatchPaper) {
 
 TEST_F(InvertedDbPaperExample, CoreLineTotals) {
   // f_a = 2+2+2 = 6, f_b = 1+2+1 = 4, f_c = 2+1 = 3.
-  EXPECT_EQ(idb_->CoreLineTotal(a_), 6u);
-  EXPECT_EQ(idb_->CoreLineTotal(b_), 4u);
-  EXPECT_EQ(idb_->CoreLineTotal(c_), 3u);
+  EXPECT_EQ(idb_->CoreLineTotal(C(a_)), 6u);
+  EXPECT_EQ(idb_->CoreLineTotal(C(b_)), 4u);
+  EXPECT_EQ(idb_->CoreLineTotal(C(c_)), 3u);
 }
 
 TEST_F(InvertedDbPaperExample, InitialStateIsLossless) {
@@ -82,7 +92,7 @@ TEST_F(InvertedDbPaperExample, InitialStateIsLossless) {
 
 TEST_F(InvertedDbPaperExample, MergeBCMatchesFig4) {
   // Merge leafsets {b} and {c} (Section IV-E's worked example).
-  MergeOutcome outcome = idb_->MergeLeafsets(b_, c_);
+  MergeOutcome outcome = idb_->MergeLeafsets(L(b_), L(c_));
   ASSERT_FALSE(outcome.no_op);
 
   const LeafsetId bc = outcome.merged_id;
@@ -91,27 +101,27 @@ TEST_F(InvertedDbPaperExample, MergeBCMatchesFig4) {
   EXPECT_EQ(idb_->leafsets().Values(bc), expected);
 
   // Under core {a}: total merge — positions {v1, v5}.
-  EXPECT_EQ(ToVec(idb_->FindLine(a_, bc)), (PosList{0, 4}));
-  EXPECT_TRUE(idb_->FindLine(a_, b_).empty());
-  EXPECT_TRUE(idb_->FindLine(a_, c_).empty());
+  EXPECT_EQ(ToVec(idb_->FindLine(C(a_), bc)), V({0, 4}));
+  EXPECT_TRUE(idb_->FindLine(C(a_), L(b_)).empty());
+  EXPECT_TRUE(idb_->FindLine(C(a_), L(c_)).empty());
 
   // Under core {b}: leaf {c} totally merged; ({b},{b}) remains at {v4}.
-  EXPECT_EQ(ToVec(idb_->FindLine(b_, bc)), (PosList{4}));
-  EXPECT_EQ(ToVec(idb_->FindLine(b_, b_)), (PosList{3}));
-  EXPECT_TRUE(idb_->FindLine(b_, c_).empty());
+  EXPECT_EQ(ToVec(idb_->FindLine(C(b_), bc)), V({4}));
+  EXPECT_EQ(ToVec(idb_->FindLine(C(b_), L(b_))), V({3}));
+  EXPECT_TRUE(idb_->FindLine(C(b_), L(c_)).empty());
 
   // Leafset {c} is totally merged (no remaining line anywhere): the
   // ({c}, core c) lines never contained leaf c. {c} appeared only under
   // cores a and b.
   EXPECT_EQ(outcome.totally_merged.size(), 1u);
-  EXPECT_EQ(outcome.totally_merged[0], c_);
+  EXPECT_EQ(outcome.totally_merged[0], L(c_));
   ASSERT_EQ(outcome.partly_merged.size(), 1u);
-  EXPECT_EQ(outcome.partly_merged[0], b_);
+  EXPECT_EQ(outcome.partly_merged[0], L(b_));
 
   // f totals shrink by xy_e: f_a 6->4, f_b 4->3.
-  EXPECT_EQ(idb_->CoreLineTotal(a_), 4u);
-  EXPECT_EQ(idb_->CoreLineTotal(b_), 3u);
-  EXPECT_EQ(idb_->CoreLineTotal(c_), 3u);
+  EXPECT_EQ(idb_->CoreLineTotal(C(a_)), 4u);
+  EXPECT_EQ(idb_->CoreLineTotal(C(b_)), 3u);
+  EXPECT_EQ(idb_->CoreLineTotal(C(c_)), 3u);
 
   EXPECT_TRUE(VerifyLossless(*g_, *idb_).ok());
 }
@@ -119,10 +129,10 @@ TEST_F(InvertedDbPaperExample, MergeBCMatchesFig4) {
 TEST_F(InvertedDbPaperExample, MergeOfDisjointLeafsetsIsNoOp) {
   // Fabricate: leafsets that never co-occur under a shared coreset.
   // {a} and {b} share cores; but merging twice should eventually no-op.
-  MergeOutcome first = idb_->MergeLeafsets(b_, c_);
+  MergeOutcome first = idb_->MergeLeafsets(L(b_), L(c_));
   ASSERT_FALSE(first.no_op);
   // Merging {c} again: {c} has no lines left.
-  MergeOutcome second = idb_->MergeLeafsets(b_, c_);
+  MergeOutcome second = idb_->MergeLeafsets(L(b_), L(c_));
   EXPECT_TRUE(second.no_op);
 }
 
@@ -135,7 +145,7 @@ class ReferenceDb {
     idb.ForEachLine([&](CoreId e, LeafsetId l, PosListView positions) {
       lines_[{e, l}] = PosList(positions.begin(), positions.end());
     });
-    for (CoreId e = 0; e < idb.num_coresets(); ++e) {
+    for (CoreId e(0); e.index() < idb.num_coresets(); ++e) {
       core_line_total_.push_back(idb.CoreLineTotal(e));
     }
   }
@@ -176,7 +186,7 @@ class ReferenceDb {
       std::merge(target.begin(), target.end(), inter.begin(), inter.end(),
                  std::back_inserter(merged));
       target = merged;
-      core_line_total_[e] -= inter.size();
+      core_line_total_[e.index()] -= inter.size();
     }
     if (outcome.no_op) return outcome;
     for (LeafsetId l : {x, y}) {
@@ -198,7 +208,9 @@ class ReferenceDb {
   }
 
   size_t num_lines() const { return lines_.size(); }
-  uint64_t CoreLineTotal(CoreId e) const { return core_line_total_[e]; }
+  uint64_t CoreLineTotal(CoreId e) const {
+    return core_line_total_[e.index()];
+  }
   const PosList* Find(CoreId e, LeafsetId l) const {
     auto it = lines_.find({e, l});
     return it == lines_.end() ? nullptr : &it->second;
@@ -212,7 +224,7 @@ class ReferenceDb {
 void ExpectMatchesReference(const InvertedDatabase& idb,
                             const ReferenceDb& ref) {
   EXPECT_EQ(idb.num_lines(), ref.num_lines());
-  for (CoreId e = 0; e < idb.num_coresets(); ++e) {
+  for (CoreId e(0); e.index() < idb.num_coresets(); ++e) {
     EXPECT_EQ(idb.CoreLineTotal(e), ref.CoreLineTotal(e)) << "core " << e;
   }
   size_t seen = 0;
@@ -232,17 +244,17 @@ TEST_F(MergeEdgeCases, NoSharedCoresetIsNoOpAndMutatesNothing) {
   ReferenceDb ref(*idb_);
   const size_t lines_before = idb_->num_lines();
   const size_t active_before = idb_->num_active_leafsets();
-  MergeOutcome outcome = idb_->MergeLeafsets(b_, c_);
+  MergeOutcome outcome = idb_->MergeLeafsets(L(b_), L(c_));
   ASSERT_FALSE(outcome.no_op);
   // Re-merging the same pair: {c} lost its last line, nothing shared.
-  MergeOutcome again = idb_->MergeLeafsets(b_, c_);
+  MergeOutcome again = idb_->MergeLeafsets(L(b_), L(c_));
   EXPECT_TRUE(again.no_op);
   EXPECT_EQ(again.cores_touched, 0u);
   EXPECT_EQ(again.moved_positions, 0u);
   EXPECT_TRUE(again.totally_merged.empty());
   EXPECT_TRUE(again.partly_merged.empty());
   // The failed merge changed nothing relative to the reference replay.
-  ref.Merge(b_, c_, outcome.merged_id);
+  ref.Merge(L(b_), L(c_), outcome.merged_id);
   ExpectMatchesReference(*idb_, ref);
   // 8 lines - (a,b) - (a,c) - (b,c) + (a,{b,c}) + (b,{b,c}) = 7.
   EXPECT_EQ(idb_->num_lines(), lines_before - 1);
@@ -253,8 +265,8 @@ TEST_F(MergeEdgeCases, TotallyVersusPartlyMergedClassification) {
   // Fig. 4's merge: {c} vanishes everywhere (totally merged), {b} keeps a
   // line under core b (partly merged).
   ReferenceDb ref(*idb_);
-  MergeOutcome outcome = idb_->MergeLeafsets(b_, c_);
-  ReferenceDb::Outcome ref_outcome = ref.Merge(b_, c_, outcome.merged_id);
+  MergeOutcome outcome = idb_->MergeLeafsets(L(b_), L(c_));
+  ReferenceDb::Outcome ref_outcome = ref.Merge(L(b_), L(c_), outcome.merged_id);
   EXPECT_EQ(outcome.no_op, ref_outcome.no_op);
   EXPECT_EQ(outcome.totally_merged, ref_outcome.totally_merged);
   EXPECT_EQ(outcome.partly_merged, ref_outcome.partly_merged);
@@ -289,12 +301,12 @@ TEST_F(MergeEdgeCases, CoreLineTotalInvariantsAfterChainedMerges) {
     idb.ForEachLine([&](CoreId e, LeafsetId l, PosListView positions) {
       (void)l;
       ASSERT_FALSE(positions.empty());
-      totals[e] += positions.size();
+      totals[e.index()] += positions.size();
       ++lines;
     });
     EXPECT_EQ(lines, idb.num_lines());
-    for (CoreId e = 0; e < idb.num_coresets(); ++e) {
-      EXPECT_EQ(totals[e], idb.CoreLineTotal(e)) << "step " << step;
+    for (CoreId e(0); e.index() < idb.num_coresets(); ++e) {
+      EXPECT_EQ(totals[e.index()], idb.CoreLineTotal(e)) << "step " << step;
     }
   }
 }

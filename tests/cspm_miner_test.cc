@@ -187,7 +187,7 @@ TEST(CspmMinerTest, MultiValueCoresetsRun) {
   // At least one coreset should carry multiple values when attributes
   // co-occur strongly (fever/vip vertices carry noise values too).
   bool multi = false;
-  for (CoreId c = 0; c < artifacts.inverted_db.num_coresets(); ++c) {
+  for (CoreId c(0); c.index() < artifacts.inverted_db.num_coresets(); ++c) {
     if (artifacts.inverted_db.CoresetValues(c).size() >= 2) multi = true;
   }
   EXPECT_TRUE(multi);

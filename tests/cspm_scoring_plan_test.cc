@@ -18,18 +18,25 @@
 namespace cspm::core {
 namespace {
 
+/// Builds an AttrId list from raw values (strong ids ban implicit braces).
+std::vector<AttrId> Ids(std::initializer_list<uint32_t> raw) {
+  std::vector<AttrId> out;
+  for (uint32_t a : raw) out.push_back(AttrId(a));
+  return out;
+}
+
 CspmModel HandModel() {
   CspmModel model;
   AStar s1;
-  s1.core_values = {0};
-  s1.leaf_values = {1, 2};
+  s1.core_values = Ids({0});
+  s1.leaf_values = Ids({1, 2});
   s1.code_length_bits = 2.0;
   AStar s2;
-  s2.core_values = {3};
-  s2.leaf_values = {4};
+  s2.core_values = Ids({3});
+  s2.leaf_values = Ids({4});
   s2.code_length_bits = 5.0;
   AStar empty;  // compiled out: no leafset, never contributes evidence
-  empty.core_values = {5};
+  empty.core_values = Ids({5});
   empty.code_length_bits = 1.0;
   model.astars = {s1, s2, empty};
   return model;
@@ -53,14 +60,14 @@ TEST(ScoringPlanTest, MatchesLegacyOnHandModelNeighbourhoods) {
   CspmModel model = HandModel();
   ScoringPlan plan = ScoringPlan::Compile(model, 6);
   const std::vector<std::vector<AttrId>> neighbourhoods = {
-      {},                 // empty: no evidence anywhere
-      {1, 2},             // full similarity for s1
-      {1},                // partial similarity
-      {5},                // no overlap
-      {1, 1, 1},          // duplicates count once
-      {1, 2, 6, 1000},    // out-of-range ids ignored
-      {4, 2, 1},          // unsorted
-      {0, 1, 2, 3, 4, 5}  // everything
+      Ids({}),                 // empty: no evidence anywhere
+      Ids({1, 2}),             // full similarity for s1
+      Ids({1}),                // partial similarity
+      Ids({5}),                // no overlap
+      Ids({1, 1, 1}),          // duplicates count once
+      Ids({1, 2, 6, 1000}),    // out-of-range ids ignored
+      Ids({4, 2, 1}),          // unsorted
+      Ids({0, 1, 2, 3, 4, 5})  // everything
   };
   for (const auto& n : neighbourhoods) {
     ExpectSameScores(plan.Score(n),
@@ -71,7 +78,7 @@ TEST(ScoringPlanTest, MatchesLegacyOnHandModelNeighbourhoods) {
 TEST(ScoringPlanTest, MatchesLegacyAtExactSimilarityThreshold) {
   CspmModel model = HandModel();
   ScoringPlan plan = ScoringPlan::Compile(model, 6);
-  const std::vector<AttrId> neighbourhood = {1};
+  const std::vector<AttrId> neighbourhood = Ids({1});
   ScoringOptions options;
   options.min_similarity = 0.5;  // similarity of {1} vs {1,2} is exactly 0.5
   ExpectSameScores(
@@ -92,7 +99,7 @@ TEST(ScoringPlanTest, ScratchAndBuffersAreReusableAcrossCalls) {
   // Alternate between evidence-rich and empty neighbourhoods: stale state
   // from one call must never leak into the next.
   const std::vector<std::vector<AttrId>> sequence = {
-      {1, 2}, {}, {4}, {1}, {1, 2, 4}, {}};
+      Ids({1, 2}), Ids({}), Ids({4}), Ids({1}), Ids({1, 2, 4}), Ids({})};
   for (const auto& n : sequence) {
     plan.ScoreInto(n, ScoringOptions{}, &scratch, &out);
     ExpectSameScores(out, ScoreAttributesWithNeighbourhood(6, model, n));
@@ -112,7 +119,7 @@ TEST(ScoringPlanTest, MinedModelMatchesLegacyOnEveryVertex) {
     plan.PrepareScratch(&scratch);
     AttributeScores out;
     std::vector<AttrId> neighbourhood;
-    for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (graph::VertexId v(0); v < g.num_vertices(); ++v) {
       neighbourhood.clear();
       for (graph::VertexId w : g.Neighbors(v)) {
         const auto attrs = g.Attributes(w);
@@ -135,7 +142,7 @@ TEST(ScoringPlanTest, PaperExampleMatchesLegacy) {
   auto g = cspm::testing::PaperExampleGraph();
   auto model = CspmMiner(CspmOptions{}).Mine(g).value();
   ScoringPlan plan = ScoringPlan::Compile(model, g.num_attribute_values());
-  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+  for (graph::VertexId v(0); v < g.num_vertices(); ++v) {
     std::vector<AttrId> neighbourhood;
     for (graph::VertexId w : g.Neighbors(v)) {
       const auto attrs = g.Attributes(w);

@@ -12,16 +12,23 @@
 namespace cspm::core {
 namespace {
 
+/// Builds an AttrId list from raw values (strong ids ban implicit braces).
+std::vector<graph::AttrId> Ids(std::initializer_list<uint32_t> raw) {
+  std::vector<graph::AttrId> out;
+  for (uint32_t a : raw) out.push_back(graph::AttrId(a));
+  return out;
+}
+
 // A hand-built model with two a-stars.
 CspmModel HandModel() {
   CspmModel model;
   AStar s1;
-  s1.core_values = {0};
-  s1.leaf_values = {1, 2};
+  s1.core_values = Ids({0});
+  s1.leaf_values = Ids({1, 2});
   s1.code_length_bits = 2.0;
   AStar s2;
-  s2.core_values = {3};
-  s2.leaf_values = {4};
+  s2.core_values = Ids({3});
+  s2.leaf_values = Ids({4});
   s2.code_length_bits = 5.0;
   model.astars = {s1, s2};
   return model;
@@ -31,7 +38,7 @@ TEST(ScoringTest, FullSimilarityGivesNegCodeLength) {
   CspmModel model = HandModel();
   // Neighbourhood contains both leaf values of s1: similarity 1, w = 1,
   // score = -code_length.
-  auto scores = ScoreAttributesWithNeighbourhood(6, model, {1, 2});
+  auto scores = ScoreAttributesWithNeighbourhood(6, model, Ids({1, 2}));
   EXPECT_NEAR(scores.raw[0], -2.0, 1e-12);
   EXPECT_TRUE(std::isinf(scores.raw[3]));  // no evidence for s2's core
 }
@@ -39,13 +46,13 @@ TEST(ScoringTest, FullSimilarityGivesNegCodeLength) {
 TEST(ScoringTest, PartialSimilarityPenalized) {
   CspmModel model = HandModel();
   // Only one of the two leaf values present: similarity 0.5, w = 2.
-  auto scores = ScoreAttributesWithNeighbourhood(6, model, {1});
+  auto scores = ScoreAttributesWithNeighbourhood(6, model, Ids({1}));
   EXPECT_NEAR(scores.raw[0], -4.0, 1e-12);
 }
 
 TEST(ScoringTest, NoOverlapGivesNoEvidence) {
   CspmModel model = HandModel();
-  auto scores = ScoreAttributesWithNeighbourhood(6, model, {5});
+  auto scores = ScoreAttributesWithNeighbourhood(6, model, Ids({5}));
   EXPECT_TRUE(std::isinf(scores.raw[0]));
   EXPECT_TRUE(std::isinf(scores.raw[3]));
   for (double v : scores.normalized) EXPECT_DOUBLE_EQ(v, 0.0);
@@ -54,18 +61,18 @@ TEST(ScoringTest, NoOverlapGivesNoEvidence) {
 TEST(ScoringTest, BestAStarWinsPerCoreValue) {
   CspmModel model = HandModel();
   AStar extra;
-  extra.core_values = {0};
-  extra.leaf_values = {1};
+  extra.core_values = Ids({0});
+  extra.leaf_values = Ids({1});
   extra.code_length_bits = 10.0;  // longer code, weaker pattern
   model.astars.push_back(extra);
-  auto scores = ScoreAttributesWithNeighbourhood(6, model, {1, 2});
+  auto scores = ScoreAttributesWithNeighbourhood(6, model, Ids({1, 2}));
   // max(-2 (from s1), -10 (from extra)) = -2.
   EXPECT_NEAR(scores.raw[0], -2.0, 1e-12);
 }
 
 TEST(ScoringTest, NormalizedInUnitRange) {
   CspmModel model = HandModel();
-  auto scores = ScoreAttributesWithNeighbourhood(6, model, {1, 2, 4});
+  auto scores = ScoreAttributesWithNeighbourhood(6, model, Ids({1, 2, 4}));
   for (double v : scores.normalized) {
     EXPECT_GE(v, 0.0);
     EXPECT_LE(v, 1.0);
@@ -76,7 +83,7 @@ TEST(ScoringTest, NormalizedInUnitRange) {
 
 TEST(ScoringTest, EmptyNeighbourhoodGivesNoEvidence) {
   CspmModel model = HandModel();
-  auto scores = ScoreAttributesWithNeighbourhood(6, model, {});
+  auto scores = ScoreAttributesWithNeighbourhood(6, model, Ids({}));
   ASSERT_EQ(scores.raw.size(), 6u);
   for (double v : scores.raw) EXPECT_TRUE(std::isinf(v) && v < 0);
   for (double v : scores.normalized) EXPECT_DOUBLE_EQ(v, 0.0);
@@ -86,8 +93,8 @@ TEST(ScoringTest, OutOfRangeNeighbourhoodAttrsAreIgnored) {
   CspmModel model = HandModel();
   // Attr ids beyond the dictionary (masked / foreign ids) carry no
   // evidence; the result matches the in-range subset exactly.
-  auto with_junk = ScoreAttributesWithNeighbourhood(6, model, {1, 2, 6, 1000});
-  auto clean = ScoreAttributesWithNeighbourhood(6, model, {1, 2});
+  auto with_junk = ScoreAttributesWithNeighbourhood(6, model, Ids({1, 2, 6, 1000}));
+  auto clean = ScoreAttributesWithNeighbourhood(6, model, Ids({1, 2}));
   EXPECT_EQ(with_junk.raw, clean.raw);
   EXPECT_EQ(with_junk.normalized, clean.normalized);
 }
@@ -100,26 +107,26 @@ TEST(ScoringTest, AllMaskedNeighboursScoreLikeEmptyNeighbourhood) {
   b.AddVertex({"a", "b"});  // v0: carries attrs so the dictionary is real
   b.AddVertex({});          // v1: masked
   b.AddVertex({});          // v2: masked
-  CSPM_CHECK(b.AddEdge(0, 1).ok());
-  CSPM_CHECK(b.AddEdge(1, 2).ok());
-  CSPM_CHECK(b.AddEdge(0, 2).ok());
+  CSPM_CHECK(b.AddEdge(VertexId(0), VertexId(1)).ok());
+  CSPM_CHECK(b.AddEdge(VertexId(1), VertexId(2)).ok());
+  CSPM_CHECK(b.AddEdge(VertexId(0), VertexId(2)).ok());
   auto g = std::move(b).Build().value();
 
   CspmModel model;
   AStar s;
-  s.core_values = {0};
-  s.leaf_values = {1};
+  s.core_values = Ids({0});
+  s.leaf_values = Ids({1});
   s.code_length_bits = 3.0;
   model.astars = {s};
 
   // v1's neighbours are v0 (attrs a,b) and v2 (masked): evidence flows.
-  auto visible = ScoreAttributes(g, model, 1);
+  auto visible = ScoreAttributes(g, model, VertexId(1));
   EXPECT_NEAR(visible.raw[0], -3.0, 1e-12);
   // Make v0 the probe: its neighbours v1, v2 are both masked — identical
   // to scoring an explicitly empty neighbourhood.
-  auto masked = ScoreAttributes(g, model, 0);
+  auto masked = ScoreAttributes(g, model, VertexId(0));
   auto empty = ScoreAttributesWithNeighbourhood(g.num_attribute_values(),
-                                                model, {});
+                                                model, Ids({}));
   EXPECT_EQ(masked.raw, empty.raw);
   EXPECT_EQ(masked.normalized, empty.normalized);
 }
@@ -129,13 +136,13 @@ TEST(ScoringTest, SimilarityExactlyAtThresholdIsKept) {
   // s1 has leaves {1, 2}; neighbourhood {1} gives similarity exactly 0.5.
   ScoringOptions options;
   options.min_similarity = 0.5;
-  auto kept = ScoreAttributesWithNeighbourhood(6, model, {1}, options);
+  auto kept = ScoreAttributesWithNeighbourhood(6, model, Ids({1}), options);
   // Not skipped: the guard is strictly `similarity < min_similarity`.
   EXPECT_NEAR(kept.raw[0], -4.0, 1e-12);
 
   // Nudge the threshold above 0.5 and the leafset is skipped.
   options.min_similarity = std::nextafter(0.5, 1.0);
-  auto skipped = ScoreAttributesWithNeighbourhood(6, model, {1}, options);
+  auto skipped = ScoreAttributesWithNeighbourhood(6, model, Ids({1}), options);
   EXPECT_TRUE(std::isinf(skipped.raw[0]));
 }
 
@@ -143,8 +150,8 @@ TEST(ScoringTest, DuplicateNeighbourhoodAttrsCountOnce) {
   CspmModel model = HandModel();
   // The neighbourhood is a set: repeating an attr must not inflate
   // similarity (callers pass raw concatenations of neighbour attrs).
-  auto repeated = ScoreAttributesWithNeighbourhood(6, model, {1, 1, 1});
-  auto once = ScoreAttributesWithNeighbourhood(6, model, {1});
+  auto repeated = ScoreAttributesWithNeighbourhood(6, model, Ids({1, 1, 1}));
+  auto once = ScoreAttributesWithNeighbourhood(6, model, Ids({1}));
   EXPECT_EQ(repeated.raw, once.raw);
   EXPECT_EQ(repeated.normalized, once.normalized);
 }
@@ -153,7 +160,7 @@ TEST(ScoringTest, GraphPathUsesNeighbourAttributes) {
   auto g = cspm::testing::PaperExampleGraph();
   auto model = CspmMiner(CspmOptions{}).Mine(g).value();
   // Score vertex v1 (= id 0): neighbours carry a, b, c.
-  auto scores = ScoreAttributes(g, model, 0);
+  auto scores = ScoreAttributes(g, model, VertexId(0));
   ASSERT_EQ(scores.raw.size(), 3u);
   int finite = 0;
   for (double v : scores.raw) finite += std::isfinite(v) ? 1 : 0;
@@ -178,8 +185,8 @@ TEST(ScoringTest, PlantedCoreScoredAboveNoise) {
                                               g.dict().Find("like")};
   auto scores = ScoreAttributesWithNeighbourhood(g.num_attribute_values(),
                                                  model, neighbourhood);
-  EXPECT_TRUE(std::isfinite(scores.raw[influencer]));
-  EXPECT_GT(scores.normalized[influencer], 0.2);
+  EXPECT_TRUE(std::isfinite(scores.raw[influencer.index()]));
+  EXPECT_GT(scores.normalized[influencer.index()], 0.2);
 }
 
 }  // namespace

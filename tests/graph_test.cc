@@ -29,7 +29,7 @@ TEST(AttributeDictionaryTest, InternAndFind) {
 TEST(GraphBuilderTest, RejectsSelfLoop) {
   GraphBuilder b;
   b.AddVertex({"x"});
-  Status st = b.AddEdge(0, 0);
+  Status st = b.AddEdge(VertexId(0), VertexId(0));
   EXPECT_FALSE(st.ok());
   EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
 }
@@ -37,7 +37,7 @@ TEST(GraphBuilderTest, RejectsSelfLoop) {
 TEST(GraphBuilderTest, RejectsUnknownEndpoints) {
   GraphBuilder b;
   b.AddVertex({"x"});
-  EXPECT_FALSE(b.AddEdge(0, 5).ok());
+  EXPECT_FALSE(b.AddEdge(VertexId(0), VertexId(5)).ok());
 }
 
 TEST(GraphBuilderTest, RejectsEmptyGraph) {
@@ -49,30 +49,30 @@ TEST(GraphBuilderTest, DeduplicatesEdgesAndAttributes) {
   GraphBuilder b;
   b.AddVertex({"x", "x", "y"});
   b.AddVertex({"z"});
-  ASSERT_TRUE(b.AddEdge(0, 1).ok());
-  ASSERT_TRUE(b.AddEdge(1, 0).ok());  // same undirected edge
+  ASSERT_TRUE(b.AddEdge(VertexId(0), VertexId(1)).ok());
+  ASSERT_TRUE(b.AddEdge(VertexId(1), VertexId(0)).ok());  // same undirected edge
   auto g = std::move(b).Build().value();
   EXPECT_EQ(g.num_edges(), 1u);
-  EXPECT_EQ(g.Attributes(0).size(), 2u);
+  EXPECT_EQ(g.Attributes(VertexId(0)).size(), 2u);
 }
 
 TEST(GraphBuilderTest, AddVertexAttributeKeepsSorted) {
   GraphBuilder b;
   b.AddVertex({"m"});
-  ASSERT_TRUE(b.AddVertexAttribute(0, "a").ok());
-  ASSERT_TRUE(b.AddVertexAttribute(0, "z").ok());
-  ASSERT_TRUE(b.AddVertexAttribute(0, "a").ok());  // duplicate ignored
+  ASSERT_TRUE(b.AddVertexAttribute(VertexId(0), "a").ok());
+  ASSERT_TRUE(b.AddVertexAttribute(VertexId(0), "z").ok());
+  ASSERT_TRUE(b.AddVertexAttribute(VertexId(0), "a").ok());  // duplicate ignored
   b.AddVertex({});
-  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(VertexId(0), VertexId(1)).ok());
   auto g = std::move(b).Build().value();
-  auto attrs = g.Attributes(0);
+  auto attrs = g.Attributes(VertexId(0));
   EXPECT_EQ(attrs.size(), 3u);
   EXPECT_TRUE(std::is_sorted(attrs.begin(), attrs.end()));
 }
 
 TEST(AttributedGraphTest, PaperExampleAccessors) {
   auto g = cspm::testing::PaperExampleGraph();
-  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_vertices().value(), 5u);
   EXPECT_EQ(g.num_edges(), 5u);
   EXPECT_EQ(g.num_attribute_values(), 3u);
   EXPECT_EQ(g.total_attribute_occurrences(), 7u);
@@ -81,19 +81,19 @@ TEST(AttributedGraphTest, PaperExampleAccessors) {
   EXPECT_EQ(g.AttributeFrequency(a), 3u);
   auto with_a = g.VerticesWithAttribute(a);
   EXPECT_EQ(std::vector<VertexId>(with_a.begin(), with_a.end()),
-            (std::vector<VertexId>{0, 1, 4}));
+            (std::vector<VertexId>{VertexId(0), VertexId(1), VertexId(4)}));
 
-  EXPECT_TRUE(g.HasEdge(0, 1));
-  EXPECT_TRUE(g.HasEdge(1, 0));
-  EXPECT_FALSE(g.HasEdge(1, 2));
-  EXPECT_TRUE(g.HasAttribute(1, a));
-  EXPECT_FALSE(g.HasAttribute(2, a));
-  EXPECT_EQ(g.Degree(0), 3u);
+  EXPECT_TRUE(g.HasEdge(VertexId(0), VertexId(1)));
+  EXPECT_TRUE(g.HasEdge(VertexId(1), VertexId(0)));
+  EXPECT_FALSE(g.HasEdge(VertexId(1), VertexId(2)));
+  EXPECT_TRUE(g.HasAttribute(VertexId(1), a));
+  EXPECT_FALSE(g.HasAttribute(VertexId(2), a));
+  EXPECT_EQ(g.Degree(VertexId(0)), 3u);
 }
 
 TEST(AttributedGraphTest, NeighborsSorted) {
   auto g = cspm::testing::PaperExampleGraph();
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+  for (VertexId v(0); v < g.num_vertices(); ++v) {
     auto nbrs = g.Neighbors(v);
     EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
   }
@@ -107,7 +107,7 @@ TEST(AttributedGraphTest, ConnectivityDetection) {
   b.AddVertex({"x"});
   b.AddVertex({"y"});
   b.AddVertex({"z"});
-  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(VertexId(0), VertexId(1)).ok());
   auto g2 = std::move(b).Build().value();
   EXPECT_FALSE(g2.IsConnected());
 }
@@ -122,7 +122,7 @@ TEST(AttributedGraphTest, BuildRequireConnectedFails) {
 
 TEST(AttributedGraphTest, DefaultConstructedIsEmpty) {
   AttributedGraph g;
-  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_vertices().value(), 0u);
   EXPECT_EQ(g.num_edges(), 0u);
   EXPECT_TRUE(g.IsConnected());
 }
@@ -135,7 +135,7 @@ TEST(GraphIoTest, RoundTripPreservesEverything) {
   const auto& g2 = *g2_or;
   ASSERT_EQ(g2.num_vertices(), g.num_vertices());
   ASSERT_EQ(g2.num_edges(), g.num_edges());
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+  for (VertexId v(0); v < g.num_vertices(); ++v) {
     auto a1 = g.Attributes(v);
     auto a2 = g2.Attributes(v);
     ASSERT_EQ(a1.size(), a2.size());
@@ -168,7 +168,7 @@ TEST(GraphIoTest, ParseErrors) {
 TEST(GraphIoTest, CommentsAndBlankLinesIgnored) {
   auto g_or = FromText("# header\n\nv a b\nv c\n# mid\ne 0 1\n");
   ASSERT_TRUE(g_or.status().ok());
-  EXPECT_EQ(g_or->num_vertices(), 2u);
+  EXPECT_EQ(g_or->num_vertices().value(), 2u);
   EXPECT_EQ(g_or->num_edges(), 1u);
 }
 
@@ -200,13 +200,13 @@ TEST(GeneratorsTest, ErdosRenyiValidation) {
 TEST(GeneratorsTest, BarabasiAlbertShape) {
   Rng rng(3);
   auto g = BarabasiAlbert(300, 3, 10, 2, &rng).value();
-  EXPECT_EQ(g.num_vertices(), 300u);
+  EXPECT_EQ(g.num_vertices().value(), 300u);
   // m edges per vertex after the seed clique.
   EXPECT_GE(g.num_edges(), 3u * (300 - 4));
   EXPECT_TRUE(g.IsConnected());
   // Preferential attachment should produce a hub.
   uint32_t max_deg = 0;
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+  for (VertexId v(0); v < g.num_vertices(); ++v) {
     max_deg = std::max(max_deg, g.Degree(v));
   }
   EXPECT_GT(max_deg, 15u);
@@ -243,10 +243,10 @@ TEST(GeneratorsTest, CommunityGraphHomophily) {
   // Count intra vs inter edges: homophily demands a majority intra.
   uint64_t intra = 0;
   uint64_t inter = 0;
-  for (VertexId v = 0; v < cg.graph.num_vertices(); ++v) {
+  for (VertexId v(0); v < cg.graph.num_vertices(); ++v) {
     for (VertexId w : cg.graph.Neighbors(v)) {
       if (w < v) continue;
-      if (cg.community[v] == cg.community[w]) {
+      if (cg.community[v.index()] == cg.community[w.index()]) {
         ++intra;
       } else {
         ++inter;

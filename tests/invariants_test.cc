@@ -1,0 +1,214 @@
+// Tests for the deep invariant validators: the graph / inverted-database /
+// scoring-plan checkers must accept everything the library builds, and the
+// store auditor (ModelStore::CheckInvariants / Fsck, `cspm_shell fsck`)
+// must catch pointer-level corruption that the per-page CRCs cannot see —
+// pages with valid checksums whose chain links were truncated, spliced
+// into another chain, or bent into a cycle.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cspm/inverted_database.h"
+#include "cspm/scoring_plan.h"
+#include "cspm/verify.h"
+#include "engine/session.h"
+#include "graph/generators.h"
+#include "graph/graph_delta.h"
+#include "graph/validate.h"
+#include "store/model_store.h"
+#include "store/pager.h"
+#include "testing_util.h"
+#include "util/crc32.h"
+#include "util/rng.h"
+
+namespace cspm {
+namespace {
+
+using cspm::testing::PaperExampleGraph;
+using store::ModelStore;
+using store::Pager;
+using store::StoredModel;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+graph::AttributedGraph MediumGraph() {
+  Rng rng(7);
+  auto g = graph::BarabasiAlbert(/*n=*/300, /*m=*/3, /*vocabulary=*/25,
+                                 /*attrs_per_vertex=*/3, &rng);
+  CSPM_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+// --- validators accept healthy structures ---------------------------------
+
+TEST(GraphInvariants, AcceptBuiltGraphs) {
+  EXPECT_TRUE(graph::CheckInvariants(PaperExampleGraph()).ok());
+  EXPECT_TRUE(graph::CheckInvariants(MediumGraph()).ok());
+}
+
+TEST(GraphInvariants, AcceptSplicedDelta) {
+  const graph::AttributedGraph g = PaperExampleGraph();
+  graph::GraphDelta delta;
+  delta.AddVertex({"a", "c"});
+  delta.AddEdge(g.num_vertices(), graph::VertexId(0));
+  delta.RemoveEdge(graph::VertexId(0), graph::VertexId(1));
+  delta.SetAttribute(graph::VertexId(3), "c");
+  auto applied = graph::ApplyDelta(g, delta);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_TRUE(graph::CheckInvariants(applied->graph).ok());
+}
+
+TEST(InvertedDbInvariants, AcceptBuildAndMerges) {
+  auto idb = core::InvertedDatabase::FromGraph(PaperExampleGraph());
+  ASSERT_TRUE(idb.ok());
+  ASSERT_TRUE(core::CheckInvariants(*idb).ok());
+  // Merge two active leafsets and re-validate the mutated structure.
+  const auto& actives = idb->active_leafsets();
+  ASSERT_GE(actives.size(), 2u);
+  idb->MergeLeafsets(actives[0], actives[1]);
+  EXPECT_TRUE(core::CheckInvariants(*idb).ok());
+}
+
+TEST(ScoringPlanInvariants, AcceptCompiledModel) {
+  const graph::AttributedGraph g = MediumGraph();
+  auto model = engine::MineModel(g);
+  ASSERT_TRUE(model.ok());
+  const core::ScoringPlan plan =
+      core::ScoringPlan::Compile(*model, g.num_attribute_values());
+  EXPECT_TRUE(plan.CheckInvariants().ok());
+}
+
+// --- store audit ----------------------------------------------------------
+
+/// A store whose single record spans several pages (the corruption tests
+/// bend mid-chain links, which needs a chain longer than one page).
+void BuildStore(const std::string& path) {
+  const graph::AttributedGraph g = MediumGraph();
+  auto model = engine::MineModel(g);
+  ASSERT_TRUE(model.ok());
+  auto store = ModelStore::Create(path);
+  ASSERT_TRUE(store.ok());
+  StoredModel stored{*model, g.dict(), g};
+  ASSERT_TRUE(store->Put("planted", stored).ok());
+  graph::GraphDelta delta;
+  delta.AddEdge(graph::VertexId(0), graph::VertexId(250));
+  ASSERT_TRUE(store->AppendDelta("planted", delta).ok());
+  ASSERT_GT(store->List()[0].bytes, Pager::kPagePayload)
+      << "record must span several pages for the chain-corruption tests";
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good());
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+uint32_t GetU32(const char* src) {
+  const auto* p = reinterpret_cast<const uint8_t*>(src);
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+void PutU32(char* dst, uint32_t v) {
+  dst[0] = static_cast<char>(v & 0xFF);
+  dst[1] = static_cast<char>((v >> 8) & 0xFF);
+  dst[2] = static_cast<char>((v >> 16) & 0xFF);
+  dst[3] = static_cast<char>((v >> 24) & 0xFF);
+}
+
+/// Rewrites one page's `next` link and re-seals the page with a correct
+/// CRC: the corruption is invisible to every checksum in the file.
+void BendNextLink(const std::string& path, uint32_t page_id, uint32_t next) {
+  std::string bytes = ReadFileBytes(path);
+  ASSERT_GE(bytes.size(), (page_id + 1) * size_t{Pager::kPageSize});
+  char* page = bytes.data() + page_id * size_t{Pager::kPageSize};
+  PutU32(page + 4, next);
+  PutU32(page, Crc32(page + 4, Pager::kPageSize - 4));
+  WriteFileBytes(path, bytes);
+}
+
+uint32_t CatalogHead(const std::string& path) {
+  const std::string bytes = ReadFileBytes(path);
+  return GetU32(bytes.data() + 24);
+}
+
+TEST(StoreInvariants, AcceptHealthyStoreAcrossMutations) {
+  const std::string path = TempPath("fsck_healthy.cspm");
+  BuildStore(path);
+  auto store = ModelStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  EXPECT_TRUE(store->CheckInvariants().ok());
+  EXPECT_TRUE(store->Fsck().ok());
+
+  // Mutations recycle pages through the free list; the audit must keep
+  // accounting for every page.
+  StoredModel small{{}, graph::AttributeDictionary{}, std::nullopt};
+  ASSERT_TRUE(store->Put("empty", small).ok());
+  ASSERT_TRUE(store->Delete("planted").ok());
+  EXPECT_TRUE(store->CheckInvariants().ok());
+  EXPECT_TRUE(store->Fsck().ok());
+}
+
+// Page 1 is the head of the first record chain written after Create (the
+// pager allocates sequentially from a fresh file), so the corruption tests
+// below all target the "planted" record chain.
+
+TEST(StoreInvariants, DetectTruncatedChainThatCrcMisses) {
+  const std::string path = TempPath("fsck_truncated.cspm");
+  BuildStore(path);
+  BendNextLink(path, /*page_id=*/1, Pager::kNoPage);
+
+  // Every checksum is valid, so Open (header + catalog) succeeds...
+  auto store = ModelStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  // ...but the audit sees the record chain stop short of its byte count.
+  const Status audit = store->CheckInvariants();
+  ASSERT_FALSE(audit.ok());
+  EXPECT_NE(audit.message().find("truncated or spliced"), std::string::npos)
+      << audit.ToString();
+  EXPECT_FALSE(store->Fsck().ok());
+}
+
+TEST(StoreInvariants, DetectChainSplicedIntoCatalog) {
+  const std::string path = TempPath("fsck_spliced.cspm");
+  BuildStore(path);
+  const uint32_t catalog_head = CatalogHead(path);
+  ASSERT_NE(catalog_head, Pager::kNoPage);
+  BendNextLink(path, /*page_id=*/1, catalog_head);
+
+  auto store = ModelStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  const Status audit = store->CheckInvariants();
+  ASSERT_FALSE(audit.ok());
+  EXPECT_NE(audit.message().find("claimed by both"), std::string::npos)
+      << audit.ToString();
+}
+
+TEST(StoreInvariants, DetectChainCycle) {
+  const std::string path = TempPath("fsck_cycle.cspm");
+  BuildStore(path);
+  BendNextLink(path, /*page_id=*/1, /*next=*/1);
+
+  auto store = ModelStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  const Status audit = store->CheckInvariants();
+  ASSERT_FALSE(audit.ok());
+  EXPECT_NE(audit.message().find("cycles back"), std::string::npos)
+      << audit.ToString();
+}
+
+}  // namespace
+}  // namespace cspm

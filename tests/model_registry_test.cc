@@ -103,12 +103,12 @@ TEST(ModelRegistry, ScoreVertexNeedsGraphSnapshot) {
   m.model = MineModel(g).value();
   m.dict = g.dict();
   auto no_graph = registry.Put("no-graph", m);
-  EXPECT_FALSE(no_graph->ScoreVertex(0).ok());
+  EXPECT_FALSE(no_graph->ScoreVertex(graph::VertexId(0)).ok());
 
   m.graph = std::make_shared<const graph::AttributedGraph>(g);
   auto with_graph = registry.Put("with-graph", std::move(m));
-  EXPECT_TRUE(with_graph->ScoreVertex(0).ok());
-  auto out_of_range = with_graph->ScoreVertex(10000);
+  EXPECT_TRUE(with_graph->ScoreVertex(graph::VertexId(0)).ok());
+  auto out_of_range = with_graph->ScoreVertex(graph::VertexId(10000));
   ASSERT_FALSE(out_of_range.ok());
   EXPECT_EQ(out_of_range.status().code(), StatusCode::kOutOfRange);
 }
@@ -125,7 +125,7 @@ TEST(ModelRegistry, PutRecompilesPlanForMutatedModel) {
   // serve scores from the stale pre-mutation plan.
   m.model.astars.clear();
   auto handle = registry.Put("mutated", std::move(m));
-  const auto scores = handle->ScoreVertex(0).value();
+  const auto scores = handle->ScoreVertex(graph::VertexId(0)).value();
   for (double s : scores.normalized) EXPECT_EQ(s, 0.0);  // no evidence left
 }
 
@@ -140,7 +140,7 @@ TEST(ModelRegistry, ScoreVertexRejectsDictNotCoveringGraph) {
   m.dict.Intern("only-one");
   m.graph = std::make_shared<const graph::AttributedGraph>(g);
   auto handle = registry.Put("mismatched", std::move(m));
-  auto scores = handle->ScoreVertex(0);
+  auto scores = handle->ScoreVertex(graph::VertexId(0));
   ASSERT_FALSE(scores.ok());
   EXPECT_EQ(scores.status().code(), StatusCode::kFailedPrecondition);
   // The batch path rejects the same pairing at engine construction.
@@ -170,7 +170,7 @@ TEST(ModelRegistry, ReloadedModelScoresBitIdentically) {
   ASSERT_NE(handle, nullptr);
   ASSERT_TRUE(handle->graph != nullptr);
 
-  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+  for (graph::VertexId v(0); v < g.num_vertices(); ++v) {
     const AttributeScores expected = session.Score(v);
     const AttributeScores served = handle->ScoreVertex(v).value();
     ASSERT_EQ(served.raw.size(), expected.raw.size());
@@ -196,7 +196,8 @@ TEST(ModelRegistry, SessionReloadScoresBitIdentically) {
 
   auto reloaded = std::move(MiningSession::Create(g)).value();
   ASSERT_TRUE(reloaded.LoadModel(path).ok());
-  for (graph::VertexId v : {0u, 7u, 42u, 149u}) {
+  for (uint32_t raw : {0u, 7u, 42u, 149u}) {
+    const graph::VertexId v(raw);
     const AttributeScores expected = session.Score(v);
     const AttributeScores served = reloaded.Score(v);
     ASSERT_EQ(served.raw.size(), expected.raw.size());
@@ -225,7 +226,8 @@ TEST(ModelRegistry, ConcurrentGetAndReplace) {
       for (int i = 0; i < 200; ++i) {
         auto handle = registry.Get("hot");
         if (handle == nullptr) continue;
-        auto scores = handle->ScoreVertex(i % g.num_vertices());
+        auto scores = handle->ScoreVertex(
+            graph::VertexId(static_cast<uint32_t>(i) % g.num_vertices().value()));
         if (scores.ok()) {
           volatile double sink = scores->normalized.empty()
                                      ? 0.0

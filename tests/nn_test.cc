@@ -81,9 +81,9 @@ TEST(AdjacencyTest, NormalizedAdjacencyRowsOfRegularGraph) {
   b.AddVertex({"x"});
   b.AddVertex({"x"});
   b.AddVertex({"x"});
-  ASSERT_TRUE(b.AddEdge(0, 1).ok());
-  ASSERT_TRUE(b.AddEdge(1, 2).ok());
-  ASSERT_TRUE(b.AddEdge(0, 2).ok());
+  ASSERT_TRUE(b.AddEdge(VertexId(0), VertexId(1)).ok());
+  ASSERT_TRUE(b.AddEdge(VertexId(1), VertexId(2)).ok());
+  ASSERT_TRUE(b.AddEdge(VertexId(0), VertexId(2)).ok());
   auto g = std::move(b).Build().value();
   SparseMatrix adj = SparseMatrix::NormalizedAdjacency(g);
   Matrix ones(3, 1);

@@ -51,10 +51,10 @@ TEST_P(RandomGraphProperties, AStarFrequenciesConsistent) {
   std::vector<uint64_t> totals(idb.num_coresets(), 0);
   idb.ForEachLine([&](CoreId e, LeafsetId l, PosListView positions) {
     (void)l;
-    totals[e] += positions.size();
+    totals[e.index()] += positions.size();
   });
-  for (CoreId e = 0; e < idb.num_coresets(); ++e) {
-    EXPECT_EQ(totals[e], idb.CoreLineTotal(e)) << "coreset " << e;
+  for (CoreId e(0); e.index() < idb.num_coresets(); ++e) {
+    EXPECT_EQ(totals[e.index()], idb.CoreLineTotal(e)) << "coreset " << e;
   }
   // Model a-stars mirror the lines: frequency <= core total and positive
   // code lengths.
@@ -72,7 +72,7 @@ TEST_P(RandomGraphProperties, DataCostMatchesEq8Identity) {
   std::vector<std::vector<uint64_t>> joint(idb.num_coresets());
   idb.ForEachLine([&](CoreId e, LeafsetId l, PosListView positions) {
     (void)l;
-    joint[e].push_back(positions.size());
+    joint[e.index()].push_back(positions.size());
   });
   EXPECT_NEAR(idb.DataCostBits(), mdl::InvertedDbCostBits(joint), 1e-6);
 }
@@ -125,8 +125,8 @@ TEST_F(EdgeCaseGraphs, VerticesWithoutAttributes) {
   b.AddVertex({});
   b.AddVertex({"x"});
   b.AddVertex({});
-  ASSERT_TRUE(b.AddEdge(0, 1).ok());
-  ASSERT_TRUE(b.AddEdge(1, 2).ok());
+  ASSERT_TRUE(b.AddEdge(VertexId(0), VertexId(1)).ok());
+  ASSERT_TRUE(b.AddEdge(VertexId(1), VertexId(2)).ok());
   auto g = std::move(b).Build().value();
   auto artifacts =
       CspmMiner(CspmOptions{}).MineWithArtifacts(g).value();
@@ -140,7 +140,9 @@ TEST_F(EdgeCaseGraphs, CompleteBipartiteWithOppositeAttributes) {
   for (int i = 0; i < 3; ++i) b.AddVertex({"L"});
   for (int i = 0; i < 3; ++i) b.AddVertex({"R"});
   for (uint32_t l = 0; l < 3; ++l) {
-    for (uint32_t r = 3; r < 6; ++r) ASSERT_TRUE(b.AddEdge(l, r).ok());
+    for (uint32_t r = 3; r < 6; ++r) {
+      ASSERT_TRUE(b.AddEdge(graph::VertexId(l), graph::VertexId(r)).ok());
+    }
   }
   auto g = std::move(b).Build().value();
   auto artifacts =
@@ -159,7 +161,9 @@ TEST_F(EdgeCaseGraphs, StarGraphCoreSeesAllLeaves) {
   const int k = 6;
   for (int i = 1; i <= k; ++i) {
     b.AddVertex({"leafA", "leafB"});
-    ASSERT_TRUE(b.AddEdge(0, static_cast<uint32_t>(i)).ok());
+    ASSERT_TRUE(
+        b.AddEdge(graph::VertexId(0), graph::VertexId(static_cast<uint32_t>(i)))
+            .ok());
   }
   auto g = std::move(b).Build().value();
   auto artifacts =

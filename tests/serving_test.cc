@@ -43,8 +43,8 @@ void ExpectSameScores(const AttributeScores& got, const AttributeScores& want,
 TEST(ServingEngine, BatchMatchesLegacyAtEveryThreadCount) {
   auto g = SmallRandomGraph(7);
   auto model = MineModel(g).value();
-  std::vector<graph::VertexId> all(g.num_vertices());
-  std::iota(all.begin(), all.end(), 0);
+  std::vector<graph::VertexId> all;
+  for (graph::VertexId v(0); v < g.num_vertices(); ++v) all.push_back(v);
 
   std::vector<core::AttributeScores> legacy;
   legacy.reserve(all.size());
@@ -73,7 +73,9 @@ TEST(ServingEngine, BatchSlotsFollowInputOrderWithDuplicates) {
   auto g = cspm::testing::PaperExampleGraph();
   auto model = MineModel(g).value();
   auto engine = ServingEngine::Create(g, model).value();
-  const std::vector<graph::VertexId> vertices = {4, 0, 4, 2, 0};
+  const std::vector<graph::VertexId> vertices = {VertexId(4), VertexId(0),
+                                                 VertexId(4), VertexId(2),
+                                                 VertexId(0)};
   auto batch = engine.ScoreBatch(vertices).value();
   ASSERT_EQ(batch.size(), vertices.size());
   for (size_t i = 0; i < vertices.size(); ++i) {
@@ -123,15 +125,15 @@ TEST(ServingEngine, OutOfRangeVertexIsCleanStatus) {
   auto model = MineModel(g).value();
   auto engine = ServingEngine::Create(g, model).value();
 
-  auto batch = engine.ScoreBatch(std::vector<graph::VertexId>{0, 99});
+  auto batch = engine.ScoreBatch(std::vector<graph::VertexId>{VertexId(0), VertexId(99)});
   ASSERT_FALSE(batch.ok());
   EXPECT_EQ(batch.status().code(), StatusCode::kOutOfRange);
 
-  auto single = engine.ScoreVertex(99);
+  auto single = engine.ScoreVertex(VertexId(99));
   ASSERT_FALSE(single.ok());
   EXPECT_EQ(single.status().code(), StatusCode::kOutOfRange);
 
-  EXPECT_TRUE(engine.ScoreVertex(0).ok());
+  EXPECT_TRUE(engine.ScoreVertex(VertexId(0)).ok());
 }
 
 TEST(ServingEngine, DictionaryNotCoveringGraphIsCleanStatus) {
@@ -156,7 +158,9 @@ TEST(MiningSessionServing, ScoreBatchMatchesScoreAndServeSharesPlan) {
   ASSERT_TRUE(session.Mine().ok());
   ASSERT_NE(session.plan(), nullptr);
 
-  const std::vector<graph::VertexId> vertices = {0, 17, 3, 99, 3};
+  const std::vector<graph::VertexId> vertices = {VertexId(0), VertexId(17),
+                                                 VertexId(3), VertexId(99),
+                                                 VertexId(3)};
   auto batch = session.ScoreBatch(vertices).value();
   ASSERT_EQ(batch.size(), vertices.size());
   for (size_t i = 0; i < vertices.size(); ++i) {
@@ -165,7 +169,8 @@ TEST(MiningSessionServing, ScoreBatchMatchesScoreAndServeSharesPlan) {
 
   auto engine = session.Serve().value();
   EXPECT_EQ(&engine.plan(), session.plan().get());
-  ExpectSameScores(engine.ScoreVertex(17).value(), session.Score(17), 17);
+  ExpectSameScores(engine.ScoreVertex(VertexId(17)).value(),
+                   session.Score(VertexId(17)), VertexId(17));
 }
 
 TEST(MiningSessionServing, ServeWithoutModelIsCleanStatus) {
@@ -190,8 +195,8 @@ TEST(RegistryServing, HandlesServeBatchesAndSurvivePlanSwap) {
 
   auto engine = handle->Serve().value();
   auto batch = engine.ScoreAll();
-  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
-    ExpectSameScores(batch[v], handle->ScoreVertex(v).value(), v);
+  for (graph::VertexId v(0); v < g.num_vertices(); ++v) {
+    ExpectSameScores(batch[v.index()], handle->ScoreVertex(v).value(), v);
   }
 
   // Hot reload: replacing the registered model must not disturb engines
@@ -202,8 +207,8 @@ TEST(RegistryServing, HandlesServeBatchesAndSurvivePlanSwap) {
   registry.Put("hot", std::move(replacement));
   EXPECT_EQ(registry.Get("hot")->model.astars.size(), 0u);
   auto after_swap = engine.ScoreAll();
-  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
-    ExpectSameScores(after_swap[v], batch[v], v);
+  for (graph::VertexId v(0); v < g.num_vertices(); ++v) {
+    ExpectSameScores(after_swap[v.index()], batch[v.index()], v);
   }
 }
 

@@ -85,7 +85,7 @@ TEST(Codec, DeltaIdsRoundTrip) {
   const std::vector<uint32_t> ids = {0, 1, 5, 6, 1000, 4000000000u};
   Encoder enc;
   enc.PutDeltaIds(ids);
-  enc.PutDeltaIds({});
+  enc.PutDeltaIds(std::vector<uint32_t>{});
   Decoder dec(enc.data());
   std::vector<uint32_t> got;
   ASSERT_TRUE(dec.ReadDeltaIds(&got).ok());
@@ -123,7 +123,7 @@ TEST(Codec, DictionaryRoundTrips) {
   auto decoded = DecodeDictionary(&dec);
   ASSERT_TRUE(decoded.ok());
   ASSERT_EQ(decoded->size(), dict.size());
-  for (graph::AttrId id = 0; id < dict.size(); ++id) {
+  for (graph::AttrId id(0); id.index() < dict.size(); ++id) {
     EXPECT_EQ(decoded->Name(id), dict.Name(id));
   }
 }
@@ -162,7 +162,7 @@ TEST(Codec, GraphSnapshotRoundTrips) {
   ASSERT_TRUE(decoded.ok());
   ASSERT_EQ(decoded->num_vertices(), g.num_vertices());
   EXPECT_EQ(decoded->num_edges(), g.num_edges());
-  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+  for (graph::VertexId v(0); v < g.num_vertices(); ++v) {
     const auto attrs_a = g.Attributes(v);
     const auto attrs_b = decoded->Attributes(v);
     EXPECT_TRUE(std::equal(attrs_a.begin(), attrs_a.end(), attrs_b.begin(),
@@ -518,10 +518,11 @@ TEST_F(CorruptionTest, CorruptRecordCanStillBeDeletedOrReplaced) {
 
 graph::GraphDelta SampleDelta(uint32_t salt) {
   graph::GraphDelta delta;
-  delta.AddEdge(salt, salt + 1);
-  delta.RemoveEdge(salt + 2, salt + 3);
-  delta.SetAttribute(salt, "wal-value-" + std::to_string(salt));
-  delta.ClearAttribute(salt + 1, "other");
+  delta.AddEdge(graph::VertexId(salt), graph::VertexId(salt + 1));
+  delta.RemoveEdge(graph::VertexId(salt + 2), graph::VertexId(salt + 3));
+  delta.SetAttribute(graph::VertexId(salt),
+                     "wal-value-" + std::to_string(salt));
+  delta.ClearAttribute(graph::VertexId(salt + 1), "other");
   delta.AddVertex({"x", "y"});
   return delta;
 }

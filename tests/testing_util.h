@@ -22,11 +22,11 @@ inline graph::AttributedGraph PaperExampleGraph() {
   b.AddVertex({"c"});           // v3 = 2
   b.AddVertex({"b"});           // v4 = 3
   b.AddVertex({"a", "b"});      // v5 = 4
-  CSPM_CHECK(b.AddEdge(0, 1).ok());
-  CSPM_CHECK(b.AddEdge(0, 2).ok());
-  CSPM_CHECK(b.AddEdge(0, 3).ok());
-  CSPM_CHECK(b.AddEdge(2, 4).ok());
-  CSPM_CHECK(b.AddEdge(3, 4).ok());
+  CSPM_CHECK(b.AddEdge(VertexId(0), VertexId(1)).ok());
+  CSPM_CHECK(b.AddEdge(VertexId(0), VertexId(2)).ok());
+  CSPM_CHECK(b.AddEdge(VertexId(0), VertexId(3)).ok());
+  CSPM_CHECK(b.AddEdge(VertexId(2), VertexId(4)).ok());
+  CSPM_CHECK(b.AddEdge(VertexId(3), VertexId(4)).ok());
   auto g = std::move(b).Build(/*require_connected=*/true);
   CSPM_CHECK(g.ok());
   return std::move(g).value();

@@ -89,6 +89,9 @@ void PrintHelp() {
       "  replay <name>            rebuild <name> from its store snapshot and\n"
       "                           re-apply its pending WAL deltas\n"
       "  stats                    mining statistics of the current model\n"
+      "  fsck <path>              deep-verify a store file: page-chain\n"
+      "                           ownership, catalog consistency, record and\n"
+      "                           WAL decodability (beyond the page CRCs)\n"
       "  help                     this text\n"
       "  exit | quit | .exit      leave\n"
       "\n"
@@ -190,7 +193,7 @@ Status CmdMine(Shell& sh, const std::vector<std::string>& args) {
   std::printf(
       "mined %s: %u vertices, %llu edges, %zu a-stars, DL %.1f -> %.1f bits "
       "(%.3fs)\n",
-      args[1].c_str(), sh.current->graph->num_vertices(),
+      args[1].c_str(), sh.current->graph->num_vertices().value(),
       static_cast<unsigned long long>(sh.current->graph->num_edges()),
       m.astars.size(), m.stats.initial_dl_bits, m.stats.final_dl_bits,
       m.stats.runtime_seconds);
@@ -295,7 +298,7 @@ Status CmdReplay(Shell& sh, const std::vector<std::string>& args) {
       "replayed '%s': snapshot + %zu delta(s) -> %u vertices, %zu a-stars, "
       "DL %.1f bits\n",
       args[1].c_str(), wal.deltas.size(),
-      sh.current->graph->num_vertices(), m.astars.size(),
+      sh.current->graph->num_vertices().value(), m.astars.size(),
       m.stats.final_dl_bits);
   return Status::OK();
 }
@@ -373,7 +376,7 @@ void PrintTopScores(const Shell& sh, graph::VertexId v,
                                           : a < b;
   });
   std::printf("top-%zu scores for vertex %u of '%s':\n",
-              std::min(k, order.size()), v, sh.current_name.c_str());
+              std::min(k, order.size()), v.value(), sh.current_name.c_str());
   for (size_t i = 0; i < order.size() && i < k; ++i) {
     std::printf("  %-20s %.6f\n", sh.current->dict.Name(
                                       static_cast<graph::AttrId>(order[i]))
@@ -401,7 +404,7 @@ Status CmdScore(Shell& sh, const std::vector<std::string>& args) {
       if (!ParseUint32(args[i], &v)) {
         return Status::InvalidArgument("bad vertex id '" + args[i] + "'");
       }
-      vertices.push_back(v);
+      vertices.push_back(graph::VertexId(v));
     }
   }
   if (vertices.empty() || k == 0) {
@@ -437,11 +440,12 @@ Status CmdScoreAll(Shell& sh, const std::vector<std::string>& args) {
     graph::AttrId a;
   };
   std::vector<Best> best;
-  for (graph::VertexId v = 0; v < batch.size(); ++v) {
-    const auto& normalized = batch[v].normalized;
+  for (graph::VertexId v(0); v.index() < batch.size(); ++v) {
+    const auto& normalized = batch[v.index()].normalized;
     for (size_t a = 0; a < normalized.size(); ++a) {
       if (normalized[a] <= 0.0) continue;
-      best.push_back({normalized[a], v, static_cast<graph::AttrId>(a)});
+      best.push_back(
+          {normalized[a], v, graph::AttrId(static_cast<uint32_t>(a))});
     }
   }
   const size_t keep = std::min<size_t>(k, best.size());
@@ -456,7 +460,7 @@ Status CmdScoreAll(Shell& sh, const std::vector<std::string>& args) {
               seconds > 0 ? static_cast<double>(batch.size()) / seconds : 0.0,
               engine.num_threads());
   for (size_t i = 0; i < keep; ++i) {
-    std::printf("  v%-8u %-20s %.6f\n", best[i].v,
+    std::printf("  v%-8u %-20s %.6f\n", best[i].v.value(),
                 sh.current->dict.Name(best[i].a).c_str(), best[i].score);
   }
   return Status::OK();
@@ -478,6 +482,23 @@ Status CmdStats(Shell& sh, const std::vector<std::string>&) {
               static_cast<unsigned long long>(s.initial_lines),
               static_cast<unsigned long long>(s.final_lines));
   std::printf("  runtime     %.3fs\n", s.runtime_seconds);
+  return Status::OK();
+}
+
+Status CmdFsck(Shell&, const std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    return Status::InvalidArgument("usage: fsck <store.cspm>");
+  }
+  // Opens its own handle: fsck must see the committed image, not any
+  // session state, and must work with no store open in the shell.
+  CSPM_ASSIGN_OR_RETURN(store::ModelStore store,
+                        store::ModelStore::Open(args[1]));
+  CSPM_RETURN_IF_ERROR(store.Fsck());
+  uint64_t wal_records = 0;
+  for (const auto& info : store.List()) wal_records += info.wal_records;
+  std::printf("%s: ok (%zu models, %llu pending WAL records)\n",
+              args[1].c_str(), store.size(),
+              static_cast<unsigned long long>(wal_records));
   return Status::OK();
 }
 
@@ -512,6 +533,8 @@ bool Dispatch(Shell& sh, const std::string& line, Status* status) {
     *status = CmdReplay(sh, args);
   } else if (cmd == "stats") {
     *status = CmdStats(sh, args);
+  } else if (cmd == "fsck") {
+    *status = CmdFsck(sh, args);
   } else {
     *status =
         Status::InvalidArgument("unknown command '" + cmd + "' (try: help)");
@@ -540,6 +563,20 @@ int Run(int argc, char** argv) {
           return 2;
         }
     }
+  }
+  // One-shot verification mode: `cspm_shell fsck <file>` audits the store
+  // and exits (0 healthy, 1 corrupt) without entering the REPL.
+  if (!positional.empty() && positional[0] == "fsck") {
+    if (positional.size() != 2) {
+      std::fprintf(stderr, "usage: cspm_shell fsck <store.cspm>\n");
+      return 2;
+    }
+    Status st = CmdFsck(sh, {"fsck", positional[1]});
+    if (!st.ok()) {
+      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    return 0;
   }
   if (positional.size() > 1) {
     std::fprintf(stderr, "usage: cspm_shell [--threads N] [store.cspm]\n");
