@@ -89,4 +89,40 @@ GainResult ComputeMergeGain(const InvertedDatabase& idb, const CodeModel& cm,
   return result;
 }
 
+GainResult ComputeSplitGain(const InvertedDatabase& idb, const CodeModel& cm,
+                            CoreId e, LeafsetId l) {
+  GainResult result;
+  const PosListView line = idb.FindLine(e, l);
+  if (line.empty()) return result;
+  const std::vector<AttrId>& values = idb.leafsets().Values(l);
+  if (values.size() < 2) return result;
+
+  const uint64_t fl = line.size();
+  const uint64_t fe = idb.CoreLineTotal(e);
+  const uint64_t grown = fe + (static_cast<uint64_t>(values.size()) - 1) * fl;
+
+  result.feasible = true;
+  result.cores_with_overlap = 1;
+  result.total_overlap = fl;
+
+  // Eq. 8's core term grows from f_e to f_e + (|values|-1) fL; the split
+  // line leaves the Σ fL log fL sum and every member singleton absorbs fL.
+  result.data_gain_bits = mdl::XLog2X(static_cast<double>(fe)) -
+                          mdl::XLog2X(static_cast<double>(grown)) -
+                          mdl::XLog2X(static_cast<double>(fl));
+  result.model_delta_bits = -cm.LineModelCost(values, e);
+  const double core_code = cm.CoreCodeLength(e);
+  std::vector<AttrId> singleton(1, AttrId(0));
+  for (AttrId a : values) {
+    singleton[0] = a;
+    uint64_t se = 0;
+    const LeafsetId s = idb.leafsets().Find(singleton);
+    if (s != LeafsetRegistry::kNotFound) se = idb.FindLine(e, s).size();
+    result.data_gain_bits += mdl::XLog2X(static_cast<double>(se + fl)) -
+                             mdl::XLog2X(static_cast<double>(se));
+    if (se == 0) result.model_delta_bits += cm.StCost(singleton) + core_code;
+  }
+  return result;
+}
+
 }  // namespace cspm::core

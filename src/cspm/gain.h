@@ -46,6 +46,18 @@ struct GainResult {
 GainResult ComputeMergeGain(const InvertedDatabase& idb, const CodeModel& cm,
                             LeafsetId x, LeafsetId y);
 
+/// Computes the exact gain of *undoing* line (e, l) of a merged leafset
+/// via InvertedDatabase::SplitLine (no mutation): its positions return to
+/// the member singleton lines, so f_e grows by (|values| - 1) * fL. Uses
+/// the same conventions as ComputeMergeGain — data_gain_bits is the exact
+/// drop of Eq. 8's data term (positive = splitting shrinks it) and
+/// model_delta_bits counts ST + Code_c per created/removed line, ignoring
+/// Code_L drift. Infeasible when the line does not exist or l is a
+/// singleton. Total(policy) > 0 means the split pays for itself — the
+/// fast re-mine's undo criterion.
+GainResult ComputeSplitGain(const InvertedDatabase& idb, const CodeModel& cm,
+                            CoreId e, LeafsetId l);
+
 }  // namespace cspm::core
 
 #endif  // CSPM_CSPM_GAIN_H_

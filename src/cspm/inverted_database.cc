@@ -430,6 +430,262 @@ Status InvertedDatabase::ApplyDelta(const graph::AttributedGraph& old_graph,
   return Status::OK();
 }
 
+Status InvertedDatabase::ApplyDeltaMerged(
+    const graph::AttributedGraph& old_graph,
+    const graph::AttributedGraph& new_graph,
+    std::span<const VertexId> dirty_vertices, DeltaPatchStats* stats) {
+  // Merges never touch coresets, so the single-value-coreset shape
+  // (coreset id == attribute value) must still hold; leafsets are free to
+  // have been merged.
+  for (CoreId c(0); c.index() < coreset_values_.size(); ++c) {
+    if (coreset_values_[c.index()].size() != 1 ||
+        coreset_values_[c.index()][0].value() != c.value()) {
+      return Status::FailedPrecondition(
+          "ApplyDeltaMerged needs a single-value-coreset database");
+    }
+  }
+  const VertexId n_old = old_graph.num_vertices();
+  const VertexId n_new = new_graph.num_vertices();
+  if (n_new < n_old || vertex_coresets_.size() != n_old.index()) {
+    return Status::InvalidArgument(
+        "ApplyDeltaMerged: graphs do not bracket this database");
+  }
+
+  // Append singleton coresets for attribute values new to the patched
+  // graph. Unlike the pre-merge patch, no leafset is interned here — the
+  // greedy re-cover interns singletons lazily, and in a merged registry
+  // their ids need not coincide with attribute ids.
+  const size_t num_attrs_new = new_graph.num_attribute_values();
+  for (AttrId a(static_cast<uint32_t>(coreset_values_.size()));
+       a.index() < num_attrs_new; ++a) {
+    coreset_values_.push_back({a});
+    coreset_freq_.push_back(0);
+    core_line_total_.push_back(0);
+  }
+  const size_t num_cores = coreset_values_.size();
+  vertex_coresets_.resize(n_new.index());
+
+  // Per-core candidate leafsets, largest value set first then lowest id:
+  // the removal sweep and the greedy re-cover both walk these. Built
+  // once — lines erased later read as absent, and lines created later
+  // only ever hold already-processed dirty vertices, so staleness never
+  // hides a position the sweep must remove.
+  std::vector<std::vector<LeafsetId>> leafsets_under(num_cores);
+  for (LeafsetId l : active_leafsets_) {
+    for (CoreId c : lines_of_[l.index()].cores) {
+      leafsets_under[c.index()].push_back(l);
+    }
+  }
+  for (std::vector<LeafsetId>& cands : leafsets_under) {
+    std::sort(cands.begin(), cands.end(), [this](LeafsetId a, LeafsetId b) {
+      const size_t sa = leafsets_.Values(a).size();
+      const size_t sb = leafsets_.Values(b).size();
+      if (sa != sb) return sa > sb;
+      return a < b;
+    });
+  }
+
+  std::vector<char> core_dirty(num_cores, 0);
+  std::vector<LeafsetId> touched;
+  PosList scratch;
+
+  // Removes u from line (c, y) when present; false when it is not there.
+  auto remove_if_present = [&](CoreId c, LeafsetId y, VertexId u) {
+    LeafsetLines& lines = lines_of_[y.index()];
+    const size_t i = LowerBoundCore(lines, c);
+    if (i == lines.cores.size() || lines.cores[i] != c) return false;
+    PosListView view = pool_.View(lines.refs[i]);
+    auto it = std::lower_bound(view.begin(), view.end(), u);
+    if (it == view.end() || *it != u) return false;
+    if (view.size() == 1) {
+      EraseLineAt(y, i);
+    } else {
+      scratch.clear();
+      scratch.insert(scratch.end(), view.begin(), it);
+      scratch.insert(scratch.end(), it + 1, view.end());
+      pool_.Assign(lines.refs[i], scratch);
+    }
+    --core_line_total_[c.index()];
+    core_dirty[c.index()] = 1;
+    touched.push_back(y);
+    ++stats->positions_removed;
+    return true;
+  };
+  // Adds u to line (c, y), creating the line if needed; u must be absent.
+  auto insert_position = [&](CoreId c, LeafsetId y, VertexId u) {
+    if (y.index() >= lines_of_.size()) lines_of_.resize(y.index() + 1);
+    LeafsetLines& lines = lines_of_[y.index()];
+    const size_t i = LowerBoundCore(lines, c);
+    if (i == lines.cores.size() || lines.cores[i] != c) {
+      if (lines.cores.empty()) ActivateLeafset(y);
+      lines.cores.insert(lines.cores.begin() + i, c);
+      const VertexId one[] = {u};
+      lines.refs.insert(lines.refs.begin() + i, pool_.Allocate(one));
+      ++num_lines_;
+    } else {
+      PosListView view = pool_.View(lines.refs[i]);
+      auto it = std::lower_bound(view.begin(), view.end(), u);
+      CSPM_CHECK(it == view.end() || *it != u);
+      scratch.clear();
+      scratch.insert(scratch.end(), view.begin(), it);
+      scratch.push_back(u);
+      scratch.insert(scratch.end(), it, view.end());
+      pool_.Assign(lines.refs[i], scratch);
+    }
+    ++core_line_total_[c.index()];
+    core_dirty[c.index()] = 1;
+    touched.push_back(y);
+    ++stats->positions_added;
+  };
+
+  // Epoch-stamped cover state: needed[a] == cur while attribute a still
+  // awaits cover for the vertex being re-inserted under the current core.
+  std::vector<uint32_t> needed(num_attrs_new, 0);
+  uint32_t cur = 0;
+
+  std::vector<AttrId> nbr_new;
+  std::vector<CoreId> cores_old;
+  std::vector<CoreId> cores_new;
+  std::vector<AttrId> singleton(1, AttrId(0));
+  for (VertexId u : dirty_vertices) {
+    if (u >= n_new) {
+      return Status::InvalidArgument(
+          "ApplyDeltaMerged: dirty vertex out of range");
+    }
+    // Remove u everywhere under its old cores. By the partition invariant
+    // those lines jointly held u's old neighbour values exactly once each,
+    // so the sweep needs no old-graph adjacency.
+    cores_old = vertex_coresets_[u.index()];  // copied: overwritten below
+    for (CoreId c : cores_old) {
+      for (LeafsetId l : leafsets_under[c.index()]) {
+        remove_if_present(c, l, u);
+      }
+    }
+
+    GatherDistinctNeighbourAttrs(new_graph, u, &nbr_new);
+    cores_new.clear();
+    for (AttrId a : new_graph.Attributes(u)) {
+      cores_new.push_back(CoreId(a.value()));
+    }
+    // Greedy re-cover of the new neighbour values under each new core:
+    // existing mined leafsets whose values are all still uncovered first,
+    // leftovers to singleton lines. Deterministic by the candidate order.
+    for (CoreId c : cores_new) {
+      ++cur;
+      for (AttrId a : nbr_new) needed[a.index()] = cur;
+      size_t remaining = nbr_new.size();
+      for (LeafsetId l : leafsets_under[c.index()]) {
+        if (remaining == 0) break;
+        const std::vector<AttrId>& values = leafsets_.Values(l);
+        if (values.size() > remaining) continue;
+        bool fits = true;
+        for (AttrId a : values) {
+          if (needed[a.index()] != cur) {
+            fits = false;
+            break;
+          }
+        }
+        if (!fits) continue;
+        insert_position(c, l, u);
+        for (AttrId a : values) needed[a.index()] = 0;
+        remaining -= values.size();
+      }
+      if (remaining > 0) {
+        for (AttrId a : nbr_new) {
+          if (needed[a.index()] != cur) continue;
+          singleton[0] = a;
+          insert_position(c, leafsets_.Intern(singleton), u);
+        }
+      }
+    }
+
+    // Static coreset frequencies follow the vertex's own attribute set.
+    size_t a = 0;
+    size_t b = 0;
+    while (a < cores_old.size() || b < cores_new.size()) {
+      if (b >= cores_new.size() ||
+          (a < cores_old.size() && cores_old[a] < cores_new[b])) {
+        --coreset_freq_[cores_old[a].index()];
+        --total_coreset_freq_;
+        ++a;
+      } else if (a >= cores_old.size() || cores_new[b] < cores_old[a]) {
+        ++coreset_freq_[cores_new[b].index()];
+        ++total_coreset_freq_;
+        ++b;
+      } else {
+        ++a;
+        ++b;
+      }
+    }
+    vertex_coresets_[u.index()] = cores_new;
+  }
+
+  for (CoreId c(0); c.index() < num_cores; ++c) {
+    if (core_dirty[c.index()]) stats->dirty_cores.push_back(c);
+  }
+  // One `touched` entry was pushed per moved position, so a leafset's
+  // multiplicity is its moved-position count.
+  std::sort(touched.begin(), touched.end());
+  for (size_t i = 0; i < touched.size();) {
+    size_t j = i;
+    while (j < touched.size() && touched[j] == touched[i]) ++j;
+    stats->touched_leafsets.push_back(touched[i]);
+    stats->touched_position_moves.push_back(static_cast<uint32_t>(j - i));
+    i = j;
+  }
+  CSPM_DCHECK_OK(CheckInvariants(*this));
+  return Status::OK();
+}
+
+Status InvertedDatabase::SplitLine(CoreId e, LeafsetId l) {
+  if (l.index() >= lines_of_.size()) {
+    return Status::InvalidArgument("SplitLine: no such line");
+  }
+  const size_t i = LowerBoundCore(lines_of_[l.index()], e);
+  if (i == lines_of_[l.index()].cores.size() ||
+      lines_of_[l.index()].cores[i] != e) {
+    return Status::InvalidArgument("SplitLine: no such line");
+  }
+  // Copies, not references: Intern below may reallocate the registry's
+  // value storage, and EraseLineAt frees the line's pool extent.
+  const std::vector<AttrId> values = leafsets_.Values(l);
+  if (values.size() < 2) {
+    return Status::InvalidArgument("SplitLine: singleton leafset");
+  }
+  PosListView view = pool_.View(lines_of_[l.index()].refs[i]);
+  const PosList positions(view.begin(), view.end());
+  const uint64_t fl = positions.size();
+  EraseLineAt(l, i);
+  core_line_total_[e.index()] -= fl;
+
+  PosList merged;
+  for (AttrId a : values) {
+    const LeafsetId s = leafsets_.Intern({a});
+    if (s.index() >= lines_of_.size()) lines_of_.resize(s.index() + 1);
+    LeafsetLines& lines = lines_of_[s.index()];
+    const size_t j = LowerBoundCore(lines, e);
+    if (j == lines.cores.size() || lines.cores[j] != e) {
+      if (lines.cores.empty()) ActivateLeafset(s);
+      lines.cores.insert(lines.cores.begin() + j, e);
+      lines.refs.insert(lines.refs.begin() + j, pool_.Allocate(positions));
+      ++num_lines_;
+    } else {
+      // Disjoint from the existing singleton line by the partition
+      // invariant (a vertex's value-a occurrence lives in exactly one
+      // line under e, and it lived in (e, l)).
+      PosListView existing = pool_.View(lines.refs[j]);
+      merged.clear();
+      merged.reserve(existing.size() + positions.size());
+      std::merge(existing.begin(), existing.end(), positions.begin(),
+                 positions.end(), std::back_inserter(merged));
+      pool_.Assign(lines.refs[j], merged);
+    }
+    core_line_total_[e.index()] += fl;
+  }
+  CSPM_DCHECK_OK(CheckInvariants(*this));
+  return Status::OK();
+}
+
 MergeOutcome InvertedDatabase::MergeLeafsets(LeafsetId x, LeafsetId y) {
   CSPM_CHECK(x != y);
   MergeOutcome outcome;

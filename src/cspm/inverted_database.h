@@ -35,6 +35,11 @@ namespace cspm::core {
 struct DeltaPatchStats {
   std::vector<CoreId> dirty_cores;          ///< sorted, deduplicated
   std::vector<LeafsetId> touched_leafsets;  ///< sorted, deduplicated
+  /// Parallel to touched_leafsets: how many of that leafset's positions
+  /// the patch moved (adds + removes). Filled by ApplyDeltaMerged only
+  /// (the fast re-mine scales a leafset's staleness by it); ApplyDelta
+  /// leaves it empty.
+  std::vector<uint32_t> touched_position_moves;
   uint64_t positions_added = 0;
   uint64_t positions_removed = 0;
 };
@@ -211,6 +216,32 @@ class InvertedDatabase {
                     const graph::AttributedGraph& new_graph,
                     std::span<const VertexId> dirty_vertices,
                     DeltaPatchStats* stats);
+
+  /// Patches a *merged* single-value-coreset database (the final state of
+  /// a mine) from `old_graph` to `new_graph`. Merges only ever touch
+  /// leafsets, so coreset id == attr id still holds here; what no longer
+  /// holds is the one-leafset-per-line-value shape, so each dirty vertex
+  /// is first removed from every line under its old cores (sound by the
+  /// partition invariant: under a core, the leafsets whose line holds a
+  /// vertex partition that vertex's distinct neighbour values) and then
+  /// re-covered under its new cores by a deterministic greedy cover that
+  /// prefers existing leafsets (largest first, then lowest id) and sends
+  /// leftover values to singleton lines. The result is a valid, lossless
+  /// database for `new_graph` that keeps as much of the mined structure
+  /// as possible — it is NOT the database a cold mine would produce; the
+  /// fast re-mine path (CspmMiner::ResumeFast) repairs it by splitting
+  /// and merging until the DL criterion is converged again.
+  Status ApplyDeltaMerged(const graph::AttributedGraph& old_graph,
+                          const graph::AttributedGraph& new_graph,
+                          std::span<const VertexId> dirty_vertices,
+                          DeltaPatchStats* stats);
+
+  /// Undoes line (e, l) of a merged leafset: its positions move back into
+  /// the member singleton lines (e, {a}) for every a in l's values —
+  /// disjoint merges by the partition invariant. f_e grows by
+  /// (|values| - 1) * fL. InvalidArgument when the line does not exist or
+  /// l is a singleton.
+  Status SplitLine(CoreId e, LeafsetId l);
 
   // --- description length -------------------------------------------------
 

@@ -372,6 +372,37 @@ void RunPartialLoop(const SearchContext& ctx, CandidateStore& store,
   ctx.stats->iterations = iteration;
 }
 
+// Extracts the a-stars of a final database into the model, sorted by
+// (code length, core values, leaf values) — shared by every mine/resume
+// flavour so the published model shape never depends on the path taken.
+void ExtractAStars(const CspmOptions& options, const InvertedDatabase& idb,
+                   const CodeModel& cm, CspmModel* model) {
+  idb.ForEachLine([&](CoreId e, LeafsetId l, PosListView positions) {
+    AStar s;
+    s.core_values = idb.CoresetValues(e);
+    s.leaf_values = idb.leafsets().Values(l);
+    s.frequency = positions.size();
+    s.core_total = idb.CoreLineTotal(e);
+    s.coreset_frequency = idb.CoresetFrequency(e);
+    s.code_length_bits =
+        cm.CoreCodeLength(e) +
+        CodeModel::LeafCodeLength(s.frequency, s.core_total);
+    if (options.include_singleton_leafsets || s.leaf_values.size() >= 2) {
+      model->astars.push_back(std::move(s));
+    }
+  });
+  std::sort(model->astars.begin(), model->astars.end(),
+            [](const AStar& a, const AStar& b) {
+              if (a.code_length_bits != b.code_length_bits) {
+                return a.code_length_bits < b.code_length_bits;
+              }
+              if (a.core_values != b.core_values) {
+                return a.core_values < b.core_values;
+              }
+              return a.leaf_values < b.leaf_values;
+            });
+}
+
 }  // namespace
 
 std::vector<uint64_t> CollectDirtyCandidatePairs(
@@ -481,6 +512,202 @@ StatusOr<CspmMiner::MineArtifacts> CspmMiner::ResumeWarm(
                           reseed_computations, timer);
 }
 
+StatusOr<CspmMiner::MineArtifacts> CspmMiner::ResumeFast(
+    const graph::AttributedGraph& g, WarmState* warm,
+    const DeltaPatchStats& patch, bool all_dirty, bool want_database,
+    FastResumeStats* fast_stats) const {
+  if (options_.multi_value_coresets) {
+    return Status::FailedPrecondition(
+        "ResumeFast needs single-value coresets");
+  }
+  if (options_.strategy != SearchStrategy::kPartial) {
+    return Status::FailedPrecondition(
+        "ResumeFast needs the kPartial strategy (its convergence argument "
+        "relies on the drained candidate store)");
+  }
+  if (warm->final_db.num_coresets() == 0) {
+    return Status::FailedPrecondition(
+        "ResumeFast needs a captured final-model database (mine warm first)");
+  }
+  WallTimer timer;
+  // Repaired in place: the post-search state IS the next update's warm
+  // final model, so no pristine copy is kept (that is what buys the
+  // fast path its speed; on error the caller discards the warm state).
+  InvertedDatabase& idb = warm->final_db;
+  const CodeModel cm(g, idb);
+
+  CspmModel model;
+  model.stats.initial_dl_bits = cm.TotalDescriptionLengthBits(idb);
+  model.stats.initial_leafsets = idb.num_active_leafsets();
+  model.stats.initial_lines = idb.num_lines();
+
+  SearchContext ctx{&options_, &idb,  &cm,
+                    &model.stats, &timer, /*pool=*/nullptr};
+
+  const size_t num_cores = idb.num_coresets();
+  std::vector<char> core_dirty(num_cores, all_dirty ? 1 : 0);
+  if (!all_dirty) {
+    for (CoreId c : patch.dirty_cores) {
+      if (c.index() < num_cores) core_dirty[c.index()] = 1;
+    }
+  }
+
+  // Undo pass: unmerge leafsets whose continued existence stopped paying
+  // for itself under the patched data. The decision is global — the
+  // exact inverse of the merge it undoes, which summed its gain over
+  // every core the pair overlapped in. Per-core split gains are
+  // independent (splitting line (e1, l) moves no term of core e2), so
+  // the leafset's unmerge gain is their sum; judging lines one at a time
+  // instead would split locally-negative lines of globally-profitable
+  // merges and dismantle the model. Only leafsets touching a dirty core
+  // can have flipped; sweep to a fixpoint because a split feeds the
+  // member singleton lines (and f_e) that other split gains read.
+  uint64_t computations = 0;
+  std::vector<LeafsetId> split_fed;  // singletons the unmerge pass grew
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const std::vector<LeafsetId> actives = idb.active_leafsets();  // snapshot
+    for (LeafsetId l : actives) {
+      if (idb.leafsets().Values(l).size() < 2) continue;
+      const std::vector<CoreId>& cores = idb.CoresOf(l);
+      bool touches_dirty = false;
+      for (CoreId e : cores) {
+        if (core_dirty[e.index()]) {
+          touches_dirty = true;
+          break;
+        }
+      }
+      if (!touches_dirty) continue;
+      double total = 0.0;
+      bool feasible = true;
+      for (CoreId e : cores) {
+        GainResult gr = ComputeSplitGain(idb, cm, e, l);
+        ++computations;
+        if (!gr.feasible) {
+          feasible = false;
+          break;
+        }
+        total += gr.Total(options_.gain_policy);
+      }
+      if (!feasible || total <= options_.min_gain_bits) continue;
+      // Split every line; copy the core list first (SplitLine erases
+      // from it as it goes) and the values (SplitLine interns, which can
+      // reallocate the registry's value storage).
+      const std::vector<CoreId> cores_copy = cores;
+      const std::vector<AttrId> values = idb.leafsets().Values(l);
+      for (CoreId e : cores_copy) {
+        CSPM_RETURN_IF_ERROR(idb.SplitLine(e, l));
+      }
+      for (AttrId a : values) {
+        split_fed.push_back(idb.leafsets().Find({a}));
+      }
+      if (fast_stats != nullptr) ++fast_stats->splits;
+      changed = true;
+    }
+  }
+
+  // Seed: repair scope only. The re-judged pairs are those BOTH of whose
+  // members' position lists changed — by the delta patch
+  // (touched_leafsets) or by the unmerge pass (the fed singletons).
+  // Anything broader degenerates on real graphs: dirty cores are popular
+  // attributes, so "every pair under a dirty core" — and even "every
+  // pair with one touched member" — is a near-cold seed (millions of
+  // evaluations), and because the partial heuristic leaves latent
+  // positive pairs everywhere, re-judging them re-opens the whole
+  // search. Pairs with an untouched member keep their pre-delta verdict;
+  // the gain drift a handful of moved positions (or an f_e total)
+  // causes them is the imprecision the DL-ε contract absorbs — the CI
+  // gate holds the resulting model to within 1% of a cold mine's DL.
+  // Sources ascend and partners are sorted, so tie-breaking in the store
+  // stays deterministic.
+  CandidateStore store;
+  RelatedDict rdict;
+  {
+    const std::vector<LeafsetId>& actives = idb.active_leafsets();
+    const size_t m = actives.size();
+    const size_t num_leafsets = idb.leafsets().size();
+    std::vector<std::vector<LeafsetId>> under(num_cores);
+    for (LeafsetId l : actives) {
+      for (CoreId e : idb.CoresOf(l)) under[e.index()].push_back(l);
+    }
+    std::vector<char> is_source(num_leafsets, 0);
+    std::vector<LeafsetId> sources;
+    auto add_source = [&](LeafsetId l) {
+      if (is_source[l.index()] || idb.CoresOf(l).empty()) return;
+      is_source[l.index()] = 1;
+      sources.push_back(l);
+    };
+    if (all_dirty) {
+      for (LeafsetId l : actives) add_source(l);
+    } else {
+      // A touched leafset is stale in proportion to the share of its
+      // positions that moved: gains shift by O(moved / mass) log-ratios.
+      // Below 1/kStaleMassRatio the drift is deep inside the DL-ε budget
+      // and skipping the leafset is what keeps the seed small — the
+      // popular leafsets (huge mass, a position or two moved) are
+      // precisely the ones with thousands of co-occurring partners.
+      constexpr uint64_t kStaleMassRatio = 16;
+      for (size_t i = 0; i < patch.touched_leafsets.size(); ++i) {
+        const LeafsetId l = patch.touched_leafsets[i];
+        if (idb.CoresOf(l).empty()) continue;  // emptied or unmerged away
+        uint64_t mass = 0;
+        for (CoreId e : idb.CoresOf(l)) mass += idb.FindLine(e, l).size();
+        const uint64_t moved = i < patch.touched_position_moves.size()
+                                   ? patch.touched_position_moves[i]
+                                   : mass;
+        if (moved * kStaleMassRatio < mass) continue;
+        add_source(l);
+      }
+      for (LeafsetId l : split_fed) add_source(l);
+    }
+    std::sort(sources.begin(), sources.end());
+    std::vector<uint32_t> seen(num_leafsets, 0);
+    uint32_t epoch = 0;
+    std::vector<LeafsetId> partners;
+    for (LeafsetId t : sources) {
+      ++epoch;
+      partners.clear();
+      for (CoreId e : idb.CoresOf(t)) {
+        for (LeafsetId b : under[e.index()]) {
+          if (seen[b.index()] == epoch) continue;
+          seen[b.index()] = epoch;
+          // Both-source pairs only, judged once from their smaller member.
+          if (!is_source[b.index()] || b <= t) continue;
+          partners.push_back(b);
+        }
+      }
+      std::sort(partners.begin(), partners.end());
+      for (LeafsetId b : partners) {
+        GainResult gr = ComputeMergeGain(idb, cm, t, b);
+        ++computations;
+        if (!gr.feasible) continue;
+        const double total = gr.Total(options_.gain_policy);
+        if (total > options_.min_gain_bits) {
+          store.Set(t, b, total);
+          rdict.Link(t, b);
+          if (fast_stats != nullptr) ++fast_stats->seeded_pairs;
+        }
+      }
+    }
+    RecordIteration(ctx, /*iteration=*/0, computations, PossiblePairs(m),
+                    /*accepted_gain=*/0.0);
+  }
+  RunPartialLoop(ctx, store, rdict);
+
+  model.stats.final_dl_bits = cm.TotalDescriptionLengthBits(idb);
+  model.stats.final_leafsets = idb.num_active_leafsets();
+  model.stats.final_lines = idb.num_lines();
+
+  ExtractAStars(options_, idb, cm, &model);
+
+  model.stats.runtime_seconds = timer.ElapsedSeconds();
+  MineArtifacts artifacts;
+  artifacts.model = std::move(model);
+  if (want_database) artifacts.inverted_db = idb.Clone();
+  return artifacts;
+}
+
 StatusOr<CspmMiner::MineArtifacts> CspmMiner::MineImpl(
     const graph::AttributedGraph& g, WarmState* warm) const {
   WallTimer timer;
@@ -548,31 +775,10 @@ StatusOr<CspmMiner::MineArtifacts> CspmMiner::SearchAndExtract(
   model.stats.final_leafsets = idb.num_active_leafsets();
   model.stats.final_lines = idb.num_lines();
 
-  // Extract a-stars from the final inverted database.
-  idb.ForEachLine([&](CoreId e, LeafsetId l, PosListView positions) {
-    AStar s;
-    s.core_values = idb.CoresetValues(e);
-    s.leaf_values = idb.leafsets().Values(l);
-    s.frequency = positions.size();
-    s.core_total = idb.CoreLineTotal(e);
-    s.coreset_frequency = idb.CoresetFrequency(e);
-    s.code_length_bits =
-        cm.CoreCodeLength(e) +
-        CodeModel::LeafCodeLength(s.frequency, s.core_total);
-    if (options_.include_singleton_leafsets || s.leaf_values.size() >= 2) {
-      model.astars.push_back(std::move(s));
-    }
-  });
-  std::sort(model.astars.begin(), model.astars.end(),
-            [](const AStar& a, const AStar& b) {
-              if (a.code_length_bits != b.code_length_bits) {
-                return a.code_length_bits < b.code_length_bits;
-              }
-              if (a.core_values != b.core_values) {
-                return a.core_values < b.core_values;
-              }
-              return a.leaf_values < b.leaf_values;
-            });
+  // The post-merge database is the fast re-mine's starting point.
+  if (warm != nullptr) warm->final_db = idb.Clone();
+
+  ExtractAStars(options_, idb, cm, &model);
 
   model.stats.runtime_seconds = timer.ElapsedSeconds();
   return MineArtifacts{std::move(model), std::move(idb)};

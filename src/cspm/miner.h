@@ -28,6 +28,21 @@ struct WarmState {
   /// CandidatePairKey(x, y) -> total gain for every feasible
   /// above-threshold initial pair (exactly the CandidateStore seed).
   std::unordered_map<uint64_t, double> initial_gains;
+  /// The *final* (post-merge) inverted database of the last mine — the
+  /// starting point of the fast re-mine path. Patch it with
+  /// InvertedDatabase::ApplyDeltaMerged and hand it to ResumeFast, which
+  /// repairs it in place (it stays current for the next fast update).
+  InvertedDatabase final_db;
+};
+
+/// What the fast resume did beyond the ordinary merge loop.
+struct FastResumeStats {
+  /// Merged leafsets undone (every line split back to the member
+  /// singletons) because their global gain went negative under the delta.
+  uint64_t splits = 0;
+  /// Candidate pairs seeded into the store (pairs involving a leafset
+  /// whose lines the delta or the unmerge pass actually changed).
+  uint64_t seeded_pairs = 0;
 };
 
 /// Which cached initial gains are stale after a delta patch.
@@ -134,6 +149,30 @@ class CspmMiner {
                                      WarmState* warm,
                                      const DirtyCandidates& dirty,
                                      uint64_t* reseed_computations) const;
+
+  /// Continue-from-final-model re-mine (DESIGN.md §9): `warm->final_db`
+  /// must already be patched to `g` via ApplyDeltaMerged, whose
+  /// DeltaPatchStats is `patch`. Unmerges leafsets (under dirty cores)
+  /// whose global gain went negative under the delta (to a fixpoint),
+  /// then seeds the candidate store with repair-scope pairs — both
+  /// members stale, i.e. a meaningful share of their positions moved
+  /// (patch.touched_leafsets weighted by touched_position_moves) or the
+  /// unmerge pass fed them — and runs the ordinary partial merge loop.
+  /// Pairs with an up-to-date member are NOT re-evaluated even when a
+  /// shared core's totals drifted: those second-order shifts are exactly
+  /// what the DL-ε contract absorbs (anything broader degenerates into a
+  /// near-cold seed, because dirty cores are popular attributes). The
+  /// result is path-dependent: its description length tracks a cold mine
+  /// within a small ε but the model need not be bit-identical. The
+  /// database is repaired in place; on error it is left partially patched
+  /// and the caller must discard the warm state. `artifacts.inverted_db`
+  /// is only populated when `want_database` is set (the clone is pure
+  /// overhead otherwise). kPartial + single-value coresets only.
+  StatusOr<MineArtifacts> ResumeFast(const graph::AttributedGraph& g,
+                                     WarmState* warm,
+                                     const DeltaPatchStats& patch,
+                                     bool all_dirty, bool want_database,
+                                     FastResumeStats* fast_stats) const;
 
  private:
   StatusOr<MineArtifacts> MineImpl(const graph::AttributedGraph& g,

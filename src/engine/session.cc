@@ -54,6 +54,11 @@ struct MiningSession::Impl {
   std::optional<core::InvertedDatabase> database;
   /// Warm-start state for ApplyUpdates, under options.enable_updates.
   std::unique_ptr<core::WarmState> warm;
+  /// Set when a kFast update skipped patching warm->initial_db (the fast
+  /// path touches only final_db). The next kExact update rebuilds the
+  /// pristine initial database from the graph and re-seeds everything,
+  /// which keeps the exact path's bit-identity contract intact.
+  bool exact_warm_stale = false;
 
   /// Installs `m` as the current model and compiles its plan.
   void SetModel(CspmModel m) {
@@ -111,6 +116,7 @@ Status MiningSession::Mine() {
     auto artifacts_or = miner.MineWithWarmState(*impl_->graph,
                                                 impl_->warm.get());
     if (!artifacts_or.ok()) return artifacts_or.status();
+    impl_->exact_warm_stale = false;  // freshly captured from this graph
     impl_->SetArtifacts(std::move(artifacts_or).value());
   } else if (impl_->options.keep_database) {
     impl_->warm.reset();
@@ -128,6 +134,11 @@ Status MiningSession::Mine() {
 
 Status MiningSession::ApplyUpdates(const graph::GraphDelta& delta,
                                    UpdateStats* stats) {
+  return ApplyUpdates(delta, UpdateMode::kExact, stats);
+}
+
+Status MiningSession::ApplyUpdates(const graph::GraphDelta& delta,
+                                   UpdateMode mode, UpdateStats* stats) {
   WallTimer timer;
   UpdateStats local;
   UpdateStats& out = stats != nullptr ? *stats : local;
@@ -136,6 +147,7 @@ Status MiningSession::ApplyUpdates(const graph::GraphDelta& delta,
     return Status::FailedPrecondition(
         "ApplyUpdates needs a mined model: Mine() first");
   }
+  out.dl_before_bits = impl_->model.stats.final_dl_bits;
   CSPM_ASSIGN_OR_RETURN(graph::DeltaApplication applied,
                         graph::ApplyDelta(*impl_->graph, delta));
   out.dirty_vertices = applied.dirty_vertices.size();
@@ -153,24 +165,82 @@ Status MiningSession::ApplyUpdates(const graph::GraphDelta& delta,
       impl_->graph = std::move(old_graph);
       return mined;
     }
+    out.dl_after_bits = impl_->model.stats.final_dl_bits;
     out.apply_seconds = timer.ElapsedSeconds();
     return Status::OK();
   }
 
-  core::DeltaPatchStats patch;
-  CSPM_RETURN_IF_ERROR(impl_->warm->initial_db.ApplyDelta(
-      *impl_->graph, *new_graph, applied.dirty_vertices, &patch));
+  core::CspmMiner miner(ToCoreOptions(impl_->options));
 
-  core::DirtyCandidates dirty;
-  dirty.all_dirty = applied.attributes_changed;
-  if (!dirty.all_dirty) {
-    dirty.pair_keys = core::CollectDirtyCandidatePairs(
-        *impl_->graph, *new_graph, applied.dirty_vertices,
-        patch.dirty_cores);
-    out.dirty_pairs = dirty.pair_keys.size();
+  // The continue-from-final-model path (DESIGN.md §9). Eligibility is
+  // checked before any state is mutated: the fast contract only covers
+  // kPartial (its convergence argument needs the drained store).
+  if (mode == UpdateMode::kFast &&
+      impl_->options.strategy == Search::kPartial &&
+      impl_->warm->final_db.num_coresets() > 0) {
+    core::DeltaPatchStats patch;
+    Status patched = impl_->warm->final_db.ApplyDeltaMerged(
+        *impl_->graph, *new_graph, applied.dirty_vertices, &patch);
+    if (!patched.ok()) {
+      impl_->warm.reset();
+      return patched;
+    }
+    core::FastResumeStats fast;
+    auto artifacts_or = miner.ResumeFast(
+        *new_graph, impl_->warm.get(), patch,
+        /*all_dirty=*/applied.attributes_changed,
+        /*want_database=*/impl_->options.keep_database, &fast);
+    if (!artifacts_or.ok()) {
+      // final_db was already patched (and possibly half-repaired); drop
+      // the warm state so a later ApplyUpdates takes the cold path.
+      impl_->warm.reset();
+      impl_->exact_warm_stale = false;
+      return artifacts_or.status();
+    }
+    // initial_db still describes the pre-delta graph: the skipped patch
+    // is most of what the fast path saves. A later kExact update rebuilds
+    // it from scratch (see exact_warm_stale).
+    impl_->exact_warm_stale = true;
+    out.warm_path = true;
+    out.fast_path = true;
+    out.split_undos = fast.splits;
+    out.reseeded_pairs = fast.seeded_pairs;
+    impl_->graph = std::move(new_graph);
+    impl_->SetArtifacts(std::move(artifacts_or).value());
+    out.dl_after_bits = impl_->model.stats.final_dl_bits;
+    out.apply_seconds = timer.ElapsedSeconds();
+    return Status::OK();
   }
 
-  core::CspmMiner miner(ToCoreOptions(impl_->options));
+  core::DirtyCandidates dirty;
+  if (impl_->exact_warm_stale) {
+    // Fast updates left initial_db describing an older graph. Rebuild it
+    // pristine for the new graph and re-seed every candidate: the exact
+    // path is then in exactly the state a cold MineWithWarmState would
+    // produce, so its bit-identity contract holds unconditionally.
+    auto rebuilt_or = core::InvertedDatabase::FromGraph(*new_graph);
+    if (!rebuilt_or.ok()) {
+      impl_->warm.reset();
+      impl_->exact_warm_stale = false;
+      return rebuilt_or.status();
+    }
+    impl_->warm->initial_db = std::move(rebuilt_or).value();
+    impl_->warm->initial_gains.clear();
+    impl_->exact_warm_stale = false;
+    dirty.all_dirty = true;
+  } else {
+    core::DeltaPatchStats patch;
+    CSPM_RETURN_IF_ERROR(impl_->warm->initial_db.ApplyDelta(
+        *impl_->graph, *new_graph, applied.dirty_vertices, &patch));
+    dirty.all_dirty = applied.attributes_changed;
+    if (!dirty.all_dirty) {
+      dirty.pair_keys = core::CollectDirtyCandidatePairs(
+          *impl_->graph, *new_graph, applied.dirty_vertices,
+          patch.dirty_cores);
+      out.dirty_pairs = dirty.pair_keys.size();
+    }
+  }
+
   uint64_t reseeded = 0;
   auto artifacts_or =
       miner.ResumeWarm(*new_graph, impl_->warm.get(), dirty, &reseeded);
@@ -179,6 +249,7 @@ Status MiningSession::ApplyUpdates(const graph::GraphDelta& delta,
     // ApplyUpdates takes the cold path instead of compounding on a state
     // that no longer matches the session graph.
     impl_->warm.reset();
+    impl_->exact_warm_stale = false;
     return artifacts_or.status();
   }
   out.reseeded_pairs = reseeded;
@@ -187,6 +258,7 @@ Status MiningSession::ApplyUpdates(const graph::GraphDelta& delta,
   // attribute space.
   impl_->graph = std::move(new_graph);
   impl_->SetArtifacts(std::move(artifacts_or).value());
+  out.dl_after_bits = impl_->model.stats.final_dl_bits;
   out.apply_seconds = timer.ElapsedSeconds();
   return Status::OK();
 }

@@ -112,6 +112,21 @@ struct MiningOptions {
   bool enable_updates = false;
 };
 
+/// How ApplyUpdates re-mines after patching the graph.
+enum class UpdateMode {
+  /// Replay from the pre-merge database: the resulting model is
+  /// bit-identical to a cold re-mine of the mutated graph (the default,
+  /// and the PR 5 contract).
+  kExact,
+  /// Continue from the *final* mined model: patch its merged database,
+  /// undo merges whose gain went negative, re-evaluate only dirty-core
+  /// pairs, and merge from there. Path-dependent — the description length
+  /// tracks a cold mine within a small ε but the bits may differ. Falls
+  /// back to kExact behaviour when warm state is missing or the strategy
+  /// is not kPartial.
+  kFast,
+};
+
 /// What one ApplyUpdates call did (observability for benches / the shell).
 struct UpdateStats {
   /// Vertices whose inverted-database contribution was recomputed.
@@ -119,11 +134,21 @@ struct UpdateStats {
   /// Candidate pairs invalidated by the delta (0 when every pair was —
   /// an attribute delta moves the whole code model).
   size_t dirty_pairs = 0;
-  /// Gain computations spent on the warm re-seed (vs ~m²/2 cold).
+  /// Gain computations spent on the warm re-seed (vs ~m²/2 cold); under
+  /// kFast, the dirty-core pairs seeded into the candidate store.
   uint64_t reseeded_pairs = 0;
   /// False when the update fell back to a cold re-mine (warm state
   /// disabled, or multi-value coresets).
   bool warm_path = false;
+  /// True when the continue-from-final-model path actually ran (kFast
+  /// requested and eligible).
+  bool fast_path = false;
+  /// kFast only: merged lines undone because the delta flipped their gain.
+  uint64_t split_undos = 0;
+  /// Total description length of the model before / after the update, in
+  /// bits (the shell's DL-delta report).
+  double dl_before_bits = 0.0;
+  double dl_after_bits = 0.0;
   /// End-to-end wall time of the update: graph patch + database patch +
   /// re-mine + plan recompile.
   double apply_seconds = 0.0;
@@ -152,15 +177,21 @@ class MiningSession {
   Status Mine();
 
   /// Applies a graph delta transactionally and re-mines. With
-  /// MiningOptions::enable_updates the re-mine is warm: the pre-merge
-  /// inverted database is patched in place of the 3-pass rebuild and only
-  /// candidate pairs involving dirty leafsets are re-evaluated — the
-  /// resulting model is bit-identical to a cold re-mine of the mutated
-  /// graph. The session then owns the mutated graph; previously built
-  /// ServingEngines keep scoring the old graph+model+plan triple until
-  /// they are dropped, while new Serve()/Score calls see the update
-  /// (hot swap). On error nothing changes.
+  /// MiningOptions::enable_updates the re-mine is warm: under
+  /// UpdateMode::kExact (the default) the pre-merge inverted database is
+  /// patched in place of the 3-pass rebuild and only candidate pairs
+  /// involving dirty leafsets are re-evaluated — the resulting model is
+  /// bit-identical to a cold re-mine of the mutated graph; under
+  /// UpdateMode::kFast the re-mine continues from the final mined model
+  /// instead (see UpdateMode). The session then owns the mutated graph;
+  /// previously built ServingEngines keep scoring the old
+  /// graph+model+plan triple until they are dropped, while new
+  /// Serve()/Score calls see the update (hot swap). On error nothing
+  /// changes (though the warm state may be dropped, downgrading later
+  /// updates to cold re-mines).
   Status ApplyUpdates(const graph::GraphDelta& delta,
+                      UpdateStats* stats = nullptr);
+  Status ApplyUpdates(const graph::GraphDelta& delta, UpdateMode mode,
                       UpdateStats* stats = nullptr);
 
   /// True once Mine() succeeded or a model was loaded.

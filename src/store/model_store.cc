@@ -15,8 +15,10 @@ namespace {
 constexpr uint8_t kRecordVersion = 1;
 constexpr uint8_t kFlagHasGraph = 0x01;
 
-// WAL record layout: version byte, then one encoded graph delta.
-constexpr uint8_t kWalRecordVersion = 1;
+// WAL record layout: version byte, then (v2+) a WalDeltaMode byte, then
+// one encoded graph delta. v1 records have no mode byte and replay as
+// kExact.
+constexpr uint8_t kWalRecordVersion = 2;
 
 std::string EncodeRecord(const StoredModel& stored) {
   Encoder enc;
@@ -182,7 +184,8 @@ void ModelStore::DropWalChains(Entry* entry) {
 }
 
 Status ModelStore::AppendDelta(const std::string& name,
-                               const graph::GraphDelta& delta) {
+                               const graph::GraphDelta& delta,
+                               WalDeltaMode mode) {
   auto it = catalog_.find(name);
   if (it == catalog_.end()) {
     return Status::NotFound("no model named '" + name + "' in " +
@@ -190,6 +193,7 @@ Status ModelStore::AppendDelta(const std::string& name,
   }
   Encoder enc;
   enc.PutU8(kWalRecordVersion);
+  enc.PutU8(static_cast<uint8_t>(mode));
   EncodeGraphDelta(delta, &enc);
   WalRecord rec;
   CSPM_ASSIGN_OR_RETURN(rec.head, pager_.WriteChain(enc.data()));
@@ -230,6 +234,17 @@ StatusOr<ModelStore::WalReplay> ModelStore::ReadWal(const std::string& name) {
       replay.dropped = wal.size() - i;
       break;
     }
+    WalDeltaMode mode = WalDeltaMode::kExact;  // v1: no mode byte
+    if (*version_or >= 2) {
+      StatusOr<uint8_t> mode_or = dec.ReadU8();
+      if (!mode_or.ok() ||
+          *mode_or > static_cast<uint8_t>(WalDeltaMode::kFast)) {
+        replay.truncated = true;
+        replay.dropped = wal.size() - i;
+        break;
+      }
+      mode = static_cast<WalDeltaMode>(*mode_or);
+    }
     StatusOr<graph::GraphDelta> delta_or = DecodeGraphDelta(&dec);
     if (!delta_or.ok() || !dec.AtEnd()) {
       replay.truncated = true;
@@ -237,6 +252,7 @@ StatusOr<ModelStore::WalReplay> ModelStore::ReadWal(const std::string& name) {
       break;
     }
     replay.deltas.push_back(std::move(delta_or).value());
+    replay.modes.push_back(mode);
   }
   return replay;
 }

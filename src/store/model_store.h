@@ -45,6 +45,15 @@ struct StoredModel {
   std::optional<graph::AttributedGraph> graph;
 };
 
+/// How the session re-mined when a WAL delta was appended, so replay can
+/// roll forward the same way (the store cannot see the engine layer; the
+/// shell maps this onto engine::UpdateMode). On-disk values — do not
+/// renumber.
+enum class WalDeltaMode : uint8_t {
+  kExact = 0,  ///< bit-identical warm (or cold) re-mine
+  kFast = 1,   ///< continue-from-final-model re-mine (DL-ε contract)
+};
+
 class ModelStore {
  public:
   /// Starts an empty store at `path`, replacing any existing file.
@@ -77,11 +86,16 @@ class ModelStore {
   // --- write-ahead log of graph deltas ------------------------------------
 
   /// Appends one graph delta to the model's WAL, committing atomically.
-  /// Cost is proportional to the delta, not the model record.
-  Status AppendDelta(const std::string& name, const graph::GraphDelta& delta);
+  /// Cost is proportional to the delta, not the model record. `mode`
+  /// records how the live session re-mined, so replay can honour it.
+  Status AppendDelta(const std::string& name, const graph::GraphDelta& delta,
+                     WalDeltaMode mode = WalDeltaMode::kExact);
 
   struct WalReplay {
     std::vector<graph::GraphDelta> deltas;  ///< oldest first
+    /// modes[i] is how deltas[i] was re-mined when appended (kExact for
+    /// records written before the mode byte existed).
+    std::vector<WalDeltaMode> modes;
     /// True when a corrupt or truncated tail record stopped the walk; the
     /// valid prefix is still returned, `dropped` counts the lost records.
     bool truncated = false;

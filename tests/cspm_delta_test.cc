@@ -11,8 +11,12 @@
 #include <tuple>
 #include <vector>
 
+#include "cspm/code_model.h"
+#include "cspm/gain.h"
 #include "cspm/inverted_database.h"
+#include "cspm/miner.h"
 #include "cspm/serialization.h"
+#include "cspm/verify.h"
 #include "datasets/synthetic.h"
 #include "engine/session.h"
 #include "graph/generators.h"
@@ -409,6 +413,224 @@ TEST(ApplyUpdatesTest, InvalidDeltaLeavesSessionUntouched) {
   EXPECT_TRUE(stats.warm_path);
 }
 
+// --- fast (continue-from-final-model) updates -------------------------------
+
+/// Mines warm, applies `deltas` in fast mode, and asserts the DL-ε
+/// contract: the session's final description length stays within 1% of a
+/// cold mine of the final mutated graph. (It may be *better* — the repair
+/// re-judges neighbourhoods the partial heuristic never revisits — hence
+/// the generous lower bound.)
+void ExpectFastDlWithinEpsilon(const AttributedGraph& g,
+                               const std::vector<GraphDelta>& deltas) {
+  auto session = std::move(engine::MiningSession::Create(g, UpdatableOptions()))
+                     .value();
+  ASSERT_TRUE(session.Mine().ok());
+  engine::UpdateStats stats;
+  for (const GraphDelta& delta : deltas) {
+    Status st = session.ApplyUpdates(delta, engine::UpdateMode::kFast, &stats);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    EXPECT_TRUE(stats.fast_path);
+    EXPECT_TRUE(stats.warm_path);
+    EXPECT_GT(stats.dl_before_bits, 0.0);
+    EXPECT_GT(stats.dl_after_bits, 0.0);
+  }
+
+  auto cold_or = engine::MiningSession::Create(session.graph(),
+                                               UpdatableOptions());
+  ASSERT_TRUE(cold_or.ok());
+  engine::MiningSession cold = std::move(cold_or).value();
+  ASSERT_TRUE(cold.Mine().ok());
+  const double ratio =
+      session.stats().final_dl_bits / cold.stats().final_dl_bits;
+  EXPECT_LE(ratio, 1.01) << "fast model DL drifted above the ε contract";
+  EXPECT_GE(ratio, 0.90) << "fast model DL implausibly low — check gains";
+}
+
+TEST(FastUpdateTest, EdgeDeltaDlWithinEpsilon) {
+  for (uint64_t seed : {1u, 4u}) {
+    AttributedGraph g = SmallCommunityGraph(seed);
+    ExpectFastDlWithinEpsilon(g, {RandomEdgeDelta(g, 8, seed + 10)});
+  }
+  AttributedGraph dblp = std::move(datasets::MakeDblpLike(2, 300)).value();
+  ExpectFastDlWithinEpsilon(dblp, {RandomEdgeDelta(dblp, 6, 11)});
+}
+
+TEST(FastUpdateTest, AttributeDeltaDlWithinEpsilon) {
+  // Attribute changes force the all-dirty fallback inside the fast seed
+  // (every gain input may have moved with the code model); the DL-ε
+  // contract must hold through it.
+  AttributedGraph g = SmallCommunityGraph(2);
+  GraphDelta delta;
+  delta.SetAttribute(VertexId(3), "brand-new-value");
+  delta.ClearAttribute(VertexId(0),
+                       g.dict().Name(g.Attributes(VertexId(0))[0]));
+  ExpectFastDlWithinEpsilon(g, {delta});
+}
+
+TEST(FastUpdateTest, AddVertexWithEdgesDlWithinEpsilon) {
+  AttributedGraph g = SmallCommunityGraph(5);
+  GraphDelta delta;
+  delta.AddVertex(
+      {g.dict().Name(graph::AttrId(0)), g.dict().Name(graph::AttrId(1))});
+  delta.AddEdge(g.num_vertices(), VertexId(0));
+  delta.AddEdge(g.num_vertices(), VertexId(17));
+  ExpectFastDlWithinEpsilon(g, {delta});
+}
+
+TEST(FastUpdateTest, SequentialFastUpdatesDlWithinEpsilon) {
+  // Each fast update repairs final_db in place; the next one continues
+  // from the repaired state, so the ε bound must survive chaining.
+  AttributedGraph g = SmallCommunityGraph(6);
+  std::vector<GraphDelta> deltas;
+  deltas.push_back(RandomEdgeDelta(g, 4, 21));
+  {
+    GraphDelta d2;
+    d2.SetAttribute(VertexId(7), "late-value");
+    deltas.push_back(d2);
+  }
+  {
+    GraphDelta d3;
+    d3.ClearAttribute(VertexId(7), "late-value");
+    deltas.push_back(d3);
+  }
+  ExpectFastDlWithinEpsilon(g, deltas);
+}
+
+TEST(FastUpdateTest, RemoveLastEdgeOfStarDlWithinEpsilon) {
+  // The tiny graph whose delta erases a leafset's final line; the merged
+  // patch must deactivate it and the fast re-mine must stay valid.
+  graph::GraphBuilder b;
+  b.AddVertex({"a"});
+  b.AddVertex({"b"});
+  b.AddVertex({"c"});
+  b.AddVertex({"c"});
+  EXPECT_TRUE(b.AddEdge(VertexId(0), VertexId(1)).ok());
+  EXPECT_TRUE(b.AddEdge(VertexId(2), VertexId(3)).ok());
+  AttributedGraph g = std::move(std::move(b).Build()).value();
+  GraphDelta delta;
+  delta.RemoveEdge(VertexId(0), VertexId(1));
+  ExpectFastDlWithinEpsilon(g, {delta});
+}
+
+TEST(FastUpdateTest, ExactUpdateAfterFastRebuildsBitIdentity) {
+  // A fast update leaves the exact path's pristine database stale; the
+  // next kExact update must rebuild it and land bit-identical to a cold
+  // mine of the final graph — the two-mode contract's hard edge.
+  AttributedGraph g = SmallCommunityGraph(11);
+  auto session = std::move(engine::MiningSession::Create(g, UpdatableOptions()))
+                     .value();
+  ASSERT_TRUE(session.Mine().ok());
+  engine::UpdateStats stats;
+  ASSERT_TRUE(session
+                  .ApplyUpdates(RandomEdgeDelta(g, 4, 61),
+                                engine::UpdateMode::kFast, &stats)
+                  .ok());
+  ASSERT_TRUE(stats.fast_path);
+  ASSERT_TRUE(session
+                  .ApplyUpdates(RandomEdgeDelta(session.graph(), 4, 62),
+                                engine::UpdateMode::kExact, &stats)
+                  .ok());
+  EXPECT_FALSE(stats.fast_path);
+  EXPECT_TRUE(stats.warm_path);
+
+  auto cold = std::move(engine::MiningSession::Create(session.graph(),
+                                                      UpdatableOptions()))
+                  .value();
+  ASSERT_TRUE(cold.Mine().ok());
+  EXPECT_EQ(session.SerializeModel(), cold.SerializeModel());
+  EXPECT_EQ(session.stats().final_dl_bits, cold.stats().final_dl_bits);
+  EXPECT_EQ(session.stats().iterations, cold.stats().iterations);
+}
+
+TEST(FastUpdateTest, FastModeFallsBackToExactWithoutWarmState) {
+  // Without enable_updates there is no warm state: kFast degrades to the
+  // cold-rebuild behaviour and still reports an honest fast_path=false.
+  AttributedGraph g = SmallCommunityGraph(9);
+  auto session =
+      std::move(engine::MiningSession::Create(g, engine::MiningOptions{}))
+          .value();
+  ASSERT_TRUE(session.Mine().ok());
+  engine::UpdateStats stats;
+  ASSERT_TRUE(session
+                  .ApplyUpdates(RandomEdgeDelta(g, 4, 33),
+                                engine::UpdateMode::kFast, &stats)
+                  .ok());
+  EXPECT_FALSE(stats.fast_path);
+  EXPECT_FALSE(stats.warm_path);
+
+  auto cold = std::move(engine::MiningSession::Create(session.graph(),
+                                                      engine::MiningOptions{}))
+                  .value();
+  ASSERT_TRUE(cold.Mine().ok());
+  EXPECT_EQ(session.SerializeModel(), cold.SerializeModel());
+}
+
+TEST(FastUpdateTest, ApplyDeltaMergedKeepsDbValidAndLossless) {
+  // The merged-database patch must leave a structurally sound, lossless
+  // cover of the new graph (the repair pass assumes both).
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    AttributedGraph g = SmallCommunityGraph(seed);
+    core::CspmMiner miner{core::CspmOptions{}};
+    core::WarmState warm;
+    ASSERT_TRUE(miner.MineWithWarmState(g, &warm).ok());
+    ASSERT_GT(warm.final_db.num_coresets(), 0u);
+
+    GraphDelta delta = RandomEdgeDelta(g, 6, seed * 3 + 2);
+    auto applied = std::move(graph::ApplyDelta(g, delta)).value();
+    core::DeltaPatchStats stats;
+    Status st = warm.final_db.ApplyDeltaMerged(g, applied.graph,
+                                               applied.dirty_vertices, &stats);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    EXPECT_EQ(stats.touched_leafsets.size(),
+              stats.touched_position_moves.size());
+    Status invariants = core::CheckInvariants(warm.final_db);
+    EXPECT_TRUE(invariants.ok()) << invariants.ToString();
+    Status lossless = core::VerifyLossless(applied.graph, warm.final_db);
+    EXPECT_TRUE(lossless.ok()) << lossless.ToString();
+  }
+}
+
+TEST(FastUpdateTest, SplitGainMatchesDataCostDelta) {
+  // ComputeSplitGain's data term must be the exact negated change of
+  // DataCostBits when the line is actually split.
+  AttributedGraph g = SmallCommunityGraph(7);
+  InvertedDatabase idb = std::move(InvertedDatabase::FromGraph(g)).value();
+  const core::CodeModel cm(g, idb);
+
+  // Merge the first feasible pair so there is a multi-value line to split.
+  core::LeafsetId merged{};
+  bool found = false;
+  const std::vector<core::LeafsetId> actives = idb.active_leafsets();
+  for (size_t i = 0; i < actives.size() && !found; ++i) {
+    for (size_t j = i + 1; j < actives.size() && !found; ++j) {
+      if (core::ComputeMergeGain(idb, cm, actives[i], actives[j]).feasible) {
+        merged = idb.MergeLeafsets(actives[i], actives[j]).merged_id;
+        found = true;
+      }
+    }
+  }
+  ASSERT_TRUE(found);
+
+  while (!idb.CoresOf(merged).empty()) {
+    const core::CoreId e = idb.CoresOf(merged)[0];
+    core::GainResult split = core::ComputeSplitGain(idb, cm, e, merged);
+    ASSERT_TRUE(split.feasible);
+    const double before = idb.DataCostBits();
+    ASSERT_TRUE(idb.SplitLine(e, merged).ok());
+    EXPECT_NEAR(split.data_gain_bits, before - idb.DataCostBits(), 1e-6);
+  }
+  Status invariants = core::CheckInvariants(idb);
+  EXPECT_TRUE(invariants.ok()) << invariants.ToString();
+
+  // Infeasible shapes: a singleton line and an absent line.
+  const std::vector<core::LeafsetId> singletons = idb.active_leafsets();
+  ASSERT_FALSE(singletons.empty());
+  const core::LeafsetId s = singletons[0];
+  ASSERT_FALSE(idb.CoresOf(s).empty());
+  EXPECT_FALSE(core::ComputeSplitGain(idb, cm, idb.CoresOf(s)[0], s).feasible);
+  EXPECT_FALSE(idb.SplitLine(idb.CoresOf(s)[0], merged).ok());
+}
+
 // --- serving hot-swap -------------------------------------------------------
 
 TEST(HotSwapTest, InFlightEngineKeepsOldTripleNewServeSeesUpdate) {
@@ -540,6 +762,34 @@ TEST(WalReplayTest, CrashTruncatedTailRecoversPrefixBitIdentical) {
   ASSERT_TRUE(cold.Mine().ok());
   EXPECT_EQ(session.SerializeModel(), cold.SerializeModel());
   EXPECT_EQ(session.stats().final_dl_bits, cold.stats().final_dl_bits);
+}
+
+TEST(WalReplayTest, AppendDeltaRecordsModePerRecord) {
+  // The WAL's v2 record carries how the live session re-mined, so replay
+  // can roll forward each delta in its original mode.
+  const std::string path = ::testing::TempDir() + "/cspm_wal_mode.cspm";
+  std::remove(path.c_str());
+  AttributedGraph g = SmallCommunityGraph(14);
+  auto session = std::move(engine::MiningSession::Create(g, UpdatableOptions()))
+                     .value();
+  ASSERT_TRUE(session.Mine().ok());
+  engine::SaveModelOptions save;
+  save.include_graph = true;
+  ASSERT_TRUE(session.SaveModel(path, save).ok());
+
+  auto store = std::move(store::ModelStore::Open(path)).value();
+  GraphDelta d1 = RandomEdgeDelta(g, 2, 71);
+  GraphDelta d2 = RandomEdgeDelta(g, 2, 72);
+  ASSERT_TRUE(store.AppendDelta("default", d1).ok());  // default: exact
+  ASSERT_TRUE(
+      store.AppendDelta("default", d2, store::WalDeltaMode::kFast).ok());
+
+  auto replay = std::move(store.ReadWal("default")).value();
+  EXPECT_FALSE(replay.truncated);
+  ASSERT_EQ(replay.deltas.size(), 2u);
+  ASSERT_EQ(replay.modes.size(), 2u);
+  EXPECT_EQ(replay.modes[0], store::WalDeltaMode::kExact);
+  EXPECT_EQ(replay.modes[1], store::WalDeltaMode::kFast);
 }
 
 }  // namespace

@@ -82,12 +82,17 @@ void PrintHelp() {
       "                           listed vertex, computed as one serving batch\n"
       "  score-all [k]            batch-score every vertex; print the k best\n"
       "                           (vertex, attribute) pairs and throughput\n"
-      "  update <edge-ops> [seed]  apply that many random edge rewires to the\n"
-      "                           live graph, warm re-mine incrementally,\n"
-      "                           hot-swap the served model, and append the\n"
-      "                           delta to the store's WAL (when saved)\n"
+      "  update [--mode=exact|fast] <edge-ops> [seed]\n"
+      "                           apply that many random edge rewires to the\n"
+      "                           live graph, re-mine incrementally, hot-swap\n"
+      "                           the served model, and append the delta (and\n"
+      "                           mode) to the store's WAL (when saved).\n"
+      "                           exact (default) = bit-identical to a cold\n"
+      "                           re-mine; fast = continue from the final\n"
+      "                           model, DL within ~epsilon of cold\n"
       "  replay <name>            rebuild <name> from its store snapshot and\n"
-      "                           re-apply its pending WAL deltas\n"
+      "                           re-apply its pending WAL deltas, each in\n"
+      "                           the mode it was originally applied with\n"
       "  stats                    mining statistics of the current model\n"
       "  fsck <path>              deep-verify a store file: page-chain\n"
       "                           ownership, catalog consistency, record and\n"
@@ -201,15 +206,35 @@ Status CmdMine(Shell& sh, const std::vector<std::string>& args) {
 }
 
 Status CmdUpdate(Shell& sh, const std::vector<std::string>& args) {
-  if (args.size() < 2 || args.size() > 3) {
-    return Status::InvalidArgument("usage: update <edge-ops> [seed]");
+  engine::UpdateMode mode = engine::UpdateMode::kExact;
+  std::vector<std::string> positional;
+  for (size_t i = 1; i < args.size(); ++i) {
+    if (StartsWith(args[i], "--mode=")) {
+      const std::string value = args[i].substr(7);
+      if (value == "exact") {
+        mode = engine::UpdateMode::kExact;
+      } else if (value == "fast") {
+        mode = engine::UpdateMode::kFast;
+      } else {
+        return Status::InvalidArgument("bad --mode '" + value +
+                                       "' (exact or fast)");
+      }
+    } else {
+      positional.push_back(args[i]);
+    }
+  }
+  if (positional.empty() || positional.size() > 2) {
+    return Status::InvalidArgument(
+        "usage: update [--mode=exact|fast] <edge-ops> [seed]");
   }
   uint32_t ops = 0;
-  if (!ParseUint32(args[1], &ops) || ops == 0) {
-    return Status::InvalidArgument("bad edge-op count '" + args[1] + "'");
+  if (!ParseUint32(positional[0], &ops) || ops == 0) {
+    return Status::InvalidArgument("bad edge-op count '" + positional[0] +
+                                   "'");
   }
   const uint64_t seed =
-      args.size() > 2 ? std::strtoull(args[2].c_str(), nullptr, 10) : 1;
+      positional.size() > 1 ? std::strtoull(positional[1].c_str(), nullptr, 10)
+                            : 1;
   if (!sh.session.has_value()) {
     return Status::FailedPrecondition(
         "no live session; mine (or replay) first — loaded models have no "
@@ -219,12 +244,17 @@ Status CmdUpdate(Shell& sh, const std::vector<std::string>& args) {
       graph::GraphDelta delta,
       graph::MakeRandomEdgeRewires(sh.session->graph(), ops, seed));
   engine::UpdateStats stats;
-  CSPM_RETURN_IF_ERROR(sh.session->ApplyUpdates(delta, &stats));
+  CSPM_RETURN_IF_ERROR(sh.session->ApplyUpdates(delta, mode, &stats));
   // Persist the delta before the serving swap: if the WAL append fails,
   // the registry keeps serving the model the store can still reproduce.
+  // The WAL records the mode that actually ran (a fast request can fall
+  // back to exact behaviour), so replay reproduces this session's path.
   bool logged = false;
   if (sh.store.has_value() && sh.store->Contains(sh.session_name)) {
-    Status appended = sh.store->AppendDelta(sh.session_name, delta);
+    Status appended = sh.store->AppendDelta(
+        sh.session_name, delta,
+        stats.fast_path ? store::WalDeltaMode::kFast
+                        : store::WalDeltaMode::kExact);
     if (!appended.ok()) {
       return Status::IOError(
           "update applied to the live session but its delta could not be "
@@ -243,16 +273,20 @@ Status CmdUpdate(Shell& sh, const std::vector<std::string>& args) {
   sh.session_handle = sh.current;
   sh.current_name = sh.session_name;
   const auto& m = sh.current->model;
+  const char* mode_ran = stats.fast_path   ? "fast warm"
+                         : stats.warm_path ? "exact warm"
+                                           : "cold";
   std::printf(
       "updated '%s' with %zu edge op(s): %zu dirty vertices, %zu dirty "
-      "pairs, %llu reseeded, %s re-mine in %.3fs%s\n",
+      "pairs, %llu reseeded, %llu split undo(s), %s re-mine in %.3fs%s\n",
       sh.session_name.c_str(), delta.num_ops(), stats.dirty_vertices,
       stats.dirty_pairs,
       static_cast<unsigned long long>(stats.reseeded_pairs),
-      stats.warm_path ? "warm" : "cold", stats.apply_seconds,
-      logged ? "; delta appended to WAL" : "");
-  std::printf("  now %zu a-stars, DL %.1f bits\n", m.astars.size(),
-              m.stats.final_dl_bits);
+      static_cast<unsigned long long>(stats.split_undos), mode_ran,
+      stats.apply_seconds, logged ? "; delta appended to WAL" : "");
+  std::printf("  now %zu a-stars, DL %.1f -> %.1f bits (%+.1f)\n",
+              m.astars.size(), stats.dl_before_bits, stats.dl_after_bits,
+              stats.dl_after_bits - stats.dl_before_bits);
   return Status::OK();
 }
 
@@ -268,11 +302,18 @@ Status CmdReplay(Shell& sh, const std::vector<std::string>& args) {
   }
   CSPM_ASSIGN_OR_RETURN(store::ModelStore::WalReplay wal,
                         sh.store->ReadWal(args[1]));
-  // Rebuild the snapshot model (deterministic), then roll the WAL forward.
+  // Rebuild the snapshot model (deterministic), then roll the WAL
+  // forward, each delta in the mode it was originally applied with — a
+  // fast update's model is path-dependent, so reproducing the session
+  // means reproducing its path.
   CSPM_RETURN_IF_ERROR(
       MineAndPublish(sh, std::move(*stored.graph), args[1]));
-  for (const graph::GraphDelta& delta : wal.deltas) {
-    CSPM_RETURN_IF_ERROR(sh.session->ApplyUpdates(delta, nullptr));
+  for (size_t i = 0; i < wal.deltas.size(); ++i) {
+    const engine::UpdateMode mode =
+        wal.modes[i] == store::WalDeltaMode::kFast ? engine::UpdateMode::kFast
+                                                   : engine::UpdateMode::kExact;
+    CSPM_RETURN_IF_ERROR(sh.session->ApplyUpdates(wal.deltas[i], mode,
+                                                  nullptr));
   }
   auto handle_or = sh.session->Publish(sh.registry, args[1]);
   if (!handle_or.ok()) return handle_or.status();
