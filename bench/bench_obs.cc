@@ -1,0 +1,170 @@
+// Observability overhead benchmark: the instrumentation's own cost,
+// measured instead of assumed.
+//
+// Primitive costs (BM_CounterAdd / BM_HistogramRecord / BM_TraceSpan) show
+// the per-event price; the headline pair is BM_ScoreBatchObsOn vs
+// BM_ScoreBatchObsOff — the full serving hot path with the runtime obs
+// toggle on and off, in one binary and one run, so the on/off ratio is
+// machine-normalized. ci/bench_gate.py gates that ratio against the
+// BENCH_BASELINE.json `max_obs_overhead` key (1.02 = within 2%).
+//
+// CSPM_BENCH_OBS_VERTICES overrides the graph size.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_common.h"
+#include "engine/serving.h"
+#include "engine/session.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace cspm::bench {
+namespace {
+
+uint32_t ObsBenchVertices() {
+  if (const char* env = std::getenv("CSPM_BENCH_OBS_VERTICES")) {
+    return static_cast<uint32_t>(std::strtoul(env, nullptr, 10));
+  }
+  return 4000;
+}
+
+/// Vertices scored per iteration. Small enough that one iteration is tens
+/// of milliseconds, so the on/off ratio averages over many iterations
+/// instead of riding on two one-shot measurements.
+constexpr size_t kBatchVertices = 256;
+
+/// Mined-once fixture shared by the ScoreBatch on/off pair.
+struct ObsFixture {
+  graph::AttributedGraph graph;
+  core::CspmModel model;
+  std::vector<graph::VertexId> batch;
+
+  static const ObsFixture& Get() {
+    static ObsFixture* fixture = [] {
+      // Leaky singleton: benches share one mined fixture and never
+      // destroy it (destruction order vs static bench registration).
+      auto* f = new ObsFixture();  // lint:allow naked-new
+      f->graph = datasets::MakePokecLike(1, ObsBenchVertices()).value();
+      engine::MiningOptions opts;
+      opts.record_iteration_stats = false;
+      f->model = engine::MineModel(f->graph, opts).value();
+      const size_t n = std::min<size_t>(kBatchVertices,
+                                        f->graph.num_vertices().index());
+      for (graph::VertexId v(0); v.index() < n; ++v) {
+        f->batch.push_back(v);
+      }
+      return f;
+    }();
+    return *fixture;
+  }
+};
+
+/// One sharded counter increment — the contract's hot-path unit cost.
+void BM_CounterAdd(benchmark::State& state) {
+  obs::SetEnabled(true);
+  obs::Counter* counter = obs::GetCounter("bench.obs.counter");
+  for (auto _ : state) {
+    counter->Add(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterAdd);
+
+/// One histogram record: bucket shift + two relaxed adds + min/max CAS.
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::SetEnabled(true);
+  obs::Histogram* hist = obs::GetHistogram("bench.obs.hist");
+  uint64_t ns = 1;
+  for (auto _ : state) {
+    hist->Record(ns);
+    ns = (ns * 2862933555777941757ULL + 3037000493ULL) >> 32;  // cheap LCG
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+/// Full hierarchical span lifecycle (cold-path cost: TLS push/pop, name
+/// join, registry lookup, record).
+void BM_TraceSpan(benchmark::State& state) {
+  obs::SetEnabled(true);
+  for (auto _ : state) {
+    obs::TraceSpan span("bench_span");
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSpan);
+
+void RunScoreBatch(benchmark::State& state, bool obs_on) {
+  const ObsFixture& f = ObsFixture::Get();
+  auto engine = engine::ServingEngine::Create(f.graph, f.model).value();
+  obs::SetEnabled(obs_on);
+  // Untimed warmup so neither side pays first-touch cache misses.
+  CSPM_CHECK(engine.ScoreBatch(f.batch).ok());
+  for (auto _ : state) {
+    auto batch = engine.ScoreBatch(f.batch);
+    CSPM_CHECK(batch.ok());
+    benchmark::DoNotOptimize(batch->data());
+  }
+  obs::SetEnabled(true);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.batch.size()));
+}
+
+/// Instrumented serving hot path (obs live).
+void BM_ScoreBatchObsOn(benchmark::State& state) {
+  RunScoreBatch(state, /*obs_on=*/true);
+}
+BENCHMARK(BM_ScoreBatchObsOn)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// Same path with the runtime toggle off — the CSPM_OBS_OFF stand-in that
+/// lives in the same binary, so the on/off ratio cancels machine speed.
+void BM_ScoreBatchObsOff(benchmark::State& state) {
+  RunScoreBatch(state, /*obs_on=*/false);
+}
+BENCHMARK(BM_ScoreBatchObsOff)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// The gated measurement: every iteration scores the same batch once with
+/// obs on and once with obs off, so slow drift (thermal throttling,
+/// container co-tenants) hits both sides equally instead of biasing
+/// whichever standalone bench ran later. The obs_overhead_ratio counter
+/// (instrumented / obs-off wall time) is what ci/bench_gate.py gates
+/// against BENCH_BASELINE.json max_obs_overhead.
+void BM_ScoreBatchObsOverhead(benchmark::State& state) {
+  const ObsFixture& f = ObsFixture::Get();
+  auto engine = engine::ServingEngine::Create(f.graph, f.model).value();
+  CSPM_CHECK(engine.ScoreBatch(f.batch).ok());  // untimed warmup
+  double on_ns = 0.0;
+  double off_ns = 0.0;
+  for (auto _ : state) {
+    obs::SetEnabled(true);
+    WallTimer on_timer;
+    auto on = engine.ScoreBatch(f.batch);
+    on_ns += static_cast<double>(on_timer.ElapsedNanos());
+    CSPM_CHECK(on.ok());
+    benchmark::DoNotOptimize(on->data());
+    obs::SetEnabled(false);
+    WallTimer off_timer;
+    auto off = engine.ScoreBatch(f.batch);
+    off_ns += static_cast<double>(off_timer.ElapsedNanos());
+    CSPM_CHECK(off.ok());
+    benchmark::DoNotOptimize(off->data());
+  }
+  obs::SetEnabled(true);
+  state.counters["obs_overhead_ratio"] = off_ns > 0.0 ? on_ns / off_ns : 1.0;
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(2 * f.batch.size()));
+}
+BENCHMARK(BM_ScoreBatchObsOverhead)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace cspm::bench
+
+BENCHMARK_MAIN();

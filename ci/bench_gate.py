@@ -24,6 +24,12 @@ the consolidated BENCH_PR.json artifact, and exits non-zero when:
     reported alongside but not gated (bit-identity bounds it, see
     DESIGN.md section 9).
 
+  * (with --obs) the observability instrumentation costs more than
+    baseline `max_obs_overhead` on the serving hot path: bench_obs runs
+    BM_ScoreBatchObsOn and BM_ScoreBatchObsOff in one binary and one run,
+    so the on/off ratio is machine-normalized; 1.02 means the
+    instrumented path must stay within 2% of the obs-off path.
+
 Test hook: --serving-scale N multiplies the measured serving throughput,
 e.g. --serving-scale 0.7 simulates a 30% serving regression and must trip
 the gate (verified in the repo's CI setup notes).
@@ -55,6 +61,8 @@ def main():
                         help="bench_serving JSON output")
     parser.add_argument("--updates", required=True,
                         help="bench_updates JSON output")
+    parser.add_argument("--obs", default=None,
+                        help="bench_obs JSON output (gates max_obs_overhead)")
     parser.add_argument("--baseline", required=True,
                         help="checked-in BENCH_BASELINE.json")
     parser.add_argument("--out", required=True,
@@ -133,6 +141,27 @@ def main():
             f"delta-apply speedup {delta_apply_speedup:.1f}x at 1% dirty "
             f"vertices is below the required "
             f"{baseline['min_delta_apply_speedup']:.1f}x")
+    if args.obs:
+        obs = load_benchmarks(args.obs)
+        obs_on = require(obs, "BM_ScoreBatchObsOn/real_time")
+        obs_off = require(obs, "BM_ScoreBatchObsOff/real_time")
+        # The gated ratio comes from the interleaved bench (obs toggled
+        # on/off within each iteration), not from dividing the two
+        # standalone runs — sequential runs see 3-6% machine noise, which
+        # would swamp a 2% contract. The standalone numbers are reported
+        # for humans.
+        interleaved = require(obs, "BM_ScoreBatchObsOverhead/real_time")
+        obs_overhead = interleaved["obs_overhead_ratio"]
+        report["obs_score_batch_ms_on"] = round(obs_on["real_time"], 3)
+        report["obs_score_batch_ms_off"] = round(obs_off["real_time"], 3)
+        report["obs_overhead_ratio"] = round(obs_overhead, 4)
+        report["max_obs_overhead"] = baseline["max_obs_overhead"]
+        if obs_overhead > baseline["max_obs_overhead"]:
+            failures.append(
+                f"obs instrumentation overhead {obs_overhead:.4f}x on the "
+                f"serving hot path exceeds the allowed "
+                f"{baseline['max_obs_overhead']:.4f}x (overhead contract, "
+                f"DESIGN.md section 11)")
     fast_1 = require(updates, "BM_FastRemine/40/real_time")
     cold_1 = require(updates, "BM_ColdRemine/40/real_time")
     fast_speedup = cold_1["real_time"] / fast_1["real_time"]

@@ -14,6 +14,10 @@ Rules (each maps to a documented convention, see DESIGN.md §10):
   no-using-std     `using namespace std;` is banned everywhere.
   thread-detach    std::thread::detach() is banned — every thread in the
                    codebase is joined (TSan-enforced shutdown discipline).
+  adhoc-timing     std::chrono::*_clock::now() is banned in src/ outside
+                   src/util/ and src/obs/ — timing goes through
+                   cspm::WallTimer so every measurement (including the obs
+                   histograms) reads the same steady clock.
 
 Usage: ci/lint_conventions.py [root]   (exit 1 on any finding)
 """
@@ -25,38 +29,62 @@ import sys
 LINT_DIRS = ("src", "tests", "tools", "bench", "examples", "fuzz")
 EXTENSIONS = {".cc", ".cpp", ".h", ".hpp"}
 
-# (rule, regex, explanation). Patterns are applied line-wise after comment
-# and string stripping, so prose and string literals cannot trip them.
+def adhoc_timing_scope(path: pathlib.Path) -> bool:
+    """src/ only, minus the two layers that own the clock: util/ defines
+    WallTimer and obs/ builds the histograms on it."""
+    posix = path.as_posix()
+    if "src/" not in posix:
+        return False
+    tail = posix.rsplit("src/", 1)[1]
+    return not (tail.startswith("util/") or tail.startswith("obs/"))
+
+
+# (rule, regex, explanation, scope). Patterns are applied line-wise after
+# comment and string stripping, so prose and string literals cannot trip
+# them. `scope` is None (everywhere) or a path predicate.
 RULES = [
     (
         "naked-new",
         re.compile(r"(?<![:\w])new\s+[A-Za-z_:<]"),
         "naked `new`: use std::make_unique / std::make_shared or a container",
+        None,
     ),
     (
         "naked-new",
         re.compile(r"(?<![:\w])delete(\[\])?\s+[A-Za-z_*]"),
         "naked `delete`: owning raw pointers are banned",
+        None,
     ),
     (
         "discarded-ok",
         re.compile(r"^\s*[A-Za-z_][\w.\->()\[\]]*\.ok\(\)\s*;\s*$"),
         "`.ok()` result discarded: handle the Status or drop the call",
+        None,
     ),
     (
         "no-null-macro",
         re.compile(r"(?<![\w.])NULL(?![\w])"),
         "NULL: use nullptr",
+        None,
     ),
     (
         "no-using-std",
         re.compile(r"^\s*using\s+namespace\s+std\s*;"),
         "`using namespace std` is banned",
+        None,
     ),
     (
         "thread-detach",
         re.compile(r"\.detach\s*\(\s*\)"),
         "std::thread::detach(): every thread must be joined",
+        None,
+    ),
+    (
+        "adhoc-timing",
+        re.compile(r"std::chrono::\w+_clock::now"),
+        "ad-hoc clock read: use cspm::WallTimer (util/timer.h) so every "
+        "measurement shares the obs histograms' steady clock",
+        adhoc_timing_scope,
     ),
 ]
 
@@ -95,7 +123,9 @@ def lint_file(path: pathlib.Path) -> list[str]:
             else:
                 line = line[:start] + line[end + 2 :]
         line = strip_noise(line)
-        for rule, pattern, message in RULES:
+        for rule, pattern, message, scope in RULES:
+            if scope is not None and not scope(path):
+                continue
             # An inline `lint:allow <rule>` comment documents a deliberate
             # exception (e.g. a leaky bench singleton) without widening the
             # rule for everyone else.

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <bit>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
 #include "cspm/candidates.h"
 #include "itemset/transaction_db.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -246,6 +249,7 @@ void RecordIteration(const SearchContext& ctx, uint64_t iteration,
 
 // CSPM-Basic main loop (Algorithm 1): full candidate regeneration.
 void RunBasicSearch(const SearchContext& ctx) {
+  obs::TraceSpan merge_loop_span("merge_loop");
   uint64_t iteration = 0;
   for (;;) {
     if (ctx.options->max_iterations &&
@@ -267,12 +271,14 @@ void RunBasicSearch(const SearchContext& ctx) {
     RecordIteration(ctx, iteration, computations, possible, best.gain);
   }
   ctx.stats->iterations = iteration;
+  obs::GetCounter("mine.merges")->Add(iteration);
 }
 
 // CSPM-Partial main loop (Algorithms 3-4): incremental candidate updates
 // through the related-leafset dictionary, from an already seeded store.
 void RunPartialLoop(const SearchContext& ctx, CandidateStore& store,
                     RelatedDict& rdict) {
+  obs::TraceSpan merge_loop_span("merge_loop");
   uint64_t iteration = 0;
   std::vector<LeafsetId> scratch;
   while (!store.empty() && !rdict.empty()) {
@@ -370,6 +376,7 @@ void RunPartialLoop(const SearchContext& ctx, CandidateStore& store,
     RecordIteration(ctx, iteration, computations, possible, gain);
   }
   ctx.stats->iterations = iteration;
+  obs::GetCounter("mine.merges")->Add(iteration);
 }
 
 // Extracts the a-stars of a final database into the model, sorted by
@@ -564,6 +571,7 @@ StatusOr<CspmMiner::MineArtifacts> CspmMiner::ResumeFast(
   // member singleton lines (and f_e) that other split gains read.
   uint64_t computations = 0;
   std::vector<LeafsetId> split_fed;  // singletons the unmerge pass grew
+  std::optional<obs::TraceSpan> unmerge_span(std::in_place, "unmerge");
   bool changed = true;
   while (changed) {
     changed = false;
@@ -606,6 +614,7 @@ StatusOr<CspmMiner::MineArtifacts> CspmMiner::ResumeFast(
       changed = true;
     }
   }
+  unmerge_span.reset();
 
   // Seed: repair scope only. The re-judged pairs are those BOTH of whose
   // members' position lists changed — by the delta patch
@@ -624,6 +633,7 @@ StatusOr<CspmMiner::MineArtifacts> CspmMiner::ResumeFast(
   CandidateStore store;
   RelatedDict rdict;
   {
+    obs::TraceSpan reseed_span("reseed");
     const std::vector<LeafsetId>& actives = idb.active_leafsets();
     const size_t m = actives.size();
     const size_t num_leafsets = idb.leafsets().size();
@@ -711,8 +721,11 @@ StatusOr<CspmMiner::MineArtifacts> CspmMiner::ResumeFast(
 StatusOr<CspmMiner::MineArtifacts> CspmMiner::MineImpl(
     const graph::AttributedGraph& g, WarmState* warm) const {
   WallTimer timer;
+  obs::TraceSpan mine_span("mine");
+  obs::GetCounter("mine.runs")->Add(1);
 
   StatusOr<InvertedDatabase> idb_or = [&]() -> StatusOr<InvertedDatabase> {
+    obs::TraceSpan db_build_span("db_build");
     if (!options_.multi_value_coresets) {
       return InvertedDatabase::FromGraph(g);
     }
@@ -759,9 +772,12 @@ StatusOr<CspmMiner::MineArtifacts> CspmMiner::SearchAndExtract(
     RelatedDict rdict;
     const uint64_t possible = PossiblePairs(idb.num_active_leafsets());
     std::unordered_map<uint64_t, double> next_gains;
-    const uint64_t computations = GenerateCandidates(
-        ctx, dirty != nullptr ? &warm->initial_gains : nullptr, dirty,
-        &store, &rdict, warm != nullptr ? &next_gains : nullptr);
+    const uint64_t computations = [&] {
+      obs::TraceSpan candidate_gen_span("candidate_gen");
+      return GenerateCandidates(
+          ctx, dirty != nullptr ? &warm->initial_gains : nullptr, dirty,
+          &store, &rdict, warm != nullptr ? &next_gains : nullptr);
+    }();
     if (warm != nullptr) warm->initial_gains = std::move(next_gains);
     if (dirty != nullptr && reseed_computations != nullptr) {
       *reseed_computations = computations;

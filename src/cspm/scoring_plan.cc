@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/string_util.h"
 
@@ -16,6 +18,13 @@ constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
 ScoringPlan ScoringPlan::Compile(const CspmModel& model,
                                  size_t num_attribute_values) {
+  // Amortized once per model load / hot swap, but it sits on the serving
+  // critical path, so its latency is first-class.
+  static auto* const compile_hist =
+      obs::GetHistogram("phase.serving.plan_compile");
+  static auto* const compiles = obs::GetCounter("serving.plan_compiles");
+  obs::ScopedPhaseTimer compile_timer(compile_hist);
+  compiles->Add(1);
   ScoringPlan plan;
   plan.num_attrs_ = static_cast<uint32_t>(num_attribute_values);
 

@@ -4,6 +4,8 @@
 #include <mutex>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "store/model_store.h"
 #include "util/string_util.h"
 
@@ -104,6 +106,7 @@ Status ModelRegistry::LoadModel(const std::string& path,
       std::make_shared<const ServableModel>(FromStored(std::move(stored)));
   std::unique_lock lock(mu_);
   models_[name] = std::move(handle);
+  obs::GetGauge("registry.models")->Set(static_cast<double>(models_.size()));
   return Status::OK();
 }
 
@@ -115,19 +118,25 @@ ModelRegistry::Handle ModelRegistry::Put(const std::string& name,
   // the caller may have mutated `model`/`dict` after an earlier compile,
   // and a stale plan would silently serve the old model's scores.
   model.plan = nullptr;
+  obs::ScopedPhaseTimer swap_timer(
+      obs::GetHistogram("phase.registry.hot_swap"));
   model.CompilePlan();
   auto handle = std::make_shared<const ServableModel>(std::move(model));
   std::unique_lock lock(mu_);
   models_[name] = handle;
+  obs::GetGauge("registry.models")->Set(static_cast<double>(models_.size()));
   return handle;
 }
 
 ModelRegistry::Handle ModelRegistry::PutPrecompiled(const std::string& name,
                                                     ServableModel model) {
+  obs::ScopedPhaseTimer swap_timer(
+      obs::GetHistogram("phase.registry.hot_swap"));
   model.CompilePlan();  // no-op when the caller supplied a plan
   auto handle = std::make_shared<const ServableModel>(std::move(model));
   std::unique_lock lock(mu_);
   models_[name] = handle;
+  obs::GetGauge("registry.models")->Set(static_cast<double>(models_.size()));
   return handle;
 }
 
@@ -139,7 +148,9 @@ ModelRegistry::Handle ModelRegistry::Get(const std::string& name) const {
 
 bool ModelRegistry::Remove(const std::string& name) {
   std::unique_lock lock(mu_);
-  return models_.erase(name) > 0;
+  const bool removed = models_.erase(name) > 0;
+  obs::GetGauge("registry.models")->Set(static_cast<double>(models_.size()));
+  return removed;
 }
 
 std::vector<std::string> ModelRegistry::List() const {

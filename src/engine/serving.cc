@@ -4,6 +4,8 @@
 #include <numeric>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace cspm::engine {
@@ -75,6 +77,17 @@ void ServingEngine::ScoreRange(std::span<const graph::VertexId> vertices,
 
 std::vector<core::AttributeScores> ServingEngine::ScoreValidated(
     std::span<const graph::VertexId> vertices) const {
+  // Pre-resolved handles: the whole obs cost per batch is one scoped timer
+  // plus two relaxed adds (plus one timer per shard on the pooled path).
+  static auto* const batch_hist =
+      obs::GetHistogram("phase.serving.score_batch");
+  static auto* const shard_hist =
+      obs::GetHistogram("phase.serving.score_shard");
+  static auto* const batches = obs::GetCounter("serving.batches");
+  static auto* const scored = obs::GetCounter("serving.vertices_scored");
+  obs::ScopedPhaseTimer batch_timer(batch_hist);
+  batches->Add(1);
+  scored->Add(vertices.size());
   std::vector<core::AttributeScores> results(vertices.size());
   const size_t threads = num_threads();
   if (pool_ == nullptr || threads <= 1 || vertices.size() <= 1) {
@@ -92,6 +105,7 @@ std::vector<core::AttributeScores> ServingEngine::ScoreValidated(
   // One dispatcher at a time: concurrent const callers queue here.
   std::lock_guard<std::mutex> lock(*pool_mu_);
   pool_->ParallelFor(num_shards, [&](size_t shard) {
+    obs::ScopedPhaseTimer shard_timer(shard_hist);
     const size_t begin = vertices.size() * shard / num_shards;
     const size_t end = vertices.size() * (shard + 1) / num_shards;
     ScoreRange(vertices, begin, end, &scratches[shard], &results);

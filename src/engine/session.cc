@@ -7,6 +7,8 @@
 #include "cspm/miner.h"
 #include "cspm/serialization.h"
 #include "cspm/verify.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "store/codec.h"
 #include "store/model_store.h"
 #include "util/check.h"
@@ -63,7 +65,14 @@ struct MiningSession::Impl {
   /// Installs `m` as the current model and compiles its plan.
   void SetModel(CspmModel m) {
     model = std::move(m);
-    plan = core::CompileSharedPlan(model, graph->num_attribute_values());
+    {
+      // Nested under whatever phase is active ("phase.update.plan_recompile"
+      // during ApplyUpdates); the flat compile histogram is recorded inside
+      // ScoringPlan::Compile itself.
+      obs::TraceSpan recompile_span("plan_recompile");
+      plan = core::CompileSharedPlan(model, graph->num_attribute_values());
+    }
+    obs::GetGauge("mdl.current_dl_bits")->Set(model.stats.final_dl_bits);
     has_model = true;
     database.reset();
   }
@@ -140,6 +149,14 @@ Status MiningSession::ApplyUpdates(const graph::GraphDelta& delta,
 Status MiningSession::ApplyUpdates(const graph::GraphDelta& delta,
                                    UpdateMode mode, UpdateStats* stats) {
   WallTimer timer;
+  obs::TraceSpan update_span("update");
+  obs::GetCounter("update.deltas")->Add(1);
+  // DL delta per update: the drift signal the streaming ROADMAP item
+  // watches (encoded-length trajectory under live deltas).
+  const auto record_dl_delta = [](const UpdateStats& s) {
+    obs::GetGauge("mdl.last_update_dl_delta_bits")
+        ->Set(s.dl_after_bits - s.dl_before_bits);
+  };
   UpdateStats local;
   UpdateStats& out = stats != nullptr ? *stats : local;
   out = {};
@@ -148,9 +165,14 @@ Status MiningSession::ApplyUpdates(const graph::GraphDelta& delta,
         "ApplyUpdates needs a mined model: Mine() first");
   }
   out.dl_before_bits = impl_->model.stats.final_dl_bits;
-  CSPM_ASSIGN_OR_RETURN(graph::DeltaApplication applied,
-                        graph::ApplyDelta(*impl_->graph, delta));
+  auto applied_or = [&] {
+    obs::TraceSpan graph_patch_span("graph_patch");
+    return graph::ApplyDelta(*impl_->graph, delta);
+  }();
+  if (!applied_or.ok()) return applied_or.status();
+  graph::DeltaApplication applied = std::move(applied_or).value();
   out.dirty_vertices = applied.dirty_vertices.size();
+  obs::GetCounter("update.dirty_vertices")->Add(applied.dirty_vertices.size());
   auto new_graph = std::make_shared<const graph::AttributedGraph>(
       std::move(applied.graph));
 
@@ -167,6 +189,7 @@ Status MiningSession::ApplyUpdates(const graph::GraphDelta& delta,
     }
     out.dl_after_bits = impl_->model.stats.final_dl_bits;
     out.apply_seconds = timer.ElapsedSeconds();
+    record_dl_delta(out);
     return Status::OK();
   }
 
@@ -179,17 +202,23 @@ Status MiningSession::ApplyUpdates(const graph::GraphDelta& delta,
       impl_->options.strategy == Search::kPartial &&
       impl_->warm->final_db.num_coresets() > 0) {
     core::DeltaPatchStats patch;
-    Status patched = impl_->warm->final_db.ApplyDeltaMerged(
-        *impl_->graph, *new_graph, applied.dirty_vertices, &patch);
+    Status patched = [&] {
+      obs::TraceSpan db_patch_span("db_patch");
+      return impl_->warm->final_db.ApplyDeltaMerged(
+          *impl_->graph, *new_graph, applied.dirty_vertices, &patch);
+    }();
     if (!patched.ok()) {
       impl_->warm.reset();
       return patched;
     }
     core::FastResumeStats fast;
-    auto artifacts_or = miner.ResumeFast(
-        *new_graph, impl_->warm.get(), patch,
-        /*all_dirty=*/applied.attributes_changed,
-        /*want_database=*/impl_->options.keep_database, &fast);
+    auto artifacts_or = [&] {
+      obs::TraceSpan resume_span("resume");
+      return miner.ResumeFast(
+          *new_graph, impl_->warm.get(), patch,
+          /*all_dirty=*/applied.attributes_changed,
+          /*want_database=*/impl_->options.keep_database, &fast);
+    }();
     if (!artifacts_or.ok()) {
       // final_db was already patched (and possibly half-repaired); drop
       // the warm state so a later ApplyUpdates takes the cold path.
@@ -205,45 +234,54 @@ Status MiningSession::ApplyUpdates(const graph::GraphDelta& delta,
     out.fast_path = true;
     out.split_undos = fast.splits;
     out.reseeded_pairs = fast.seeded_pairs;
+    obs::GetCounter("update.unmerge_splits")->Add(fast.splits);
+    obs::GetCounter("update.reseeded_pairs")->Add(fast.seeded_pairs);
     impl_->graph = std::move(new_graph);
     impl_->SetArtifacts(std::move(artifacts_or).value());
     out.dl_after_bits = impl_->model.stats.final_dl_bits;
     out.apply_seconds = timer.ElapsedSeconds();
+    record_dl_delta(out);
     return Status::OK();
   }
 
   core::DirtyCandidates dirty;
-  if (impl_->exact_warm_stale) {
-    // Fast updates left initial_db describing an older graph. Rebuild it
-    // pristine for the new graph and re-seed every candidate: the exact
-    // path is then in exactly the state a cold MineWithWarmState would
-    // produce, so its bit-identity contract holds unconditionally.
-    auto rebuilt_or = core::InvertedDatabase::FromGraph(*new_graph);
-    if (!rebuilt_or.ok()) {
-      impl_->warm.reset();
+  {
+    obs::TraceSpan db_patch_span("db_patch");
+    if (impl_->exact_warm_stale) {
+      // Fast updates left initial_db describing an older graph. Rebuild it
+      // pristine for the new graph and re-seed every candidate: the exact
+      // path is then in exactly the state a cold MineWithWarmState would
+      // produce, so its bit-identity contract holds unconditionally.
+      auto rebuilt_or = core::InvertedDatabase::FromGraph(*new_graph);
+      if (!rebuilt_or.ok()) {
+        impl_->warm.reset();
+        impl_->exact_warm_stale = false;
+        return rebuilt_or.status();
+      }
+      impl_->warm->initial_db = std::move(rebuilt_or).value();
+      impl_->warm->initial_gains.clear();
       impl_->exact_warm_stale = false;
-      return rebuilt_or.status();
-    }
-    impl_->warm->initial_db = std::move(rebuilt_or).value();
-    impl_->warm->initial_gains.clear();
-    impl_->exact_warm_stale = false;
-    dirty.all_dirty = true;
-  } else {
-    core::DeltaPatchStats patch;
-    CSPM_RETURN_IF_ERROR(impl_->warm->initial_db.ApplyDelta(
-        *impl_->graph, *new_graph, applied.dirty_vertices, &patch));
-    dirty.all_dirty = applied.attributes_changed;
-    if (!dirty.all_dirty) {
-      dirty.pair_keys = core::CollectDirtyCandidatePairs(
-          *impl_->graph, *new_graph, applied.dirty_vertices,
-          patch.dirty_cores);
-      out.dirty_pairs = dirty.pair_keys.size();
+      dirty.all_dirty = true;
+    } else {
+      core::DeltaPatchStats patch;
+      CSPM_RETURN_IF_ERROR(impl_->warm->initial_db.ApplyDelta(
+          *impl_->graph, *new_graph, applied.dirty_vertices, &patch));
+      dirty.all_dirty = applied.attributes_changed;
+      if (!dirty.all_dirty) {
+        dirty.pair_keys = core::CollectDirtyCandidatePairs(
+            *impl_->graph, *new_graph, applied.dirty_vertices,
+            patch.dirty_cores);
+        out.dirty_pairs = dirty.pair_keys.size();
+        obs::GetCounter("update.dirty_pairs")->Add(dirty.pair_keys.size());
+      }
     }
   }
 
   uint64_t reseeded = 0;
-  auto artifacts_or =
-      miner.ResumeWarm(*new_graph, impl_->warm.get(), dirty, &reseeded);
+  auto artifacts_or = [&] {
+    obs::TraceSpan resume_span("resume");
+    return miner.ResumeWarm(*new_graph, impl_->warm.get(), dirty, &reseeded);
+  }();
   if (!artifacts_or.ok()) {
     // The warm database was already patched; drop it so a later
     // ApplyUpdates takes the cold path instead of compounding on a state
@@ -253,6 +291,7 @@ Status MiningSession::ApplyUpdates(const graph::GraphDelta& delta,
     return artifacts_or.status();
   }
   out.reseeded_pairs = reseeded;
+  obs::GetCounter("update.reseeded_pairs")->Add(reseeded);
   out.warm_path = true;
   // Swap the graph before SetModel: the plan compiles against the new
   // attribute space.
@@ -260,6 +299,7 @@ Status MiningSession::ApplyUpdates(const graph::GraphDelta& delta,
   impl_->SetArtifacts(std::move(artifacts_or).value());
   out.dl_after_bits = impl_->model.stats.final_dl_bits;
   out.apply_seconds = timer.ElapsedSeconds();
+  record_dl_delta(out);
   return Status::OK();
 }
 

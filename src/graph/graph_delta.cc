@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "graph/validate.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/rng.h"
 #include "util/string_util.h"
@@ -262,6 +263,11 @@ StatusOr<DeltaApplication> GraphDeltaApplier::Apply(const AttributedGraph& g,
   out.dirty_vertices = std::move(dirty);
   out.graph = std::move(g2);
   CSPM_DCHECK_OK(CheckInvariants(out.graph));
+  // Counted only once the delta validated: rejected deltas mutate nothing.
+  obs::GetCounter("graph.deltas_applied")->Add(1);
+  obs::GetCounter("graph.edges_added")->Add(added_pairs.size());
+  obs::GetCounter("graph.edges_removed")->Add(removed_pairs.size());
+  obs::GetCounter("graph.dirty_vertices")->Add(out.dirty_vertices.size());
   return out;
 }
 

@@ -1,0 +1,235 @@
+// Process-wide metrics: named counters, gauges, and latency histograms.
+//
+// Design contract (DESIGN.md §11):
+//  * Hot-path cost is one relaxed fetch_add on a thread-local shard — no
+//    locks, no allocation, TSan-clean by construction.
+//  * Snapshots merge the shards; they are lock-free reads of relaxed
+//    atomics, so a snapshot taken mid-write is internally consistent per
+//    cell but may trail in-flight increments by design.
+//  * Compile-out: building with -DCSPM_OBS_OFF turns Enabled() into a
+//    compile-time `false`, so every Add/Record body dead-code-eliminates.
+//  * Runtime toggle: without the macro, Enabled() is a relaxed load of a
+//    process-global flag (initialised from the CSPM_OBS_OFF environment
+//    variable) so one binary can measure its own instrumentation overhead.
+#ifndef CSPM_OBS_METRICS_H_
+#define CSPM_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cspm::obs {
+
+/// Number of cache-line-padded shards per metric. Eight covers the thread
+/// counts this engine runs at; excess threads hash onto shared shards and
+/// still only pay a relaxed fetch_add.
+inline constexpr std::size_t kShards = 8;
+
+/// Histogram buckets: bucket b holds values with bit_width b, i.e. bucket 0
+/// is {0} and bucket b >= 1 covers [2^(b-1), 2^b). 40 buckets of
+/// nanoseconds reach 2^39 ns (~9 minutes); longer values clamp into the
+/// last bucket.
+inline constexpr std::size_t kHistogramBuckets = 40;
+
+#ifdef CSPM_OBS_OFF
+/// Compiled out: constant false so instrumentation bodies are eliminated.
+constexpr bool Enabled() { return false; }
+inline void SetEnabled(bool /*on*/) {}
+#else
+namespace internal {
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+
+/// True when instrumentation is live. One relaxed load; the branch it
+/// guards is perfectly predicted in steady state.
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Runtime toggle (bench_obs measures on-vs-off in a single binary; the
+/// CSPM_OBS_OFF environment variable sets the initial state).
+inline void SetEnabled(bool on) {
+  internal::g_enabled.store(on, std::memory_order_relaxed);
+}
+#endif
+
+namespace internal {
+/// Stable per-thread shard index in [0, kShards).
+unsigned AssignThreadShard();
+
+inline unsigned ThreadShard() {
+  thread_local const unsigned shard = AssignThreadShard();
+  return shard;
+}
+}  // namespace internal
+
+/// Monotonic event counter, sharded per thread.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    if (!Enabled()) return;
+    cells_[internal::ThreadShard()].v.fetch_add(delta,
+                                                std::memory_order_relaxed);
+  }
+
+  /// Sum across shards (relaxed; exact once writers are quiescent).
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (Cell& cell : cells_) {
+      cell.v.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  std::array<Cell, kShards> cells_{};
+};
+
+/// Last-write-wins instantaneous value (DL bits, WAL chain length, ...).
+/// Gauges are written from already-serialised sections, so a single atomic
+/// double is enough.
+class Gauge {
+ public:
+  void Set(double value) {
+    if (!Enabled()) return;
+    v_.store(value, std::memory_order_relaxed);
+  }
+
+  double Value() const { return v_.load(std::memory_order_relaxed); }
+
+  void Reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket latency histogram over nanoseconds. Buckets are powers of
+/// two (index = bit_width of the value), so Record() is a shift plus two
+/// relaxed adds; quantiles are reconstructed on snapshot with linear
+/// interpolation inside the winning bucket.
+class Histogram {
+ public:
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum_ns = 0;
+    uint64_t min_ns = 0;
+    uint64_t max_ns = 0;
+    double p50_ns = 0.0;
+    double p90_ns = 0.0;
+    double p99_ns = 0.0;
+  };
+
+  void Record(uint64_t ns) {
+    if (!Enabled()) return;
+    Shard& shard = shards_[internal::ThreadShard()];
+    shard.buckets[BucketIndex(ns)].fetch_add(1, std::memory_order_relaxed);
+    shard.sum_ns.fetch_add(ns, std::memory_order_relaxed);
+    RelaxedMin(min_ns_, ns);
+    RelaxedMax(max_ns_, ns);
+  }
+
+  Snapshot Snap() const;
+
+  void Reset();
+
+  static std::size_t BucketIndex(uint64_t ns) {
+    const auto width = static_cast<std::size_t>(std::bit_width(ns));
+    return width < kHistogramBuckets ? width : kHistogramBuckets - 1;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets{};
+    std::atomic<uint64_t> sum_ns{0};
+  };
+
+  static void RelaxedMin(std::atomic<uint64_t>& slot, uint64_t v) {
+    uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  static void RelaxedMax(std::atomic<uint64_t>& slot, uint64_t v) {
+    uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::array<Shard, kShards> shards_{};
+  std::atomic<uint64_t> min_ns_{UINT64_MAX};
+  std::atomic<uint64_t> max_ns_{0};
+};
+
+/// Process-wide registry. Metrics are created on first use and live for the
+/// process lifetime, so the pointers handed out are stable and call sites
+/// cache them in function-local statics.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  /// Structured snapshot for in-process consumers (the shell's `metrics`
+  /// table); names come out sorted because the maps are ordered.
+  struct Snapshot {
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+  };
+  Snapshot Snap() const;
+
+  /// One-line JSON with a stable schema (DESIGN.md §11):
+  ///   {"counters":{...},"gauges":{...},"histograms":{"name":
+  ///     {"count":..,"sum_ns":..,"min_ns":..,"max_ns":..,
+  ///      "p50_ns":..,"p90_ns":..,"p99_ns":..}}}
+  /// Keys are sorted; zero-count histograms are kept so consumers see the
+  /// full registered surface.
+  std::string SnapshotJson() const;
+
+  /// Zeroes every value in place; registered pointers stay valid. Safe to
+  /// race with writers (relaxed stores on the same atomics).
+  void Reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Shorthands for the common "cache in a function-local static" pattern.
+inline Counter* GetCounter(std::string_view name) {
+  return MetricsRegistry::Global().GetCounter(name);
+}
+inline Gauge* GetGauge(std::string_view name) {
+  return MetricsRegistry::Global().GetGauge(name);
+}
+inline Histogram* GetHistogram(std::string_view name) {
+  return MetricsRegistry::Global().GetHistogram(name);
+}
+
+}  // namespace cspm::obs
+
+#endif  // CSPM_OBS_METRICS_H_

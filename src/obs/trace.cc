@@ -1,0 +1,42 @@
+#include "obs/trace.h"
+
+#ifndef CSPM_OBS_OFF
+
+#include <string>
+#include <vector>
+
+namespace cspm::obs {
+
+namespace {
+
+/// Per-thread span path; nested TraceSpans on one thread stack up here and
+/// the destructor joins the path into the histogram name.
+std::vector<const char*>& ThreadSpanPath() {
+  thread_local std::vector<const char*> path;
+  return path;
+}
+
+}  // namespace
+
+TraceSpan::TraceSpan(const char* name) : active_(Enabled()) {
+  if (!active_) return;
+  ThreadSpanPath().push_back(name);
+  timer_.Reset();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  const uint64_t ns = timer_.ElapsedNanos();
+  std::vector<const char*>& path = ThreadSpanPath();
+  std::string name = "phase";
+  for (const char* part : path) {
+    name += '.';
+    name += part;
+  }
+  path.pop_back();
+  GetHistogram(name)->Record(ns);
+}
+
+}  // namespace cspm::obs
+
+#endif  // CSPM_OBS_OFF

@@ -1,0 +1,80 @@
+// Scoped phase timers feeding the metrics registry.
+//
+// Two tiers (DESIGN.md §11):
+//  * TraceSpan — hierarchical: nested spans on one thread join their names
+//    with '.' under a "phase." prefix ("phase.update.reseed"), so the call
+//    structure defines the taxonomy. The destructor does a registry lookup
+//    and a small string build — cold and warm phases only, never per-vertex.
+//  * ScopedPhaseTimer — flat: takes a pre-resolved Histogram*, so the whole
+//    cost is one clock read at each end plus Histogram::Record. Use on hot
+//    paths with context-independent names ("phase.serving.score_batch").
+//
+// Both share util/timer.h WallTimer and become no-ops when obs is disabled
+// (runtime flag, or entirely under -DCSPM_OBS_OFF).
+#ifndef CSPM_OBS_TRACE_H_
+#define CSPM_OBS_TRACE_H_
+
+#include "obs/metrics.h"
+#include "util/timer.h"
+
+namespace cspm::obs {
+
+#ifdef CSPM_OBS_OFF
+
+/// Compiled out: empty bodies, no clock reads, zero residue.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* /*name*/) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+};
+
+class ScopedPhaseTimer {
+ public:
+  explicit ScopedPhaseTimer(Histogram* /*hist*/) {}
+  ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+  ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+};
+
+#else
+
+/// Hierarchical scoped timer. `name` must outlive the span (string
+/// literals in practice).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  bool active_;
+  WallTimer timer_;
+};
+
+/// Flat scoped timer onto a pre-resolved histogram. Cache the histogram in
+/// a function-local static:
+///   static auto* hist = obs::GetHistogram("phase.serving.score_batch");
+///   obs::ScopedPhaseTimer t(hist);
+class ScopedPhaseTimer {
+ public:
+  explicit ScopedPhaseTimer(Histogram* hist)
+      : hist_(Enabled() ? hist : nullptr) {}
+  ~ScopedPhaseTimer() {
+    if (hist_ != nullptr) hist_->Record(timer_.ElapsedNanos());
+  }
+
+  ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+  ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  WallTimer timer_;
+};
+
+#endif  // CSPM_OBS_OFF
+
+}  // namespace cspm::obs
+
+#endif  // CSPM_OBS_TRACE_H_

@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "graph/validate.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "store/codec.h"
 #include "util/string_util.h"
 
@@ -186,6 +188,9 @@ void ModelStore::DropWalChains(Entry* entry) {
 Status ModelStore::AppendDelta(const std::string& name,
                                const graph::GraphDelta& delta,
                                WalDeltaMode mode) {
+  static auto* const append_hist =
+      obs::GetHistogram("phase.store.wal_append");
+  obs::ScopedPhaseTimer append_timer(append_hist);
   auto it = catalog_.find(name);
   if (it == catalog_.end()) {
     return Status::NotFound("no model named '" + name + "' in " +
@@ -205,6 +210,10 @@ Status ModelStore::AppendDelta(const std::string& name,
     // Roll the orphaned chain back into the free list (best-effort, like
     // Put): otherwise every failed append permanently bloats the file.
     (void)pager_.FreeChain(rec.head);
+  } else {
+    obs::GetCounter("store.wal_appends")->Add(1);
+    obs::GetGauge("store.wal_chain_len")
+        ->Set(static_cast<double>(it->second.wal.size()));
   }
   return committed;
 }
@@ -215,6 +224,9 @@ StatusOr<ModelStore::WalReplay> ModelStore::ReadWal(const std::string& name) {
     return Status::NotFound("no model named '" + name + "' in " +
                             pager_.path());
   }
+  static auto* const replay_hist =
+      obs::GetHistogram("phase.store.wal_replay");
+  obs::ScopedPhaseTimer replay_timer(replay_hist);
   WalReplay replay;
   const std::vector<WalRecord>& wal = it->second.wal;
   for (size_t i = 0; i < wal.size(); ++i) {
@@ -254,6 +266,7 @@ StatusOr<ModelStore::WalReplay> ModelStore::ReadWal(const std::string& name) {
     replay.deltas.push_back(std::move(delta_or).value());
     replay.modes.push_back(mode);
   }
+  obs::GetCounter("store.wal_replayed_records")->Add(replay.deltas.size());
   return replay;
 }
 

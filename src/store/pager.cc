@@ -8,6 +8,8 @@
 #include <cstring>
 #include <filesystem>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/crc32.h"
 #include "util/string_util.h"
 
@@ -120,6 +122,8 @@ StatusOr<Pager> Pager::Open(const std::string& path) {
 }
 
 Status Pager::ReadRawPage(uint32_t page_id, char* out) {
+  static auto* const page_reads = obs::GetCounter("store.page_reads");
+  page_reads->Add(1);
   if (!file_.is_open()) {
     return Status::Internal(
         StrFormat("page %u requested but store %s has no committed image",
@@ -140,6 +144,7 @@ Status Pager::ValidateRawPage(uint32_t page_id, const char* raw,
   const uint32_t stored_crc = GetU32(raw);
   const uint32_t actual_crc = Crc32(raw + 4, kPageSize - 4);
   if (stored_crc != actual_crc) {
+    obs::GetCounter("store.crc_failures")->Add(1);
     return Status::IOError(StrFormat("page %u checksum mismatch in %s "
                                      "(corrupt store file)",
                                      page_id, path_.c_str()));
@@ -213,6 +218,9 @@ void Pager::FreePage(uint32_t page_id) {
 }
 
 StatusOr<uint32_t> Pager::WriteChain(std::string_view bytes) {
+  static auto* const write_hist =
+      obs::GetHistogram("phase.store.write_chain");
+  obs::ScopedPhaseTimer write_timer(write_hist);
   uint32_t head = kNoPage;
   Page* prev = nullptr;
   size_t offset = 0;
@@ -234,6 +242,8 @@ StatusOr<uint32_t> Pager::WriteChain(std::string_view bytes) {
 }
 
 StatusOr<std::string> Pager::ReadChain(uint32_t head) {
+  static auto* const read_hist = obs::GetHistogram("phase.store.read_chain");
+  obs::ScopedPhaseTimer read_timer(read_hist);
   std::string out;
   uint32_t id = head;
   uint32_t visited = 0;
@@ -286,6 +296,10 @@ Status Pager::FreeChain(uint32_t head) {
 }
 
 Status Pager::Commit() {
+  static auto* const commit_hist = obs::GetHistogram("phase.store.commit");
+  static auto* const pages_written = obs::GetCounter("store.pages_written");
+  obs::ScopedPhaseTimer commit_timer(commit_hist);
+  pages_written->Add(num_pages_);
   const std::string tmp_path = path_ + ".tmp";
   std::FILE* out = std::fopen(tmp_path.c_str(), "wb");
   if (out == nullptr) {

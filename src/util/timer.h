@@ -3,6 +3,7 @@
 #define CSPM_UTIL_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace cspm {
 
@@ -21,6 +22,15 @@ class WallTimer {
 
   /// Elapsed milliseconds.
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed whole nanoseconds — the unit of every obs/ histogram, so all
+  /// instrumentation timing funnels through this one clock.
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

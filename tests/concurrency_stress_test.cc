@@ -19,6 +19,7 @@
 #include "engine/session.h"
 #include "graph/generators.h"
 #include "graph/graph_delta.h"
+#include "obs/metrics.h"
 #include "testing_util.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -192,6 +193,105 @@ TEST(ServingStress, ScoreBatchAcrossEnginesDuringHotSwap) {
   for (std::thread& t : scorers) t.join();
   EXPECT_EQ(failures.load(), 0);
   EXPECT_GT(batches.load(), 0);
+}
+
+// --- obs under concurrency ------------------------------------------------
+
+TEST(ObsStress, ConcurrentIncrementsAreExactOnceWritersJoin) {
+  obs::Counter* counter = obs::GetCounter("stress.obs.counter");
+  obs::Histogram* hist = obs::GetHistogram("stress.obs.hist");
+  counter->Reset();
+  hist->Reset();
+  constexpr int kWriters = 6;
+  constexpr uint64_t kPerWriter = 50000;
+  std::atomic<bool> stop_reader{false};
+  // The reader snapshots mid-write: counts may trail in-flight increments
+  // but must never exceed the writers' total or go backwards.
+  std::thread reader([&] {
+    uint64_t last = 0;
+    while (!stop_reader.load(std::memory_order_acquire)) {
+      const uint64_t now = counter->Value();
+      EXPECT_GE(now, last);
+      EXPECT_LE(now, kWriters * kPerWriter);
+      last = now;
+      (void)hist->Snap();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        counter->Add(1);
+        hist->Record((i % 1024) + static_cast<uint64_t>(t));
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  stop_reader.store(true, std::memory_order_release);
+  reader.join();
+  if (obs::Enabled()) {
+    EXPECT_EQ(counter->Value(), kWriters * kPerWriter);
+    EXPECT_EQ(hist->Snap().count, kWriters * kPerWriter);
+  } else {
+    EXPECT_EQ(counter->Value(), 0u);
+  }
+}
+
+TEST(ObsStress, SnapshotJsonRacesServingAndHotSwap) {
+  auto shared_graph =
+      std::make_shared<const graph::AttributedGraph>(StressGraph(37));
+  engine::MiningOptions options;
+  options.enable_updates = true;
+  auto session = engine::MiningSession::Create(shared_graph, options);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session->Mine().ok());
+  engine::ModelRegistry registry;
+  ASSERT_TRUE(session->Publish(registry, "live").ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> snapshots{0};
+  // Snapshotters race the instrumented hot paths (ScoreBatch's timers and
+  // counters, Publish's hot-swap histogram): a torn read here is exactly
+  // what the relaxed-atomics contract must rule out under TSan.
+  std::vector<std::thread> snapshotters;
+  for (int t = 0; t < 2; ++t) {
+    snapshotters.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::string json = obs::MetricsRegistry::Global().SnapshotJson();
+        EXPECT_FALSE(json.empty());
+        EXPECT_EQ(json.front(), '{');
+        EXPECT_EQ(json.back(), '}');
+        snapshots.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::thread scorer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      engine::ModelRegistry::Handle h = registry.Get("live");
+      if (h == nullptr) continue;
+      engine::ServingOptions serve_options;
+      serve_options.num_threads = 2;
+      auto engine = h->Serve(serve_options);
+      if (!engine.ok()) continue;
+      std::vector<graph::VertexId> batch;
+      for (uint32_t v = 0; v < h->graph->num_vertices().value(); v += 11) {
+        batch.push_back(graph::VertexId(v));
+      }
+      (void)engine->ScoreBatch(batch);
+    }
+  });
+  for (int update = 0; update < 4; ++update) {
+    auto delta = graph::MakeRandomEdgeRewires(
+        session->graph(), /*num_ops=*/3,
+        /*seed=*/100 + static_cast<uint64_t>(update));
+    ASSERT_TRUE(delta.ok());
+    ASSERT_TRUE(session->ApplyUpdates(*delta).ok());
+    ASSERT_TRUE(session->Publish(registry, "live").ok());
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : snapshotters) t.join();
+  scorer.join();
+  EXPECT_GT(snapshots.load(), 0);
 }
 
 // --- parallel gain evaluation under contention ----------------------------

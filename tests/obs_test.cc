@@ -1,0 +1,235 @@
+// Tests for the obs/ metrics registry and phase tracing: counter and
+// histogram correctness, quantile accuracy against exact percentiles,
+// snapshot-while-writing consistency, and the runtime enable toggle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace cspm::obs {
+namespace {
+
+#ifndef CSPM_OBS_OFF
+
+TEST(ObsCounterTest, SameNameSamePointer) {
+  Counter* a = GetCounter("test.counter.identity");
+  Counter* b = GetCounter("test.counter.identity");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, GetCounter("test.counter.other"));
+}
+
+TEST(ObsCounterTest, AddAccumulatesAcrossResets) {
+  Counter* c = GetCounter("test.counter.add");
+  c->Reset();
+  EXPECT_EQ(c->Value(), 0u);
+  c->Add();
+  c->Add(41);
+  EXPECT_EQ(c->Value(), 42u);
+  c->Reset();
+  EXPECT_EQ(c->Value(), 0u);
+}
+
+TEST(ObsGaugeTest, SetIsLastWriteWins) {
+  Gauge* g = GetGauge("test.gauge.set");
+  g->Set(1.5);
+  EXPECT_DOUBLE_EQ(g->Value(), 1.5);
+  g->Set(-3.25);
+  EXPECT_DOUBLE_EQ(g->Value(), -3.25);
+}
+
+TEST(ObsHistogramTest, BucketIndexBoundaries) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex((uint64_t{1} << 38)), 39u);
+  // Values past the top bucket clamp instead of indexing out of range.
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX), kHistogramBuckets - 1);
+}
+
+TEST(ObsHistogramTest, CountSumMinMax) {
+  Histogram* h = GetHistogram("test.hist.basic");
+  h->Reset();
+  h->Record(100);
+  h->Record(200);
+  h->Record(700);
+  const Histogram::Snapshot snap = h->Snap();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.sum_ns, 1000u);
+  EXPECT_EQ(snap.min_ns, 100u);
+  EXPECT_EQ(snap.max_ns, 700u);
+  EXPECT_GE(snap.p50_ns, snap.min_ns);
+  EXPECT_LE(snap.p99_ns, snap.max_ns);
+}
+
+TEST(ObsHistogramTest, QuantilesWithinFactorTwoOfExactPercentiles) {
+  // Power-of-two buckets put the estimate in the same bucket as the exact
+  // rank value, so estimate / exact is bounded by the bucket width (2x).
+  Histogram* h = GetHistogram("test.hist.quantiles");
+  h->Reset();
+  Rng rng(1234);
+  std::vector<uint64_t> values;
+  values.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    // Log-uniform over ~[256ns, 16ms]: every magnitude the engine's spans
+    // actually cover.
+    const double e = 8.0 + 16.0 * rng.UniformDouble();
+    values.push_back(static_cast<uint64_t>(std::pow(2.0, e)));
+  }
+  for (uint64_t v : values) h->Record(v);
+  std::sort(values.begin(), values.end());
+  const Histogram::Snapshot snap = h->Snap();
+  ASSERT_EQ(snap.count, values.size());
+  const auto exact = [&](double q) {
+    return static_cast<double>(
+        values[static_cast<size_t>(q * static_cast<double>(values.size() - 1))]);
+  };
+  for (const auto& [est, q] : {std::pair{snap.p50_ns, 0.50},
+                               std::pair{snap.p90_ns, 0.90},
+                               std::pair{snap.p99_ns, 0.99}}) {
+    EXPECT_GE(est, exact(q) / 2.0) << "q=" << q;
+    EXPECT_LE(est, exact(q) * 2.0) << "q=" << q;
+  }
+}
+
+TEST(ObsHistogramTest, SnapshotWhileWritingIsMonotonicAndConvergent) {
+  Histogram* h = GetHistogram("test.hist.concurrent");
+  h->Reset();
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPerWriter = 20000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&] {
+      for (uint64_t i = 0; i < kPerWriter; ++i) h->Record(i % 4096);
+    });
+  }
+  std::thread reader([&] {
+    uint64_t last = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const Histogram::Snapshot snap = h->Snap();
+      EXPECT_GE(snap.count, last);  // merged counts never go backwards
+      EXPECT_LE(snap.count, kWriters * kPerWriter);
+      last = snap.count;
+    }
+  });
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(h->Snap().count, kWriters * kPerWriter);
+}
+
+TEST(ObsRegistryTest, SnapshotJsonHasStableSchema) {
+  GetCounter("test.json.counter")->Add(7);
+  GetGauge("test.json.gauge")->Set(2.5);
+  GetHistogram("test.json.hist")->Record(1000);
+  const std::string json = MetricsRegistry::Global().SnapshotJson();
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_EQ(json.find('\n'), std::string::npos) << "snapshot must be 1 line";
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.counter\":"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.gauge\":2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.hist\":{\"count\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p50_ns\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99_ns\":"), std::string::npos);
+}
+
+TEST(ObsTraceTest, NestedSpansJoinNamesWithDots) {
+  Histogram* outer = GetHistogram("phase.obs_test_outer");
+  Histogram* inner = GetHistogram("phase.obs_test_outer.inner");
+  outer->Reset();
+  inner->Reset();
+  {
+    TraceSpan span_outer("obs_test_outer");
+    TraceSpan span_inner("inner");
+  }
+  EXPECT_EQ(outer->Snap().count, 1u);
+  EXPECT_EQ(inner->Snap().count, 1u);
+  // Sibling span after the nest: path must have been popped correctly.
+  {
+    TraceSpan span_outer("obs_test_outer");
+  }
+  EXPECT_EQ(outer->Snap().count, 2u);
+  EXPECT_EQ(inner->Snap().count, 1u);
+}
+
+TEST(ObsTraceTest, ScopedPhaseTimerRecordsElapsed) {
+  Histogram* h = GetHistogram("test.scoped.timer");
+  h->Reset();
+  {
+    ScopedPhaseTimer t(h);
+  }
+  const Histogram::Snapshot snap = h->Snap();
+  EXPECT_EQ(snap.count, 1u);
+}
+
+TEST(ObsEnableToggleTest, DisabledMeansNoWrites) {
+  Counter* c = GetCounter("test.toggle.counter");
+  Histogram* h = GetHistogram("test.toggle.hist");
+  c->Reset();
+  h->Reset();
+  SetEnabled(false);
+  c->Add(5);
+  h->Record(100);
+  {
+    TraceSpan span("toggle_span");
+    ScopedPhaseTimer t(h);
+  }
+  SetEnabled(true);
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(h->Snap().count, 0u);
+  c->Add(5);
+  EXPECT_EQ(c->Value(), 5u);
+}
+
+#else  // CSPM_OBS_OFF
+
+TEST(ObsCompiledOutTest, EverythingIsANoOp) {
+  EXPECT_FALSE(Enabled());
+  Counter* c = GetCounter("test.off.counter");
+  c->Add(5);
+  EXPECT_EQ(c->Value(), 0u);
+  Histogram* h = GetHistogram("test.off.hist");
+  h->Record(100);
+  EXPECT_EQ(h->Snap().count, 0u);
+  {
+    TraceSpan span("off_span");
+    ScopedPhaseTimer t(h);
+  }
+  EXPECT_EQ(h->Snap().count, 0u);
+}
+
+#endif  // CSPM_OBS_OFF
+
+TEST(ObsTimerTest, ElapsedNanosTracksTheSameClock) {
+  WallTimer timer;
+  const uint64_t a = timer.ElapsedNanos();
+  // Burn a little real time so the clock visibly advances.
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + static_cast<uint64_t>(i);
+  const uint64_t b = timer.ElapsedNanos();
+  EXPECT_GE(b, a);
+  EXPECT_GT(b, 0u);
+  const double secs = timer.ElapsedSeconds();
+  EXPECT_GE(secs * 1e9, static_cast<double>(b) * 0.5);
+}
+
+}  // namespace
+}  // namespace cspm::obs

@@ -36,6 +36,7 @@
 #include "engine/session.h"
 #include "graph/generators.h"
 #include "graph/graph_delta.h"
+#include "obs/metrics.h"
 #include "store/model_store.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -93,7 +94,10 @@ void PrintHelp() {
       "  replay <name>            rebuild <name> from its store snapshot and\n"
       "                           re-apply its pending WAL deltas, each in\n"
       "                           the mode it was originally applied with\n"
-      "  stats                    mining statistics of the current model\n"
+      "  stats [--json]           mining statistics of the current model\n"
+      "  metrics [--json]         process-wide metrics: counters, gauges,\n"
+      "                           and phase-latency histograms (p50/p99);\n"
+      "                           --json emits the stable one-line schema\n"
       "  fsck <path>              deep-verify a store file: page-chain\n"
       "                           ownership, catalog consistency, record and\n"
       "                           WAL decodability (beyond the page CRCs)\n"
@@ -101,7 +105,25 @@ void PrintHelp() {
       "  exit | quit | .exit      leave\n"
       "\n"
       "score and score-all shard across --threads N workers (0 = auto;\n"
-      "results are identical at any thread count).\n");
+      "results are identical at any thread count). Every command's latency\n"
+      "feeds a shell.cmd.* histogram, so `metrics` shows this session's\n"
+      "own command timing profile.\n");
+}
+
+/// "N a-stars, DL A -> B bits (+D)" — the model summary fragment every
+/// command prints; mine, update, replay, and stats all funnel through it
+/// so the numbers render identically everywhere.
+std::string DlSummary(size_t astars, double before_bits, double after_bits) {
+  return StrFormat("%zu a-stars, DL %.1f -> %.1f bits (%+.1f)", astars,
+                   before_bits, after_bits, after_bits - before_bits);
+}
+
+/// Scales a nanosecond quantity into a human unit for the metrics table.
+std::string FormatNanos(double ns) {
+  if (ns >= 1e9) return StrFormat("%.2fs", ns / 1e9);
+  if (ns >= 1e6) return StrFormat("%.2fms", ns / 1e6);
+  if (ns >= 1e3) return StrFormat("%.2fus", ns / 1e3);
+  return StrFormat("%.0fns", ns);
 }
 
 Status RequireStore(const Shell& sh) {
@@ -196,11 +218,12 @@ Status CmdMine(Shell& sh, const std::vector<std::string>& args) {
       MineAndPublish(sh, std::move(graph_or).value(), args[1]));
   const auto& m = sh.current->model;
   std::printf(
-      "mined %s: %u vertices, %llu edges, %zu a-stars, DL %.1f -> %.1f bits "
-      "(%.3fs)\n",
-      args[1].c_str(), sh.current->graph->num_vertices().value(),
+      "mined %s: %u vertices, %llu edges, %s (%.3fs)\n", args[1].c_str(),
+      sh.current->graph->num_vertices().value(),
       static_cast<unsigned long long>(sh.current->graph->num_edges()),
-      m.astars.size(), m.stats.initial_dl_bits, m.stats.final_dl_bits,
+      DlSummary(m.astars.size(), m.stats.initial_dl_bits,
+                m.stats.final_dl_bits)
+          .c_str(),
       m.stats.runtime_seconds);
   return Status::OK();
 }
@@ -284,9 +307,9 @@ Status CmdUpdate(Shell& sh, const std::vector<std::string>& args) {
       static_cast<unsigned long long>(stats.reseeded_pairs),
       static_cast<unsigned long long>(stats.split_undos), mode_ran,
       stats.apply_seconds, logged ? "; delta appended to WAL" : "");
-  std::printf("  now %zu a-stars, DL %.1f -> %.1f bits (%+.1f)\n",
-              m.astars.size(), stats.dl_before_bits, stats.dl_after_bits,
-              stats.dl_after_bits - stats.dl_before_bits);
+  std::printf("  now %s\n", DlSummary(m.astars.size(), stats.dl_before_bits,
+                                      stats.dl_after_bits)
+                                .c_str());
   return Status::OK();
 }
 
@@ -336,11 +359,12 @@ Status CmdReplay(Shell& sh, const std::vector<std::string>& args) {
   }
   const auto& m = sh.current->model;
   std::printf(
-      "replayed '%s': snapshot + %zu delta(s) -> %u vertices, %zu a-stars, "
-      "DL %.1f bits\n",
+      "replayed '%s': snapshot + %zu delta(s) -> %u vertices, %s\n",
       args[1].c_str(), wal.deltas.size(),
-      sh.current->graph->num_vertices().value(), m.astars.size(),
-      m.stats.final_dl_bits);
+      sh.current->graph->num_vertices().value(),
+      DlSummary(m.astars.size(), m.stats.initial_dl_bits,
+                m.stats.final_dl_bits)
+          .c_str());
   return Status::OK();
 }
 
@@ -507,13 +531,44 @@ Status CmdScoreAll(Shell& sh, const std::vector<std::string>& args) {
   return Status::OK();
 }
 
-Status CmdStats(Shell& sh, const std::vector<std::string>&) {
+Status CmdStats(Shell& sh, const std::vector<std::string>& args) {
+  if (args.size() > 2 || (args.size() == 2 && args[1] != "--json")) {
+    return Status::InvalidArgument("usage: stats [--json]");
+  }
   CSPM_RETURN_IF_ERROR(RequireCurrent(sh));
   const core::MiningStats& s = sh.current->model.stats;
-  std::printf("model '%s': %zu a-stars\n", sh.current_name.c_str(),
-              sh.current->model.astars.size());
-  std::printf("  DL          %.2f -> %.2f bits (ratio %.4f)\n",
-              s.initial_dl_bits, s.final_dl_bits, s.CompressionRatio());
+  if (args.size() == 2) {
+    // The mdl.* values are read back from the obs registry, so `stats
+    // --json` and `metrics --json` report the same gauges.
+    std::string out = StrFormat(
+        "{\"model\":\"%s\",\"astars\":%zu,\"initial_dl_bits\":%.12g,"
+        "\"final_dl_bits\":%.12g,\"compression_ratio\":%.12g,"
+        "\"iterations\":%llu,\"gain_computations\":%llu,"
+        "\"initial_leafsets\":%llu,\"final_leafsets\":%llu,"
+        "\"initial_lines\":%llu,\"final_lines\":%llu,"
+        "\"runtime_seconds\":%.12g,",
+        sh.current_name.c_str(), sh.current->model.astars.size(),
+        s.initial_dl_bits, s.final_dl_bits, s.CompressionRatio(),
+        static_cast<unsigned long long>(s.iterations),
+        static_cast<unsigned long long>(s.total_gain_computations),
+        static_cast<unsigned long long>(s.initial_leafsets),
+        static_cast<unsigned long long>(s.final_leafsets),
+        static_cast<unsigned long long>(s.initial_lines),
+        static_cast<unsigned long long>(s.final_lines), s.runtime_seconds);
+    out += StrFormat(
+        "\"obs\":{\"mdl.current_dl_bits\":%.12g,"
+        "\"mdl.last_update_dl_delta_bits\":%.12g,\"registry.models\":%.12g}}",
+        obs::GetGauge("mdl.current_dl_bits")->Value(),
+        obs::GetGauge("mdl.last_update_dl_delta_bits")->Value(),
+        obs::GetGauge("registry.models")->Value());
+    std::printf("%s\n", out.c_str());
+    return Status::OK();
+  }
+  std::printf("model '%s': %s\n", sh.current_name.c_str(),
+              DlSummary(sh.current->model.astars.size(), s.initial_dl_bits,
+                        s.final_dl_bits)
+                  .c_str());
+  std::printf("  ratio       %.4f\n", s.CompressionRatio());
   std::printf("  iterations  %llu (%llu gain computations)\n",
               static_cast<unsigned long long>(s.iterations),
               static_cast<unsigned long long>(s.total_gain_computations));
@@ -523,6 +578,47 @@ Status CmdStats(Shell& sh, const std::vector<std::string>&) {
               static_cast<unsigned long long>(s.initial_lines),
               static_cast<unsigned long long>(s.final_lines));
   std::printf("  runtime     %.3fs\n", s.runtime_seconds);
+  return Status::OK();
+}
+
+Status CmdMetrics(Shell&, const std::vector<std::string>& args) {
+  if (args.size() > 2 || (args.size() == 2 && args[1] != "--json")) {
+    return Status::InvalidArgument("usage: metrics [--json]");
+  }
+  if (args.size() == 2) {
+    std::printf("%s\n", obs::MetricsRegistry::Global().SnapshotJson().c_str());
+    return Status::OK();
+  }
+  const obs::MetricsRegistry::Snapshot snap =
+      obs::MetricsRegistry::Global().Snap();
+  if (snap.counters.empty() && snap.gauges.empty() &&
+      snap.histograms.empty()) {
+    std::printf("(no metrics recorded yet)\n");
+    return Status::OK();
+  }
+  if (!snap.counters.empty()) {
+    std::printf("counters:\n");
+    for (const auto& [name, value] : snap.counters) {
+      std::printf("  %-36s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    }
+  }
+  if (!snap.gauges.empty()) {
+    std::printf("gauges:\n");
+    for (const auto& [name, value] : snap.gauges) {
+      std::printf("  %-36s %.4f\n", name.c_str(), value);
+    }
+  }
+  if (!snap.histograms.empty()) {
+    std::printf("histograms:%27s %8s %10s %10s %10s\n", "", "count", "p50",
+                "p99", "max");
+    for (const auto& [name, h] : snap.histograms) {
+      std::printf("  %-36s %8llu %10s %10s %10s\n", name.c_str(),
+                  static_cast<unsigned long long>(h.count),
+                  FormatNanos(h.p50_ns).c_str(), FormatNanos(h.p99_ns).c_str(),
+                  FormatNanos(static_cast<double>(h.max_ns)).c_str());
+    }
+  }
   return Status::OK();
 }
 
@@ -550,6 +646,7 @@ bool Dispatch(Shell& sh, const std::string& line, Status* status) {
   if (args.empty()) return true;
   const std::string& cmd = args[0];
   if (cmd == "exit" || cmd == "quit" || cmd == ".exit") return false;
+  WallTimer cmd_timer;
   if (cmd == "help") {
     PrintHelp();
   } else if (cmd == "open") {
@@ -574,11 +671,21 @@ bool Dispatch(Shell& sh, const std::string& line, Status* status) {
     *status = CmdReplay(sh, args);
   } else if (cmd == "stats") {
     *status = CmdStats(sh, args);
+  } else if (cmd == "metrics") {
+    *status = CmdMetrics(sh, args);
   } else if (cmd == "fsck") {
     *status = CmdFsck(sh, args);
   } else {
     *status =
         Status::InvalidArgument("unknown command '" + cmd + "' (try: help)");
+    return true;  // no shell.cmd.* histogram for typos
+  }
+  // Every recognised command feeds a shell.cmd.<name> histogram, so the
+  // `metrics` command reports the shell's own latency profile; interactive
+  // sessions also get an inline timing line.
+  obs::GetHistogram("shell.cmd." + cmd)->Record(cmd_timer.ElapsedNanos());
+  if (sh.interactive) {
+    std::printf("(%s: %.3fs)\n", cmd.c_str(), cmd_timer.ElapsedSeconds());
   }
   return true;
 }
