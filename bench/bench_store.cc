@@ -6,13 +6,19 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bench_common.h"
+#include "cspm/scoring_plan.h"
 #include "cspm/serialization.h"
 #include "engine/session.h"
+#include "obs/metrics.h"
 #include "store/model_store.h"
 #include "util/check.h"
+#include "util/string_util.h"
 
 namespace cspm::bench {
 namespace {
@@ -109,6 +115,125 @@ void BM_BinaryOpen(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BinaryOpen)->Unit(benchmark::kMicrosecond);
+
+// --- cold open -> first scored vertex (v3 zero-copy contract) -------------
+
+/// One pre-gathered neighbourhood: the "first batch" is deliberately the
+/// single cheapest-to-score vertex (fewest posting entries touched), so
+/// the measurement is dominated by how the plan comes into memory
+/// (record decode + compile vs mmap), not by scoring throughput — a hub
+/// vertex would add milliseconds of identical scoring work to both sides
+/// and dilute the ratio this bench exists to expose.
+const std::vector<graph::AttrId>& FirstVertexNeighbourhood() {
+  static const std::vector<graph::AttrId>* attrs = [] {
+    const StoreFixture& f = StoreFixture::Get();
+    const auto plan = core::CompileSharedPlan(f.model, f.graph.dict().size());
+    const auto& offsets = plan->slabs().posting_offsets;
+    size_t best_vertex = 0;
+    size_t best_cost = ~size_t{0};
+    std::vector<graph::AttrId> nb;
+    for (size_t v = 0; v < f.graph.num_vertices().index(); ++v) {
+      nb.clear();
+      core::GatherNeighbourhoodAttrs(f.graph, graph::VertexId(v), &nb);
+      if (nb.empty()) continue;
+      size_t cost = 0;
+      for (graph::AttrId a : nb) {
+        cost += offsets[a.index() + 1] - offsets[a.index()];
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_vertex = v;
+      }
+    }
+    auto* out = new std::vector<graph::AttrId>();  // lint:allow naked-new
+    core::GatherNeighbourhoodAttrs(f.graph, graph::VertexId(best_vertex), out);
+    return out;
+  }();
+  return *attrs;
+}
+
+/// The pre-v3 serving path: open the store, decode the multi-MB record,
+/// compile the plan, score the first vertex.
+void BM_ColdOpenFirstBatchDecode(benchmark::State& state) {
+  const StoreFixture& f = StoreFixture::Get();
+  const auto& neighbourhood = FirstVertexNeighbourhood();
+  for (auto _ : state) {
+    auto store = store::ModelStore::Open(f.store_path).value();
+    auto stored = store.Get("default");
+    CSPM_CHECK(stored.ok());
+    auto plan =
+        core::CompileSharedPlan(stored->model, stored->dict.size());
+    auto scores = plan->Score(neighbourhood);
+    benchmark::DoNotOptimize(scores.normalized.data());
+  }
+}
+BENCHMARK(BM_ColdOpenFirstBatchDecode)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// The v3 path: open the store, mmap the plan section, score the first
+/// vertex — no record decode, no compile. The cold-open speedup gated by
+/// ci/bench_gate.py is Decode/Mmap from one run of this binary.
+void BM_ColdOpenFirstBatchMmap(benchmark::State& state) {
+  const StoreFixture& f = StoreFixture::Get();
+  const auto& neighbourhood = FirstVertexNeighbourhood();
+  for (auto _ : state) {
+    auto store = store::ModelStore::Open(f.store_path).value();
+    auto plan = store.OpenPlan("default");
+    CSPM_CHECK(plan.ok());
+    auto scores = (*plan)->Score(neighbourhood);
+    benchmark::DoNotOptimize(scores.normalized.data());
+  }
+}
+BENCHMARK(BM_ColdOpenFirstBatchMmap)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// --- paged catalog index lookups ------------------------------------------
+
+/// Built-once stores of n tiny models, for catalog-scale lookups.
+const std::string& CatalogStorePath(int n) {
+  static std::map<int, std::string>* paths = [] {
+    return new std::map<int, std::string>();  // lint:allow naked-new
+  }();
+  auto it = paths->find(n);
+  if (it != paths->end()) return it->second;
+  const std::string path = StrFormat("bench_store_catalog_%d.cspm", n);
+  std::remove(path.c_str());
+  auto store = store::ModelStore::Create(path).value();
+  std::vector<std::pair<std::string, store::StoredModel>> batch;
+  batch.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    batch.emplace_back(StrFormat("m%05d", i), store::StoredModel{});
+  }
+  CSPM_CHECK(store.PutMany(batch).ok());
+  return paths->emplace(n, path).first->second;
+}
+
+/// Open + one name lookup on an n-model store: O(log n) index page reads
+/// (reported per iteration) instead of decoding a linear catalog.
+void BM_CatalogLookup(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const std::string& path = CatalogStorePath(n);
+  const std::string probe = StrFormat("m%05d", n / 2);
+  obs::Counter* reads = obs::GetCounter("store.catalog.index_page_reads");
+  const uint64_t before = reads->Value();
+  uint64_t iters = 0;
+  for (auto _ : state) {
+    auto store = store::ModelStore::Open(path).value();
+    CSPM_CHECK(store.Contains(probe));
+    benchmark::DoNotOptimize(store.size());
+    ++iters;
+  }
+  state.counters["index_page_reads_per_open_lookup"] =
+      iters > 0 ? static_cast<double>(reads->Value() - before) /
+                      static_cast<double>(iters)
+                : 0.0;
+}
+BENCHMARK(BM_CatalogLookup)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
 
 /// Session-level round trip through the auto-detecting facade paths.
 void BM_SessionLoadBinary(benchmark::State& state) {

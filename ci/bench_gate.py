@@ -30,6 +30,14 @@ the consolidated BENCH_PR.json artifact, and exits non-zero when:
     so the on/off ratio is machine-normalized; 1.02 means the
     instrumented path must stay within 2% of the obs-off path.
 
+  * (with --store) cold open -> first scored vertex via the mmap plan
+    section is less than baseline `min_cold_open_speedup` (50x) faster
+    than the decode+compile path: bench_store runs
+    BM_ColdOpenFirstBatchDecode and BM_ColdOpenFirstBatchMmap in one
+    binary and one run, so the ratio is machine-normalized. The paged
+    catalog lookup page-read counts at 1k and 10k models are reported
+    alongside (the O(log n) shape itself is asserted in store_test).
+
 Test hook: --serving-scale N multiplies the measured serving throughput,
 e.g. --serving-scale 0.7 simulates a 30% serving regression and must trip
 the gate (verified in the repo's CI setup notes).
@@ -63,6 +71,9 @@ def main():
                         help="bench_updates JSON output")
     parser.add_argument("--obs", default=None,
                         help="bench_obs JSON output (gates max_obs_overhead)")
+    parser.add_argument("--store", default=None,
+                        help="bench_store JSON output "
+                             "(gates min_cold_open_speedup)")
     parser.add_argument("--baseline", required=True,
                         help="checked-in BENCH_BASELINE.json")
     parser.add_argument("--out", required=True,
@@ -162,6 +173,33 @@ def main():
                 f"serving hot path exceeds the allowed "
                 f"{baseline['max_obs_overhead']:.4f}x (overhead contract, "
                 f"DESIGN.md section 11)")
+    if args.store:
+        store = load_benchmarks(args.store)
+        decode = require(store, "BM_ColdOpenFirstBatchDecode/real_time")
+        mmap = require(store, "BM_ColdOpenFirstBatchMmap/real_time")
+        # Both sides from one run of one binary, so runner speed cancels;
+        # the scored vertex is identical on both sides, so the ratio
+        # isolates record-decode + plan-compile vs mmap + O(1) validate.
+        cold_open_speedup = decode["real_time"] / mmap["real_time"]
+        report["cold_open_first_batch_ms_decode"] = round(
+            decode["real_time"], 3)
+        report["cold_open_first_batch_ms_mmap"] = round(mmap["real_time"], 3)
+        report["cold_open_speedup"] = round(cold_open_speedup, 1)
+        report["min_cold_open_speedup"] = baseline["min_cold_open_speedup"]
+        if cold_open_speedup < baseline["min_cold_open_speedup"]:
+            failures.append(
+                f"cold open -> first scored vertex via mmap is only "
+                f"{cold_open_speedup:.1f}x faster than decode+compile, "
+                f"below the required "
+                f"{baseline['min_cold_open_speedup']:.1f}x "
+                f"(zero-copy serving contract, DESIGN.md section 12)")
+        for n in (1000, 10000):
+            lookup = store.get(f"BM_CatalogLookup/{n}")
+            if lookup:
+                report[f"catalog_lookup_us_{n}_models"] = round(
+                    lookup["real_time"], 2)
+                report[f"catalog_index_page_reads_{n}_models"] = round(
+                    lookup["index_page_reads_per_open_lookup"], 2)
     fast_1 = require(updates, "BM_FastRemine/40/real_time")
     cold_1 = require(updates, "BM_ColdRemine/40/real_time")
     fast_speedup = cold_1["real_time"] / fast_1["real_time"]

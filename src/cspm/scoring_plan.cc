@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -13,6 +14,17 @@ namespace cspm::core {
 namespace {
 
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Heap home of a compiled plan's slabs. Held behind the plan's
+/// type-erased storage pointer; the plan's spans alias these vectors.
+struct OwnedSlabs {
+  std::vector<uint32_t> leaf_size;
+  std::vector<double> code_length_bits;
+  std::vector<uint32_t> core_offsets;
+  std::vector<AttrId> cores;
+  std::vector<uint32_t> posting_offsets;
+  std::vector<uint32_t> postings;
+};
 
 }  // namespace
 
@@ -25,8 +37,7 @@ ScoringPlan ScoringPlan::Compile(const CspmModel& model,
   static auto* const compiles = obs::GetCounter("serving.plan_compiles");
   obs::ScopedPhaseTimer compile_timer(compile_hist);
   compiles->Add(1);
-  ScoringPlan plan;
-  plan.num_attrs_ = static_cast<uint32_t>(num_attribute_values);
+  auto owned = std::make_shared<OwnedSlabs>();
 
   // Pass 1: count compiled stars, flat core slots and per-attribute
   // posting lengths (a counting scatter, the same shape as the inverted
@@ -45,69 +56,110 @@ ScoringPlan ScoringPlan::Compile(const CspmModel& model,
     }
   }
 
-  plan.leaf_size_.reserve(num_stars);
-  plan.code_length_bits_.reserve(num_stars);
-  plan.core_offsets_.reserve(num_stars + 1);
-  plan.cores_.reserve(num_cores);
-  plan.core_offsets_.push_back(0);
+  owned->leaf_size.reserve(num_stars);
+  owned->code_length_bits.reserve(num_stars);
+  owned->core_offsets.reserve(num_stars + 1);
+  owned->cores.reserve(num_cores);
+  owned->core_offsets.push_back(0);
 
-  plan.posting_offsets_.assign(num_attribute_values + 1, 0);
+  owned->posting_offsets.assign(num_attribute_values + 1, 0);
   for (size_t a = 0; a < num_attribute_values; ++a) {
-    plan.posting_offsets_[a + 1] = plan.posting_offsets_[a] + posting_counts[a];
+    owned->posting_offsets[a + 1] =
+        owned->posting_offsets[a] + posting_counts[a];
   }
-  plan.postings_.resize(plan.posting_offsets_.back());
+  owned->postings.resize(owned->posting_offsets.back());
 
   // Pass 2: scatter. Compiled stars keep model order, so any per-star
   // iteration downstream matches the legacy scan order.
-  std::vector<uint32_t> cursor(plan.posting_offsets_.begin(),
-                               plan.posting_offsets_.end() - 1);
+  std::vector<uint32_t> cursor(owned->posting_offsets.begin(),
+                               owned->posting_offsets.end() - 1);
   uint32_t star = 0;
   for (const AStar& s : model.astars) {
     if (s.leaf_values.empty()) continue;
-    plan.leaf_size_.push_back(static_cast<uint32_t>(s.leaf_values.size()));
-    plan.code_length_bits_.push_back(s.code_length_bits);
+    owned->leaf_size.push_back(static_cast<uint32_t>(s.leaf_values.size()));
+    owned->code_length_bits.push_back(s.code_length_bits);
     for (AttrId cv : s.core_values) {
-      if (cv.index() < num_attribute_values) plan.cores_.push_back(cv);
+      if (cv.index() < num_attribute_values) owned->cores.push_back(cv);
     }
-    plan.core_offsets_.push_back(static_cast<uint32_t>(plan.cores_.size()));
+    owned->core_offsets.push_back(static_cast<uint32_t>(owned->cores.size()));
     for (AttrId a : s.leaf_values) {
       if (a.index() < num_attribute_values) {
-        plan.postings_[cursor[a.index()]++] = star;
+        owned->postings[cursor[a.index()]++] = star;
       }
     }
     ++star;
   }
+
+  ScoringPlan plan;
+  plan.num_attrs_ = static_cast<uint32_t>(num_attribute_values);
+  plan.slabs_ = Slabs{owned->leaf_size, owned->code_length_bits,
+                      owned->core_offsets, owned->cores,
+                      owned->posting_offsets, owned->postings};
+  plan.storage_ = std::move(owned);
   CSPM_DCHECK_OK(plan.CheckInvariants());
   return plan;
 }
 
+StatusOr<ScoringPlan> ScoringPlan::FromSlabs(
+    size_t num_attribute_values, const Slabs& slabs,
+    std::shared_ptr<const void> storage) {
+  // O(1) geometry only: the shapes ScoreInto's indexing depends on. The
+  // deep per-element audit is CheckInvariants (run by fsck, not on the
+  // microsecond open path).
+  const size_t stars = slabs.leaf_size.size();
+  if (slabs.code_length_bits.size() != stars) {
+    return Status::InvalidArgument(
+        "plan slabs: code-length table size != star count");
+  }
+  if (slabs.core_offsets.size() != stars + 1 ||
+      slabs.core_offsets.front() != 0 ||
+      slabs.core_offsets.back() != slabs.cores.size()) {
+    return Status::InvalidArgument(
+        "plan slabs: core offset table does not cover the core slab");
+  }
+  if (slabs.posting_offsets.size() != num_attribute_values + 1 ||
+      slabs.posting_offsets.front() != 0 ||
+      slabs.posting_offsets.back() != slabs.postings.size()) {
+    return Status::InvalidArgument(
+        "plan slabs: posting offset table does not cover the posting slab");
+  }
+  ScoringPlan plan;
+  plan.num_attrs_ = static_cast<uint32_t>(num_attribute_values);
+  plan.view_ = true;
+  plan.slabs_ = slabs;
+  plan.storage_ = std::move(storage);
+  return plan;
+}
+
 Status ScoringPlan::CheckInvariants() const {
-  const size_t stars = leaf_size_.size();
-  if (code_length_bits_.size() != stars) {
+  const Slabs& sb = slabs_;
+  const size_t stars = sb.leaf_size.size();
+  if (sb.code_length_bits.size() != stars) {
     return Status::Internal("code-length table size != star count");
   }
-  if (core_offsets_.size() != stars + 1 || core_offsets_.front() != 0) {
+  if (sb.core_offsets.size() != stars + 1 || sb.core_offsets.front() != 0) {
     return Status::Internal("core offset table malformed");
   }
   for (size_t s = 0; s < stars; ++s) {
-    if (leaf_size_[s] == 0) {
+    if (sb.leaf_size[s] == 0) {
       return Status::Internal(StrFormat(
           "compiled star %zu has an empty leafset — Compile must drop it",
           s));
     }
-    if (!std::isfinite(code_length_bits_[s]) || code_length_bits_[s] < 0.0) {
+    if (!std::isfinite(sb.code_length_bits[s]) ||
+        sb.code_length_bits[s] < 0.0) {
       return Status::Internal(
           StrFormat("compiled star %zu has invalid code length", s));
     }
-    if (core_offsets_[s] > core_offsets_[s + 1]) {
+    if (sb.core_offsets[s] > sb.core_offsets[s + 1]) {
       return Status::Internal(
           StrFormat("core offsets decrease at star %zu", s));
     }
   }
-  if (core_offsets_.back() != cores_.size()) {
+  if (sb.core_offsets.back() != sb.cores.size()) {
     return Status::Internal("core offsets do not cover the core slab");
   }
-  for (AttrId cv : cores_) {
+  for (AttrId cv : sb.cores) {
     if (cv.index() >= num_attrs_) {
       return Status::Internal(StrFormat(
           "core value %u outside the attribute space (%u)", cv.value(),
@@ -115,54 +167,52 @@ Status ScoringPlan::CheckInvariants() const {
     }
   }
 
-  if (posting_offsets_.size() != static_cast<size_t>(num_attrs_) + 1 ||
-      posting_offsets_.front() != 0) {
+  if (sb.posting_offsets.size() != static_cast<size_t>(num_attrs_) + 1 ||
+      sb.posting_offsets.front() != 0) {
     return Status::Internal("posting offset table malformed");
   }
   std::vector<uint32_t> per_star_postings(stars, 0);
   for (size_t a = 0; a < num_attrs_; ++a) {
-    if (posting_offsets_[a] > posting_offsets_[a + 1]) {
+    if (sb.posting_offsets[a] > sb.posting_offsets[a + 1]) {
       return Status::Internal(
           StrFormat("posting offsets decrease at attribute %zu", a));
     }
-    for (uint32_t i = posting_offsets_[a]; i < posting_offsets_[a + 1]; ++i) {
-      const uint32_t s = postings_[i];
+    for (uint32_t i = sb.posting_offsets[a]; i < sb.posting_offsets[a + 1];
+         ++i) {
+      const uint32_t s = sb.postings[i];
       if (s >= stars) {
         return Status::Internal(StrFormat(
             "posting of attribute %zu names unknown star %u", a, s));
       }
       // A star may appear at most once per attribute (leafsets are sets);
       // postings within one attribute are ascending by construction.
-      if (i > posting_offsets_[a] && postings_[i - 1] >= s) {
+      if (i > sb.posting_offsets[a] && sb.postings[i - 1] >= s) {
         return Status::Internal(StrFormat(
             "postings of attribute %zu not strictly ascending", a));
       }
       ++per_star_postings[s];
     }
   }
-  if (posting_offsets_.back() != postings_.size()) {
+  if (sb.posting_offsets.back() != sb.postings.size()) {
     return Status::Internal("posting offsets do not cover the posting slab");
   }
   // Every posting entry is one in-range leaf value of the star, so a star
   // can never be referenced more often than its leafset size (out-of-range
-  // leaf values count toward leaf_size_ but get no posting).
+  // leaf values count toward leaf_size but get no posting).
   for (size_t s = 0; s < stars; ++s) {
-    if (per_star_postings[s] > leaf_size_[s]) {
+    if (per_star_postings[s] > sb.leaf_size[s]) {
       return Status::Internal(StrFormat(
           "star %zu referenced by %u postings but its leafset holds %u",
-          s, per_star_postings[s], leaf_size_[s]));
+          s, per_star_postings[s], sb.leaf_size[s]));
     }
   }
   return Status::OK();
 }
 
-size_t ScoringPlan::memory_bytes() const {
-  return leaf_size_.capacity() * sizeof(uint32_t) +
-         code_length_bits_.capacity() * sizeof(double) +
-         core_offsets_.capacity() * sizeof(uint32_t) +
-         cores_.capacity() * sizeof(AttrId) +
-         posting_offsets_.capacity() * sizeof(uint32_t) +
-         postings_.capacity() * sizeof(uint32_t);
+size_t ScoringPlan::ApproxBytes() const {
+  return slabs_.leaf_size.size_bytes() + slabs_.code_length_bits.size_bytes() +
+         slabs_.core_offsets.size_bytes() + slabs_.cores.size_bytes() +
+         slabs_.posting_offsets.size_bytes() + slabs_.postings.size_bytes();
 }
 
 void ScoringPlan::PrepareScratch(ScoringScratch* scratch) const {
@@ -176,6 +226,7 @@ void ScoringPlan::ScoreInto(std::span<const AttrId> neighbourhood_attrs,
                             const ScoringOptions& options,
                             ScoringScratch* scratch,
                             AttributeScores* out) const {
+  const Slabs& sb = slabs_;
   out->raw.assign(num_attrs_, kNegInf);
 
   // Intersection counting: only stars sharing an attribute with the
@@ -188,10 +239,10 @@ void ScoringPlan::ScoreInto(std::span<const AttrId> neighbourhood_attrs,
     if (a.index() >= num_attrs_ || scratch->attr_seen[a.index()]) continue;
     scratch->attr_seen[a.index()] = 1;
     scratch->seen_attrs.push_back(a);
-    const uint32_t begin = posting_offsets_[a.index()];
-    const uint32_t end = posting_offsets_[a.index() + 1];
+    const uint32_t begin = sb.posting_offsets[a.index()];
+    const uint32_t end = sb.posting_offsets[a.index() + 1];
     for (uint32_t i = begin; i < end; ++i) {
-      const uint32_t s = postings_[i];
+      const uint32_t s = sb.postings[i];
       if (scratch->matched[s]++ == 0) scratch->touched_stars.push_back(s);
     }
   }
@@ -203,14 +254,14 @@ void ScoringPlan::ScoreInto(std::span<const AttrId> neighbourhood_attrs,
   // legacy path so results stay bit-identical.
   for (const uint32_t s : scratch->touched_stars) {
     const double similarity = static_cast<double>(scratch->matched[s]) /
-                              static_cast<double>(leaf_size_[s]);
+                              static_cast<double>(sb.leaf_size[s]);
     scratch->matched[s] = 0;  // restore the zero invariant as we go
     if (similarity < options.min_similarity) continue;
     const double w = 1.0 / similarity;
-    const double cl = -w * code_length_bits_[s];
-    const uint32_t core_end = core_offsets_[s + 1];
-    for (uint32_t i = core_offsets_[s]; i < core_end; ++i) {
-      const AttrId cv = cores_[i];
+    const double cl = -w * sb.code_length_bits[s];
+    const uint32_t core_end = sb.core_offsets[s + 1];
+    for (uint32_t i = sb.core_offsets[s]; i < core_end; ++i) {
+      const AttrId cv = sb.cores[i];
       if (cl > out->raw[cv.index()]) out->raw[cv.index()] = cl;
     }
   }

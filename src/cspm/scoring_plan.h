@@ -18,6 +18,15 @@
 // ScoreAttributesWithNeighbourhood (regression-tested per vertex, per
 // value). The plan is immutable after Compile and safe to share across
 // threads; only the scratch is per-thread.
+//
+// View/owner split (store format v3, DESIGN.md §12): the execution state
+// is six flat slabs accessed through spans. Compile() materialises owned
+// slabs on the heap; FromSlabs() wraps externally owned memory — in
+// particular an mmap'd plan section, where the bytes on disk are exactly
+// the bytes ScoreInto reads (zero decode, zero allocation). Either way a
+// type-erased shared owner keeps the slab bytes alive for the plan and
+// all of its copies, so evicting a plan from a cache while an engine
+// still scores through it is safe by construction.
 #ifndef CSPM_CSPM_SCORING_PLAN_H_
 #define CSPM_CSPM_SCORING_PLAN_H_
 
@@ -28,6 +37,7 @@
 
 #include "cspm/model.h"
 #include "cspm/scoring.h"
+#include "util/status.h"
 
 namespace cspm::core {
 
@@ -49,6 +59,17 @@ struct ScoringScratch {
 
 class ScoringPlan {
  public:
+  /// The six flat slabs of the compiled layout, in the order the v3 plan
+  /// section lays them out on disk (DESIGN.md §12).
+  struct Slabs {
+    std::span<const uint32_t> leaf_size;       ///< |SL| per star
+    std::span<const double> code_length_bits;  ///< L(S_code) per star
+    std::span<const uint32_t> core_offsets;    ///< num_stars + 1
+    std::span<const AttrId> cores;             ///< flat in-range core values
+    std::span<const uint32_t> posting_offsets;  ///< num_attrs + 1
+    std::span<const uint32_t> postings;         ///< attr -> star ids
+  };
+
   ScoringPlan() = default;
 
   /// Compiles the model against a dictionary of `num_attribute_values`
@@ -57,11 +78,32 @@ class ScoringPlan {
   static ScoringPlan Compile(const CspmModel& model,
                              size_t num_attribute_values);
 
+  /// Wraps externally owned slabs — the mmap-native plan section — behind
+  /// the same interface as a compiled plan, with zero decode and zero
+  /// allocation. Only the O(1) geometry (offset-table shapes and covering
+  /// totals) is validated here; run CheckInvariants for the deep audit.
+  /// `storage` keeps the slab bytes alive for the plan's lifetime and the
+  /// lifetime of every copy made from it.
+  static StatusOr<ScoringPlan> FromSlabs(size_t num_attribute_values,
+                                         const Slabs& slabs,
+                                         std::shared_ptr<const void> storage);
+
   size_t num_attribute_values() const { return num_attrs_; }
   /// Stars carried by the plan (empty-leafset stars are compiled out).
-  size_t num_stars() const { return leaf_size_.size(); }
-  /// Resident bytes of the compiled layout (slabs + postings + terms).
-  size_t memory_bytes() const;
+  size_t num_stars() const { return slabs_.leaf_size.size(); }
+  /// Resident bytes of the slab layout. For a compiled plan this is the
+  /// heap footprint; for an mmap view it is the mapped section's working
+  /// set — the same value either way, so cache accounting is uniform.
+  size_t ApproxBytes() const;
+  /// Back-compat alias for ApproxBytes.
+  size_t memory_bytes() const { return ApproxBytes(); }
+
+  /// Read access to the slab layout (the plan-section encoder and the
+  /// store's fsck cross-check read the plan exactly as ScoreInto does).
+  const Slabs& slabs() const { return slabs_; }
+  /// True when the slabs alias externally owned memory (an mmap view)
+  /// rather than heap vectors built by Compile.
+  bool is_view() const { return view_; }
 
   /// Sizes `scratch` for this plan (idempotent; cheap when already sized).
   void PrepareScratch(ScoringScratch* scratch) const;
@@ -86,17 +128,13 @@ class ScoringPlan {
 
  private:
   uint32_t num_attrs_ = 0;
-
-  // Per compiled star, in model order.
-  std::vector<uint32_t> leaf_size_;       ///< |SL| (incl. out-of-range ids)
-  std::vector<double> code_length_bits_;  ///< L(S_code)
-  std::vector<uint32_t> core_offsets_;    ///< num_stars + 1, into cores_
-  std::vector<AttrId> cores_;             ///< flat in-range core values
-
-  // Inverted postings: attribute id -> compiled-star ids whose leafset
-  // contains it. posting_offsets_ has num_attrs_ + 1 entries.
-  std::vector<uint32_t> posting_offsets_;
-  std::vector<uint32_t> postings_;
+  /// True for FromSlabs views (mmap-backed), false for compiled plans.
+  bool view_ = false;
+  /// Spans into either the owned slab block or external (mmap) memory.
+  Slabs slabs_;
+  /// Type-erased owner of the slab bytes: the heap block Compile built,
+  /// or the mapping a view was opened over. Shared by plan copies.
+  std::shared_ptr<const void> storage_;
 };
 
 /// Compiles a plan ready for sharing across engines, registry handles and

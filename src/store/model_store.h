@@ -1,12 +1,24 @@
 // Multi-model store file: a catalog of named model records on top of the
 // Pager. Each record is a self-contained blob (embedded attribute
 // dictionary, model, optional graph snapshot) living in its own page
-// chain; the catalog (name -> chain head) is itself one chain referenced
-// from the header page. Opening a store reads the header and the catalog
-// only — cost independent of how large the model payloads are; record
-// bytes are read (and CRC-checked) on Get.
+// chain, and — format v3 — each model additionally carries an
+// mmap-native plan section (see plan_section.h) in a raw page extent, so
+// serving can open a model in microseconds without decoding the record.
 //
-// Each model additionally carries a write-ahead log of graph deltas: the
+// The catalog itself (v3) is a bulk-loaded static B-tree over the pager:
+// sorted leaf pages chained left-to-right through the page-header `next`
+// link, interior pages holding (separator, child) fans, the root page id
+// in the store header. Opening a store reads the header and the root
+// page only; looking a model up descends O(log n) index pages (counted
+// by `store.catalog.index_page_reads`) instead of decoding a linear
+// catalog chain — the difference between "open one of 10k tenant models"
+// and "decode 10k entries to find one". Mutations load the full catalog
+// once, rebuild the index wholesale (it is small: entries are tens of
+// bytes) and commit atomically. v2 files (linear catalog chain, no plan
+// sections) still open read-only; the first mutation upgrades the file
+// to v3 in place through the same atomic-rename commit.
+//
+// Each model also carries a write-ahead log of graph deltas: the
 // mutations applied since its record was Put. AppendDelta writes one
 // small WAL record chain per delta (the multi-MB model record is not
 // rewritten); ReadWal hands the pending deltas back for replay on open,
@@ -15,7 +27,7 @@
 // log is cleared (see DESIGN.md §9).
 //
 // Mutations (Put / Delete / AppendDelta / ClearWal) rewrite the catalog
-// chain and commit the pager atomically, so a crash never leaves a
+// index and commit the pager atomically, so a crash never leaves a
 // half-updated store and concurrent readers of the old file image are
 // unaffected.
 #ifndef CSPM_STORE_MODEL_STORE_H_
@@ -23,11 +35,14 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cspm/model.h"
+#include "cspm/scoring_plan.h"
 #include "graph/attribute_dictionary.h"
 #include "graph/attributed_graph.h"
 #include "graph/graph_delta.h"
@@ -58,7 +73,7 @@ class ModelStore {
  public:
   /// Starts an empty store at `path`, replacing any existing file.
   static StatusOr<ModelStore> Create(const std::string& path);
-  /// Opens an existing store (header + catalog reads only).
+  /// Opens an existing store (header + index root reads only).
   static StatusOr<ModelStore> Open(const std::string& path);
   /// Open if anything exists at `path`, Create otherwise. An existing
   /// file that is not a healthy store fails with Open's error — it is
@@ -73,14 +88,30 @@ class ModelStore {
   ModelStore(ModelStore&&) noexcept = default;
   ModelStore& operator=(ModelStore&&) noexcept = default;
 
-  /// Inserts or replaces `name`, committing atomically.
+  /// Inserts or replaces `name`, committing atomically. Compiles and
+  /// persists the model's mmap-native plan section alongside the record.
   Status Put(const std::string& name, const StoredModel& stored);
+
+  /// Put for a batch: all records and plan sections are written, then the
+  /// catalog index is rebuilt and committed once — the way to populate a
+  /// many-thousand-model store without paying one full commit per model.
+  /// All-or-nothing: on error the durable file is untouched.
+  Status PutMany(
+      const std::vector<std::pair<std::string, StoredModel>>& models);
 
   /// Decodes the named record.
   StatusOr<StoredModel> Get(const std::string& name);
 
-  /// Removes `name` (record and WAL) and recycles its pages, committing
-  /// atomically.
+  /// Opens the model's plan section as a ready-to-serve mmap view: zero
+  /// decode, zero allocation beyond the mapping itself, scores
+  /// bit-identical to a freshly compiled plan. NotFound when the entry
+  /// predates v3 (record saved by a v2 binary and not yet re-Put) — the
+  /// caller falls back to Get + Compile.
+  StatusOr<std::shared_ptr<const core::ScoringPlan>> OpenPlan(
+      const std::string& name);
+
+  /// Removes `name` (record, plan section and WAL) and recycles its
+  /// pages, committing atomically.
   Status Delete(const std::string& name);
 
   // --- write-ahead log of graph deltas ------------------------------------
@@ -113,31 +144,38 @@ class ModelStore {
     uint64_t bytes = 0;      ///< encoded record size
     uint64_t num_astars = 0;
     uint64_t wal_records = 0;  ///< pending deltas in the WAL
+    uint64_t plan_bytes = 0;   ///< plan section size (0: v2 entry, none)
     bool has_graph = false;
   };
-  /// Catalog listing, sorted by name.
-  std::vector<Info> List() const;
+  /// Catalog listing, sorted by name. Loads the full catalog.
+  std::vector<Info> List();
 
-  /// Deep structural audit of the page graph: walks the catalog chain,
-  /// every record and WAL chain and the free list, checking that each
-  /// page of the file is claimed by exactly one owner, that no chain
-  /// cycles or escapes the file, and that every chain's payload size
-  /// matches what the catalog promises. Catches pointer-level corruption
-  /// that the per-page CRCs cannot see — a well-formed page spliced into
-  /// the wrong chain, a truncated chain, a leaked or doubly-linked page.
+  /// Deep structural audit of the page graph: walks the catalog index
+  /// (validating separator/leaf ordering and the leaf level links),
+  /// every record, WAL chain and plan extent and the free list, checking
+  /// that each page of the file is claimed by exactly one owner, that no
+  /// chain cycles or escapes the file, and that every chain's payload
+  /// size matches what the catalog promises. Catches pointer-level
+  /// corruption that the per-page CRCs cannot see — a well-formed page
+  /// spliced into the wrong chain, a truncated chain, a leaked or
+  /// doubly-linked page, a bent index leaf link.
   Status CheckInvariants();
 
   /// Everything CheckInvariants does, plus a decode pass: every record is
   /// decoded, cross-checked against its catalog entry, its model values
   /// bounds-checked against its dictionary, its graph snapshot run
-  /// through the deep graph validator, and its WAL fully replayable.
-  /// Backs `cspm_shell fsck <file>`.
+  /// through the deep graph validator, its WAL fully replayable, and its
+  /// plan section swept (per-slab CRCs, deep plan invariants, and a
+  /// byte-for-byte match against a recompile of the decoded model — the
+  /// on-disk bit-identity contract). Backs `cspm_shell fsck <file>`.
   Status Fsck();
 
-  bool Contains(const std::string& name) const {
-    return catalog_.count(name) > 0;
-  }
-  size_t size() const { return catalog_.size(); }
+  /// True when `name` exists. May descend the index (O(log n) page
+  /// reads) on a lazily opened store.
+  bool Contains(const std::string& name);
+  /// Number of models. O(1): the index root carries the total count.
+  size_t size() const { return catalog_loaded_ ? catalog_.size()
+                                               : catalog_count_; }
   const std::string& path() const { return pager_.path(); }
 
  private:
@@ -151,19 +189,60 @@ class ModelStore {
     uint64_t bytes = 0;
     uint64_t num_astars = 0;
     bool has_graph = false;
+    /// Raw extent holding the mmap-native plan section; num_pages == 0
+    /// for entries written by v2 binaries (no section).
+    Pager::Extent plan_extent;
+    /// Exact encoded section size (the extent is zero-padded to pages).
+    uint64_t plan_bytes = 0;
     std::vector<WalRecord> wal;  ///< oldest first
+  };
+
+  /// One parsed catalog index node.
+  struct IndexNode {
+    bool leaf = false;
+    uint64_t count = 0;  ///< entries in this subtree
+    uint32_t next = Pager::kNoPage;  ///< leaf level link (leaves only)
+    std::vector<std::pair<std::string, Entry>> entries;  ///< leaves
+    /// (separator, child page). children[0].first is the subtree's first
+    /// name — also used as this node's separator one level up.
+    std::vector<std::pair<std::string, uint32_t>> children;
   };
 
   explicit ModelStore(Pager pager) : pager_(std::move(pager)) {}
 
   Status LoadCatalog();
-  /// Rewrites the catalog chain from `catalog_` and commits the pager.
+  /// Loads every entry into catalog_ (mutations and List need the full
+  /// map; lookups do not).
+  Status EnsureLoaded();
+  /// Finds one entry: the in-memory map when loaded, otherwise an
+  /// O(log n) index descent (result cached). NotFound when absent.
+  StatusOr<const Entry*> LookupEntry(const std::string& name);
+  /// Reads and parses one index node, counting the page read.
+  StatusOr<IndexNode> ReadIndexNode(uint32_t page_id);
+  /// Frees the on-disk catalog representation (chain or index),
+  /// best-effort, and clears the header reference.
+  void FreeDiskCatalog();
+  /// Collects every page of the index rooted at `root` (interior nodes
+  /// and leaves; cycle-guarded). Pages found before an error are kept.
+  Status CollectIndexPages(uint32_t root, std::vector<uint32_t>* pages);
+  /// Rebuilds the catalog index from `catalog_` and commits the pager.
   Status SaveCatalogAndCommit();
+  /// Writes `stored`'s record chain and plan section; fills `entry`.
+  Status WriteModelRecord(const StoredModel& stored, Entry* entry);
   /// Frees every WAL chain of `entry` (best-effort) and clears the list.
   void DropWalChains(Entry* entry);
 
   Pager pager_;
+  /// All entries when catalog_loaded_; otherwise empty (see
+  /// lookup_cache_ for the descent results).
   std::map<std::string, Entry> catalog_;
+  /// Entries found by index descent on a lazily opened store.
+  std::map<std::string, Entry> lookup_cache_;
+  bool catalog_loaded_ = false;
+  /// Total entries, from the index root (meaningful when not loaded).
+  uint64_t catalog_count_ = 0;
+  /// Whether the committed file's catalog is a v3 index (vs. v2 chain).
+  bool disk_catalog_is_index_ = false;
 };
 
 }  // namespace cspm::store

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -81,14 +82,15 @@ StatusOr<Pager> Pager::Open(const std::string& path) {
     return Status::IOError("not a cspm store file (bad magic): " + path);
   }
   const uint32_t version = GetU32(header + 8);
-  if (version != kFormatVersion) {
-    // v2 changed the catalog layout (per-model WAL lists), so older files
+  if (version < kMinFormatVersion || version > kFormatVersion) {
+    // v2 changed the catalog layout (per-model WAL lists), so v1 files
     // are rejected here with a format error rather than misparsed below.
     return Status::IOError(
         StrFormat("store file %s has format version %u, this build reads "
-                  "exactly %u",
-                  path.c_str(), version, kFormatVersion));
+                  "%u..%u",
+                  path.c_str(), version, kMinFormatVersion, kFormatVersion));
   }
+  pager.version_ = version;
   const uint32_t page_size = GetU32(header + 12);
   if (page_size != kPageSize) {
     return Status::IOError(StrFormat("store file %s declares page size %u, "
@@ -217,6 +219,165 @@ void Pager::FreePage(uint32_t page_id) {
   free_head_ = page_id;
 }
 
+StatusOr<Pager::DataPage> Pager::ReadDataPage(uint32_t page_id) {
+  if (page_id == kNoPage || page_id >= num_pages_) {
+    return Status::IOError(StrFormat("page %u out of range in %s (%u pages)",
+                                     page_id, path_.c_str(), num_pages_));
+  }
+  auto it = cache_.find(page_id);
+  if (it != cache_.end()) {
+    DataPage out;
+    out.payload.assign(
+        reinterpret_cast<const char*>(it->second.payload.data()),
+        it->second.payload_len);
+    out.next = it->second.next;
+    return out;
+  }
+  char raw[kPageSize];
+  CSPM_RETURN_IF_ERROR(ReadRawPage(page_id, raw));
+  DataPage out;
+  uint32_t payload_len = 0;
+  CSPM_RETURN_IF_ERROR(
+      ValidateRawPage(page_id, raw, &out.next, &payload_len));
+  out.payload.assign(raw + kPageHeaderBytes, payload_len);
+  return out;
+}
+
+StatusOr<uint32_t> Pager::WriteDataPage(std::string_view payload,
+                                        uint32_t next) {
+  if (payload.size() > kPagePayload) {
+    return Status::InvalidArgument(
+        StrFormat("single-page payload of %zu bytes exceeds the %u-byte "
+                  "page payload",
+                  payload.size(), kPagePayload));
+  }
+  CSPM_ASSIGN_OR_RETURN(uint32_t id, AllocatePage());
+  Page& page = cache_.at(id);
+  if (!payload.empty()) {
+    std::memcpy(page.payload.data(), payload.data(), payload.size());
+  }
+  page.payload_len = static_cast<uint32_t>(payload.size());
+  page.next = next;
+  return id;
+}
+
+Status Pager::FreeSinglePage(uint32_t page_id) {
+  if (page_id == kNoPage || page_id >= num_pages_) {
+    return Status::IOError(StrFormat("page %u out of range in %s (%u pages)",
+                                     page_id, path_.c_str(), num_pages_));
+  }
+  FreePage(page_id);
+  return Status::OK();
+}
+
+StatusOr<uint32_t> Pager::AllocateExtentRun(uint32_t n) {
+  if (free_head_ == kNoPage) return kNoPage;
+  // Materialize the free list (it is short: freed chains and sections of
+  // this store, not a global heap) and look for n consecutive ids.
+  std::vector<uint32_t> free_ids;
+  uint32_t id = free_head_;
+  uint32_t visited = 0;
+  while (id != kNoPage) {
+    if (++visited > num_pages_) {
+      return Status::IOError("free list cycles in " + path_);
+    }
+    CSPM_ASSIGN_OR_RETURN(Page * page, FetchPage(id));
+    free_ids.push_back(id);
+    id = page->next;
+  }
+  std::sort(free_ids.begin(), free_ids.end());
+  uint32_t run_start = kNoPage;
+  for (size_t i = 0, run = 1; i < free_ids.size(); ++i, ++run) {
+    if (i > 0 && free_ids[i] != free_ids[i - 1] + 1) run = 1;
+    if (run >= n) {
+      run_start = free_ids[i] - (n - 1);
+      break;
+    }
+  }
+  if (run_start == kNoPage) return kNoPage;
+  // Rebuild the free list without the claimed run; the run's pages leave
+  // the header-carrying world entirely (their cache entries go away — as
+  // raw extent pages they must not be committed with a page header).
+  free_head_ = kNoPage;
+  for (auto it = free_ids.rbegin(); it != free_ids.rend(); ++it) {
+    if (*it >= run_start && *it < run_start + n) {
+      cache_.erase(*it);
+      continue;
+    }
+    Page& page = cache_.at(*it);
+    page.next = free_head_;
+    page.dirty = true;
+    free_head_ = *it;
+  }
+  return run_start;
+}
+
+StatusOr<Pager::Extent> Pager::WriteExtent(std::string_view bytes) {
+  if (bytes.empty()) {
+    return Status::InvalidArgument("an extent must carry at least one byte");
+  }
+  Extent extent;
+  extent.num_pages =
+      static_cast<uint32_t>((bytes.size() + kPageSize - 1) / kPageSize);
+  CSPM_ASSIGN_OR_RETURN(extent.first_page,
+                        AllocateExtentRun(extent.num_pages));
+  if (extent.first_page == kNoPage) {
+    extent.first_page = num_pages_;
+    num_pages_ += extent.num_pages;
+  }
+  size_t offset = 0;
+  for (uint32_t i = 0; i < extent.num_pages; ++i) {
+    auto raw = std::make_unique<std::array<char, kPageSize>>();
+    raw->fill(0);
+    const size_t n = std::min<size_t>(kPageSize, bytes.size() - offset);
+    std::memcpy(raw->data(), bytes.data() + offset, n);
+    offset += n;
+    raw_pages_[extent.first_page + i] = std::move(raw);
+  }
+  return extent;
+}
+
+StatusOr<std::string> Pager::ReadExtent(Extent extent) {
+  if (extent.first_page == kNoPage || extent.num_pages == 0 ||
+      extent.first_page >= num_pages_ ||
+      num_pages_ - extent.first_page < extent.num_pages) {
+    return Status::IOError(
+        StrFormat("extent [%u, +%u) out of range in %s (%u pages)",
+                  extent.first_page, extent.num_pages, path_.c_str(),
+                  num_pages_));
+  }
+  std::string out;
+  out.resize(static_cast<size_t>(extent.num_pages) * kPageSize);
+  for (uint32_t i = 0; i < extent.num_pages; ++i) {
+    const uint32_t id = extent.first_page + i;
+    char* dst = out.data() + static_cast<size_t>(i) * kPageSize;
+    auto it = raw_pages_.find(id);
+    if (it != raw_pages_.end()) {
+      std::memcpy(dst, it->second->data(), kPageSize);
+    } else {
+      CSPM_RETURN_IF_ERROR(ReadRawPage(id, dst));
+    }
+  }
+  return out;
+}
+
+Status Pager::FreeExtent(Extent extent) {
+  if (extent.first_page == kNoPage || extent.num_pages == 0 ||
+      extent.first_page >= num_pages_ ||
+      num_pages_ - extent.first_page < extent.num_pages) {
+    return Status::IOError(
+        StrFormat("extent [%u, +%u) out of range in %s (%u pages)",
+                  extent.first_page, extent.num_pages, path_.c_str(),
+                  num_pages_));
+  }
+  for (uint32_t i = 0; i < extent.num_pages; ++i) {
+    const uint32_t id = extent.first_page + i;
+    raw_pages_.erase(id);
+    FreePage(id);
+  }
+  return Status::OK();
+}
+
 StatusOr<uint32_t> Pager::WriteChain(std::string_view bytes) {
   static auto* const write_hist =
       obs::GetHistogram("phase.store.write_chain");
@@ -327,6 +488,15 @@ Status Pager::Commit() {
   }
 
   for (uint32_t id = 1; id < num_pages_; ++id) {
+    auto rit = raw_pages_.find(id);
+    if (rit != raw_pages_.end()) {
+      // Dirty raw-extent page: its bytes go to disk exactly as given —
+      // no header, no per-page CRC (the plan section checksums itself).
+      if (std::fwrite(rit->second->data(), 1, kPageSize, out) != kPageSize) {
+        return fail("write failed for " + tmp_path + ": " + ErrnoText());
+      }
+      continue;
+    }
     auto it = cache_.find(id);
     if (it == cache_.end()) {
       // Untouched page: copy the committed bytes through verbatim.
@@ -361,6 +531,10 @@ Status Pager::Commit() {
   }
 
   for (auto& [id, page] : cache_) page.dirty = false;
+  // Raw extent pages are durable now; drop the in-memory images (plan
+  // sections can be large) — ReadExtent streams from the file again.
+  raw_pages_.clear();
+  version_ = kFormatVersion;  // Commit always writes the current format
   // Re-point the read handle at the newly committed image.
   if (file_.is_open()) file_.close();
   file_.clear();

@@ -22,6 +22,18 @@
 //     [8..11]    payload length        (u32 LE, <= 4084)
 //     [12..]     payload
 //
+//   raw extent pages (v3): runs of whole pages carrying verbatim bytes —
+//     no page header, no per-page CRC. Used for the mmap-native plan
+//     sections, whose file bytes must be exactly the bytes ScoreInto
+//     reads (the section carries its own header + per-slab CRCs, see
+//     plan_section.h). Which pages are extents is recorded by the owner
+//     (the ModelStore catalog), never guessed by the pager.
+//
+// v3 keeps the v2 page geometry; it adds raw extents and switches the
+// catalog to a paged index. v2 files open fine (version recorded on the
+// pager); Commit always writes v3, so the first mutation upgrades in
+// place through the usual atomic rename.
+//
 // The pager is a single-writer structure: concurrent *readers* open their
 // own Pager over the same path (pages are read lazily and validated on
 // first touch); concurrent writers are not supported.
@@ -31,6 +43,7 @@
 #include <array>
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -45,8 +58,10 @@ class Pager {
   static constexpr uint32_t kPageHeaderBytes = 12;
   static constexpr uint32_t kPagePayload = kPageSize - kPageHeaderBytes;
   static constexpr uint32_t kNoPage = 0;
-  /// v2: catalog entries carry a per-model WAL record list.
-  static constexpr uint32_t kFormatVersion = 2;
+  /// v3: raw extents (mmap-native plan sections) + paged catalog index.
+  static constexpr uint32_t kFormatVersion = 3;
+  /// Oldest version Open still reads (v2: per-model WAL catalog lists).
+  static constexpr uint32_t kMinFormatVersion = 2;
   static constexpr std::string_view kMagic = "CSPMSTR1";  // 8 bytes
 
   /// Starts a fresh store at `path` (header page only) and commits it,
@@ -67,6 +82,9 @@ class Pager {
 
   const std::string& path() const { return path_; }
   uint32_t num_pages() const { return num_pages_; }
+  /// Format version of the file this pager was opened over (Create()d
+  /// stores are current). Commit always writes kFormatVersion.
+  uint32_t format_version() const { return version_; }
 
   uint32_t catalog_head() const { return catalog_head_; }
   void set_catalog_head(uint32_t page_id) { catalog_head_ = page_id; }
@@ -83,6 +101,57 @@ class Pager {
   /// ModelStore::CheckInvariants to walk every chain of the file without
   /// decoding (or retaining) any record bytes.
   StatusOr<PageHeader> ReadPageHeader(uint32_t page_id);
+
+  // --- single-page API (catalog index nodes) -----------------------------
+
+  /// One validated data page: its payload bytes and next link.
+  struct DataPage {
+    std::string payload;
+    uint32_t next = kNoPage;
+  };
+  /// Reads and CRC-validates exactly one page — never follows `next`.
+  /// Index nodes are read this way (an index leaf's `next` links the leaf
+  /// level, not a byte stream, so ReadChain would misparse it).
+  StatusOr<DataPage> ReadDataPage(uint32_t page_id);
+
+  /// Writes one fully formed data page with an explicit next link;
+  /// `payload` must fit a single page. The building block for index
+  /// nodes, whose links are page-level rather than chain-level.
+  StatusOr<uint32_t> WriteDataPage(std::string_view payload, uint32_t next);
+
+  /// Returns exactly one page to the free list (index nodes are freed
+  /// per page; FreeChain would walk a leaf's level link as a chain).
+  Status FreeSinglePage(uint32_t page_id);
+
+  // --- raw extent API (mmap-native plan sections) ------------------------
+
+  /// A run of contiguous whole pages carrying verbatim bytes.
+  struct Extent {
+    uint32_t first_page = kNoPage;
+    uint32_t num_pages = 0;
+  };
+
+  /// Writes `bytes` as a fresh extent (zero-padded to whole pages),
+  /// reusing a contiguous run of free pages when one is long enough and
+  /// growing the file at the tail otherwise — so replacing a model's
+  /// section steadily recycles the old one's pages instead of bloating
+  /// the file. Durable after the next Commit.
+  StatusOr<Extent> WriteExtent(std::string_view bytes);
+
+  /// Reads an extent back verbatim (num_pages * kPageSize bytes, padding
+  /// included). The fsck path; serving maps the committed file instead.
+  StatusOr<std::string> ReadExtent(Extent extent);
+
+  /// Returns an extent's pages to the free list, where chain allocation
+  /// can recycle them (future extents still append; contiguity would be
+  /// lost otherwise).
+  Status FreeExtent(Extent extent);
+
+  /// Byte offset of an extent's first page in the committed file — the
+  /// mmap offset. Page-aligned by construction (kPageSize multiple).
+  static uint64_t ExtentFileOffset(uint32_t first_page) {
+    return static_cast<uint64_t>(first_page) * kPageSize;
+  }
 
   // --- chain API (what ModelStore uses) ----------------------------------
 
@@ -121,11 +190,15 @@ class Pager {
   StatusOr<Page*> FetchPage(uint32_t page_id);
   /// Allocates a page from the free list (or grows the file).
   StatusOr<uint32_t> AllocatePage();
+  /// Claims `n` *contiguous* pages from the free list for an extent,
+  /// relinking the remainder; kNoPage when no run is long enough.
+  StatusOr<uint32_t> AllocateExtentRun(uint32_t n);
   /// Pushes a page onto the free list.
   void FreePage(uint32_t page_id);
   Status ReadRawPage(uint32_t page_id, char* out);
 
   std::string path_;
+  uint32_t version_ = kFormatVersion;
   uint32_t num_pages_ = 1;
   uint32_t free_head_ = kNoPage;
   uint32_t catalog_head_ = kNoPage;
@@ -133,6 +206,12 @@ class Pager {
   /// its fields live directly on the Pager and are re-serialized on
   /// Commit().
   std::unordered_map<uint32_t, Page> cache_;
+  /// Dirty raw-extent pages: full verbatim page images awaiting Commit.
+  /// Disjoint from cache_ by construction (WriteExtent only uses fresh
+  /// tail pages; FreeExtent erases here before the page re-enters the
+  /// header-carrying world).
+  std::unordered_map<uint32_t, std::unique_ptr<std::array<char, kPageSize>>>
+      raw_pages_;
   /// Read handle on the last committed file image; absent for a Create()d
   /// store that was never committed (then every page is cached).
   mutable std::ifstream file_;

@@ -1,0 +1,272 @@
+#include "store/plan_section.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <type_traits>
+
+#include "obs/metrics.h"
+#include "util/crc32.h"
+#include "util/string_util.h"
+
+namespace cspm::store {
+namespace {
+
+using core::AttrId;
+using core::ScoringPlan;
+
+// The slab bytes are reinterpreted in place from the mapping; AttrId must
+// be layout-identical to its raw u32 representation for that to be sound.
+static_assert(std::is_trivially_copyable_v<AttrId> && sizeof(AttrId) == 4,
+              "AttrId must be a trivially copyable 4-byte value type to be "
+              "mmap-viewed");
+static_assert(sizeof(double) == 8, "plan section assumes 8-byte doubles");
+
+constexpr size_t kNumSlabs = 6;
+constexpr size_t kSlabTableOffset = 32;
+constexpr size_t kHeaderCrcOffset = 104;
+
+const char* const kSlabNames[kNumSlabs] = {
+    "leaf_size",       "code_length_bits", "core_offsets",
+    "cores",           "posting_offsets",  "postings"};
+
+void PutU32(char* dst, uint32_t v) {
+  dst[0] = static_cast<char>(v & 0xFF);
+  dst[1] = static_cast<char>((v >> 8) & 0xFF);
+  dst[2] = static_cast<char>((v >> 16) & 0xFF);
+  dst[3] = static_cast<char>((v >> 24) & 0xFF);
+}
+
+uint32_t GetU32(const char* src) {
+  const auto* p = reinterpret_cast<const uint8_t*>(src);
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+size_t AlignUp(size_t n) {
+  return (n + kPlanSlabAlignment - 1) & ~(kPlanSlabAlignment - 1);
+}
+
+/// Byte length of slab `i` implied by the header counts — the geometry
+/// the validator enforces and the encoder produces.
+size_t ExpectedSlabBytes(size_t i, uint32_t num_attrs, uint32_t num_stars,
+                         uint32_t num_cores, uint32_t num_postings) {
+  switch (i) {
+    case 0: return static_cast<size_t>(num_stars) * 4;
+    case 1: return static_cast<size_t>(num_stars) * 8;
+    case 2: return (static_cast<size_t>(num_stars) + 1) * 4;
+    case 3: return static_cast<size_t>(num_cores) * 4;
+    case 4: return (static_cast<size_t>(num_attrs) + 1) * 4;
+    case 5: return static_cast<size_t>(num_postings) * 4;
+    default: return 0;
+  }
+}
+
+/// POSIX mapping owner: unmaps on destruction. Held behind the plan's
+/// type-erased storage pointer.
+class MappedRegion {
+ public:
+  MappedRegion(void* base, size_t length) : base_(base), length_(length) {}
+  ~MappedRegion() { ::munmap(base_, length_); }
+  MappedRegion(const MappedRegion&) = delete;
+  MappedRegion& operator=(const MappedRegion&) = delete;
+
+ private:
+  void* base_;
+  size_t length_;
+};
+
+}  // namespace
+
+std::string EncodePlanSection(const ScoringPlan& plan) {
+  const ScoringPlan::Slabs& sb = plan.slabs();
+  const void* slab_data[kNumSlabs] = {
+      sb.leaf_size.data(),       sb.code_length_bits.data(),
+      sb.core_offsets.data(),    sb.cores.data(),
+      sb.posting_offsets.data(), sb.postings.data()};
+  size_t slab_bytes[kNumSlabs] = {
+      sb.leaf_size.size_bytes(),       sb.code_length_bits.size_bytes(),
+      sb.core_offsets.size_bytes(),    sb.cores.size_bytes(),
+      sb.posting_offsets.size_bytes(), sb.postings.size_bytes()};
+
+  size_t slab_offset[kNumSlabs];
+  size_t end = kPlanSectionHeaderBytes;
+  for (size_t i = 0; i < kNumSlabs; ++i) {
+    slab_offset[i] = AlignUp(end);
+    end = slab_offset[i] + slab_bytes[i];
+  }
+
+  std::string section(end, '\0');
+  char* base = section.data();
+  std::memcpy(base, kPlanSectionMagic.data(), kPlanSectionMagic.size());
+  PutU32(base + 8, kPlanSectionVersion);
+  PutU32(base + 12, static_cast<uint32_t>(plan.num_attribute_values()));
+  PutU32(base + 16, static_cast<uint32_t>(plan.num_stars()));
+  PutU32(base + 20, static_cast<uint32_t>(sb.cores.size()));
+  PutU32(base + 24, static_cast<uint32_t>(sb.postings.size()));
+  PutU32(base + 28, static_cast<uint32_t>(end));
+  for (size_t i = 0; i < kNumSlabs; ++i) {
+    if (slab_bytes[i] != 0) {
+      std::memcpy(base + slab_offset[i], slab_data[i], slab_bytes[i]);
+    }
+    char* row = base + kSlabTableOffset + i * 12;
+    PutU32(row, static_cast<uint32_t>(slab_offset[i]));
+    PutU32(row + 4, static_cast<uint32_t>(slab_bytes[i]));
+    PutU32(row + 8, Crc32(base + slab_offset[i], slab_bytes[i]));
+  }
+  PutU32(base + kHeaderCrcOffset, Crc32(base, kHeaderCrcOffset));
+  return section;
+}
+
+Status ValidatePlanSection(std::string_view section, bool verify_slab_crcs) {
+  if (section.size() < kPlanSectionHeaderBytes) {
+    return Status::IOError(
+        StrFormat("plan section truncated: %zu bytes, the header alone is "
+                  "%zu",
+                  section.size(), kPlanSectionHeaderBytes));
+  }
+  const char* base = section.data();
+  if (std::string_view(base, kPlanSectionMagic.size()) != kPlanSectionMagic) {
+    return Status::IOError("plan section has bad magic");
+  }
+  const uint32_t version = GetU32(base + 8);
+  if (version != kPlanSectionVersion) {
+    return Status::IOError(
+        StrFormat("plan section version %u, this build reads exactly %u",
+                  version, kPlanSectionVersion));
+  }
+  if (GetU32(base + kHeaderCrcOffset) != Crc32(base, kHeaderCrcOffset)) {
+    return Status::IOError("plan section header checksum mismatch");
+  }
+  // Header CRC now vouches for the counts and the slab table; geometry
+  // checks below defend against a header that is internally inconsistent
+  // (which a CRC over corrupt-at-write bytes would not catch).
+  const uint32_t num_attrs = GetU32(base + 12);
+  const uint32_t num_stars = GetU32(base + 16);
+  const uint32_t num_cores = GetU32(base + 20);
+  const uint32_t num_postings = GetU32(base + 24);
+  const uint32_t section_bytes = GetU32(base + 28);
+  if (section_bytes > section.size()) {
+    return Status::IOError(
+        StrFormat("plan section truncated: header declares %u bytes, %zu "
+                  "present",
+                  section_bytes, section.size()));
+  }
+  size_t prev_end = kPlanSectionHeaderBytes;
+  for (size_t i = 0; i < kNumSlabs; ++i) {
+    const char* row = base + kSlabTableOffset + i * 12;
+    const uint32_t offset = GetU32(row);
+    const uint32_t length = GetU32(row + 4);
+    const size_t expected =
+        ExpectedSlabBytes(i, num_attrs, num_stars, num_cores, num_postings);
+    if (length != expected) {
+      return Status::IOError(StrFormat(
+          "plan section slab %s is %u bytes, counts imply %zu",
+          kSlabNames[i], length, expected));
+    }
+    if (offset % kPlanSlabAlignment != 0) {
+      return Status::IOError(
+          StrFormat("plan section slab %s offset %u is not %zu-byte aligned",
+                    kSlabNames[i], offset, kPlanSlabAlignment));
+    }
+    if (offset < prev_end) {
+      return Status::IOError(StrFormat(
+          "plan section slab %s at offset %u overlaps the bytes before it",
+          kSlabNames[i], offset));
+    }
+    if (static_cast<uint64_t>(offset) + length > section_bytes) {
+      return Status::IOError(StrFormat(
+          "plan section slab %s [%u, +%u) escapes the %u-byte section",
+          kSlabNames[i], offset, length, section_bytes));
+    }
+    prev_end = static_cast<size_t>(offset) + length;
+    if (verify_slab_crcs &&
+        GetU32(row + 8) != Crc32(base + offset, length)) {
+      return Status::IOError(StrFormat(
+          "plan section slab %s checksum mismatch (corrupt section)",
+          kSlabNames[i]));
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::shared_ptr<const ScoringPlan>> PlanFromSectionBytes(
+    const void* data, size_t size, std::shared_ptr<const void> storage) {
+  const char* base = static_cast<const char*>(data);
+  CSPM_RETURN_IF_ERROR(ValidatePlanSection({base, size},
+                                           /*verify_slab_crcs=*/false));
+  const uint32_t num_attrs = GetU32(base + 12);
+  const uint32_t num_stars = GetU32(base + 16);
+  const uint32_t num_cores = GetU32(base + 20);
+  const uint32_t num_postings = GetU32(base + 24);
+  auto slab = [&](size_t i) {
+    return base + GetU32(base + kSlabTableOffset + i * 12);
+  };
+  ScoringPlan::Slabs slabs;
+  slabs.leaf_size = {reinterpret_cast<const uint32_t*>(slab(0)), num_stars};
+  slabs.code_length_bits = {reinterpret_cast<const double*>(slab(1)),
+                            num_stars};
+  slabs.core_offsets = {reinterpret_cast<const uint32_t*>(slab(2)),
+                        static_cast<size_t>(num_stars) + 1};
+  slabs.cores = {reinterpret_cast<const AttrId*>(slab(3)), num_cores};
+  slabs.posting_offsets = {reinterpret_cast<const uint32_t*>(slab(4)),
+                           static_cast<size_t>(num_attrs) + 1};
+  slabs.postings = {reinterpret_cast<const uint32_t*>(slab(5)), num_postings};
+  CSPM_ASSIGN_OR_RETURN(
+      ScoringPlan plan,
+      ScoringPlan::FromSlabs(num_attrs, slabs, std::move(storage)));
+  return std::make_shared<const ScoringPlan>(std::move(plan));
+}
+
+StatusOr<std::shared_ptr<const ScoringPlan>> MmapPlanView::Open(
+    const std::string& path, uint64_t offset, size_t section_bytes) {
+  static auto* const mmap_opens = obs::GetCounter("store.plan_mmap_opens");
+  if (section_bytes < kPlanSectionHeaderBytes) {
+    return Status::IOError(
+        StrFormat("plan section of %zu bytes is smaller than its header",
+                  section_bytes));
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path + " for mapping: " +
+                           std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const Status status = Status::IOError("cannot stat " + path + ": " +
+                                          std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (static_cast<uint64_t>(st.st_size) < offset + section_bytes) {
+    ::close(fd);
+    return Status::IOError(StrFormat(
+        "plan section [%llu, +%zu) escapes %s (%llu bytes)",
+        static_cast<unsigned long long>(offset), section_bytes, path.c_str(),
+        static_cast<unsigned long long>(st.st_size)));
+  }
+  // mmap offsets must be OS-page aligned; the store's 4 KiB extents are,
+  // but round down anyway so the contract does not depend on it.
+  const uint64_t page = static_cast<uint64_t>(::sysconf(_SC_PAGESIZE));
+  const uint64_t map_offset = (offset / page) * page;
+  const size_t delta = static_cast<size_t>(offset - map_offset);
+  const size_t map_length = delta + section_bytes;
+  void* mapped = ::mmap(nullptr, map_length, PROT_READ, MAP_PRIVATE, fd,
+                        static_cast<off_t>(map_offset));
+  ::close(fd);  // the mapping keeps its own reference to the file
+  if (mapped == MAP_FAILED) {
+    return Status::IOError("mmap of " + path + " failed: " +
+                           std::strerror(errno));
+  }
+  auto region = std::make_shared<MappedRegion>(mapped, map_length);
+  mmap_opens->Add(1);
+  return PlanFromSectionBytes(static_cast<const char*>(mapped) + delta,
+                              section_bytes, std::move(region));
+}
+
+}  // namespace cspm::store

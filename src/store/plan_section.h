@@ -1,0 +1,86 @@
+// The mmap-native plan section (store format v3, DESIGN.md §12): a
+// ScoringPlan's six slabs written fixed-width, little-endian, 64-byte
+// aligned and offset-based, so the bytes on disk are exactly the bytes
+// ScoreInto reads. Opening a model for serving is then mmap + O(1)
+// header validation — no LEB128 decode, no plan compile, no allocation —
+// and the scores are bit-identical to a compiled plan because they *are*
+// the compiled plan's bytes (Put encodes the freshly compiled slabs).
+//
+// Section layout (all integers u32 LE unless noted):
+//
+//   [0..8)     magic "CSPMPLN3"
+//   [8..12)    section format version (1)
+//   [12..16)   num_attribute_values
+//   [16..20)   num_stars
+//   [20..24)   num_cores          (flat core-value slab length)
+//   [24..28)   num_postings       (flat posting slab length)
+//   [28..32)   section_bytes      (header + padding + slabs)
+//   [32..104)  slab table: 6 x { offset, length_bytes, crc32 } in Slabs
+//              order (leaf_size, code_length_bits, core_offsets, cores,
+//              posting_offsets, postings)
+//   [104..108) CRC-32 of bytes [0, 104)
+//   [108..128) zero padding
+//   [128..)    slabs; every offset is 64-byte aligned (covers the
+//              8-byte doubles of code_length_bits with room for wider
+//              vector loads later)
+//
+// Validation is two-tier by design: ValidatePlanSection's default mode
+// checks the header CRC and the slab geometry only — O(1), cheap enough
+// for every serving open — while fsck passes verify_slab_crcs to sweep
+// the full section. A flipped bit in a slab therefore never fails an
+// open, but it cannot survive an fsck.
+#ifndef CSPM_STORE_PLAN_SECTION_H_
+#define CSPM_STORE_PLAN_SECTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "cspm/scoring_plan.h"
+#include "util/status.h"
+
+namespace cspm::store {
+
+/// Fixed prologue-plus-table size; slabs start here.
+inline constexpr size_t kPlanSectionHeaderBytes = 128;
+inline constexpr std::string_view kPlanSectionMagic = "CSPMPLN3";  // 8 bytes
+inline constexpr uint32_t kPlanSectionVersion = 1;
+/// Alignment of every slab offset (and of the section itself in the
+/// store file, where extents start on 4 KiB page boundaries).
+inline constexpr size_t kPlanSlabAlignment = 64;
+
+/// Serializes a plan's slabs into a self-contained section. The inverse
+/// of PlanFromSectionBytes; encoding a compiled plan and viewing the
+/// result yields bit-identical scores to the plan itself.
+std::string EncodePlanSection(const core::ScoringPlan& plan);
+
+/// Validates a section image. Always checks magic, version, header CRC
+/// and the slab geometry (expected lengths from the counts, 64-byte
+/// alignment, ascending non-overlapping offsets, containment in
+/// `section.size()`); with `verify_slab_crcs` it additionally sweeps all
+/// six slab CRCs (the fsck tier — deliberately not paid on open).
+Status ValidatePlanSection(std::string_view section, bool verify_slab_crcs);
+
+/// Wraps a validated section image as a ScoringPlan view. `data` must
+/// stay alive and unchanged for as long as `storage` is retained; the
+/// returned plan (and every copy of it) holds `storage`. Runs the O(1)
+/// validation tier only.
+StatusOr<std::shared_ptr<const core::ScoringPlan>> PlanFromSectionBytes(
+    const void* data, size_t size, std::shared_ptr<const void> storage);
+
+/// Zero-copy open path: maps `section_bytes` at `offset` of `path`
+/// read-only and returns a plan view whose slabs alias the mapping. The
+/// mapping is owned by the plan's storage pointer and unmapped when the
+/// last plan copy (or engine pinning it) goes away — evicting from a
+/// cache while a ServingEngine still scores through the plan is safe.
+/// `offset` need not be page-aligned (the mapping rounds down).
+class MmapPlanView {
+ public:
+  static StatusOr<std::shared_ptr<const core::ScoringPlan>> Open(
+      const std::string& path, uint64_t offset, size_t section_bytes);
+};
+
+}  // namespace cspm::store
+
+#endif  // CSPM_STORE_PLAN_SECTION_H_

@@ -41,7 +41,12 @@ using testing::PaperExampleGraph;
 std::string GraphFingerprint(const AttributedGraph& g) {
   std::string out;
   for (VertexId v(0); v < g.num_vertices(); ++v) {
-    out += "v" + std::to_string(v.value()) + ":";
+    // Sequential appends, not `"v" + std::to_string(...) + ":"`: the
+    // temporary-chain form trips g++ 12's libstdc++ operator+ -Wrestrict
+    // false positive under -Werror (GCC PR105651).
+    out += "v";
+    out += std::to_string(v.value());
+    out += ":";
     for (graph::AttrId a : g.Attributes(v)) out += g.dict().Name(a) + ",";
     out += "|";
     for (VertexId w : g.Neighbors(v)) out += std::to_string(w.value()) + ",";
@@ -85,7 +90,9 @@ std::string IdbFingerprint(const InvertedDatabase& idb) {
   std::string out;
   idb.ForEachLine([&](core::CoreId e, core::LeafsetId l,
                       core::PosListView positions) {
-    out += "e" + std::to_string(e.value()) + "[";
+    out += "e";  // sequential appends: see GraphFingerprint's -Wrestrict note
+    out += std::to_string(e.value());
+    out += "[";
     for (graph::AttrId a : idb.CoresetValues(e)) {
       out += std::to_string(a.value()) + ",";
     }

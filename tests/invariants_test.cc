@@ -20,9 +20,11 @@
 #include "graph/validate.h"
 #include "store/model_store.h"
 #include "store/pager.h"
+#include "store/plan_section.h"
 #include "testing_util.h"
 #include "util/crc32.h"
 #include "util/rng.h"
+#include "util/string_util.h"
 
 namespace cspm {
 namespace {
@@ -145,6 +147,40 @@ uint32_t CatalogHead(const std::string& path) {
   return GetU32(bytes.data() + 24);
 }
 
+/// First page carrying a valid page header (CRC over [4, 4096) stored at
+/// [0, 4)). The plan extent lands directly after the header page on a
+/// fresh store and its raw section bytes do not checksum as pages, so
+/// this finds the head of the first record chain regardless of how many
+/// pages the extent took.
+uint32_t FirstChainPage(const std::string& path) {
+  const std::string bytes = ReadFileBytes(path);
+  for (size_t p = 1; (p + 1) * size_t{Pager::kPageSize} <= bytes.size(); ++p) {
+    const char* page = bytes.data() + p * Pager::kPageSize;
+    if (GetU32(page) == Crc32(page + 4, Pager::kPageSize - 4)) {
+      return static_cast<uint32_t>(p);
+    }
+  }
+  ADD_FAILURE() << "no header-carrying page found in " << path;
+  return Pager::kNoPage;
+}
+
+/// Byte offset of the first model's plan section: the extent is the first
+/// thing Put allocates on a fresh store, so it starts at page 1.
+constexpr size_t kPlanSectionOffset = Pager::kPageSize;
+
+/// Rewrites field `field` (0 = offset, 1 = length, 2 = crc) of slab
+/// table entry `slab` and re-seals the section header CRC — the
+/// corruption survives the header checksum and must be caught by the
+/// geometry (or slab-CRC) validation itself.
+void BendSlabTable(const std::string& path, size_t slab, size_t field,
+                   uint32_t value) {
+  std::string bytes = ReadFileBytes(path);
+  char* section = bytes.data() + kPlanSectionOffset;
+  PutU32(section + 32 + slab * 12 + field * 4, value);
+  PutU32(section + 104, Crc32(section, 104));
+  WriteFileBytes(path, bytes);
+}
+
 TEST(StoreInvariants, AcceptHealthyStoreAcrossMutations) {
   const std::string path = TempPath("fsck_healthy.cspm");
   BuildStore(path);
@@ -162,14 +198,14 @@ TEST(StoreInvariants, AcceptHealthyStoreAcrossMutations) {
   EXPECT_TRUE(store->Fsck().ok());
 }
 
-// Page 1 is the head of the first record chain written after Create (the
-// pager allocates sequentially from a fresh file), so the corruption tests
-// below all target the "planted" record chain.
+// The corruption tests below all target the "planted" record chain,
+// located via FirstChainPage (the plan extent sits between the header and
+// the first chain page since v3).
 
 TEST(StoreInvariants, DetectTruncatedChainThatCrcMisses) {
   const std::string path = TempPath("fsck_truncated.cspm");
   BuildStore(path);
-  BendNextLink(path, /*page_id=*/1, Pager::kNoPage);
+  BendNextLink(path, FirstChainPage(path), Pager::kNoPage);
 
   // Every checksum is valid, so Open (header + catalog) succeeds...
   auto store = ModelStore::Open(path);
@@ -187,7 +223,7 @@ TEST(StoreInvariants, DetectChainSplicedIntoCatalog) {
   BuildStore(path);
   const uint32_t catalog_head = CatalogHead(path);
   ASSERT_NE(catalog_head, Pager::kNoPage);
-  BendNextLink(path, /*page_id=*/1, catalog_head);
+  BendNextLink(path, FirstChainPage(path), catalog_head);
 
   auto store = ModelStore::Open(path);
   ASSERT_TRUE(store.ok());
@@ -200,7 +236,8 @@ TEST(StoreInvariants, DetectChainSplicedIntoCatalog) {
 TEST(StoreInvariants, DetectChainCycle) {
   const std::string path = TempPath("fsck_cycle.cspm");
   BuildStore(path);
-  BendNextLink(path, /*page_id=*/1, /*next=*/1);
+  const uint32_t head = FirstChainPage(path);
+  BendNextLink(path, head, head);
 
   auto store = ModelStore::Open(path);
   ASSERT_TRUE(store.ok());
@@ -208,6 +245,114 @@ TEST(StoreInvariants, DetectChainCycle) {
   ASSERT_FALSE(audit.ok());
   EXPECT_NE(audit.message().find("cycles back"), std::string::npos)
       << audit.ToString();
+}
+
+// --- v3 plan sections and the catalog index -------------------------------
+
+TEST(StoreInvariants, PlanSlabByteFlipPassesOpenButFailsFsck) {
+  const std::string path = TempPath("fsck_slab_flip.cspm");
+  BuildStore(path);
+  // Flip one bit inside the first slab (slabs start at the fixed header
+  // size). The two-tier contract: the O(1) serving open does not sweep
+  // slab CRCs, fsck does.
+  std::string bytes = ReadFileBytes(path);
+  bytes[kPlanSectionOffset + store::kPlanSectionHeaderBytes + 7] ^= 0x20;
+  WriteFileBytes(path, bytes);
+
+  auto store = ModelStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  EXPECT_TRUE(store->OpenPlan("planted").ok());
+  const Status fsck = store->Fsck();
+  ASSERT_FALSE(fsck.ok());
+  EXPECT_NE(fsck.message().find("plan section of 'planted'"),
+            std::string::npos)
+      << fsck.ToString();
+}
+
+TEST(StoreInvariants, DetectPlanSectionMisalignedSlabOffset) {
+  const std::string path = TempPath("fsck_misaligned.cspm");
+  BuildStore(path);
+  // Shift the first slab off its 64-byte boundary (header CRC re-sealed,
+  // so only the geometry check can see it). Already the O(1) tier — the
+  // serving open itself — must refuse.
+  BendSlabTable(path, /*slab=*/0, /*field=*/0,
+                static_cast<uint32_t>(store::kPlanSectionHeaderBytes + 4));
+  auto store = ModelStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  EXPECT_FALSE(store->OpenPlan("planted").ok());
+  EXPECT_FALSE(store->Fsck().ok());
+}
+
+TEST(StoreInvariants, DetectPlanSectionOverlappingSlabs) {
+  const std::string path = TempPath("fsck_overlap.cspm");
+  BuildStore(path);
+  // Point the second slab at the first slab's offset: lengths and
+  // alignment stay plausible, but the ranges overlap.
+  BendSlabTable(path, /*slab=*/1, /*field=*/0,
+                static_cast<uint32_t>(store::kPlanSectionHeaderBytes));
+  auto store = ModelStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  EXPECT_FALSE(store->OpenPlan("planted").ok());
+  EXPECT_FALSE(store->Fsck().ok());
+}
+
+TEST(StoreInvariants, DetectPlanSectionTruncatedSlab) {
+  const std::string path = TempPath("fsck_trunc_slab.cspm");
+  BuildStore(path);
+  // Shrink the postings slab's recorded length below what the header
+  // counts promise.
+  const std::string bytes = ReadFileBytes(path);
+  const uint32_t len =
+      GetU32(bytes.data() + kPlanSectionOffset + 32 + 5 * 12 + 4);
+  ASSERT_GT(len, 0u);
+  BendSlabTable(path, /*slab=*/5, /*field=*/1, len - 4);
+  auto store = ModelStore::Open(path);
+  ASSERT_TRUE(store.ok());
+  EXPECT_FALSE(store->OpenPlan("planted").ok());
+  EXPECT_FALSE(store->Fsck().ok());
+}
+
+TEST(StoreInvariants, DetectCatalogIndexLeafCycle) {
+  const std::string path = TempPath("fsck_index_cycle.cspm");
+  auto store = ModelStore::Create(path);
+  ASSERT_TRUE(store.ok());
+  // Enough tiny models that the catalog index spans several leaves under
+  // an interior root.
+  std::vector<std::pair<std::string, StoredModel>> batch;
+  for (int i = 0; i < 300; ++i) {
+    batch.emplace_back(StrFormat("model-%04d", i),
+                       StoredModel{{}, graph::AttributeDictionary{},
+                                   std::nullopt});
+  }
+  ASSERT_TRUE(store->PutMany(batch).ok());
+
+  // With single-page records (next == 0) and next-free interior nodes,
+  // the only header-carrying pages with a nonzero next link are the
+  // non-rightmost catalog leaves. Bend one into a self-loop.
+  const std::string bytes = ReadFileBytes(path);
+  uint32_t leaf = Pager::kNoPage;
+  for (size_t p = 1; (p + 1) * size_t{Pager::kPageSize} <= bytes.size();
+       ++p) {
+    const char* page = bytes.data() + p * Pager::kPageSize;
+    if (GetU32(page) == Crc32(page + 4, Pager::kPageSize - 4) &&
+        GetU32(page + 4) != Pager::kNoPage) {
+      leaf = static_cast<uint32_t>(p);
+      break;
+    }
+  }
+  ASSERT_NE(leaf, Pager::kNoPage) << "no multi-leaf catalog index built";
+  BendNextLink(path, leaf, leaf);
+
+  auto reopened = ModelStore::Open(path);
+  ASSERT_TRUE(reopened.ok());  // open reads header + root only
+  const Status audit = reopened->CheckInvariants();
+  ASSERT_FALSE(audit.ok());
+  // The self-loop trips either the leaf-level link check or the duplicate
+  // entry check, depending on which walk reaches it first.
+  EXPECT_TRUE(audit.message().find("leaf level") != std::string::npos ||
+              audit.message().find("duplicate") != std::string::npos)
+      << audit.ToString();
+  EXPECT_FALSE(reopened->Fsck().ok());
 }
 
 }  // namespace

@@ -1,0 +1,328 @@
+// Tests for the mmap-native plan section (store format v3): the on-disk
+// encode/validate round trip, bit-identity of mmap-view scores against a
+// freshly compiled plan on the n=8000 serving stand-in, the registry's
+// LRU plan cache (hits, misses, evictions, eviction-while-serving), and
+// read-compatibility with a committed v2 store file produced by an older
+// binary.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cspm/scoring_plan.h"
+#include "datasets/synthetic.h"
+#include "engine/model_registry.h"
+#include "engine/session.h"
+#include "graph/generators.h"
+#include "obs/metrics.h"
+#include "store/model_store.h"
+#include "store/plan_section.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace cspm {
+namespace {
+
+using store::ModelStore;
+using store::StoredModel;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+graph::AttributedGraph SmallGraph(uint64_t seed = 7) {
+  Rng rng(seed);
+  auto g = graph::BarabasiAlbert(/*n=*/200, /*m=*/3, /*vocabulary=*/20,
+                                 /*attrs_per_vertex=*/3, &rng);
+  CSPM_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+core::CspmModel Mine(const graph::AttributedGraph& g) {
+  engine::MiningOptions opts;
+  opts.record_iteration_stats = false;
+  auto model = engine::MineModel(g, opts);
+  CSPM_CHECK(model.ok());
+  return std::move(model).value();
+}
+
+/// Exact (bitwise, via ==) score comparison over every vertex of `g`.
+void ExpectBitIdenticalScores(const graph::AttributedGraph& g,
+                              const core::ScoringPlan& a,
+                              const core::ScoringPlan& b) {
+  ASSERT_EQ(a.num_attribute_values(), b.num_attribute_values());
+  std::vector<graph::AttrId> neighbourhood;
+  for (graph::VertexId v(0); v < g.num_vertices(); ++v) {
+    neighbourhood.clear();
+    core::GatherNeighbourhoodAttrs(g, v, &neighbourhood);
+    const core::AttributeScores sa = a.Score(neighbourhood);
+    const core::AttributeScores sb = b.Score(neighbourhood);
+    ASSERT_EQ(sa.raw.size(), sb.raw.size());
+    for (size_t i = 0; i < sa.raw.size(); ++i) {
+      // EXPECT_EQ on doubles is exact — the bit-identity contract.
+      ASSERT_EQ(sa.raw[i], sb.raw[i])
+          << "raw score diverged at vertex " << v.value() << " attr " << i;
+      ASSERT_EQ(sa.normalized[i], sb.normalized[i])
+          << "normalized score diverged at vertex " << v.value() << " attr "
+          << i;
+    }
+  }
+}
+
+// --- encode / validate / view round trip ----------------------------------
+
+TEST(PlanSection, EncodeValidateRoundTrip) {
+  const graph::AttributedGraph g = SmallGraph();
+  const core::CspmModel model = Mine(g);
+  const core::ScoringPlan plan =
+      core::ScoringPlan::Compile(model, g.num_attribute_values());
+
+  const std::string section = store::EncodePlanSection(plan);
+  ASSERT_GE(section.size(), store::kPlanSectionHeaderBytes);
+  EXPECT_EQ(section.compare(0, 8, store::kPlanSectionMagic), 0);
+  EXPECT_TRUE(store::ValidatePlanSection(section, /*verify_slab_crcs=*/false)
+                  .ok());
+  EXPECT_TRUE(store::ValidatePlanSection(section, /*verify_slab_crcs=*/true)
+                  .ok());
+
+  // Wrap the encoded bytes as a view (no mmap needed — the same code path
+  // serves both) and check full equivalence.
+  auto holder = std::make_shared<std::string>(section);
+  auto view_or =
+      store::PlanFromSectionBytes(holder->data(), holder->size(), holder);
+  ASSERT_TRUE(view_or.ok()) << view_or.status().ToString();
+  const core::ScoringPlan& view = **view_or;
+  EXPECT_TRUE(view.is_view());
+  EXPECT_FALSE(plan.is_view());
+  EXPECT_EQ(view.num_stars(), plan.num_stars());
+  EXPECT_TRUE(view.CheckInvariants().ok());
+  ExpectBitIdenticalScores(g, plan, view);
+}
+
+TEST(PlanSection, ValidateRejectsTamperedBytes) {
+  const graph::AttributedGraph g = SmallGraph();
+  const core::ScoringPlan plan =
+      core::ScoringPlan::Compile(Mine(g), g.num_attribute_values());
+  std::string section = store::EncodePlanSection(plan);
+
+  // Header flip: both tiers refuse.
+  std::string bad = section;
+  bad[13] ^= 0x01;
+  EXPECT_FALSE(
+      store::ValidatePlanSection(bad, /*verify_slab_crcs=*/false).ok());
+
+  // Slab flip: the O(1) tier accepts, the fsck tier refuses.
+  bad = section;
+  bad[store::kPlanSectionHeaderBytes + 3] ^= 0x01;
+  EXPECT_TRUE(
+      store::ValidatePlanSection(bad, /*verify_slab_crcs=*/false).ok());
+  EXPECT_FALSE(
+      store::ValidatePlanSection(bad, /*verify_slab_crcs=*/true).ok());
+
+  // Truncation: the O(1) tier refuses (geometry escapes the section).
+  bad = section.substr(0, section.size() - 1);
+  EXPECT_FALSE(
+      store::ValidatePlanSection(bad, /*verify_slab_crcs=*/false).ok());
+}
+
+// --- mmap view through the store, n=8000 stand-in -------------------------
+
+TEST(PlanSection, MmapViewBitIdenticalOnServingStandIn) {
+  const graph::AttributedGraph g = datasets::MakePokecLike(1, 8000).value();
+  const core::CspmModel model = Mine(g);
+  const core::ScoringPlan compiled =
+      core::ScoringPlan::Compile(model, g.num_attribute_values());
+
+  const std::string path = TempPath("plan_section_8000.cspm");
+  auto store = ModelStore::Create(path);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Put("standin", {model, g.dict(), std::nullopt}).ok());
+
+  // Reopen from the committed image, the way a serving process would.
+  auto reopened = ModelStore::Open(path);
+  ASSERT_TRUE(reopened.ok());
+  auto plan_or = reopened->OpenPlan("standin");
+  ASSERT_TRUE(plan_or.ok()) << plan_or.status().ToString();
+  const std::shared_ptr<const core::ScoringPlan> view = *plan_or;
+  EXPECT_TRUE(view->is_view());
+  EXPECT_TRUE(view->CheckInvariants().ok());
+  ExpectBitIdenticalScores(g, compiled, *view);
+  std::remove(path.c_str());
+}
+
+// --- registry LRU plan cache ----------------------------------------------
+
+TEST(PlanCache, HitsMissesEvictionsAndReopen) {
+  const std::string path = TempPath("plan_cache_lru.cspm");
+  const graph::AttributedGraph g = SmallGraph();
+  const core::CspmModel model = Mine(g);
+  {
+    auto store = ModelStore::Create(path);
+    ASSERT_TRUE(store.ok());
+    for (const char* name : {"a", "b", "c"}) {
+      ASSERT_TRUE(store->Put(name, {model, g.dict(), std::nullopt}).ok());
+    }
+  }
+  auto store = ModelStore::Open(path);
+  ASSERT_TRUE(store.ok());
+
+  obs::Counter* hits = obs::GetCounter("registry.plan_cache.hits");
+  obs::Counter* misses = obs::GetCounter("registry.plan_cache.misses");
+  obs::Counter* evictions = obs::GetCounter("registry.plan_cache.evictions");
+  const uint64_t hits0 = hits->Value();
+  const uint64_t misses0 = misses->Value();
+  const uint64_t evictions0 = evictions->Value();
+#ifdef CSPM_OBS_OFF
+  (void)hits0;
+  (void)misses0;
+  (void)evictions0;
+#endif
+
+  engine::ModelRegistry registry;
+  auto a1 = registry.OpenPlan(*store, "a");
+  ASSERT_TRUE(a1.ok());
+#ifndef CSPM_OBS_OFF
+  EXPECT_EQ(misses->Value(), misses0 + 1);
+#endif
+  const size_t plan_bytes = (*a1)->ApproxBytes();
+  ASSERT_GT(plan_bytes, 0u);
+  EXPECT_EQ(registry.plan_cache_resident_bytes(), plan_bytes);
+
+  // Second open of the same model: a hit, and the very same plan object.
+  auto a2 = registry.OpenPlan(*store, "a");
+  ASSERT_TRUE(a2.ok());
+#ifndef CSPM_OBS_OFF
+  EXPECT_EQ(hits->Value(), hits0 + 1);
+#endif
+  EXPECT_EQ(a1->get(), a2->get());
+
+  // Capacity for one plan only: opening "b" evicts "a".
+  registry.SetPlanCacheCapacity(plan_bytes);
+  auto b = registry.OpenPlan(*store, "b");
+  ASSERT_TRUE(b.ok());
+#ifndef CSPM_OBS_OFF
+  EXPECT_EQ(evictions->Value(), evictions0 + 1);
+#endif
+  EXPECT_EQ(registry.plan_cache_resident_bytes(), plan_bytes);
+
+  // Eviction-while-serving: the held handle still scores after its cache
+  // entry (the only other owner of the mapping) is gone.
+  std::vector<graph::AttrId> neighbourhood;
+  core::GatherNeighbourhoodAttrs(g, graph::VertexId(0), &neighbourhood);
+  const core::AttributeScores before = (*a1)->Score(neighbourhood);
+
+  // Evict-then-reopen: "a" misses again and the fresh mapping scores
+  // identically.
+  auto a3 = registry.OpenPlan(*store, "a");
+  ASSERT_TRUE(a3.ok());
+#ifndef CSPM_OBS_OFF
+  EXPECT_EQ(misses->Value(), misses0 + 3);  // a, b, a again
+#endif
+  const core::AttributeScores after = (*a3)->Score(neighbourhood);
+  ASSERT_EQ(before.normalized.size(), after.normalized.size());
+  for (size_t i = 0; i < before.normalized.size(); ++i) {
+    EXPECT_EQ(before.normalized[i], after.normalized[i]);
+  }
+
+  // Invalidation drops the entry without counting as cache pressure.
+  registry.InvalidateCachedPlan(store->path(), "a");
+  auto a4 = registry.OpenPlan(*store, "a");
+  ASSERT_TRUE(a4.ok());
+  EXPECT_NE(a3->get(), a4->get());
+#ifndef CSPM_OBS_OFF
+  EXPECT_EQ(misses->Value(), misses0 + 4);
+#endif
+  std::remove(path.c_str());
+}
+
+// --- v2 read-compatibility -------------------------------------------------
+
+/// Copies the committed v2 fixture (written by a pre-v3 binary: linear
+/// catalog chain, no plan sections) into the temp dir.
+std::string CopyV2Fixture(const std::string& name) {
+  const std::string src = std::string(CSPM_TEST_DATA_DIR) + "/v2_store.cspm";
+  const std::string dst = TempPath(name);
+  std::ifstream in(src, std::ios::binary);
+  CSPM_CHECK(in.good());
+  std::ofstream out(dst, std::ios::binary | std::ios::trunc);
+  out << in.rdbuf();
+  CSPM_CHECK(out.good());
+  return dst;
+}
+
+TEST(V2Compat, OpensReadsAndServesWithoutPlanSection) {
+  const std::string path = CopyV2Fixture("v2_compat_read.cspm");
+  auto store = ModelStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ(store->size(), 1u);
+  EXPECT_TRUE(store->Contains("v2model"));
+  EXPECT_TRUE(store->Fsck().ok());
+
+  auto stored = store->Get("v2model");
+  ASSERT_TRUE(stored.ok());
+  ASSERT_TRUE(stored->graph.has_value());
+  EXPECT_EQ(store->List()[0].plan_bytes, 0u);
+
+  // The WAL written by the old binary is still replayable.
+  auto wal = store->ReadWal("v2model");
+  ASSERT_TRUE(wal.ok());
+  EXPECT_EQ(wal->deltas.size(), 1u);
+  EXPECT_FALSE(wal->truncated);
+
+  // No plan section yet: the direct open refuses with the upgrade hint,
+  // and the registry falls back to decode + compile.
+  auto direct = store->OpenPlan("v2model");
+  ASSERT_FALSE(direct.ok());
+  EXPECT_NE(direct.status().message().find("no plan section"),
+            std::string::npos)
+      << direct.status().ToString();
+  engine::ModelRegistry registry;
+  auto fallback = registry.OpenPlan(*store, "v2model");
+  ASSERT_TRUE(fallback.ok()) << fallback.status().ToString();
+  EXPECT_FALSE((*fallback)->is_view());
+  std::remove(path.c_str());
+}
+
+TEST(V2Compat, FirstMutationUpgradesToV3InPlace) {
+  const std::string path = CopyV2Fixture("v2_compat_upgrade.cspm");
+  core::CspmModel model;
+  graph::AttributedGraph g = [&] {
+    auto store = ModelStore::Open(path);
+    CSPM_CHECK(store.ok());
+    auto stored = store->Get("v2model");
+    CSPM_CHECK(stored.ok());
+    model = stored->model;
+    graph::AttributedGraph graph = std::move(*stored->graph);
+
+    // Scores of the record decoded by this (v3) binary must match what
+    // the v2 binary persisted — then re-Put upgrades the file in place.
+    CSPM_CHECK(store->Put("v2model", {model, graph.dict(), graph}).ok());
+    return graph;
+  }();
+
+  auto upgraded = ModelStore::Open(path);
+  ASSERT_TRUE(upgraded.ok()) << upgraded.status().ToString();
+  EXPECT_TRUE(upgraded->Fsck().ok());
+  ASSERT_FALSE(upgraded->List().empty());
+  EXPECT_GT(upgraded->List()[0].plan_bytes, 0u);
+  // Put compacts the WAL.
+  auto wal = upgraded->ReadWal("v2model");
+  ASSERT_TRUE(wal.ok());
+  EXPECT_TRUE(wal->deltas.empty());
+
+  auto plan_or = upgraded->OpenPlan("v2model");
+  ASSERT_TRUE(plan_or.ok()) << plan_or.status().ToString();
+  EXPECT_TRUE((*plan_or)->is_view());
+  const core::ScoringPlan compiled =
+      core::ScoringPlan::Compile(model, g.num_attribute_values());
+  ExpectBitIdenticalScores(g, compiled, **plan_or);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cspm

@@ -377,6 +377,10 @@ Status CmdSave(Shell& sh, const std::vector<std::string>& args) {
   stored.dict = sh.current->dict;
   if (sh.current->graph != nullptr) stored.graph = *sh.current->graph;
   CSPM_RETURN_IF_ERROR(sh.store->Put(args[1], stored));
+  // The store just rewrote this model's plan section; drop any cached
+  // mapping so the next load maps the fresh bytes (in-flight handles keep
+  // the old mapping alive on their own).
+  sh.registry.InvalidateCachedPlan(sh.store->path(), args[1]);
   if (sh.session.has_value() && sh.current == sh.session_handle) {
     // The live session's own model is now persisted under this name:
     // later updates append their deltas to its WAL. (Handle identity, not
@@ -395,10 +399,13 @@ Status CmdLoad(Shell& sh, const std::vector<std::string>& args) {
   CSPM_RETURN_IF_ERROR(sh.registry.LoadModel(sh.store->path(), args[1]));
   sh.current = sh.registry.Get(args[1]);
   sh.current_name = args[1];
-  std::printf("loaded '%s': %zu a-stars, %zu attribute values%s\n",
+  std::printf("loaded '%s': %zu a-stars, %zu attribute values%s%s\n",
               args[1].c_str(), sh.current->model.astars.size(),
               sh.current->dict.size(),
-              sh.current->graph != nullptr ? ", graph snapshot" : "");
+              sh.current->graph != nullptr ? ", graph snapshot" : "",
+              sh.current->plan != nullptr && sh.current->plan->is_view()
+                  ? ", mmap plan"
+                  : "");
   return Status::OK();
 }
 
@@ -409,14 +416,19 @@ Status CmdLs(Shell& sh, const std::vector<std::string>&) {
     std::printf("(store is empty)\n");
     return Status::OK();
   }
-  std::printf("%-24s %10s %8s %6s %4s\n", "name", "bytes", "a-stars", "graph",
-              "wal");
+  std::printf("%-24s %10s %8s %6s %4s %10s\n", "name", "bytes", "a-stars",
+              "graph", "wal", "plan");
   for (const auto& info : infos) {
-    std::printf("%-24s %10llu %8llu %6s %4llu\n", info.name.c_str(),
+    std::printf("%-24s %10llu %8llu %6s %4llu %10s\n", info.name.c_str(),
                 static_cast<unsigned long long>(info.bytes),
                 static_cast<unsigned long long>(info.num_astars),
                 info.has_graph ? "yes" : "no",
-                static_cast<unsigned long long>(info.wal_records));
+                static_cast<unsigned long long>(info.wal_records),
+                info.plan_bytes > 0
+                    ? StrFormat("%llu", static_cast<unsigned long long>(
+                                            info.plan_bytes))
+                          .c_str()
+                    : "v2");
   }
   return Status::OK();
 }
@@ -425,6 +437,7 @@ Status CmdRm(Shell& sh, const std::vector<std::string>& args) {
   if (args.size() != 2) return Status::InvalidArgument("usage: rm <name>");
   CSPM_RETURN_IF_ERROR(RequireStore(sh));
   CSPM_RETURN_IF_ERROR(sh.store->Delete(args[1]));
+  sh.registry.InvalidateCachedPlan(sh.store->path(), args[1]);
   sh.registry.Remove(args[1]);
   std::printf("removed '%s'\n", args[1].c_str());
   return Status::OK();
@@ -555,12 +568,22 @@ Status CmdStats(Shell& sh, const std::vector<std::string>& args) {
         static_cast<unsigned long long>(s.final_leafsets),
         static_cast<unsigned long long>(s.initial_lines),
         static_cast<unsigned long long>(s.final_lines), s.runtime_seconds);
+    // Resident plan footprint of the current model: bytes the plan's six
+    // slabs occupy, and whether they are an mmap view of the store file
+    // (zero-copy) or a heap compile.
+    const auto& plan = sh.current->plan;
+    out += StrFormat(
+        "\"plan_resident_bytes\":%zu,\"plan_mmap\":%s,",
+        plan != nullptr ? plan->ApproxBytes() : size_t{0},
+        plan != nullptr && plan->is_view() ? "true" : "false");
     out += StrFormat(
         "\"obs\":{\"mdl.current_dl_bits\":%.12g,"
-        "\"mdl.last_update_dl_delta_bits\":%.12g,\"registry.models\":%.12g}}",
+        "\"mdl.last_update_dl_delta_bits\":%.12g,\"registry.models\":%.12g,"
+        "\"registry.plan_cache.resident_bytes\":%.12g}}",
         obs::GetGauge("mdl.current_dl_bits")->Value(),
         obs::GetGauge("mdl.last_update_dl_delta_bits")->Value(),
-        obs::GetGauge("registry.models")->Value());
+        obs::GetGauge("registry.models")->Value(),
+        obs::GetGauge("registry.plan_cache.resident_bytes")->Value());
     std::printf("%s\n", out.c_str());
     return Status::OK();
   }
@@ -578,6 +601,11 @@ Status CmdStats(Shell& sh, const std::vector<std::string>& args) {
               static_cast<unsigned long long>(s.initial_lines),
               static_cast<unsigned long long>(s.final_lines));
   std::printf("  runtime     %.3fs\n", s.runtime_seconds);
+  if (sh.current->plan != nullptr) {
+    std::printf("  plan        %zu bytes resident (%s)\n",
+                sh.current->plan->ApproxBytes(),
+                sh.current->plan->is_view() ? "mmap view" : "compiled");
+  }
   return Status::OK();
 }
 
