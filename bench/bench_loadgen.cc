@@ -1,0 +1,433 @@
+// Network serving load generator: measures what the ISSUE's coalescing
+// contract actually buys over the wire — batched throughput vs the
+// per-request baseline (--max-batch 1 semantics), plus open-loop tail
+// latency under a fixed offered load.
+//
+// Methodology (docs/OPERATIONS.md "Capacity planning"):
+//
+//  1. Closed-loop capacity, both modes, against an in-process Server
+//     (real TCP + epoll + executor — only process isolation is skipped):
+//       per-request: --max-batch 1 server, synchronous clients, one
+//         vertex per request frame, one request in flight per
+//         connection. Every vertex pays the full per-request cost —
+//         frame parse, validation, dispatch, completion, reply write —
+//         the classic RPC baseline a client without batching support is
+//         stuck with.
+//       batched: shipped server defaults, kBatchRequestVertices vertices
+//         per frame, each connection streaming kPipelineDepth frames;
+//         concurrent requests additionally coalesce into shared executor
+//         flushes (up to 1024 vertices per ScoreBatch).
+//     Sustained vertices/s per mode at the same 8 connections; the gated
+//     `net_batch_speedup` is their ratio, measured in one run of one
+//     binary on one machine, so runner speed cancels (ci/bench_gate.py
+//     --loadgen, baseline key `min_net_batch_speedup`).
+//
+//  2. Open loop: requests arrive on a wall-clock schedule at ~4x the
+//     per-request capacity (capped at 80% of batched capacity so the
+//     batched side is measured stable, not at its own cliff). Senders
+//     never wait for replies — queueing delay is visible, the way a real
+//     overloaded service sees it. The batched server sustains the load;
+//     the per-request server saturates and sheds with OVERLOADED.
+//     Reported: p50/p99 reply latency, delivered vertices/s, overloaded
+//     reply count per mode.
+//
+// Output is google-benchmark-compatible JSON ({"benchmarks": [...]}), so
+// ci/bench_gate.py parses it with the same loader as the other benches.
+//
+//   bench_loadgen [--out FILE]
+//
+// CSPM_BENCH_LOADGEN_VERTICES overrides the dataset size (default 32 —
+// small on purpose: per-vertex scoring compute stays cheap, so the
+// measured gap is the per-request transport + dispatch overhead, which is
+// the thing batching amortizes and this bench isolates; on big graphs
+// scoring compute dominates both modes equally and the ratio tends to 1).
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "datasets/synthetic.h"
+#include "engine/session.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/model_host.h"
+#include "net/server.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace cspm::bench {
+namespace {
+
+constexpr size_t kConnections = 8;
+constexpr size_t kPipelineDepth = 8;
+/// Vertices per request frame in batched mode. With kPipelineDepth frames
+/// in flight per connection, up to kConnections * kPipelineDepth * this
+/// many vertices coalesce server-side (1024 — a quarter of the default
+/// admission bound).
+constexpr uint32_t kBatchRequestVertices = 16;
+constexpr char kModelName[] = "loadgen";
+
+uint32_t LoadgenVertices() {
+  if (const char* env = std::getenv("CSPM_BENCH_LOADGEN_VERTICES")) {
+    return static_cast<uint32_t>(std::strtoul(env, nullptr, 10));
+  }
+  return 32;
+}
+
+/// Mines the bench graph once and saves it into a store file the servers
+/// under test open.
+std::string MakeStore(uint32_t num_vertices) {
+  const std::string path =
+      "/tmp/cspm_bench_loadgen_" + std::to_string(::getpid()) + ".cspm";
+  std::remove(path.c_str());
+  graph::AttributedGraph graph =
+      datasets::MakePokecLike(1, num_vertices).value();
+  engine::MiningOptions opts;
+  opts.record_iteration_stats = false;
+  auto session = engine::MiningSession::Create(graph, opts);
+  CSPM_CHECK(session.ok());
+  CSPM_CHECK(session.value().Mine().ok());
+  engine::SaveModelOptions save;
+  save.format = engine::ModelFileFormat::kBinaryStore;
+  save.model_name = kModelName;
+  save.include_graph = true;
+  CSPM_CHECK(session.value().SaveModel(path, save).ok());
+  return path;
+}
+
+std::unique_ptr<net::Server> StartServer(const std::string& store_path,
+                                         size_t max_batch_vertices) {
+  auto host = net::ModelHost::Open(store_path);
+  CSPM_CHECK(host.ok());
+  net::ServerOptions options;
+  options.batching.max_batch_vertices = max_batch_vertices;
+  // Same latency bound in both modes; with max_batch=1 it never fires
+  // (every request flushes on arrival), so this isolates the coalescing
+  // knob as the only difference between the two servers.
+  options.batching.max_wait_us = 200;
+  options.batching.max_queue_vertices = 4096;
+  auto server = net::Server::Start(std::move(host).value(), options);
+  CSPM_CHECK(server.ok());
+  return std::move(server).value();
+}
+
+/// Pre-encoded score payload carrying `vertices_per_request` consecutive
+/// vertex ids starting at `first` (mod n). Encoded once up front so the
+/// load loops measure the serving stack, not request construction.
+std::string ScorePayload(uint32_t first, uint32_t vertices_per_request,
+                         uint32_t n) {
+  net::ScoreRequest request;
+  request.model = kModelName;
+  request.k = 1;
+  request.vertices.reserve(vertices_per_request);
+  for (uint32_t i = 0; i < vertices_per_request; ++i) {
+    request.vertices.push_back(graph::VertexId((first + i) % n));
+  }
+  return EncodeScoreRequest(request);
+}
+
+std::vector<std::string> MakePayloads(uint32_t n,
+                                      uint32_t vertices_per_request) {
+  std::vector<std::string> payloads;
+  payloads.reserve(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    payloads.push_back(ScorePayload(v, vertices_per_request, n));
+  }
+  return payloads;
+}
+
+struct ModeResult {
+  double closed_loop_vps = 0.0;  ///< sustained closed-loop vertices/s
+  double closed_loop_ms = 0.0;   ///< closed-loop phase wall time
+  double p50_ms = 0.0;           ///< open-loop reply latency percentiles
+  double p99_ms = 0.0;
+  double open_loop_vps = 0.0;  ///< open-loop *delivered* vertices/s
+  uint64_t overloaded = 0;     ///< open-loop OVERLOADED replies
+  uint64_t open_loop_sent = 0;
+};
+
+/// Closed loop: every connection keeps `depth` requests in flight until
+/// it has received `per_conn` replies. depth 1 is the per-request
+/// baseline — synchronous RPC round trips, every request dispatched,
+/// executed, completed and written on its own; depth kPipelineDepth is
+/// the streaming mode the coalescing server was built for. Measures
+/// sustained capacity.
+double ClosedLoopVps(const net::Server& server,
+                     const std::vector<std::string>& payloads,
+                     size_t vertices_per_request, size_t depth,
+                     size_t per_conn, double* elapsed_ms) {
+  std::vector<std::thread> threads;
+  threads.reserve(kConnections);
+  std::atomic<uint64_t> delivered{0};
+  WallTimer timer;
+  for (size_t c = 0; c < kConnections; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = net::Client::Connect("127.0.0.1", server.port());
+      CSPM_CHECK(client.ok());
+      size_t sent = 0;
+      size_t received = 0;
+      uint64_t ok = 0;
+      while (sent < per_conn && sent < depth) {
+        const size_t vertex = (c + sent * kConnections) % payloads.size();
+        CSPM_CHECK(
+            client.value().Send(net::Verb::kScore, payloads[vertex]).ok());
+        ++sent;
+      }
+      while (received < per_conn) {
+        auto reply = client.value().Receive();
+        CSPM_CHECK(reply.ok());
+        ++received;
+        if (reply.value().status == net::WireStatus::kOk) ++ok;
+        if (sent < per_conn) {
+          const size_t vertex = (c + sent * kConnections) % payloads.size();
+          CSPM_CHECK(
+              client.value().Send(net::Verb::kScore, payloads[vertex]).ok());
+          ++sent;
+        }
+      }
+      // The closed-loop in-flight ceiling sits far below the admission
+      // bound: every reply must be OK.
+      CSPM_CHECK(ok == received);
+      delivered.fetch_add(ok * vertices_per_request);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double seconds = timer.ElapsedSeconds();
+  if (elapsed_ms != nullptr) *elapsed_ms = seconds * 1e3;
+  return static_cast<double>(delivered.load()) / seconds;
+}
+
+/// Open loop: requests arrive on a wall-clock schedule at `offered_rps`
+/// across all connections, senders never waiting for replies. Latencies
+/// are recorded for OK replies; OVERLOADED sheds are counted.
+void OpenLoop(const net::Server& server,
+              const std::vector<std::string>& payloads,
+              size_t vertices_per_request, double offered_vps,
+              size_t total_requests, ModeResult* out) {
+  const size_t per_conn = total_requests / kConnections;
+  // offered_vps is in vertices/s; requests arrive at offered_vps / vpr.
+  const double interval_ns = 1e9 * kConnections *
+                             static_cast<double>(vertices_per_request) /
+                             offered_vps;
+  std::vector<std::thread> threads;
+  threads.reserve(kConnections);
+  std::mutex mu;
+  std::vector<double> latencies_ms;
+  std::atomic<uint64_t> overloaded{0};
+  std::atomic<uint64_t> last_reply_ns{0};
+  WallTimer timer;
+  for (size_t c = 0; c < kConnections; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = net::Client::Connect("127.0.0.1", server.port());
+      CSPM_CHECK(client.ok());
+      // Send timestamps indexed by request id (ids are assigned 1..N per
+      // connection); written by the sender thread, read by the receiver
+      // only after the reply arrived.
+      std::vector<std::atomic<uint64_t>> send_ns(per_conn + 1);
+      std::thread receiver([&] {
+        std::vector<double> local_ms;
+        local_ms.reserve(per_conn);
+        uint64_t local_overloaded = 0;
+        for (size_t i = 0; i < per_conn; ++i) {
+          auto reply = client.value().Receive();
+          CSPM_CHECK(reply.ok());
+          const uint64_t now = timer.ElapsedNanos();
+          if (reply.value().status == net::WireStatus::kOk) {
+            const uint64_t sent =
+                send_ns[reply.value().request_id].load(
+                    std::memory_order_acquire);
+            local_ms.push_back(static_cast<double>(now - sent) / 1e6);
+          } else {
+            CSPM_CHECK(reply.value().status == net::WireStatus::kOverloaded);
+            ++local_overloaded;
+          }
+        }
+        uint64_t prev = last_reply_ns.load();
+        const uint64_t now = timer.ElapsedNanos();
+        while (prev < now && !last_reply_ns.compare_exchange_weak(prev, now)) {
+        }
+        overloaded.fetch_add(local_overloaded);
+        std::lock_guard<std::mutex> lock(mu);
+        latencies_ms.insert(latencies_ms.end(), local_ms.begin(),
+                            local_ms.end());
+      });
+      // Sender: fire at the schedule, never waiting for replies. When the
+      // clock has slipped past a slot, send immediately (the backlog is
+      // the load, not a measurement artifact).
+      for (size_t i = 0; i < per_conn; ++i) {
+        const auto target_ns = static_cast<uint64_t>(
+            (static_cast<double>(i) * kConnections + static_cast<double>(c)) /
+            kConnections * interval_ns);
+        const uint64_t now = timer.ElapsedNanos();
+        if (now < target_ns) {
+          std::this_thread::sleep_for(
+              std::chrono::nanoseconds(target_ns - now));
+        }
+        const size_t vertex = (c + i * kConnections) % payloads.size();
+        uint32_t request_id = 0;
+        CSPM_CHECK(client.value()
+                       .Send(net::Verb::kScore, payloads[vertex], &request_id)
+                       .ok());
+        CSPM_CHECK(request_id <= per_conn);
+        send_ns[request_id].store(timer.ElapsedNanos(),
+                                  std::memory_order_release);
+      }
+      receiver.join();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const auto pct = [&](double p) {
+    if (latencies_ms.empty()) return 0.0;
+    const size_t idx = std::min(
+        latencies_ms.size() - 1,
+        static_cast<size_t>(p * static_cast<double>(latencies_ms.size())));
+    return latencies_ms[idx];
+  };
+  out->p50_ms = pct(0.50);
+  out->p99_ms = pct(0.99);
+  out->overloaded = overloaded.load();
+  out->open_loop_sent = per_conn * kConnections;
+  const double seconds = static_cast<double>(last_reply_ns.load()) / 1e9;
+  out->open_loop_vps =
+      static_cast<double>(latencies_ms.size() * vertices_per_request) /
+      std::max(seconds, 1e-9);
+}
+
+void AppendBench(std::string* out, const std::string& name, double real_ms,
+                 const std::vector<std::pair<std::string, double>>& counters,
+                 bool last) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "    {\n      \"name\": \"%s\",\n"
+                "      \"run_type\": \"iteration\",\n"
+                "      \"real_time\": %.4f,\n      \"time_unit\": \"ms\"",
+                name.c_str(), real_ms);
+  *out += buf;
+  for (const auto& [key, value] : counters) {
+    std::snprintf(buf, sizeof(buf), ",\n      \"%s\": %.4f", key.c_str(),
+                  value);
+    *out += buf;
+  }
+  *out += last ? "\n    }\n" : "\n    },\n";
+}
+
+}  // namespace
+}  // namespace cspm::bench
+
+namespace bench = cspm::bench;
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    }
+  }
+
+  const uint32_t n = bench::LoadgenVertices();
+  std::fprintf(stderr, "bench_loadgen: mining %u-vertex dataset...\n", n);
+  const std::string store = bench::MakeStore(n);
+  const std::vector<std::string> single = bench::MakePayloads(n, 1);
+  const std::vector<std::string> multi =
+      bench::MakePayloads(n, bench::kBatchRequestVertices);
+
+  // Closed-loop capacity, per-request baseline first (it also sizes the
+  // open-loop offered rate).
+  constexpr size_t kPerRequestReplies = 2000;
+  constexpr size_t kBatchedReplies = 1500;
+  bench::ModeResult per_request;
+  bench::ModeResult batched;
+  {
+    auto server = bench::StartServer(store, /*max_batch_vertices=*/1);
+    per_request.closed_loop_vps = bench::ClosedLoopVps(
+        *server, single, /*vertices_per_request=*/1, /*depth=*/1,
+        kPerRequestReplies, &per_request.closed_loop_ms);
+  }
+  {
+    auto server = bench::StartServer(store, /*max_batch_vertices=*/256);
+    batched.closed_loop_vps = bench::ClosedLoopVps(
+        *server, multi, bench::kBatchRequestVertices, bench::kPipelineDepth,
+        kBatchedReplies, &batched.closed_loop_ms);
+  }
+  std::fprintf(stderr,
+               "bench_loadgen: closed loop per-request %.0f v/s, "
+               "batched %.0f v/s\n",
+               per_request.closed_loop_vps, batched.closed_loop_vps);
+
+  // Open loop at 4x the per-request capacity, capped at 80% of batched
+  // capacity so the batched mode is measured in its stable region, not at
+  // its own cliff. The offered rate is in vertices/s and identical for
+  // both modes.
+  const double offered = std::min(4.0 * per_request.closed_loop_vps,
+                                  0.8 * batched.closed_loop_vps);
+  const size_t total_vertices = std::min<size_t>(
+      96000, std::max<size_t>(9600, static_cast<size_t>(offered)));
+  {
+    auto server = bench::StartServer(store, /*max_batch_vertices=*/1);
+    bench::OpenLoop(*server, single, /*vertices_per_request=*/1, offered,
+                    total_vertices, &per_request);
+  }
+  {
+    auto server = bench::StartServer(store, /*max_batch_vertices=*/256);
+    bench::OpenLoop(*server, multi, bench::kBatchRequestVertices, offered,
+                    total_vertices / bench::kBatchRequestVertices, &batched);
+  }
+  std::remove(store.c_str());
+
+  const double speedup =
+      batched.closed_loop_vps / per_request.closed_loop_vps;
+  std::string json = "{\n  \"context\": {\"executable\": \"bench_loadgen\"},\n"
+                     "  \"benchmarks\": [\n";
+  bench::AppendBench(
+      &json, "BM_NetClosedLoopPerRequest/real_time",
+      per_request.closed_loop_ms,
+      {{"vertices_per_sec", per_request.closed_loop_vps}}, false);
+  bench::AppendBench(&json, "BM_NetClosedLoopBatched/real_time",
+                     batched.closed_loop_ms,
+                     {{"vertices_per_sec", batched.closed_loop_vps},
+                      {"net_batch_speedup", speedup}},
+                     false);
+  bench::AppendBench(
+      &json, "BM_NetOpenLoopPerRequest/real_time", per_request.p50_ms,
+      {{"p50_ms", per_request.p50_ms},
+       {"p99_ms", per_request.p99_ms},
+       {"vertices_per_sec", per_request.open_loop_vps},
+       {"offered_per_sec", offered},
+       {"requests_sent", static_cast<double>(per_request.open_loop_sent)},
+       {"overloaded_replies", static_cast<double>(per_request.overloaded)}},
+      false);
+  bench::AppendBench(
+      &json, "BM_NetOpenLoopBatched/real_time", batched.p50_ms,
+      {{"p50_ms", batched.p50_ms},
+       {"p99_ms", batched.p99_ms},
+       {"vertices_per_sec", batched.open_loop_vps},
+       {"offered_per_sec", offered},
+       {"requests_sent", static_cast<double>(batched.open_loop_sent)},
+       {"overloaded_replies", static_cast<double>(batched.overloaded)}},
+      true);
+  json += "  ]\n}\n";
+
+  std::fputs(json.c_str(), stdout);
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    CSPM_CHECK(f != nullptr);
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  }
+  std::fprintf(stderr, "bench_loadgen: net_batch_speedup %.2fx\n", speedup);
+  return 0;
+}

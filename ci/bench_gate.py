@@ -38,6 +38,16 @@ the consolidated BENCH_PR.json artifact, and exits non-zero when:
     catalog lookup page-read counts at 1k and 10k models are reported
     alongside (the O(log n) shape itself is asserted in store_test).
 
+  * (with --loadgen) the network serving stack's batched path (multi-
+    vertex frames, pipelined connections, server-side coalescing) is
+    less than baseline `min_net_batch_speedup` (2x) faster in sustained
+    vertices/s than the per-request path (one vertex per frame, one
+    request in flight per connection, --max-batch 1) at 8 concurrent
+    connections: bench_loadgen measures both closed-loop capacities in
+    one run of one binary, so runner speed cancels. The open-loop
+    p50/p99 latency and OVERLOADED shed counts at a fixed offered rate
+    are reported alongside (docs/OPERATIONS.md "Capacity planning").
+
 Test hook: --serving-scale N multiplies the measured serving throughput,
 e.g. --serving-scale 0.7 simulates a 30% serving regression and must trip
 the gate (verified in the repo's CI setup notes).
@@ -74,6 +84,9 @@ def main():
     parser.add_argument("--store", default=None,
                         help="bench_store JSON output "
                              "(gates min_cold_open_speedup)")
+    parser.add_argument("--loadgen", default=None,
+                        help="bench_loadgen JSON output "
+                             "(gates min_net_batch_speedup)")
     parser.add_argument("--baseline", required=True,
                         help="checked-in BENCH_BASELINE.json")
     parser.add_argument("--out", required=True,
@@ -200,6 +213,38 @@ def main():
                     lookup["real_time"], 2)
                 report[f"catalog_index_page_reads_{n}_models"] = round(
                     lookup["index_page_reads_per_open_lookup"], 2)
+    if args.loadgen:
+        loadgen = load_benchmarks(args.loadgen)
+        net_pr = require(loadgen, "BM_NetClosedLoopPerRequest/real_time")
+        net_b = require(loadgen, "BM_NetClosedLoopBatched/real_time")
+        # Recomputed from the two throughputs rather than trusting the
+        # binary's own counter; both sides come from one run of one
+        # binary, so runner speed cancels.
+        net_speedup = net_b["vertices_per_sec"] / net_pr["vertices_per_sec"]
+        report["net_per_request_vertices_per_sec"] = round(
+            net_pr["vertices_per_sec"], 1)
+        report["net_batched_vertices_per_sec"] = round(
+            net_b["vertices_per_sec"], 1)
+        report["net_batch_speedup"] = round(net_speedup, 2)
+        report["min_net_batch_speedup"] = baseline["min_net_batch_speedup"]
+        for mode, key in (("BM_NetOpenLoopPerRequest/real_time",
+                           "net_open_loop_per_request"),
+                          ("BM_NetOpenLoopBatched/real_time",
+                           "net_open_loop_batched")):
+            entry = loadgen.get(mode)
+            if entry:
+                report[f"{key}_p50_ms"] = round(entry["p50_ms"], 2)
+                report[f"{key}_p99_ms"] = round(entry["p99_ms"], 2)
+                report[f"{key}_vertices_per_sec"] = round(
+                    entry["vertices_per_sec"], 1)
+                report[f"{key}_overloaded_replies"] = int(
+                    entry["overloaded_replies"])
+        if net_speedup < baseline["min_net_batch_speedup"]:
+            failures.append(
+                f"network batched serving is only {net_speedup:.2f}x the "
+                f"per-request path at 8 connections, below the required "
+                f"{baseline['min_net_batch_speedup']:.1f}x (dynamic "
+                f"batching contract, DESIGN.md section 13)")
     fast_1 = require(updates, "BM_FastRemine/40/real_time")
     cold_1 = require(updates, "BM_ColdRemine/40/real_time")
     fast_speedup = cold_1["real_time"] / fast_1["real_time"]

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Keeps docs/METRICS.md and the registered metric surface in agreement.
+
+docs/METRICS.md claims to list every metric the process can emit. This
+check makes that claim enforceable, in both directions:
+
+  source -> doc   Every literal metric name registered in src/ + tools/
+                  (obs::GetCounter("..."), GetGauge, GetHistogram) must
+                  have a doc row, and the row's type column must match
+                  the registration call.
+  doc -> source   Every concrete doc row (no '*') must still name a
+                  metric registered somewhere in the source — rows must
+                  be deleted with the code that fed them.
+  live -> doc     With --live SNAPSHOT.json (a SnapshotJson() capture,
+                  e.g. `cspm_client <addr> metrics`), every key the
+                  process actually emitted must match a doc row — exact
+                  or glob — in the section the row's type names.
+  doc -> live     Every concrete `net.*` doc row must be present in the
+                  live snapshot: the server registers its whole surface
+                  eagerly at startup (RegisterNetMetrics), so an absent
+                  name means the doc names a metric the server no longer
+                  registers. Only net.* is held to this — other
+                  subsystems register lazily, so their absence from one
+                  snapshot proves nothing.
+
+Doc rows are markdown table lines whose first cell is a backticked name:
+`| `net.frames_read` | counter | ... |`. Names ending in '*' are
+fnmatch globs for dynamically built families (phase.mine*, shell.cmd.*).
+Dynamic registrations in the source (name built at runtime, e.g.
+"shell.cmd." + cmd) are invisible to the source scrape and are covered
+by the live direction instead.
+
+Usage: ci/check_metrics_doc.py [--root DIR] [--live SNAPSHOT.json]
+Exit 1 on any disagreement, listing every finding.
+"""
+
+import argparse
+import fnmatch
+import json
+import pathlib
+import re
+import sys
+
+SOURCE_DIRS = ("src", "tools")
+EXTENSIONS = {".cc", ".h"}
+
+GET_RE = re.compile(r'Get(Counter|Gauge|Histogram)\("([^"]+)"\)')
+DOC_ROW_RE = re.compile(r"^\|\s*`([^`]+)`\s*\|\s*(\w+)\s*\|")
+KIND_BY_CALL = {"Counter": "counter", "Gauge": "gauge",
+                "Histogram": "histogram"}
+SECTION_BY_KIND = {"counter": "counters", "gauge": "gauges",
+                   "histogram": "histograms"}
+
+
+def scrape_source(root):
+    """{name: type} for every full-literal registration in src/ + tools/."""
+    found = {}
+    for top in SOURCE_DIRS:
+        for path in sorted((root / top).rglob("*")):
+            if path.suffix not in EXTENSIONS:
+                continue
+            for call, name in GET_RE.findall(path.read_text()):
+                found[name] = KIND_BY_CALL[call]
+    return found
+
+
+def parse_doc(doc_path):
+    """({exact_name: type}, [(glob, type)]) from the METRICS.md tables."""
+    exact, globs = {}, []
+    for line in doc_path.read_text().splitlines():
+        m = DOC_ROW_RE.match(line)
+        if m is None:
+            continue
+        name, kind = m.group(1), m.group(2).lower()
+        if kind not in SECTION_BY_KIND:
+            continue  # table header rows ("| name | type |")
+        if "*" in name:
+            globs.append((name, kind))
+        else:
+            exact[name] = kind
+    return exact, globs
+
+
+def doc_kind_for(name, exact, globs):
+    if name in exact:
+        return exact[name]
+    for pattern, kind in globs:
+        if fnmatch.fnmatchcase(name, pattern):
+            return kind
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--root", default=".", type=pathlib.Path)
+    parser.add_argument("--live", type=pathlib.Path,
+                        help="SnapshotJson() capture to cross-check")
+    args = parser.parse_args()
+
+    doc_path = args.root / "docs" / "METRICS.md"
+    exact, globs = parse_doc(doc_path)
+    source = scrape_source(args.root)
+    problems = []
+
+    # source -> doc
+    for name, kind in sorted(source.items()):
+        doc_kind = doc_kind_for(name, exact, globs)
+        if doc_kind is None:
+            problems.append(
+                f"undocumented metric: {kind} \"{name}\" is registered in "
+                f"the source but has no docs/METRICS.md row")
+        elif doc_kind != kind:
+            problems.append(
+                f"type mismatch: \"{name}\" is a {kind} in the source but "
+                f"documented as a {doc_kind}")
+
+    # doc -> source
+    for name, kind in sorted(exact.items()):
+        if name not in source:
+            problems.append(
+                f"stale doc row: \"{name}\" is documented but no "
+                f"Get{kind.capitalize()}(\"{name}\") exists in src/ or "
+                f"tools/ — delete the row or restore the metric")
+
+    if args.live is not None:
+        snapshot = json.loads(args.live.read_text())
+        # live -> doc
+        for section in ("counters", "gauges", "histograms"):
+            kind = {"counters": "counter", "gauges": "gauge",
+                    "histograms": "histogram"}[section]
+            for name in sorted(snapshot.get(section, {})):
+                doc_kind = doc_kind_for(name, exact, globs)
+                if doc_kind is None:
+                    problems.append(
+                        f"undocumented live metric: the process emitted "
+                        f"{kind} \"{name}\" with no docs/METRICS.md row")
+                elif doc_kind != kind:
+                    problems.append(
+                        f"live type mismatch: \"{name}\" appeared under "
+                        f"\"{section}\" but is documented as a {doc_kind}")
+        # doc -> live, for the eagerly registered server surface only
+        for name, kind in sorted(exact.items()):
+            if not name.startswith("net."):
+                continue
+            if name not in snapshot.get(SECTION_BY_KIND[kind], {}):
+                problems.append(
+                    f"missing from live snapshot: documented {kind} "
+                    f"\"{name}\" was not in the server's eagerly "
+                    f"registered surface")
+
+    if problems:
+        for p in problems:
+            print(f"check_metrics_doc: {p}")
+        print(f"check_metrics_doc: FAIL ({len(problems)} problem(s))")
+        return 1
+    live_note = " + live snapshot" if args.live is not None else ""
+    print(f"check_metrics_doc: OK ({len(exact)} documented metrics, "
+          f"{len(globs)} patterns, {len(source)} source "
+          f"registrations{live_note})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

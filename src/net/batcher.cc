@@ -1,0 +1,61 @@
+#include "net/batcher.h"
+
+#include <utility>
+
+namespace cspm::net {
+
+ScoreBatcher::Admit ScoreBatcher::Add(PendingScore request, uint64_t now_ns) {
+  const size_t incoming = request.vertices.size();
+  // An over-sized request (> max_queue_vertices by itself) is admitted only
+  // into an empty queue, where it forms its own batch; otherwise it could
+  // never be served at all.
+  if (!queue_.empty() && queued_vertices_ + incoming > options_.max_queue_vertices) {
+    return Admit::kOverloaded;
+  }
+  request.enqueue_ns = now_ns;
+  queued_vertices_ += incoming;
+  queue_.push_back(std::move(request));
+  return Admit::kAccepted;
+}
+
+bool ScoreBatcher::Due(uint64_t now_ns) const {
+  if (queue_.empty()) return false;
+  if (queued_vertices_ >= options_.max_batch_vertices) return true;
+  const uint64_t wait_ns = options_.max_wait_us * 1000;
+  return now_ns - queue_.front().enqueue_ns >= wait_ns;
+}
+
+std::optional<uint64_t> ScoreBatcher::NextDeadlineNs() const {
+  if (queue_.empty()) return std::nullopt;
+  if (queued_vertices_ >= options_.max_batch_vertices) {
+    return queue_.front().enqueue_ns;  // already due
+  }
+  return queue_.front().enqueue_ns + options_.max_wait_us * 1000;
+}
+
+std::vector<PendingScore> ScoreBatcher::TakeBatch(FlushReason* reason) {
+  std::vector<PendingScore> batch;
+  if (queue_.empty()) return batch;
+  size_t taken_vertices = 0;
+  // Whole requests only: a request's vertices never split across batches,
+  // so every reply maps 1:1 onto one executed ScoreBatch call.
+  while (!queue_.empty()) {
+    const size_t next = queue_.front().vertices.size();
+    if (!batch.empty() && taken_vertices + next > options_.max_batch_vertices) {
+      break;
+    }
+    taken_vertices += next;
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+    if (taken_vertices >= options_.max_batch_vertices) break;
+  }
+  queued_vertices_ -= taken_vertices;
+  if (reason != nullptr) {
+    *reason = taken_vertices >= options_.max_batch_vertices
+                  ? FlushReason::kMaxBatch
+                  : FlushReason::kMaxWait;
+  }
+  return batch;
+}
+
+}  // namespace cspm::net

@@ -1,0 +1,95 @@
+// Request coalescing for the serving server: score requests from many
+// connections accumulate into one ScoreBatch-sized batch per model, with
+// a two-knob admission contract (DESIGN.md §13):
+//
+//  * flush when the accumulated vertex count reaches `max_batch_vertices`
+//    (throughput bound), or when the oldest queued request has waited
+//    `max_wait_us` (latency bound) — whichever comes first;
+//  * admit at most `max_queue_vertices` queued vertices; beyond that the
+//    caller must reply OVERLOADED immediately. The queue is bounded by
+//    construction — backpressure is explicit, never silent buffering.
+//
+// The batcher is pure bookkeeping: time is injected (nanoseconds on the
+// caller's steady clock), there are no locks, no sockets and no threads,
+// so the flush policy is exhaustively unit-testable. The server wraps one
+// batcher per model under its own mutex.
+#ifndef CSPM_NET_BATCHER_H_
+#define CSPM_NET_BATCHER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "graph/attributed_graph.h"
+
+namespace cspm::net {
+
+struct BatchOptions {
+  /// Flush as soon as this many vertices are queued. 1 disables
+  /// coalescing — every request is its own batch (the "per-request"
+  /// baseline bench_loadgen compares against).
+  size_t max_batch_vertices = 256;
+  /// Flush when the oldest queued request has waited this long, even if
+  /// the batch is small. 0 = flush on the next poll regardless.
+  uint64_t max_wait_us = 200;
+  /// Admission bound: queued vertices beyond this are rejected with
+  /// OVERLOADED. Must be >= max_batch_vertices to make progress.
+  size_t max_queue_vertices = 4096;
+};
+
+/// One admitted score request waiting for a batch slot.
+struct PendingScore {
+  uint64_t conn_id = 0;
+  uint32_t request_id = 0;
+  uint32_t k = 0;
+  std::vector<graph::VertexId> vertices;
+  /// Steady-clock nanoseconds at admission (the caller's clock).
+  uint64_t enqueue_ns = 0;
+};
+
+class ScoreBatcher {
+ public:
+  explicit ScoreBatcher(BatchOptions options) : options_(options) {}
+
+  enum class Admit {
+    kAccepted,
+    kOverloaded,  ///< queue full — reply OVERLOADED, nothing enqueued
+  };
+
+  /// Admission control + enqueue. A request larger than the whole queue
+  /// bound is still admitted when the queue is empty (it forms its own
+  /// batch) — otherwise an over-sized request could never be served.
+  Admit Add(PendingScore request, uint64_t now_ns);
+
+  /// True when a batch should flush at `now_ns`: the vertex count reached
+  /// max_batch_vertices, or the oldest request aged past max_wait_us.
+  bool Due(uint64_t now_ns) const;
+
+  /// Steady-clock deadline (ns) when the oldest queued request hits
+  /// max_wait_us; nullopt when the queue is empty. A full batch is due
+  /// immediately, reported as deadline = enqueue time.
+  std::optional<uint64_t> NextDeadlineNs() const;
+
+  /// Why the last TakeBatch() fired (metrics attribution).
+  enum class FlushReason { kMaxBatch, kMaxWait };
+
+  /// Dequeues the next batch: whole requests, FIFO, up to
+  /// max_batch_vertices (always at least one request). Empty result when
+  /// nothing is queued.
+  std::vector<PendingScore> TakeBatch(FlushReason* reason = nullptr);
+
+  size_t queued_vertices() const { return queued_vertices_; }
+  size_t queued_requests() const { return queue_.size(); }
+  const BatchOptions& options() const { return options_; }
+
+ private:
+  BatchOptions options_;
+  std::deque<PendingScore> queue_;
+  size_t queued_vertices_ = 0;
+};
+
+}  // namespace cspm::net
+
+#endif  // CSPM_NET_BATCHER_H_

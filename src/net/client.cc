@@ -1,0 +1,168 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace cspm::net {
+
+StatusOr<Client> Client::Connect(const std::string& address, uint16_t port) {
+  Client client;
+  client.fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (client.fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad address '" + address +
+                                   "' (IPv4 literal expected)");
+  }
+  if (::connect(client.fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    return Status::IOError("connect " + address + ": " + std::strerror(errno));
+  }
+  const int one = 1;
+  (void)::setsockopt(client.fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return client;
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_),
+      next_request_id_(other.next_request_id_),
+      parser_(std::move(other.parser_)),
+      pending_(std::move(other.pending_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    next_request_id_ = other.next_request_id_;
+    parser_ = std::move(other.parser_);
+    pending_ = std::move(other.pending_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Client::Send(Verb verb, std::string payload, uint32_t* request_id) {
+  Frame frame;
+  frame.verb = verb;
+  frame.request_id = next_request_id_++;
+  frame.payload = std::move(payload);
+  if (request_id != nullptr) *request_id = frame.request_id;
+  const std::string bytes = EncodeFrame(frame);
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::write(fd_, bytes.data() + sent, bytes.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("write: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+StatusOr<Frame> Client::Receive() {
+  if (!pending_.empty()) {
+    Frame frame = std::move(pending_.front());
+    pending_.pop_front();
+    return frame;
+  }
+  return ReceiveFromSocket();
+}
+
+StatusOr<Frame> Client::ReceiveFromSocket() {
+  char buf[65536];
+  while (true) {
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n == 0) {
+      return Status::IOError(
+          "connection closed by server (a framing error closes it — see "
+          "docs/PROTOCOL.md)");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("read: ") + std::strerror(errno));
+    }
+    std::vector<Frame> frames;
+    CSPM_RETURN_IF_ERROR(parser_.Feed(
+        std::string_view(buf, static_cast<size_t>(n)), &frames));
+    if (frames.empty()) continue;  // torn frame — keep reading
+    for (size_t i = 1; i < frames.size(); ++i) {
+      pending_.push_back(std::move(frames[i]));
+    }
+    return std::move(frames[0]);
+  }
+}
+
+StatusOr<Frame> Client::Call(Verb verb, std::string payload) {
+  uint32_t id = 0;
+  CSPM_RETURN_IF_ERROR(Send(verb, std::move(payload), &id));
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->request_id == id) {
+      Frame frame = std::move(*it);
+      pending_.erase(it);
+      return frame;
+    }
+  }
+  while (true) {
+    // Socket only: a stashed frame re-entering Receive() here would spin.
+    CSPM_ASSIGN_OR_RETURN(Frame frame, ReceiveFromSocket());
+    if (frame.request_id == id) return frame;
+    pending_.push_back(std::move(frame));  // someone else's pipelined reply
+  }
+}
+
+Status Client::ToStatus(const Frame& frame) {
+  if (frame.status == WireStatus::kOk) return Status::OK();
+  return StatusFromWireStatus(frame.status, ErrorMessageOf(frame));
+}
+
+StatusOr<ScoreResponse> Client::Score(const ScoreRequest& request) {
+  CSPM_ASSIGN_OR_RETURN(Frame reply,
+                        Call(Verb::kScore, EncodeScoreRequest(request)));
+  CSPM_RETURN_IF_ERROR(ToStatus(reply));
+  return DecodeScoreResponse(reply.payload);
+}
+
+StatusOr<UpdateResponse> Client::Update(const UpdateRequest& request) {
+  CSPM_ASSIGN_OR_RETURN(Frame reply,
+                        Call(Verb::kUpdate, EncodeUpdateRequest(request)));
+  CSPM_RETURN_IF_ERROR(ToStatus(reply));
+  return DecodeUpdateResponse(reply.payload);
+}
+
+StatusOr<std::string> Client::MetricsJson() {
+  CSPM_ASSIGN_OR_RETURN(Frame reply, Call(Verb::kMetrics, ""));
+  CSPM_RETURN_IF_ERROR(ToStatus(reply));
+  return reply.payload;  // the JSON text itself, unwrapped
+}
+
+StatusOr<std::vector<std::string>> Client::List() {
+  CSPM_ASSIGN_OR_RETURN(Frame reply, Call(Verb::kList, ""));
+  CSPM_RETURN_IF_ERROR(ToStatus(reply));
+  CSPM_ASSIGN_OR_RETURN(ListResponse resp, DecodeListResponse(reply.payload));
+  return std::move(resp.models);
+}
+
+Status Client::Ping() {
+  CSPM_ASSIGN_OR_RETURN(Frame reply, Call(Verb::kPing, ""));
+  return ToStatus(reply);
+}
+
+}  // namespace cspm::net

@@ -1,0 +1,71 @@
+// Blocking CSN1 client: the programmatic counterpart of cspm_serve, used
+// by cspm_client, bench_loadgen and net_test. One TCP connection, one
+// FrameParser; the high-level calls are synchronous RPCs, the low-level
+// Send/Receive pair supports pipelining (the load generator keeps several
+// requests in flight per connection).
+//
+// Responses are matched by request id, not arrival order: the server
+// replies to ping/list/metrics inline but holds score replies for the
+// batch flush, so a pipelined stream sees interleaved orders.
+#ifndef CSPM_NET_CLIENT_H_
+#define CSPM_NET_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+#include "util/status.h"
+
+namespace cspm::net {
+
+class Client {
+ public:
+  /// Connects to an IPv4 literal (blocking socket, TCP_NODELAY).
+  static StatusOr<Client> Connect(const std::string& address, uint16_t port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  ~Client();
+
+  // --- synchronous RPCs ----------------------------------------------------
+
+  StatusOr<ScoreResponse> Score(const ScoreRequest& request);
+  StatusOr<UpdateResponse> Update(const UpdateRequest& request);
+  /// SnapshotJson() of the server process, verbatim.
+  StatusOr<std::string> MetricsJson();
+  StatusOr<std::vector<std::string>> List();
+  Status Ping();
+
+  // --- pipelining ----------------------------------------------------------
+
+  /// Sends one request frame (assigns and returns the request id via
+  /// *request_id when non-null).
+  Status Send(Verb verb, std::string payload, uint32_t* request_id = nullptr);
+
+  /// Blocks until the next response frame arrives (any request id).
+  StatusOr<Frame> Receive();
+
+  int fd() const { return fd_; }
+
+ private:
+  Client() = default;
+
+  /// Send + Receive until the reply for this id shows up; other replies
+  /// are stashed for later Receive() calls.
+  StatusOr<Frame> Call(Verb verb, std::string payload);
+  /// Receive() minus the pending queue (blocks on the socket).
+  StatusOr<Frame> ReceiveFromSocket();
+  /// Non-OK response frames become the equivalent Status.
+  static Status ToStatus(const Frame& frame);
+
+  int fd_ = -1;
+  uint32_t next_request_id_ = 1;
+  FrameParser parser_;
+  std::deque<Frame> pending_;
+};
+
+}  // namespace cspm::net
+
+#endif  // CSPM_NET_CLIENT_H_

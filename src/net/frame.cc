@@ -1,0 +1,357 @@
+#include "net/frame.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "store/codec.h"
+#include "util/crc32.h"
+#include "util/string_util.h"
+
+namespace cspm::net {
+namespace {
+
+void PutLe32(uint32_t v, std::string* out) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+uint32_t GetLe32(const char* p) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(p[0])) |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[3])) << 24;
+}
+
+}  // namespace
+
+WireStatus WireStatusFromStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return WireStatus::kOk;
+    case StatusCode::kInvalidArgument:
+      return WireStatus::kInvalidArgument;
+    case StatusCode::kNotFound:
+      return WireStatus::kNotFound;
+    case StatusCode::kFailedPrecondition:
+      return WireStatus::kFailedPrecondition;
+    case StatusCode::kOutOfRange:
+      return WireStatus::kOutOfRange;
+    case StatusCode::kInternal:
+      return WireStatus::kInternal;
+    case StatusCode::kIOError:
+      return WireStatus::kIOError;
+  }
+  return WireStatus::kInternal;
+}
+
+Status StatusFromWireStatus(WireStatus code, const std::string& message) {
+  switch (code) {
+    case WireStatus::kOk:
+      return Status::OK();
+    case WireStatus::kInvalidArgument:
+      return Status::InvalidArgument(message);
+    case WireStatus::kNotFound:
+      return Status::NotFound(message);
+    case WireStatus::kFailedPrecondition:
+      return Status::FailedPrecondition(message);
+    case WireStatus::kOutOfRange:
+      return Status::OutOfRange(message);
+    case WireStatus::kInternal:
+      return Status::Internal(message);
+    case WireStatus::kIOError:
+      return Status::IOError(message);
+    case WireStatus::kOverloaded:
+      // The closest engine category: the server is healthy but declined
+      // the work; the wire name is preserved in the message.
+      return Status::FailedPrecondition("OVERLOADED: " + message);
+  }
+  return Status::Internal(message);
+}
+
+const char* WireStatusName(WireStatus code) {
+  switch (code) {
+    case WireStatus::kOk:
+      return "OK";
+    case WireStatus::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case WireStatus::kNotFound:
+      return "NOT_FOUND";
+    case WireStatus::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case WireStatus::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case WireStatus::kInternal:
+      return "INTERNAL";
+    case WireStatus::kIOError:
+      return "IO_ERROR";
+    case WireStatus::kOverloaded:
+      return "OVERLOADED";
+  }
+  return "UNKNOWN";
+}
+
+void AppendFrame(const Frame& frame, std::string* out) {
+  out->append(kMagic, sizeof(kMagic));
+  out->push_back(static_cast<char>(frame.verb));
+  out->push_back(static_cast<char>(frame.status));
+  out->push_back('\0');
+  out->push_back('\0');
+  PutLe32(frame.request_id, out);
+  PutLe32(static_cast<uint32_t>(frame.payload.size()), out);
+  PutLe32(Crc32(frame.payload.data(), frame.payload.size()), out);
+  out->append(frame.payload);
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string out;
+  out.reserve(kHeaderBytes + frame.payload.size());
+  AppendFrame(frame, &out);
+  return out;
+}
+
+Status FrameParser::Feed(std::string_view bytes, std::vector<Frame>* out) {
+  if (!poisoned_.ok()) return poisoned_;
+  buffer_.append(bytes.data(), bytes.size());
+  size_t pos = 0;
+  while (buffer_.size() - pos >= kHeaderBytes) {
+    const char* header = buffer_.data() + pos;
+    if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
+      poisoned_ = Status::InvalidArgument(StrFormat(
+          "bad frame magic 0x%02x%02x%02x%02x (stream out of sync)",
+          static_cast<uint8_t>(header[0]), static_cast<uint8_t>(header[1]),
+          static_cast<uint8_t>(header[2]), static_cast<uint8_t>(header[3])));
+      return poisoned_;
+    }
+    if (header[6] != 0 || header[7] != 0) {
+      poisoned_ = Status::InvalidArgument(
+          "nonzero reserved bytes in frame header (future format?)");
+      return poisoned_;
+    }
+    const uint32_t payload_len = GetLe32(header + 12);
+    if (payload_len > max_payload_bytes_) {
+      poisoned_ = Status::InvalidArgument(
+          StrFormat("frame payload length %u exceeds the %zu-byte cap "
+                    "(corrupt length field or hostile peer)",
+                    payload_len, max_payload_bytes_));
+      return poisoned_;
+    }
+    if (buffer_.size() - pos < kHeaderBytes + payload_len) break;
+    const char* payload = header + kHeaderBytes;
+    const uint32_t want_crc = GetLe32(header + 16);
+    const uint32_t got_crc = Crc32(payload, payload_len);
+    if (want_crc != got_crc) {
+      poisoned_ = Status::IOError(
+          StrFormat("frame payload CRC mismatch (stored 0x%08x, computed "
+                    "0x%08x)",
+                    want_crc, got_crc));
+      return poisoned_;
+    }
+    Frame frame;
+    frame.verb = static_cast<Verb>(header[4]);
+    frame.status = static_cast<WireStatus>(header[5]);
+    frame.request_id = GetLe32(header + 8);
+    frame.payload.assign(payload, payload_len);
+    out->push_back(std::move(frame));
+    pos += kHeaderBytes + payload_len;
+  }
+  buffer_.erase(0, pos);
+  return Status::OK();
+}
+
+// --- verb payload encodings ----------------------------------------------
+
+std::string EncodeScoreRequest(const ScoreRequest& req) {
+  store::Encoder enc;
+  enc.PutString(req.model);
+  enc.PutVarint(req.k);
+  enc.PutVarint(req.vertices.size());
+  for (graph::VertexId v : req.vertices) enc.PutVarint(v.value());
+  return enc.Release();
+}
+
+StatusOr<ScoreRequest> DecodeScoreRequest(std::string_view payload) {
+  store::Decoder dec(payload);
+  ScoreRequest req;
+  CSPM_ASSIGN_OR_RETURN(std::string_view model, dec.ReadString());
+  req.model = std::string(model);
+  CSPM_ASSIGN_OR_RETURN(uint64_t k, dec.ReadVarint());
+  req.k = static_cast<uint32_t>(k);
+  CSPM_ASSIGN_OR_RETURN(uint64_t count, dec.ReadVarint());
+  if (count > payload.size()) {
+    return Status::InvalidArgument("score request vertex count exceeds "
+                                   "payload size (corrupt frame)");
+  }
+  req.vertices.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    CSPM_ASSIGN_OR_RETURN(uint64_t v, dec.ReadVarint());
+    req.vertices.push_back(graph::VertexId(static_cast<uint32_t>(v)));
+  }
+  if (!dec.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after score request");
+  }
+  return req;
+}
+
+std::string EncodeScoreResponse(const ScoreResponse& resp) {
+  store::Encoder enc;
+  enc.PutVarint(resp.results.size());
+  for (const auto& entries : resp.results) {
+    enc.PutVarint(entries.size());
+    for (const ScoreResponse::Entry& e : entries) {
+      enc.PutVarint(e.attr.value());
+      enc.PutDouble(e.score);
+    }
+  }
+  return enc.Release();
+}
+
+StatusOr<ScoreResponse> DecodeScoreResponse(std::string_view payload) {
+  store::Decoder dec(payload);
+  ScoreResponse resp;
+  CSPM_ASSIGN_OR_RETURN(uint64_t vertices, dec.ReadVarint());
+  if (vertices > payload.size()) {
+    return Status::InvalidArgument("score response vertex count exceeds "
+                                   "payload size (corrupt frame)");
+  }
+  resp.results.resize(vertices);
+  for (uint64_t i = 0; i < vertices; ++i) {
+    CSPM_ASSIGN_OR_RETURN(uint64_t entries, dec.ReadVarint());
+    if (entries > dec.remaining()) {
+      return Status::InvalidArgument("score response entry count exceeds "
+                                     "remaining payload (corrupt frame)");
+    }
+    resp.results[i].reserve(entries);
+    for (uint64_t j = 0; j < entries; ++j) {
+      ScoreResponse::Entry e;
+      CSPM_ASSIGN_OR_RETURN(uint64_t attr, dec.ReadVarint());
+      e.attr = graph::AttrId(static_cast<uint32_t>(attr));
+      CSPM_ASSIGN_OR_RETURN(e.score, dec.ReadDouble());
+      resp.results[i].push_back(e);
+    }
+  }
+  if (!dec.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after score response");
+  }
+  return resp;
+}
+
+std::string EncodeUpdateRequest(const UpdateRequest& req) {
+  store::Encoder enc;
+  enc.PutString(req.model);
+  enc.PutU8(req.mode);
+  store::EncodeGraphDelta(req.delta, &enc);
+  return enc.Release();
+}
+
+StatusOr<UpdateRequest> DecodeUpdateRequest(std::string_view payload) {
+  store::Decoder dec(payload);
+  UpdateRequest req;
+  CSPM_ASSIGN_OR_RETURN(std::string_view model, dec.ReadString());
+  req.model = std::string(model);
+  CSPM_ASSIGN_OR_RETURN(req.mode, dec.ReadU8());
+  if (req.mode > 1) {
+    return Status::InvalidArgument(
+        StrFormat("bad update mode byte %u (0 = exact, 1 = fast)", req.mode));
+  }
+  CSPM_ASSIGN_OR_RETURN(req.delta, store::DecodeGraphDelta(&dec));
+  if (!dec.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after update request");
+  }
+  return req;
+}
+
+std::string EncodeUpdateResponse(const UpdateResponse& resp) {
+  store::Encoder enc;
+  enc.PutU8(resp.fast_path ? 1 : 0);
+  enc.PutU8(resp.warm_path ? 1 : 0);
+  enc.PutVarint(resp.dirty_vertices);
+  enc.PutDouble(resp.dl_before_bits);
+  enc.PutDouble(resp.dl_after_bits);
+  return enc.Release();
+}
+
+StatusOr<UpdateResponse> DecodeUpdateResponse(std::string_view payload) {
+  store::Decoder dec(payload);
+  UpdateResponse resp;
+  CSPM_ASSIGN_OR_RETURN(uint8_t fast, dec.ReadU8());
+  CSPM_ASSIGN_OR_RETURN(uint8_t warm, dec.ReadU8());
+  resp.fast_path = fast != 0;
+  resp.warm_path = warm != 0;
+  CSPM_ASSIGN_OR_RETURN(resp.dirty_vertices, dec.ReadVarint());
+  CSPM_ASSIGN_OR_RETURN(resp.dl_before_bits, dec.ReadDouble());
+  CSPM_ASSIGN_OR_RETURN(resp.dl_after_bits, dec.ReadDouble());
+  if (!dec.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after update response");
+  }
+  return resp;
+}
+
+std::string EncodeListResponse(const ListResponse& resp) {
+  store::Encoder enc;
+  enc.PutVarint(resp.models.size());
+  for (const std::string& name : resp.models) enc.PutString(name);
+  return enc.Release();
+}
+
+StatusOr<ListResponse> DecodeListResponse(std::string_view payload) {
+  store::Decoder dec(payload);
+  ListResponse resp;
+  CSPM_ASSIGN_OR_RETURN(uint64_t count, dec.ReadVarint());
+  if (count > payload.size()) {
+    return Status::InvalidArgument("list response count exceeds payload "
+                                   "size (corrupt frame)");
+  }
+  resp.models.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    CSPM_ASSIGN_OR_RETURN(std::string_view name, dec.ReadString());
+    resp.models.emplace_back(name);
+  }
+  if (!dec.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after list response");
+  }
+  return resp;
+}
+
+Frame MakeErrorFrame(Verb verb, uint32_t request_id, WireStatus code,
+                     const std::string& message) {
+  Frame frame;
+  frame.verb = verb;
+  frame.status = code;
+  frame.request_id = request_id;
+  store::Encoder enc;
+  enc.PutString(message);
+  frame.payload = enc.Release();
+  return frame;
+}
+
+std::string ErrorMessageOf(const Frame& frame) {
+  store::Decoder dec(frame.payload);
+  auto message_or = dec.ReadString();
+  if (!message_or.ok()) return "";
+  return std::string(message_or.value());
+}
+
+std::vector<ScoreResponse::Entry> TopKScores(
+    const core::AttributeScores& scores, uint32_t k) {
+  const std::vector<double>& normalized = scores.normalized;
+  std::vector<ScoreResponse::Entry> entries;
+  entries.reserve(normalized.size());
+  for (size_t a = 0; a < normalized.size(); ++a) {
+    entries.push_back({graph::AttrId(static_cast<uint32_t>(a)),
+                       normalized[a]});
+  }
+  const size_t keep =
+      k == 0 ? entries.size() : std::min<size_t>(k, entries.size());
+  std::partial_sort(entries.begin(), entries.begin() + keep, entries.end(),
+                    [](const ScoreResponse::Entry& x,
+                       const ScoreResponse::Entry& y) {
+                      if (x.score != y.score) return x.score > y.score;
+                      return x.attr < y.attr;
+                    });
+  entries.resize(keep);
+  return entries;
+}
+
+}  // namespace cspm::net

@@ -1,0 +1,163 @@
+#include "net/model_host.h"
+
+#include <utility>
+
+#include "graph/graph_delta.h"
+#include "util/string_util.h"
+
+namespace cspm::net {
+
+StatusOr<std::unique_ptr<ModelHost>> ModelHost::Open(
+    const std::string& store_path, Options options) {
+  CSPM_ASSIGN_OR_RETURN(store::ModelStore store,
+                        store::ModelStore::Open(store_path));
+  // unique_ptr so the address the registry's plan cache keys on (the
+  // store path string) and the sessions' graph shares stay stable.
+  std::unique_ptr<ModelHost> host(
+      new ModelHost(std::move(store), options));  // lint:allow naked-new (private ctor)
+  for (const store::ModelStore::Info& info : host->store_->List()) {
+    if (info.wal_records == 0) {
+      // Clean record: serve straight off the store (mmap plan section —
+      // no decode of the model, no mine). A session is created lazily on
+      // the first update.
+      CSPM_RETURN_IF_ERROR(
+          host->registry_.LoadModel(store_path, info.name));
+      continue;
+    }
+    // Pending deltas: the record alone is stale. Rebuild the acknowledged
+    // state exactly as `cspm_shell replay` would.
+    CSPM_RETURN_IF_ERROR(host->ReplayModel(info.name));
+  }
+  return host;
+}
+
+Status ModelHost::ReplayModel(const std::string& model) {
+  CSPM_ASSIGN_OR_RETURN(store::StoredModel stored, store_->Get(model));
+  if (!stored.graph.has_value()) {
+    return Status::FailedPrecondition(
+        "model '" + model +
+        "' has pending WAL records but no graph snapshot — cannot replay; "
+        "re-save it with a snapshot (cspm_shell: save " + model + ")");
+  }
+  CSPM_ASSIGN_OR_RETURN(store::ModelStore::WalReplay wal,
+                        store_->ReadWal(model));
+  engine::MiningOptions opts;
+  opts.record_iteration_stats = false;
+  opts.enable_updates = true;
+  CSPM_ASSIGN_OR_RETURN(
+      engine::MiningSession session,
+      engine::MiningSession::Create(
+          std::make_shared<const graph::AttributedGraph>(
+              std::move(*stored.graph)),
+          opts));
+  CSPM_RETURN_IF_ERROR(session.Mine());
+  // Roll each delta forward in the mode it originally ran with: a fast
+  // update's model is path-dependent, so reproducing the acknowledged
+  // state means reproducing its path.
+  for (size_t i = 0; i < wal.deltas.size(); ++i) {
+    const engine::UpdateMode mode = wal.modes[i] == store::WalDeltaMode::kFast
+                                        ? engine::UpdateMode::kFast
+                                        : engine::UpdateMode::kExact;
+    CSPM_RETURN_IF_ERROR(session.ApplyUpdates(wal.deltas[i], mode, nullptr));
+  }
+  if (wal.truncated) {
+    // Checkpoint the salvaged prefix so later updates do not append after
+    // unreadable records (mirrors the shell's replay command).
+    store::StoredModel checkpoint;
+    checkpoint.model = session.model();
+    checkpoint.dict = session.graph().dict();
+    checkpoint.graph = session.graph();
+    CSPM_RETURN_IF_ERROR(store_->Put(model, checkpoint));
+  }
+  CSPM_RETURN_IF_ERROR(session.Publish(registry_, model).status());
+  sessions_.insert_or_assign(model, std::move(session));
+  return Status::OK();
+}
+
+Status ModelHost::EnsureLive(const std::string& model) {
+  if (sessions_.find(model) != sessions_.end()) return Status::OK();
+  // First update to a model served straight off its record: mining from
+  // the snapshot is deterministic, so the session's model is bit-identical
+  // to the record the registry is already serving.
+  return ReplayModel(model);
+}
+
+Status ModelHost::ValidateScore(
+    const std::string& model,
+    std::span<const graph::VertexId> vertices) const {
+  const engine::ModelRegistry::Handle handle = registry_.Get(model);
+  if (handle == nullptr) {
+    return Status::NotFound("no model named '" + model + "'");
+  }
+  if (handle->graph == nullptr) {
+    return Status::FailedPrecondition(
+        "model '" + model +
+        "' has no graph snapshot; vertex scoring unavailable");
+  }
+  const uint32_t n = handle->graph->num_vertices().value();
+  for (const graph::VertexId v : vertices) {
+    if (v.value() >= n) {
+      return Status::OutOfRange(
+          StrFormat("vertex %u out of range (graph has %u vertices)",
+                          v.value(), n));
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<const engine::ServingEngine*> ModelHost::EngineFor(
+    const std::string& model) {
+  const engine::ModelRegistry::Handle handle = registry_.Get(model);
+  if (handle == nullptr) {
+    return Status::NotFound("no model named '" + model + "'");
+  }
+  auto it = engines_.find(model);
+  if (it != engines_.end() && it->second.built_from == handle.get()) {
+    return &it->second.engine;
+  }
+  engine::ServingOptions serve_opts;
+  serve_opts.num_threads = options_.score_threads;
+  CSPM_ASSIGN_OR_RETURN(engine::ServingEngine engine,
+                        handle->Serve(serve_opts));
+  // The engine retains the ServableModel it was built from, so dropping
+  // the previous cache entry after a hot swap is safe even if a batch on
+  // the old handle were still in flight elsewhere.
+  auto [pos, inserted] = engines_.insert_or_assign(
+      model, CachedEngine{handle.get(), std::move(engine)});
+  (void)inserted;
+  return &pos->second.engine;
+}
+
+StatusOr<std::vector<core::AttributeScores>> ModelHost::Score(
+    const std::string& model, std::span<const graph::VertexId> vertices) {
+  CSPM_ASSIGN_OR_RETURN(const engine::ServingEngine* engine,
+                        EngineFor(model));
+  return engine->ScoreBatch(vertices);
+}
+
+StatusOr<engine::UpdateStats> ModelHost::Update(
+    const std::string& model, const graph::GraphDelta& delta,
+    engine::UpdateMode mode) {
+  CSPM_RETURN_IF_ERROR(EnsureLive(model));
+  engine::MiningSession& session = sessions_.at(model);
+  engine::UpdateStats stats;
+  CSPM_RETURN_IF_ERROR(session.ApplyUpdates(delta, mode, &stats));
+  // Persist before the serving swap (the shell's ordering): if the append
+  // fails, the registry keeps serving the model the store can reproduce.
+  // The WAL records the mode that actually ran — a fast request can fall
+  // back to exact behaviour — so replay reproduces this path.
+  Status appended = store_->AppendDelta(
+      model, delta,
+      stats.fast_path ? store::WalDeltaMode::kFast
+                      : store::WalDeltaMode::kExact);
+  if (!appended.ok()) {
+    return Status::IOError(
+        "update applied to the live session but its delta could not be "
+        "logged (" +
+        appended.ToString() + "); still serving the previous model");
+  }
+  CSPM_RETURN_IF_ERROR(session.Publish(registry_, model).status());
+  return stats;
+}
+
+}  // namespace cspm::net

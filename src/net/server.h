@@ -1,0 +1,183 @@
+// The cspm_serve event loop: an epoll-based async server over a
+// ModelHost, speaking the CSN1 frame protocol (net/frame.h,
+// docs/PROTOCOL.md). Architecture (DESIGN.md §13):
+//
+//   loop thread                         executor thread
+//   ───────────                         ───────────────
+//   accept / read / parse frames        condvar wait until a batch is due
+//   ping|list|metrics: reply inline       (max_wait deadline) or work queued
+//   score: validate, admit to the       take due score batches + updates
+//     model's ScoreBatcher (bounded     one ScoreBatch per model per flush
+//     → OVERLOADED reply)               apply updates (WAL + hot swap)
+//   update: admit to update queue       encode replies → completion queue
+//   drain completions (eventfd wake),   eventfd wake → loop thread writes
+//     write, flush, EPOLLOUT on short
+//
+// Two threads by design: the loop thread never blocks on model work, so
+// accepts, metrics and backpressure replies stay responsive while a
+// re-mine runs; the executor serializes scoring and updates, which makes
+// the hot-swap path race-free without locking the model plane. Batching
+// deadlines live on the executor's condvar (sub-millisecond max_wait
+// granularity, which epoll_wait's millisecond timeout cannot express).
+//
+// Backpressure is explicit everywhere: per-model score queues and the
+// update queue are bounded, and admission failure is an immediate
+// OVERLOADED reply — the server never buffers unboundedly.
+#ifndef CSPM_NET_SERVER_H_
+#define CSPM_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/batcher.h"
+#include "net/frame.h"
+#include "net/model_host.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace cspm::net {
+
+struct ServerOptions {
+  /// IPv4 literal to bind (loopback by default: the protocol has no auth).
+  std::string bind_address = "127.0.0.1";
+  /// 0 = ephemeral; the bound port is read back via Server::port().
+  uint16_t port = 0;
+  /// Score coalescing knobs, applied per model (see BatchOptions).
+  BatchOptions batching;
+  /// Bounded update queue; admission beyond this replies OVERLOADED.
+  size_t max_pending_updates = 64;
+  /// Frame payload cap; oversized lengths poison the connection.
+  size_t max_payload_bytes = kDefaultMaxPayloadBytes;
+};
+
+class Server {
+ public:
+  /// Binds, listens, and starts the loop + executor threads. The host's
+  /// Score/Update contract (single executor caller) is honoured by
+  /// construction.
+  static StatusOr<std::unique_ptr<Server>> Start(
+      std::unique_ptr<ModelHost> host, ServerOptions options);
+
+  /// Stops and joins (idempotent).
+  ~Server();
+
+  /// The bound TCP port (the ephemeral choice when options.port was 0).
+  uint16_t port() const { return port_; }
+
+  /// Async-signal-safe stop request: one atomic store and one eventfd
+  /// write — callable from a signal handler. Threads wind down on their
+  /// own; call Join()/Stop() (not signal-safe) to wait for them.
+  void RequestStop();
+
+  /// Blocks until both threads exit (after RequestStop, or a later one).
+  void Join();
+
+  /// RequestStop + Join.
+  void Stop();
+
+  ModelHost& host() { return *host_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    uint64_t id = 0;
+    FrameParser parser;
+    /// Bytes queued to write; [write_offset, size) is still pending.
+    std::string write_buffer;
+    size_t write_offset = 0;
+    bool want_write = false;  ///< EPOLLOUT currently armed
+
+    explicit Connection(size_t max_payload) : parser(max_payload) {}
+  };
+
+  /// A score request admitted to a batcher plus its executed reply's
+  /// destination.
+  struct PendingUpdate {
+    uint64_t conn_id = 0;
+    uint32_t request_id = 0;
+    std::string model;
+    uint8_t mode = 0;
+    graph::GraphDelta delta;
+    uint64_t enqueue_ns = 0;
+  };
+
+  /// An executed reply on its way back to the loop thread.
+  struct Completion {
+    uint64_t conn_id = 0;
+    Frame frame;
+  };
+
+  Server(std::unique_ptr<ModelHost> host, ServerOptions options)
+      : options_(std::move(options)), host_(std::move(host)) {}
+
+  Status Listen();
+  void LoopThread();
+  void ExecThread();
+
+  // --- loop-thread helpers -------------------------------------------------
+  void AcceptConnections();
+  void ReadConnection(Connection* conn);
+  void HandleFrame(Connection* conn, const Frame& frame);
+  void HandleScore(Connection* conn, const Frame& frame);
+  void HandleUpdate(Connection* conn, const Frame& frame);
+  /// Queues `frame` on the connection and flushes what the socket accepts.
+  void SendFrame(Connection* conn, const Frame& frame);
+  /// False on a fatal socket error: the caller must close the connection.
+  bool FlushWrites(Connection* conn);
+  void UpdateWriteInterest(Connection* conn);
+  void CloseConnection(uint64_t conn_id);
+  void DrainCompletions();
+
+  // --- executor helpers ----------------------------------------------------
+  /// Executes one flushed score batch (outside exec_mu_).
+  void ExecuteBatch(const std::string& model, std::vector<PendingScore> batch,
+                    std::vector<Completion>* out);
+  void ExecuteUpdate(PendingUpdate update, std::vector<Completion>* out);
+  void PostCompletions(std::vector<Completion> completions);
+
+  uint64_t NowNs() const { return timer_.ElapsedNanos(); }
+
+  ServerOptions options_;
+  std::unique_ptr<ModelHost> host_;
+  WallTimer timer_;  ///< the server epoch; all deadlines are ElapsedNanos
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd: executor→loop completions, stop requests
+  uint16_t port_ = 0;
+
+  std::atomic<bool> stop_{false};
+  std::thread loop_thread_;
+  std::thread exec_thread_;
+  std::mutex join_mu_;  ///< serializes Join callers
+
+  /// Loop-thread state (no lock: only the loop thread touches it).
+  std::unordered_map<uint64_t, Connection> connections_;
+  uint64_t next_conn_id_ = 2;  ///< 0 = listener, 1 = wake fd in epoll data
+
+  /// Executor work queues, guarded by exec_mu_ (loop thread admits,
+  /// executor drains; exec_cv_ carries both "new work" and batch
+  /// deadlines).
+  std::mutex exec_mu_;
+  std::condition_variable exec_cv_;
+  std::map<std::string, ScoreBatcher> batchers_;
+  std::deque<PendingUpdate> updates_;
+  size_t queued_vertices_total_ = 0;
+
+  /// Executed replies travelling executor→loop, guarded by done_mu_.
+  std::mutex done_mu_;
+  std::vector<Completion> completions_;
+};
+
+}  // namespace cspm::net
+
+#endif  // CSPM_NET_SERVER_H_

@@ -1,0 +1,161 @@
+// cspm_serve: the network serving daemon. Opens a model store, brings
+// every model live (replaying any pending WAL deltas the way `cspm_shell
+// replay` would), binds a TCP port and serves the CSN1 protocol
+// (docs/PROTOCOL.md) until SIGINT/SIGTERM.
+//
+//   cspm_serve <store.cspm> [--port N] [--bind ADDR] [--max-batch N]
+//              [--max-wait-us N] [--max-queue N] [--max-updates N]
+//              [--score-threads N]
+//
+// --port 0 (the default) binds an ephemeral port; the chosen port is on
+// the startup line (`serving ... on 127.0.0.1:PORT`), which scripts
+// parse. Tuning guidance for the batching knobs is in docs/OPERATIONS.md.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "net/model_host.h"
+#include "net/server.h"
+#include "util/string_util.h"
+
+namespace {
+
+// The signal handler only calls the async-signal-safe RequestStop().
+cspm::net::Server* g_server = nullptr;
+
+void HandleSignal(int /*sig*/) {
+  if (g_server != nullptr) g_server->RequestStop();
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: cspm_serve <store.cspm> [--port N] [--bind ADDR]\n"
+      "                  [--max-batch N] [--max-wait-us N] [--max-queue N]\n"
+      "                  [--max-updates N] [--score-threads N]\n"
+      "\n"
+      "  --port N           TCP port; 0 = ephemeral (printed on startup)\n"
+      "  --bind ADDR        IPv4 literal to bind (default 127.0.0.1)\n"
+      "  --max-batch N      flush a score batch at N queued vertices\n"
+      "  --max-wait-us N    ... or when the oldest request waited N us\n"
+      "  --max-queue N      admission bound: reply OVERLOADED beyond N\n"
+      "                     queued vertices per model\n"
+      "  --max-updates N    bounded update queue (OVERLOADED beyond it)\n"
+      "  --score-threads N  ScoreBatch shards: 1 serial, 0 = one per core\n");
+  return 2;
+}
+
+bool ParseSize(const std::string& value, size_t* out) {
+  uint32_t parsed = 0;
+  if (!cspm::ParseUint32(value, &parsed)) return false;
+  *out = parsed;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string store_path;
+  cspm::net::ServerOptions options;
+  cspm::net::ModelHost::Options host_options;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    uint32_t parsed = 0;
+    int match = cspm::MatchFlagWithValue(argc, argv, &i, "--port", &value);
+    if (match != 0) {
+      if (match < 0 || !cspm::ParseUint32(value, &parsed) || parsed > 65535) {
+        return Usage();
+      }
+      options.port = static_cast<uint16_t>(parsed);
+      continue;
+    }
+    match = cspm::MatchFlagWithValue(argc, argv, &i, "--bind", &value);
+    if (match != 0) {
+      if (match < 0) return Usage();
+      options.bind_address = value;
+      continue;
+    }
+    match = cspm::MatchFlagWithValue(argc, argv, &i, "--max-batch", &value);
+    if (match != 0) {
+      if (match < 0 ||
+          !ParseSize(value, &options.batching.max_batch_vertices) ||
+          options.batching.max_batch_vertices == 0) {
+        return Usage();
+      }
+      continue;
+    }
+    match = cspm::MatchFlagWithValue(argc, argv, &i, "--max-wait-us", &value);
+    if (match != 0) {
+      if (match < 0 || !cspm::ParseUint32(value, &parsed)) return Usage();
+      options.batching.max_wait_us = parsed;
+      continue;
+    }
+    match = cspm::MatchFlagWithValue(argc, argv, &i, "--max-queue", &value);
+    if (match != 0) {
+      if (match < 0 ||
+          !ParseSize(value, &options.batching.max_queue_vertices) ||
+          options.batching.max_queue_vertices == 0) {
+        return Usage();
+      }
+      continue;
+    }
+    match = cspm::MatchFlagWithValue(argc, argv, &i, "--max-updates", &value);
+    if (match != 0) {
+      if (match < 0 || !ParseSize(value, &options.max_pending_updates)) {
+        return Usage();
+      }
+      continue;
+    }
+    match = cspm::MatchFlagWithValue(argc, argv, &i, "--score-threads", &value);
+    if (match != 0) {
+      if (match < 0 || !cspm::ParseUint32(value, &parsed)) return Usage();
+      host_options.score_threads = parsed;
+      continue;
+    }
+    if (!store_path.empty() || argv[i][0] == '-') return Usage();
+    store_path = argv[i];
+  }
+  if (store_path.empty()) return Usage();
+
+  auto host_or = cspm::net::ModelHost::Open(store_path, host_options);
+  if (!host_or.ok()) {
+    std::fprintf(stderr, "cspm_serve: %s\n",
+                 host_or.status().ToString().c_str());
+    return 1;
+  }
+  const size_t num_models = host_or.value()->List().size();
+  auto server_or =
+      cspm::net::Server::Start(std::move(host_or).value(), options);
+  if (!server_or.ok()) {
+    std::fprintf(stderr, "cspm_serve: %s\n",
+                 server_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<cspm::net::Server> server = std::move(server_or).value();
+  g_server = server.get();
+  struct sigaction sa = {};
+  sa.sa_handler = HandleSignal;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+  // SIGPIPE would kill the process on a write to a half-closed socket;
+  // the server handles the EPIPE errno instead.
+  signal(SIGPIPE, SIG_IGN);
+
+  std::printf(
+      "serving %zu model(s) from %s on %s:%u "
+      "(max-batch=%zu max-wait-us=%llu max-queue=%zu)\n",
+      num_models, store_path.c_str(), options.bind_address.c_str(),
+      unsigned{server->port()}, options.batching.max_batch_vertices,
+      static_cast<unsigned long long>(options.batching.max_wait_us),
+      options.batching.max_queue_vertices);
+  std::fflush(stdout);  // scripts wait for this line to learn the port
+
+  server->Join();
+  std::printf("cspm_serve: shut down cleanly\n");
+  g_server = nullptr;
+  return 0;
+}
